@@ -1,0 +1,52 @@
+// Ablation: what each accountability ingredient costs (DESIGN.md design
+// choices). Throughput at two committee sizes with:
+//   full        — certificates + confirmation phase (ZLB)
+//   no-confirm  — certificates, no confirmation phase
+//   no-certs    — plain SBC (Red Belly)
+//   cert-heavy  — certificates on every vote (Polygraph-style wire)
+//   rsa-sigs    — 256-byte signatures instead of 64-byte ECDSA
+#include "bench_util.hpp"
+
+using namespace zlb;
+
+namespace {
+
+double txps(ClusterConfig cfg) {
+  Cluster cluster(std::move(cfg));
+  cluster.run(seconds(3600));
+  return cluster.report().decided_tx_per_sec;
+}
+
+}  // namespace
+
+int main() {
+  const std::uint32_t batch = 10000;
+  std::printf(
+      "# Ablation: accountability ingredients, throughput (tx/s)\n"
+      "# n full no_confirm no_certs cert_heavy rsa_sigs\n");
+  std::vector<std::size_t> sizes = {20, 60};
+  if (bench::full_sweep()) sizes = {20, 60, 90};
+  for (std::size_t n : sizes) {
+    ClusterConfig full = bench::zlb_throughput_config(n, batch, 2, 3);
+
+    ClusterConfig no_confirm = full;
+    no_confirm.replica.confirmation = false;
+
+    ClusterConfig no_certs = full;
+    no_certs.replica.accountable = false;
+    no_certs.replica.confirmation = false;
+
+    ClusterConfig cert_heavy = full;
+    cert_heavy.replica.cert_on_all_votes = true;
+
+    ClusterConfig rsa = full;
+    rsa.signature_size = 256;
+    rsa.replica.cert_vote_bytes = 322;
+
+    std::printf("%zu %.0f %.0f %.0f %.0f %.0f\n", n, txps(full),
+                txps(no_confirm), txps(no_certs), txps(cert_heavy),
+                txps(rsa));
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Ablation: proposal batch size. SBC decides the union of up to n
+// batches per instance, so throughput grows with the batch until NIC
+// serialization and sharded verification saturate — this locates the
+// knee that justifies the paper's 10,000-transaction batches and shows
+// the superblock advantage over one-proposal-per-instance designs
+// (HotStuff) at every batch size.
+#include "bench_util.hpp"
+
+using namespace zlb;
+
+namespace {
+
+double txps(ClusterConfig cfg) {
+  Cluster cluster(std::move(cfg));
+  cluster.run(seconds(3600));
+  return cluster.report().decided_tx_per_sec;
+}
+
+}  // namespace
+
+int main() {
+  std::vector<std::uint32_t> batches = {100, 1000, 10000};
+  if (bench::full_sweep()) batches = {100, 500, 1000, 5000, 10000, 20000};
+  std::vector<std::size_t> sizes = {10, 30};
+  if (bench::full_sweep()) sizes = {10, 30, 60, 90};
+
+  std::printf(
+      "# Ablation: batch size vs throughput (tx/s), 5-region AWS WAN\n"
+      "# batch %s\n",
+      bench::full_sweep() ? "n=10 n=30 n=60 n=90" : "n=10 n=30");
+  for (const std::uint32_t batch : batches) {
+    std::printf("%u", batch);
+    for (const std::size_t n : sizes) {
+      std::printf(" %.0f",
+                  txps(bench::zlb_throughput_config(n, batch, 2, 1)));
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\n# HotStuff (single proposal per instance) for contrast\n"
+      "# batch n=10 n=30\n");
+  for (const std::uint32_t batch : batches) {
+    std::printf("%u %.0f %.0f\n", batch,
+                bench::hotstuff_tx_per_sec(10, batch, 1),
+                bench::hotstuff_tx_per_sec(30, batch, 1));
+    std::fflush(stdout);
+  }
+  return 0;
+}

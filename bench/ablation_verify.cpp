@@ -1,0 +1,38 @@
+// Ablation: distributed transaction verification width. Each
+// transaction is verified by (k*t + 1) replicas; Red Belly ships with
+// k=1 (t+1), ZLB needs k=2 (2t+1) so that a fraudulent verification is
+// attributable, and k=3 approximates every-replica-verifies. This is
+// the "Polygraph performs less verifications" lever of §5.1 isolated
+// from the certificate overheads.
+#include "bench_util.hpp"
+
+using namespace zlb;
+
+namespace {
+
+double txps(std::size_t n, std::uint32_t quorums) {
+  ClusterConfig cfg = bench::zlb_throughput_config(n, 10000, 2, 1);
+  cfg.replica.tx_verify_quorums = quorums;
+  Cluster cluster(std::move(cfg));
+  cluster.run(seconds(3600));
+  return cluster.report().decided_tx_per_sec;
+}
+
+}  // namespace
+
+int main() {
+  std::vector<std::size_t> sizes = {10, 30, 60};
+  if (bench::full_sweep()) sizes = {10, 30, 60, 90};
+  std::printf(
+      "# Ablation: verification sharding width, throughput (tx/s)\n"
+      "# n t+1(RedBelly) 2t+1(ZLB) 3t+1(~all)\n");
+  for (const std::size_t n : sizes) {
+    std::printf("%zu", n);
+    for (const std::uint32_t k : {1u, 2u, 3u}) {
+      std::printf(" %.0f", txps(n, k));
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

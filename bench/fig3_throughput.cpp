@@ -1,0 +1,50 @@
+// Figure 3: throughput of ZLB vs Polygraph, HotStuff and Red Belly as
+// the committee grows (10,000-transaction batches of ~400-byte Bitcoin
+// transactions, five AWS regions, f = 0).
+//
+// Paper shape to reproduce: Red Belly fastest, ZLB close behind (the
+// cost of accountability shrinks relatively at scale), Polygraph ahead
+// of ZLB at small n but behind after ~40 replicas, HotStuff lowest at
+// scale (ZLB ~5.6x at n = 90).
+#include "bench_util.hpp"
+
+using namespace zlb;
+
+namespace {
+
+double run_cluster_txps(const ClusterConfig& cfg) {
+  Cluster cluster(cfg);
+  cluster.run(seconds(3600));
+  return cluster.report().decided_tx_per_sec;
+}
+
+}  // namespace
+
+int main() {
+  const std::uint32_t batch = 10000;
+  const std::uint64_t instances = 2;
+  std::vector<std::size_t> sizes;
+  if (bench::full_sweep()) {
+    for (std::size_t n = 10; n <= 90; n += 10) sizes.push_back(n);
+  } else {
+    sizes = {10, 30, 50, 70, 90};
+  }
+
+  std::printf(
+      "# Figure 3: throughput (tx/s) vs number of replicas\n"
+      "# batch=10000 ~400B txs, 5-region AWS latencies, f=0\n"
+      "# n zlb redbelly polygraph hotstuff\n");
+  for (std::size_t n : sizes) {
+    const double zlb_txps =
+        run_cluster_txps(bench::zlb_throughput_config(n, batch, instances, 1));
+    const double rbb_txps =
+        run_cluster_txps(bench::redbelly_config(n, batch, instances, 1));
+    const double pg_txps =
+        run_cluster_txps(bench::polygraph_config(n, batch, instances, 1));
+    const double hs_txps = bench::hotstuff_tx_per_sec(n, batch, 1);
+    std::printf("%zu %.0f %.0f %.0f %.0f\n", n, zlb_txps, rbb_txps, pg_txps,
+                hs_txps);
+    std::fflush(stdout);
+  }
+  return 0;
+}

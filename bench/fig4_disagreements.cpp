@@ -1,0 +1,78 @@
+// Figure 4: number of disagreeing decisions per number of replicas for
+// uniform injected cross-partition delays (200/500/1000 ms), Gamma
+// delays and AWS-like delays, under the binary-consensus attack (top)
+// and the reliable-broadcast attack (bottom), with d = ⌈5n/9⌉−1, q = 0.
+//
+// Paper shape: disagreements grow with the injected delay, shrink as n
+// grows (attackers expose themselves before more instances can fork),
+// realistic (gamma/AWS) delays barely fork at all, and the
+// reliable-broadcast attack forks substantially more than the
+// binary-consensus attack but drops faster with n.
+#include "bench_util.hpp"
+
+using namespace zlb;
+
+namespace {
+
+std::size_t run_attack_once(std::size_t n, AttackKind attack,
+                            DelayModel delay, SimTime mean,
+                            std::uint64_t seed) {
+  ClusterConfig cfg = bench::attack_config(n, attack, delay, mean, seed);
+  Cluster cluster(cfg);
+  cluster.run_while([&] { return cluster.all_recovered(); }, seconds(900));
+  return cluster.report().disagreements;
+}
+
+/// Mean over a few seeds, as the paper averages 3-5 runs per point.
+std::size_t run_attack(std::size_t n, AttackKind attack, DelayModel delay,
+                       SimTime mean, std::uint64_t seed) {
+  const int runs = 3;
+  std::size_t total = 0;
+  for (int i = 0; i < runs; ++i) {
+    total += run_attack_once(n, attack, delay, mean, seed + 97 * i);
+  }
+  return total / runs;
+}
+
+}  // namespace
+
+int main() {
+  std::vector<std::size_t> sizes;
+  if (bench::full_sweep()) {
+    for (std::size_t n = 10; n <= 90; n += 10) sizes.push_back(n);
+  } else {
+    sizes = {10, 30, 50, 70};
+  }
+  struct DelayRow {
+    const char* name;
+    DelayModel model;
+    SimTime mean;
+  };
+  const DelayRow delays[] = {
+      {"uniform-200ms", DelayModel::kUniform, ms(200)},
+      {"uniform-500ms", DelayModel::kUniform, ms(500)},
+      {"uniform-1000ms", DelayModel::kUniform, ms(1000)},
+      {"gamma", DelayModel::kGamma, 0},
+      {"aws-like", DelayModel::kAws, 0},
+  };
+
+  for (const auto [attack, label] :
+       {std::pair{AttackKind::kBinaryConsensus, "binary-consensus attack"},
+        std::pair{AttackKind::kReliableBroadcast,
+                  "reliable-broadcast attack"}}) {
+    std::printf("# Figure 4 (%s): disagreements vs n, d=ceil(5n/9)-1, q=0\n",
+                label);
+    std::printf("# n");
+    for (const auto& d : delays) std::printf(" %s", d.name);
+    std::printf("\n");
+    for (std::size_t n : sizes) {
+      std::printf("%zu", n);
+      for (const auto& d : delays) {
+        std::printf(" %zu", run_attack(n, attack, d.model, d.mean, 11));
+        std::fflush(stdout);
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

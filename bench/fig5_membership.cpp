@@ -1,0 +1,81 @@
+// Figure 5: time to detect ⌈n/3⌉ deceitful replicas, to run the
+// exclusion consensus, to run the inclusion consensus (per injected
+// delay distribution and committee size), and time for the included
+// replicas to catch up (per number of blocks and committee size), all
+// with f = ⌈5n/9⌉−1.
+//
+// Paper shape: all three phases stretch with the injected delay;
+// exclusion dominates (its proposals carry PoFs that are expensive to
+// verify); inclusion is the cheapest; catch-up grows linearly with n
+// (larger certificates to verify) and with the number of blocks.
+#include "bench_util.hpp"
+
+using namespace zlb;
+
+namespace {
+
+ClusterReport run_recovery(std::size_t n, DelayModel delay, SimTime mean,
+                           std::uint32_t catchup_blocks, std::uint64_t seed) {
+  ClusterConfig cfg = bench::attack_config(n, AttackKind::kBinaryConsensus,
+                                           delay, mean, seed);
+  cfg.replica.catchup_blocks = catchup_blocks;
+  Cluster cluster(cfg);
+  cluster.run_while(
+      [&] {
+        if (!cluster.all_recovered()) return false;
+        for (ReplicaId id : cluster.pool_ids()) {
+          // Wait for the catch-ups of every included replica.
+          if (cluster.replica(id).metrics().activation_time >= 0) continue;
+        }
+        return true;
+      },
+      seconds(1800));
+  cluster.run(cluster.sim().now() + seconds(60));  // drain catch-ups
+  return cluster.report();
+}
+
+}  // namespace
+
+int main() {
+  struct DelayRow {
+    const char* name;
+    DelayModel model;
+    SimTime mean;
+  };
+  const DelayRow delays[] = {
+      {"gamma", DelayModel::kGamma, 0},
+      {"aws-like", DelayModel::kAws, 0},
+      {"uniform-500ms", DelayModel::kUniform, ms(500)},
+      {"uniform-1000ms", DelayModel::kUniform, ms(1000)},
+      {"uniform-10000ms", DelayModel::kUniform, ms(10000)},
+  };
+  std::vector<std::size_t> sizes = {20, 60};
+  if (bench::full_sweep()) sizes = {20, 60, 100};
+
+  std::printf(
+      "# Figure 5 (left three panels): detect / exclude / include times "
+      "(s)\n# f=ceil(5n/9)-1 colluders, binary-consensus attack\n"
+      "# n delay detect_s exclude_s include_s\n");
+  for (std::size_t n : sizes) {
+    for (const auto& d : delays) {
+      const auto rep = run_recovery(n, d.model, d.mean, 10, 21);
+      std::printf("%zu %s %.2f %.2f %.2f\n", n, d.name,
+                  to_seconds(rep.detect_time), to_seconds(rep.exclude_time),
+                  to_seconds(rep.include_time));
+      std::fflush(stdout);
+    }
+  }
+
+  std::printf(
+      "\n# Figure 5 (right panel): catch-up time (s) per number of blocks\n"
+      "# n blocks catchup_s\n");
+  for (std::size_t n : sizes) {
+    for (std::uint32_t blocks : {10u, 20u, 30u}) {
+      const auto rep = run_recovery(n, DelayModel::kUniform, ms(500), blocks,
+                                    33 + blocks);
+      std::printf("%zu %u %.2f\n", n, blocks, to_seconds(rep.catchup_time));
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Figure 6: minimum finalization blockdepth m for zero-loss, per number
+// of replicas, with deposit D = G/10 and f = ⌈5n/9⌉−1, for 500 ms and
+// 1000 ms injected delays under both coalition attacks.
+//
+// The per-block attack success probability ρ is estimated from the
+// measured runs: every forked instance is a successful per-block
+// attack, and the recovery thwarts the next attempt, so
+// ρ ≈ forked / (forked + 1). Theorem .5 then gives
+// m = min{ m : g(a, b, ρ, m) >= 0 } with a = max branches of the
+// coalition and b = 0.1.
+//
+// Paper shape: m decreases with n (fewer successful forks before
+// detection) and the reliable-broadcast attack needs deeper
+// finalization than the binary-consensus attack.
+#include "bench_util.hpp"
+
+using namespace zlb;
+
+namespace {
+
+double measure_rho(std::size_t n, AttackKind attack, SimTime mean,
+                   std::uint64_t seed) {
+  ClusterConfig cfg =
+      bench::attack_config(n, attack, DelayModel::kUniform, mean, seed);
+  Cluster cluster(cfg);
+  cluster.run_while([&] { return cluster.all_recovered(); }, seconds(900));
+  const auto rep = cluster.report();
+  const double forked = static_cast<double>(rep.forked_instances);
+  // The membership change thwarted the next attempt.
+  const double attempts = forked + (rep.recovered ? 1.0 : 0.0);
+  if (attempts <= 0.0) return 0.0;
+  return std::min(0.99, forked / attempts);
+}
+
+}  // namespace
+
+int main() {
+  const double b = 0.1;  // D = G/10
+  std::vector<std::size_t> sizes = {10, 30, 50, 70};
+  if (bench::full_sweep()) {
+    sizes = {10, 20, 30, 40, 50, 60, 70, 80, 90};
+  }
+  std::printf(
+      "# Figure 6: min finalization blockdepth m for zero-loss, D=G/10, "
+      "f=ceil(5n/9)-1\n"
+      "# n m_500ms m_1000ms m_500ms_rbcast m_1000ms_rbcast (rho in "
+      "parens)\n");
+  for (std::size_t n : sizes) {
+    const int f = static_cast<int>(bench::deceitful_for(n));
+    const int a = payment::max_branches(static_cast<int>(n), f, 0);
+    std::printf("%zu", n);
+    for (const auto attack :
+         {AttackKind::kBinaryConsensus, AttackKind::kReliableBroadcast}) {
+      for (SimTime mean : {ms(500), ms(1000)}) {
+        const double rho = measure_rho(n, attack, mean, 77);
+        const int m = payment::min_blockdepth(a, b, rho);
+        std::printf(" %d(%.2f)", m, rho);
+        std::fflush(stdout);
+      }
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Microbenchmarks of the from-scratch crypto substrate. These calibrate
+// the simulator's CPU cost model (DESIGN.md): real ECDSA verification
+// on one core is what the per-unit cost constant stands for.
+#include <benchmark/benchmark.h>
+
+#include "chain/wallet.hpp"
+#include "consensus/pof.hpp"
+#include "crypto/ecdsa.hpp"
+#include "crypto/signer.hpp"
+
+namespace {
+
+using namespace zlb;
+
+void BM_Sha256_1KiB(benchmark::State& state) {
+  const Bytes data(1024, 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        crypto::sha256(BytesView(data.data(), data.size())));
+  }
+  state.SetBytesProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_Sha256_1KiB);
+
+void BM_EcdsaSign(benchmark::State& state) {
+  const auto key = crypto::PrivateKey::from_seed(to_bytes("bench"));
+  const Bytes msg = to_bytes("a 400-byte-ish transaction body stand-in");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(key.sign(BytesView(msg.data(), msg.size())));
+  }
+}
+BENCHMARK(BM_EcdsaSign)->Unit(benchmark::kMicrosecond);
+
+void BM_EcdsaVerify(benchmark::State& state) {
+  const auto key = crypto::PrivateKey::from_seed(to_bytes("bench"));
+  const auto pub = key.public_key();
+  const Bytes msg = to_bytes("a 400-byte-ish transaction body stand-in");
+  const auto sig = key.sign(BytesView(msg.data(), msg.size()));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        crypto::verify(pub, BytesView(msg.data(), msg.size()), sig));
+  }
+}
+BENCHMARK(BM_EcdsaVerify)->Unit(benchmark::kMicrosecond);
+
+void BM_SimSchemeSignVerify(benchmark::State& state) {
+  crypto::SimScheme scheme(64);
+  const Bytes msg(130, 0x55);
+  for (auto _ : state) {
+    const Bytes sig = scheme.sign(3, BytesView(msg.data(), msg.size()));
+    benchmark::DoNotOptimize(scheme.verify(3, BytesView(msg.data(),
+                                                        msg.size()),
+                                           BytesView(sig.data(), sig.size())));
+  }
+}
+BENCHMARK(BM_SimSchemeSignVerify);
+
+void BM_TransactionValidate(benchmark::State& state) {
+  chain::UtxoSet utxos;
+  chain::Wallet alice(to_bytes("alice"));
+  chain::Wallet bob(to_bytes("bob"));
+  utxos.mint(alice.address(), 1000);
+  const auto tx = alice.pay(utxos, bob.address(), 100);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(utxos.check(*tx, /*verify_sigs=*/true));
+  }
+}
+BENCHMARK(BM_TransactionValidate)->Unit(benchmark::kMicrosecond);
+
+void BM_PofVerify(benchmark::State& state) {
+  crypto::SimScheme scheme(64);
+  auto vote = [&](std::uint8_t v) {
+    consensus::SignedVote sv;
+    sv.signer = 4;
+    sv.body = consensus::VoteBody{
+        consensus::InstanceKey{}, 2, 1, consensus::VoteType::kAux, Bytes{v}};
+    const Bytes sb = sv.body.signing_bytes();
+    sv.signature = scheme.sign(4, BytesView(sb.data(), sb.size()));
+    return sv;
+  };
+  const consensus::ProofOfFraud pof{vote(0), vote(1)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(consensus::verify_pof(pof, scheme));
+  }
+}
+BENCHMARK(BM_PofVerify);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+// Live deployment example: the same accountable SBC engine that the
+// simulator drives, running over REAL TCP sockets on loopback — one
+// thread, one event loop, one listener and one secp256k1 ECDSA key per
+// replica. Demonstrates the full wire path of §4.2.4 (length-prefixed
+// framing over TCP, signed votes, batch digests) and prints per-node
+// decisions plus transport statistics.
+//
+//   ./live_tcp_consensus [n] [instances]
+#include <cstdio>
+#include <cstdlib>
+
+#include "net/live_node.hpp"
+
+using namespace zlb;
+using namespace std::chrono_literals;
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 4;
+  const std::uint64_t instances =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 3;
+
+  std::printf("starting %zu replicas on loopback, %llu instances, "
+              "real ECDSA signatures...\n",
+              n, static_cast<unsigned long long>(instances));
+
+  net::LiveNodeConfig base;
+  base.instances = instances;
+  base.use_ecdsa = true;
+  net::LiveCluster cluster(n, base);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    std::printf("  replica %zu listening on 127.0.0.1:%u\n", i,
+                cluster.node(i).port());
+    cluster.node(i).queue_payload(
+        to_bytes("batch-from-replica-" + std::to_string(i)));
+  }
+
+  const auto t0 = net::Clock::now();
+  const bool ok = cluster.run(60s);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           net::Clock::now() - t0)
+                           .count();
+  if (!ok) {
+    std::printf("TIMEOUT: not all nodes decided\n");
+    return 1;
+  }
+
+  std::printf("\nall %zu nodes decided %llu instance(s) in %lld ms\n", n,
+              static_cast<unsigned long long>(instances),
+              static_cast<long long>(elapsed));
+
+  // Agreement check across nodes, instance by instance.
+  bool agree = true;
+  for (std::uint64_t k = 0; k < instances; ++k) {
+    const net::LiveDecision* ref = nullptr;
+    std::vector<net::LiveDecision> store;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (const auto& d : cluster.node(i).decisions()) {
+        if (d.index != k) continue;
+        if (ref == nullptr) {
+          store.push_back(d);
+          ref = &store.back();
+        } else {
+          agree &= d.bitmask == ref->bitmask && d.digests == ref->digests;
+        }
+      }
+    }
+    if (ref != nullptr) {
+      std::size_t ones = 0;
+      for (auto b : ref->bitmask) ones += b;
+      std::printf("  instance %llu: %zu/%zu slots decided 1\n",
+                  static_cast<unsigned long long>(k), ones, n);
+    }
+  }
+
+  const auto& stats = cluster.node(0).transport_stats();
+  std::printf("\nnode 0 transport: %llu frames out, %llu frames in, "
+              "%llu bytes out, %llu bytes in\n",
+              static_cast<unsigned long long>(stats.frames_sent),
+              static_cast<unsigned long long>(stats.frames_received),
+              static_cast<unsigned long long>(stats.bytes_sent),
+              static_cast<unsigned long long>(stats.bytes_received));
+  std::printf("agreement across all nodes: %s\n", agree ? "yes" : "NO");
+  return agree ? 0 : 1;
+}

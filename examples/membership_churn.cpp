@@ -1,0 +1,83 @@
+// Membership change under a colluding majority, narrated: a coalition
+// of d = ⌈5n/9⌉−1 deceitful replicas runs the binary-consensus attack,
+// honest replicas fork, detect, exclude the coalition through the
+// runtime-shrinking exclusion consensus and include fresh pool
+// replicas, after which consensus proceeds in the new epoch.
+//
+//   ./membership_churn [n] [delay_ms]
+#include <cstdio>
+#include <cstdlib>
+
+#include "zlb/cluster.hpp"
+
+using namespace zlb;
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 19;
+  const long delay_ms = argc > 2 ? std::atol(argv[2]) : 500;
+
+  ClusterConfig cfg;
+  cfg.n = n;
+  cfg.deceitful = (5 * n + 8) / 9 - 1;
+  cfg.attack = AttackKind::kBinaryConsensus;
+  cfg.base_delay = DelayModel::kLan;
+  cfg.attack_delay = DelayModel::kUniform;
+  cfg.attack_uniform_mean = ms(delay_ms);
+  cfg.replica.batch_tx_count = 100;
+  cfg.replica.max_instances = 100;
+  cfg.replica.log_slot_cap = 64;
+  cfg.seed = 9;
+  Cluster cluster(cfg);
+
+  std::printf("committee: n=%zu, deceitful coalition d=%zu (> n/3 = %zu!), "
+              "honest=%zu in %d partitions, injected cross-partition delay "
+              "~%ld ms\n\n",
+              n, cfg.deceitful, n / 3, cluster.honest_ids().size(),
+              cluster.num_partitions(), delay_ms);
+
+  cluster.run_while([&] { return cluster.all_recovered(); }, seconds(900));
+  const auto rep = cluster.report();
+
+  std::printf("timeline (sim time):\n");
+  std::printf("  t=0        attack starts: coalition equivocates AUX votes "
+              "per partition\n");
+  std::printf("  +%.2fs     fork(s): %zu conflicting proposals over %zu "
+              "instances\n",
+              0.0, rep.disagreements, rep.forked_instances);
+  std::printf("  +%.2fs     detection: every honest replica holds >= "
+              "fd = %zu proofs of fraud\n",
+              to_seconds(rep.detect_time), (n + 2) / 3);
+  std::printf("  +%.2fs     exclusion consensus decides: %zu replicas "
+              "excluded (committee shrank at runtime)\n",
+              to_seconds(rep.exclude_time), rep.excluded);
+  std::printf("  +%.2fs     inclusion consensus decides: %zu pool replicas "
+              "chosen evenly across proposals\n",
+              to_seconds(rep.include_time), rep.included);
+  if (rep.catchup_time >= 0) {
+    std::printf("  +%.2fs     new replicas caught up and activated\n",
+                to_seconds(rep.catchup_time));
+  }
+
+  const auto& veteran = cluster.replica(cluster.honest_ids().front());
+  std::printf("\nnew committee (epoch %u, %zu members): excluded",
+              veteran.epoch(), veteran.committee().size());
+  for (ReplicaId id : veteran.excluded()) std::printf(" %u", id);
+  std::printf("\n");
+
+  // Show convergence: run one more instance in the new epoch.
+  cluster.run(cluster.sim().now() + seconds(60));
+  std::size_t epoch1_decided = 0;
+  for (ReplicaId id : cluster.honest_ids()) {
+    for (std::uint64_t k = 0; k < cfg.replica.max_instances; ++k) {
+      const auto* rec = cluster.replica(id).decision(1, k);
+      if (rec != nullptr && rec->decided) {
+        ++epoch1_decided;
+        break;
+      }
+    }
+  }
+  std::printf("epoch-1 consensus: %zu/%zu veteran honest replicas decided "
+              "another instance — agreement restored (Def. 3 convergence)\n",
+              epoch1_decided, cluster.honest_ids().size());
+  return rep.recovered ? 0 : 1;
+}

@@ -1,0 +1,67 @@
+// Zero-loss payment planner (§B): given a deceitful ratio δ, a deposit
+// factor b = D/G and an attack success probability ρ, computes the
+// maximum number of fork branches, the minimum finalization blockdepth
+// m for zero-loss (Theorem .5), the tolerated ρ for a given m, and the
+// per-replica deposit. Reproduces the paper's worked examples.
+//
+//   ./zero_loss_planner [n] [gain]
+#include <cstdio>
+#include <cstdlib>
+#include <initializer_list>
+
+#include "payment/zero_loss.hpp"
+
+using namespace zlb::payment;
+
+int main(int argc, char** argv) {
+  const int n = argc > 1 ? std::atoi(argv[1]) : 100;
+  const double gain = argc > 2 ? std::atof(argv[2]) : 1'000'000.0;
+  const double b = 0.1;  // the paper's running example: D = G/10
+
+  std::printf("ZLB zero-loss planner — n = %d replicas, per-block gain "
+              "bound G = %.0f, deposit D = G/10\n\n",
+              n, gain);
+
+  std::printf("%-8s %-10s %-12s %-12s %-14s\n", "delta", "branches",
+              "m(rho=0.55)", "m(rho=0.9)", "rho_max(m=4)");
+  for (const double delta : {0.40, 0.50, 0.55, 0.60, 0.64, 0.66}) {
+    const int f = static_cast<int>(delta * n);
+    const int a = max_branches(n, f, 0);
+    const int m_low = min_blockdepth(a, b, 0.55);
+    const int m_high = min_blockdepth(a, b, 0.9);
+    const double rho4 = max_tolerated_rho(a, b, 4);
+    std::printf("%-8.2f %-10d %-12d %-12d %-14.3f\n", delta, a, m_low,
+                m_high, rho4);
+  }
+
+  std::printf("\nPaper cross-check (δ=0.5 ⇒ a=3, b=0.1):\n");
+  std::printf("  g(3, 0.1, 0.55, 4) = %+.4f  (paper calls m=4 'already "
+              "zero-loss'; exactly, m=5 is the first g>=0)\n",
+              g_value(3, 0.1, 0.55, 4));
+  std::printf("  g(3, 0.1, 0.55, 5) = %+.4f\n", g_value(3, 0.1, 0.55, 5));
+  std::printf("  m(ρ=0.9):  %d  (paper: 28)\n", min_blockdepth(3, 0.1, 0.9));
+  std::printf("  δ=0.60 ⇒ a=%d, m = %d (paper: 37)\n",
+              max_branches(n, static_cast<int>(0.60 * n), 0),
+              min_blockdepth(max_branches(n, static_cast<int>(0.60 * n), 0),
+                             b, 0.9));
+  std::printf("  δ=0.66 ⇒ a=%d, m = %d (paper: 58)\n",
+              max_branches(n, static_cast<int>(0.66 * n), 0),
+              min_blockdepth(max_branches(n, static_cast<int>(0.66 * n), 0),
+                             b, 0.9));
+
+  const double per_replica = per_replica_deposit(b, gain, n);
+  std::printf("\nDeposits: every replica stakes 3bG/n = %.0f coins so any "
+              "coalition (>= n/3 replicas) holds at least D = %.0f.\n",
+              per_replica, b * gain);
+
+  std::printf("\nExpected deposit flux per attack attempt (a=3, m=5):\n");
+  for (const double rho : {0.3, 0.55, 0.7, 0.9}) {
+    std::printf("  rho=%.2f: punishment %.0f - gain %.0f = flux %+.0f %s\n",
+                rho, expected_punishment(b, rho, 5, gain),
+                expected_gain(3, rho, 5, gain),
+                deposit_flux(3, b, rho, 5, gain),
+                deposit_flux(3, b, rho, 5, gain) >= 0 ? "(zero-loss)"
+                                                      : "(LOSS)");
+  }
+  return 0;
+}

@@ -1,0 +1,173 @@
+// Standalone replica daemon: one OS process per replica, talking to its
+// peers over real TCP — the deployment shape of the paper's testbed,
+// scaled to one machine. Start n of these (one per committee id) and
+// submit payments with zlb_wallet.
+//
+//   # peers.txt: one "<id> <port>" pair per line, the full committee
+//   ./zlb_node --id 0 --peers peers.txt --client-port 9100 \
+//              --genesis <address-hex>:100000 --journal node0.wal
+//
+// The node serves until the instance budget is exhausted or SIGINT.
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "chain/wallet.hpp"
+#include "net/live_node.hpp"
+
+using namespace zlb;
+
+namespace {
+
+struct Options {
+  ReplicaId id = 0;
+  std::string peers_path;
+  std::uint16_t client_port = 0;
+  std::string journal_path;
+  std::vector<std::pair<chain::Address, chain::Amount>> genesis;
+  std::uint64_t instances = 1'000'000;
+  int block_interval_ms = 250;
+};
+
+chain::Address parse_address(const std::string& hex) {
+  const Bytes raw = from_hex(hex);
+  chain::Address a;
+  if (raw.size() != a.data.size()) {
+    throw std::invalid_argument("address must be 20 bytes of hex");
+  }
+  std::copy(raw.begin(), raw.end(), a.data.begin());
+  return a;
+}
+
+bool parse_options(int argc, char** argv, Options& opts) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--id") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opts.id = static_cast<ReplicaId>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--peers") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opts.peers_path = v;
+    } else if (arg == "--client-port") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opts.client_port = static_cast<std::uint16_t>(
+          std::strtoul(v, nullptr, 10));
+    } else if (arg == "--journal") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opts.journal_path = v;
+    } else if (arg == "--instances") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opts.instances = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--block-interval-ms") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opts.block_interval_ms = std::atoi(v);
+    } else if (arg == "--genesis") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      const std::string spec(v);
+      const auto colon = spec.find(':');
+      if (colon == std::string::npos) return false;
+      opts.genesis.emplace_back(
+          parse_address(spec.substr(0, colon)),
+          static_cast<chain::Amount>(
+              std::strtoll(spec.c_str() + colon + 1, nullptr, 10)));
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return !opts.peers_path.empty();
+}
+
+/// peers.txt: "<id> <port>" per line; this node's line fixes its own
+/// listen port.
+bool load_peers(const std::string& path, ReplicaId me,
+                std::map<ReplicaId, std::uint16_t>& ports,
+                std::vector<ReplicaId>& committee,
+                std::uint16_t& my_port) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    ReplicaId id = 0;
+    std::uint32_t port = 0;
+    if (!(ls >> id >> port)) return false;
+    ports[id] = static_cast<std::uint16_t>(port);
+    committee.push_back(id);
+  }
+  const auto mine = ports.find(me);
+  if (mine == ports.end()) return false;
+  my_port = mine->second;
+  return committee.size() >= 4;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  if (!parse_options(argc, argv, opts)) {
+    std::fprintf(
+        stderr,
+        "usage: zlb_node --id <n> --peers <file> [--client-port <p>]\n"
+        "                [--journal <path>] [--genesis <addr-hex>:<amount>]\n"
+        "                [--instances <n>] [--block-interval-ms <ms>]\n");
+    return 2;
+  }
+
+  std::map<ReplicaId, std::uint16_t> ports;
+  std::vector<ReplicaId> committee;
+  std::uint16_t my_port = 0;
+  if (!load_peers(opts.peers_path, opts.id, ports, committee, my_port)) {
+    std::fprintf(stderr, "bad peers file (need >= 4 '<id> <port>' lines "
+                         "including our id)\n");
+    return 2;
+  }
+
+  net::LiveNodeConfig cfg;
+  cfg.me = opts.id;
+  cfg.committee = committee;
+  cfg.instances = opts.instances;
+  cfg.use_ecdsa = true;
+  cfg.listen_port = my_port;
+  cfg.real_blocks = true;
+  cfg.client_port = opts.client_port;
+  cfg.block_interval = std::chrono::milliseconds(opts.block_interval_ms);
+  cfg.journal_path = opts.journal_path;
+
+  net::LiveNode node(cfg);
+  if (!node.listening()) {
+    std::fprintf(stderr, "cannot bind replica port %u\n", my_port);
+    return 1;
+  }
+  for (const auto& [address, amount] : opts.genesis) {
+    node.block_manager().utxos().mint(address, amount);
+  }
+  node.set_peer_ports(ports);
+
+  std::printf("zlb_node id=%u replica-port=%u client-port=%u committee=%zu "
+              "journal=%s\n",
+              opts.id, node.port(), node.client_port(), committee.size(),
+              opts.journal_path.empty() ? "(none)"
+                                        : opts.journal_path.c_str());
+  std::fflush(stdout);
+
+  node.run(std::chrono::hours(24 * 365));
+  std::printf("zlb_node id=%u: decided %llu instances, chain height %zu\n",
+              opts.id,
+              static_cast<unsigned long long>(node.decided_count()),
+              node.block_manager().store().size());
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Minimal command-line wallet against a running zlb_node deployment.
+// Keys are derived deterministically from a seed string, like the test
+// wallets, so the address is reproducible across invocations.
+//
+//   ./zlb_wallet address --seed alice
+//   ./zlb_wallet pay --seed alice --to <address-hex> --amount 250
+//                --node-port 9100
+//
+// `pay` asks the node's gateway for the sender's spendable coins? No —
+// the gateway only accepts transactions; coin selection needs a view of
+// the UTXO set. This wallet derives it the same way the node does: from
+// the genesis grant (--genesis-amount, default 0 = the wallet must name
+// the outpoints with --input txid:index:value, printed by the node).
+// For the common demo flow (fresh chain, one genesis grant) the default
+// works out of the box.
+#include <cstdio>
+#include <cstring>
+
+#include "chain/wallet.hpp"
+#include "net/client_gateway.hpp"
+
+using namespace zlb;
+
+namespace {
+
+int cmd_address(const std::string& seed) {
+  const chain::Wallet wallet(to_bytes(seed));
+  std::printf("%s\n", wallet.address().hex().c_str());
+  return 0;
+}
+
+int cmd_pay(const std::string& seed, const std::string& to_arg,
+            chain::Amount amount, chain::Amount genesis_amount,
+            std::uint16_t node_port) {
+  chain::Wallet wallet(to_bytes(seed));
+  chain::Address to;
+  const Bytes raw = from_hex(to_arg);
+  if (raw.size() != to.data.size()) {
+    std::fprintf(stderr, "bad --to address\n");
+    return 2;
+  }
+  std::copy(raw.begin(), raw.end(), to.data.begin());
+
+  // Rebuild the genesis coin the node minted for this wallet.
+  chain::UtxoSet view;
+  view.mint(wallet.address(), genesis_amount);
+  const auto tx = wallet.pay(view, to, amount);
+  if (!tx) {
+    std::fprintf(stderr, "insufficient funds (genesis %lld, asked %lld)\n",
+                 static_cast<long long>(genesis_amount),
+                 static_cast<long long>(amount));
+    return 1;
+  }
+
+  auto client = net::GatewayClient::connect(node_port);
+  if (!client) {
+    std::fprintf(stderr, "cannot reach node gateway on port %u\n", node_port);
+    return 1;
+  }
+  const auto ack = client->submit(*tx);
+  if (!ack) {
+    std::fprintf(stderr, "no ACK from node\n");
+    return 1;
+  }
+  switch (*ack) {
+    case net::SubmitStatus::kAccepted:
+      std::printf("accepted: tx %s\n",
+                  to_hex(BytesView(tx->id().data(), tx->id().size())).c_str());
+      return 0;
+    case net::SubmitStatus::kMalformed:
+      std::fprintf(stderr, "node rejected: malformed\n");
+      return 1;
+    case net::SubmitStatus::kRejected:
+      std::fprintf(stderr, "node rejected: duplicate or queue full\n");
+      return 1;
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string command = argc > 1 ? argv[1] : "";
+  std::string seed = "alice";
+  std::string to_arg;
+  chain::Amount amount = 0;
+  chain::Amount genesis_amount = 100000;
+  std::uint16_t node_port = 9100;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* v = i + 1 < argc ? argv[i + 1] : nullptr;
+    if (arg == "--seed" && v != nullptr) {
+      seed = v;
+      ++i;
+    } else if (arg == "--to" && v != nullptr) {
+      to_arg = v;
+      ++i;
+    } else if (arg == "--amount" && v != nullptr) {
+      amount = std::strtoll(v, nullptr, 10);
+      ++i;
+    } else if (arg == "--genesis-amount" && v != nullptr) {
+      genesis_amount = std::strtoll(v, nullptr, 10);
+      ++i;
+    } else if (arg == "--node-port" && v != nullptr) {
+      node_port = static_cast<std::uint16_t>(std::strtoul(v, nullptr, 10));
+      ++i;
+    }
+  }
+
+  if (command == "address") return cmd_address(seed);
+  if (command == "pay" && !to_arg.empty() && amount > 0) {
+    return cmd_pay(seed, to_arg, amount, genesis_amount, node_port);
+  }
+  std::fprintf(stderr,
+               "usage: zlb_wallet address --seed <s>\n"
+               "       zlb_wallet pay --seed <s> --to <addr-hex> "
+               "--amount <v> [--genesis-amount <v>] [--node-port <p>]\n");
+  return 2;
+}

@@ -1,0 +1,72 @@
+#include "asmr/beacon.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/serde.hpp"
+
+namespace zlb::asmr {
+
+void RandomBeacon::absorb(const crypto::Hash32& decision_digest) {
+  Writer w;
+  w.raw(BytesView(state_.data(), state_.size()));
+  w.raw(BytesView(decision_digest.data(), decision_digest.size()));
+  state_ = crypto::sha256(BytesView(w.data().data(), w.data().size()));
+}
+
+std::vector<ReplicaId> sortition(const RandomBeacon& beacon,
+                                 std::vector<ReplicaId> universe,
+                                 std::size_t size) {
+  Rng rng(beacon.draw());
+  // Partial Fisher-Yates: the first `size` entries are the committee.
+  const std::size_t take = std::min(size, universe.size());
+  for (std::size_t i = 0; i < take; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(rng.next_below(universe.size() - i));
+    std::swap(universe[i], universe[j]);
+  }
+  universe.resize(take);
+  std::sort(universe.begin(), universe.end());
+  return universe;
+}
+
+namespace {
+
+// log(C(n, k)) via lgamma for numerically stable hypergeometrics.
+double log_choose(std::size_t n, std::size_t k) {
+  if (k > n) return -1e300;
+  return std::lgamma(static_cast<double>(n) + 1) -
+         std::lgamma(static_cast<double>(k) + 1) -
+         std::lgamma(static_cast<double>(n - k) + 1);
+}
+
+}  // namespace
+
+double coalition_takeover_probability(std::size_t universe,
+                                      std::size_t colluders,
+                                      std::size_t committee) {
+  if (committee == 0 || committee > universe) return 0.0;
+  const std::size_t threshold = (committee + 2) / 3;  // ⌈n/3⌉ seats
+  double p = 0.0;
+  const double denom = log_choose(universe, committee);
+  const std::size_t hi = std::min(colluders, committee);
+  for (std::size_t k = threshold; k <= hi; ++k) {
+    if (committee - k > universe - colluders) continue;
+    const double term = log_choose(colluders, k) +
+                        log_choose(universe - colluders, committee - k) -
+                        denom;
+    p += std::exp(term);
+  }
+  return std::min(1.0, p);
+}
+
+double attack_window_success(std::size_t universe, std::size_t colluders,
+                             std::size_t committee, int m) {
+  const double per_round =
+      coalition_takeover_probability(universe, colluders, committee);
+  // m+1 consecutive committees must each be corrupted (independent
+  // draws from the beacon).
+  return std::pow(per_round, m + 1);
+}
+
+}  // namespace zlb::asmr

@@ -1,0 +1,63 @@
+// Random beacon + committee sortition — the extension the paper
+// sketches in §B's discussion of probabilistic synchrony: "the
+// implementation of a random beacon that replaces the committee in
+// every iteration can decrease the probability of success of an
+// attack", because a coalition must control enough of *each* of m+1
+// consecutive sorted committees to sustain a fork for the whole
+// finalization window.
+//
+// The beacon is a deterministic hash chain seeded by the decided
+// instance digest (unbiasable by a minority of any single committee in
+// this model); sortition samples the next committee from the node
+// universe without replacement. `attack_window_success` quantifies the
+// security improvement analytically.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "crypto/sha256.hpp"
+
+namespace zlb::asmr {
+
+/// Deterministic hash-chain beacon: beacon_{i+1} = H(beacon_i || entropy).
+class RandomBeacon {
+ public:
+  explicit RandomBeacon(BytesView seed) : state_(crypto::sha256(seed)) {}
+
+  /// Mixes a decided-instance digest into the chain and steps it.
+  void absorb(const crypto::Hash32& decision_digest);
+  /// Current beacon output.
+  [[nodiscard]] const crypto::Hash32& value() const { return state_; }
+  /// A 64-bit draw for seeding samplers.
+  [[nodiscard]] std::uint64_t draw() const {
+    return crypto::hash_prefix64(state_);
+  }
+
+ private:
+  crypto::Hash32 state_;
+};
+
+/// Samples a committee of `size` from `universe` (without replacement),
+/// deterministically from the beacon value. Every honest replica with
+/// the same chain derives the same committee.
+[[nodiscard]] std::vector<ReplicaId> sortition(const RandomBeacon& beacon,
+                                               std::vector<ReplicaId> universe,
+                                               std::size_t size);
+
+/// Probability that a coalition controlling `colluders` of `universe`
+/// nodes gets >= n/3 seats in ONE sorted committee of size n
+/// (hypergeometric tail, exact).
+[[nodiscard]] double coalition_takeover_probability(std::size_t universe,
+                                                    std::size_t colluders,
+                                                    std::size_t committee);
+
+/// Probability the coalition controls >= n/3 of EVERY committee for
+/// m+1 consecutive sorted iterations — the per-window attack success ρ'
+/// replacing the static-committee ρ (§B discussion).
+[[nodiscard]] double attack_window_success(std::size_t universe,
+                                           std::size_t colluders,
+                                           std::size_t committee, int m);
+
+}  // namespace zlb::asmr

@@ -1,0 +1,71 @@
+#include "asmr/payload.hpp"
+
+namespace zlb::asmr {
+
+Bytes BatchPayload::encode() const {
+  Writer w;
+  w.boolean(synthetic);
+  w.u32(tx_count);
+  w.u32(proposer);
+  w.u64(index);
+  w.u64(tag);
+  w.bytes(block_bytes);
+  return w.take();
+}
+
+BatchPayload BatchPayload::decode(BytesView data) {
+  Reader r(data);
+  BatchPayload p;
+  p.synthetic = r.boolean();
+  p.tx_count = r.u32();
+  p.proposer = r.u32();
+  p.index = r.u64();
+  p.tag = r.u64();
+  p.block_bytes = r.bytes();
+  r.expect_done();
+  return p;
+}
+
+Bytes encode_replica_ids(const std::vector<ReplicaId>& ids) {
+  Writer w;
+  w.varint(ids.size());
+  for (ReplicaId id : ids) w.u32(id);
+  return w.take();
+}
+
+std::vector<ReplicaId> decode_replica_ids(BytesView data) {
+  Reader r(data);
+  const std::uint64_t n = r.varint();
+  if (n > 65536) throw DecodeError("decode_replica_ids: too many");
+  std::vector<ReplicaId> out;
+  out.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) out.push_back(r.u32());
+  r.expect_done();
+  return out;
+}
+
+std::vector<ReplicaId> choose_inclusion(
+    std::size_t count, const std::vector<std::vector<ReplicaId>>& proposals,
+    const std::unordered_set<ReplicaId>& banned) {
+  std::vector<ReplicaId> chosen;
+  std::unordered_set<ReplicaId> used;
+  std::size_t offset = 0;
+  bool any_left = true;
+  while (chosen.size() < count && any_left) {
+    any_left = false;
+    for (const auto& prop : proposals) {
+      if (chosen.size() >= count) break;
+      if (offset < prop.size()) {
+        any_left = true;
+        const ReplicaId cand = prop[offset];
+        if (banned.count(cand) == 0 && used.insert(cand).second) {
+          chosen.push_back(cand);
+        }
+      }
+    }
+    ++offset;
+  }
+  return chosen;
+}
+
+}  // namespace zlb::asmr

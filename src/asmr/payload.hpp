@@ -1,0 +1,39 @@
+// Payload codecs for the three SBC instance kinds:
+//  - regular: a transaction batch (synthetic metadata at benchmark
+//    scale, or a real serialized Block in functional runs);
+//  - exclusion: a set of proofs of fraud (Alg. 1 line 22);
+//  - inclusion: replica ids drawn from the candidate pool (line 41),
+//    plus the deterministic `choose` that spreads inclusions evenly
+//    across all decided proposals (line 44).
+#pragma once
+
+#include <unordered_set>
+
+#include "chain/block.hpp"
+#include "consensus/pof.hpp"
+
+namespace zlb::asmr {
+
+struct BatchPayload {
+  bool synthetic = true;
+  std::uint32_t tx_count = 0;
+  ReplicaId proposer = 0;
+  InstanceId index = 0;
+  std::uint64_t tag = 0;   ///< variant tag (equivocating proposers differ here)
+  Bytes block_bytes;       ///< real mode: serialized chain::Block
+
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] static BatchPayload decode(BytesView data);
+};
+
+[[nodiscard]] Bytes encode_replica_ids(const std::vector<ReplicaId>& ids);
+[[nodiscard]] std::vector<ReplicaId> decode_replica_ids(BytesView data);
+
+/// Alg. 1 line 44: pick `count` distinct replicas, round-robin across
+/// the decided proposals (each a candidate list), skipping ids in
+/// `banned`. Deterministic given identical inputs.
+[[nodiscard]] std::vector<ReplicaId> choose_inclusion(
+    std::size_t count, const std::vector<std::vector<ReplicaId>>& proposals,
+    const std::unordered_set<ReplicaId>& banned);
+
+}  // namespace zlb::asmr

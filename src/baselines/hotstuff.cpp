@@ -1,0 +1,142 @@
+#include "baselines/hotstuff.hpp"
+
+#include "common/serde.hpp"
+
+namespace zlb::baselines {
+
+namespace {
+constexpr std::uint8_t kProposalTag = 0x70;
+constexpr std::uint8_t kVoteTag = 0x71;
+}  // namespace
+
+HotStuffReplica::HotStuffReplica(sim::Simulator& sim, sim::Network& net,
+                                 crypto::SignatureScheme& scheme, ReplicaId id,
+                                 std::vector<ReplicaId> committee,
+                                 HotStuffConfig config)
+    : sim_(sim),
+      net_(net),
+      scheme_(scheme),
+      me_(id),
+      committee_(std::move(committee)),
+      config_(config) {
+  net_.attach(me_, *this);
+}
+
+void HotStuffReplica::start() {
+  if (leader_of(1) == me_) propose(1);
+}
+
+void HotStuffReplica::propose(std::uint64_t view) {
+  if (view > config_.max_views) return;
+  if (!proposed_.insert(view).second) return;
+  // Client batching cadence: view w's proposal leaves no earlier than
+  // (w-1) x pacing after chain start (leaders rotate, so the cadence is
+  // anchored to the chain, not to one replica).
+  const SimTime earliest =
+      config_.view_pacing > 0
+          ? static_cast<SimTime>(view - 1) * config_.view_pacing
+          : 0;
+  if (sim_.now() < earliest) {
+    proposed_.erase(view);
+    sim_.schedule_at(earliest, [this, view]() { propose(view); });
+    return;
+  }
+  last_propose_ = sim_.now();
+  Writer w;
+  w.u8(kProposalTag);
+  w.u64(view);
+  w.u32(config_.batch_tx_count);
+  // Wire: per-tx digests + the parent QC (quorum signatures).
+  const std::uint64_t extra =
+      static_cast<std::uint64_t>(config_.batch_tx_count) *
+          config_.digest_bytes +
+      static_cast<std::uint64_t>(quorum()) * config_.signature_bytes;
+  // Receiver verifies the QC (quorum sigs); txs are not verified (§5.1).
+  net_.broadcast(me_, committee_, w.take(),
+                 static_cast<std::uint32_t>(quorum()), extra);
+}
+
+void HotStuffReplica::handle_proposal(Reader& r, ReplicaId from) {
+  const std::uint64_t view = r.u64();
+  const std::uint32_t batch = r.u32();
+  if (from != leader_of(view)) return;
+  if (view <= current_view_) return;  // stale
+  current_view_ = view;
+  metrics_.views_completed = view;
+
+  // Three-chain commit: the proposal of view v carries a QC for v-1,
+  // which extends v-2; block of view v-2 becomes committed.
+  if (view >= 3) {
+    metrics_.committed_blocks += 1;
+    metrics_.committed_txs += batch;
+    metrics_.last_commit_time = sim_.now();
+  }
+
+  // Vote to the next leader.
+  Writer w;
+  w.u8(kVoteTag);
+  w.u64(view);
+  Bytes body = w.take();
+  const Bytes sig = scheme_.sign(me_, BytesView(body.data(), body.size()));
+  Writer out;
+  out.u8(kVoteTag);
+  out.u64(view);
+  out.bytes(sig);
+  net_.send(me_, leader_of(view + 1), out.take(), 1, 0);
+}
+
+void HotStuffReplica::handle_vote(Reader& r, ReplicaId from) {
+  const std::uint64_t view = r.u64();
+  (void)r.bytes();  // signature (cost modelled at delivery)
+  if (leader_of(view + 1) != me_) return;
+  auto& voters = votes_[view];
+  voters.insert(from);
+  if (voters.size() >= quorum()) {
+    propose(view + 1);
+  }
+}
+
+void HotStuffReplica::on_message(ReplicaId from, BytesView data) {
+  if (data.empty()) return;
+  try {
+    Reader r(data.subspan(1));
+    if (data[0] == kProposalTag) {
+      handle_proposal(r, from);
+    } else if (data[0] == kVoteTag) {
+      handle_vote(r, from);
+    }
+  } catch (const DecodeError&) {
+    return;
+  }
+}
+
+HotStuffResult run_hotstuff(std::size_t n, HotStuffConfig config,
+                            sim::NetConfig net_config,
+                            std::shared_ptr<const sim::LatencyModel> latency,
+                            std::uint64_t seed) {
+  sim::Simulator sim;
+  sim::Network net(sim, std::move(latency), net_config, seed);
+  crypto::SimScheme scheme(config.signature_bytes, seed);
+  std::vector<ReplicaId> committee(n);
+  for (std::size_t i = 0; i < n; ++i) committee[i] = static_cast<ReplicaId>(i);
+  std::vector<std::unique_ptr<HotStuffReplica>> replicas;
+  replicas.reserve(n);
+  for (ReplicaId id : committee) {
+    replicas.push_back(std::make_unique<HotStuffReplica>(
+        sim, net, scheme, id, committee, config));
+  }
+  for (auto& r : replicas) r->start();
+  sim.run_until();
+
+  HotStuffResult result;
+  const auto& m = replicas.front()->metrics();
+  result.committed_txs = m.committed_txs;
+  result.makespan = m.last_commit_time;
+  if (m.last_commit_time > 0) {
+    result.tx_per_sec = static_cast<double>(m.committed_txs) /
+                        to_seconds(m.last_commit_time);
+  }
+  return result;
+}
+
+}  // namespace zlb::baselines

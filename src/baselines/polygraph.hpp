@@ -1,0 +1,42 @@
+// Polygraph baseline (Civit, Gilbert & Gramoli, ICDCS'21): accountable
+// Byzantine consensus — every vote travels with its justification
+// certificate (RSA-2048-sized, 322 bytes each in the authors' code), so
+// after a disagreement honest replicas can cross-check certificates and
+// produce proofs of fraud. But Polygraph stops there: it has no
+// membership change and no reconciliation, so a successful coalition
+// attack leaves the system forked forever. ZLB is Polygraph + recovery
+// (Alg. 1 + Alg. 2) with cheaper ECDSA certificates piggybacked only
+// where accountability needs them.
+#pragma once
+
+#include "baselines/redbelly.hpp"
+
+namespace zlb::baselines {
+
+/// Replica configuration of the Polygraph baseline: accountable,
+/// certified broadcast on every vote, RSA-sized certificates, recovery
+/// and confirmation off, non-accountable t+1 sharded tx verification.
+[[nodiscard]] asmr::ReplicaConfig polygraph_replica_config(
+    std::uint32_t batch_tx_count, std::uint64_t instances);
+
+/// Full cluster configuration (fault-free throughput deployment,
+/// 256-byte RSA-like wire signatures).
+[[nodiscard]] ClusterConfig polygraph_cluster_config(std::size_t n,
+                                                     std::uint32_t batch,
+                                                     std::uint64_t instances,
+                                                     std::uint64_t seed);
+
+/// Fault-free throughput run (Fig. 3 conditions).
+[[nodiscard]] SbcBaselineResult run_polygraph(std::size_t n,
+                                              std::uint32_t batch,
+                                              std::uint64_t instances,
+                                              std::uint64_t seed);
+
+/// Coalition-attack run: Polygraph *detects* the fraud (detect_time and
+/// pofs are set) but cannot exclude anyone — recovered stays false and
+/// the fork persists.
+[[nodiscard]] SbcBaselineResult run_polygraph_under_attack(
+    std::size_t n, AttackKind attack, SimTime partition_delay_mean,
+    std::uint64_t seed);
+
+}  // namespace zlb::baselines

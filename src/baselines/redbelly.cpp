@@ -1,0 +1,70 @@
+#include "baselines/redbelly.hpp"
+
+namespace zlb::baselines {
+
+namespace {
+
+SbcBaselineResult collect(Cluster& cluster) {
+  const ClusterReport rep = cluster.report();
+  SbcBaselineResult out;
+  out.tx_per_sec = rep.decided_tx_per_sec;
+  out.txs_decided = rep.txs_decided;
+  out.makespan = rep.makespan;
+  out.disagreements = rep.disagreements;
+  out.detect_time = rep.detect_time;
+  out.recovered = rep.recovered;
+  if (!cluster.honest_ids().empty()) {
+    out.pofs =
+        cluster.replica(cluster.honest_ids().front()).pofs().culprit_count();
+  }
+  return out;
+}
+
+}  // namespace
+
+asmr::ReplicaConfig redbelly_replica_config(std::uint32_t batch_tx_count,
+                                            std::uint64_t instances) {
+  asmr::ReplicaConfig cfg;
+  cfg.batch_tx_count = batch_tx_count;
+  cfg.max_instances = instances;
+  cfg.accountable = false;   // no certificates, no PoFs
+  cfg.recovery = false;      // nothing to recover with
+  cfg.confirmation = false;  // decisions are final immediately
+  cfg.tx_verify_quorums = 1;  // plain t+1 sharded verification
+  cfg.log_slot_cap = 0;
+  return cfg;
+}
+
+ClusterConfig redbelly_cluster_config(std::size_t n, std::uint32_t batch,
+                                      std::uint64_t instances,
+                                      std::uint64_t seed) {
+  ClusterConfig cfg;
+  cfg.n = n;
+  cfg.base_delay = DelayModel::kAws;
+  cfg.replica = redbelly_replica_config(batch, instances);
+  cfg.seed = seed;
+  return cfg;
+}
+
+SbcBaselineResult run_redbelly(std::size_t n, std::uint32_t batch,
+                               std::uint64_t instances, std::uint64_t seed) {
+  Cluster cluster(redbelly_cluster_config(n, batch, instances, seed));
+  cluster.run(seconds(3600));
+  return collect(cluster);
+}
+
+SbcBaselineResult run_redbelly_under_attack(std::size_t n, AttackKind attack,
+                                            SimTime partition_delay_mean,
+                                            std::uint64_t seed) {
+  ClusterConfig cfg = redbelly_cluster_config(n, 20, 50, seed);
+  cfg.base_delay = DelayModel::kLan;
+  cfg.deceitful = (5 * n + 8) / 9 - 1;  // ⌈5n/9⌉ − 1
+  cfg.attack = attack;
+  cfg.attack_delay = DelayModel::kUniform;
+  cfg.attack_uniform_mean = partition_delay_mean;
+  Cluster cluster(cfg);
+  cluster.run(seconds(600));
+  return collect(cluster);
+}
+
+}  // namespace zlb::baselines

@@ -1,0 +1,54 @@
+// Red Belly Blockchain baseline (Crain, Natoli & Gramoli, IEEE S&P'21):
+// the same Set Byzantine Consensus superblock reduction as ZLB but with
+// NO accountability — votes carry no certificates, no PoF logging, no
+// confirmation phase, and transaction verification is sharded across
+// t+1 replicas instead of ZLB's attributable 2t+1. This makes it the
+// fastest of the evaluated systems (Fig. 3) and the upper bound on what
+// ZLB gives up for tolerance of f >= n/3: under a coalition attack Red
+// Belly forks and stays forked — there is nothing to cross-check and
+// nobody to exclude.
+#pragma once
+
+#include "zlb/cluster.hpp"
+
+namespace zlb::baselines {
+
+struct SbcBaselineResult {
+  double tx_per_sec = 0.0;
+  std::uint64_t txs_decided = 0;
+  SimTime makespan = 0;
+  /// Conflicting proposals decided by honest replicas (0 without attack).
+  std::size_t disagreements = 0;
+  /// fd = ⌈n/3⌉ PoFs gathered (always -1 for Red Belly: not accountable).
+  SimTime detect_time = -1;
+  /// Membership change completed (always false for both baselines).
+  bool recovered = false;
+  /// PoFs held by the first honest replica at the end of the run.
+  std::uint64_t pofs = 0;
+};
+
+/// Replica configuration of the Red Belly baseline: SBC with
+/// accountability, confirmation and recovery all off.
+[[nodiscard]] asmr::ReplicaConfig redbelly_replica_config(
+    std::uint32_t batch_tx_count, std::uint64_t instances);
+
+/// Full cluster configuration (fault-free throughput deployment).
+[[nodiscard]] ClusterConfig redbelly_cluster_config(std::size_t n,
+                                                    std::uint32_t batch,
+                                                    std::uint64_t instances,
+                                                    std::uint64_t seed);
+
+/// Fault-free throughput run (Fig. 3 conditions).
+[[nodiscard]] SbcBaselineResult run_redbelly(std::size_t n,
+                                             std::uint32_t batch,
+                                             std::uint64_t instances,
+                                             std::uint64_t seed);
+
+/// Coalition-attack run: d = ⌈5n/9⌉−1 colluders with a cross-partition
+/// delay overlay. Red Belly cannot detect or recover; the result's
+/// disagreements stay, detect_time stays -1.
+[[nodiscard]] SbcBaselineResult run_redbelly_under_attack(
+    std::size_t n, AttackKind attack, SimTime partition_delay_mean,
+    std::uint64_t seed);
+
+}  // namespace zlb::baselines

@@ -1,0 +1,90 @@
+#include "bm/block_manager.hpp"
+
+namespace zlb::bm {
+
+std::size_t BlockManager::commit_block(const chain::Block& block,
+                                       bool verify_sigs) {
+  std::size_t applied = 0;
+  for (const auto& tx : block.txs) {
+    const chain::TxId id = tx.id();
+    if (txs_.count(id) != 0) continue;
+    if (utxos_.apply(tx, verify_sigs) == chain::TxCheck::kOk) {
+      txs_.insert(id);
+      ++applied;
+    }
+  }
+  journal_block(block, store_.put(block));
+  return applied;
+}
+
+void BlockManager::merge_block(const chain::Block& block) {
+  // Alg. 2 lines 8-16.
+  for (const auto& tx : block.txs) {
+    if (txs_.count(tx.id()) != 0) continue;  // line 10: already known
+    commit_tx_merge(tx);                     // line 11
+    for (const auto& out : tx.outputs) {     // lines 12-14
+      if (is_punished(out.to)) punish_account(out.to);
+    }
+  }
+  refund_inputs();                          // line 15
+  journal_block(block, store_.put(block));  // line 16
+  ++stats_.merged_blocks;
+}
+
+void BlockManager::journal_block(const chain::Block& block, bool was_new) {
+  if (journal_ && was_new) journal_->append(block);
+}
+
+std::optional<std::size_t> BlockManager::open_journal(
+    const std::string& path) {
+  chain::Journal::ReplayStats stats;
+  auto journal = chain::Journal::open(
+      path, [this](const chain::Block& block) { merge_block(block); },
+      &stats);
+  if (!journal) return std::nullopt;
+  journal_ = std::move(*journal);
+  return stats.blocks;
+}
+
+void BlockManager::commit_tx_merge(const chain::Transaction& tx) {
+  // Alg. 2 lines 17-23.
+  for (const auto& in : tx.inputs) {
+    if (!utxos_.contains(in.prev)) {
+      // Not spendable: fund from the deposit (lines 20-22). The value
+      // comes from the referenced output when known, else from the
+      // signed declared input value.
+      const auto value = output_value(in.prev);
+      const chain::Amount v = value.value_or(in.value);
+      inputs_deposit_.emplace(in.prev, v);
+      deposit_ -= v;
+      stats_.deposit_spent += v;
+      ++stats_.conflicting_inputs;
+    } else {
+      utxos_.consume(in.prev);  // line 23: spendable, normal case
+    }
+  }
+  utxos_.insert_outputs(tx);
+  txs_.insert(tx.id());
+  ++stats_.merged_txs;
+}
+
+void BlockManager::refund_inputs() {
+  // Alg. 2 lines 24-28.
+  for (auto it = inputs_deposit_.begin(); it != inputs_deposit_.end();) {
+    if (utxos_.contains(it->first)) {
+      utxos_.consume(it->first);
+      deposit_ += it->second;
+      stats_.deposit_refunded += it->second;
+      it = inputs_deposit_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::optional<chain::Amount> BlockManager::output_value(
+    const chain::OutPoint& op) const {
+  return utxos_.value_of(op);
+}
+
+}  // namespace zlb::bm

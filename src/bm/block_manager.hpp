@@ -1,0 +1,96 @@
+// Blockchain Manager (§4.2): maintains the blockchain record Ω and,
+// when the ASMR reports a fork, *merges* the conflicting blocks instead
+// of discarding them (Alg. 2). Conflicting transaction inputs that are
+// no longer spendable are funded from the deposit of the deceitful
+// replicas (CommitTxMerge, line 17), and the deposit is refilled when
+// an input later becomes spendable again (RefundInputs, line 24).
+// Outputs reaching punished accounts stay punished.
+#pragma once
+
+#include <unordered_set>
+
+#include "chain/journal.hpp"
+#include "chain/store.hpp"
+#include "chain/utxo.hpp"
+
+namespace zlb::bm {
+
+struct MergeStats {
+  std::uint64_t merged_blocks = 0;
+  std::uint64_t merged_txs = 0;
+  std::uint64_t conflicting_inputs = 0;   ///< inputs funded from deposit
+  chain::Amount deposit_spent = 0;        ///< cumulative deposit outflow
+  chain::Amount deposit_refunded = 0;     ///< cumulative deposit refill
+};
+
+class BlockManager {
+ public:
+  /// Ω.deposit — coins staked by the consensus replicas (§B).
+  void fund_deposit(chain::Amount amount) { deposit_ += amount; }
+  [[nodiscard]] chain::Amount deposit() const { return deposit_; }
+
+  [[nodiscard]] chain::UtxoSet& utxos() { return utxos_; }
+  [[nodiscard]] const chain::UtxoSet& utxos() const { return utxos_; }
+  [[nodiscard]] chain::BlockStore& store() { return store_; }
+  [[nodiscard]] const chain::BlockStore& store() const { return store_; }
+
+  /// Marks an account as used by a deceitful replica (Alg. 2 line 13).
+  void punish_account(const chain::Address& a) { punished_.insert(a); }
+  [[nodiscard]] bool is_punished(const chain::Address& a) const {
+    return punished_.count(a) != 0;
+  }
+
+  /// Normal (agreed) commit path: validates and applies each
+  /// transaction in order; invalid ones are skipped. Returns the number
+  /// applied.
+  std::size_t commit_block(const chain::Block& block, bool verify_sigs = true);
+
+  /// Alg. 2: merge a conflicting block into Ω. Every not-yet-known
+  /// transaction is committed; inputs that are no longer spendable are
+  /// funded from the deposit; afterwards the deposit is refilled from
+  /// any inputs-deposit entries that became spendable, and the block is
+  /// stored.
+  void merge_block(const chain::Block& block);
+
+  /// Durability: opens (creating if absent) the journal at `path`,
+  /// replays every intact record into this manager through the MERGE
+  /// path — so recovered fork branches rebuild their deposit accounting
+  /// too — and keeps the journal attached: every block that newly
+  /// enters the store from then on is appended. Returns the number of
+  /// blocks replayed, or nullopt on I/O failure.
+  [[nodiscard]] std::optional<std::size_t> open_journal(
+      const std::string& path);
+  [[nodiscard]] bool journaling() const {
+    return journal_.has_value() && journal_->is_open();
+  }
+  [[nodiscard]] const chain::Journal* journal() const {
+    return journal_ ? &*journal_ : nullptr;
+  }
+
+  [[nodiscard]] bool knows_tx(const chain::TxId& id) const {
+    return txs_.count(id) != 0;
+  }
+  [[nodiscard]] const MergeStats& stats() const { return stats_; }
+
+  /// Looks up the value of any output ever committed (needed to price a
+  /// conflicting input whose UTXO was already consumed).
+  [[nodiscard]] std::optional<chain::Amount> output_value(
+      const chain::OutPoint& op) const;
+
+ private:
+  void commit_tx_merge(const chain::Transaction& tx);
+  void refund_inputs();
+  void journal_block(const chain::Block& block, bool was_new);
+
+  std::optional<chain::Journal> journal_;
+  chain::UtxoSet utxos_;
+  chain::BlockStore store_;
+  chain::Amount deposit_ = 0;
+  // Ω.inputs-deposit: inputs funded from the deposit, with their value.
+  std::map<chain::OutPoint, chain::Amount> inputs_deposit_;
+  std::unordered_set<chain::Address, chain::AddressHasher> punished_;
+  std::unordered_set<chain::TxId, crypto::Hash32Hasher> txs_;
+  MergeStats stats_;
+};
+
+}  // namespace zlb::bm

@@ -1,0 +1,73 @@
+#include "chain/block.hpp"
+
+namespace zlb::chain {
+
+Bytes Block::serialize() const {
+  Writer w;
+  w.u64(index);
+  w.u32(slot);
+  w.u32(proposer);
+  w.varint(txs.size());
+  for (const auto& tx : txs) tx.encode(w);
+  return w.take();
+}
+
+Block Block::deserialize(Reader& r) {
+  Block b;
+  b.index = r.u64();
+  b.slot = r.u32();
+  b.proposer = r.u32();
+  const std::uint64_t n = r.varint();
+  if (n > 1u << 20) throw DecodeError("Block: too many transactions");
+  b.txs.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    b.txs.push_back(Transaction::deserialize(r));
+  }
+  return b;
+}
+
+BlockId Block::id() const {
+  const Bytes ser = serialize();
+  return crypto::sha256d(BytesView(ser.data(), ser.size()));
+}
+
+void ProposalRef::encode(Writer& w) const {
+  w.raw(BytesView(digest.data(), digest.size()));
+  w.u32(tx_count);
+  w.u64(wire_size);
+}
+
+ProposalRef ProposalRef::decode(Reader& r) {
+  ProposalRef ref;
+  const Bytes d = r.raw(32);
+  std::copy(d.begin(), d.end(), ref.digest.begin());
+  ref.tx_count = r.u32();
+  ref.wire_size = r.u64();
+  return ref;
+}
+
+ProposalRef ref_of(const Block& b) {
+  ProposalRef ref;
+  ref.digest = b.id();
+  ref.tx_count = static_cast<std::uint32_t>(b.txs.size());
+  ref.wire_size = b.wire_size();
+  return ref;
+}
+
+ProposalRef synthetic_ref(ReplicaId proposer, InstanceId index,
+                          std::uint32_t tx_count, std::uint32_t avg_tx_bytes,
+                          std::uint64_t tag) {
+  Writer w;
+  w.string("zlb-synthetic-batch");
+  w.u32(proposer);
+  w.u64(index);
+  w.u32(tx_count);
+  w.u64(tag);
+  ProposalRef ref;
+  ref.digest = crypto::sha256(BytesView(w.data().data(), w.data().size()));
+  ref.tx_count = tx_count;
+  ref.wire_size = static_cast<std::uint64_t>(tx_count) * avg_tx_bytes + 64;
+  return ref;
+}
+
+}  // namespace zlb::chain

@@ -1,0 +1,54 @@
+// Blocks and proposal references. A Block carries real transactions
+// (functional runs: examples, merge tests). A ProposalRef is the
+// metadata consensus actually moves around at benchmark scale — digest,
+// tx count and wire size — so that simulating 10k-transaction batches
+// does not require materializing 4 MB of payload per message; the
+// network still charges the full wire size.
+#pragma once
+
+#include <vector>
+
+#include "chain/tx.hpp"
+#include "common/types.hpp"
+
+namespace zlb::chain {
+
+using BlockId = crypto::Hash32;
+
+struct Block {
+  InstanceId index = 0;      ///< consensus instance Γ_k that decided it
+  std::uint32_t slot = 0;    ///< proposer slot inside the instance
+  ReplicaId proposer = 0;
+  std::vector<Transaction> txs;
+
+  [[nodiscard]] Bytes serialize() const;
+  [[nodiscard]] static Block deserialize(Reader& r);
+  [[nodiscard]] BlockId id() const;
+  [[nodiscard]] std::size_t wire_size() const { return serialize().size(); }
+};
+
+/// What the consensus layer agrees on: a reference to a batch.
+struct ProposalRef {
+  crypto::Hash32 digest{};      ///< block id (or synthetic batch digest)
+  std::uint32_t tx_count = 0;
+  std::uint64_t wire_size = 0;  ///< bytes the batch occupies on the wire
+
+  void encode(Writer& w) const;
+  [[nodiscard]] static ProposalRef decode(Reader& r);
+  friend bool operator==(const ProposalRef& a, const ProposalRef& b) {
+    return a.digest == b.digest && a.tx_count == b.tx_count &&
+           a.wire_size == b.wire_size;
+  }
+};
+
+/// ProposalRef for a real block.
+[[nodiscard]] ProposalRef ref_of(const Block& b);
+
+/// Synthetic batch reference for simulation-scale workloads: `tag`
+/// disambiguates equivocating variants of the "same" proposal.
+[[nodiscard]] ProposalRef synthetic_ref(ReplicaId proposer, InstanceId index,
+                                        std::uint32_t tx_count,
+                                        std::uint32_t avg_tx_bytes,
+                                        std::uint64_t tag = 0);
+
+}  // namespace zlb::chain

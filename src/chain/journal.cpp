@@ -1,0 +1,158 @@
+#include "chain/journal.hpp"
+
+#include <array>
+#include <cstring>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace zlb::chain {
+
+namespace {
+
+constexpr std::uint32_t kRecordMagic = 0x5a4c424a;  // "ZLBJ"
+constexpr std::size_t kHeaderBytes = 12;
+constexpr std::size_t kMaxRecordBytes = 256u << 20;
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) != 0 ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+void put_u32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v & 0xff);
+  p[1] = static_cast<std::uint8_t>((v >> 8) & 0xff);
+  p[2] = static_cast<std::uint8_t>((v >> 16) & 0xff);
+  p[3] = static_cast<std::uint8_t>((v >> 24) & 0xff);
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+std::uint32_t crc32(BytesView data) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = 0xffffffffu;
+  for (const std::uint8_t byte : data) {
+    c = table[(c ^ byte) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+Journal::Journal(Journal&& o) noexcept
+    : file_(std::exchange(o.file_, nullptr)),
+      path_(std::move(o.path_)),
+      appended_(o.appended_) {}
+
+Journal& Journal::operator=(Journal&& o) noexcept {
+  if (this != &o) {
+    close();
+    file_ = std::exchange(o.file_, nullptr);
+    path_ = std::move(o.path_);
+    appended_ = o.appended_;
+  }
+  return *this;
+}
+
+std::optional<Journal> Journal::open(
+    const std::string& path, const std::function<void(const Block&)>& sink,
+    ReplayStats* stats) {
+  // "a+b" creates if missing; we reopen in r+b afterwards to control
+  // the write position explicitly.
+  std::FILE* touch = std::fopen(path.c_str(), "ab");
+  if (touch == nullptr) return std::nullopt;
+  std::fclose(touch);
+
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  if (f == nullptr) return std::nullopt;
+
+  // Replay: read records until EOF or damage.
+  std::size_t good_end = 0;
+  std::size_t blocks = 0;
+  for (;;) {
+    std::uint8_t header[kHeaderBytes];
+    const std::size_t got = std::fread(header, 1, kHeaderBytes, f);
+    if (got < kHeaderBytes) break;  // clean EOF or torn header
+    const std::uint32_t magic = get_u32(header);
+    const std::uint32_t len = get_u32(header + 4);
+    const std::uint32_t crc = get_u32(header + 8);
+    if (magic != kRecordMagic || len > kMaxRecordBytes) break;
+
+    Bytes payload(len);
+    if (std::fread(payload.data(), 1, len, f) < len) break;  // torn body
+    if (crc32(BytesView(payload.data(), payload.size())) != crc) break;
+    try {
+      Reader r(BytesView(payload.data(), payload.size()));
+      const Block block = Block::deserialize(r);
+      sink(block);
+    } catch (const DecodeError&) {
+      break;  // structurally corrupt: treat like a torn record
+    }
+    blocks += 1;
+    good_end += kHeaderBytes + len;
+  }
+
+  // Truncate any damaged tail and position for appending.
+  std::fseek(f, 0, SEEK_END);
+  const auto file_size = static_cast<std::size_t>(std::ftell(f));
+  if (stats != nullptr) {
+    stats->blocks = blocks;
+    stats->truncated_bytes = file_size - good_end;
+  }
+  if (file_size > good_end) {
+#if defined(__unix__) || defined(__APPLE__)
+    if (::ftruncate(::fileno(f), static_cast<off_t>(good_end)) != 0) {
+      std::fclose(f);
+      return std::nullopt;
+    }
+#endif
+  }
+  std::fseek(f, static_cast<long>(good_end), SEEK_SET);
+
+  Journal j;
+  j.file_ = f;
+  j.path_ = path;
+  return j;
+}
+
+bool Journal::append(const Block& block) {
+  if (file_ == nullptr) return false;
+  const Bytes payload = block.serialize();
+  std::uint8_t header[kHeaderBytes];
+  put_u32(header, kRecordMagic);
+  put_u32(header + 4, static_cast<std::uint32_t>(payload.size()));
+  put_u32(header + 8, crc32(BytesView(payload.data(), payload.size())));
+  if (std::fwrite(header, 1, kHeaderBytes, file_) < kHeaderBytes) return false;
+  if (std::fwrite(payload.data(), 1, payload.size(), file_) < payload.size()) {
+    return false;
+  }
+  appended_ += 1;
+  return sync();
+}
+
+bool Journal::sync() {
+  return file_ != nullptr && std::fflush(file_) == 0;
+}
+
+void Journal::close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+}  // namespace zlb::chain

@@ -1,0 +1,36 @@
+#include "chain/mempool.hpp"
+
+namespace zlb::chain {
+
+bool Mempool::add(const Transaction& tx) {
+  const TxId id = tx.id();
+  if (!known_.insert(id).second) return false;
+  queue_.push_back(tx);
+  return true;
+}
+
+std::vector<Transaction> Mempool::take_batch(std::size_t max) {
+  std::vector<Transaction> out;
+  while (!queue_.empty() && out.size() < max) {
+    out.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  for (const auto& tx : out) known_.erase(tx.id());
+  return out;
+}
+
+void Mempool::remove_committed(
+    const std::unordered_set<TxId, crypto::Hash32Hasher>& committed) {
+  std::deque<Transaction> kept;
+  for (auto& tx : queue_) {
+    const TxId id = tx.id();
+    if (committed.count(id) != 0) {
+      known_.erase(id);
+    } else {
+      kept.push_back(std::move(tx));
+    }
+  }
+  queue_ = std::move(kept);
+}
+
+}  // namespace zlb::chain

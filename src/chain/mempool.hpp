@@ -1,0 +1,33 @@
+// FIFO mempool with id-based deduplication; replicas batch from here
+// when proposing (§4: "when sufficiently many payment requests have
+// been received, the BM issues a batch of requests to the ASMR").
+#pragma once
+
+#include <deque>
+#include <unordered_set>
+
+#include "chain/tx.hpp"
+
+namespace zlb::chain {
+
+class Mempool {
+ public:
+  /// Returns false if the tx was already known.
+  bool add(const Transaction& tx);
+
+  /// Removes and returns up to `max` transactions.
+  [[nodiscard]] std::vector<Transaction> take_batch(std::size_t max);
+
+  /// Drops any pending transaction whose id is in `committed`.
+  void remove_committed(
+      const std::unordered_set<TxId, crypto::Hash32Hasher>& committed);
+
+  [[nodiscard]] std::size_t size() const { return queue_.size(); }
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+
+ private:
+  std::deque<Transaction> queue_;
+  std::unordered_set<TxId, crypto::Hash32Hasher> known_;
+};
+
+}  // namespace zlb::chain

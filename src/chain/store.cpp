@@ -1,0 +1,33 @@
+#include "chain/store.hpp"
+
+namespace zlb::chain {
+
+bool BlockStore::put(Block block) {
+  const BlockId id = block.id();
+  if (by_id_.count(id) != 0) return false;
+  by_index_[block.index].push_back(id);
+  by_id_.emplace(id, std::move(block));
+  return true;
+}
+
+const Block* BlockStore::get(const BlockId& id) const {
+  const auto it = by_id_.find(id);
+  return it == by_id_.end() ? nullptr : &it->second;
+}
+
+std::vector<BlockId> BlockStore::at_index(InstanceId k) const {
+  const auto it = by_index_.find(k);
+  if (it == by_index_.end()) return {};
+  return it->second;
+}
+
+std::size_t BlockStore::branches_at(InstanceId k) const {
+  const auto it = by_index_.find(k);
+  return it == by_index_.end() ? 0 : it->second.size();
+}
+
+InstanceId BlockStore::max_index() const {
+  return by_index_.empty() ? 0 : by_index_.rbegin()->first;
+}
+
+}  // namespace zlb::chain

@@ -1,0 +1,36 @@
+// Block store: blocks indexed by id and by consensus instance. Under
+// disagreement one instance can (transiently) hold several blocks —
+// the branches of the fork that the Blockchain Manager later merges.
+#pragma once
+
+#include <map>
+#include <unordered_map>
+
+#include "chain/block.hpp"
+
+namespace zlb::chain {
+
+class BlockStore {
+ public:
+  /// Inserts (idempotent). Returns true if the block was new.
+  bool put(Block block);
+
+  [[nodiscard]] const Block* get(const BlockId& id) const;
+  [[nodiscard]] bool contains(const BlockId& id) const {
+    return by_id_.count(id) != 0;
+  }
+
+  /// All block ids decided at instance `k` (fork branches included).
+  [[nodiscard]] std::vector<BlockId> at_index(InstanceId k) const;
+  /// Number of distinct blocks at `k` (>1 means a fork at that index).
+  [[nodiscard]] std::size_t branches_at(InstanceId k) const;
+
+  [[nodiscard]] std::size_t size() const { return by_id_.size(); }
+  [[nodiscard]] InstanceId max_index() const;
+
+ private:
+  std::unordered_map<BlockId, Block, crypto::Hash32Hasher> by_id_;
+  std::map<InstanceId, std::vector<BlockId>> by_index_;
+};
+
+}  // namespace zlb::chain

@@ -1,0 +1,120 @@
+#include "chain/tx.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace zlb::chain {
+
+Address Address::of(const crypto::PublicKey& pub) {
+  const crypto::Hash32 h =
+      crypto::sha256(BytesView(pub.data.data(), pub.data.size()));
+  Address a;
+  std::copy(h.begin(), h.begin() + 20, a.data.begin());
+  return a;
+}
+
+crypto::Hash32 Transaction::body_digest() const {
+  Writer w;
+  w.u64(seq);
+  w.varint(inputs.size());
+  for (const auto& in : inputs) {
+    w.raw(BytesView(in.prev.txid.data(), in.prev.txid.size()));
+    w.u32(in.prev.index);
+    w.i64(in.value);
+    w.raw(BytesView(in.pubkey.data.data(), in.pubkey.data.size()));
+  }
+  w.varint(outputs.size());
+  for (const auto& out : outputs) {
+    w.i64(out.value);
+    w.raw(BytesView(out.to.data.data(), out.to.data.size()));
+  }
+  return crypto::sha256(BytesView(w.data().data(), w.data().size()));
+}
+
+void Transaction::encode(Writer& w) const {
+  w.u64(seq);
+  w.varint(inputs.size());
+  for (const auto& in : inputs) {
+    w.raw(BytesView(in.prev.txid.data(), in.prev.txid.size()));
+    w.u32(in.prev.index);
+    w.i64(in.value);
+    w.raw(BytesView(in.pubkey.data.data(), in.pubkey.data.size()));
+    w.raw(BytesView(in.sig.data(), in.sig.size()));
+  }
+  w.varint(outputs.size());
+  for (const auto& out : outputs) {
+    w.i64(out.value);
+    w.raw(BytesView(out.to.data.data(), out.to.data.size()));
+  }
+}
+
+Bytes Transaction::serialize() const {
+  Writer w;
+  encode(w);
+  return w.take();
+}
+
+Transaction Transaction::deserialize(Reader& r) {
+  Transaction tx;
+  tx.seq = r.u64();
+  const std::uint64_t n_in = r.varint();
+  if (n_in > 1024) throw DecodeError("Transaction: too many inputs");
+  tx.inputs.reserve(n_in);
+  for (std::uint64_t i = 0; i < n_in; ++i) {
+    TxIn in;
+    const Bytes txid = r.raw(32);
+    std::copy(txid.begin(), txid.end(), in.prev.txid.begin());
+    in.prev.index = r.u32();
+    in.value = r.i64();
+    const Bytes pk = r.raw(33);
+    std::copy(pk.begin(), pk.end(), in.pubkey.data.begin());
+    const Bytes sig = r.raw(64);
+    std::copy(sig.begin(), sig.end(), in.sig.begin());
+    tx.inputs.push_back(in);
+  }
+  const std::uint64_t n_out = r.varint();
+  if (n_out > 1024) throw DecodeError("Transaction: too many outputs");
+  tx.outputs.reserve(n_out);
+  for (std::uint64_t i = 0; i < n_out; ++i) {
+    TxOut out;
+    out.value = r.i64();
+    const Bytes addr = r.raw(20);
+    std::copy(addr.begin(), addr.end(), out.to.data.begin());
+    tx.outputs.push_back(out);
+  }
+  return tx;
+}
+
+TxId Transaction::id() const {
+  const Bytes ser = serialize();
+  return crypto::sha256d(BytesView(ser.data(), ser.size()));
+}
+
+Amount Transaction::total_out() const {
+  Amount sum = 0;
+  for (const auto& out : outputs) sum += out.value;
+  return sum;
+}
+
+bool Transaction::well_formed() const {
+  if (inputs.empty() || outputs.empty()) return false;
+  for (const auto& out : outputs) {
+    if (out.value <= 0) return false;
+  }
+  std::set<OutPoint> seen;
+  for (const auto& in : inputs) {
+    if (!seen.insert(in.prev).second) return false;  // duplicate input
+  }
+  return true;
+}
+
+bool conflicts(const Transaction& a, const Transaction& b) {
+  for (const auto& ia : a.inputs) {
+    for (const auto& ib : b.inputs) {
+      if (ia.prev == ib.prev) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace zlb::chain

@@ -1,0 +1,106 @@
+// Bitcoin-style UTXO transactions (§4.2.2): inputs consume unspent
+// outputs, outputs credit addresses; every input is ECDSA-signed over
+// the transaction body. Serialized transactions are ~400 bytes, as in
+// the paper's workload.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/serde.hpp"
+#include "crypto/ecdsa.hpp"
+#include "crypto/sha256.hpp"
+
+namespace zlb::chain {
+
+using Amount = std::int64_t;
+using TxId = crypto::Hash32;
+
+/// 20-byte account address: the truncated SHA-256 of the compressed
+/// public key.
+struct Address {
+  std::array<std::uint8_t, 20> data{};
+
+  [[nodiscard]] static Address of(const crypto::PublicKey& pub);
+  [[nodiscard]] std::string hex() const {
+    return to_hex(BytesView(data.data(), data.size()));
+  }
+  friend bool operator==(const Address& a, const Address& b) {
+    return a.data == b.data;
+  }
+  friend bool operator<(const Address& a, const Address& b) {
+    return a.data < b.data;
+  }
+};
+
+struct AddressHasher {
+  std::size_t operator()(const Address& a) const noexcept {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v = (v << 8) | a.data[static_cast<std::size_t>(i)];
+    return static_cast<std::size_t>(v);
+  }
+};
+
+/// Reference to a previous transaction output.
+struct OutPoint {
+  TxId txid{};
+  std::uint32_t index = 0;
+
+  friend bool operator==(const OutPoint& a, const OutPoint& b) {
+    return a.index == b.index && a.txid == b.txid;
+  }
+  friend bool operator<(const OutPoint& a, const OutPoint& b) {
+    if (a.txid != b.txid) return a.txid < b.txid;
+    return a.index < b.index;
+  }
+};
+
+struct OutPointHasher {
+  std::size_t operator()(const OutPoint& o) const noexcept {
+    return crypto::Hash32Hasher{}(o.txid) ^ (o.index * 0x9e3779b9u);
+  }
+};
+
+struct TxIn {
+  OutPoint prev{};
+  Amount value = 0;                     ///< declared value of the consumed
+                                        ///< output (signed; checked against
+                                        ///< the UTXO — Alg. 2 needs it to
+                                        ///< price conflicts)
+  crypto::PublicKey pubkey{};           ///< key owning the consumed output
+  std::array<std::uint8_t, 64> sig{};   ///< signature over the body digest
+};
+
+struct TxOut {
+  Amount value = 0;
+  Address to{};
+};
+
+class Transaction {
+ public:
+  std::uint64_t seq = 0;  ///< per-issuer strictly monotonic sequence number
+  std::vector<TxIn> inputs;
+  std::vector<TxOut> outputs;
+
+  /// Digest of everything except the input signatures (what gets signed).
+  [[nodiscard]] crypto::Hash32 body_digest() const;
+  /// Transaction id: double-SHA-256 of the full serialization.
+  [[nodiscard]] TxId id() const;
+  [[nodiscard]] Bytes serialize() const;
+  [[nodiscard]] static Transaction deserialize(Reader& r);
+  [[nodiscard]] std::size_t wire_size() const { return serialize().size(); }
+
+  [[nodiscard]] Amount total_out() const;
+
+  /// Structural checks only (non-empty, positive amounts, no duplicate
+  /// inputs); UTXO existence and signatures are checked by the UtxoSet.
+  [[nodiscard]] bool well_formed() const;
+
+  void encode(Writer& w) const;
+};
+
+/// Two transactions conflict iff they consume a common outpoint.
+[[nodiscard]] bool conflicts(const Transaction& a, const Transaction& b);
+
+}  // namespace zlb::chain

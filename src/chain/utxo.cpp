@@ -1,0 +1,104 @@
+#include "chain/utxo.hpp"
+
+#include <algorithm>
+
+namespace zlb::chain {
+
+const char* to_string(TxCheck c) {
+  switch (c) {
+    case TxCheck::kOk: return "ok";
+    case TxCheck::kMalformed: return "malformed";
+    case TxCheck::kMissingInput: return "missing-input";
+    case TxCheck::kWrongOwner: return "wrong-owner";
+    case TxCheck::kBadSignature: return "bad-signature";
+    case TxCheck::kOverspend: return "overspend";
+    case TxCheck::kValueMismatch: return "value-mismatch";
+  }
+  return "?";
+}
+
+OutPoint UtxoSet::mint(const Address& to, Amount value) {
+  // Synthesize a unique outpoint from a counter-based pseudo txid.
+  Writer w;
+  w.string("zlb-genesis-mint");
+  w.u64(mint_counter_++);
+  OutPoint op;
+  op.txid = crypto::sha256(BytesView(w.data().data(), w.data().size()));
+  op.index = 0;
+  table_[op] = TxOut{value, to};
+  ever_[op] = value;
+  return op;
+}
+
+std::optional<TxOut> UtxoSet::get(const OutPoint& op) const {
+  const auto it = table_.find(op);
+  if (it == table_.end()) return std::nullopt;
+  return it->second;
+}
+
+TxCheck UtxoSet::check(const Transaction& tx, bool verify_sigs) const {
+  if (!tx.well_formed()) return TxCheck::kMalformed;
+  const crypto::Hash32 digest = tx.body_digest();
+  Amount sum_in = 0;
+  for (const auto& in : tx.inputs) {
+    const auto it = table_.find(in.prev);
+    if (it == table_.end()) return TxCheck::kMissingInput;
+    if (!(Address::of(in.pubkey) == it->second.to)) {
+      return TxCheck::kWrongOwner;
+    }
+    if (in.value != it->second.value) return TxCheck::kValueMismatch;
+    if (verify_sigs) {
+      const auto sig =
+          crypto::Signature::from_bytes(BytesView(in.sig.data(), 64));
+      if (!sig || !crypto::verify_digest(in.pubkey, digest, *sig)) {
+        return TxCheck::kBadSignature;
+      }
+    }
+    sum_in += it->second.value;
+  }
+  if (tx.total_out() > sum_in) return TxCheck::kOverspend;
+  return TxCheck::kOk;
+}
+
+TxCheck UtxoSet::apply(const Transaction& tx, bool verify_sigs) {
+  const TxCheck result = check(tx, verify_sigs);
+  if (result != TxCheck::kOk) return result;
+  for (const auto& in : tx.inputs) table_.erase(in.prev);
+  insert_outputs(tx);
+  return TxCheck::kOk;
+}
+
+void UtxoSet::insert_outputs(const Transaction& tx) {
+  const TxId txid = tx.id();
+  for (std::uint32_t i = 0; i < tx.outputs.size(); ++i) {
+    table_[OutPoint{txid, i}] = tx.outputs[i];
+    ever_[OutPoint{txid, i}] = tx.outputs[i].value;
+  }
+}
+
+std::optional<Amount> UtxoSet::value_of(const OutPoint& op) const {
+  const auto it = ever_.find(op);
+  if (it == ever_.end()) return std::nullopt;
+  return it->second;
+}
+
+Amount UtxoSet::balance(const Address& a) const {
+  Amount sum = 0;
+  for (const auto& [op, out] : table_) {
+    if (out.to == a) sum += out.value;
+  }
+  return sum;
+}
+
+std::vector<std::pair<OutPoint, TxOut>> UtxoSet::owned_by(
+    const Address& a) const {
+  std::vector<std::pair<OutPoint, TxOut>> out;
+  for (const auto& [op, txo] : table_) {
+    if (txo.to == a) out.emplace_back(op, txo);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& x, const auto& y) { return x.first < y.first; });
+  return out;
+}
+
+}  // namespace zlb::chain

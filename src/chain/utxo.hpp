@@ -1,0 +1,66 @@
+// In-memory UTXO table (§4.2.2): the balance of every account lives in
+// unspent outputs; applying a transaction consumes its inputs and
+// produces its outputs. Kept deliberately compact for in-memory
+// execution, as the paper describes.
+#pragma once
+
+#include <unordered_map>
+
+#include "chain/tx.hpp"
+
+namespace zlb::chain {
+
+enum class TxCheck {
+  kOk,
+  kMalformed,
+  kMissingInput,   ///< input not in the UTXO set (spent or never existed)
+  kWrongOwner,     ///< pubkey does not hash to the output's address
+  kBadSignature,
+  kOverspend,      ///< outputs exceed inputs
+  kValueMismatch,  ///< declared input value differs from the UTXO
+};
+
+[[nodiscard]] const char* to_string(TxCheck c);
+
+class UtxoSet {
+ public:
+  /// Mints a genesis output directly (no signature).
+  OutPoint mint(const Address& to, Amount value);
+
+  [[nodiscard]] bool contains(const OutPoint& op) const {
+    return table_.count(op) != 0;
+  }
+  [[nodiscard]] std::optional<TxOut> get(const OutPoint& op) const;
+
+  /// Full validation against the current table; `verify_sigs` can be
+  /// disabled when signatures were already checked upstream.
+  [[nodiscard]] TxCheck check(const Transaction& tx,
+                              bool verify_sigs = true) const;
+
+  /// check() then consume inputs / insert outputs. Returns the result of
+  /// check(); the set is untouched unless kOk.
+  TxCheck apply(const Transaction& tx, bool verify_sigs = true);
+
+  /// Consumes one outpoint unconditionally (merge path, Alg. 2 line 23).
+  void consume(const OutPoint& op) { table_.erase(op); }
+  /// Inserts outputs of `tx` unconditionally (merge path).
+  void insert_outputs(const Transaction& tx);
+
+  [[nodiscard]] Amount balance(const Address& a) const;
+  [[nodiscard]] std::size_t size() const { return table_.size(); }
+
+  /// Outpoints owned by `a` (sorted for determinism).
+  [[nodiscard]] std::vector<std::pair<OutPoint, TxOut>> owned_by(
+      const Address& a) const;
+
+  /// Value of any output ever created (live or spent). Needed by the
+  /// Blockchain Manager to price conflicting inputs (Alg. 2 line 22).
+  [[nodiscard]] std::optional<Amount> value_of(const OutPoint& op) const;
+
+ private:
+  std::unordered_map<OutPoint, TxOut, OutPointHasher> table_;
+  std::unordered_map<OutPoint, Amount, OutPointHasher> ever_;
+  std::uint64_t mint_counter_ = 0;
+};
+
+}  // namespace zlb::chain

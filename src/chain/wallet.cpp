@@ -1,0 +1,51 @@
+#include "chain/wallet.hpp"
+
+#include <algorithm>
+
+namespace zlb::chain {
+
+std::optional<Transaction> Wallet::pay(const UtxoSet& utxos, const Address& to,
+                                       Amount value) {
+  auto coins = utxos.owned_by(address_);
+  std::sort(coins.begin(), coins.end(), [](const auto& a, const auto& b) {
+    return a.second.value < b.second.value;
+  });
+  std::vector<std::pair<OutPoint, TxOut>> selected;
+  Amount gathered = 0;
+  for (const auto& coin : coins) {
+    selected.push_back(coin);
+    gathered += coin.second.value;
+    if (gathered >= value) break;
+  }
+  if (gathered < value) return std::nullopt;
+  return pay_from(selected, to, value);
+}
+
+Transaction Wallet::pay_from(
+    const std::vector<std::pair<OutPoint, TxOut>>& coins, const Address& to,
+    Amount value) {
+  Transaction tx;
+  tx.seq = next_seq_++;
+  Amount gathered = 0;
+  for (const auto& [op, txo] : coins) {
+    TxIn in;
+    in.prev = op;
+    in.value = txo.value;
+    in.pubkey = pub_;
+    tx.inputs.push_back(in);
+    gathered += txo.value;
+  }
+  tx.outputs.push_back(TxOut{value, to});
+  if (gathered > value) {
+    tx.outputs.push_back(TxOut{gathered - value, address_});
+  }
+  const crypto::Hash32 digest = tx.body_digest();
+  const crypto::Signature sig = key_.sign_digest(digest);
+  const auto raw = sig.to_bytes();
+  for (auto& in : tx.inputs) {
+    std::copy(raw.begin(), raw.end(), in.sig.begin());
+  }
+  return tx;
+}
+
+}  // namespace zlb::chain

@@ -1,0 +1,41 @@
+// Client-side wallet: owns a key, tracks spendable outpoints and builds
+// signed payments. Also the tool the examples use to attempt double
+// spends (two conflicting transactions consuming the same outpoint from
+// different "devices", which ZLB's permissionless client model allows).
+#pragma once
+
+#include "chain/utxo.hpp"
+
+namespace zlb::chain {
+
+class Wallet {
+ public:
+  explicit Wallet(BytesView seed)
+      : key_(crypto::PrivateKey::from_seed(seed)),
+        pub_(key_.public_key()),
+        address_(Address::of(pub_)) {}
+
+  [[nodiscard]] const Address& address() const { return address_; }
+  [[nodiscard]] const crypto::PublicKey& public_key() const { return pub_; }
+
+  /// Builds a signed payment of `value` to `to`, consuming the wallet's
+  /// outpoints as recorded in `utxos` (greedy smallest-first) and
+  /// returning change to self. nullopt if funds are insufficient.
+  [[nodiscard]] std::optional<Transaction> pay(const UtxoSet& utxos,
+                                               const Address& to,
+                                               Amount value);
+
+  /// Builds a payment spending exactly the given outpoints (lets tests
+  /// construct deliberately conflicting transactions).
+  [[nodiscard]] Transaction pay_from(
+      const std::vector<std::pair<OutPoint, TxOut>>& coins, const Address& to,
+      Amount value);
+
+ private:
+  crypto::PrivateKey key_;
+  crypto::PublicKey pub_;
+  Address address_;
+  std::uint64_t next_seq_ = 1;
+};
+
+}  // namespace zlb::chain

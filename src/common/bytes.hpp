@@ -1,0 +1,35 @@
+// Byte-buffer primitives shared by every module: the `Bytes` alias, hex
+// encoding/decoding and small helpers for concatenation and comparison.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace zlb {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+/// Lowercase hex encoding of `data` ("" for empty input).
+[[nodiscard]] std::string to_hex(BytesView data);
+
+/// Parses lowercase/uppercase hex; throws std::invalid_argument on odd
+/// length or non-hex characters.
+[[nodiscard]] Bytes from_hex(std::string_view hex);
+
+/// Appends `src` to `dst`.
+void append(Bytes& dst, BytesView src);
+
+/// Concatenates any number of buffers into a fresh one.
+[[nodiscard]] Bytes concat(std::initializer_list<BytesView> parts);
+
+/// Constant-size lexicographic comparison helper (returns <0, 0, >0).
+[[nodiscard]] int compare(BytesView a, BytesView b);
+
+/// Converts a string literal/body into bytes (no NUL terminator).
+[[nodiscard]] Bytes to_bytes(std::string_view s);
+
+}  // namespace zlb

@@ -1,0 +1,61 @@
+// Deterministic random number generation for the simulator and the
+// workload generators. xoshiro256** seeded through splitmix64, plus the
+// samplers the evaluation needs: uniform reals/ints, exponential and
+// Gamma (Marsaglia–Tsang) — the latter models internet delay tails as in
+// the paper's Gamma-distributed link delays.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace zlb {
+
+/// splitmix64 step; also handy as a cheap 64-bit mixer/hash.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Mixes a single value (stateless convenience).
+[[nodiscard]] std::uint64_t mix64(std::uint64_t v);
+
+/// Deterministic xoshiro256** engine. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0xdecafbadULL);
+
+  [[nodiscard]] static constexpr result_type min() { return 0; }
+  [[nodiscard]] static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return next(); }
+
+  std::uint64_t next();
+  /// Uniform in [0, bound) without modulo bias (bound > 0).
+  std::uint64_t next_below(std::uint64_t bound);
+  /// Uniform double in [0, 1).
+  double next_double();
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  /// Standard normal via Box–Muller (no cached spare; deterministic).
+  double normal();
+  /// Exponential with the given mean.
+  double exponential(double mean);
+  /// Gamma(shape k, scale theta) via Marsaglia–Tsang; k > 0, theta > 0.
+  double gamma(double shape, double scale);
+  /// Fork a statistically independent child stream.
+  [[nodiscard]] Rng fork();
+
+  template <typename Container>
+  void shuffle(Container& c) {
+    for (std::size_t i = c.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(c[i - 1], c[j]);
+    }
+  }
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace zlb

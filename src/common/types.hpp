@@ -1,0 +1,33 @@
+// Shared identifier and time types. Simulated time is an integer count
+// of microseconds so that event ordering is exact and runs replay
+// identically from a seed.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace zlb {
+
+/// Index of a replica inside the current committee universe. Replica ids
+/// are stable for the lifetime of a run (exclusions remove ids from the
+/// committee; pool nodes get fresh ids).
+using ReplicaId = std::uint32_t;
+
+/// Consensus instance index (the paper's Γ_k).
+using InstanceId = std::uint64_t;
+
+/// Simulated time in microseconds.
+using SimTime = std::int64_t;
+
+constexpr SimTime kSimTimeMax = std::numeric_limits<SimTime>::max();
+
+constexpr SimTime us(std::int64_t v) { return v; }
+constexpr SimTime ms(std::int64_t v) { return v * 1000; }
+constexpr SimTime seconds(double v) {
+  return static_cast<SimTime>(v * 1e6);
+}
+
+constexpr double to_seconds(SimTime t) { return static_cast<double>(t) / 1e6; }
+constexpr double to_ms(SimTime t) { return static_cast<double>(t) / 1e3; }
+
+}  // namespace zlb

@@ -1,0 +1,91 @@
+// Committee bookkeeping. Thresholds follow the paper: t(n) = ⌊(n−1)/3⌋
+// tolerable Byzantine faults, quorum n − t(n), and the Alg. 1 exclusion
+// threshold ⌈2n/3⌉. The exclusion consensus shrinks its committee at
+// runtime (Alg. 1 lines 23–25); `version()` lets listeners re-check
+// thresholds cheaply after every shrink.
+#pragma once
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace zlb::consensus {
+
+class Committee {
+ public:
+  Committee() = default;
+  explicit Committee(std::vector<ReplicaId> members) {
+    reset(std::move(members));
+  }
+
+  void reset(std::vector<ReplicaId> members) {
+    members_ = std::move(members);
+    std::sort(members_.begin(), members_.end());
+    members_.erase(std::unique(members_.begin(), members_.end()),
+                   members_.end());
+    set_ = {members_.begin(), members_.end()};
+    ++version_;
+  }
+
+  [[nodiscard]] const std::vector<ReplicaId>& members() const {
+    return members_;
+  }
+  [[nodiscard]] std::size_t size() const { return members_.size(); }
+  [[nodiscard]] bool contains(ReplicaId id) const {
+    return set_.count(id) != 0;
+  }
+  /// Slot (proposer index) of a member; -1 if absent.
+  [[nodiscard]] int slot_of(ReplicaId id) const {
+    const auto it = std::lower_bound(members_.begin(), members_.end(), id);
+    if (it == members_.end() || *it != id) return -1;
+    return static_cast<int>(it - members_.begin());
+  }
+  [[nodiscard]] ReplicaId member(std::size_t slot) const {
+    return members_[slot];
+  }
+
+  /// ⌊(n−1)/3⌋: faults the quorum logic absorbs.
+  [[nodiscard]] std::size_t max_faulty() const {
+    return members_.empty() ? 0 : (members_.size() - 1) / 3;
+  }
+  /// n − t: Bracha/BFT quorum.
+  [[nodiscard]] std::size_t quorum() const {
+    return members_.size() - max_faulty();
+  }
+  /// t + 1: amplification threshold.
+  [[nodiscard]] std::size_t amplify() const { return max_faulty() + 1; }
+  /// ⌈2n/3⌉: Alg. 1 certificate threshold.
+  [[nodiscard]] std::size_t two_thirds() const {
+    return (2 * members_.size() + 2) / 3;
+  }
+  /// ⌈n/3⌉: the paper's fd, PoFs needed before a membership change.
+  [[nodiscard]] std::size_t fd() const { return (members_.size() + 2) / 3; }
+
+  void remove(const std::vector<ReplicaId>& ids) {
+    std::vector<ReplicaId> next;
+    next.reserve(members_.size());
+    const std::unordered_set<ReplicaId> gone(ids.begin(), ids.end());
+    for (ReplicaId m : members_) {
+      if (gone.count(m) == 0) next.push_back(m);
+    }
+    reset(std::move(next));
+  }
+
+  void add(const std::vector<ReplicaId>& ids) {
+    std::vector<ReplicaId> next = members_;
+    next.insert(next.end(), ids.begin(), ids.end());
+    reset(std::move(next));
+  }
+
+  /// Incremented on every membership mutation.
+  [[nodiscard]] std::uint64_t version() const { return version_; }
+
+ private:
+  std::vector<ReplicaId> members_;
+  std::unordered_set<ReplicaId> set_;
+  std::uint64_t version_ = 0;
+};
+
+}  // namespace zlb::consensus

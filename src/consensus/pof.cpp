@@ -1,0 +1,104 @@
+#include "consensus/pof.hpp"
+
+namespace zlb::consensus {
+
+void ProofOfFraud::encode(Writer& w) const {
+  first.encode(w);
+  second.encode(w);
+}
+
+ProofOfFraud ProofOfFraud::decode(Reader& r) {
+  ProofOfFraud p;
+  p.first = SignedVote::decode(r);
+  p.second = SignedVote::decode(r);
+  return p;
+}
+
+bool verify_pof(const ProofOfFraud& pof,
+                const crypto::SignatureScheme& scheme) {
+  if (pof.first.signer != pof.second.signer) return false;
+  if (!accountable(pof.first.body.type)) return false;
+  if (!pof.first.body.same_step(pof.second.body)) return false;
+  if (pof.first.body.value == pof.second.body.value) return false;
+  const Bytes b1 = pof.first.body.signing_bytes();
+  const Bytes b2 = pof.second.body.signing_bytes();
+  return scheme.verify(pof.first.signer, BytesView(b1.data(), b1.size()),
+                       BytesView(pof.first.signature.data(),
+                                 pof.first.signature.size())) &&
+         scheme.verify(pof.second.signer, BytesView(b2.data(), b2.size()),
+                       BytesView(pof.second.signature.data(),
+                                 pof.second.signature.size()));
+}
+
+Bytes encode_pofs(const std::vector<ProofOfFraud>& pofs) {
+  Writer w;
+  w.varint(pofs.size());
+  for (const auto& p : pofs) p.encode(w);
+  return w.take();
+}
+
+std::vector<ProofOfFraud> decode_pofs(BytesView data) {
+  Reader r(data);
+  const std::uint64_t n = r.varint();
+  if (n > 4096) throw DecodeError("decode_pofs: too many");
+  std::vector<ProofOfFraud> out;
+  out.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) out.push_back(ProofOfFraud::decode(r));
+  r.expect_done();
+  return out;
+}
+
+std::optional<ProofOfFraud> PofStore::observe(const SignedVote& vote) {
+  if (!accountable(vote.body.type)) return std::nullopt;
+  auto& steps = first_votes_[vote.body.key];
+  const StepKey sk{vote.body.slot, vote.body.round, vote.body.type,
+                   vote.signer};
+  const auto it = steps.find(sk);
+  if (it == steps.end()) {
+    steps.emplace(sk, vote);
+    return std::nullopt;
+  }
+  if (it->second.body.value == vote.body.value) return std::nullopt;
+  ProofOfFraud pof{it->second, vote};
+  if (by_culprit_.count(vote.signer) != 0) return std::nullopt;  // known
+  by_culprit_.emplace(vote.signer, pof);
+  return pof;
+}
+
+bool PofStore::add_pof(const ProofOfFraud& pof) {
+  return by_culprit_.emplace(pof.culprit(), pof).second;
+}
+
+std::vector<ProofOfFraud> PofStore::pofs() const {
+  std::vector<ProofOfFraud> out;
+  out.reserve(by_culprit_.size());
+  for (const auto& [id, pof] : by_culprit_) out.push_back(pof);
+  return out;
+}
+
+std::vector<ReplicaId> PofStore::culprits() const {
+  std::vector<ReplicaId> out;
+  out.reserve(by_culprit_.size());
+  for (const auto& [id, pof] : by_culprit_) out.push_back(id);
+  return out;
+}
+
+void PofStore::prune_instance(const InstanceKey& key) {
+  first_votes_.erase(key);
+}
+
+std::vector<SignedVote> PofStore::votes_for(const InstanceKey& key,
+                                            std::uint32_t slot) const {
+  std::vector<SignedVote> out;
+  const auto it = first_votes_.find(key);
+  if (it == first_votes_.end()) return out;
+  // StepKey ordering is slot-major: iterate the slot's contiguous range.
+  const auto lo = it->second.lower_bound(StepKey{slot, 0, VoteType::kSend, 0});
+  for (auto vit = lo; vit != it->second.end() && vit->first.slot == slot;
+       ++vit) {
+    out.push_back(vit->second);
+  }
+  return out;
+}
+
+}  // namespace zlb::consensus

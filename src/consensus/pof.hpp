@@ -1,0 +1,83 @@
+// Proofs of fraud (§2.1, §4.1.1 ③): two validly signed votes from the
+// same replica for the same accountable protocol step carrying
+// different values. Undeniable (anyone can verify both signatures) and
+// transferable (they travel in PoF gossip and in exclusion-consensus
+// proposals). The PofStore accumulates the first vote seen per step per
+// signer and surfaces a PoF the moment a conflicting one arrives.
+#pragma once
+
+#include <map>
+#include <unordered_map>
+
+#include "consensus/messages.hpp"
+#include "crypto/signer.hpp"
+
+namespace zlb::consensus {
+
+struct ProofOfFraud {
+  SignedVote first;
+  SignedVote second;
+
+  [[nodiscard]] ReplicaId culprit() const { return first.signer; }
+  void encode(Writer& w) const;
+  [[nodiscard]] static ProofOfFraud decode(Reader& r);
+};
+
+/// Structural + cryptographic validity: same signer, same accountable
+/// step, different values, both signatures genuine.
+[[nodiscard]] bool verify_pof(const ProofOfFraud& pof,
+                              const crypto::SignatureScheme& scheme);
+
+/// Serialized list of PoFs (exclusion-consensus proposal payload and
+/// gossip body).
+[[nodiscard]] Bytes encode_pofs(const std::vector<ProofOfFraud>& pofs);
+[[nodiscard]] std::vector<ProofOfFraud> decode_pofs(BytesView data);
+
+/// Collects votes and detects equivocation. One store per replica.
+class PofStore {
+ public:
+  /// Records `vote` (assumed signature-valid). If it conflicts with a
+  /// previously recorded vote by the same signer on the same step,
+  /// returns the proof. Non-accountable vote types are ignored.
+  std::optional<ProofOfFraud> observe(const SignedVote& vote);
+
+  /// Adds an externally received PoF (gossip, proposals). Returns true
+  /// if it names a replica not yet proven deceitful.
+  bool add_pof(const ProofOfFraud& pof);
+
+  /// One PoF per distinct proven-deceitful replica.
+  [[nodiscard]] std::vector<ProofOfFraud> pofs() const;
+  [[nodiscard]] std::size_t culprit_count() const { return by_culprit_.size(); }
+  [[nodiscard]] std::vector<ReplicaId> culprits() const;
+  [[nodiscard]] bool is_culprit(ReplicaId id) const {
+    return by_culprit_.count(id) != 0;
+  }
+
+  /// Drops the first-vote log for an instance once it is confirmed (the
+  /// PoFs themselves are kept).
+  void prune_instance(const InstanceKey& key);
+
+  /// All first-votes logged for (instance, slot) — the conflict
+  /// evidence honest replicas exchange when decisions diverge.
+  [[nodiscard]] std::vector<SignedVote> votes_for(const InstanceKey& key,
+                                                  std::uint32_t slot) const;
+
+ private:
+  struct StepKey {
+    std::uint32_t slot;
+    std::uint32_t round;
+    VoteType type;
+    ReplicaId signer;
+    friend bool operator<(const StepKey& a, const StepKey& b) {
+      return std::tie(a.slot, a.round, a.type, a.signer) <
+             std::tie(b.slot, b.round, b.type, b.signer);
+    }
+  };
+  // first vote seen per (instance, step, signer)
+  std::unordered_map<InstanceKey, std::map<StepKey, SignedVote>,
+                     InstanceKeyHasher>
+      first_votes_;
+  std::map<ReplicaId, ProofOfFraud> by_culprit_;
+};
+
+}  // namespace zlb::consensus

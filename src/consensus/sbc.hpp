@@ -1,0 +1,191 @@
+// Accountable Set Byzantine Consensus engine (§2.3): one instance of
+// the superblock reduction — an all-to-all accountable reliable
+// broadcast (Bracha, signed echo/ready) feeding one accountable binary
+// consensus per proposer slot (DBFT/Polygraph rounds: BV-broadcast EST,
+// AUX, decide when the AUX value set is {v} with v = r mod 2). The
+// decided bitmask applied to the delivered proposals is the instance
+// outcome.
+//
+// Accountability: every vote is signed; the owner observes every valid
+// vote (PoF extraction), and decisions expose per-slot certificates
+// (quorum of AUX votes) that travel in the confirmation phase. In
+// accountable mode, ESTs of rounds > 1 model Polygraph's certificate
+// piggybacking as extra wire bytes + verification units.
+//
+// Dynamic committees: vote thresholds are evaluated against a *live*
+// committee that the exclusion consensus (Alg. 1) shrinks at runtime;
+// `recheck()` re-evaluates every pending threshold after a shrink. The
+// proposer-slot mapping is fixed at instance creation.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+
+#include "consensus/committee.hpp"
+#include "consensus/pof.hpp"
+
+namespace zlb::consensus {
+
+class SbcEngine {
+ public:
+  struct Config {
+    bool accountable = true;
+    /// Modelled wire bytes of one certificate vote piggybacked on
+    /// round>1 ESTs (sig + metadata).
+    std::uint32_t cert_vote_bytes = 130;
+    /// Polygraph-style certified broadcast: EVERY vote carries its
+    /// justification certificate (quorum x cert_vote_bytes on the wire,
+    /// verification amortized by cert_unit_divisor thanks to caching).
+    bool cert_on_all_votes = false;
+    std::uint32_t cert_unit_divisor = 8;
+    /// Stop processing a slot's binary consensus after this many rounds
+    /// (memory guard; honest executions decide in <= 3 rounds, stragglers
+    /// adopt certified decisions instead).
+    std::uint32_t max_rounds = 64;
+  };
+
+  struct Hooks {
+    /// Broadcast `data` to every slot-map member (including self).
+    std::function<void(Bytes data, std::uint32_t verify_units,
+                       std::uint64_t extra_wire)>
+        broadcast;
+    /// Payload validity check (kind-specific; may be null = accept).
+    std::function<bool(BytesView payload)> validate;
+    /// Fired once, when all slots decided and decided payloads delivered.
+    std::function<void()> decided;
+    /// Every valid accountable vote passes through here (PoF logging).
+    std::function<void(const SignedVote&)> observe;
+  };
+
+  struct OutcomeEntry {
+    std::uint32_t slot = 0;
+    crypto::Hash32 digest{};
+    Bytes payload;
+    std::uint32_t tx_count = 0;
+    std::uint64_t extra_wire = 0;
+  };
+
+  SbcEngine(InstanceKey key, std::vector<ReplicaId> slot_members,
+            const Committee* live, ReplicaId me,
+            crypto::SignatureScheme& scheme, Config config, Hooks hooks);
+
+  /// Proposes `payload` in this replica's own slot. No-op if this
+  /// replica is not a slot member or already proposed. `verify_units`
+  /// models the signature-verification work each receiver performs on
+  /// the batch (e.g. sharded transaction verification).
+  void propose(Bytes payload, std::uint64_t extra_wire,
+               std::uint32_t tx_count, std::uint32_t verify_units = 1);
+
+  /// Handles a proposal whose envelope signature was already verified.
+  void handle_proposal(const ProposalMsg& msg);
+  /// Handles an echo/ready/est/aux vote (signature already verified).
+  void handle_vote(const SignedVote& vote);
+
+  /// Re-evaluates all thresholds after the live committee changed.
+  void recheck();
+
+  /// Γk.stop() — freezes the engine (Alg. 1 line 19).
+  void stop() { stopped_ = true; }
+  [[nodiscard]] bool stopped() const { return stopped_; }
+
+  [[nodiscard]] bool has_decided() const { return instance_decided_; }
+  [[nodiscard]] const std::vector<OutcomeEntry>& outcome() const {
+    return outcome_;
+  }
+  [[nodiscard]] const std::vector<std::uint8_t>& bitmask() const {
+    return bitmask_;
+  }
+  [[nodiscard]] const InstanceKey& key() const { return key_; }
+  [[nodiscard]] std::size_t slot_count() const { return slot_members_.size(); }
+  [[nodiscard]] std::size_t delivered_count() const { return delivered_; }
+
+  /// Force-adopt a certified decision for a slot (straggler catch-up
+  /// from a verified DecisionMsg). Does not emit votes.
+  void adopt_slot_decision(std::uint32_t slot, std::uint8_t value,
+                           const crypto::Hash32* digest_hint);
+
+  /// Introspection for tests and debugging.
+  struct SlotDebug {
+    bool delivered = false;
+    bool started = false;
+    bool decided = false;
+    std::uint8_t decided_value = 0;
+    std::uint32_t round = 0;
+    std::size_t est0 = 0, est1 = 0, aux = 0;
+    std::size_t echoes = 0, readies = 0, payloads = 0;
+    bool echoed = false, readied = false;
+  };
+  [[nodiscard]] SlotDebug slot_debug(std::uint32_t slot) const;
+
+ private:
+  struct RoundState {
+    std::array<bool, 2> est_sent{false, false};
+    std::array<std::set<ReplicaId>, 2> est_votes;
+    std::array<std::size_t, 2> est_counts{0, 0};  ///< in-live est voters
+    std::array<bool, 2> bin_values{false, false};
+    bool aux_sent = false;
+    std::map<ReplicaId, std::uint8_t> aux_first;  ///< first AUX per signer
+    std::array<std::size_t, 2> aux_counts{0, 0};  ///< in-live aux voters
+  };
+
+  struct SlotState {
+    // RBC.
+    std::map<crypto::Hash32, ProposalMsg> payloads;  ///< digest -> proposal
+    bool echoed = false;
+    bool readied = false;
+    std::map<ReplicaId, crypto::Hash32> echo_first;
+    std::map<ReplicaId, crypto::Hash32> ready_first;
+    std::map<crypto::Hash32, std::size_t> echo_counts;   ///< in-live echoes
+    std::map<crypto::Hash32, std::size_t> ready_counts;  ///< in-live readies
+    bool delivered = false;
+    crypto::Hash32 delivered_digest{};
+    // Binary consensus.
+    bool started = false;
+    std::uint32_t round = 1;
+    std::uint8_t est = 0;
+    std::map<std::uint32_t, RoundState> rounds;
+    bool decided = false;
+    std::uint8_t decided_value = 0;
+    std::uint32_t decided_round = 0;
+  };
+
+  [[nodiscard]] std::size_t live_quorum() const;
+  [[nodiscard]] std::size_t live_amplify() const;
+  [[nodiscard]] bool in_live(ReplicaId id) const;
+
+  void broadcast_vote(VoteType type, std::uint32_t slot, std::uint32_t round,
+                      Bytes value, std::uint64_t extra_wire = 0,
+                      std::uint32_t extra_units = 0);
+  void maybe_echo(std::uint32_t slot, const crypto::Hash32& digest);
+  void maybe_ready(std::uint32_t slot);
+  void maybe_deliver(std::uint32_t slot);
+  void start_bincon(std::uint32_t slot, std::uint8_t est);
+  void send_est(std::uint32_t slot, std::uint32_t round, std::uint8_t value);
+  void process_round(std::uint32_t slot);
+  void decide_slot(std::uint32_t slot, std::uint8_t value,
+                   std::uint32_t round);
+  void check_instance_decided();
+  void recheck_slot(std::uint32_t slot);
+  void rebuild_counts(std::uint32_t slot);
+
+  InstanceKey key_;
+  std::vector<ReplicaId> slot_members_;  ///< fixed slot -> replica map
+  Committee slot_committee_;             ///< committee over slot_members_
+  const Committee* live_;                ///< dynamic committee (may be null)
+  ReplicaId me_;
+  crypto::SignatureScheme& scheme_;
+  Config config_;
+  Hooks hooks_;
+
+  std::vector<SlotState> slots_;
+  std::size_t delivered_ = 0;
+  bool zero_phase_started_ = false;
+  bool proposed_ = false;
+  bool stopped_ = false;
+  bool instance_decided_ = false;
+  std::vector<OutcomeEntry> outcome_;
+  std::vector<std::uint8_t> bitmask_;
+};
+
+}  // namespace zlb::consensus

@@ -1,0 +1,67 @@
+// ECDSA over secp256k1 with RFC-6979-style deterministic nonces and
+// low-s normalization, matching Bitcoin's transaction signatures as the
+// paper specifies (§4.2.4).
+#pragma once
+
+#include <optional>
+
+#include "crypto/secp256k1.hpp"
+#include "crypto/sha256.hpp"
+
+namespace zlb::crypto {
+
+/// 64-byte compact signature (r || s, big-endian halves).
+struct Signature {
+  U256 r;
+  U256 s;
+
+  [[nodiscard]] std::array<std::uint8_t, 64> to_bytes() const;
+  [[nodiscard]] static std::optional<Signature> from_bytes(BytesView data);
+  friend bool operator==(const Signature& a, const Signature& b) {
+    return a.r == b.r && a.s == b.s;
+  }
+};
+
+/// 33-byte compressed public key.
+struct PublicKey {
+  std::array<std::uint8_t, 33> data{};
+
+  [[nodiscard]] std::string hex() const {
+    return to_hex(BytesView(data.data(), data.size()));
+  }
+  friend bool operator==(const PublicKey& a, const PublicKey& b) {
+    return a.data == b.data;
+  }
+  friend bool operator<(const PublicKey& a, const PublicKey& b) {
+    return a.data < b.data;
+  }
+};
+
+class PrivateKey {
+ public:
+  /// Derives a valid key deterministically from a 32-byte seed (hashes
+  /// until the scalar lands in [1, n-1]).
+  [[nodiscard]] static PrivateKey from_seed(BytesView seed);
+  [[nodiscard]] static PrivateKey from_scalar(const U256& d);
+
+  [[nodiscard]] const U256& scalar() const { return d_; }
+  [[nodiscard]] PublicKey public_key() const;
+
+  /// Signs the SHA-256 digest of `message`.
+  [[nodiscard]] Signature sign(BytesView message) const;
+  /// Signs a precomputed 32-byte digest.
+  [[nodiscard]] Signature sign_digest(const Hash32& digest) const;
+
+ private:
+  explicit PrivateKey(const U256& d) : d_(d) {}
+  U256 d_;
+};
+
+/// Verifies `sig` over sha256(message) against `pub`. Returns false for
+/// malformed keys/signatures rather than throwing.
+[[nodiscard]] bool verify(const PublicKey& pub, BytesView message,
+                          const Signature& sig);
+[[nodiscard]] bool verify_digest(const PublicKey& pub, const Hash32& digest,
+                                 const Signature& sig);
+
+}  // namespace zlb::crypto

@@ -1,0 +1,183 @@
+#include "crypto/secp256k1.hpp"
+
+namespace zlb::crypto {
+
+namespace {
+
+CurveParams make_params() {
+  CurveParams cp{
+      Modulus::make(U256::from_hex(
+          "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f")),
+      Modulus::make(U256::from_hex(
+          "fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141")),
+      U256::from_hex(
+          "79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798"),
+      U256::from_hex(
+          "483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8")};
+  return cp;
+}
+
+}  // namespace
+
+const CurveParams& curve() {
+  static const CurveParams params = make_params();
+  return params;
+}
+
+JacobianPoint JacobianPoint::from_affine(const AffinePoint& a) {
+  if (a.infinity) return identity();
+  return JacobianPoint{a.x, a.y, U256(1)};
+}
+
+AffinePoint to_affine(const JacobianPoint& p) {
+  if (p.is_identity()) return AffinePoint{U256(), U256(), true};
+  const Modulus& fp = curve().p;
+  const U256 zinv = inv_mod(p.z, fp);
+  const U256 zinv2 = sqr_mod(zinv, fp);
+  const U256 zinv3 = mul_mod(zinv2, zinv, fp);
+  return AffinePoint{mul_mod(p.x, zinv2, fp), mul_mod(p.y, zinv3, fp), false};
+}
+
+JacobianPoint jacobian_double(const JacobianPoint& p) {
+  if (p.is_identity() || p.y.is_zero()) return JacobianPoint::identity();
+  const Modulus& fp = curve().p;
+  // dbl-2009-l formulas for a = 0.
+  const U256 a = sqr_mod(p.x, fp);                       // A = X^2
+  const U256 b = sqr_mod(p.y, fp);                       // B = Y^2
+  const U256 c = sqr_mod(b, fp);                         // C = B^2
+  U256 d = add_mod(p.x, b, fp);                          // (X + B)
+  d = sqr_mod(d, fp);                                    // (X + B)^2
+  d = sub_mod(d, a, fp);                                 // - A
+  d = sub_mod(d, c, fp);                                 // - C
+  d = add_mod(d, d, fp);                                 // D = 2(...)
+  const U256 e = add_mod(add_mod(a, a, fp), a, fp);      // E = 3A
+  const U256 f = sqr_mod(e, fp);                         // F = E^2
+  U256 x3 = sub_mod(f, add_mod(d, d, fp), fp);           // X3 = F - 2D
+  U256 y3 = sub_mod(d, x3, fp);
+  y3 = mul_mod(e, y3, fp);
+  U256 c8 = add_mod(c, c, fp);
+  c8 = add_mod(c8, c8, fp);
+  c8 = add_mod(c8, c8, fp);
+  y3 = sub_mod(y3, c8, fp);                              // Y3 = E(D-X3) - 8C
+  U256 z3 = mul_mod(p.y, p.z, fp);
+  z3 = add_mod(z3, z3, fp);                              // Z3 = 2YZ
+  return JacobianPoint{x3, y3, z3};
+}
+
+JacobianPoint jacobian_add(const JacobianPoint& a, const JacobianPoint& b) {
+  if (a.is_identity()) return b;
+  if (b.is_identity()) return a;
+  const Modulus& fp = curve().p;
+  const U256 z1z1 = sqr_mod(a.z, fp);
+  const U256 z2z2 = sqr_mod(b.z, fp);
+  const U256 u1 = mul_mod(a.x, z2z2, fp);
+  const U256 u2 = mul_mod(b.x, z1z1, fp);
+  const U256 s1 = mul_mod(a.y, mul_mod(z2z2, b.z, fp), fp);
+  const U256 s2 = mul_mod(b.y, mul_mod(z1z1, a.z, fp), fp);
+  if (u1 == u2) {
+    if (s1 == s2) return jacobian_double(a);
+    return JacobianPoint::identity();
+  }
+  const U256 h = sub_mod(u2, u1, fp);
+  const U256 r = sub_mod(s2, s1, fp);
+  const U256 h2 = sqr_mod(h, fp);
+  const U256 h3 = mul_mod(h2, h, fp);
+  const U256 u1h2 = mul_mod(u1, h2, fp);
+  U256 x3 = sqr_mod(r, fp);
+  x3 = sub_mod(x3, h3, fp);
+  x3 = sub_mod(x3, add_mod(u1h2, u1h2, fp), fp);
+  U256 y3 = sub_mod(u1h2, x3, fp);
+  y3 = mul_mod(r, y3, fp);
+  y3 = sub_mod(y3, mul_mod(s1, h3, fp), fp);
+  const U256 z3 = mul_mod(mul_mod(a.z, b.z, fp), h, fp);
+  return JacobianPoint{x3, y3, z3};
+}
+
+JacobianPoint scalar_mul(const U256& k, const JacobianPoint& p) {
+  if (k.is_zero() || p.is_identity()) return JacobianPoint::identity();
+  // 4-bit window table: table[i] = i * P.
+  std::array<JacobianPoint, 16> table;
+  table[0] = JacobianPoint::identity();
+  table[1] = p;
+  for (std::size_t i = 2; i < 16; ++i) {
+    table[i] = jacobian_add(table[i - 1], p);
+  }
+  JacobianPoint acc = JacobianPoint::identity();
+  const int top = k.top_bit();
+  const int top_nibble = top / 4;
+  for (int nib = top_nibble; nib >= 0; --nib) {
+    if (nib != top_nibble) {
+      acc = jacobian_double(acc);
+      acc = jacobian_double(acc);
+      acc = jacobian_double(acc);
+      acc = jacobian_double(acc);
+    }
+    const std::size_t digit = static_cast<std::size_t>(
+        (k.w[static_cast<std::size_t>(nib / 16)] >> (4 * (nib % 16))) & 0xf);
+    if (digit != 0) acc = jacobian_add(acc, table[digit]);
+  }
+  return acc;
+}
+
+JacobianPoint scalar_mul_base(const U256& k) {
+  static const JacobianPoint g =
+      JacobianPoint::from_affine(AffinePoint{curve().gx, curve().gy, false});
+  return scalar_mul(k, g);
+}
+
+JacobianPoint double_scalar_mul(const U256& u1, const U256& u2,
+                                const JacobianPoint& q) {
+  return jacobian_add(scalar_mul_base(u1), scalar_mul(u2, q));
+}
+
+bool on_curve(const AffinePoint& p) {
+  if (p.infinity) return false;
+  const Modulus& fp = curve().p;
+  if (cmp(p.x, fp.m) >= 0 || cmp(p.y, fp.m) >= 0) return false;
+  const U256 lhs = sqr_mod(p.y, fp);
+  U256 rhs = mul_mod(sqr_mod(p.x, fp), p.x, fp);
+  rhs = add_mod(rhs, U256(7), fp);
+  return lhs == rhs;
+}
+
+std::array<std::uint8_t, 33> compress(const AffinePoint& p) {
+  std::array<std::uint8_t, 33> out{};
+  out[0] = p.y.is_odd() ? 0x03 : 0x02;
+  const auto xb = p.x.to_bytes();
+  std::copy(xb.begin(), xb.end(), out.begin() + 1);
+  return out;
+}
+
+std::optional<AffinePoint> decompress(BytesView data) {
+  if (data.size() != 33 || (data[0] != 0x02 && data[0] != 0x03)) {
+    return std::nullopt;
+  }
+  const Modulus& fp = curve().p;
+  const U256 x = U256::from_bytes(data.subspan(1));
+  if (cmp(x, fp.m) >= 0) return std::nullopt;
+  U256 rhs = mul_mod(sqr_mod(x, fp), x, fp);
+  rhs = add_mod(rhs, U256(7), fp);
+  // p ≡ 3 (mod 4): sqrt(a) = a^((p+1)/4).
+  U256 exp;
+  add_carry(exp, fp.m, U256(1));
+  // (p + 1) may carry out of 256 bits only if p = 2^256 - 1; not the case.
+  U256 quarter = exp;
+  // Divide by 4 via two right shifts.
+  for (int pass = 0; pass < 2; ++pass) {
+    std::uint64_t carry = 0;
+    for (int i = 3; i >= 0; --i) {
+      const std::uint64_t cur = quarter.w[static_cast<std::size_t>(i)];
+      quarter.w[static_cast<std::size_t>(i)] = (cur >> 1) | (carry << 63);
+      carry = cur & 1;
+    }
+  }
+  U256 y = pow_mod(rhs, quarter, fp);
+  if (sqr_mod(y, fp) != rhs) return std::nullopt;  // not a quadratic residue
+  const bool want_odd = data[0] == 0x03;
+  if (y.is_odd() != want_odd) y = sub_mod(U256(), y, fp);
+  const AffinePoint p{x, y, false};
+  if (!on_curve(p)) return std::nullopt;
+  return p;
+}
+
+}  // namespace zlb::crypto

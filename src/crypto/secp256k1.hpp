@@ -1,0 +1,66 @@
+// secp256k1 elliptic-curve group operations (y² = x³ + 7 over F_p) in
+// Jacobian coordinates, with 4-bit windowed scalar multiplication.
+// Everything the ECDSA layer needs: point add/double/mul, compressed
+// point (de)serialization, and the curve constants.
+#pragma once
+
+#include <optional>
+
+#include "crypto/u256.hpp"
+
+namespace zlb::crypto {
+
+/// Curve constants (field prime p, group order n, generator G).
+struct CurveParams {
+  Modulus p;
+  Modulus n;
+  U256 gx;
+  U256 gy;
+};
+
+[[nodiscard]] const CurveParams& curve();
+
+/// Affine point; `infinity` marks the group identity.
+struct AffinePoint {
+  U256 x;
+  U256 y;
+  bool infinity = false;
+
+  friend bool operator==(const AffinePoint& a, const AffinePoint& b) {
+    if (a.infinity || b.infinity) return a.infinity == b.infinity;
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+/// Jacobian point (X/Z², Y/Z³); Z == 0 marks infinity.
+struct JacobianPoint {
+  U256 x;
+  U256 y;
+  U256 z;
+
+  [[nodiscard]] static JacobianPoint identity() { return {}; }
+  [[nodiscard]] bool is_identity() const { return z.is_zero(); }
+  [[nodiscard]] static JacobianPoint from_affine(const AffinePoint& a);
+};
+
+[[nodiscard]] AffinePoint to_affine(const JacobianPoint& p);
+[[nodiscard]] JacobianPoint jacobian_double(const JacobianPoint& p);
+[[nodiscard]] JacobianPoint jacobian_add(const JacobianPoint& a,
+                                         const JacobianPoint& b);
+/// k·P via 4-bit fixed window (k interpreted mod n is the caller's job).
+[[nodiscard]] JacobianPoint scalar_mul(const U256& k, const JacobianPoint& p);
+/// k·G with the cached generator.
+[[nodiscard]] JacobianPoint scalar_mul_base(const U256& k);
+/// u1·G + u2·Q (ECDSA verification workhorse).
+[[nodiscard]] JacobianPoint double_scalar_mul(const U256& u1, const U256& u2,
+                                              const JacobianPoint& q);
+
+/// Is (x, y) on the curve? (Rejects infinity.)
+[[nodiscard]] bool on_curve(const AffinePoint& p);
+
+/// 33-byte compressed SEC1 encoding (02/03 | x-be).
+[[nodiscard]] std::array<std::uint8_t, 33> compress(const AffinePoint& p);
+/// Parses a compressed encoding; nullopt if not a valid curve point.
+[[nodiscard]] std::optional<AffinePoint> decompress(BytesView data);
+
+}  // namespace zlb::crypto

@@ -1,0 +1,58 @@
+// FIPS 180-4 SHA-256, implemented from scratch (no external crypto
+// dependency). Used for transaction/block ids, protocol-message digests
+// and RFC-6979 deterministic ECDSA nonces.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace zlb::crypto {
+
+using Hash32 = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256 context.
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+
+  void reset();
+  void update(BytesView data);
+  /// Finalizes and returns the digest; the context must be reset() before
+  /// reuse.
+  [[nodiscard]] Hash32 finish();
+
+ private:
+  void compress(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> h_{};
+  std::array<std::uint8_t, 64> buf_{};
+  std::size_t buf_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+/// One-shot convenience.
+[[nodiscard]] Hash32 sha256(BytesView data);
+
+/// Double SHA-256 (Bitcoin-style tx/block ids).
+[[nodiscard]] Hash32 sha256d(BytesView data);
+
+/// HMAC-SHA256 per RFC 2104.
+[[nodiscard]] Hash32 hmac_sha256(BytesView key, BytesView data);
+
+/// Hex rendering of a digest.
+[[nodiscard]] std::string hash_hex(const Hash32& h);
+
+/// First 8 bytes of the digest as a u64 (for hash-map bucketing).
+[[nodiscard]] std::uint64_t hash_prefix64(const Hash32& h);
+
+struct Hash32Hasher {
+  std::size_t operator()(const Hash32& h) const noexcept {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v = (v << 8) | h[static_cast<std::size_t>(i)];
+    return static_cast<std::size_t>(v);
+  }
+};
+
+}  // namespace zlb::crypto

@@ -1,0 +1,192 @@
+#include "crypto/u256.hpp"
+
+#include <stdexcept>
+
+namespace zlb::crypto {
+
+using u128 = unsigned __int128;
+
+U256 U256::from_hex(std::string_view hex) {
+  std::string padded(64 - hex.size(), '0');
+  if (hex.size() > 64) throw std::invalid_argument("U256::from_hex: too long");
+  padded += std::string(hex);
+  const Bytes be = zlb::from_hex(padded);
+  return from_bytes(BytesView(be.data(), be.size()));
+}
+
+U256 U256::from_bytes(BytesView be) {
+  if (be.size() != 32) {
+    throw std::invalid_argument("U256::from_bytes: need 32 bytes");
+  }
+  U256 out;
+  for (int limb = 0; limb < 4; ++limb) {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v = (v << 8) | be[static_cast<std::size_t>((3 - limb) * 8 + i)];
+    }
+    out.w[static_cast<std::size_t>(limb)] = v;
+  }
+  return out;
+}
+
+std::array<std::uint8_t, 32> U256::to_bytes() const {
+  std::array<std::uint8_t, 32> out{};
+  for (int limb = 0; limb < 4; ++limb) {
+    const std::uint64_t v = w[static_cast<std::size_t>(limb)];
+    for (int i = 0; i < 8; ++i) {
+      out[static_cast<std::size_t>((3 - limb) * 8 + i)] =
+          static_cast<std::uint8_t>(v >> (56 - 8 * i));
+    }
+  }
+  return out;
+}
+
+std::string U256::to_hex() const {
+  const auto be = to_bytes();
+  return zlb::to_hex(BytesView(be.data(), be.size()));
+}
+
+int U256::top_bit() const {
+  for (int limb = 3; limb >= 0; --limb) {
+    const std::uint64_t v = w[static_cast<std::size_t>(limb)];
+    if (v != 0) return limb * 64 + 63 - __builtin_clzll(v);
+  }
+  return -1;
+}
+
+int cmp(const U256& a, const U256& b) {
+  for (int i = 3; i >= 0; --i) {
+    const auto ai = a.w[static_cast<std::size_t>(i)];
+    const auto bi = b.w[static_cast<std::size_t>(i)];
+    if (ai != bi) return ai < bi ? -1 : 1;
+  }
+  return 0;
+}
+
+std::uint64_t add_carry(U256& out, const U256& a, const U256& b) {
+  u128 carry = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const u128 s = static_cast<u128>(a.w[i]) + b.w[i] + carry;
+    out.w[i] = static_cast<std::uint64_t>(s);
+    carry = s >> 64;
+  }
+  return static_cast<std::uint64_t>(carry);
+}
+
+std::uint64_t sub_borrow(U256& out, const U256& a, const U256& b) {
+  u128 borrow = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const u128 d = static_cast<u128>(a.w[i]) - b.w[i] - borrow;
+    out.w[i] = static_cast<std::uint64_t>(d);
+    borrow = (d >> 64) & 1;
+  }
+  return static_cast<std::uint64_t>(borrow);
+}
+
+U512 mul_wide(const U256& a, const U256& b) {
+  U512 out{};
+  for (std::size_t i = 0; i < 4; ++i) {
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < 4; ++j) {
+      const u128 cur =
+          static_cast<u128>(a.w[i]) * b.w[j] + out[i + j] + carry;
+      out[i + j] = static_cast<std::uint64_t>(cur);
+      carry = static_cast<std::uint64_t>(cur >> 64);
+    }
+    out[i + 4] = carry;
+  }
+  return out;
+}
+
+Modulus Modulus::make(const U256& m) {
+  // c = 2^256 - m computed as (~m) + 1 over 256 bits.
+  U256 c;
+  U256 zero;
+  sub_borrow(c, zero, m);
+  return Modulus{m, c};
+}
+
+U256 reduce512(const U512& v, const Modulus& mod) {
+  U512 cur = v;
+  // Fold the high 256 bits down using 2^256 ≡ c (mod m) until the value
+  // fits in 256 bits. Since m > 2^255, c < 2^255 and this converges in a
+  // handful of iterations.
+  while (cur[4] != 0 || cur[5] != 0 || cur[6] != 0 || cur[7] != 0) {
+    const U256 low{cur[3], cur[2], cur[1], cur[0]};
+    const U256 high{cur[7], cur[6], cur[5], cur[4]};
+    const U512 folded = mul_wide(high, mod.c);
+    // cur = folded + low (512-bit add; cannot overflow 512 bits here).
+    u128 carry = 0;
+    for (std::size_t i = 0; i < 8; ++i) {
+      const std::uint64_t lo_limb = i < 4 ? low.w[i] : 0;
+      const u128 s = static_cast<u128>(folded[i]) + lo_limb + carry;
+      cur[i] = static_cast<std::uint64_t>(s);
+      carry = s >> 64;
+    }
+  }
+  U256 r{cur[3], cur[2], cur[1], cur[0]};
+  while (cmp(r, mod.m) >= 0) {
+    U256 t;
+    sub_borrow(t, r, mod.m);
+    r = t;
+  }
+  return r;
+}
+
+U256 add_mod(const U256& a, const U256& b, const Modulus& mod) {
+  U256 s;
+  const std::uint64_t carry = add_carry(s, a, b);
+  if (carry != 0 || cmp(s, mod.m) >= 0) {
+    U256 t;
+    sub_borrow(t, s, mod.m);
+    return t;
+  }
+  return s;
+}
+
+U256 sub_mod(const U256& a, const U256& b, const Modulus& mod) {
+  U256 d;
+  const std::uint64_t borrow = sub_borrow(d, a, b);
+  if (borrow != 0) {
+    U256 t;
+    add_carry(t, d, mod.m);
+    return t;
+  }
+  return d;
+}
+
+U256 mul_mod(const U256& a, const U256& b, const Modulus& mod) {
+  return reduce512(mul_wide(a, b), mod);
+}
+
+U256 sqr_mod(const U256& a, const Modulus& mod) {
+  return mul_mod(a, a, mod);
+}
+
+U256 pow_mod(const U256& base, const U256& exp, const Modulus& mod) {
+  U256 result(1);
+  const int top = exp.top_bit();
+  for (int i = top; i >= 0; --i) {
+    result = sqr_mod(result, mod);
+    if (exp.bit(i)) result = mul_mod(result, base, mod);
+  }
+  return result;
+}
+
+U256 inv_mod(const U256& a, const Modulus& mod) {
+  U256 m_minus_2;
+  sub_borrow(m_minus_2, mod.m, U256(2));
+  return pow_mod(a, m_minus_2, mod);
+}
+
+U256 normalize(const U256& a, const Modulus& mod) {
+  U256 r = a;
+  while (cmp(r, mod.m) >= 0) {
+    U256 t;
+    sub_borrow(t, r, mod.m);
+    r = t;
+  }
+  return r;
+}
+
+}  // namespace zlb::crypto

@@ -1,0 +1,85 @@
+// 256-bit unsigned integer with the operations secp256k1 needs:
+// add/sub with carry, comparison, 256x256→512 multiplication and a
+// reduction routine specialised for moduli m > 2^255 (both the
+// secp256k1 field prime p and the group order n qualify), using
+// 2^256 ≡ 2^256 − m (mod m).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.hpp"
+
+namespace zlb::crypto {
+
+struct U256 {
+  // Little-endian limbs: w[0] is least significant.
+  std::array<std::uint64_t, 4> w{};
+
+  constexpr U256() = default;
+  constexpr explicit U256(std::uint64_t v) : w{v, 0, 0, 0} {}
+  constexpr U256(std::uint64_t w3, std::uint64_t w2, std::uint64_t w1,
+                 std::uint64_t w0)
+      : w{w0, w1, w2, w3} {}
+
+  [[nodiscard]] static U256 from_hex(std::string_view hex);
+  /// Big-endian 32-byte parse (buffer must be exactly 32 bytes).
+  [[nodiscard]] static U256 from_bytes(BytesView be);
+  [[nodiscard]] std::array<std::uint8_t, 32> to_bytes() const;
+  [[nodiscard]] std::string to_hex() const;
+
+  [[nodiscard]] bool is_zero() const {
+    return (w[0] | w[1] | w[2] | w[3]) == 0;
+  }
+  [[nodiscard]] bool is_odd() const { return (w[0] & 1) != 0; }
+  [[nodiscard]] bool bit(int i) const {
+    return ((w[static_cast<std::size_t>(i / 64)] >> (i % 64)) & 1) != 0;
+  }
+  /// Index of the highest set bit, or -1 for zero.
+  [[nodiscard]] int top_bit() const;
+
+  friend bool operator==(const U256& a, const U256& b) { return a.w == b.w; }
+  friend bool operator!=(const U256& a, const U256& b) { return !(a == b); }
+};
+
+/// Returns <0, 0 or >0.
+[[nodiscard]] int cmp(const U256& a, const U256& b);
+[[nodiscard]] inline bool operator<(const U256& a, const U256& b) {
+  return cmp(a, b) < 0;
+}
+
+/// out = a + b; returns carry-out bit.
+std::uint64_t add_carry(U256& out, const U256& a, const U256& b);
+/// out = a - b; returns borrow-out bit.
+std::uint64_t sub_borrow(U256& out, const U256& a, const U256& b);
+
+/// 512-bit product, little-endian limbs.
+using U512 = std::array<std::uint64_t, 8>;
+[[nodiscard]] U512 mul_wide(const U256& a, const U256& b);
+
+/// A modulus m with 2^255 < m < 2^256 together with c = 2^256 - m.
+struct Modulus {
+  U256 m;
+  U256 c;
+
+  [[nodiscard]] static Modulus make(const U256& m);
+};
+
+/// Reduces a 512-bit value modulo `mod` (requires mod.m > 2^255).
+[[nodiscard]] U256 reduce512(const U512& v, const Modulus& mod);
+
+/// Modular arithmetic; all inputs must already be < mod.m.
+[[nodiscard]] U256 add_mod(const U256& a, const U256& b, const Modulus& mod);
+[[nodiscard]] U256 sub_mod(const U256& a, const U256& b, const Modulus& mod);
+[[nodiscard]] U256 mul_mod(const U256& a, const U256& b, const Modulus& mod);
+[[nodiscard]] U256 sqr_mod(const U256& a, const Modulus& mod);
+[[nodiscard]] U256 pow_mod(const U256& base, const U256& exp,
+                           const Modulus& mod);
+/// Inverse via Fermat (mod.m must be prime; a != 0).
+[[nodiscard]] U256 inv_mod(const U256& a, const Modulus& mod);
+/// Reduce an arbitrary 256-bit value (possibly >= m) into [0, m).
+[[nodiscard]] U256 normalize(const U256& a, const Modulus& mod);
+
+}  // namespace zlb::crypto

@@ -1,0 +1,56 @@
+#include "net/frame.hpp"
+
+#include <cstring>
+
+namespace zlb::net {
+
+namespace {
+
+constexpr std::size_t kHeaderBytes = 4;
+
+std::uint32_t read_len(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+Bytes encode_frame(BytesView payload) {
+  Bytes out;
+  append_frame(out, payload);
+  return out;
+}
+
+void append_frame(Bytes& out, BytesView payload) {
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  out.reserve(out.size() + kHeaderBytes + payload.size());
+  out.push_back(static_cast<std::uint8_t>(len & 0xff));
+  out.push_back(static_cast<std::uint8_t>((len >> 8) & 0xff));
+  out.push_back(static_cast<std::uint8_t>((len >> 16) & 0xff));
+  out.push_back(static_cast<std::uint8_t>((len >> 24) & 0xff));
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+bool FrameDecoder::feed(BytesView chunk, const Sink& sink) {
+  if (poisoned_) return false;
+  buffer_.insert(buffer_.end(), chunk.begin(), chunk.end());
+
+  std::size_t offset = 0;
+  while (buffer_.size() - offset >= kHeaderBytes) {
+    const std::uint32_t len = read_len(buffer_.data() + offset);
+    if (len > kMaxFrameBytes) {
+      poisoned_ = true;
+      buffer_.clear();
+      return false;
+    }
+    if (buffer_.size() - offset - kHeaderBytes < len) break;
+    sink(BytesView(buffer_.data() + offset + kHeaderBytes, len));
+    offset += kHeaderBytes + len;
+  }
+  if (offset > 0) buffer_.erase(buffer_.begin(), buffer_.begin() + offset);
+  return true;
+}
+
+}  // namespace zlb::net

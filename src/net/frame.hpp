@@ -1,0 +1,52 @@
+// Length-prefixed framing for the replica-to-replica TCP links
+// (§4.2.4: the paper's deployment uses raw TCP sockets between
+// replicas). A frame on the wire is a 4-byte little-endian payload
+// length followed by the payload itself. The decoder is incremental: it
+// accepts arbitrary byte slices (TCP is a stream, reads can split a
+// frame anywhere) and yields complete payloads in order.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "common/bytes.hpp"
+
+namespace zlb::net {
+
+/// Hard upper bound on a single frame payload. Consensus messages are
+/// far smaller; anything larger is a protocol violation (or an attempt
+/// to make the receiver allocate unboundedly) and poisons the decoder.
+inline constexpr std::size_t kMaxFrameBytes = 64u << 20;  // 64 MiB
+
+/// Serializes one frame: 4-byte LE length prefix + payload.
+[[nodiscard]] Bytes encode_frame(BytesView payload);
+
+/// Appends one frame to `out` without an intermediate allocation.
+void append_frame(Bytes& out, BytesView payload);
+
+/// Incremental stream decoder.
+///
+///   FrameDecoder dec;
+///   dec.feed(chunk, [&](BytesView payload) { handle(payload); });
+///
+/// After a frame exceeding kMaxFrameBytes is announced the decoder
+/// enters a poisoned state: feed() returns false and delivers nothing,
+/// and the caller is expected to drop the connection.
+class FrameDecoder {
+ public:
+  using Sink = std::function<void(BytesView payload)>;
+
+  /// Consumes `chunk`, invoking `sink` once per completed frame.
+  /// Returns false iff the stream is poisoned (oversized frame).
+  bool feed(BytesView chunk, const Sink& sink);
+
+  [[nodiscard]] bool poisoned() const { return poisoned_; }
+  /// Bytes buffered waiting for the rest of a frame.
+  [[nodiscard]] std::size_t pending_bytes() const { return buffer_.size(); }
+
+ private:
+  Bytes buffer_;
+  bool poisoned_ = false;
+};
+
+}  // namespace zlb::net

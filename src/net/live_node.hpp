@@ -1,0 +1,162 @@
+// A live deployment of the accountable SBC engine: the byte-identical
+// consensus stack that the simulator drives (src/consensus) is wired to
+// the real TCP transport and real ECDSA signatures instead. One
+// LiveNode is one replica process in miniature — its own event loop,
+// listener, peer links and key — so a LiveCluster of n nodes on
+// loopback exercises the full wire path: serialization, framing,
+// partial reads, signature verification and the SBC state machine.
+//
+// Scope: the happy-path ①/② pipeline (a sequence of regular SBC
+// instances). Attack/recovery experiments need the deterministic
+// simulator (src/zlb) — real sockets cannot reproduce controlled
+// cross-partition delays.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "bm/block_manager.hpp"
+#include "consensus/sbc.hpp"
+#include "crypto/signer.hpp"
+#include "net/client_gateway.hpp"
+#include "net/event_loop.hpp"
+#include "net/transport.hpp"
+
+namespace zlb::net {
+
+struct LiveNodeConfig {
+  ReplicaId me = 0;
+  std::vector<ReplicaId> committee;
+  /// Regular SBC instances to run back to back.
+  std::uint64_t instances = 1;
+  consensus::SbcEngine::Config engine;
+  /// Real secp256k1 ECDSA; false = keyed-hash SimScheme (faster CI).
+  bool use_ecdsa = true;
+  std::uint16_t listen_port = 0;  ///< 0 = ephemeral
+  /// Payment mode: proposals are real chain::Blocks drained from the
+  /// node's mempool, decided blocks are committed to a BlockManager,
+  /// and a client gateway accepts signed transactions over TCP.
+  bool real_blocks = false;
+  std::uint16_t client_port = 0;  ///< gateway port (0 = ephemeral)
+  /// Payment mode: pause between a decision and the next proposal so
+  /// client transactions can accumulate into the next block.
+  Duration block_interval = std::chrono::milliseconds(100);
+  /// Payment mode: durable block journal path ("" = in-memory only).
+  /// Existing records are replayed into the BlockManager at startup.
+  std::string journal_path;
+};
+
+/// One decided instance as seen by a node.
+struct LiveDecision {
+  InstanceId index = 0;
+  std::vector<std::uint8_t> bitmask;
+  std::vector<crypto::Hash32> digests;  ///< decided slots, slot order
+  std::uint64_t payload_bytes = 0;
+};
+
+class LiveNode {
+ public:
+  explicit LiveNode(LiveNodeConfig config);
+
+  [[nodiscard]] ReplicaId id() const { return config_.me; }
+  [[nodiscard]] std::uint16_t port() const { return transport_.local_port(); }
+  [[nodiscard]] bool listening() const { return transport_.listening(); }
+
+  /// Must be called before run(); maps every committee member to its
+  /// loopback port.
+  void set_peer_ports(const std::map<ReplicaId, std::uint16_t>& ports);
+
+  /// Payload this node proposes in instance `k` (defaults to a small
+  /// tagged marker when none is queued).
+  void queue_payload(Bytes payload);
+
+  /// Drives the node until every instance decided or `deadline`
+  /// elapses. Blocking; typically the body of the node's thread.
+  void run(Duration deadline);
+
+  /// Thread-safe: asks a running node to wind down (e.g. once the
+  /// caller observed the state it was waiting for).
+  void stop() { loop_.stop(); }
+
+  /// Thread-safe snapshot of decided instances.
+  [[nodiscard]] std::vector<LiveDecision> decisions() const;
+  [[nodiscard]] bool all_decided() const {
+    return decided_count_.load() >= config_.instances;
+  }
+  [[nodiscard]] std::uint64_t decided_count() const {
+    return decided_count_.load();
+  }
+  [[nodiscard]] const TransportStats& transport_stats() const {
+    return transport_.stats();
+  }
+
+  /// Payment mode (real_blocks): the client-facing gateway port.
+  [[nodiscard]] std::uint16_t client_port() const {
+    return gateway_ ? gateway_->local_port() : 0;
+  }
+  /// Local chain state. Mutate (e.g. mint a genesis) only before run().
+  [[nodiscard]] bm::BlockManager& block_manager() { return bm_; }
+  [[nodiscard]] const bm::BlockManager& block_manager() const { return bm_; }
+  /// Thread-safe balance snapshot (the loop thread owns bm_ during run).
+  [[nodiscard]] chain::Amount balance(const chain::Address& a) const;
+  /// Thread-safe snapshot of an address's spendable coins.
+  [[nodiscard]] std::vector<std::pair<chain::OutPoint, chain::TxOut>>
+  owned_coins(const chain::Address& a) const;
+
+ private:
+  using Engine = consensus::SbcEngine;
+
+  void start_instance(InstanceId k);
+  Engine* get_or_create(InstanceId k);
+  void on_frame(ReplicaId from, BytesView data);
+  void on_decided(InstanceId k);
+  [[nodiscard]] Bytes payload_for(InstanceId k);
+  bool accept_tx(const chain::Transaction& tx);
+  void commit_decided_blocks(InstanceId k, Engine& engine);
+
+  LiveNodeConfig config_;
+  EventLoop loop_;
+  TcpTransport transport_;
+  std::unique_ptr<crypto::SignatureScheme> scheme_;
+  consensus::Committee committee_;
+
+  std::map<InstanceId, std::unique_ptr<Engine>> engines_;
+  InstanceId current_ = 0;
+  std::vector<Bytes> queued_payloads_;
+  std::size_t next_payload_ = 0;
+
+  std::unique_ptr<ClientGateway> gateway_;
+  std::vector<chain::Transaction> mempool_;
+  /// Payment mode: what we proposed per instance, so transactions are
+  /// re-queued when our own slot loses its binary consensus.
+  std::map<InstanceId, std::vector<chain::Transaction>> proposed_txs_;
+  bm::BlockManager bm_;
+
+  mutable std::mutex decisions_mutex_;  ///< guards decisions_ and bm_ reads
+  std::vector<LiveDecision> decisions_;
+  std::atomic<std::uint64_t> decided_count_{0};
+};
+
+/// Spawns n LiveNodes on loopback, runs each on its own thread and
+/// waits for unanimous decisions. Agreement checks are the caller's.
+class LiveCluster {
+ public:
+  /// `base` is copied per node (me/committee/ports are filled in).
+  LiveCluster(std::size_t n, LiveNodeConfig base);
+
+  [[nodiscard]] LiveNode& node(std::size_t i) { return *nodes_.at(i); }
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+
+  /// Runs all nodes; returns true iff every node decided every
+  /// instance before the deadline.
+  bool run(Duration deadline);
+
+ private:
+  std::vector<std::unique_ptr<LiveNode>> nodes_;
+};
+
+}  // namespace zlb::net

@@ -1,0 +1,130 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace zlb::net {
+
+namespace {
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+sockaddr_in loopback_addr(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+void tune_stream(int fd) {
+  int one = 1;
+  // Consensus votes are tiny and latency-sensitive: disable Nagle.
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+void Fd::reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::optional<std::pair<Fd, std::uint16_t>> listen_loopback(std::uint16_t port,
+                                                            int backlog) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return std::nullopt;
+  int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (!set_nonblocking(fd.get())) return std::nullopt;
+
+  sockaddr_in addr = loopback_addr(port);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0)
+    return std::nullopt;
+  if (::listen(fd.get(), backlog) != 0) return std::nullopt;
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound), &len) != 0)
+    return std::nullopt;
+  return std::make_pair(std::move(fd), ntohs(bound.sin_port));
+}
+
+std::optional<Fd> connect_loopback(std::uint16_t port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return std::nullopt;
+  if (!set_nonblocking(fd.get())) return std::nullopt;
+  tune_stream(fd.get());
+
+  sockaddr_in addr = loopback_addr(port);
+  const int rc =
+      ::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc == 0 || errno == EINPROGRESS) return fd;
+  return std::nullopt;
+}
+
+bool connect_finished(const Fd& fd) {
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len) != 0)
+    return false;
+  return err == 0;
+}
+
+std::optional<Fd> accept_connection(const Fd& listener) {
+  const int fd = ::accept(listener.get(), nullptr, nullptr);
+  if (fd < 0) return std::nullopt;
+  Fd out(fd);
+  if (!set_nonblocking(out.get())) return std::nullopt;
+  tune_stream(out.get());
+  return out;
+}
+
+IoStatus read_available(const Fd& fd, Bytes& out) {
+  std::uint8_t buf[16384];
+  bool any = false;
+  for (;;) {
+    const ssize_t n = ::read(fd.get(), buf, sizeof(buf));
+    if (n > 0) {
+      out.insert(out.end(), buf, buf + n);
+      any = true;
+      continue;
+    }
+    if (n == 0) return IoStatus::kClosed;
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      return any ? IoStatus::kOk : IoStatus::kWouldBlock;
+    if (errno == EINTR) continue;
+    return IoStatus::kError;
+  }
+}
+
+IoStatus write_some(const Fd& fd, const Bytes& data, std::size_t& offset) {
+  while (offset < data.size()) {
+    const ssize_t n =
+        ::send(fd.get(), data.data() + offset, data.size() - offset,
+               MSG_NOSIGNAL);
+    if (n > 0) {
+      offset += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoStatus::kWouldBlock;
+    if (errno == EINTR) continue;
+    return IoStatus::kError;
+  }
+  return IoStatus::kOk;
+}
+
+}  // namespace zlb::net

@@ -1,0 +1,79 @@
+// Thin RAII wrappers over POSIX sockets: an owned file descriptor, plus
+// the handful of non-blocking TCP helpers the transport needs (listen
+// on loopback, initiate a connect, accept, scatter-free read/write).
+// Everything reports failures with error codes, not exceptions — a peer
+// resetting a connection is normal operation for this layer.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/bytes.hpp"
+
+namespace zlb::net {
+
+/// Owned file descriptor. Closes on destruction; move-only.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  Fd(Fd&& o) noexcept : fd_(std::exchange(o.fd_, -1)) {}
+  Fd& operator=(Fd&& o) noexcept {
+    if (this != &o) {
+      reset();
+      fd_ = std::exchange(o.fd_, -1);
+    }
+    return *this;
+  }
+
+  [[nodiscard]] int get() const { return fd_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int release() { return std::exchange(fd_, -1); }
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Result of a non-blocking I/O attempt.
+enum class IoStatus : std::uint8_t {
+  kOk = 0,        ///< made progress
+  kWouldBlock,    ///< no progress now, retry on readiness
+  kClosed,        ///< orderly EOF
+  kError,         ///< connection is dead
+};
+
+/// Binds a non-blocking listening socket on 127.0.0.1:`port` (0 picks an
+/// ephemeral port). Returns the socket and the actual bound port, or
+/// nullopt on failure.
+[[nodiscard]] std::optional<std::pair<Fd, std::uint16_t>> listen_loopback(
+    std::uint16_t port, int backlog = 64);
+
+/// Starts a non-blocking connect to 127.0.0.1:`port`. The connect may
+/// still be in progress when this returns; completion is signalled by
+/// writability (check connect_finished).
+[[nodiscard]] std::optional<Fd> connect_loopback(std::uint16_t port);
+
+/// After a writable event on an in-progress connect: true iff the
+/// connection is established (false = failed, drop the fd).
+[[nodiscard]] bool connect_finished(const Fd& fd);
+
+/// Accepts one pending connection (non-blocking).
+[[nodiscard]] std::optional<Fd> accept_connection(const Fd& listener);
+
+/// Reads whatever is available into `out` (appends). kOk means >= 1
+/// byte was appended.
+[[nodiscard]] IoStatus read_available(const Fd& fd, Bytes& out);
+
+/// Writes as much of `data` starting at `offset` as the kernel accepts;
+/// advances `offset`. kOk means offset == data.size() afterwards.
+[[nodiscard]] IoStatus write_some(const Fd& fd, const Bytes& data,
+                                  std::size_t& offset);
+
+}  // namespace zlb::net

@@ -1,0 +1,355 @@
+#include "net/transport.hpp"
+
+#include "common/serde.hpp"
+
+namespace zlb::net {
+
+namespace {
+constexpr std::uint32_t kHelloMagic = 0x5a4c4231;  // "ZLB1"
+}  // namespace
+
+TcpTransport::TcpTransport(EventLoop& loop, TransportConfig config)
+    : loop_(loop), config_(std::move(config)) {
+  auto bound = listen_loopback(config_.listen_port);
+  if (!bound) return;
+  listener_ = std::move(bound->first);
+  local_port_ = bound->second;
+  loop_.watch(listener_.get(), Interest{true, false},
+              [this](bool readable, bool) {
+                if (readable) on_listener_ready();
+              });
+}
+
+TcpTransport::~TcpTransport() {
+  if (listener_.valid()) loop_.unwatch(listener_.get());
+  for (auto& [peer, link] : links_) {
+    if (link.fd.valid()) loop_.unwatch(link.fd.get());
+  }
+  for (auto& [fd, pending] : pending_) loop_.unwatch(fd);
+}
+
+void TcpTransport::set_peers(std::map<ReplicaId, std::uint16_t> peers) {
+  config_.peers = std::move(peers);
+}
+
+void TcpTransport::enqueue_frame(Link& link, BytesView payload) {
+  append_frame(link.outbuf, payload);
+  link.frame_ends.push_back(link.outbuf.size());
+}
+
+void TcpTransport::compact(Link& link) {
+  // Rewind to the boundary of the first frame that was not fully handed
+  // to the kernel: fully-sent frames are dropped (TCP may still lose
+  // them with the connection — the consensus layer tolerates loss of
+  // individual votes), and a partially-sent frame is resent whole on
+  // the next connection, whose receiver starts a fresh decoder.
+  std::size_t cut = 0;
+  while (!link.frame_ends.empty() && link.frame_ends.front() <= link.out_offset)
+  {
+    cut = link.frame_ends.front();
+    link.frame_ends.pop_front();
+  }
+  if (cut > 0) {
+    link.outbuf.erase(link.outbuf.begin(),
+                      link.outbuf.begin() + static_cast<std::ptrdiff_t>(cut));
+    for (auto& end : link.frame_ends) end -= cut;
+  }
+  link.out_offset = 0;
+}
+
+void TcpTransport::start() {
+  for (const auto& [peer, port] : config_.peers) {
+    if (peer >= config_.me) continue;
+    const auto it = links_.find(peer);
+    if (it != links_.end() && (it->second.fd.valid() || it->second.initiated))
+      continue;
+    begin_connect(peer);
+  }
+}
+
+void TcpTransport::begin_connect(ReplicaId peer) {
+  const auto it = config_.peers.find(peer);
+  if (it == config_.peers.end()) return;
+  Link& link = links_[peer];  // keeps any queued frames
+  link.initiated = true;
+  link.attempts += 1;
+  link.decoder = FrameDecoder{};
+  link.hello_received = false;
+  compact(link);
+  auto fd = connect_loopback(it->second);
+  if (!fd) {
+    schedule_reconnect(peer);
+    return;
+  }
+  link.fd = std::move(*fd);
+  link.state = LinkState::kConnecting;
+  loop_.watch(link.fd.get(), Interest{false, true},
+              [this, peer](bool readable, bool writable) {
+                on_link_event(peer, readable, writable);
+              });
+}
+
+void TcpTransport::send_hello(Link& link) {
+  Writer w;
+  w.u32(kHelloMagic);
+  w.u32(config_.me);
+  const Bytes hello = w.take();
+  // HELLO goes out in front of anything already queued.
+  Bytes queued = std::move(link.outbuf);
+  std::deque<std::size_t> ends = std::move(link.frame_ends);
+  link.outbuf.clear();
+  link.frame_ends.clear();
+  link.out_offset = 0;
+  enqueue_frame(link, BytesView(hello.data(), hello.size()));
+  const std::size_t shift = link.outbuf.size();
+  append(link.outbuf, BytesView(queued.data(), queued.size()));
+  for (std::size_t end : ends) link.frame_ends.push_back(end + shift);
+}
+
+std::optional<ReplicaId> TcpTransport::parse_hello(BytesView payload) const {
+  try {
+    Reader r(payload);
+    if (r.u32() != kHelloMagic) return std::nullopt;
+    const ReplicaId id = r.u32();
+    if (!r.done()) return std::nullopt;
+    return id;
+  } catch (const DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+void TcpTransport::on_listener_ready() {
+  for (;;) {
+    auto fd = accept_connection(listener_);
+    if (!fd) return;
+    const int raw = fd->get();
+    pending_.emplace(raw, Pending{std::move(*fd), FrameDecoder{}});
+    loop_.watch(raw, Interest{true, false}, [this, raw](bool readable, bool) {
+      if (readable) on_pending_readable(raw);
+    });
+  }
+}
+
+void TcpTransport::on_pending_readable(int fd) {
+  const auto it = pending_.find(fd);
+  if (it == pending_.end()) return;
+  Bytes chunk;
+  const IoStatus status = read_available(it->second.fd, chunk);
+  if (status == IoStatus::kClosed || status == IoStatus::kError) {
+    loop_.unwatch(fd);
+    pending_.erase(it);
+    return;
+  }
+
+  std::optional<ReplicaId> claimed;
+  bool saw_frame = false;
+  Bytes after_hello;  // frames that arrived pipelined behind the HELLO
+  const bool ok = it->second.decoder.feed(
+      BytesView(chunk.data(), chunk.size()), [&](BytesView payload) {
+        if (!saw_frame) {
+          saw_frame = true;
+          claimed = parse_hello(payload);
+        } else {
+          append_frame(after_hello, payload);
+        }
+      });
+  // Reject on: poisoned stream, a completed first frame that is not a
+  // valid HELLO, or a suspiciously long prefix with no frame at all.
+  if (!ok || (saw_frame && !claimed) ||
+      (!saw_frame && it->second.decoder.pending_bytes() > 64)) {
+    stats_.handshake_failures += 1;
+    loop_.unwatch(fd);
+    pending_.erase(it);
+    return;
+  }
+  if (!claimed) return;  // HELLO not complete yet
+
+  // Only a known peer responsible for initiating (higher ids connect
+  // down to us) may identify this connection.
+  const ReplicaId peer = *claimed;
+  const auto existing = links_.find(peer);
+  const bool already_up = existing != links_.end() &&
+                          existing->second.fd.valid() &&
+                          existing->second.state == LinkState::kUp;
+  if (config_.peers.count(peer) == 0 || peer <= config_.me || already_up) {
+    stats_.handshake_failures += 1;
+    loop_.unwatch(fd);
+    pending_.erase(it);
+    return;
+  }
+  adopt_pending(fd, peer, after_hello);
+}
+
+void TcpTransport::adopt_pending(int fd, ReplicaId peer,
+                                 const Bytes& buffered_frames) {
+  auto node = pending_.extract(fd);
+  loop_.unwatch(fd);
+
+  Link& link = links_[peer];
+  if (link.fd.valid()) loop_.unwatch(link.fd.get());
+  link.fd = std::move(node.mapped().fd);
+  link.decoder = std::move(node.mapped().decoder);
+  link.state = LinkState::kUp;
+  link.initiated = false;
+  link.hello_received = true;  // consumed during the pending phase
+  link.attempts = 0;
+  compact(link);
+  send_hello(link);
+  loop_.watch(link.fd.get(), Interest{true, true},
+              [this, peer](bool readable, bool writable) {
+                on_link_event(peer, readable, writable);
+              });
+  // Frames the peer pipelined behind its HELLO.
+  if (!buffered_frames.empty()) {
+    FrameDecoder replay;
+    replay.feed(BytesView(buffered_frames.data(), buffered_frames.size()),
+                [&](BytesView payload) {
+                  stats_.frames_received += 1;
+                  if (handler_) handler_(peer, payload);
+                });
+  }
+}
+
+void TcpTransport::on_link_event(ReplicaId peer, bool readable, bool writable) {
+  const auto it = links_.find(peer);
+  if (it == links_.end() || !it->second.fd.valid()) return;
+  Link& link = it->second;
+
+  if (link.state == LinkState::kConnecting) {
+    if (!writable) return;
+    if (!connect_finished(link.fd)) {
+      drop_link(peer, true);
+      return;
+    }
+    send_hello(link);
+    link.state = LinkState::kUp;
+  }
+
+  if (writable && !link.outbuf.empty()) {
+    flush(peer, link);
+    const auto again = links_.find(peer);
+    if (again == links_.end() || !again->second.fd.valid()) return;
+  }
+
+  if (readable) {
+    Bytes chunk;
+    const IoStatus status = read_available(link.fd, chunk);
+    if (status == IoStatus::kClosed || status == IoStatus::kError) {
+      drop_link(peer, true);
+      return;
+    }
+    stats_.bytes_received += chunk.size();
+    bool bad_hello = false;
+    const bool ok = link.decoder.feed(
+        BytesView(chunk.data(), chunk.size()), [&](BytesView payload) {
+          if (!link.hello_received) {
+            // First frame on an initiated link: the peer's HELLO.
+            const auto claimed = parse_hello(payload);
+            if (!claimed || *claimed != peer) bad_hello = true;
+            link.hello_received = true;
+            return;
+          }
+          stats_.frames_received += 1;
+          if (handler_) handler_(peer, payload);
+        });
+    if (!ok || bad_hello) {
+      if (bad_hello) stats_.handshake_failures += 1;
+      drop_link(peer, true);
+      return;
+    }
+  }
+  update_interest(peer, link);
+}
+
+void TcpTransport::flush(ReplicaId peer, Link& link) {
+  const IoStatus status = write_some(link.fd, link.outbuf, link.out_offset);
+  if (status == IoStatus::kError) {
+    drop_link(peer, true);
+    return;
+  }
+  if (link.out_offset == link.outbuf.size()) {
+    stats_.bytes_sent += link.outbuf.size();
+    link.outbuf.clear();
+    link.frame_ends.clear();
+    link.out_offset = 0;
+  }
+}
+
+void TcpTransport::update_interest(ReplicaId peer, const Link& link) {
+  if (!link.fd.valid()) return;
+  Interest interest;
+  interest.readable = link.state == LinkState::kUp;
+  interest.writable =
+      link.state == LinkState::kConnecting || !link.outbuf.empty();
+  loop_.set_interest(link.fd.get(), interest);
+  (void)peer;
+}
+
+void TcpTransport::schedule_reconnect(ReplicaId peer) {
+  const auto it = links_.find(peer);
+  if (it == links_.end() || !it->second.initiated) return;
+  if (config_.max_reconnect_attempts > 0 &&
+      it->second.attempts >= config_.max_reconnect_attempts) {
+    return;
+  }
+  loop_.schedule(config_.reconnect_delay, [this, peer]() {
+    const auto l = links_.find(peer);
+    if (l != links_.end() && !l->second.fd.valid()) begin_connect(peer);
+  });
+}
+
+void TcpTransport::drop_link(ReplicaId peer, bool reconnect) {
+  const auto it = links_.find(peer);
+  if (it == links_.end()) return;
+  Link& link = it->second;
+  if (link.fd.valid()) {
+    loop_.unwatch(link.fd.get());
+    link.fd.reset();
+    stats_.connections_dropped += 1;
+  }
+  link.state = LinkState::kConnecting;
+  link.decoder = FrameDecoder{};
+  compact(link);
+  if (reconnect && link.initiated) schedule_reconnect(peer);
+}
+
+void TcpTransport::send(ReplicaId to, BytesView payload) {
+  if (to == config_.me) {
+    // Loop back through the event loop so the caller never re-enters
+    // its own handler mid-broadcast.
+    Bytes copy(payload.begin(), payload.end());
+    loop_.schedule(Duration::zero(), [this, copy = std::move(copy)]() {
+      stats_.frames_received += 1;
+      if (handler_) handler_(config_.me, BytesView(copy.data(), copy.size()));
+    });
+    stats_.frames_sent += 1;
+    return;
+  }
+  if (config_.peers.count(to) == 0) return;
+  Link& link = links_[to];  // may create a queue-only link (pre-start)
+  enqueue_frame(link, payload);
+  stats_.frames_sent += 1;
+  if (link.fd.valid() && link.state == LinkState::kUp) {
+    flush(to, link);
+    const auto it = links_.find(to);
+    if (it != links_.end() && it->second.fd.valid()) {
+      update_interest(to, it->second);
+    }
+  }
+}
+
+bool TcpTransport::connected(ReplicaId peer) const {
+  const auto it = links_.find(peer);
+  return it != links_.end() && it->second.fd.valid() &&
+         it->second.state == LinkState::kUp;
+}
+
+std::size_t TcpTransport::connected_count() const {
+  std::size_t count = 0;
+  for (const auto& [peer, link] : links_) {
+    if (link.fd.valid() && link.state == LinkState::kUp) ++count;
+  }
+  return count;
+}
+
+}  // namespace zlb::net

@@ -1,0 +1,126 @@
+// Replica-to-replica TCP transport: one duplex, length-prefix framed
+// loopback connection per peer pair, with an identifying handshake and
+// automatic reconnection. This is the live counterpart of
+// sim::Network — the consensus stack above it is byte-identical.
+//
+// Connection policy: the peer with the HIGHER id initiates the
+// connection (so exactly one link exists per pair); the first frame in
+// either direction is a HELLO carrying the protocol magic and the
+// sender's replica id. Frames received before a valid HELLO, oversized
+// frames, or a HELLO claiming an unexpected id all drop the connection.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <unordered_map>
+
+#include "common/types.hpp"
+#include "net/event_loop.hpp"
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+
+namespace zlb::net {
+
+struct TransportConfig {
+  ReplicaId me = 0;
+  std::uint16_t listen_port = 0;  ///< 0 = ephemeral
+  /// Peer id -> loopback port. Only peers in this map are accepted.
+  std::map<ReplicaId, std::uint16_t> peers;
+  Duration reconnect_delay = std::chrono::milliseconds(50);
+  /// Give up reconnecting after this many failed attempts (0 = forever).
+  int max_reconnect_attempts = 200;
+};
+
+struct TransportStats {
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_received = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t connections_dropped = 0;
+  std::uint64_t handshake_failures = 0;
+};
+
+class TcpTransport {
+ public:
+  using Handler = std::function<void(ReplicaId from, BytesView payload)>;
+
+  /// Binds the listener immediately (so the real port is known before
+  /// any peer starts); outbound connects begin at start().
+  TcpTransport(EventLoop& loop, TransportConfig config);
+  ~TcpTransport();
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  [[nodiscard]] bool listening() const { return listener_.valid(); }
+  [[nodiscard]] std::uint16_t local_port() const { return local_port_; }
+
+  void set_handler(Handler h) { handler_ = std::move(h); }
+  /// Late peer-table installation (ephemeral-port bootstrap: bind all
+  /// transports first, then distribute the port map).
+  void set_peers(std::map<ReplicaId, std::uint16_t> peers);
+
+  /// Starts outbound connections to all higher-responsibility peers.
+  void start();
+
+  /// Queues `payload` for `to`. Delivered once the link is up; silently
+  /// dropped if the peer is unknown. Sending to self delivers through
+  /// the loop (next iteration), never inline.
+  void send(ReplicaId to, BytesView payload);
+
+  [[nodiscard]] bool connected(ReplicaId peer) const;
+  [[nodiscard]] std::size_t connected_count() const;
+  [[nodiscard]] const TransportStats& stats() const { return stats_; }
+
+ private:
+  enum class LinkState : std::uint8_t { kConnecting, kHello, kUp };
+
+  struct Link {
+    Fd fd;
+    LinkState state = LinkState::kConnecting;
+    FrameDecoder decoder;
+    Bytes outbuf;
+    /// Cumulative end offset (within outbuf) of each queued frame, so a
+    /// reconnect can resend from a frame boundary.
+    std::deque<std::size_t> frame_ends;
+    std::size_t out_offset = 0;
+    bool initiated = false;  ///< we connect (and reconnect) this link
+    /// Peer's HELLO consumed (accepted links: during the pending phase;
+    /// initiated links: first frame after connect).
+    bool hello_received = false;
+    int attempts = 0;
+  };
+
+  /// Accepted connection waiting for its HELLO.
+  struct Pending {
+    Fd fd;
+    FrameDecoder decoder;
+  };
+
+  void on_listener_ready();
+  void begin_connect(ReplicaId peer);
+  void on_link_event(ReplicaId peer, bool readable, bool writable);
+  void on_pending_readable(int fd);
+  void drop_link(ReplicaId peer, bool reconnect);
+  void schedule_reconnect(ReplicaId peer);
+  void flush(ReplicaId peer, Link& link);
+  void update_interest(ReplicaId peer, const Link& link);
+  void send_hello(Link& link);
+  void enqueue_frame(Link& link, BytesView payload);
+  void compact(Link& link);
+  [[nodiscard]] std::optional<ReplicaId> parse_hello(BytesView payload) const;
+  void adopt_pending(int fd, ReplicaId peer, const Bytes& buffered_frames);
+
+  EventLoop& loop_;
+  TransportConfig config_;
+  Handler handler_;
+  Fd listener_;
+  std::uint16_t local_port_ = 0;
+  std::map<ReplicaId, Link> links_;
+  std::unordered_map<int, Pending> pending_;
+  TransportStats stats_;
+};
+
+}  // namespace zlb::net

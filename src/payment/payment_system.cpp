@@ -1,0 +1,70 @@
+#include "payment/payment_system.hpp"
+
+namespace zlb::payment {
+
+const char* to_string(PaymentState s) {
+  switch (s) {
+    case PaymentState::kPending: return "pending";
+    case PaymentState::kCommitted: return "committed";
+    case PaymentState::kFinal: return "final";
+    case PaymentState::kRefunded: return "refunded";
+  }
+  return "?";
+}
+
+void PaymentTracker::submit(const chain::TxId& id) {
+  entries_.emplace(id, Entry{});
+}
+
+void PaymentTracker::committed(const chain::TxId& id, InstanceId index) {
+  auto& e = entries_[id];
+  if (e.state == PaymentState::kFinal) return;
+  e.state = PaymentState::kCommitted;
+  e.committed_at = index;
+}
+
+void PaymentTracker::refunded(const chain::TxId& id) {
+  auto& e = entries_[id];
+  if (e.state == PaymentState::kFinal) return;
+  e.state = PaymentState::kRefunded;
+}
+
+std::vector<chain::TxId> PaymentTracker::advance(InstanceId height) {
+  std::vector<chain::TxId> finalized;
+  for (auto& [id, e] : entries_) {
+    if (e.state != PaymentState::kCommitted) continue;
+    if (height >= e.committed_at + static_cast<InstanceId>(depth_)) {
+      e.state = PaymentState::kFinal;
+      ++final_count_;
+      finalized.push_back(id);
+    }
+  }
+  return finalized;
+}
+
+PaymentState PaymentTracker::state(const chain::TxId& id) const {
+  const auto it = entries_.find(id);
+  return it == entries_.end() ? PaymentState::kPending : it->second.state;
+}
+
+std::size_t PaymentTracker::pending_count() const {
+  std::size_t count = 0;
+  for (const auto& [id, e] : entries_) {
+    if (e.state == PaymentState::kPending) ++count;
+  }
+  return count;
+}
+
+int PaymentTracker::blocks_remaining(const chain::TxId& id,
+                                     InstanceId height) const {
+  const auto it = entries_.find(id);
+  if (it == entries_.end() ||
+      it->second.state != PaymentState::kCommitted) {
+    return -1;
+  }
+  const InstanceId final_at =
+      it->second.committed_at + static_cast<InstanceId>(depth_);
+  return height >= final_at ? 0 : static_cast<int>(final_at - height);
+}
+
+}  // namespace zlb::payment

@@ -1,0 +1,86 @@
+// The zero-loss payment application of §B, client side: transactions
+// committed at chain index k become *final* (irreversible, deposit
+// released) only once the chain reaches depth k + m, where m is the
+// finalization blockdepth of Theorem .5. Tracks per-payment lifecycle
+// (pending -> committed -> final) and the deposit escrow schedule.
+#pragma once
+
+#include <map>
+#include <unordered_map>
+
+#include "chain/tx.hpp"
+#include "common/types.hpp"
+#include "payment/zero_loss.hpp"
+
+namespace zlb::payment {
+
+enum class PaymentState : std::uint8_t {
+  kPending = 0,    ///< submitted, not yet in a decided block
+  kCommitted = 1,  ///< in a decided block, awaiting finalization depth
+  kFinal = 2,      ///< buried >= m blocks: irreversible
+  kRefunded = 3,   ///< conflicting branch funded from the deposit
+};
+
+[[nodiscard]] const char* to_string(PaymentState s);
+
+/// Economic parameters of the deployment (§B assumptions).
+struct EscrowPolicy {
+  double gain_bound = 1e6;   ///< G: max total output value per block
+  double deposit_factor = 0.1;  ///< b: D = b * G
+  int branches = 3;          ///< a: max fork branches the coalition gets
+  double attack_success = 0.5;  ///< ρ: per-block success probability
+
+  /// Minimum finalization blockdepth m for zero-loss under this policy.
+  [[nodiscard]] int finalization_depth() const {
+    return min_blockdepth(branches, deposit_factor, attack_success);
+  }
+  /// Per-replica stake for a committee of n.
+  [[nodiscard]] double stake_per_replica(int n) const {
+    return per_replica_deposit(deposit_factor, gain_bound, n);
+  }
+};
+
+class PaymentTracker {
+ public:
+  explicit PaymentTracker(EscrowPolicy policy)
+      : policy_(policy), depth_(policy.finalization_depth()) {}
+
+  [[nodiscard]] const EscrowPolicy& policy() const { return policy_; }
+  [[nodiscard]] int finalization_depth() const { return depth_; }
+
+  /// Client submitted a payment.
+  void submit(const chain::TxId& id);
+  /// The payment appeared in the block decided at `index`.
+  void committed(const chain::TxId& id, InstanceId index);
+  /// The payment's inputs were conflicting and were refunded from the
+  /// deposit during a merge.
+  void refunded(const chain::TxId& id);
+  /// The chain advanced to `height`; payments buried >= m become final.
+  /// Returns the ids finalized by this advance.
+  std::vector<chain::TxId> advance(InstanceId height);
+
+  [[nodiscard]] PaymentState state(const chain::TxId& id) const;
+  [[nodiscard]] bool is_final(const chain::TxId& id) const {
+    return state(id) == PaymentState::kFinal;
+  }
+  [[nodiscard]] std::size_t pending_count() const;
+  [[nodiscard]] std::size_t final_count() const { return final_count_; }
+
+  /// Blocks still to wait before `id` is final at chain height `height`
+  /// (-1 if unknown or not committed).
+  [[nodiscard]] int blocks_remaining(const chain::TxId& id,
+                                     InstanceId height) const;
+
+ private:
+  struct Entry {
+    PaymentState state = PaymentState::kPending;
+    InstanceId committed_at = 0;
+  };
+
+  EscrowPolicy policy_;
+  int depth_;
+  std::unordered_map<chain::TxId, Entry, crypto::Hash32Hasher> entries_;
+  std::size_t final_count_ = 0;
+};
+
+}  // namespace zlb::payment

@@ -1,0 +1,57 @@
+#include "payment/zero_loss.hpp"
+
+#include <cmath>
+
+namespace zlb::payment {
+
+int max_branches(int n, int f, int q) {
+  const int deceitful = f - q;
+  // The paper's worked examples evaluate a <= (n-d)/(2n/3-d) with the
+  // real-valued 2n/3 (delta=0.5 -> 3 branches, 0.6 -> 6, 0.66 -> 51).
+  const double denom = 2.0 * n / 3.0 - deceitful;
+  if (denom <= 0.0) return n;  // beyond the bound: everything can fork
+  const int a = static_cast<int>((n - deceitful) / denom + 1e-9);
+  return a < 1 ? 1 : a;
+}
+
+double g_value(int a, double b, double rho, int m) {
+  const double r = std::pow(rho, m + 1);
+  return (1.0 - r) * b - (a - 1) * r;
+}
+
+double expected_gain(int a, double rho, int m, double gain) {
+  return (a - 1) * std::pow(rho, m + 1) * gain;
+}
+
+double expected_punishment(double b, double rho, int m, double gain) {
+  return (1.0 - std::pow(rho, m + 1)) * b * gain;
+}
+
+double deposit_flux(int a, double b, double rho, int m, double gain) {
+  return expected_punishment(b, rho, m, gain) -
+         expected_gain(a, rho, m, gain);
+}
+
+int min_blockdepth(int a, double b, double rho) {
+  if (a <= 1) return 0;          // cannot fork: nothing to steal
+  if (rho <= 0.0) return 0;
+  const double c = b / (static_cast<double>(a - 1) + b);
+  if (rho <= c) return 0;        // even one block suffices
+  if (rho >= 1.0) return -1;     // certain success: no finite depth works
+  const double raw = std::log(c) / std::log(rho) - 1.0;
+  // Smallest integer m >= raw (tolerate FP noise at the boundary).
+  const int m = static_cast<int>(std::ceil(raw - 1e-9));
+  return m < 0 ? 0 : m;
+}
+
+double per_replica_deposit(double b, double gain, int n) {
+  return 3.0 * b * gain / static_cast<double>(n);
+}
+
+double max_tolerated_rho(int a, double b, int m) {
+  if (a <= 1) return 1.0;
+  const double c = b / (static_cast<double>(a - 1) + b);
+  return std::pow(c, 1.0 / (m + 1));
+}
+
+}  // namespace zlb::payment

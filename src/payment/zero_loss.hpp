@@ -1,0 +1,48 @@
+// Zero-loss payment analysis (§B, Theorem .5). The attack on a block is
+// a Bernoulli trial succeeding with probability ρ; attackers fork into
+// `a` branches gaining at most (a−1)·G, against a slashed deposit
+// D = b·G held for m blocks (the finalization blockdepth). ZLB is
+// zero-loss iff the expected deposit flux
+//   Δ = P(ρ̂) − G(ρ̂) = G · g(a,b,ρ,m),
+//   g(a,b,ρ,m) = (1 − ρ^{m+1})·b − (a−1)·ρ^{m+1}
+// is non-negative.
+#pragma once
+
+#include <cstdint>
+
+namespace zlb::payment {
+
+/// Maximum number of branches a coalition of f faulty (q of them
+/// benign) replicas can fork into: a ≤ (n−(f−q)) / (⌈2n/3⌉−(f−q))
+/// [Singh et al. bound, used in §B]. Returns 1 when the denominator is
+/// non-positive or the ratio is below 1 (no fork possible).
+[[nodiscard]] int max_branches(int n, int f, int q);
+
+/// g(a,b,ρ,m) from Theorem .5.
+[[nodiscard]] double g_value(int a, double b, double rho, int m);
+
+/// Expected attacker gain  G(ρ̂) = (a−1)·ρ^{m+1}·G.
+[[nodiscard]] double expected_gain(int a, double rho, int m, double gain);
+
+/// Expected punishment  P(ρ̂) = (1−ρ^{m+1})·b·G.
+[[nodiscard]] double expected_punishment(double b, double rho, int m,
+                                         double gain);
+
+/// Expected deposit flux Δ = P − G (≥ 0 means zero-loss).
+[[nodiscard]] double deposit_flux(int a, double b, double rho, int m,
+                                  double gain);
+
+/// Smallest m with g(a,b,ρ,m) ≥ 0:  m = ⌈ log(c)/log(ρ) − 1 ⌉ with
+/// c = b/(a−1+b). Returns 0 when any attack already loses (ρ ≤ c), and
+/// -1 when no finite depth achieves zero-loss (ρ ≥ 1 with a > 1).
+[[nodiscard]] int min_blockdepth(int a, double b, double rho);
+
+/// The per-replica deposit 3·b·G/n that guarantees every possible
+/// coalition (size ≥ ⌈n/3⌉) holds at least D = b·G (§B assumption 2).
+[[nodiscard]] double per_replica_deposit(double b, double gain, int n);
+
+/// Largest per-block attack success probability ρ that a given
+/// finalization blockdepth m tolerates: ρ ≤ c^{1/(m+1)}.
+[[nodiscard]] double max_tolerated_rho(int a, double b, int m);
+
+}  // namespace zlb::payment

@@ -1,0 +1,58 @@
+#include "sim/latency.hpp"
+
+namespace zlb::sim {
+
+SimTime UniformLatency::sample(ReplicaId, ReplicaId, Rng& rng) const {
+  const double m = static_cast<double>(mean_);
+  return static_cast<SimTime>(rng.uniform(0.5 * m, 1.5 * m));
+}
+
+SimTime GammaLatency::sample(ReplicaId, ReplicaId, Rng& rng) const {
+  const double scale = static_cast<double>(mean_) / shape_;
+  const double v = rng.gamma(shape_, scale);
+  const auto t = static_cast<SimTime>(v);
+  return floor_ + t;
+}
+
+AwsLatency::AwsLatency() {
+  // One-way latencies (ms) between {California, Oregon, Ohio, Frankfurt,
+  // Ireland}, from the public inter-region measurements the Red Belly
+  // evaluation used; diagonal is intra-region.
+  constexpr double kMs[5][5] = {
+      //  CA     OR     OH     FRA    IRL
+      {0.4, 11.0, 25.0, 73.0, 68.0},   // California
+      {11.0, 0.4, 24.0, 79.0, 62.0},   // Oregon
+      {25.0, 24.0, 0.4, 47.0, 40.0},   // Ohio
+      {73.0, 79.0, 47.0, 0.4, 12.0},   // Frankfurt
+      {68.0, 62.0, 40.0, 12.0, 0.4},   // Ireland
+  };
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 0; j < 5; ++j) {
+      matrix_[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          ms(static_cast<std::int64_t>(kMs[i][j]));
+    }
+  }
+}
+
+SimTime AwsLatency::sample(ReplicaId from, ReplicaId to, Rng& rng) const {
+  const SimTime base = matrix_[static_cast<std::size_t>(region_of(from))]
+                              [static_cast<std::size_t>(region_of(to))];
+  // +-10% jitter.
+  const double jitter = rng.uniform(0.9, 1.1);
+  return static_cast<SimTime>(static_cast<double>(base) * jitter) + us(100);
+}
+
+SimTime PartitionOverlay::sample(ReplicaId from, ReplicaId to,
+                                 Rng& rng) const {
+  const SimTime base = base_->sample(from, to, rng);
+  const int pf = from < partition_of_.size()
+                     ? partition_of_[from]
+                     : -1;
+  const int pt = to < partition_of_.size() ? partition_of_[to] : -1;
+  if (pf >= 0 && pt >= 0 && pf != pt) {
+    return base + attack_->sample(from, to, rng);
+  }
+  return base;
+}
+
+}  // namespace zlb::sim

@@ -1,0 +1,105 @@
+// Link-latency models reproducing the paper's three delay families
+// (§5.2): uniform injected delays, Gamma-distributed internet delays
+// (Mukherjee/Crovella parameters) and a matrix of measured AWS
+// inter-region latencies for the five regions of the evaluation
+// (California, Oregon, Ohio, Frankfurt, Ireland). A partition overlay
+// wraps any base model and injects the adversary's cross-partition
+// delays between honest partitions while deceitful replicas keep
+// talking to everyone at base speed.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace zlb::sim {
+
+class LatencyModel {
+ public:
+  virtual ~LatencyModel() = default;
+  /// One-way propagation delay for a message from -> to.
+  [[nodiscard]] virtual SimTime sample(ReplicaId from, ReplicaId to,
+                                       Rng& rng) const = 0;
+};
+
+/// Fixed delay, for unit tests.
+class FixedLatency final : public LatencyModel {
+ public:
+  explicit FixedLatency(SimTime delay) : delay_(delay) {}
+  [[nodiscard]] SimTime sample(ReplicaId, ReplicaId, Rng&) const override {
+    return delay_;
+  }
+
+ private:
+  SimTime delay_;
+};
+
+/// Uniform in [mean/2, 3*mean/2] — the paper's "uniformly distributed
+/// delays with mean X ms".
+class UniformLatency final : public LatencyModel {
+ public:
+  explicit UniformLatency(SimTime mean) : mean_(mean) {}
+  [[nodiscard]] SimTime sample(ReplicaId, ReplicaId, Rng& rng) const override;
+
+ private:
+  SimTime mean_;
+};
+
+/// Gamma-distributed delay with a floor, modelling internet RTT tails.
+class GammaLatency final : public LatencyModel {
+ public:
+  GammaLatency(double shape, SimTime mean, SimTime floor)
+      : shape_(shape), mean_(mean), floor_(floor) {}
+  [[nodiscard]] SimTime sample(ReplicaId, ReplicaId, Rng& rng) const override;
+
+ private:
+  double shape_;
+  SimTime mean_;
+  SimTime floor_;
+};
+
+/// Five-region AWS latency matrix; replicas are assigned to regions
+/// round-robin, as in the paper's deployment across California, Oregon,
+/// Ohio, Frankfurt and Ireland. A small jitter fraction is applied.
+class AwsLatency final : public LatencyModel {
+ public:
+  AwsLatency();
+  [[nodiscard]] SimTime sample(ReplicaId from, ReplicaId to,
+                               Rng& rng) const override;
+  [[nodiscard]] static int region_of(ReplicaId id) { return id % 5; }
+
+ private:
+  // One-way latency in microseconds between regions.
+  std::array<std::array<SimTime, 5>, 5> matrix_{};
+};
+
+/// Adversarial overlay: honest replicas are split into partitions;
+/// messages between honest replicas of different partitions suffer an
+/// extra injected delay drawn from `attack`. Deceitful replicas (and
+/// same-partition honest pairs) use the base model only.
+class PartitionOverlay final : public LatencyModel {
+ public:
+  PartitionOverlay(std::shared_ptr<const LatencyModel> base,
+                   std::shared_ptr<const LatencyModel> attack,
+                   std::vector<int> partition_of)
+      : base_(std::move(base)),
+        attack_(std::move(attack)),
+        partition_of_(std::move(partition_of)) {}
+
+  [[nodiscard]] SimTime sample(ReplicaId from, ReplicaId to,
+                               Rng& rng) const override;
+
+  /// Partition index per replica; -1 marks deceitful (no extra delay).
+  [[nodiscard]] const std::vector<int>& partitions() const {
+    return partition_of_;
+  }
+
+ private:
+  std::shared_ptr<const LatencyModel> base_;
+  std::shared_ptr<const LatencyModel> attack_;
+  std::vector<int> partition_of_;
+};
+
+}  // namespace zlb::sim

@@ -1,0 +1,86 @@
+#include "sim/network.hpp"
+
+namespace zlb::sim {
+
+Network::Network(Simulator& sim, std::shared_ptr<const LatencyModel> latency,
+                 NetConfig config, std::uint64_t seed)
+    : sim_(sim),
+      latency_(std::move(latency)),
+      config_(config),
+      rng_(seed) {}
+
+void Network::attach(ReplicaId id, Process& proc) {
+  procs_[id] = &proc;
+}
+
+void Network::detach(ReplicaId id) {
+  procs_.erase(id);
+}
+
+void Network::send(ReplicaId from, ReplicaId to, Bytes data,
+                   std::uint32_t verify_units,
+                   std::uint64_t extra_wire_bytes) {
+  const std::uint64_t wire =
+      data.size() + extra_wire_bytes + config_.header_bytes;
+  stats_.messages += 1;
+  stats_.bytes += wire;
+
+  const double cpu_us =
+      config_.cpu.fixed_us +
+      config_.cpu.per_kb_us * static_cast<double>(wire) / 1024.0 +
+      config_.cpu.per_unit_us * verify_units / config_.cores;
+
+  if (from == to) {
+    deliver(from, to, std::move(data), sim_.now(), cpu_us);
+    return;
+  }
+
+  // NIC serialization at the sender.
+  SimTime& nic = nic_free_[from];
+  const SimTime tx_start = std::max(sim_.now(), nic);
+  const auto tx_time = static_cast<SimTime>(
+      static_cast<double>(wire) / config_.bandwidth_bytes_per_us);
+  nic = tx_start + tx_time;
+
+  const SimTime arrival = nic + latency_->sample(from, to, rng_);
+  deliver(from, to, std::move(data), arrival, cpu_us);
+}
+
+void Network::broadcast(ReplicaId from, const std::vector<ReplicaId>& dests,
+                        const Bytes& data, std::uint32_t verify_units,
+                        std::uint64_t extra_wire_bytes) {
+  for (ReplicaId to : dests) {
+    send(from, to, data, verify_units, extra_wire_bytes);
+  }
+}
+
+void Network::backchannel(ReplicaId from, ReplicaId to, Bytes data) {
+  deliver(from, to, std::move(data), sim_.now() + config_.backchannel_delay,
+          0.0);
+}
+
+void Network::deliver(ReplicaId from, ReplicaId to, Bytes data,
+                      SimTime arrival, double cpu_cost_us) {
+  // Receiver CPU is a serial resource reserved in ARRIVAL order: at the
+  // arrival event, processing starts once the CPU frees up, then the
+  // handler runs at completion time. (Reserving at send time instead
+  // would let a future cross-partition arrival block messages that
+  // arrive earlier.)
+  sim_.schedule_at(
+      arrival, [this, from, to, cpu_cost_us, payload = std::move(data)]() {
+        SimTime& cpu = cpu_free_[to];
+        const SimTime start = std::max(sim_.now(), cpu);
+        const SimTime done = start + static_cast<SimTime>(cpu_cost_us);
+        cpu = done;
+        sim_.schedule_at(
+            done, [this, from, to, body = std::move(
+                                       const_cast<Bytes&>(payload))]() mutable {
+              const auto it = procs_.find(to);
+              if (it == procs_.end()) return;  // excluded/detached
+              it->second->on_message(from,
+                                     BytesView(body.data(), body.size()));
+            });
+      });
+}
+
+}  // namespace zlb::sim

@@ -1,0 +1,100 @@
+// Simulated message-passing network. Every send pays (i) NIC
+// serialization at the sender (size/bandwidth, sends are serialized per
+// sender — this is what makes broadcast fan-out and certificate bloat
+// cost something, as on the paper's c4.xlarge testbed), (ii) a one-way
+// propagation delay from the latency model, and (iii) receiver CPU time
+// for deserializing and verifying signatures (per-unit cost divided
+// across the machine's cores). A zero-latency "backchannel" models the
+// out-of-band coordination of colluding deceitful replicas.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "sim/latency.hpp"
+#include "sim/simulator.hpp"
+
+namespace zlb::sim {
+
+class Process {
+ public:
+  virtual ~Process() = default;
+  virtual void on_message(ReplicaId from, BytesView data) = 0;
+};
+
+/// Receiver-side CPU cost model (microseconds).
+struct CpuCost {
+  double fixed_us = 5.0;      ///< per-message deserialization overhead
+  double per_kb_us = 2.0;     ///< per KiB of payload
+  double per_unit_us = 90.0;  ///< per signature verification (1 core)
+};
+
+struct NetConfig {
+  /// ~750 Mb/s uplink, c4.xlarge-like.
+  double bandwidth_bytes_per_us = 93.75;
+  double cores = 4.0;
+  CpuCost cpu{};
+  /// Colluder backchannel one-way delay.
+  SimTime backchannel_delay = us(500);
+  /// Fixed per-message envelope overhead on the wire.
+  std::size_t header_bytes = 40;
+};
+
+struct NetStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
+class Network {
+ public:
+  Network(Simulator& sim, std::shared_ptr<const LatencyModel> latency,
+          NetConfig config, std::uint64_t seed);
+
+  void attach(ReplicaId id, Process& proc);
+  void detach(ReplicaId id);
+  [[nodiscard]] bool attached(ReplicaId id) const {
+    return procs_.count(id) != 0;
+  }
+
+  /// Sends `data` from -> to. `verify_units` is the number of signature
+  /// verifications the receiver will perform; `extra_wire_bytes` models
+  /// bulk payload (tx bodies) that is on the wire but not materialized
+  /// in `data`.
+  void send(ReplicaId from, ReplicaId to, Bytes data,
+            std::uint32_t verify_units = 1, std::uint64_t extra_wire_bytes = 0);
+
+  /// Sends to every id in `dests` (including `from` itself, delivered
+  /// locally without NIC/latency cost).
+  void broadcast(ReplicaId from, const std::vector<ReplicaId>& dests,
+                 const Bytes& data, std::uint32_t verify_units = 1,
+                 std::uint64_t extra_wire_bytes = 0);
+
+  /// Colluder backchannel: fixed small delay, no NIC/CPU charge.
+  void backchannel(ReplicaId from, ReplicaId to, Bytes data);
+
+  void set_latency(std::shared_ptr<const LatencyModel> latency) {
+    latency_ = std::move(latency);
+  }
+
+  [[nodiscard]] Simulator& sim() { return sim_; }
+  [[nodiscard]] const NetStats& stats() const { return stats_; }
+  [[nodiscard]] const NetConfig& config() const { return config_; }
+
+ private:
+  void deliver(ReplicaId from, ReplicaId to, Bytes data, SimTime arrival,
+               double cpu_cost_us);
+
+  Simulator& sim_;
+  std::shared_ptr<const LatencyModel> latency_;
+  NetConfig config_;
+  Rng rng_;
+  std::unordered_map<ReplicaId, Process*> procs_;
+  std::unordered_map<ReplicaId, SimTime> nic_free_;
+  std::unordered_map<ReplicaId, SimTime> cpu_free_;
+  NetStats stats_;
+};
+
+}  // namespace zlb::sim

@@ -1,0 +1,38 @@
+#include "sim/simulator.hpp"
+
+namespace zlb::sim {
+
+void Simulator::schedule_at(SimTime when, Action action) {
+  if (when < now_) when = now_;
+  queue_.push(Event{when, next_seq_++, std::move(action)});
+}
+
+std::size_t Simulator::run_until(SimTime deadline) {
+  std::size_t count = 0;
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    // Copy out before pop so the action may schedule new events.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.when;
+    ev.action();
+    ++count;
+    ++events_executed_;
+  }
+  if (now_ < deadline && deadline != kSimTimeMax) now_ = deadline;
+  return count;
+}
+
+bool Simulator::run_while(const std::function<bool()>& pred,
+                          SimTime deadline) {
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    if (pred()) return true;
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.when;
+    ev.action();
+    ++events_executed_;
+  }
+  return pred();
+}
+
+}  // namespace zlb::sim

@@ -1,0 +1,59 @@
+// Deterministic discrete-event simulator. All protocol time in the
+// evaluation harness is simulated time (microseconds), never wall
+// clock, so every experiment replays bit-identically from its seed.
+#pragma once
+
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace zlb::sim {
+
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `action` to run `delay` after now (delay >= 0).
+  void schedule(SimTime delay, Action action) {
+    schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(action));
+  }
+  void schedule_at(SimTime when, Action action);
+
+  /// Runs events until the queue drains or `deadline` passes. Returns the
+  /// number of events executed.
+  std::size_t run_until(SimTime deadline = kSimTimeMax);
+
+  /// Runs until `pred()` becomes true (checked after every event), the
+  /// queue drains, or the deadline passes. Returns true if pred held.
+  bool run_while(const std::function<bool()>& pred,
+                 SimTime deadline = kSimTimeMax);
+
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t events_executed() const {
+    return events_executed_;
+  }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;  // tie-break for determinism
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t events_executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace zlb::sim

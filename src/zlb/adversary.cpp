@@ -1,0 +1,300 @@
+#include "zlb/adversary.hpp"
+
+namespace zlb {
+
+using consensus::InstanceKey;
+using consensus::InstanceKind;
+using consensus::MsgTag;
+using consensus::ProposalMsg;
+using consensus::SbcEngine;
+using consensus::SignedVote;
+
+namespace {
+constexpr std::uint8_t kBackchannelTag = 0xB0;
+constexpr std::uint8_t kAllPersonas = 0xFF;
+
+Bytes wrap_backchannel(int persona, BytesView inner) {
+  Bytes out;
+  out.reserve(inner.size() + 2);
+  out.push_back(kBackchannelTag);
+  out.push_back(static_cast<std::uint8_t>(persona));
+  append(out, inner);
+  return out;
+}
+}  // namespace
+
+SplitBrainReplica::SplitBrainReplica(sim::Simulator& sim, sim::Network& net,
+                                     crypto::SignatureScheme& scheme,
+                                     ReplicaId id,
+                                     std::shared_ptr<AdversaryShared> shared)
+    : sim_(sim),
+      net_(net),
+      scheme_(scheme),
+      me_(id),
+      shared_(std::move(shared)) {
+  net_.attach(me_, *this);
+}
+
+SbcEngine* SplitBrainReplica::get_or_create(const InstanceKey& key,
+                                            int persona) {
+  const PersonaKey pk{key, persona};
+  const auto it = engines_.find(pk);
+  if (it != engines_.end()) return it->second.get();
+  // The adversary only plays regular epoch-0 instances; it stays silent
+  // during the membership change (it is the one being excluded).
+  if (key.kind != InstanceKind::kRegular || key.epoch != 0) return nullptr;
+  if (key.index >= shared_->max_instances) return nullptr;
+
+  SbcEngine::Config ec;
+  ec.accountable = true;
+  SbcEngine::Hooks hooks;
+  hooks.broadcast = [this, persona, key](Bytes data, std::uint32_t units,
+                                         std::uint64_t extra) {
+    // In the binary-consensus attack, the non-primary personas replace
+    // their honest-logic EST/AUX on colluder slots with scripted 0-votes
+    // (sent at engine creation); drop the honest-logic ones here.
+    if (suppress_vote(persona, BytesView(data.data(), data.size()))) return;
+    if (given_up_.count(key) != 0) {
+      // Acting honest now: one voice, everyone hears it.
+      if (persona != 0) return;
+      for (const auto& partition : shared_->partitions) {
+        net_.broadcast(me_, partition, data, units, extra);
+      }
+      backchannel_all(persona, data);
+      return;
+    }
+    // To this persona's honest partition over the real network...
+    const auto& members = shared_->partitions[static_cast<std::size_t>(
+        persona)];
+    net_.broadcast(me_, members, data, units, extra);
+    // ...and to the same persona of every co-conspirator out-of-band.
+    backchannel_all(persona, data);
+  };
+  hooks.validate = nullptr;  // colluders accept anything
+  hooks.decided = nullptr;
+  hooks.observe = nullptr;
+
+  auto engine = std::make_unique<SbcEngine>(
+      key, shared_->committee, nullptr, me_, scheme_, ec, std::move(hooks));
+  SbcEngine* raw = engine.get();
+  engines_.emplace(pk, std::move(engine));
+  propose_in(key, persona, *raw);
+  // Deceitful model: if the instance is still open when the give-up
+  // timer fires, this colluder abandons the attack on it (§3.2).
+  if (shared_->giveup_delay >= 0 && giveup_scheduled_.insert(key).second) {
+    sim_.schedule(shared_->giveup_delay, [this, key]() { give_up(key); });
+  }
+  return raw;
+}
+
+void SplitBrainReplica::give_up(const InstanceKey& key) {
+  if (!given_up_.insert(key).second) return;
+  const auto it = engines_.find(PersonaKey{key, 0});
+  if (it != engines_.end() && it->second->has_decided()) return;
+  // BV-broadcast both EST values for the scripted rounds on every slot
+  // to every honest replica. This is legal (EST equivocation is
+  // protocol-conformant amplification, never a PoF) and it completes
+  // the bin_values sets that the partition-scoped attack starved, so
+  // stalled honest rounds terminate with whatever AUX votes exist.
+  const std::size_t slots = shared_->committee.size();
+  for (std::uint32_t slot = 0; slot < slots; ++slot) {
+    for (std::uint32_t round = 1; round <= 3; ++round) {
+      for (std::uint8_t value : {0, 1}) {
+        consensus::SignedVote vote;
+        vote.signer = me_;
+        vote.body = consensus::VoteBody{key, slot, round,
+                                        consensus::VoteType::kEst,
+                                        Bytes{value}};
+        const Bytes sb = vote.body.signing_bytes();
+        vote.signature = scheme_.sign(me_, BytesView(sb.data(), sb.size()));
+        const Bytes msg = consensus::encode_vote_msg(vote);
+        for (const auto& partition : shared_->partitions) {
+          net_.broadcast(me_, partition, msg, 1, 0);
+        }
+        backchannel_all(0, msg);
+      }
+    }
+  }
+}
+
+void SplitBrainReplica::propose_in(const InstanceKey& key, int persona,
+                                   SbcEngine& engine) {
+  const bool rbcast = shared_->attack == AttackKind::kReliableBroadcast;
+
+  Bytes payload;
+  if (shared_->payload_factory) {
+    payload = shared_->payload_factory(persona, key.index);
+  } else {
+    asmr::BatchPayload p;
+    p.synthetic = true;
+    p.tx_count = shared_->batch_tx_count;
+    p.proposer = me_;
+    p.index = key.index;
+    // RBC attack: distinct tag per persona => distinct digest =>
+    // send/echo/ready equivocation. Binary-consensus attack: identical
+    // batch everywhere; the equivocation happens on the AUX votes.
+    p.tag = rbcast ? 1000 + static_cast<std::uint64_t>(persona) : 0;
+    payload = p.encode();
+  }
+  if (shared_->first_equivocation < 0 && persona > 0) {
+    shared_->first_equivocation = sim_.now();
+  }
+  const std::uint64_t extra =
+      static_cast<std::uint64_t>(shared_->batch_tx_count) *
+      shared_->avg_tx_bytes;
+  engine.propose(std::move(payload), extra, shared_->batch_tx_count,
+                 1 + shared_->batch_tx_count / 3);
+  if (!rbcast && persona > 0) inject_zero_votes(key, persona);
+}
+
+void SplitBrainReplica::inject_zero_votes(const InstanceKey& key,
+                                          int persona) {
+  // Scripted round-1..3 EST(0)/AUX(0) votes on every colluder slot,
+  // pushed to this persona's partition: honest replicas there amplify
+  // the 0 and decide 0 while partition 0 decides 1 — a same-round AUX
+  // equivocation across partitions.
+  const auto& members =
+      shared_->partitions[static_cast<std::size_t>(persona)];
+  for (std::uint32_t slot : shared_->colluder_slots) {
+    for (std::uint32_t round = 1; round <= 3; ++round) {
+      for (const auto type :
+           {consensus::VoteType::kEst, consensus::VoteType::kAux}) {
+        consensus::SignedVote vote;
+        vote.signer = me_;
+        vote.body = consensus::VoteBody{key, slot, round, type, Bytes{0}};
+        const Bytes sb = vote.body.signing_bytes();
+        vote.signature = scheme_.sign(me_, BytesView(sb.data(), sb.size()));
+        const Bytes msg = consensus::encode_vote_msg(vote);
+        net_.broadcast(me_, members, msg, 1, 0);
+      }
+    }
+  }
+}
+
+bool SplitBrainReplica::suppress_vote(int persona, BytesView data) const {
+  if (persona == 0) return false;
+  if (data.empty() || static_cast<MsgTag>(data[0]) != MsgTag::kVote) {
+    return false;
+  }
+  try {
+    Reader r(data.subspan(1));
+    const SignedVote vote = SignedVote::decode(r);
+    if (vote.body.type != consensus::VoteType::kEst &&
+        vote.body.type != consensus::VoteType::kAux) {
+      return false;
+    }
+    // After give-up only persona 0 speaks (one honest voice).
+    if (given_up_.count(vote.body.key) != 0) return true;
+    return shared_->attack == AttackKind::kBinaryConsensus &&
+           shared_->colluder_slots.count(vote.body.slot) != 0;
+  } catch (const DecodeError&) {
+    return false;
+  }
+}
+
+void SplitBrainReplica::backchannel_all(int persona, const Bytes& data) {
+  const Bytes wrapped = wrap_backchannel(persona, BytesView(data.data(),
+                                                            data.size()));
+  // Including ourselves: the persona engine must count its own votes
+  // (Bracha thresholds include the sender), and looping through the
+  // backchannel keeps engine handling non-reentrant.
+  for (ReplicaId c : shared_->colluders) {
+    net_.backchannel(me_, c, wrapped);
+  }
+}
+
+void SplitBrainReplica::share_payload_with_colluders(const Bytes& raw) {
+  const crypto::Hash32 digest =
+      crypto::sha256(BytesView(raw.data(), raw.size()));
+  if (!shared_payloads_.insert(digest).second) return;
+  const Bytes wrapped =
+      wrap_backchannel(kAllPersonas, BytesView(raw.data(), raw.size()));
+  for (ReplicaId c : shared_->colluders) {
+    if (c == me_) continue;
+    net_.backchannel(me_, c, wrapped);
+  }
+}
+
+void SplitBrainReplica::relay_to_other_partitions(int src_partition,
+                                                  const Bytes& raw,
+                                                  std::uint32_t units,
+                                                  std::uint64_t extra) {
+  const crypto::Hash32 digest =
+      crypto::sha256(BytesView(raw.data(), raw.size()));
+  for (int p = 0; p < static_cast<int>(shared_->partitions.size()); ++p) {
+    if (p == src_partition) continue;
+    if (!relayed_.insert({digest, p}).second) continue;
+    net_.broadcast(me_, shared_->partitions[static_cast<std::size_t>(p)],
+                   raw, units, extra);
+  }
+}
+
+void SplitBrainReplica::on_message(ReplicaId from, BytesView data) {
+  if (data.empty()) return;
+  if (data[0] == kBackchannelTag) {
+    if (data.size() < 2) return;
+    const std::uint8_t persona = data[1];
+    const BytesView inner = data.subspan(2);
+    if (persona == kAllPersonas) {
+      for (int p = 0; p < static_cast<int>(shared_->partitions.size()); ++p) {
+        handle_inner(p, from, inner);
+      }
+    } else if (persona < shared_->partitions.size()) {
+      handle_inner(persona, from, inner);
+    }
+    return;
+  }
+  const int p = from < shared_->partition_of.size()
+                    ? shared_->partition_of[from]
+                    : -1;
+  if (p < 0) return;  // not an honest partitioned sender
+  // Partition-scoped routing keeps each persona's view consistent with
+  // the partition it plays against (feeding personas the full stream
+  // would make them adopt foreign digests/values and blunt the scripted
+  // equivocation). The branch-feasibility cap in the cluster guarantees
+  // every partition plus the coalition reaches the quorum, so persona
+  // engines are never starved; residual stalls are covered by the
+  // deceitful-model give-up.
+  handle_inner(p, from, data);
+}
+
+void SplitBrainReplica::handle_inner(int persona, ReplicaId from,
+                                     BytesView data) {
+  if (data.empty()) return;
+  try {
+    Reader r(data.subspan(1));
+    switch (static_cast<MsgTag>(data[0])) {
+      case MsgTag::kVote: {
+        const SignedVote vote = SignedVote::decode(r);
+        SbcEngine* engine = get_or_create(vote.body.key, persona);
+        if (engine != nullptr) engine->handle_vote(vote);
+        break;
+      }
+      case MsgTag::kProposal: {
+        const ProposalMsg msg = ProposalMsg::decode(r);
+        SbcEngine* engine = get_or_create(msg.vote.body.key, persona);
+        if (engine != nullptr) engine->handle_proposal(msg);
+        // The forwarder keeps honest slots consistent across partitions:
+        // it shares every honest proposal with all colluder personas and
+        // relays it to the other partitions.
+        const bool honest_sender =
+            std::find(shared_->colluders.begin(), shared_->colluders.end(),
+                      msg.vote.signer) == shared_->colluders.end();
+        if (honest_sender && me_ == shared_->forwarder &&
+            shared_->partition_of[from] >= 0) {
+          const Bytes raw(data.begin(), data.end());
+          share_payload_with_colluders(raw);
+          relay_to_other_partitions(persona, raw,
+                                    1 + msg.tx_count / 3, msg.extra_wire);
+        }
+        break;
+      }
+      default:
+        break;  // decisions / evidence / gossip: the adversary ignores
+    }
+  } catch (const DecodeError&) {
+    return;
+  }
+}
+
+}  // namespace zlb

@@ -1,0 +1,115 @@
+// The coalition adversary (§B "Attacking the SBC solution"): deceitful
+// replicas run one protocol persona per honest partition ("split
+// brain"). Each persona follows the honest algorithm against its
+// partition's view, so conflicting-yet-protocol-shaped signed votes
+// emerge naturally — which is exactly what makes the attack detectable
+// through PoFs.
+//
+//  - Reliable broadcast attack: each persona proposes a *different*
+//    batch variant for the replica's slot (send/echo/ready equivocation).
+//  - Binary consensus attack: only persona 0 proposes; the other
+//    partitions never deliver the batch and vote 0 while partition 0
+//    votes 1 (same-round AUX equivocation).
+//
+// Colluders coordinate over a zero-cost backchannel: a designated
+// forwarder shares honest proposals with every persona of every
+// colluder (and relays them across partitions) so that honest slots
+// keep agreeing and the fork is confined to the deceitful slots.
+#pragma once
+
+#include <memory>
+#include <set>
+
+#include "asmr/payload.hpp"
+#include "consensus/sbc.hpp"
+#include "sim/network.hpp"
+
+namespace zlb {
+
+enum class AttackKind : std::uint8_t {
+  kNone = 0,
+  kReliableBroadcast = 1,
+  kBinaryConsensus = 2,
+};
+
+struct AdversaryShared {
+  AttackKind attack = AttackKind::kBinaryConsensus;
+  std::vector<ReplicaId> committee;           ///< epoch-0 committee
+  std::vector<ReplicaId> colluders;           ///< deceitful ids
+  std::vector<std::vector<ReplicaId>> partitions;  ///< honest per partition
+  std::vector<int> partition_of;              ///< id -> partition (-1 = none)
+  ReplicaId forwarder = 0;                    ///< relays honest proposals
+  std::set<std::uint32_t> colluder_slots;     ///< slots owned by colluders
+  std::uint32_t batch_tx_count = 1000;
+  std::uint32_t avg_tx_bytes = 400;
+  std::uint64_t max_instances = 1u << 20;
+  /// Optional real payload per (persona, index); overrides synthetic.
+  std::function<Bytes(int persona, InstanceId index)> payload_factory;
+  /// First equivocation timestamp (attack start for detection metrics).
+  SimTime first_equivocation = -1;
+  /// Deceitful-model give-up (§3.2): if an instance is still undecided
+  /// this long after a colluder joined it, the colluder stops attacking
+  /// that instance and acts honestly — it BV-broadcasts both EST values
+  /// for the scripted rounds to every honest replica (legal
+  /// amplification, unsticks the rounds its equivocation starved) and
+  /// from then on its primary persona speaks to all partitions.
+  /// Negative disables (the adversary never relents).
+  SimTime giveup_delay = -1;
+};
+
+class SplitBrainReplica : public sim::Process {
+ public:
+  SplitBrainReplica(sim::Simulator& sim, sim::Network& net,
+                    crypto::SignatureScheme& scheme, ReplicaId id,
+                    std::shared_ptr<AdversaryShared> shared);
+
+  void on_message(ReplicaId from, BytesView data) override;
+
+  /// Debug: engine lookup for tests.
+  [[nodiscard]] const consensus::SbcEngine* debug_engine(
+      const consensus::InstanceKey& key, int persona) const {
+    const auto it = engines_.find(PersonaKey{key, persona});
+    return it == engines_.end() ? nullptr : it->second.get();
+  }
+  [[nodiscard]] std::size_t debug_engine_count() const {
+    return engines_.size();
+  }
+
+ public:
+  struct PersonaKey {
+    consensus::InstanceKey key;
+    int persona;
+    friend bool operator<(const PersonaKey& a, const PersonaKey& b) {
+      if (!(a.key == b.key)) return a.key < b.key;
+      return a.persona < b.persona;
+    }
+  };
+
+ private:
+
+  consensus::SbcEngine* get_or_create(const consensus::InstanceKey& key,
+                                      int persona);
+  void handle_inner(int persona, ReplicaId from, BytesView data);
+  void backchannel_all(int persona, const Bytes& data);
+  void share_payload_with_colluders(const Bytes& raw);
+  void relay_to_other_partitions(int src_partition, const Bytes& raw,
+                                 std::uint32_t units, std::uint64_t extra);
+  void propose_in(const consensus::InstanceKey& key, int persona,
+                  consensus::SbcEngine& engine);
+  void inject_zero_votes(const consensus::InstanceKey& key, int persona);
+  void give_up(const consensus::InstanceKey& key);
+  [[nodiscard]] bool suppress_vote(int persona, BytesView data) const;
+
+  sim::Simulator& sim_;
+  sim::Network& net_;
+  crypto::SignatureScheme& scheme_;
+  ReplicaId me_;
+  std::shared_ptr<AdversaryShared> shared_;
+  std::map<PersonaKey, std::unique_ptr<consensus::SbcEngine>> engines_;
+  std::set<std::pair<crypto::Hash32, int>> relayed_;  ///< (digest, partition)
+  std::set<crypto::Hash32> shared_payloads_;
+  std::set<consensus::InstanceKey> giveup_scheduled_;
+  std::set<consensus::InstanceKey> given_up_;
+};
+
+}  // namespace zlb

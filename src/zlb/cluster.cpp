@@ -1,0 +1,269 @@
+#include "zlb/cluster.hpp"
+
+#include <cmath>
+
+namespace zlb {
+
+std::shared_ptr<const sim::LatencyModel> make_delay_model(
+    DelayModel kind, SimTime uniform_mean) {
+  switch (kind) {
+    case DelayModel::kLan:
+      return std::make_shared<sim::FixedLatency>(us(300));
+    case DelayModel::kAws:
+      return std::make_shared<sim::AwsLatency>();
+    case DelayModel::kGamma:
+      // Mukherjee/Crovella-style internet delay: heavy-ish tail, mean
+      // ~60 ms above a 10 ms floor.
+      return std::make_shared<sim::GammaLatency>(2.0, ms(50), ms(10));
+    case DelayModel::kUniform:
+      return std::make_shared<sim::UniformLatency>(uniform_mean);
+  }
+  return std::make_shared<sim::AwsLatency>();
+}
+
+Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
+  build();
+}
+
+void Cluster::build() {
+  const std::size_t n = config_.n;
+  const std::size_t d = config_.deceitful;
+  const std::size_t q = config_.benign;
+
+  std::vector<ReplicaId> committee(n);
+  for (std::size_t i = 0; i < n; ++i) committee[i] = static_cast<ReplicaId>(i);
+  colluders_.assign(committee.begin(),
+                    committee.begin() + static_cast<std::ptrdiff_t>(d));
+  benign_.assign(committee.begin() + static_cast<std::ptrdiff_t>(d),
+                 committee.begin() + static_cast<std::ptrdiff_t>(d + q));
+  honest_.assign(committee.begin() + static_cast<std::ptrdiff_t>(d + q),
+                 committee.end());
+
+  const std::size_t pool_size =
+      config_.pool_size > 0 ? config_.pool_size : n;
+  pool_.resize(pool_size);
+  for (std::size_t i = 0; i < pool_size; ++i) {
+    pool_[i] = static_cast<ReplicaId>(n + i);
+  }
+
+  // Partition the honest replicas into as many branches as the
+  // coalition can sustain (§B).
+  num_partitions_ = 1;
+  std::vector<int> partition_of(n + pool_size, -1);
+  if (config_.attack != AttackKind::kNone && d > 0) {
+    num_partitions_ = std::max(
+        2, payment::max_branches(static_cast<int>(n),
+                                 static_cast<int>(d + q),
+                                 static_cast<int>(q)));
+    num_partitions_ =
+        std::min<int>(num_partitions_, static_cast<int>(honest_.size()));
+    // Branch feasibility: a branch can only be driven to a decision if
+    // its honest partition plus the coalition reaches the quorum n - t
+    // (echo/ready delivery and AUX round completion both need it), so a
+    // rational attacker never splits the honest replicas thinner than
+    // quorum - d per partition. Round-robin assignment makes the
+    // smallest partition floor(h/a).
+    const std::size_t quorum = n - (n - 1) / 3;
+    if (d < quorum) {
+      const std::size_t min_partition = quorum - d;
+      const int feasible =
+          static_cast<int>(honest_.size() / min_partition);
+      num_partitions_ = std::min(num_partitions_, std::max(1, feasible));
+    }
+    if (num_partitions_ < 2) num_partitions_ = 1;  // no winning split
+  }
+  std::vector<std::vector<ReplicaId>> partitions(
+      static_cast<std::size_t>(num_partitions_));
+  for (std::size_t i = 0; i < honest_.size(); ++i) {
+    const int p = static_cast<int>(i) % num_partitions_;
+    partitions[static_cast<std::size_t>(p)].push_back(honest_[i]);
+    partition_of[honest_[i]] = p;
+  }
+
+  auto base = make_delay_model(config_.base_delay, config_.base_uniform_mean);
+  std::shared_ptr<const sim::LatencyModel> model = base;
+  if (config_.attack != AttackKind::kNone && num_partitions_ > 1) {
+    auto attack_model =
+        make_delay_model(config_.attack_delay, config_.attack_uniform_mean);
+    model = std::make_shared<sim::PartitionOverlay>(base, attack_model,
+                                                    partition_of);
+  }
+
+  net_ = std::make_unique<sim::Network>(sim_, model, config_.net,
+                                        config_.seed * 7919 + 17);
+  scheme_ = std::make_unique<crypto::SimScheme>(config_.signature_size,
+                                                config_.seed);
+
+  // Honest committee members.
+  for (ReplicaId id : honest_) {
+    auto r = std::make_unique<asmr::Replica>(sim_, *net_, *scheme_, id,
+                                             committee, pool_,
+                                             config_.replica);
+    replicas_.emplace(id, std::move(r));
+  }
+  // Benign replicas exist in the committee but never act (crash-like
+  // behaviour of a non-deceitful Byzantine fault).
+  (void)benign_;
+  // Deceitful coalition.
+  if (config_.attack != AttackKind::kNone && d > 0) {
+    shared_ = std::make_shared<AdversaryShared>();
+    shared_->attack = config_.attack;
+    shared_->committee = committee;
+    shared_->colluders = colluders_;
+    shared_->partitions = partitions;
+    shared_->partition_of = partition_of;
+    shared_->forwarder = colluders_.front();
+    for (std::size_t i = 0; i < committee.size(); ++i) {
+      if (std::find(colluders_.begin(), colluders_.end(), committee[i]) !=
+          colluders_.end()) {
+        shared_->colluder_slots.insert(static_cast<std::uint32_t>(i));
+      }
+    }
+    shared_->batch_tx_count = config_.replica.batch_tx_count;
+    shared_->avg_tx_bytes = config_.replica.avg_tx_bytes;
+    shared_->max_instances = config_.replica.max_instances;
+    // Deceitful-model give-up (§3.2): scale with the injected delay so
+    // the attack gets a full complement of rounds before the coalition
+    // relents on a stalled instance.
+    shared_->giveup_delay =
+        std::max<SimTime>(seconds(10), 25 * config_.attack_uniform_mean);
+    for (ReplicaId id : colluders_) {
+      adversaries_.push_back(std::make_unique<SplitBrainReplica>(
+          sim_, *net_, *scheme_, id, shared_));
+    }
+  }
+  // Pool candidates in standby.
+  for (ReplicaId id : pool_) {
+    auto r = std::make_unique<asmr::Replica>(sim_, *net_, *scheme_, id,
+                                             committee, pool_,
+                                             config_.replica);
+    r->start_standby();
+    replicas_.emplace(id, std::move(r));
+  }
+  // Kick the honest replicas off.
+  for (ReplicaId id : honest_) replicas_.at(id)->start();
+}
+
+void Cluster::run(SimTime deadline) {
+  sim_.run_until(deadline);
+}
+
+bool Cluster::run_while(const std::function<bool()>& pred, SimTime deadline) {
+  return sim_.run_while(pred, deadline);
+}
+
+bool Cluster::all_recovered() const {
+  for (ReplicaId id : honest_) {
+    if (replicas_.at(id)->metrics().include_time < 0) return false;
+  }
+  return true;
+}
+
+std::uint64_t Cluster::min_instances_decided() const {
+  std::uint64_t lo = ~0ULL;
+  for (ReplicaId id : honest_) {
+    lo = std::min(lo, replicas_.at(id)->metrics().instances_decided);
+  }
+  return lo == ~0ULL ? 0 : lo;
+}
+
+ClusterReport Cluster::report() const {
+  ClusterReport rep;
+  if (honest_.empty()) return rep;
+
+  // Throughput: median honest replica's decided transactions over its
+  // decision makespan.
+  std::vector<std::pair<std::uint64_t, SimTime>> stats;
+  for (ReplicaId id : honest_) {
+    const auto& m = replicas_.at(id)->metrics();
+    stats.emplace_back(m.txs_decided, m.last_decide_time);
+  }
+  std::sort(stats.begin(), stats.end());
+  const auto& mid = stats[stats.size() / 2];
+  rep.txs_decided = mid.first;
+  rep.makespan = mid.second;
+  if (mid.second > 0) {
+    rep.decided_tx_per_sec =
+        static_cast<double>(mid.first) / to_seconds(mid.second);
+  }
+  std::uint64_t confirmed = 0;
+  for (ReplicaId id : honest_) {
+    confirmed = std::max(confirmed, replicas_.at(id)->metrics().txs_confirmed);
+  }
+  if (mid.second > 0) {
+    rep.confirmed_tx_per_sec =
+        static_cast<double>(confirmed) / to_seconds(mid.second);
+  }
+
+  // Disagreements (Fig. 4): slots decided inconsistently by honest
+  // replicas, summed over the epoch-0 instances.
+  const std::uint64_t max_k = config_.replica.max_instances;
+  for (std::uint64_t k = 0; k < max_k; ++k) {
+    bool any = false;
+    std::size_t conflicting_slots = 0;
+    std::map<std::uint32_t, std::set<std::string>> per_slot;
+    for (ReplicaId id : honest_) {
+      const auto* rec = replicas_.at(id)->decision(0, k);
+      if (rec == nullptr || !rec->decided) continue;
+      any = true;
+      std::map<std::uint32_t, const crypto::Hash32*> digests;
+      for (std::size_t i = 0; i < rec->one_slots.size(); ++i) {
+        digests[rec->one_slots[i]] = &rec->digests[i];
+      }
+      for (std::uint32_t s = 0; s < rec->bitmask.size(); ++s) {
+        std::string val(1, static_cast<char>('0' + rec->bitmask[s]));
+        if (rec->bitmask[s] == 1) {
+          const auto* h = digests[s];
+          val.append(reinterpret_cast<const char*>(h->data()), 8);
+        }
+        per_slot[s].insert(std::move(val));
+      }
+    }
+    if (!any) break;
+    for (const auto& [slot, vals] : per_slot) {
+      if (vals.size() > 1) ++conflicting_slots;
+    }
+    if (conflicting_slots > 0) {
+      rep.disagreements += conflicting_slots;
+      rep.forked_instances += 1;
+    }
+  }
+
+  // Recovery timings (Fig. 5), relative to the previous phase as the
+  // paper reports them.
+  const SimTime attack_start =
+      shared_ != nullptr ? shared_->first_equivocation : -1;
+  SimTime detect = -1, exclude = -1, include = -1;
+  for (ReplicaId id : honest_) {
+    const auto& m = replicas_.at(id)->metrics();
+    detect = std::max(detect, m.detect_time);
+    exclude = std::max(exclude, m.exclude_time);
+    include = std::max(include, m.include_time);
+    rep.excluded = std::max<std::size_t>(rep.excluded, m.excluded_count);
+    rep.included = std::max<std::size_t>(rep.included, m.included_count);
+  }
+  if (detect >= 0 && attack_start >= 0) rep.detect_time = detect - attack_start;
+  if (exclude >= 0 && detect >= 0) rep.exclude_time = exclude - detect;
+  if (include >= 0 && exclude >= 0) rep.include_time = include - exclude;
+  // Catch-up is measured from the first veteran that finished the
+  // inclusion (and started sending catch-ups) to the last activation.
+  SimTime include_min = -1;
+  for (ReplicaId id : honest_) {
+    const SimTime t = replicas_.at(id)->metrics().include_time;
+    if (t >= 0 && (include_min < 0 || t < include_min)) include_min = t;
+  }
+  SimTime last_activation = -1;
+  for (ReplicaId id : pool_) {
+    const auto& m = replicas_.at(id)->metrics();
+    if (m.activation_time >= 0) {
+      last_activation = std::max(last_activation, m.activation_time);
+    }
+  }
+  if (last_activation >= 0 && include_min >= 0) {
+    rep.catchup_time = std::max<SimTime>(0, last_activation - include_min);
+  }
+  rep.recovered = all_recovered();
+  return rep;
+}
+
+}  // namespace zlb

@@ -1,0 +1,116 @@
+// Experiment harness: builds a full ZLB deployment inside the
+// simulator — honest replicas, benign (silent) replicas, a deceitful
+// coalition with its partition delay overlay, and a pool of standby
+// candidates — runs it, and aggregates the metrics the paper's
+// evaluation reports (throughput, disagreement counts, detection /
+// exclusion / inclusion / catch-up times).
+#pragma once
+
+#include "asmr/replica.hpp"
+#include "payment/zero_loss.hpp"
+#include "zlb/adversary.hpp"
+
+namespace zlb {
+
+enum class DelayModel : std::uint8_t { kLan, kAws, kGamma, kUniform };
+
+struct ClusterConfig {
+  std::size_t n = 10;
+  std::size_t deceitful = 0;  ///< d colluders (ids 0..d-1)
+  std::size_t benign = 0;     ///< q silent replicas (next q ids)
+  AttackKind attack = AttackKind::kNone;
+
+  DelayModel base_delay = DelayModel::kAws;
+  SimTime base_uniform_mean = ms(50);
+  /// Injected cross-partition delay (the attack's lever, §5.2).
+  DelayModel attack_delay = DelayModel::kUniform;
+  SimTime attack_uniform_mean = ms(500);
+
+  asmr::ReplicaConfig replica;
+  sim::NetConfig net;
+  std::size_t pool_size = 0;  ///< 0 = automatic (= n, enough to replace d)
+  std::uint64_t seed = 1;
+  /// Signature wire size (64 = ECDSA; 256 models Polygraph's RSA).
+  std::size_t signature_size = 64;
+};
+
+struct ClusterReport {
+  double decided_tx_per_sec = 0.0;
+  double confirmed_tx_per_sec = 0.0;
+  std::uint64_t txs_decided = 0;
+  SimTime makespan = 0;
+  std::size_t disagreements = 0;        ///< conflicting proposals (Fig. 4)
+  std::size_t forked_instances = 0;
+  SimTime detect_time = -1;             ///< attack start -> fd PoFs
+  SimTime exclude_time = -1;            ///< detect -> exclusion decided
+  SimTime include_time = -1;            ///< exclusion -> inclusion decided
+  SimTime catchup_time = -1;            ///< inclusion -> last activation
+  std::size_t excluded = 0;
+  std::size_t included = 0;
+  bool recovered = false;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config);
+
+  /// Runs until the event queue drains or `deadline` sim-time passes.
+  void run(SimTime deadline);
+  /// Runs until `pred` holds (checked between events) or deadline.
+  bool run_while(const std::function<bool()>& pred, SimTime deadline);
+
+  [[nodiscard]] sim::Simulator& sim() { return sim_; }
+  [[nodiscard]] sim::Network& net() { return *net_; }
+  [[nodiscard]] asmr::Replica& replica(ReplicaId id) {
+    return *replicas_.at(id);
+  }
+  [[nodiscard]] bool has_replica(ReplicaId id) const {
+    return replicas_.count(id) != 0;
+  }
+  [[nodiscard]] const std::vector<ReplicaId>& honest_ids() const {
+    return honest_;
+  }
+  [[nodiscard]] const std::vector<ReplicaId>& colluder_ids() const {
+    return colluders_;
+  }
+  [[nodiscard]] const std::vector<ReplicaId>& pool_ids() const {
+    return pool_;
+  }
+  [[nodiscard]] int num_partitions() const { return num_partitions_; }
+  [[nodiscard]] const SplitBrainReplica* adversary(std::size_t i) const {
+    return i < adversaries_.size() ? adversaries_[i].get() : nullptr;
+  }
+  /// Adversary coordination state (set payload_factory before run() to
+  /// make colluders propose real conflicting blocks). Null when no
+  /// attack is configured.
+  [[nodiscard]] AdversaryShared* adversary_shared() { return shared_.get(); }
+
+  /// True once every honest replica completed the membership change.
+  [[nodiscard]] bool all_recovered() const;
+  /// Honest replicas' decided-instance floor (min over honest).
+  [[nodiscard]] std::uint64_t min_instances_decided() const;
+
+  [[nodiscard]] ClusterReport report() const;
+
+ private:
+  void build();
+
+  ClusterConfig config_;
+  sim::Simulator sim_;
+  std::unique_ptr<sim::Network> net_;
+  std::unique_ptr<crypto::SimScheme> scheme_;
+  std::shared_ptr<AdversaryShared> shared_;
+  std::map<ReplicaId, std::unique_ptr<asmr::Replica>> replicas_;
+  std::vector<std::unique_ptr<SplitBrainReplica>> adversaries_;
+  std::vector<ReplicaId> honest_;
+  std::vector<ReplicaId> colluders_;
+  std::vector<ReplicaId> benign_;
+  std::vector<ReplicaId> pool_;
+  int num_partitions_ = 1;
+};
+
+/// Latency model factory shared with the benches.
+[[nodiscard]] std::shared_ptr<const sim::LatencyModel> make_delay_model(
+    DelayModel kind, SimTime uniform_mean);
+
+}  // namespace zlb

@@ -1,0 +1,134 @@
+// ASMR payload codecs and the deterministic inclusion choice (Alg. 1
+// line 44).
+#include <gtest/gtest.h>
+
+#include "asmr/payload.hpp"
+#include "common/rng.hpp"
+
+namespace zlb::asmr {
+namespace {
+
+TEST(BatchPayload, SyntheticRoundtrip) {
+  BatchPayload p;
+  p.synthetic = true;
+  p.tx_count = 10000;
+  p.proposer = 42;
+  p.index = 7;
+  p.tag = 3;
+  const Bytes wire = p.encode();
+  const BatchPayload back =
+      BatchPayload::decode(BytesView(wire.data(), wire.size()));
+  EXPECT_TRUE(back.synthetic);
+  EXPECT_EQ(back.tx_count, 10000u);
+  EXPECT_EQ(back.proposer, 42u);
+  EXPECT_EQ(back.index, 7u);
+  EXPECT_EQ(back.tag, 3u);
+}
+
+TEST(BatchPayload, TagChangesDigest) {
+  BatchPayload a;
+  a.synthetic = true;
+  a.tx_count = 100;
+  BatchPayload b = a;
+  b.tag = 1;
+  EXPECT_NE(crypto::sha256(BytesView(a.encode().data(), a.encode().size())),
+            crypto::sha256(BytesView(b.encode().data(), b.encode().size())));
+}
+
+TEST(BatchPayload, MalformedThrows) {
+  const Bytes junk = {0x02, 0x03};
+  EXPECT_THROW((void)BatchPayload::decode(BytesView(junk.data(), junk.size())),
+               DecodeError);
+}
+
+TEST(ReplicaIds, Roundtrip) {
+  const std::vector<ReplicaId> ids{9, 1, 5};
+  const Bytes wire = encode_replica_ids(ids);
+  EXPECT_EQ(decode_replica_ids(BytesView(wire.data(), wire.size())), ids);
+}
+
+TEST(ChooseInclusion, SpreadsEvenlyAcrossProposals) {
+  // Three decided proposals, choose 3: one candidate from each.
+  const std::vector<std::vector<ReplicaId>> proposals{
+      {10, 11, 12}, {20, 21, 22}, {30, 31, 32}};
+  const auto chosen = choose_inclusion(3, proposals, {});
+  EXPECT_EQ(chosen, (std::vector<ReplicaId>{10, 20, 30}));
+}
+
+TEST(ChooseInclusion, SkipsDuplicatesAndBanned) {
+  const std::vector<std::vector<ReplicaId>> proposals{
+      {10, 11, 12}, {10, 21, 22}};
+  const auto chosen = choose_inclusion(3, proposals, {21});
+  // 10 once, 21 banned -> falls back to next offsets.
+  EXPECT_EQ(chosen.size(), 3u);
+  EXPECT_EQ(std::count(chosen.begin(), chosen.end(), 10), 1);
+  EXPECT_EQ(std::count(chosen.begin(), chosen.end(), 21), 0);
+}
+
+TEST(ChooseInclusion, Deterministic) {
+  const std::vector<std::vector<ReplicaId>> proposals{
+      {3, 1, 4}, {1, 5, 9}, {2, 6, 5}};
+  EXPECT_EQ(choose_inclusion(4, proposals, {}),
+            choose_inclusion(4, proposals, {}));
+}
+
+TEST(ChooseInclusion, InsufficientCandidatesReturnsWhatExists) {
+  const std::vector<std::vector<ReplicaId>> proposals{{7}, {7}};
+  const auto chosen = choose_inclusion(5, proposals, {});
+  EXPECT_EQ(chosen, (std::vector<ReplicaId>{7}));
+}
+
+TEST(ChooseInclusion, EmptyProposals) {
+  EXPECT_TRUE(choose_inclusion(3, {}, {}).empty());
+}
+
+TEST(ChooseInclusion, CapIsRespected) {
+  const std::vector<std::vector<ReplicaId>> proposals{
+      {1, 2, 3, 4, 5, 6, 7, 8}};
+  EXPECT_EQ(choose_inclusion(2, proposals, {}).size(), 2u);
+}
+
+class ChooseFairness : public ::testing::TestWithParam<std::uint64_t> {};
+
+// The §4.1.1 ④ fairness property under random proposals: no single
+// decided proposal contributes more than its even share (±1, and ±the
+// slack created by duplicates/bans), so a deceitful proposer cannot
+// pack the inclusion with its own candidates.
+TEST_P(ChooseFairness, NoProposalDominates) {
+  Rng rng(GetParam());
+  const std::size_t proposal_count = 2 + rng.next() % 5;   // 2..6
+  const std::size_t per_proposal = 3 + rng.next() % 4;     // 3..6
+  std::vector<std::vector<ReplicaId>> proposals(proposal_count);
+  for (std::size_t p = 0; p < proposal_count; ++p) {
+    for (std::size_t i = 0; i < per_proposal; ++i) {
+      // Disjoint candidate pools: the clean case where the even-share
+      // bound is exact.
+      proposals[p].push_back(
+          static_cast<ReplicaId>(100 * (p + 1) + i));
+    }
+  }
+  const std::size_t want = 1 + rng.next() % (proposal_count * per_proposal);
+  const auto chosen = choose_inclusion(want, proposals, {});
+  ASSERT_EQ(chosen.size(), std::min(want, proposal_count * per_proposal));
+
+  const std::size_t fair_share =
+      (chosen.size() + proposal_count - 1) / proposal_count;
+  for (std::size_t p = 0; p < proposal_count; ++p) {
+    std::size_t from_p = 0;
+    for (ReplicaId id : chosen) {
+      if (id / 100 == p + 1) ++from_p;
+    }
+    EXPECT_LE(from_p, fair_share + 1)
+        << "proposal " << p << " dominated the inclusion";
+  }
+  // And the result is duplicate-free.
+  auto sorted = chosen;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChooseFairness,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+}  // namespace
+}  // namespace zlb::asmr

@@ -1,0 +1,172 @@
+// The paper's headline behaviour: a deceitful coalition with
+// d = ⌈5n/9⌉−1 > n/3 forces disagreements; honest replicas cross-check
+// the conflicting decisions, build ≥⌈n/3⌉ proofs of fraud, run the
+// exclusion + inclusion consensus (Alg. 1), and converge to a committee
+// where agreement holds again (Def. 3: termination, agreement,
+// convergence).
+#include <gtest/gtest.h>
+
+#include "zlb/cluster.hpp"
+
+namespace zlb {
+namespace {
+
+ClusterConfig attack_config(std::size_t n, AttackKind attack,
+                            SimTime delay_mean, std::uint64_t seed = 7) {
+  ClusterConfig cfg;
+  cfg.n = n;
+  cfg.deceitful = (5 * n + 8) / 9 - 1;  // ⌈5n/9⌉ − 1
+  cfg.attack = attack;
+  cfg.base_delay = DelayModel::kLan;
+  cfg.attack_delay = DelayModel::kUniform;
+  cfg.attack_uniform_mean = delay_mean;
+  cfg.replica.batch_tx_count = 20;
+  cfg.replica.max_instances = 50;
+  cfg.replica.log_slot_cap = 64;
+  cfg.seed = seed;
+  return cfg;
+}
+
+class AttackRecovery
+    : public ::testing::TestWithParam<std::tuple<std::size_t, AttackKind>> {};
+
+TEST_P(AttackRecovery, DisagreeDetectExcludeIncludeConverge) {
+  const auto [n, attack] = GetParam();
+  ClusterConfig cfg = attack_config(n, attack, ms(400));
+  Cluster cluster(cfg);
+  cluster.run_while([&] { return cluster.all_recovered(); }, seconds(600));
+  const auto rep = cluster.report();
+
+  // The coalition (> n/3) managed at least one disagreement...
+  EXPECT_GT(rep.disagreements, 0u) << "attack produced no fork";
+  // ...every honest replica produced >= fd PoFs naming distinct replicas,
+  const std::size_t fd = (n + 2) / 3;
+  for (ReplicaId id : cluster.honest_ids()) {
+    EXPECT_GE(cluster.replica(id).pofs().culprit_count(), fd)
+        << "replica " << id;
+    // Accountability is sound: only actual colluders are ever accused.
+    for (ReplicaId culprit : cluster.replica(id).pofs().culprits()) {
+      EXPECT_LT(culprit, cfg.deceitful)
+          << "honest replica " << culprit << " falsely accused";
+    }
+  }
+  // ...the membership change completed,
+  EXPECT_TRUE(rep.recovered);
+  EXPECT_GE(rep.excluded, fd);
+  EXPECT_EQ(rep.included, rep.excluded);
+  EXPECT_GE(rep.detect_time, 0);
+  EXPECT_GE(rep.exclude_time, 0);
+  EXPECT_GE(rep.include_time, 0);
+
+  // ...and the new committee agrees: all honest replicas share the same
+  // epoch-1 membership with no proven culprit inside it.
+  const auto& ref_committee =
+      cluster.replica(cluster.honest_ids().front()).committee().members();
+  for (ReplicaId id : cluster.honest_ids()) {
+    const auto& r = cluster.replica(id);
+    EXPECT_EQ(r.epoch(), 1u);
+    EXPECT_EQ(r.committee().members(), ref_committee);
+    for (ReplicaId culprit : r.pofs().culprits()) {
+      EXPECT_FALSE(r.committee().contains(culprit));
+    }
+  }
+  EXPECT_EQ(ref_committee.size(), n);  // inclusion restored the size
+}
+
+TEST_P(AttackRecovery, ConvergencePostRecoveryInstanceAgrees) {
+  const auto [n, attack] = GetParam();
+  ClusterConfig cfg = attack_config(n, attack, ms(300), 11);
+  Cluster cluster(cfg);
+  // Run past recovery until every honest replica decided one more
+  // instance under the new epoch.
+  cluster.run_while(
+      [&] {
+        if (!cluster.all_recovered()) return false;
+        for (ReplicaId id : cluster.honest_ids()) {
+          bool any = false;
+          for (std::uint64_t k = 0; k < cfg.replica.max_instances; ++k) {
+            const auto* rec = cluster.replica(id).decision(1, k);
+            if (rec != nullptr && rec->decided) {
+              any = true;
+              break;
+            }
+          }
+          if (!any) return false;
+        }
+        return true;
+      },
+      seconds(600));
+
+  // Epoch-1 decisions agree across the veteran honest replicas.
+  for (std::uint64_t k = 0; k < cfg.replica.max_instances; ++k) {
+    const asmr::DecisionRecord* first = nullptr;
+    for (ReplicaId id : cluster.honest_ids()) {
+      const auto* rec = cluster.replica(id).decision(1, k);
+      if (rec == nullptr || !rec->decided) continue;
+      if (first == nullptr) {
+        first = rec;
+      } else {
+        EXPECT_EQ(rec->bitmask, first->bitmask) << "epoch 1 instance " << k;
+        EXPECT_EQ(rec->digests, first->digests);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Coalitions, AttackRecovery,
+    ::testing::Combine(::testing::Values<std::size_t>(10, 19),
+                       ::testing::Values(AttackKind::kBinaryConsensus,
+                                         AttackKind::kReliableBroadcast)));
+
+TEST(AttackRecovery, PolygraphDetectsButCannotRecover) {
+  // Polygraph baseline: accountable but no membership change — PoFs
+  // accumulate, yet the committee never changes (§6: "does not tolerate
+  // more than n/3 failures as it cannot recover after detection").
+  ClusterConfig cfg = attack_config(10, AttackKind::kBinaryConsensus, ms(300));
+  cfg.replica.recovery = false;
+  Cluster cluster(cfg);
+  cluster.run(seconds(60));
+  bool any_pofs = false;
+  for (ReplicaId id : cluster.honest_ids()) {
+    const auto& r = cluster.replica(id);
+    any_pofs |= r.pofs().culprit_count() > 0;
+    EXPECT_EQ(r.epoch(), 0u);
+    EXPECT_LT(r.metrics().include_time, 0);
+  }
+  EXPECT_TRUE(any_pofs);
+}
+
+TEST(AttackRecovery, NewReplicasCatchUpAndActivate) {
+  ClusterConfig cfg = attack_config(10, AttackKind::kBinaryConsensus, ms(300));
+  Cluster cluster(cfg);
+  cluster.run_while([&] { return cluster.all_recovered(); }, seconds(600));
+  ASSERT_TRUE(cluster.all_recovered());
+  cluster.run(cluster.sim().now() + seconds(30));
+  std::size_t activated = 0;
+  for (ReplicaId id : cluster.pool_ids()) {
+    if (cluster.replica(id).active()) ++activated;
+  }
+  const auto rep = cluster.report();
+  EXPECT_EQ(activated, rep.included);
+  EXPECT_GE(rep.catchup_time, 0);
+}
+
+TEST(AttackRecovery, LargerDelaysMoreDisagreements) {
+  std::size_t low = 0, high = 0;
+  {
+    Cluster c(attack_config(10, AttackKind::kBinaryConsensus, ms(100), 3));
+    c.run_while([&] { return c.all_recovered(); }, seconds(600));
+    low = c.report().disagreements;
+  }
+  {
+    Cluster c(attack_config(10, AttackKind::kBinaryConsensus, ms(1600), 3));
+    c.run_while([&] { return c.all_recovered(); }, seconds(600));
+    high = c.report().disagreements;
+  }
+  EXPECT_GE(high, low);
+  EXPECT_GT(high, 0u);
+}
+
+}  // namespace
+}  // namespace zlb

@@ -1,0 +1,121 @@
+// The three baseline systems of §5, as *protocol structures*: Red Belly
+// (fast, no accountability, forks forever under attack), Polygraph
+// (accountable, detects fraud, still cannot recover) and ZLB (detects
+// AND recovers). These are the behavioural contrasts Fig. 3/4 and the
+// related-work table rest on.
+#include <gtest/gtest.h>
+
+#include "baselines/polygraph.hpp"
+#include "baselines/redbelly.hpp"
+
+namespace zlb::baselines {
+namespace {
+
+TEST(RedBellyConfig, StructurallyNonAccountable) {
+  const asmr::ReplicaConfig cfg = redbelly_replica_config(100, 2);
+  EXPECT_FALSE(cfg.accountable);
+  EXPECT_FALSE(cfg.recovery);
+  EXPECT_FALSE(cfg.confirmation);
+  EXPECT_EQ(cfg.tx_verify_quorums, 1u);  // t+1 sharded verification
+}
+
+TEST(PolygraphConfig, AccountableButNoRecovery) {
+  const asmr::ReplicaConfig cfg = polygraph_replica_config(100, 2);
+  EXPECT_TRUE(cfg.accountable);
+  EXPECT_FALSE(cfg.recovery);
+  EXPECT_TRUE(cfg.cert_on_all_votes);     // certified broadcast everywhere
+  EXPECT_EQ(cfg.cert_vote_bytes, 322u);   // RSA-sized certificates
+  EXPECT_EQ(cfg.tx_verify_quorums, 1u);
+}
+
+TEST(PolygraphConfig, RsaSizedWireSignatures) {
+  const ClusterConfig cfg = polygraph_cluster_config(10, 100, 1, 1);
+  EXPECT_EQ(cfg.signature_size, 256u);
+}
+
+class BaselineHappyPath : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BaselineHappyPath, RedBellyDecides) {
+  const auto r = run_redbelly(GetParam(), 50, 2, 3);
+  EXPECT_GT(r.txs_decided, 0u);
+  EXPECT_GT(r.tx_per_sec, 0.0);
+  EXPECT_EQ(r.disagreements, 0u);
+  EXPECT_EQ(r.pofs, 0u);  // nothing is ever logged
+}
+
+TEST_P(BaselineHappyPath, PolygraphDecides) {
+  const auto r = run_polygraph(GetParam(), 50, 2, 3);
+  EXPECT_GT(r.txs_decided, 0u);
+  EXPECT_GT(r.tx_per_sec, 0.0);
+  EXPECT_EQ(r.disagreements, 0u);
+  EXPECT_EQ(r.pofs, 0u);  // honest runs produce no fraud proofs
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BaselineHappyPath,
+                         ::testing::Values(4, 7, 10, 16));
+
+TEST(RedBellyAttack, ForksAndNeverDetects) {
+  const auto r = run_redbelly_under_attack(10, AttackKind::kBinaryConsensus,
+                                           ms(400), 7);
+  EXPECT_GT(r.disagreements, 0u) << "coalition > n/3 must fork Red Belly";
+  EXPECT_EQ(r.detect_time, -1) << "Red Belly has no detection";
+  EXPECT_EQ(r.pofs, 0u);
+  EXPECT_FALSE(r.recovered);
+}
+
+TEST(RedBellyAttack, RbcastAttackAlsoForks) {
+  const auto r = run_redbelly_under_attack(10, AttackKind::kReliableBroadcast,
+                                           ms(400), 7);
+  EXPECT_GT(r.disagreements, 0u);
+  EXPECT_FALSE(r.recovered);
+}
+
+TEST(PolygraphAttack, DetectsButCannotRecover) {
+  const auto r = run_polygraph_under_attack(10, AttackKind::kBinaryConsensus,
+                                            ms(400), 7);
+  EXPECT_GT(r.disagreements, 0u) << "coalition > n/3 must fork Polygraph";
+  EXPECT_GE(r.detect_time, 0) << "Polygraph detects fraud";
+  EXPECT_GT(r.pofs, 0u) << "PoFs were extracted";
+  EXPECT_FALSE(r.recovered) << "but there is no membership change";
+}
+
+TEST(PolygraphAttack, DetectionNamesOnlyColluders) {
+  const std::size_t n = 10;
+  const std::size_t d = (5 * n + 8) / 9 - 1;
+  ClusterConfig cfg = polygraph_cluster_config(n, 20, 50, 7);
+  cfg.base_delay = DelayModel::kLan;
+  cfg.replica.log_slot_cap = 64;
+  cfg.replica.confirmation = true;  // Polygraph's certificate exchange
+  cfg.deceitful = d;
+  cfg.attack = AttackKind::kBinaryConsensus;
+  cfg.attack_delay = DelayModel::kUniform;
+  cfg.attack_uniform_mean = ms(400);
+  Cluster cluster(cfg);
+  cluster.run(seconds(600));
+  for (ReplicaId id : cluster.honest_ids()) {
+    for (ReplicaId culprit : cluster.replica(id).pofs().culprits()) {
+      EXPECT_LT(culprit, d) << "honest replica falsely accused";
+    }
+  }
+}
+
+// The paper's Fig. 3 shape at small scale: Polygraph's always-on
+// certificates cost throughput relative to Red Belly under identical
+// conditions.
+TEST(BaselineContrast, CertificatesCostThroughput) {
+  const std::size_t n = 10;
+  ClusterConfig rb = redbelly_cluster_config(n, 500, 2, 5);
+  ClusterConfig pg = polygraph_cluster_config(n, 500, 2, 5);
+  // Same calibrated WAN cost model for a fair comparison.
+  rb.net.cpu = sim::CpuCost{5.0, 2.0, 300.0};
+  pg.net.cpu = rb.net.cpu;
+  Cluster c_rb(rb);
+  c_rb.run(seconds(3600));
+  Cluster c_pg(pg);
+  c_pg.run(seconds(3600));
+  EXPECT_GT(c_rb.report().decided_tx_per_sec,
+            c_pg.report().decided_tx_per_sec);
+}
+
+}  // namespace
+}  // namespace zlb::baselines

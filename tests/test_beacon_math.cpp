@@ -1,0 +1,176 @@
+// The random-beacon / committee-sortition extension (§B discussion):
+// exactness of the hypergeometric takeover probability against an
+// arbitrary-precision reference, its monotonicity laws, the m+1-window
+// compounding, and the statistical behaviour of sortition itself.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "asmr/beacon.hpp"
+#include "common/bytes.hpp"
+
+namespace zlb::asmr {
+namespace {
+
+// Exact reference: hypergeometric tail with long-double Pascal
+// binomials (fine up to universe ~60 without overflow).
+long double choose_ld(std::size_t n, std::size_t k) {
+  if (k > n) return 0.0L;
+  long double r = 1.0L;
+  for (std::size_t i = 0; i < k; ++i) {
+    r = r * static_cast<long double>(n - i) / static_cast<long double>(i + 1);
+  }
+  return r;
+}
+
+double takeover_reference(std::size_t universe, std::size_t colluders,
+                          std::size_t committee) {
+  if (committee == 0 || committee > universe) return 0.0;
+  const std::size_t threshold = (committee + 2) / 3;
+  long double p = 0.0L;
+  const long double denom = choose_ld(universe, committee);
+  for (std::size_t k = threshold; k <= std::min(colluders, committee); ++k) {
+    if (committee - k > universe - colluders) continue;
+    p += choose_ld(colluders, k) *
+         choose_ld(universe - colluders, committee - k) / denom;
+  }
+  return static_cast<double>(p);
+}
+
+struct HgCase {
+  std::size_t universe, colluders, committee;
+};
+
+class HypergeometricExact : public ::testing::TestWithParam<HgCase> {};
+
+TEST_P(HypergeometricExact, MatchesReference) {
+  const auto [u, c, k] = GetParam();
+  EXPECT_NEAR(coalition_takeover_probability(u, c, k),
+              takeover_reference(u, c, k), 1e-9)
+      << "universe=" << u << " colluders=" << c << " committee=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, HypergeometricExact,
+    ::testing::Values(HgCase{10, 3, 4}, HgCase{10, 5, 7}, HgCase{20, 7, 10},
+                      HgCase{30, 10, 10}, HgCase{40, 13, 21},
+                      HgCase{50, 25, 30}, HgCase{60, 20, 20},
+                      HgCase{60, 40, 15}, HgCase{12, 0, 6},
+                      HgCase{12, 12, 6}));
+
+TEST(Hypergeometric, EdgeCases) {
+  // No committee / oversized committee.
+  EXPECT_EQ(coalition_takeover_probability(10, 5, 0), 0.0);
+  EXPECT_EQ(coalition_takeover_probability(10, 5, 11), 0.0);
+  // No colluders: cannot take over.
+  EXPECT_EQ(coalition_takeover_probability(30, 0, 10), 0.0);
+  // All colluders: certain takeover.
+  EXPECT_NEAR(coalition_takeover_probability(30, 30, 10), 1.0, 1e-12);
+  // Committee == universe: deterministic, takeover iff c >= ceil(k/3).
+  EXPECT_NEAR(coalition_takeover_probability(9, 3, 9), 1.0, 1e-12);
+  EXPECT_NEAR(coalition_takeover_probability(9, 2, 9), 0.0, 1e-12);
+}
+
+TEST(Hypergeometric, MonotoneInColluders) {
+  double prev = -1.0;
+  for (std::size_t c = 0; c <= 60; ++c) {
+    const double p = coalition_takeover_probability(60, c, 21);
+    EXPECT_GE(p, prev - 1e-12) << "c=" << c;
+    prev = p;
+  }
+}
+
+TEST(Hypergeometric, SmallerCommitteeOfSameRatioIsRiskier) {
+  // With 1/3 colluders in the universe, a small committee is easier to
+  // take over by sampling luck than a large one (concentration).
+  const double small = coalition_takeover_probability(90, 30, 6);
+  const double large = coalition_takeover_probability(90, 30, 60);
+  EXPECT_GT(small, large);
+}
+
+TEST(WindowSuccess, CompoundsPerRound) {
+  const double per = coalition_takeover_probability(60, 25, 15);
+  ASSERT_GT(per, 0.0);
+  ASSERT_LT(per, 1.0);
+  EXPECT_NEAR(attack_window_success(60, 25, 15, 0), per, 1e-12);
+  EXPECT_NEAR(attack_window_success(60, 25, 15, 3), std::pow(per, 4), 1e-12);
+  // Deeper finalization windows strictly help.
+  double prev = 1.1;
+  for (int m = 0; m <= 16; ++m) {
+    const double w = attack_window_success(60, 25, 15, m);
+    EXPECT_LT(w, prev);
+    prev = w;
+  }
+}
+
+TEST(Sortition, WithoutReplacementAndSorted) {
+  RandomBeacon beacon(to_bytes("seed"));
+  std::vector<ReplicaId> universe;
+  for (ReplicaId i = 0; i < 50; ++i) universe.push_back(i);
+  for (int round = 0; round < 20; ++round) {
+    beacon.absorb(crypto::sha256(to_bytes(std::to_string(round))));
+    const auto committee = sortition(beacon, universe, 13);
+    ASSERT_EQ(committee.size(), 13u);
+    EXPECT_TRUE(std::is_sorted(committee.begin(), committee.end()));
+    EXPECT_EQ(std::adjacent_find(committee.begin(), committee.end()),
+              committee.end())
+        << "duplicate member";
+    for (ReplicaId id : committee) EXPECT_LT(id, 50u);
+  }
+}
+
+TEST(Sortition, OversizedRequestReturnsWholeUniverse) {
+  RandomBeacon beacon(to_bytes("seed"));
+  std::vector<ReplicaId> universe{3, 1, 2};
+  const auto committee = sortition(beacon, universe, 10);
+  EXPECT_EQ(committee, (std::vector<ReplicaId>{1, 2, 3}));
+}
+
+TEST(Sortition, SeatFrequencyIsRoughlyUniform) {
+  // Every node should be picked ~ rounds * k / u times across many
+  // beacon steps. With 4000 rounds, k/u = 1/5: expectation 800.
+  RandomBeacon beacon(to_bytes("frequency"));
+  std::vector<ReplicaId> universe;
+  for (ReplicaId i = 0; i < 50; ++i) universe.push_back(i);
+  std::map<ReplicaId, int> seats;
+  const int rounds = 4000;
+  for (int r = 0; r < rounds; ++r) {
+    beacon.absorb(crypto::sha256(to_bytes(std::to_string(r))));
+    for (ReplicaId id : sortition(beacon, universe, 10)) seats[id] += 1;
+  }
+  for (ReplicaId i = 0; i < 50; ++i) {
+    EXPECT_GT(seats[i], 600) << "node " << i << " starved";
+    EXPECT_LT(seats[i], 1000) << "node " << i << " favoured";
+  }
+}
+
+TEST(Beacon, AbsorbChangesValueAndIsDeterministic) {
+  RandomBeacon a(to_bytes("x"));
+  RandomBeacon b(to_bytes("x"));
+  const auto before = a.value();
+  const crypto::Hash32 digest = crypto::sha256(to_bytes("block-7"));
+  a.absorb(digest);
+  b.absorb(digest);
+  EXPECT_NE(a.value(), before);
+  EXPECT_EQ(a.value(), b.value());
+  EXPECT_EQ(a.draw(), b.draw());
+}
+
+// The extension's security claim in one number: resampling committees
+// per block makes a <n/3-of-universe coalition's window success decay
+// geometrically, while a static committee (the base protocol without
+// the beacon) keeps ρ constant.
+TEST(WindowSuccess, BeatsStaticCommittee) {
+  const std::size_t universe = 120;
+  const std::size_t colluders = 35;  // < universe/3
+  const std::size_t committee = 30;
+  const double per = coalition_takeover_probability(universe, colluders,
+                                                    committee);
+  ASSERT_GT(per, 0.0);
+  EXPECT_LT(attack_window_success(universe, colluders, committee, 8),
+            per * 0.01);
+}
+
+}  // namespace
+}  // namespace zlb::asmr

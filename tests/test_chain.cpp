@@ -1,0 +1,186 @@
+// UTXO transactions, validation, blocks, store, mempool, wallets.
+#include <gtest/gtest.h>
+
+#include "chain/block.hpp"
+#include "chain/mempool.hpp"
+#include "chain/store.hpp"
+#include "chain/wallet.hpp"
+
+namespace zlb::chain {
+namespace {
+
+class ChainFixture : public ::testing::Test {
+ protected:
+  ChainFixture()
+      : alice(to_bytes("alice")), bob(to_bytes("bob")), carol(to_bytes("carol")) {
+    utxos.mint(alice.address(), 1000);
+  }
+
+  UtxoSet utxos;
+  Wallet alice, bob, carol;
+};
+
+TEST_F(ChainFixture, MintCreatesBalance) {
+  EXPECT_EQ(utxos.balance(alice.address()), 1000);
+  EXPECT_EQ(utxos.balance(bob.address()), 0);
+}
+
+TEST_F(ChainFixture, SimplePaymentMovesFunds) {
+  const auto tx = alice.pay(utxos, bob.address(), 300);
+  ASSERT_TRUE(tx.has_value());
+  EXPECT_EQ(utxos.apply(*tx), TxCheck::kOk);
+  EXPECT_EQ(utxos.balance(bob.address()), 300);
+  EXPECT_EQ(utxos.balance(alice.address()), 700);
+}
+
+TEST_F(ChainFixture, InsufficientFundsReturnsNullopt) {
+  EXPECT_FALSE(alice.pay(utxos, bob.address(), 2000).has_value());
+}
+
+TEST_F(ChainFixture, DoubleSpendRejectedOnSecondApply) {
+  const auto coins = utxos.owned_by(alice.address());
+  const Transaction tx1 = alice.pay_from(coins, bob.address(), 1000);
+  const Transaction tx2 = alice.pay_from(coins, carol.address(), 1000);
+  EXPECT_TRUE(conflicts(tx1, tx2));
+  EXPECT_EQ(utxos.apply(tx1), TxCheck::kOk);
+  EXPECT_EQ(utxos.apply(tx2), TxCheck::kMissingInput);
+}
+
+TEST_F(ChainFixture, WrongOwnerRejected) {
+  const auto coins = utxos.owned_by(alice.address());
+  // Bob attempts to spend Alice's coin with his own key.
+  const Transaction theft = bob.pay_from(coins, bob.address(), 1000);
+  EXPECT_EQ(utxos.check(theft), TxCheck::kWrongOwner);
+}
+
+TEST_F(ChainFixture, TamperedSignatureRejected) {
+  auto tx = alice.pay(utxos, bob.address(), 100);
+  ASSERT_TRUE(tx.has_value());
+  tx->inputs[0].sig[10] ^= 0xff;
+  EXPECT_EQ(utxos.check(*tx), TxCheck::kBadSignature);
+}
+
+TEST_F(ChainFixture, TamperedAmountRejected) {
+  auto tx = alice.pay(utxos, bob.address(), 100);
+  ASSERT_TRUE(tx.has_value());
+  tx->outputs[0].value = 99999;  // signature no longer covers this
+  const TxCheck c = utxos.check(*tx);
+  EXPECT_TRUE(c == TxCheck::kBadSignature || c == TxCheck::kOverspend);
+}
+
+TEST_F(ChainFixture, OverspendRejected) {
+  // Build an unsigned-overspend manually: outputs exceed inputs.
+  const auto coins = utxos.owned_by(alice.address());
+  Transaction tx = alice.pay_from(coins, bob.address(), 500);
+  tx.outputs[0].value = 5000;
+  EXPECT_NE(utxos.check(tx), TxCheck::kOk);
+}
+
+TEST_F(ChainFixture, SerializationRoundtrip) {
+  const auto tx = alice.pay(utxos, bob.address(), 42);
+  ASSERT_TRUE(tx.has_value());
+  const Bytes ser = tx->serialize();
+  Reader r(BytesView(ser.data(), ser.size()));
+  const Transaction back = Transaction::deserialize(r);
+  r.expect_done();
+  EXPECT_EQ(back.id(), tx->id());
+  EXPECT_EQ(back.serialize(), ser);
+}
+
+TEST_F(ChainFixture, WireSizeAround400Bytes) {
+  // The paper benchmarks ~400-byte Bitcoin transactions; one-input
+  // two-output transactions should be in that ballpark.
+  const auto tx = alice.pay(utxos, bob.address(), 42);
+  ASSERT_TRUE(tx.has_value());
+  EXPECT_GT(tx->wire_size(), 150u);
+  EXPECT_LT(tx->wire_size(), 500u);
+}
+
+TEST_F(ChainFixture, ConflictDetection) {
+  const auto coins = utxos.owned_by(alice.address());
+  const Transaction t1 = alice.pay_from(coins, bob.address(), 10);
+  const Transaction t2 = alice.pay_from(coins, carol.address(), 20);
+  EXPECT_TRUE(conflicts(t1, t2));
+  EXPECT_EQ(utxos.apply(t1), TxCheck::kOk);
+  const auto fresh = utxos.owned_by(alice.address());
+  ASSERT_FALSE(fresh.empty());
+  const Transaction t3 = alice.pay_from(fresh, carol.address(), 5);
+  EXPECT_FALSE(conflicts(t1, t3));
+}
+
+TEST_F(ChainFixture, BlockRoundtripAndId) {
+  Block b;
+  b.index = 7;
+  b.slot = 2;
+  b.proposer = 5;
+  const auto tx = alice.pay(utxos, bob.address(), 1);
+  b.txs.push_back(*tx);
+  const Bytes ser = b.serialize();
+  Reader r(BytesView(ser.data(), ser.size()));
+  const Block back = Block::deserialize(r);
+  EXPECT_EQ(back.id(), b.id());
+  EXPECT_EQ(back.txs.size(), 1u);
+}
+
+TEST_F(ChainFixture, BlockStoreTracksBranches) {
+  BlockStore store;
+  Block b1;
+  b1.index = 3;
+  b1.slot = 0;
+  const auto coins = utxos.owned_by(alice.address());
+  b1.txs.push_back(alice.pay_from(coins, bob.address(), 10));
+  Block b2 = b1;
+  b2.txs.clear();
+  b2.txs.push_back(alice.pay_from(coins, carol.address(), 10));
+  EXPECT_TRUE(store.put(b1));
+  EXPECT_TRUE(store.put(b2));
+  EXPECT_FALSE(store.put(b1));  // idempotent
+  EXPECT_EQ(store.branches_at(3), 2u);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_NE(store.get(b1.id()), nullptr);
+}
+
+TEST_F(ChainFixture, MempoolDedupAndBatch) {
+  Mempool pool;
+  const auto t1 = alice.pay(utxos, bob.address(), 1);
+  EXPECT_TRUE(pool.add(*t1));
+  EXPECT_FALSE(pool.add(*t1));
+  EXPECT_EQ(pool.size(), 1u);
+  const auto batch = pool.take_batch(10);
+  EXPECT_EQ(batch.size(), 1u);
+  EXPECT_TRUE(pool.empty());
+  // After taking, the same tx may be re-added (e.g. after a re-org).
+  EXPECT_TRUE(pool.add(*t1));
+}
+
+TEST_F(ChainFixture, MempoolRemoveCommitted) {
+  Mempool pool;
+  const auto t1 = alice.pay(utxos, bob.address(), 1);
+  const auto t2 = alice.pay(utxos, bob.address(), 2);
+  pool.add(*t1);
+  pool.add(*t2);
+  std::unordered_set<TxId, crypto::Hash32Hasher> committed{t1->id()};
+  pool.remove_committed(committed);
+  EXPECT_EQ(pool.size(), 1u);
+  const auto rest = pool.take_batch(10);
+  EXPECT_EQ(rest[0].id(), t2->id());
+}
+
+TEST(ProposalRef, SyntheticDistinguishesEquivocations) {
+  const auto a = synthetic_ref(3, 9, 1000, 400, 0);
+  const auto b = synthetic_ref(3, 9, 1000, 400, 1);
+  EXPECT_NE(a.digest, b.digest);       // different variants
+  EXPECT_EQ(a.wire_size, b.wire_size); // same declared size
+  EXPECT_EQ(a.wire_size, 1000u * 400u + 64u);
+}
+
+TEST(ProposalRef, EncodeDecode) {
+  const auto a = synthetic_ref(1, 2, 30, 400, 7);
+  Writer w;
+  a.encode(w);
+  Reader r(BytesView(w.data().data(), w.data().size()));
+  EXPECT_EQ(ProposalRef::decode(r), a);
+}
+
+}  // namespace
+}  // namespace zlb::chain

@@ -1,0 +1,172 @@
+// Randomized chain-layer invariants: UTXO conservation under random
+// payment streams, escrow/tracker lifecycle sweeps across economic
+// policies, and wallet input-selection properties.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "chain/wallet.hpp"
+#include "common/rng.hpp"
+#include "payment/payment_system.hpp"
+
+namespace zlb::chain {
+namespace {
+
+Amount total_supply(const UtxoSet& utxos,
+                    const std::vector<Wallet>& wallets) {
+  Amount total = 0;
+  for (const auto& w : wallets) total += utxos.balance(w.address());
+  return total;
+}
+
+class UtxoRandomWalk : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Conservation: random valid payments never create or destroy value,
+// and every rejected payment leaves the set untouched.
+TEST_P(UtxoRandomWalk, ValueIsConserved) {
+  Rng rng(GetParam());
+  UtxoSet utxos;
+  std::vector<Wallet> wallets;
+  for (int i = 0; i < 6; ++i) {
+    wallets.emplace_back(to_bytes("w" + std::to_string(i)));
+  }
+  const Amount minted = 5000;
+  utxos.mint(wallets[0].address(), minted);
+
+  int applied = 0;
+  for (int step = 0; step < 120; ++step) {
+    Wallet& from = wallets[rng.next() % wallets.size()];
+    const Wallet& to = wallets[rng.next() % wallets.size()];
+    const Amount balance = utxos.balance(from.address());
+    const Amount ask = 1 + static_cast<Amount>(rng.next() % 400);
+    const auto tx = from.pay(utxos, to.address(), ask);
+    if (!tx.has_value()) {
+      EXPECT_GT(ask, balance) << "pay() refused an affordable amount";
+      continue;
+    }
+    const auto result = utxos.apply(*tx);
+    if (from.address() == to.address()) {
+      // Self-payments are fine; value still conserved below.
+    }
+    EXPECT_EQ(result, TxCheck::kOk);
+    ++applied;
+    ASSERT_EQ(total_supply(utxos, wallets), minted) << "step " << step;
+  }
+  EXPECT_GT(applied, 10) << "walk degenerated, nothing was exercised";
+}
+
+// Replaying any prefix of already-applied transactions must fail
+// cleanly (inputs consumed) and change nothing.
+TEST_P(UtxoRandomWalk, ReplayedTransactionsAreRejected) {
+  Rng rng(GetParam() * 31 + 7);
+  UtxoSet utxos;
+  Wallet a(to_bytes("a")), b(to_bytes("b"));
+  utxos.mint(a.address(), 1000);
+
+  std::vector<Transaction> history;
+  for (int i = 0; i < 10; ++i) {
+    Wallet& from = (i % 2 == 0) ? a : b;
+    Wallet& to = (i % 2 == 0) ? b : a;
+    const Amount cap =
+        std::min<Amount>(50, utxos.balance(from.address()));
+    ASSERT_GT(cap, 0);
+    const Amount amount =
+        1 + static_cast<Amount>(rng.next() % static_cast<std::uint64_t>(cap));
+    auto tx = from.pay(utxos, to.address(), amount);
+    ASSERT_TRUE(tx.has_value());
+    ASSERT_EQ(utxos.apply(*tx), TxCheck::kOk);
+    history.push_back(*tx);
+  }
+  const Amount balance_a = utxos.balance(a.address());
+  const Amount balance_b = utxos.balance(b.address());
+  for (const auto& tx : history) {
+    EXPECT_NE(utxos.apply(tx), TxCheck::kOk);
+  }
+  EXPECT_EQ(utxos.balance(a.address()), balance_a);
+  EXPECT_EQ(utxos.balance(b.address()), balance_b);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UtxoRandomWalk,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace zlb::chain
+
+namespace zlb::payment {
+namespace {
+
+struct PolicyCase {
+  int branches;
+  double deposit_factor;
+  double rho;
+};
+
+class EscrowPolicies : public ::testing::TestWithParam<PolicyCase> {};
+
+TEST_P(EscrowPolicies, DepthSatisfiesTheoremAndIsMinimal) {
+  const auto [a, b, rho] = GetParam();
+  EscrowPolicy policy;
+  policy.branches = a;
+  policy.deposit_factor = b;
+  policy.attack_success = rho;
+  const int m = policy.finalization_depth();
+  ASSERT_GE(m, 0);
+  EXPECT_GE(g_value(a, b, rho, m), 0.0) << "depth not zero-loss";
+  if (m > 0) {
+    EXPECT_LT(g_value(a, b, rho, m - 1), 0.0) << "depth not minimal";
+  }
+}
+
+TEST_P(EscrowPolicies, TrackerFinalizesExactlyAtDepth) {
+  const auto [a, b, rho] = GetParam();
+  EscrowPolicy policy;
+  policy.branches = a;
+  policy.deposit_factor = b;
+  policy.attack_success = rho;
+  PaymentTracker tracker(policy);
+  const int m = tracker.finalization_depth();
+
+  const chain::TxId id = crypto::sha256(to_bytes("tx"));
+  tracker.submit(id);
+  EXPECT_EQ(tracker.state(id), PaymentState::kPending);
+  tracker.committed(id, 10);
+  EXPECT_EQ(tracker.state(id), PaymentState::kCommitted);
+
+  // One block short of the depth: still revocable.
+  if (m > 0) {
+    const auto none = tracker.advance(10 + static_cast<InstanceId>(m) - 1);
+    EXPECT_TRUE(none.empty());
+    EXPECT_FALSE(tracker.is_final(id));
+    EXPECT_EQ(tracker.blocks_remaining(id, 10 + static_cast<InstanceId>(m) -
+                                               1),
+              1);
+  }
+  const auto finalized = tracker.advance(10 + static_cast<InstanceId>(m));
+  ASSERT_EQ(finalized.size(), 1u);
+  EXPECT_EQ(finalized[0], id);
+  EXPECT_TRUE(tracker.is_final(id));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, EscrowPolicies,
+    ::testing::Values(PolicyCase{3, 0.1, 0.55}, PolicyCase{3, 0.1, 0.9},
+                      PolicyCase{2, 0.1, 0.5}, PolicyCase{3, 1.0, 0.5},
+                      PolicyCase{13, 0.1, 0.9}, PolicyCase{3, 0.01, 0.3},
+                      PolicyCase{2, 10.0, 0.99}));
+
+TEST(EscrowPolicies, StakeScalesInverselyWithCommittee) {
+  EscrowPolicy policy;
+  double prev = 1e300;
+  for (int n = 4; n <= 100; n += 3) {
+    const double stake = policy.stake_per_replica(n);
+    EXPECT_LT(stake, prev) << "per-replica stake must shrink with n";
+    // Every ⌈n/3⌉-coalition still holds the full deposit D = b·G.
+    EXPECT_GE(stake * std::ceil(n / 3.0),
+              policy.deposit_factor * policy.gain_bound - 1e-6);
+    prev = stake;
+  }
+}
+
+}  // namespace
+}  // namespace zlb::payment

@@ -1,0 +1,118 @@
+// Committee threshold laws swept across every size the evaluation
+// touches (and beyond): the quorum-intersection inequality behind
+// certificate validity, the Alg. 1 ⌈2n/3⌉ / fd = ⌈n/3⌉ thresholds, and
+// the runtime-shrink behaviour of the exclusion committee C′.
+#include <gtest/gtest.h>
+
+#include "consensus/committee.hpp"
+
+namespace zlb::consensus {
+namespace {
+
+std::vector<ReplicaId> iota_members(std::size_t n, ReplicaId start = 0) {
+  std::vector<ReplicaId> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = start + static_cast<ReplicaId>(i);
+  return v;
+}
+
+class ThresholdLaws : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ThresholdLaws, HoldForEveryCommitteeSize) {
+  const std::size_t n = GetParam();
+  const Committee c(iota_members(n));
+  const std::size_t t = c.max_faulty();
+
+  // Definitions.
+  EXPECT_EQ(t, (n - 1) / 3);
+  EXPECT_EQ(c.quorum(), n - t);
+  EXPECT_EQ(c.amplify(), t + 1);
+  EXPECT_EQ(c.two_thirds(), (2 * n + 2) / 3);
+  EXPECT_EQ(c.fd(), (n + 2) / 3);
+
+  // BFT quorum laws: 3t < n, and two quorums intersect in an honest
+  // replica (2*quorum - n > t).
+  EXPECT_LT(3 * t, n);
+  EXPECT_GT(2 * c.quorum(), n + t);
+  // A quorum cannot be formed by faulty replicas alone.
+  EXPECT_GT(c.quorum(), t);
+  // The certificate threshold is at least a simple majority...
+  EXPECT_GE(2 * c.two_thirds(), n + 1);
+  // ...and fd PoFs always certify that the fault bound was exceeded.
+  EXPECT_GT(c.fd(), t);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ThresholdLaws,
+                         ::testing::Range<std::size_t>(1, 202, 3));
+
+TEST(CommitteeMutation, RemoveShrinksThresholdsConsistently) {
+  Committee c(iota_members(30));
+  const auto v0 = c.version();
+  c.remove({0, 1, 2, 3, 4, 5, 6, 7, 8, 9});  // exclusion of fd = 10
+  EXPECT_EQ(c.size(), 20u);
+  EXPECT_GT(c.version(), v0);
+  EXPECT_EQ(c.quorum(), 20u - 6u);
+  EXPECT_FALSE(c.contains(3));
+  EXPECT_TRUE(c.contains(15));
+  // Slots re-pack densely in id order.
+  EXPECT_EQ(c.slot_of(10), 0);
+  EXPECT_EQ(c.slot_of(29), 19);
+  EXPECT_EQ(c.slot_of(5), -1);
+}
+
+TEST(CommitteeMutation, AddDeduplicatesAndSorts) {
+  Committee c(iota_members(4));
+  c.add({2, 7, 7, 5});
+  EXPECT_EQ(c.members(), (std::vector<ReplicaId>{0, 1, 2, 3, 5, 7}));
+  for (std::size_t s = 0; s < c.size(); ++s) {
+    EXPECT_EQ(c.slot_of(c.member(s)), static_cast<int>(s));
+  }
+}
+
+TEST(CommitteeMutation, RemoveAllLeavesEmptyButSafe) {
+  Committee c(iota_members(3));
+  c.remove({0, 1, 2});
+  EXPECT_EQ(c.size(), 0u);
+  EXPECT_EQ(c.max_faulty(), 0u);
+  EXPECT_EQ(c.quorum(), 0u);
+  EXPECT_FALSE(c.contains(0));
+}
+
+TEST(CommitteeMutation, RemoveOfAbsentIdIsNoOpOnMembership) {
+  Committee c(iota_members(7));
+  c.remove({100, 200});
+  EXPECT_EQ(c.size(), 7u);
+}
+
+// The Alg. 1 runtime shrink: as C′ loses provably deceitful members,
+// the ⌈2|C′|/3⌉ certificate threshold decreases, which is exactly what
+// guarantees the exclusion consensus eventually accepts a certificate.
+TEST(ExclusionShrink, CertificateThresholdIsMonotoneUnderExclusion) {
+  Committee c(iota_members(60));
+  std::size_t prev = c.two_thirds();
+  for (ReplicaId culprit = 0; culprit < 39; ++culprit) {
+    c.remove({culprit});
+    EXPECT_LE(c.two_thirds(), prev);
+    prev = c.two_thirds();
+  }
+  EXPECT_EQ(c.size(), 21u);
+  EXPECT_EQ(c.two_thirds(), 14u);
+}
+
+// Membership-change arithmetic from the convergence proof (Thm .4):
+// excluding fd >= n/3 deceitful replicas from a committee with
+// d < 5n/9 leaves d' = d - fd < n'/3 when all excluded are deceitful
+// and n' = n - fd, i.e. one full exclusion already restores agreement
+// for the worst-case split the paper highlights.
+TEST(ConvergenceArithmetic, OneExclusionRestoresAgreementBound) {
+  for (std::size_t n = 9; n <= 120; n += 3) {
+    const std::size_t d = (5 * n + 8) / 9 - 1;  // ⌈5n/9⌉ − 1
+    const std::size_t fd = (n + 2) / 3;         // ⌈n/3⌉
+    ASSERT_GE(d, fd);
+    const std::size_t n_prime = n;  // inclusion restores the size
+    const std::size_t d_prime = d - fd;
+    EXPECT_LT(3 * d_prime, n_prime) << "n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace zlb::consensus

@@ -1,0 +1,173 @@
+// Byte utilities, binary codec and RNG distribution sanity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "common/serde.hpp"
+
+namespace zlb {
+namespace {
+
+TEST(Bytes, HexRoundtrip) {
+  const Bytes b = {0x00, 0x01, 0xab, 0xff};
+  EXPECT_EQ(to_hex(BytesView(b.data(), b.size())), "0001abff");
+  EXPECT_EQ(from_hex("0001abff"), b);
+  EXPECT_EQ(from_hex("0001ABFF"), b);
+}
+
+TEST(Bytes, FromHexRejectsBadInput) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);
+}
+
+TEST(Bytes, CompareOrdersLexicographically) {
+  const Bytes a = {1, 2}, b = {1, 3}, c = {1, 2, 0};
+  EXPECT_LT(compare(BytesView(a.data(), a.size()), BytesView(b.data(), b.size())), 0);
+  EXPECT_LT(compare(BytesView(a.data(), a.size()), BytesView(c.data(), c.size())), 0);
+  EXPECT_EQ(compare(BytesView(a.data(), a.size()), BytesView(a.data(), a.size())), 0);
+}
+
+TEST(Serde, ScalarRoundtrip) {
+  Writer w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.boolean(true);
+  w.i64(-42);
+  Reader r(BytesView(w.data().data(), w.data().size()));
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_EQ(r.i64(), -42);
+  r.expect_done();
+}
+
+TEST(Serde, VarintBoundaries) {
+  for (std::uint64_t v : {0ULL, 1ULL, 127ULL, 128ULL, 16383ULL, 16384ULL,
+                          ~0ULL, 1ULL << 63}) {
+    Writer w;
+    w.varint(v);
+    Reader r(BytesView(w.data().data(), w.data().size()));
+    EXPECT_EQ(r.varint(), v);
+    r.expect_done();
+  }
+}
+
+TEST(Serde, BytesAndStrings) {
+  Writer w;
+  w.bytes(Bytes{1, 2, 3});
+  w.string("hello");
+  Reader r(BytesView(w.data().data(), w.data().size()));
+  EXPECT_EQ(r.bytes(), (Bytes{1, 2, 3}));
+  EXPECT_EQ(r.string(), "hello");
+}
+
+TEST(Serde, TruncatedInputThrows) {
+  Writer w;
+  w.u64(7);
+  Reader r(BytesView(w.data().data(), 4));
+  EXPECT_THROW((void)r.u64(), DecodeError);
+}
+
+TEST(Serde, OverlongBytesLengthThrows) {
+  Writer w;
+  w.varint(1000);  // claims 1000 bytes, provides none
+  Reader r(BytesView(w.data().data(), w.data().size()));
+  EXPECT_THROW((void)r.bytes(), DecodeError);
+}
+
+TEST(Serde, TrailingBytesDetected) {
+  Writer w;
+  w.u8(1);
+  w.u8(2);
+  Reader r(BytesView(w.data().data(), w.data().size()));
+  (void)r.u8();
+  EXPECT_THROW(r.expect_done(), DecodeError);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(10.0, 20.0);
+    EXPECT_GE(v, 10.0);
+    EXPECT_LT(v, 20.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusive) {
+  Rng rng(6);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(0, 9);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 9);
+    saw_lo |= v == 0;
+    saw_hi |= v == 9;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, GammaMeanAndPositivity) {
+  Rng rng(7);
+  const double shape = 2.0, scale = 50.0;  // mean 100
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.gamma(shape, scale);
+    EXPECT_GT(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / n, shape * scale, 3.0);
+}
+
+TEST(Rng, GammaShapeBelowOne) {
+  Rng rng(8);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.gamma(0.5, 10.0);  // mean 5
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / n, 5.0, 0.5);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(9);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(30.0);
+  EXPECT_NEAR(sum / n, 30.0, 1.5);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(10);
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  rng.shuffle(v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+}
+
+}  // namespace
+}  // namespace zlb

@@ -1,0 +1,232 @@
+// Unit coverage of the consensus building blocks: committee thresholds,
+// message codecs, proofs of fraud and the PofStore.
+#include <gtest/gtest.h>
+
+#include "consensus/committee.hpp"
+#include "consensus/pof.hpp"
+
+namespace zlb::consensus {
+namespace {
+
+crypto::SimScheme& scheme() {
+  static crypto::SimScheme s(64);
+  return s;
+}
+
+SignedVote make_vote(ReplicaId signer, std::uint32_t slot, std::uint32_t round,
+                     VoteType type, Bytes value,
+                     InstanceKey key = InstanceKey{0, InstanceKind::kRegular,
+                                                   0}) {
+  SignedVote v;
+  v.signer = signer;
+  v.body = VoteBody{key, slot, round, type, std::move(value)};
+  const Bytes sb = v.body.signing_bytes();
+  v.signature = scheme().sign(signer, BytesView(sb.data(), sb.size()));
+  return v;
+}
+
+TEST(Committee, Thresholds) {
+  // (n, t, quorum, fd, 2/3)
+  struct Row {
+    std::size_t n, t, quorum, fd, two_thirds;
+  };
+  for (const Row& row : {Row{4, 1, 3, 2, 3}, Row{7, 2, 5, 3, 5},
+                         Row{10, 3, 7, 4, 7}, Row{90, 29, 61, 30, 60},
+                         Row{100, 33, 67, 34, 67}}) {
+    std::vector<ReplicaId> m(row.n);
+    for (std::size_t i = 0; i < row.n; ++i) m[i] = static_cast<ReplicaId>(i);
+    Committee c(m);
+    EXPECT_EQ(c.max_faulty(), row.t) << "n=" << row.n;
+    EXPECT_EQ(c.quorum(), row.quorum) << "n=" << row.n;
+    EXPECT_EQ(c.fd(), row.fd) << "n=" << row.n;
+    EXPECT_EQ(c.two_thirds(), row.two_thirds) << "n=" << row.n;
+    EXPECT_EQ(c.amplify(), row.t + 1) << "n=" << row.n;
+  }
+}
+
+TEST(Committee, SlotMappingAndMutation) {
+  Committee c({5, 3, 9, 1});
+  EXPECT_EQ(c.members(), (std::vector<ReplicaId>{1, 3, 5, 9}));  // sorted
+  EXPECT_EQ(c.slot_of(5), 2);
+  EXPECT_EQ(c.slot_of(7), -1);
+  EXPECT_EQ(c.member(0), 1u);
+  const auto v0 = c.version();
+  c.remove({3});
+  EXPECT_FALSE(c.contains(3));
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_GT(c.version(), v0);
+  c.add({42});
+  EXPECT_TRUE(c.contains(42));
+  // Duplicates collapse.
+  c.add({42});
+  EXPECT_EQ(c.size(), 4u);
+}
+
+TEST(Messages, VoteRoundtrip) {
+  const SignedVote v =
+      make_vote(7, 3, 2, VoteType::kAux, Bytes{1},
+                InstanceKey{4, InstanceKind::kExclusion, 9});
+  const Bytes wire = encode_vote_msg(v);
+  ASSERT_EQ(wire[0], static_cast<std::uint8_t>(MsgTag::kVote));
+  Reader r(BytesView(wire.data() + 1, wire.size() - 1));
+  const SignedVote back = SignedVote::decode(r);
+  r.expect_done();
+  EXPECT_EQ(back, v);
+}
+
+TEST(Messages, InstanceKeyOrderingAndHash) {
+  const InstanceKey a{0, InstanceKind::kRegular, 1};
+  const InstanceKey b{0, InstanceKind::kExclusion, 0};
+  const InstanceKey c{1, InstanceKind::kRegular, 0};
+  EXPECT_TRUE(a < b);  // kind breaks ties within an epoch
+  EXPECT_TRUE(b < c);
+  InstanceKeyHasher h;
+  EXPECT_NE(h(a), h(c));
+}
+
+TEST(Messages, DecisionMsgRoundtripAndDigest) {
+  DecisionMsg d;
+  d.sender = 3;
+  d.key = InstanceKey{0, InstanceKind::kRegular, 5};
+  d.bitmask = {1, 0, 1};
+  d.digests = {crypto::sha256(to_bytes("a")), crypto::sha256(to_bytes("b"))};
+  const Bytes summary = d.summary_bytes();
+  d.signature = scheme().sign(3, BytesView(summary.data(), summary.size()));
+  Writer w;
+  d.encode(w);
+  Reader r(BytesView(w.data().data(), w.data().size()));
+  const DecisionMsg back = DecisionMsg::decode(r);
+  EXPECT_EQ(back.bitmask, d.bitmask);
+  EXPECT_EQ(back.digests, d.digests);
+  EXPECT_EQ(back.decision_digest(), d.decision_digest());
+  DecisionMsg other = d;
+  other.bitmask = {1, 1, 1};
+  EXPECT_NE(other.decision_digest(), d.decision_digest());
+}
+
+TEST(Messages, MalformedVoteThrows) {
+  Writer w;
+  w.u32(1);
+  // truncated body
+  Reader r(BytesView(w.data().data(), w.data().size()));
+  EXPECT_THROW((void)SignedVote::decode(r), DecodeError);
+}
+
+TEST(Pof, ValidEquivocationVerifies) {
+  const auto a = make_vote(4, 2, 1, VoteType::kAux, Bytes{0});
+  const auto b = make_vote(4, 2, 1, VoteType::kAux, Bytes{1});
+  const ProofOfFraud pof{a, b};
+  EXPECT_TRUE(verify_pof(pof, scheme()));
+  EXPECT_EQ(pof.culprit(), 4u);
+}
+
+TEST(Pof, RejectsSameValue) {
+  const auto a = make_vote(4, 2, 1, VoteType::kAux, Bytes{1});
+  EXPECT_FALSE(verify_pof(ProofOfFraud{a, a}, scheme()));
+}
+
+TEST(Pof, RejectsDifferentSigners) {
+  const auto a = make_vote(4, 2, 1, VoteType::kAux, Bytes{0});
+  const auto b = make_vote(5, 2, 1, VoteType::kAux, Bytes{1});
+  EXPECT_FALSE(verify_pof(ProofOfFraud{a, b}, scheme()));
+}
+
+TEST(Pof, RejectsDifferentSteps) {
+  const auto a = make_vote(4, 2, 1, VoteType::kAux, Bytes{0});
+  const auto b = make_vote(4, 2, 2, VoteType::kAux, Bytes{1});  // round 2
+  EXPECT_FALSE(verify_pof(ProofOfFraud{a, b}, scheme()));
+  const auto c = make_vote(4, 3, 1, VoteType::kAux, Bytes{1});  // slot 3
+  EXPECT_FALSE(verify_pof(ProofOfFraud{a, c}, scheme()));
+}
+
+TEST(Pof, EstEquivocationIsLegal) {
+  // BV-broadcast may relay both binary values: EST is not accountable.
+  const auto a = make_vote(4, 2, 1, VoteType::kEst, Bytes{0});
+  const auto b = make_vote(4, 2, 1, VoteType::kEst, Bytes{1});
+  EXPECT_FALSE(verify_pof(ProofOfFraud{a, b}, scheme()));
+}
+
+TEST(Pof, RejectsForgedSignature) {
+  auto a = make_vote(4, 2, 1, VoteType::kAux, Bytes{0});
+  const auto b = make_vote(4, 2, 1, VoteType::kAux, Bytes{1});
+  a.signature[0] ^= 0xff;
+  EXPECT_FALSE(verify_pof(ProofOfFraud{a, b}, scheme()));
+}
+
+TEST(Pof, EchoEquivocationIsFraud) {
+  const auto d1 = crypto::sha256(to_bytes("block-a"));
+  const auto d2 = crypto::sha256(to_bytes("block-b"));
+  const auto a = make_vote(2, 2, 0, VoteType::kEcho, Bytes(d1.begin(), d1.end()));
+  const auto b = make_vote(2, 2, 0, VoteType::kEcho, Bytes(d2.begin(), d2.end()));
+  EXPECT_TRUE(verify_pof(ProofOfFraud{a, b}, scheme()));
+}
+
+TEST(Pof, EncodeDecodeList) {
+  const auto a = make_vote(4, 2, 1, VoteType::kAux, Bytes{0});
+  const auto b = make_vote(4, 2, 1, VoteType::kAux, Bytes{1});
+  const std::vector<ProofOfFraud> pofs{{a, b}, {a, b}};
+  const Bytes wire = encode_pofs(pofs);
+  const auto back = decode_pofs(BytesView(wire.data(), wire.size()));
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].first, a);
+  EXPECT_EQ(back[1].second, b);
+}
+
+TEST(PofStore, DetectsConflictOnSecondVote) {
+  PofStore store;
+  EXPECT_FALSE(store.observe(make_vote(4, 2, 1, VoteType::kAux, Bytes{0}))
+                   .has_value());
+  const auto pof = store.observe(make_vote(4, 2, 1, VoteType::kAux, Bytes{1}));
+  ASSERT_TRUE(pof.has_value());
+  EXPECT_EQ(pof->culprit(), 4u);
+  EXPECT_TRUE(verify_pof(*pof, scheme()));
+  EXPECT_EQ(store.culprit_count(), 1u);
+  EXPECT_TRUE(store.is_culprit(4));
+}
+
+TEST(PofStore, OneCulpritCountedOnce) {
+  PofStore store;
+  (void)store.observe(make_vote(4, 2, 1, VoteType::kAux, Bytes{0}));
+  (void)store.observe(make_vote(4, 2, 1, VoteType::kAux, Bytes{1}));
+  // Same culprit equivocating on another slot: no new culprit.
+  (void)store.observe(make_vote(4, 3, 1, VoteType::kAux, Bytes{0}));
+  const auto again = store.observe(make_vote(4, 3, 1, VoteType::kAux, Bytes{1}));
+  EXPECT_FALSE(again.has_value());
+  EXPECT_EQ(store.culprit_count(), 1u);
+}
+
+TEST(PofStore, DistinctCulpritsAccumulate) {
+  PofStore store;
+  for (ReplicaId id = 0; id < 5; ++id) {
+    (void)store.observe(make_vote(id, 2, 1, VoteType::kAux, Bytes{0}));
+    (void)store.observe(make_vote(id, 2, 1, VoteType::kAux, Bytes{1}));
+  }
+  EXPECT_EQ(store.culprit_count(), 5u);
+  EXPECT_EQ(store.pofs().size(), 5u);
+  EXPECT_EQ(store.culprits().size(), 5u);
+}
+
+TEST(PofStore, VotesForSlotReturnsEvidence) {
+  PofStore store;
+  const InstanceKey key{0, InstanceKind::kRegular, 0};
+  (void)store.observe(make_vote(1, 2, 1, VoteType::kAux, Bytes{0}, key));
+  (void)store.observe(make_vote(2, 2, 1, VoteType::kAux, Bytes{1}, key));
+  (void)store.observe(make_vote(3, 7, 1, VoteType::kAux, Bytes{1}, key));
+  EXPECT_EQ(store.votes_for(key, 2).size(), 2u);
+  EXPECT_EQ(store.votes_for(key, 7).size(), 1u);
+  EXPECT_TRUE(store.votes_for(key, 9).empty());
+  store.prune_instance(key);
+  EXPECT_TRUE(store.votes_for(key, 2).empty());
+}
+
+TEST(PofStore, AddExternalPof) {
+  PofStore store;
+  const auto a = make_vote(4, 2, 1, VoteType::kAux, Bytes{0});
+  const auto b = make_vote(4, 2, 1, VoteType::kAux, Bytes{1});
+  EXPECT_TRUE(store.add_pof(ProofOfFraud{a, b}));
+  EXPECT_FALSE(store.add_pof(ProofOfFraud{a, b}));  // idempotent
+  EXPECT_EQ(store.culprit_count(), 1u);
+}
+
+}  // namespace
+}  // namespace zlb::consensus

@@ -1,0 +1,173 @@
+// secp256k1 curve algebra and ECDSA behaviour: known generator
+// multiples, group laws, sign/verify, tampering, compression.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "crypto/ecdsa.hpp"
+#include "crypto/signer.hpp"
+
+namespace zlb::crypto {
+namespace {
+
+TEST(Secp256k1, GeneratorIsOnCurve) {
+  EXPECT_TRUE(on_curve(AffinePoint{curve().gx, curve().gy, false}));
+}
+
+TEST(Secp256k1, KnownDoubleOfG) {
+  const AffinePoint two_g = to_affine(scalar_mul_base(U256(2)));
+  EXPECT_EQ(two_g.x.to_hex(),
+            "c6047f9441ed7d6d3045406e95c07cd85c778e4b8cef3ca7abac09b95c709ee5");
+  EXPECT_EQ(two_g.y.to_hex(),
+            "1ae168fea63dc339a3c58419466ceaeef7f632653266d0e1236431a950cfe52a");
+}
+
+TEST(Secp256k1, OrderTimesGIsIdentity) {
+  EXPECT_TRUE(scalar_mul_base(curve().n.m).is_identity());
+}
+
+TEST(Secp256k1, NMinusOneGIsMinusG) {
+  U256 n_minus_1;
+  sub_borrow(n_minus_1, curve().n.m, U256(1));
+  const AffinePoint p = to_affine(scalar_mul_base(n_minus_1));
+  EXPECT_EQ(p.x, curve().gx);
+  EXPECT_EQ(p.y, sub_mod(U256(), curve().gy, curve().p));
+}
+
+TEST(Secp256k1, ScalarDistributes) {
+  // (a+b)G == aG + bG for random scalars.
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) {
+    const U256 a = normalize(U256{rng.next(), rng.next(), rng.next(), rng.next()},
+                             curve().n);
+    const U256 b = normalize(U256{rng.next(), rng.next(), rng.next(), rng.next()},
+                             curve().n);
+    const U256 sum = add_mod(a, b, curve().n);
+    const AffinePoint lhs = to_affine(scalar_mul_base(sum));
+    const AffinePoint rhs =
+        to_affine(jacobian_add(scalar_mul_base(a), scalar_mul_base(b)));
+    EXPECT_EQ(lhs, rhs);
+  }
+}
+
+TEST(Secp256k1, CompressionRoundtrip) {
+  Rng rng(9);
+  for (int i = 0; i < 10; ++i) {
+    const U256 k = normalize(U256{rng.next(), rng.next(), rng.next(), rng.next()},
+                             curve().n);
+    if (k.is_zero()) continue;
+    const AffinePoint p = to_affine(scalar_mul_base(k));
+    const auto compressed = compress(p);
+    const auto decoded = decompress(BytesView(compressed.data(), 33));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, p);
+  }
+}
+
+TEST(Secp256k1, DecompressRejectsGarbage) {
+  std::array<std::uint8_t, 33> junk{};
+  junk[0] = 0x02;
+  // x = p (not < p) must be rejected.
+  const auto pb = curve().p.m.to_bytes();
+  std::copy(pb.begin(), pb.end(), junk.begin() + 1);
+  EXPECT_FALSE(decompress(BytesView(junk.data(), 33)).has_value());
+  junk[0] = 0x07;  // bad prefix
+  EXPECT_FALSE(decompress(BytesView(junk.data(), 33)).has_value());
+}
+
+TEST(Ecdsa, SignVerifyRoundtrip) {
+  const auto key = PrivateKey::from_seed(to_bytes("alice"));
+  const Bytes msg = to_bytes("pay bob 5 coins");
+  const Signature sig = key.sign(BytesView(msg.data(), msg.size()));
+  EXPECT_TRUE(verify(key.public_key(), BytesView(msg.data(), msg.size()), sig));
+}
+
+TEST(Ecdsa, DeterministicSignatures) {
+  const auto key = PrivateKey::from_seed(to_bytes("alice"));
+  const Bytes msg = to_bytes("hello");
+  const auto s1 = key.sign(BytesView(msg.data(), msg.size()));
+  const auto s2 = key.sign(BytesView(msg.data(), msg.size()));
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(Ecdsa, DifferentMessagesDifferentSignatures) {
+  const auto key = PrivateKey::from_seed(to_bytes("alice"));
+  const Bytes m1 = to_bytes("a"), m2 = to_bytes("b");
+  EXPECT_NE(key.sign(BytesView(m1.data(), m1.size())).r,
+            key.sign(BytesView(m2.data(), m2.size())).r);
+}
+
+TEST(Ecdsa, TamperedMessageFails) {
+  const auto key = PrivateKey::from_seed(to_bytes("alice"));
+  const Bytes msg = to_bytes("pay bob 5 coins");
+  const Signature sig = key.sign(BytesView(msg.data(), msg.size()));
+  const Bytes bad = to_bytes("pay bob 6 coins");
+  EXPECT_FALSE(verify(key.public_key(), BytesView(bad.data(), bad.size()), sig));
+}
+
+TEST(Ecdsa, WrongKeyFails) {
+  const auto alice = PrivateKey::from_seed(to_bytes("alice"));
+  const auto bob = PrivateKey::from_seed(to_bytes("bob"));
+  const Bytes msg = to_bytes("msg");
+  const Signature sig = alice.sign(BytesView(msg.data(), msg.size()));
+  EXPECT_FALSE(verify(bob.public_key(), BytesView(msg.data(), msg.size()), sig));
+}
+
+TEST(Ecdsa, ZeroSignatureRejected) {
+  const auto key = PrivateKey::from_seed(to_bytes("alice"));
+  const Bytes msg = to_bytes("msg");
+  EXPECT_FALSE(verify(key.public_key(), BytesView(msg.data(), msg.size()),
+                      Signature{U256(), U256()}));
+}
+
+TEST(Ecdsa, LowS) {
+  // BIP-62 normalization: s <= n/2 always.
+  U256 half = curve().n.m;
+  std::uint64_t carry = 0;
+  for (int i = 3; i >= 0; --i) {
+    const std::uint64_t cur = half.w[static_cast<std::size_t>(i)];
+    half.w[static_cast<std::size_t>(i)] = (cur >> 1) | (carry << 63);
+    carry = cur & 1;
+  }
+  const auto key = PrivateKey::from_seed(to_bytes("carol"));
+  for (int i = 0; i < 8; ++i) {
+    Bytes msg = to_bytes("m");
+    msg.push_back(static_cast<std::uint8_t>(i));
+    const auto sig = key.sign(BytesView(msg.data(), msg.size()));
+    EXPECT_LE(cmp(sig.s, half), 0);
+  }
+}
+
+TEST(SignatureScheme, EcdsaSchemeRoundtrip) {
+  EcdsaScheme scheme;
+  const Bytes msg = to_bytes("protocol message");
+  const Bytes sig = scheme.sign(7, BytesView(msg.data(), msg.size()));
+  EXPECT_EQ(sig.size(), scheme.signature_size());
+  EXPECT_TRUE(scheme.verify(7, BytesView(msg.data(), msg.size()),
+                            BytesView(sig.data(), sig.size())));
+  EXPECT_FALSE(scheme.verify(8, BytesView(msg.data(), msg.size()),
+                             BytesView(sig.data(), sig.size())));
+}
+
+TEST(SignatureScheme, SimSchemeBehavesLikeSignatures) {
+  SimScheme scheme(64);
+  const Bytes msg = to_bytes("protocol message");
+  const Bytes sig = scheme.sign(3, BytesView(msg.data(), msg.size()));
+  EXPECT_EQ(sig.size(), 64u);
+  EXPECT_TRUE(scheme.verify(3, BytesView(msg.data(), msg.size()),
+                            BytesView(sig.data(), sig.size())));
+  // Different signer or message must not verify.
+  EXPECT_FALSE(scheme.verify(4, BytesView(msg.data(), msg.size()),
+                             BytesView(sig.data(), sig.size())));
+  const Bytes other = to_bytes("other message");
+  EXPECT_FALSE(scheme.verify(3, BytesView(other.data(), other.size()),
+                             BytesView(sig.data(), sig.size())));
+}
+
+TEST(SignatureScheme, SimSchemeConfigurableSize) {
+  SimScheme rsa_like(256);
+  const Bytes msg = to_bytes("m");
+  EXPECT_EQ(rsa_like.sign(0, BytesView(msg.data(), msg.size())).size(), 256u);
+}
+
+}  // namespace
+}  // namespace zlb::crypto

@@ -1,0 +1,164 @@
+// Failure injection across the whole assumption space of §3.2: mixed
+// deceitful + benign coalitions (3q + d < n), coalitions too small to
+// fork (d < n/3 keeps plain agreement), benign replicas at the
+// tolerance boundary, and convergence (Def. 3) whenever a fork does
+// happen — the run must end either fork-free or recovered.
+#include <gtest/gtest.h>
+
+#include "zlb/cluster.hpp"
+
+namespace zlb {
+namespace {
+
+ClusterConfig inject_config(std::size_t n, std::size_t d, std::size_t q,
+                            AttackKind attack, std::uint64_t seed) {
+  ClusterConfig cfg;
+  cfg.n = n;
+  cfg.deceitful = d;
+  cfg.benign = q;
+  cfg.attack = attack;
+  cfg.base_delay = DelayModel::kLan;
+  cfg.attack_delay = DelayModel::kUniform;
+  cfg.attack_uniform_mean = ms(400);
+  cfg.replica.batch_tx_count = 20;
+  cfg.replica.max_instances = 50;
+  cfg.replica.log_slot_cap = 64;
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// Def. 3 as a predicate on a finished run: either no fork ever
+/// happened (plain agreement) or the membership change completed and
+/// only colluders were excluded.
+void expect_longlasting(Cluster& cluster, const ClusterConfig& cfg) {
+  const auto rep = cluster.report();
+  if (rep.disagreements == 0) {
+    // Fork-free: every honest replica decided Γ0 identically.
+    const asmr::DecisionRecord* first = nullptr;
+    for (ReplicaId id : cluster.honest_ids()) {
+      const auto* rec = cluster.replica(id).decision(0, 0);
+      ASSERT_NE(rec, nullptr);
+      if (first == nullptr) {
+        first = rec;
+      } else {
+        EXPECT_EQ(rec->digests, first->digests);
+      }
+    }
+    return;
+  }
+  EXPECT_TRUE(rep.recovered) << "fork without completed membership change";
+  EXPECT_GE(rep.excluded, (cfg.n + 2) / 3);
+  for (ReplicaId id : cluster.honest_ids()) {
+    for (ReplicaId culprit : cluster.replica(id).pofs().culprits()) {
+      EXPECT_LT(culprit, cfg.deceitful) << "honest replica falsely accused";
+    }
+  }
+}
+
+struct MixedCase {
+  std::size_t n, d, q;
+  AttackKind attack;
+};
+
+class MixedFaults : public ::testing::TestWithParam<MixedCase> {};
+
+TEST_P(MixedFaults, ConvergesDespiteDeceitfulAndBenign) {
+  const auto [n, d, q, attack] = GetParam();
+  ASSERT_LT(3 * q + d, n) << "bad test parameters: outside the model";
+  ClusterConfig cfg = inject_config(n, d, q, attack, 7);
+  Cluster cluster(cfg);
+  cluster.run_while([&] { return cluster.all_recovered(); }, seconds(600));
+  expect_longlasting(cluster, cfg);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MixedFaults,
+    ::testing::Values(
+        // d >= n/3 with silent benigns on top (3q + d < n).
+        MixedCase{12, 6, 1, AttackKind::kBinaryConsensus},
+        MixedCase{12, 6, 1, AttackKind::kReliableBroadcast},
+        MixedCase{18, 9, 2, AttackKind::kBinaryConsensus},
+        MixedCase{19, 10, 2, AttackKind::kReliableBroadcast},
+        // Heavier deceitful load, q at its bound for that d.
+        MixedCase{18, 11, 2, AttackKind::kBinaryConsensus},
+        // Branch-feasible mixed coalitions: floor(h/(quorum-d)) >= 2,
+        // so the attack CAN fork despite the silent benigns.
+        MixedCase{15, 8, 1, AttackKind::kBinaryConsensus},
+        MixedCase{15, 8, 1, AttackKind::kReliableBroadcast},
+        MixedCase{21, 11, 2, AttackKind::kBinaryConsensus},
+        MixedCase{21, 11, 2, AttackKind::kReliableBroadcast},
+        // f = d + q < n/3: nothing should ever fork.
+        MixedCase{12, 3, 0, AttackKind::kBinaryConsensus},
+        MixedCase{13, 2, 2, AttackKind::kReliableBroadcast}));
+
+TEST(SmallCoalition, UnderOneThirdCannotFork) {
+  // d < n/3 deceitful replicas running the full attack playbook must
+  // not produce a single conflicting decision (Def. 3 Agreement).
+  for (const auto attack :
+       {AttackKind::kBinaryConsensus, AttackKind::kReliableBroadcast}) {
+    ClusterConfig cfg = inject_config(10, 3, 0, attack, 21);
+    Cluster cluster(cfg);
+    cluster.run(seconds(300));
+    const auto rep = cluster.report();
+    EXPECT_EQ(rep.disagreements, 0u);
+    EXPECT_FALSE(rep.recovered) << "no membership change should start";
+    EXPECT_GT(rep.txs_decided, 0u) << "liveness lost";
+  }
+}
+
+TEST(BenignBoundary, MaximalSilentMinorityStillDecides) {
+  // q = ⌈n/3⌉ - 1 silent replicas (the largest benign-only load the
+  // quorum absorbs) across several sizes.
+  for (std::size_t n : {7u, 10u, 13u, 16u}) {
+    ClusterConfig cfg = inject_config(n, 0, (n - 1) / 3, AttackKind::kNone, 3);
+    Cluster cluster(cfg);
+    cluster.run(seconds(300));
+    for (ReplicaId id : cluster.honest_ids()) {
+      const auto* rec = cluster.replica(id).decision(0, 0);
+      ASSERT_NE(rec, nullptr) << "n=" << n;
+      EXPECT_TRUE(rec->decided) << "n=" << n;
+    }
+  }
+}
+
+TEST(BenignBoundary, SilentReplicasNeverGetAccused) {
+  // Benign (silent) faults are NOT deceitful: no PoF can ever name
+  // them, even while an active coalition is being flushed out.
+  ClusterConfig cfg =
+      inject_config(12, 6, 1, AttackKind::kBinaryConsensus, 13);
+  Cluster cluster(cfg);
+  cluster.run_while([&] { return cluster.all_recovered(); }, seconds(600));
+  const ReplicaId first_benign = 6;  // ids: [0,d) deceitful, [d,d+q) benign
+  const ReplicaId first_honest = 7;
+  for (ReplicaId id : cluster.honest_ids()) {
+    for (ReplicaId culprit : cluster.replica(id).pofs().culprits()) {
+      EXPECT_TRUE(culprit < first_benign || culprit >= first_honest)
+          << "silent replica " << culprit << " accused of fraud";
+      EXPECT_LT(culprit, first_benign);  // stronger: only colluders
+    }
+  }
+}
+
+TEST(AdaptiveAdversary, SecondStaticPeriodConverges) {
+  // Slowly-adaptive adversary (§3.2): after the first coalition is
+  // flushed and replaced, the run keeps deciding new instances in the
+  // next static period with the refreshed committee.
+  ClusterConfig cfg =
+      inject_config(10, 5, 0, AttackKind::kBinaryConsensus, 17);
+  Cluster cluster(cfg);
+  cluster.run_while([&] { return cluster.all_recovered(); }, seconds(600));
+  const auto rep = cluster.report();
+  if (rep.disagreements == 0) GTEST_SKIP() << "attack never forked";
+  ASSERT_TRUE(rep.recovered);
+
+  // Let the post-recovery committee decide more instances.
+  const std::uint64_t before = cluster.min_instances_decided();
+  cluster.run_while(
+      [&] { return cluster.min_instances_decided() >= before + 3; },
+      seconds(600));
+  EXPECT_GE(cluster.min_instances_decided(), before + 3)
+      << "no progress after recovery";
+}
+
+}  // namespace
+}  // namespace zlb

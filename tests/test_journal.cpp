@@ -1,0 +1,228 @@
+// The durable block journal: CRC correctness, append/replay roundtrip,
+// torn-tail crash recovery, corrupt-record isolation, and the
+// BlockManager integration (recovered fork branches rebuild their
+// deposit accounting).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "bm/block_manager.hpp"
+#include "chain/journal.hpp"
+#include "chain/wallet.hpp"
+
+namespace zlb::chain {
+namespace {
+
+class JournalFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("zlb-journal-" + std::to_string(::getpid()) + "-" +
+              ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+                .string();
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  Block make_block(InstanceId index, std::uint32_t slot, int tx_count) {
+    Block b;
+    b.index = index;
+    b.slot = slot;
+    b.proposer = slot;
+    Wallet payer(to_bytes("payer-" + std::to_string(index)));
+    UtxoSet utxos;
+    for (int i = 0; i < tx_count; ++i) {
+      utxos.mint(payer.address(), 100);
+      Wallet payee(to_bytes("payee-" + std::to_string(i)));
+      auto tx = payer.pay(utxos, payee.address(), 40);
+      if (tx) b.txs.push_back(*tx);
+    }
+    return b;
+  }
+
+  std::string path_;
+};
+
+TEST(Crc32, KnownVectors) {
+  // IEEE CRC-32 check value for "123456789".
+  EXPECT_EQ(crc32(to_bytes("123456789")), 0xcbf43926u);
+  EXPECT_EQ(crc32({}), 0x00000000u);
+  EXPECT_EQ(crc32(to_bytes("a")), 0xe8b7be43u);
+}
+
+TEST_F(JournalFixture, AppendThenReplayRoundtrips) {
+  std::vector<Block> written;
+  {
+    auto j = Journal::open(path_, [](const Block&) {});
+    ASSERT_TRUE(j.has_value());
+    for (int i = 0; i < 5; ++i) {
+      written.push_back(make_block(static_cast<InstanceId>(i), 0, 2));
+      ASSERT_TRUE(j->append(written.back()));
+    }
+    EXPECT_EQ(j->appended(), 5u);
+  }
+  std::vector<Block> replayed;
+  Journal::ReplayStats stats;
+  auto j = Journal::open(path_, [&](const Block& b) { replayed.push_back(b); },
+                         &stats);
+  ASSERT_TRUE(j.has_value());
+  EXPECT_EQ(stats.blocks, 5u);
+  EXPECT_EQ(stats.truncated_bytes, 0u);
+  ASSERT_EQ(replayed.size(), written.size());
+  for (std::size_t i = 0; i < written.size(); ++i) {
+    EXPECT_EQ(replayed[i].id(), written[i].id()) << "block " << i;
+    EXPECT_EQ(replayed[i].txs.size(), written[i].txs.size());
+  }
+}
+
+TEST_F(JournalFixture, TornTailIsTruncatedAndAppendableAgain) {
+  {
+    auto j = Journal::open(path_, [](const Block&) {});
+    ASSERT_TRUE(j.has_value());
+    ASSERT_TRUE(j->append(make_block(0, 0, 2)));
+    ASSERT_TRUE(j->append(make_block(1, 0, 2)));
+  }
+  // Simulate a crash mid-append: chop the last 7 bytes.
+  const auto size = std::filesystem::file_size(path_);
+  std::filesystem::resize_file(path_, size - 7);
+
+  std::size_t replayed = 0;
+  Journal::ReplayStats stats;
+  auto j = Journal::open(path_, [&](const Block&) { ++replayed; }, &stats);
+  ASSERT_TRUE(j.has_value());
+  EXPECT_EQ(replayed, 1u) << "only the intact record survives";
+  EXPECT_GT(stats.truncated_bytes, 0u);
+
+  // The journal keeps working after recovery.
+  ASSERT_TRUE(j->append(make_block(1, 0, 2)));
+  j->close();
+  std::size_t again = 0;
+  auto j2 = Journal::open(path_, [&](const Block&) { ++again; });
+  ASSERT_TRUE(j2.has_value());
+  EXPECT_EQ(again, 2u);
+}
+
+TEST_F(JournalFixture, BitFlipInvalidatesExactlyTheDamagedSuffix) {
+  {
+    auto j = Journal::open(path_, [](const Block&) {});
+    ASSERT_TRUE(j.has_value());
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(j->append(make_block(static_cast<InstanceId>(i), 0, 1)));
+    }
+  }
+  // Flip one byte inside the second record's payload.
+  {
+    std::FILE* f = std::fopen(path_.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    const long record1_end = std::ftell(f);
+    (void)record1_end;
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fseek(f, size / 2, SEEK_SET);
+    int c = std::fgetc(f);
+    std::fseek(f, size / 2, SEEK_SET);
+    std::fputc(c ^ 0x40, f);
+    std::fclose(f);
+  }
+  std::size_t replayed = 0;
+  Journal::ReplayStats stats;
+  auto j = Journal::open(path_, [&](const Block&) { ++replayed; }, &stats);
+  ASSERT_TRUE(j.has_value());
+  EXPECT_LT(replayed, 3u) << "damage must not be silently accepted";
+  EXPECT_GT(stats.truncated_bytes, 0u);
+}
+
+TEST_F(JournalFixture, EmptyFileReplaysNothing) {
+  Journal::ReplayStats stats;
+  auto j = Journal::open(path_, [](const Block&) { FAIL(); }, &stats);
+  ASSERT_TRUE(j.has_value());
+  EXPECT_EQ(stats.blocks, 0u);
+}
+
+TEST_F(JournalFixture, BlockManagerPersistsAndRecovers) {
+  Wallet alice(to_bytes("alice"));
+  Wallet bob(to_bytes("bob"));
+  OutPoint genesis;
+
+  // First life: journal attached, one committed payment.
+  {
+    bm::BlockManager bm;
+    genesis = bm.utxos().mint(alice.address(), 1000);
+    const auto replayed = bm.open_journal(path_);
+    ASSERT_TRUE(replayed.has_value());
+    EXPECT_EQ(*replayed, 0u);
+    auto tx = alice.pay(bm.utxos(), bob.address(), 250);
+    ASSERT_TRUE(tx.has_value());
+    Block b;
+    b.index = 1;
+    b.txs.push_back(*tx);
+    bm.commit_block(b);
+    EXPECT_EQ(bm.utxos().balance(bob.address()), 250);
+  }
+
+  // Second life: fresh manager, same genesis, recover from disk.
+  {
+    bm::BlockManager bm;
+    bm.utxos().mint(alice.address(), 1000);  // deterministic genesis
+    const auto replayed = bm.open_journal(path_);
+    ASSERT_TRUE(replayed.has_value());
+    EXPECT_EQ(*replayed, 1u);
+    EXPECT_EQ(bm.utxos().balance(bob.address()), 250);
+    EXPECT_EQ(bm.utxos().balance(alice.address()), 750);
+    EXPECT_EQ(bm.store().size(), 1u);
+  }
+}
+
+TEST_F(JournalFixture, RecoveredForkRebuildsDepositAccounting) {
+  Wallet attacker(to_bytes("attacker"));
+  Wallet v1(to_bytes("v1")), v2(to_bytes("v2"));
+  chain::Amount deposit_after = 0;
+
+  {
+    bm::BlockManager bm;
+    bm.utxos().mint(attacker.address(), 500);
+    bm.fund_deposit(5000);
+    ASSERT_TRUE(bm.open_journal(path_).has_value());
+    const auto coins = bm.utxos().owned_by(attacker.address());
+    Block b1;
+    b1.index = 1;
+    b1.slot = 0;
+    b1.txs.push_back(attacker.pay_from(coins, v1.address(), 300));
+    Block b2;
+    b2.index = 1;
+    b2.slot = 1;
+    b2.txs.push_back(attacker.pay_from(coins, v2.address(), 300));
+    bm.merge_block(b1);
+    bm.merge_block(b2);
+    deposit_after = bm.deposit();
+    EXPECT_LT(deposit_after, 5000);
+  }
+
+  bm::BlockManager bm;
+  bm.utxos().mint(attacker.address(), 500);
+  bm.fund_deposit(5000);
+  const auto replayed = bm.open_journal(path_);
+  ASSERT_TRUE(replayed.has_value());
+  EXPECT_EQ(*replayed, 2u);
+  EXPECT_EQ(bm.utxos().balance(v1.address()), 300);
+  EXPECT_EQ(bm.utxos().balance(v2.address()), 300);
+  EXPECT_EQ(bm.deposit(), deposit_after)
+      << "deposit accounting must survive recovery";
+  EXPECT_GT(bm.stats().conflicting_inputs, 0u);
+}
+
+TEST_F(JournalFixture, DuplicateBlocksAreJournaledOnce) {
+  bm::BlockManager bm;
+  Wallet alice(to_bytes("alice"));
+  bm.utxos().mint(alice.address(), 100);
+  ASSERT_TRUE(bm.open_journal(path_).has_value());
+  Block b = make_block(1, 0, 1);
+  bm.commit_block(b);
+  bm.commit_block(b);  // gossip duplicate
+  bm.merge_block(b);   // and once more through the merge path
+  EXPECT_EQ(bm.journal()->appended(), 1u);
+}
+
+}  // namespace
+}  // namespace zlb::chain

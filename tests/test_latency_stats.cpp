@@ -1,0 +1,132 @@
+// Statistical validation of the delay families behind Figs. 4-6: the
+// simulator's conclusions about disagreement counts are only as good as
+// its latency samplers, so we check their moments and structure, not
+// just that they return something positive.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/latency.hpp"
+
+namespace zlb::sim {
+namespace {
+
+struct Moments {
+  double mean = 0.0;
+  double stddev = 0.0;
+  SimTime min = 0;
+  SimTime max = 0;
+};
+
+Moments sample_moments(const LatencyModel& model, ReplicaId from, ReplicaId to,
+                       int count, std::uint64_t seed) {
+  Rng rng(seed);
+  double sum = 0.0;
+  double sum2 = 0.0;
+  Moments m;
+  m.min = std::numeric_limits<SimTime>::max();
+  for (int i = 0; i < count; ++i) {
+    const SimTime s = model.sample(from, to, rng);
+    sum += static_cast<double>(s);
+    sum2 += static_cast<double>(s) * static_cast<double>(s);
+    m.min = std::min(m.min, s);
+    m.max = std::max(m.max, s);
+  }
+  m.mean = sum / count;
+  m.stddev = std::sqrt(std::max(0.0, sum2 / count - m.mean * m.mean));
+  return m;
+}
+
+class UniformMeans : public ::testing::TestWithParam<SimTime> {};
+
+TEST_P(UniformMeans, MeanAndSupportMatchTheSpec) {
+  const SimTime mean = GetParam();
+  const UniformLatency model(mean);
+  const Moments m = sample_moments(model, 0, 1, 20000, 11);
+  // Uniform on [mean/2, 3*mean/2]: mean = mean, sd = mean/sqrt(12).
+  EXPECT_NEAR(m.mean, static_cast<double>(mean), 0.02 * mean);
+  EXPECT_NEAR(m.stddev, mean / std::sqrt(12.0), 0.05 * mean);
+  EXPECT_GE(m.min, mean / 2);
+  EXPECT_LE(m.max, mean + mean / 2 + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Means, UniformMeans,
+                         ::testing::Values(ms(200), ms(500), ms(1000),
+                                           seconds(5), seconds(10)));
+
+TEST(GammaLatency, MeanTracksParameterAndFloorHolds) {
+  const double shape = 2.0;
+  const SimTime mean = ms(120);
+  const SimTime floor = ms(10);
+  const GammaLatency model(shape, mean, floor);
+  const Moments m = sample_moments(model, 0, 1, 40000, 23);
+  EXPECT_GE(m.min, floor);
+  // The floor clips the left tail, so the observed mean sits at or
+  // slightly above floor + mean.
+  EXPECT_GT(m.mean, static_cast<double>(mean));
+  EXPECT_LT(m.mean, static_cast<double>(mean + floor) * 1.15);
+  // Gamma(k=2) has sd = mean/sqrt(2); allow generous tolerance.
+  EXPECT_NEAR(m.stddev, mean / std::sqrt(shape), 0.2 * mean);
+}
+
+TEST(GammaLatency, HeavierTailThanUniform) {
+  const GammaLatency gamma(2.0, ms(200), ms(1));
+  const UniformLatency uniform(ms(200));
+  const Moments mg = sample_moments(gamma, 0, 1, 40000, 7);
+  const Moments mu = sample_moments(uniform, 0, 1, 40000, 7);
+  EXPECT_GT(mg.max, mu.max) << "Gamma must produce tail samples";
+}
+
+TEST(AwsLatency, IntraRegionIsFastest) {
+  const AwsLatency model;
+  // Replicas 0 and 5 share region 0; 0 and 3 are California-Frankfurt.
+  const Moments same = sample_moments(model, 0, 5, 4000, 3);
+  const Moments cross = sample_moments(model, 0, 3, 4000, 3);
+  EXPECT_LT(same.mean * 5, cross.mean)
+      << "inter-continent must dominate intra-region";
+}
+
+TEST(AwsLatency, RoughlySymmetricPerPair) {
+  const AwsLatency model;
+  for (ReplicaId a = 0; a < 5; ++a) {
+    for (ReplicaId b = 0; b < 5; ++b) {
+      const Moments ab = sample_moments(model, a, b, 2000, 5);
+      const Moments ba = sample_moments(model, b, a, 2000, 5);
+      EXPECT_NEAR(ab.mean, ba.mean, 0.1 * std::max(ab.mean, 1.0))
+          << "pair " << a << "," << b;
+    }
+  }
+}
+
+TEST(AwsLatency, RegionAssignmentIsRoundRobin) {
+  EXPECT_EQ(AwsLatency::region_of(0), 0);
+  EXPECT_EQ(AwsLatency::region_of(7), 2);
+  EXPECT_EQ(AwsLatency::region_of(90), 0);
+}
+
+TEST(PartitionOverlay, OnlyCrossHonestPairsPayTheInjectedDelay) {
+  auto base = std::make_shared<FixedLatency>(ms(1));
+  auto attack = std::make_shared<FixedLatency>(ms(500));
+  // Replicas 0,1 -> partition 0; 2,3 -> partition 1; 4 deceitful (-1).
+  const PartitionOverlay overlay(base, attack, {0, 0, 1, 1, -1});
+  Rng rng(1);
+  EXPECT_EQ(overlay.sample(0, 1, rng), ms(1));    // same partition
+  EXPECT_EQ(overlay.sample(0, 2, rng), ms(501));  // cross partition
+  EXPECT_EQ(overlay.sample(2, 0, rng), ms(501));
+  EXPECT_EQ(overlay.sample(4, 0, rng), ms(1));    // deceitful talks fast
+  EXPECT_EQ(overlay.sample(0, 4, rng), ms(1));
+  EXPECT_EQ(overlay.sample(4, 4, rng), ms(1));
+}
+
+TEST(PartitionOverlay, ScalePhenomenonPrecondition) {
+  // §5.2's scalability argument: with the AWS matrix, the attacker's
+  // *own* coordination pays WAN latency as n grows. Check the mean
+  // colluder-to-colluder delay grows when colluders span regions.
+  const AwsLatency model;
+  const Moments near = sample_moments(model, 0, 5, 3000, 9);    // same region
+  const Moments far = sample_moments(model, 0, 8, 3000, 9);     // US-EU
+  EXPECT_GT(far.mean, near.mean * 3);
+}
+
+}  // namespace
+}  // namespace zlb::sim

@@ -1,0 +1,328 @@
+// The full live payment path over real TCP: a permissionless client
+// connects to a replica's gateway, submits real ECDSA-signed UTXO
+// transactions, the committee batches them into blocks, the SBC decides
+// over loopback sockets, every node commits the same blocks, and the
+// balances converge cluster-wide (§4.2's open-permissioned model, with
+// framed TCP substituted for gRPC).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <thread>
+
+#include "chain/wallet.hpp"
+#include "net/client_gateway.hpp"
+#include "net/live_node.hpp"
+
+namespace zlb::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+LiveNodeConfig payment_config() {
+  LiveNodeConfig cfg;
+  // Effectively unbounded: the tests stop the nodes once the expected
+  // state is observed, so a loaded machine cannot exhaust the chain
+  // before a client transaction lands.
+  cfg.instances = 1'000'000;
+  cfg.use_ecdsa = false;  // protocol signatures; tx signatures stay ECDSA
+  cfg.real_blocks = true;
+  cfg.block_interval = std::chrono::milliseconds(60);
+  return cfg;
+}
+
+/// Runs the cluster on a worker thread and guarantees stop+join on any
+/// exit path (early ASSERT returns included).
+class ClusterRunner {
+ public:
+  explicit ClusterRunner(LiveCluster& cluster, Duration deadline)
+      : cluster_(cluster),
+        thread_([&cluster, deadline] { cluster.run(deadline); }) {}
+  ~ClusterRunner() {
+    for (std::size_t i = 0; i < cluster_.size(); ++i) {
+      cluster_.node(i).stop();
+    }
+    thread_.join();
+  }
+
+ private:
+  LiveCluster& cluster_;
+  std::thread thread_;
+};
+
+TEST(ClientGateway, AcceptsValidRejectsGarbage) {
+  EventLoop loop;
+  std::vector<chain::Transaction> received;
+  ClientGateway gateway(loop, 0, [&](const chain::Transaction& tx) {
+    received.push_back(tx);
+    return true;
+  });
+  ASSERT_TRUE(gateway.listening());
+
+  std::thread loop_thread([&] {
+    const auto deadline = Clock::now() + 5s;
+    while (Clock::now() < deadline && received.empty()) {
+      loop.poll_once(std::chrono::milliseconds(10));
+    }
+    // Drain a little longer so the second (garbage) frame is answered.
+    const auto drain = Clock::now() + 500ms;
+    while (Clock::now() < drain) loop.poll_once(std::chrono::milliseconds(10));
+  });
+
+  auto client = GatewayClient::connect(gateway.local_port());
+  ASSERT_TRUE(client.has_value());
+
+  chain::Wallet alice(to_bytes("alice"));
+  chain::Wallet bob(to_bytes("bob"));
+  chain::UtxoSet utxos;
+  utxos.mint(alice.address(), 100);
+  const auto tx = alice.pay(utxos, bob.address(), 40);
+  ASSERT_TRUE(tx.has_value());
+
+  const auto ack = client->submit(*tx);
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_EQ(*ack, SubmitStatus::kAccepted);
+
+  // Re-submitting the identical transaction gets through the gateway
+  // again (dedup is the node's job — our handler accepts everything).
+  const auto ack2 = client->submit(*tx);
+  ASSERT_TRUE(ack2.has_value());
+
+  loop_thread.join();
+  ASSERT_GE(received.size(), 1u);
+  EXPECT_EQ(received[0].id(), tx->id());
+  EXPECT_GE(gateway.stats().accepted, 1u);
+}
+
+TEST(ClientGateway, MalformedFrameIsAnsweredNotFatal) {
+  EventLoop loop;
+  ClientGateway gateway(loop, 0,
+                        [](const chain::Transaction&) { return true; });
+  std::atomic<bool> stop{false};
+  std::thread loop_thread([&] {
+    while (!stop.load()) loop.poll_once(std::chrono::milliseconds(10));
+  });
+
+  auto raw = connect_loopback(gateway.local_port());
+  ASSERT_TRUE(raw.has_value());
+  const Bytes junk = encode_frame(to_bytes("definitely-not-a-transaction"));
+  std::size_t offset = 0;
+  std::this_thread::sleep_for(100ms);
+  ASSERT_NE(write_some(*raw, junk, offset), IoStatus::kError);
+
+  const auto deadline = Clock::now() + 3s;
+  while (Clock::now() < deadline && gateway.stats().malformed == 0) {
+    std::this_thread::sleep_for(10ms);
+  }
+  EXPECT_EQ(gateway.stats().malformed, 1u);
+  stop.store(true);
+  loop_thread.join();
+}
+
+TEST(LivePayment, EndToEndBalancesConvergeOverTcp) {
+  const std::size_t n = 4;
+  chain::Wallet alice(to_bytes("alice"));
+  chain::Wallet bob(to_bytes("bob"));
+  chain::Wallet carol(to_bytes("carol"));
+
+  LiveCluster cluster(n, payment_config());
+  // Shared deterministic genesis on every node.
+  chain::UtxoSet genesis_view;
+  genesis_view.mint(alice.address(), 10'000);
+  for (std::size_t i = 0; i < n; ++i) {
+    cluster.node(i).block_manager().utxos().mint(alice.address(), 10'000);
+  }
+
+  ClusterRunner runner(cluster, 120s);
+
+  // Clients connect to two different replicas and submit payments.
+  const auto tx1 = alice.pay(genesis_view, bob.address(), 2'500);
+  ASSERT_TRUE(tx1.has_value());
+  std::optional<GatewayClient> c0;
+  const auto connect_deadline = Clock::now() + 15s;
+  while (!c0 && Clock::now() < connect_deadline) {
+    c0 = GatewayClient::connect(cluster.node(0).client_port());
+    if (!c0) std::this_thread::sleep_for(20ms);
+  }
+  ASSERT_TRUE(c0.has_value());
+  const auto ack1 = c0->submit(*tx1);
+  ASSERT_TRUE(ack1.has_value());
+  EXPECT_EQ(*ack1, SubmitStatus::kAccepted);
+
+  // Wait for the payment to commit on every node.
+  const auto deadline = Clock::now() + 90s;
+  auto all_have = [&](const chain::Address& a, chain::Amount v) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (cluster.node(i).balance(a) != v) return false;
+    }
+    return true;
+  };
+  while (Clock::now() < deadline && !all_have(bob.address(), 2'500)) {
+    std::this_thread::sleep_for(25ms);
+  }
+  EXPECT_TRUE(all_have(bob.address(), 2'500)) << "payment did not commit";
+
+  // Chain a second payment from Bob's fresh coin through ANOTHER node.
+  chain::UtxoSet bob_view;
+  // Rebuild Bob's view from node 0's committed state via a fresh pay():
+  // use node 0's utxo snapshot for input selection.
+  const auto bob_coins = cluster.node(0).owned_coins(bob.address());
+  ASSERT_FALSE(bob_coins.empty());
+  const chain::Transaction tx2 =
+      bob.pay_from(bob_coins, carol.address(), 1'000);
+  auto c1 = GatewayClient::connect(cluster.node(1).client_port());
+  ASSERT_TRUE(c1.has_value());
+  const auto ack2 = c1->submit(tx2);
+  ASSERT_TRUE(ack2.has_value());
+  EXPECT_EQ(*ack2, SubmitStatus::kAccepted);
+
+  while (Clock::now() < deadline && !all_have(carol.address(), 1'000)) {
+    std::this_thread::sleep_for(25ms);
+  }
+  EXPECT_TRUE(all_have(carol.address(), 1'000)) << "chained payment lost";
+  EXPECT_TRUE(all_have(alice.address(), 7'500));
+}
+
+TEST(LivePayment, DoubleSpendSecondTxRejectedAtCommit) {
+  const std::size_t n = 4;
+  chain::Wallet alice(to_bytes("alice"));
+  chain::Wallet bob(to_bytes("bob"));
+  chain::Wallet carol(to_bytes("carol"));
+
+  LiveCluster cluster(n, payment_config());
+  chain::UtxoSet genesis_view;
+  genesis_view.mint(alice.address(), 1'000);
+  for (std::size_t i = 0; i < n; ++i) {
+    cluster.node(i).block_manager().utxos().mint(alice.address(), 1'000);
+  }
+
+  // Two conflicting transactions spending the same outpoint.
+  const auto coins = genesis_view.owned_by(alice.address());
+  const chain::Transaction tx_bob = alice.pay_from(coins, bob.address(), 800);
+  const chain::Transaction tx_carol =
+      alice.pay_from(coins, carol.address(), 800);
+  ASSERT_TRUE(chain::conflicts(tx_bob, tx_carol));
+
+  ClusterRunner runner(cluster, 120s);
+
+  std::optional<GatewayClient> c0;
+  const auto connect_deadline = Clock::now() + 15s;
+  while (!c0 && Clock::now() < connect_deadline) {
+    c0 = GatewayClient::connect(cluster.node(0).client_port());
+    if (!c0) std::this_thread::sleep_for(20ms);
+  }
+  ASSERT_TRUE(c0.has_value());
+  ASSERT_TRUE(c0->submit(tx_bob).has_value());
+  ASSERT_TRUE(c0->submit(tx_carol).has_value());  // gateway can't know yet
+
+  const auto deadline = Clock::now() + 90s;
+  auto settled = [&] {
+    const auto b = cluster.node(0).balance(bob.address());
+    const auto c = cluster.node(0).balance(carol.address());
+    return b + c == 800;
+  };
+  while (Clock::now() < deadline && !settled()) {
+    std::this_thread::sleep_for(25ms);
+  }
+  ASSERT_TRUE(settled()) << "exactly one branch of the double spend wins";
+
+  // No fork, no double payout, everywhere. Wait until every node
+  // observed the winning branch (they commit at their own pace).
+  auto all_settled = [&] {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (cluster.node(i).balance(bob.address()) +
+              cluster.node(i).balance(carol.address()) !=
+          800) {
+        return false;
+      }
+    }
+    return true;
+  };
+  while (Clock::now() < deadline && !all_settled()) {
+    std::this_thread::sleep_for(25ms);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto b = cluster.node(i).balance(bob.address());
+    const auto c = cluster.node(i).balance(carol.address());
+    EXPECT_EQ(b + c, 800) << "node " << i;
+  }
+}
+
+}  // namespace
+}  // namespace zlb::net
+namespace zlb::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+// Durability: a node's journal replays its committed chain into a
+// fresh process-life with the same genesis.
+TEST(LivePayment, JournalRecoversCommittedStateAcrossLives) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("zlb-live-journal-" + std::to_string(::getpid())))
+          .string();
+  std::filesystem::create_directories(dir);
+  chain::Wallet alice(to_bytes("alice"));
+  chain::Wallet bob(to_bytes("bob"));
+
+  // First life: commit one payment with journals attached. Nodes are
+  // built directly (LiveCluster has no per-node config hook and each
+  // node needs its own journal path).
+  std::map<ReplicaId, std::uint16_t> ports;
+  std::vector<std::unique_ptr<LiveNode>> nodes;
+  for (ReplicaId i = 0; i < 4; ++i) {
+    LiveNodeConfig cfg = payment_config();
+    cfg.me = i;
+    cfg.committee = {0, 1, 2, 3};
+    cfg.journal_path = dir + "/node" + std::to_string(i) + ".wal";
+    nodes.push_back(std::make_unique<LiveNode>(cfg));
+    ports[i] = nodes.back()->port();
+  }
+  for (auto& node : nodes) {
+    node->set_peer_ports(ports);
+    node->block_manager().utxos().mint(alice.address(), 1'000);
+  }
+  std::vector<std::thread> threads;
+  for (auto& node : nodes) {
+    threads.emplace_back([&node] { node->run(60s); });
+  }
+  chain::UtxoSet view;
+  view.mint(alice.address(), 1'000);
+  const auto tx = alice.pay(view, bob.address(), 400);
+  ASSERT_TRUE(tx.has_value());
+  std::optional<GatewayClient> client;
+  const auto connect_deadline = Clock::now() + 15s;
+  while (!client && Clock::now() < connect_deadline) {
+    client = GatewayClient::connect(nodes[0]->client_port());
+    if (!client) std::this_thread::sleep_for(20ms);
+  }
+  ASSERT_TRUE(client.has_value());
+  ASSERT_TRUE(client->submit(*tx).has_value());
+  const auto deadline = Clock::now() + 45s;
+  while (Clock::now() < deadline &&
+         nodes[0]->balance(bob.address()) != 400) {
+    std::this_thread::sleep_for(20ms);
+  }
+  EXPECT_EQ(nodes[0]->balance(bob.address()), 400);
+  for (auto& node : nodes) node->stop();
+  for (auto& t : threads) t.join();
+
+  // Second life of node 0: fresh object, same genesis + journal.
+  {
+    LiveNodeConfig cfg = payment_config();
+    cfg.me = 0;
+    cfg.committee = {0, 1, 2, 3};
+    cfg.journal_path = dir + "/node0.wal";
+    LiveNode reborn(cfg);
+    reborn.block_manager().utxos().mint(alice.address(), 1'000);
+    // run() replays the journal; give it a moment with no peers.
+    std::thread t([&reborn] { reborn.run(300ms); });
+    t.join();
+    EXPECT_EQ(reborn.balance(bob.address()), 400) << "journal not replayed";
+    EXPECT_EQ(reborn.balance(alice.address()), 600);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace zlb::net

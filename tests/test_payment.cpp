@@ -1,0 +1,123 @@
+// Zero-loss payment analysis (§B, Theorem .5): branch bound, g(·),
+// expected gain/punishment, minimum finalization blockdepth — checked
+// against the paper's own worked examples.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "payment/zero_loss.hpp"
+
+namespace zlb::payment {
+namespace {
+
+TEST(MaxBranches, PaperValues) {
+  // δ = 0.5 -> a = 3 (the paper's example).
+  EXPECT_EQ(max_branches(100, 50, 0), 3);
+  // δ = 0.6 -> a = 6.
+  EXPECT_EQ(max_branches(100, 60, 0), 6);
+  // δ = 0.66 -> a = 51 at n = 100 (34 honest over a 2/3 margin).
+  EXPECT_EQ(max_branches(100, 66, 0), 51);
+  // Below n/3 deceitful: no fork possible.
+  EXPECT_EQ(max_branches(100, 20, 0), 1);
+}
+
+TEST(MaxBranches, BenignFaultsReduceBranches) {
+  // q benign faults do not help forking: a depends on d = f − q.
+  EXPECT_EQ(max_branches(100, 60, 10), max_branches(100, 50, 0));
+}
+
+TEST(MaxBranches, DegenerateDenominator) {
+  // d >= ⌈2n/3⌉: the bound degenerates; we cap at n.
+  EXPECT_EQ(max_branches(9, 7, 0), 9);
+}
+
+TEST(GValue, SignMatchesZeroLossBoundary) {
+  // g >= 0 <=> ρ^{m+1} <= c = b/(a−1+b).
+  const int a = 3;
+  const double b = 0.1;
+  const double c = b / (a - 1 + b);
+  for (double rho : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    for (int m : {0, 1, 4, 10, 30}) {
+      const double lhs = g_value(a, b, rho, m);
+      const bool zero_loss = std::pow(rho, m + 1) <= c + 1e-12;
+      EXPECT_EQ(lhs >= -1e-9, zero_loss) << "rho=" << rho << " m=" << m;
+    }
+  }
+}
+
+TEST(Flux, GainPlusFluxEqualsPunishment) {
+  const double gain = 1e6;
+  const double flux = deposit_flux(3, 0.1, 0.55, 4, gain);
+  EXPECT_NEAR(flux + expected_gain(3, 0.55, 4, gain),
+              expected_punishment(0.1, 0.55, 4, gain), 1e-6);
+}
+
+TEST(MinBlockdepth, PaperExampleDelta05) {
+  // δ = 0.5 => a = 3; D = G/10 => b = 0.1. The paper quotes m = 4 for
+  // ρ = 0.55 and m = 28 for ρ = 0.9 (rounding log(c)/log(ρ) − 1 ≈ 4.09
+  // and 27.9 down/up respectively); the exact smallest m with g >= 0 is
+  // 5 and 28. We implement the exact criterion.
+  EXPECT_EQ(min_blockdepth(3, 0.1, 0.55), 5);
+  EXPECT_EQ(min_blockdepth(3, 0.1, 0.9), 28);
+}
+
+TEST(MinBlockdepth, GrowsWithDeceitfulRatio) {
+  // δ = 0.6 -> a = 6 -> m = 37 (paper); δ = 0.66 -> a = 51 -> m = 58.
+  EXPECT_EQ(min_blockdepth(max_branches(100, 60, 0), 0.1, 0.9), 37);
+  EXPECT_EQ(min_blockdepth(max_branches(100, 66, 0), 0.1, 0.9), 59);
+  // Monotonicity in a (more branches need deeper finalization).
+  int prev = 0;
+  for (int a = 2; a <= 51; ++a) {
+    const int m = min_blockdepth(a, 0.1, 0.9);
+    EXPECT_GE(m, prev);
+    prev = m;
+  }
+}
+
+TEST(MinBlockdepth, Boundaries) {
+  EXPECT_EQ(min_blockdepth(1, 0.1, 0.99), 0);   // no fork possible
+  EXPECT_EQ(min_blockdepth(3, 0.1, 0.0), 0);    // attacks never succeed
+  EXPECT_EQ(min_blockdepth(3, 0.1, 1.0), -1);   // attacks always succeed
+  EXPECT_EQ(min_blockdepth(3, 10.0, 0.5), 0);   // huge deposit: depth 0
+}
+
+TEST(MinBlockdepth, ResultActuallySatisfiesG) {
+  // Property sweep: the returned depth is the smallest zero-loss depth.
+  for (int a : {2, 3, 6, 13, 51}) {
+    for (double b : {0.05, 0.1, 0.5, 1.0}) {
+      for (double rho : {0.3, 0.55, 0.75, 0.9, 0.95}) {
+        const int m = min_blockdepth(a, b, rho);
+        ASSERT_GE(m, 0);
+        EXPECT_GE(g_value(a, b, rho, m), -1e-9)
+            << "a=" << a << " b=" << b << " rho=" << rho;
+        if (m > 0) {
+          EXPECT_LT(g_value(a, b, rho, m - 1), 0.0)
+              << "a=" << a << " b=" << b << " rho=" << rho;
+        }
+      }
+    }
+  }
+}
+
+TEST(MaxToleratedRho, InverseOfMinBlockdepth) {
+  const int a = 3;
+  const double b = 0.1;
+  for (int m : {1, 4, 10, 28}) {
+    const double rho = max_tolerated_rho(a, b, m);
+    // At the tolerated ρ, depth m is (just) enough.
+    EXPECT_GE(g_value(a, b, rho - 1e-9, m), -1e-9);
+    EXPECT_LT(g_value(a, b, rho + 1e-3, m), 0.0);
+  }
+}
+
+TEST(PerReplicaDeposit, CoalitionHoldsFullDeposit) {
+  // Any coalition has >= ⌈n/3⌉ replicas, so n/3 × (3bG/n) = bG = D.
+  const double gain = 3'000'000.0;
+  const double b = 0.1;
+  const int n = 90;
+  const double per_replica = per_replica_deposit(b, gain, n);
+  EXPECT_NEAR(per_replica * (n / 3.0), b * gain, 1e-6);
+}
+
+}  // namespace
+}  // namespace zlb::payment

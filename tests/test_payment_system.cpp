@@ -1,0 +1,156 @@
+// Payment lifecycle with finalization blockdepth (§B), and the random
+// beacon / sortition extension (§B discussion).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "asmr/beacon.hpp"
+#include "payment/payment_system.hpp"
+
+namespace zlb {
+namespace {
+
+using payment::EscrowPolicy;
+using payment::PaymentState;
+using payment::PaymentTracker;
+
+chain::TxId tx_id(int i) {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(i));
+  return crypto::sha256(BytesView(w.data().data(), w.data().size()));
+}
+
+TEST(EscrowPolicy, DepthMatchesTheorem) {
+  EscrowPolicy p;
+  p.branches = 3;
+  p.deposit_factor = 0.1;
+  p.attack_success = 0.55;
+  EXPECT_EQ(p.finalization_depth(), 5);
+  p.attack_success = 0.9;
+  EXPECT_EQ(p.finalization_depth(), 28);
+  EXPECT_NEAR(p.stake_per_replica(90), 3 * 0.1 * p.gain_bound / 90, 1e-9);
+}
+
+TEST(PaymentTracker, LifecyclePendingCommittedFinal) {
+  EscrowPolicy p;
+  p.attack_success = 0.5;  // depth 4 (a=3, b=0.1)
+  PaymentTracker tracker(p);
+  const int m = tracker.finalization_depth();
+  ASSERT_GT(m, 0);
+
+  const auto id = tx_id(1);
+  tracker.submit(id);
+  EXPECT_EQ(tracker.state(id), PaymentState::kPending);
+  EXPECT_EQ(tracker.pending_count(), 1u);
+
+  tracker.committed(id, 10);
+  EXPECT_EQ(tracker.state(id), PaymentState::kCommitted);
+  EXPECT_EQ(tracker.blocks_remaining(id, 10), m);
+
+  // Not final until the chain is m past the commit index.
+  EXPECT_TRUE(tracker.advance(10 + m - 1).empty());
+  EXPECT_EQ(tracker.state(id), PaymentState::kCommitted);
+  const auto finalized = tracker.advance(10 + m);
+  ASSERT_EQ(finalized.size(), 1u);
+  EXPECT_EQ(finalized[0], id);
+  EXPECT_TRUE(tracker.is_final(id));
+  EXPECT_EQ(tracker.blocks_remaining(id, 10 + m), -1);  // no longer waiting
+}
+
+TEST(PaymentTracker, RefundedPaymentsNeverFinalize) {
+  PaymentTracker tracker(EscrowPolicy{});
+  const auto id = tx_id(2);
+  tracker.submit(id);
+  tracker.committed(id, 0);
+  tracker.refunded(id);
+  EXPECT_EQ(tracker.state(id), PaymentState::kRefunded);
+  EXPECT_TRUE(tracker.advance(1000).empty());
+}
+
+TEST(PaymentTracker, BatchFinalization) {
+  EscrowPolicy p;
+  p.attack_success = 0.5;
+  PaymentTracker tracker(p);
+  const int m = tracker.finalization_depth();
+  for (int i = 0; i < 10; ++i) {
+    tracker.submit(tx_id(i));
+    tracker.committed(tx_id(i), static_cast<InstanceId>(i));
+  }
+  // Advancing to height m finalizes exactly the tx committed at 0.
+  EXPECT_EQ(tracker.advance(m).size(), 1u);
+  // Height m+9 finalizes the rest.
+  EXPECT_EQ(tracker.advance(m + 9).size(), 9u);
+  EXPECT_EQ(tracker.final_count(), 10u);
+}
+
+TEST(Beacon, DeterministicAndSensitive) {
+  asmr::RandomBeacon a(to_bytes("genesis"));
+  asmr::RandomBeacon b(to_bytes("genesis"));
+  EXPECT_EQ(a.value(), b.value());
+  a.absorb(crypto::sha256(to_bytes("block-1")));
+  EXPECT_NE(a.value(), b.value());
+  b.absorb(crypto::sha256(to_bytes("block-1")));
+  EXPECT_EQ(a.value(), b.value());
+  b.absorb(crypto::sha256(to_bytes("block-2")));
+  EXPECT_NE(a.value(), b.value());
+}
+
+TEST(Sortition, SamplesCommitteeDeterministically) {
+  asmr::RandomBeacon beacon(to_bytes("seed"));
+  std::vector<ReplicaId> universe;
+  for (ReplicaId i = 0; i < 100; ++i) universe.push_back(i);
+  const auto c1 = asmr::sortition(beacon, universe, 10);
+  const auto c2 = asmr::sortition(beacon, universe, 10);
+  EXPECT_EQ(c1, c2);
+  EXPECT_EQ(c1.size(), 10u);
+  // Distinct members, all from the universe.
+  for (std::size_t i = 1; i < c1.size(); ++i) EXPECT_LT(c1[i - 1], c1[i]);
+  for (ReplicaId id : c1) EXPECT_LT(id, 100u);
+  // A different beacon state yields a different committee (w.h.p.).
+  asmr::RandomBeacon other(to_bytes("seed"));
+  other.absorb(crypto::sha256(to_bytes("x")));
+  EXPECT_NE(asmr::sortition(other, universe, 10), c1);
+}
+
+TEST(Sortition, CommitteeLargerThanUniverseIsClamped) {
+  asmr::RandomBeacon beacon(to_bytes("seed"));
+  EXPECT_EQ(asmr::sortition(beacon, {1, 2, 3}, 10).size(), 3u);
+}
+
+TEST(TakeoverProbability, ExactSmallCases) {
+  // Universe 4, colluders 1, committee 4: P(>= 2 colluder seats) = 0.
+  EXPECT_DOUBLE_EQ(asmr::coalition_takeover_probability(4, 1, 4), 0.0);
+  // Universe 4, colluders 2, committee 4: always exactly 2 >= ⌈4/3⌉ = 2.
+  EXPECT_NEAR(asmr::coalition_takeover_probability(4, 2, 4), 1.0, 1e-12);
+  // Committee = universe: deterministic.
+  EXPECT_NEAR(asmr::coalition_takeover_probability(90, 30, 90), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(asmr::coalition_takeover_probability(90, 29, 90), 0.0);
+}
+
+TEST(TakeoverProbability, MonotoneInColluders) {
+  double prev = 0.0;
+  for (std::size_t c = 10; c <= 60; c += 10) {
+    const double p = asmr::coalition_takeover_probability(300, c, 30);
+    EXPECT_GE(p, prev - 1e-12);
+    prev = p;
+  }
+  // 60/300 = 20% colluders against a 1/3-seat threshold stays unlikely.
+  EXPECT_LT(prev, 0.2);
+  EXPECT_GT(prev, 0.0);
+}
+
+TEST(AttackWindow, BeaconReducesSuccessExponentially) {
+  // §B: with a fresh sorted committee per block, sustaining a fork for
+  // the whole finalization window requires corrupting every committee.
+  const double one = asmr::coalition_takeover_probability(300, 120, 30);
+  ASSERT_GT(one, 0.0);
+  ASSERT_LT(one, 1.0);
+  const double w4 = asmr::attack_window_success(300, 120, 30, 4);
+  EXPECT_NEAR(w4, std::pow(one, 5), 1e-12);
+  EXPECT_LT(w4, one);
+  // Deeper finalization: strictly safer.
+  EXPECT_LT(asmr::attack_window_success(300, 120, 30, 10), w4);
+}
+
+}  // namespace
+}  // namespace zlb

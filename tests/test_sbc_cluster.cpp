@@ -1,0 +1,128 @@
+// End-to-end SBC/ASMR behaviour on the simulated network, happy path:
+// termination, agreement, validity, nontriviality (Def. 2) and the
+// confirmation phase, across committee sizes.
+#include <gtest/gtest.h>
+
+#include "zlb/cluster.hpp"
+
+namespace zlb {
+namespace {
+
+ClusterConfig base_config(std::size_t n, std::uint64_t instances) {
+  ClusterConfig cfg;
+  cfg.n = n;
+  cfg.base_delay = DelayModel::kLan;
+  cfg.replica.batch_tx_count = 50;
+  cfg.replica.max_instances = instances;
+  cfg.replica.accountable = true;
+  cfg.replica.confirmation = true;
+  cfg.seed = 42;
+  return cfg;
+}
+
+class SbcHappyPath : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SbcHappyPath, DecidesAndAgrees) {
+  const std::size_t n = GetParam();
+  Cluster cluster(base_config(n, 3));
+  cluster.run(seconds(120));
+
+  const auto* ref = cluster.replica(cluster.honest_ids().front())
+                        .decision(0, 0);
+  ASSERT_NE(ref, nullptr);
+  for (std::uint64_t k = 0; k < 3; ++k) {
+    const asmr::DecisionRecord* first = nullptr;
+    for (ReplicaId id : cluster.honest_ids()) {
+      const auto* rec = cluster.replica(id).decision(0, k);
+      ASSERT_NE(rec, nullptr) << "replica " << id << " instance " << k;
+      ASSERT_TRUE(rec->decided);
+      if (first == nullptr) {
+        first = rec;
+      } else {
+        // SBC-Agreement: identical bitmask and batch digests everywhere.
+        EXPECT_EQ(rec->bitmask, first->bitmask);
+        EXPECT_EQ(rec->digests, first->digests);
+      }
+      EXPECT_TRUE(rec->conflicted_slots.empty());
+    }
+    // SBC-Nontriviality: everyone proposed, so a quorum of slots must be
+    // decided 1 (at least).
+    std::size_t ones = 0;
+    for (auto b : first->bitmask) ones += b;
+    EXPECT_GE(ones, 2 * n / 3);
+  }
+}
+
+TEST_P(SbcHappyPath, ConfirmationCompletes) {
+  const std::size_t n = GetParam();
+  Cluster cluster(base_config(n, 2));
+  cluster.run(seconds(120));
+  for (ReplicaId id : cluster.honest_ids()) {
+    const auto* rec = cluster.replica(id).decision(0, 0);
+    ASSERT_NE(rec, nullptr);
+    EXPECT_TRUE(rec->confirmed) << "replica " << id;
+  }
+}
+
+TEST_P(SbcHappyPath, NoPofsWithoutFraud) {
+  const std::size_t n = GetParam();
+  Cluster cluster(base_config(n, 2));
+  cluster.run(seconds(120));
+  for (ReplicaId id : cluster.honest_ids()) {
+    EXPECT_EQ(cluster.replica(id).pofs().culprit_count(), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CommitteeSizes, SbcHappyPath,
+                         ::testing::Values(4, 7, 10, 16));
+
+TEST(SbcCluster, ThroughputPositive) {
+  Cluster cluster(base_config(7, 3));
+  cluster.run(seconds(120));
+  const auto rep = cluster.report();
+  EXPECT_GT(rep.decided_tx_per_sec, 0.0);
+  EXPECT_EQ(rep.disagreements, 0u);
+  EXPECT_GE(rep.txs_decided, 3u * 5u * 50u);  // 3 instances, >=5 slots, 50 tx
+}
+
+TEST(SbcCluster, ToleratesBenignMinority) {
+  // q < n/3 silent replicas must not block progress.
+  ClusterConfig cfg = base_config(10, 2);
+  cfg.benign = 3;
+  Cluster cluster(cfg);
+  cluster.run(seconds(120));
+  for (ReplicaId id : cluster.honest_ids()) {
+    const auto* rec = cluster.replica(id).decision(0, 1);
+    ASSERT_NE(rec, nullptr);
+    EXPECT_TRUE(rec->decided);
+  }
+}
+
+TEST(SbcCluster, AwsGeodistributedRunDecides) {
+  ClusterConfig cfg = base_config(10, 2);
+  cfg.base_delay = DelayModel::kAws;
+  Cluster cluster(cfg);
+  cluster.run(seconds(300));
+  for (ReplicaId id : cluster.honest_ids()) {
+    const auto* rec = cluster.replica(id).decision(0, 1);
+    ASSERT_NE(rec, nullptr);
+    EXPECT_TRUE(rec->decided);
+  }
+}
+
+TEST(SbcCluster, RedBellyModeDecides) {
+  // Accountability off (Red Belly baseline) still satisfies SBC.
+  ClusterConfig cfg = base_config(7, 2);
+  cfg.replica.accountable = false;
+  cfg.replica.confirmation = false;
+  Cluster cluster(cfg);
+  cluster.run(seconds(120));
+  for (ReplicaId id : cluster.honest_ids()) {
+    const auto* rec = cluster.replica(id).decision(0, 1);
+    ASSERT_NE(rec, nullptr);
+    EXPECT_TRUE(rec->decided);
+  }
+}
+
+}  // namespace
+}  // namespace zlb

@@ -1,0 +1,139 @@
+// Robustness property sweep: every wire decoder must reject arbitrary
+// byte garbage with DecodeError (never crash, never loop) — replicas
+// feed network input straight into these.
+#include <gtest/gtest.h>
+
+#include "asmr/payload.hpp"
+#include "chain/block.hpp"
+#include "consensus/messages.hpp"
+#include "consensus/pof.hpp"
+
+namespace zlb {
+namespace {
+
+class DecoderFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+Bytes random_bytes(Rng& rng, std::size_t max_len) {
+  Bytes out(rng.next_below(max_len + 1));
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next());
+  return out;
+}
+
+template <typename Fn>
+void expect_no_crash(Fn&& decode, const Bytes& data) {
+  try {
+    decode(BytesView(data.data(), data.size()));
+  } catch (const DecodeError&) {
+  } catch (const std::invalid_argument&) {
+  }
+  // Any other exception type (or a crash) fails the test.
+}
+
+TEST_P(DecoderFuzz, AllDecodersRejectGarbageGracefully) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 2000; ++i) {
+    const Bytes data = random_bytes(rng, 300);
+    expect_no_crash(
+        [](BytesView d) {
+          Reader r(d);
+          (void)consensus::SignedVote::decode(r);
+        },
+        data);
+    expect_no_crash(
+        [](BytesView d) {
+          Reader r(d);
+          (void)consensus::ProposalMsg::decode(r);
+        },
+        data);
+    expect_no_crash(
+        [](BytesView d) {
+          Reader r(d);
+          (void)consensus::DecisionMsg::decode(r);
+        },
+        data);
+    expect_no_crash(
+        [](BytesView d) {
+          Reader r(d);
+          (void)consensus::EvidenceMsg::decode(r);
+        },
+        data);
+    expect_no_crash([](BytesView d) { (void)consensus::decode_pofs(d); },
+                    data);
+    expect_no_crash([](BytesView d) { (void)asmr::BatchPayload::decode(d); },
+                    data);
+    expect_no_crash(
+        [](BytesView d) { (void)asmr::decode_replica_ids(d); }, data);
+    expect_no_crash(
+        [](BytesView d) {
+          Reader r(d);
+          (void)chain::Transaction::deserialize(r);
+        },
+        data);
+    expect_no_crash(
+        [](BytesView d) {
+          Reader r(d);
+          (void)chain::Block::deserialize(r);
+        },
+        data);
+  }
+}
+
+TEST_P(DecoderFuzz, BitflippedValidMessagesDontCrash) {
+  Rng rng(GetParam() * 131 + 7);
+  crypto::SimScheme scheme(64);
+  consensus::SignedVote vote;
+  vote.signer = 3;
+  vote.body = consensus::VoteBody{consensus::InstanceKey{1,
+                                  consensus::InstanceKind::kExclusion, 5},
+                                  2, 1, consensus::VoteType::kAux, Bytes{1}};
+  const Bytes sb = vote.body.signing_bytes();
+  vote.signature = scheme.sign(3, BytesView(sb.data(), sb.size()));
+  const Bytes wire = consensus::encode_vote_msg(vote);
+  for (int i = 0; i < 2000; ++i) {
+    Bytes mutated = wire;
+    const std::size_t flips = 1 + rng.next_below(4);
+    for (std::size_t f = 0; f < flips; ++f) {
+      mutated[rng.next_below(mutated.size())] ^=
+          static_cast<std::uint8_t>(1u << rng.next_below(8));
+    }
+    expect_no_crash(
+        [](BytesView d) {
+          if (d.empty()) return;
+          Reader r(d.subspan(1));
+          (void)consensus::SignedVote::decode(r);
+        },
+        mutated);
+  }
+}
+
+TEST_P(DecoderFuzz, RoundtripSurvivesReencoding) {
+  // Decode(encode(x)) == x for randomly generated valid votes.
+  Rng rng(GetParam() * 977 + 13);
+  crypto::SimScheme scheme(64);
+  for (int i = 0; i < 500; ++i) {
+    consensus::SignedVote v;
+    v.signer = static_cast<ReplicaId>(rng.next_below(1000));
+    v.body.key = consensus::InstanceKey{
+        static_cast<std::uint32_t>(rng.next_below(5)),
+        static_cast<consensus::InstanceKind>(rng.next_below(3)),
+        rng.next_below(100)};
+    v.body.slot = static_cast<std::uint32_t>(rng.next_below(128));
+    v.body.round = static_cast<std::uint32_t>(rng.next_below(8));
+    v.body.type = static_cast<consensus::VoteType>(rng.next_below(5));
+    v.body.value = random_bytes(rng, 32);
+    const Bytes sb = v.body.signing_bytes();
+    v.signature = scheme.sign(v.signer, BytesView(sb.data(), sb.size()));
+    Writer w;
+    v.encode(w);
+    Reader r(BytesView(w.data().data(), w.data().size()));
+    const auto back = consensus::SignedVote::decode(r);
+    r.expect_done();
+    EXPECT_EQ(back, v);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DecoderFuzz,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace
+}  // namespace zlb

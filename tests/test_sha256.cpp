@@ -1,0 +1,82 @@
+// SHA-256 / HMAC-SHA256 against FIPS-180-4 and RFC-4231 test vectors.
+#include <gtest/gtest.h>
+
+#include "crypto/sha256.hpp"
+
+namespace zlb::crypto {
+namespace {
+
+Bytes str(const char* s) { return to_bytes(s); }
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(hash_hex(sha256(str(""))),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(hash_hex(sha256(str("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(hash_hex(sha256(str(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionA) {
+  Sha256 ctx;
+  const Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) {
+    ctx.update(BytesView(chunk.data(), chunk.size()));
+  }
+  EXPECT_EQ(hash_hex(ctx.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const Bytes msg = str("the quick brown fox jumps over the lazy dog etc.");
+  for (std::size_t split = 0; split <= msg.size(); ++split) {
+    Sha256 ctx;
+    ctx.update(BytesView(msg.data(), split));
+    ctx.update(BytesView(msg.data() + split, msg.size() - split));
+    EXPECT_EQ(ctx.finish(), sha256(BytesView(msg.data(), msg.size())));
+  }
+}
+
+TEST(Sha256, DoubleHashDiffersFromSingle) {
+  const Bytes msg = str("abc");
+  EXPECT_NE(sha256d(BytesView(msg.data(), msg.size())),
+            sha256(BytesView(msg.data(), msg.size())));
+}
+
+// RFC 4231 test case 2 (short key).
+TEST(HmacSha256, Rfc4231Case2) {
+  const Bytes key = str("Jefe");
+  const Bytes data = str("what do ya want for nothing?");
+  EXPECT_EQ(hash_hex(hmac_sha256(BytesView(key.data(), key.size()),
+                                 BytesView(data.data(), data.size()))),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+// RFC 4231 test case 1.
+TEST(HmacSha256, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  const Bytes data = str("Hi There");
+  EXPECT_EQ(hash_hex(hmac_sha256(BytesView(key.data(), key.size()),
+                                 BytesView(data.data(), data.size()))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+// RFC 4231 test case 6: key longer than the block size.
+TEST(HmacSha256, LongKey) {
+  const Bytes key(131, 0xaa);
+  const Bytes data =
+      str("Test Using Larger Than Block-Size Key - Hash Key First");
+  EXPECT_EQ(hash_hex(hmac_sha256(BytesView(key.data(), key.size()),
+                                 BytesView(data.data(), data.size()))),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+}  // namespace
+}  // namespace zlb::crypto

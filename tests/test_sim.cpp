@@ -1,0 +1,213 @@
+// Discrete-event simulator and network model behaviour.
+#include <gtest/gtest.h>
+
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace zlb::sim {
+namespace {
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(ms(30), [&] { order.push_back(3); });
+  sim.schedule(ms(10), [&] { order.push_back(1); });
+  sim.schedule(ms(20), [&] { order.push_back(2); });
+  sim.run_until();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), ms(30));
+}
+
+TEST(Simulator, StableTieBreak) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule(ms(10), [&order, i] { order.push_back(i); });
+  }
+  sim.run_until();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, NestedScheduling) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(ms(1), [&] {
+    ++fired;
+    sim.schedule(ms(1), [&] { ++fired; });
+  });
+  sim.run_until();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), ms(2));
+}
+
+TEST(Simulator, DeadlineStopsExecution) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(ms(10), [&] { ++fired; });
+  sim.schedule(ms(100), [&] { ++fired; });
+  sim.run_until(ms(50));
+  EXPECT_EQ(fired, 1);
+  sim.run_until(ms(200));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RunWhileStopsOnPredicate) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.schedule(ms(i), [&] { ++count; });
+  }
+  EXPECT_TRUE(sim.run_while([&] { return count >= 3; }));
+  EXPECT_EQ(count, 3);
+}
+
+class Recorder : public Process {
+ public:
+  void on_message(ReplicaId from, BytesView data) override {
+    received.emplace_back(from, Bytes(data.begin(), data.end()));
+  }
+  std::vector<std::pair<ReplicaId, Bytes>> received;
+};
+
+TEST(Network, DeliversWithLatency) {
+  Simulator sim;
+  Network net(sim, std::make_shared<FixedLatency>(ms(5)), NetConfig{}, 1);
+  Recorder a, b;
+  net.attach(0, a);
+  net.attach(1, b);
+  net.send(0, 1, Bytes{42}, 0);
+  sim.run_until();
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(b.received[0].first, 0u);
+  EXPECT_EQ(b.received[0].second, Bytes{42});
+  EXPECT_GE(sim.now(), ms(5));
+}
+
+TEST(Network, NicSerializesSends) {
+  // Two large back-to-back sends: the second waits for the first on the
+  // sender NIC, so arrival times are separated by >= the transfer time.
+  Simulator sim;
+  NetConfig cfg;
+  cfg.bandwidth_bytes_per_us = 1.0;  // 1 byte/us -> easy math
+  cfg.cpu = CpuCost{0.0, 0.0, 0.0};
+  Network net(sim, std::make_shared<FixedLatency>(0), cfg, 1);
+  Recorder b;
+  net.attach(1, b);
+
+  std::vector<SimTime> arrivals;
+  class Observer : public Process {
+   public:
+    explicit Observer(Simulator& s, std::vector<SimTime>& a)
+        : sim_(s), arrivals_(a) {}
+    void on_message(ReplicaId, BytesView) override {
+      arrivals_.push_back(sim_.now());
+    }
+    Simulator& sim_;
+    std::vector<SimTime>& arrivals_;
+  } obs(sim, arrivals);
+  net.attach(2, obs);
+
+  const Bytes big(1000, 0);
+  net.send(0, 2, big, 0);
+  net.send(0, 2, big, 0);
+  sim.run_until();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_GE(arrivals[1] - arrivals[0], us(1000));
+}
+
+TEST(Network, CpuCostSerializesProcessing) {
+  Simulator sim;
+  NetConfig cfg;
+  cfg.cpu = CpuCost{1000.0, 0.0, 0.0};  // 1ms fixed per message
+  cfg.cores = 1.0;
+  Network net(sim, std::make_shared<FixedLatency>(0), cfg, 1);
+  std::vector<SimTime> times;
+  class Observer : public Process {
+   public:
+    Observer(Simulator& s, std::vector<SimTime>& t) : sim_(s), times_(t) {}
+    void on_message(ReplicaId, BytesView) override {
+      times_.push_back(sim_.now());
+    }
+    Simulator& sim_;
+    std::vector<SimTime>& times_;
+  } obs(sim, times);
+  net.attach(1, obs);
+  net.send(0, 1, Bytes{1}, 0);
+  net.send(2, 1, Bytes{2}, 0);
+  sim.run_until();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_GE(times[1] - times[0], ms(1));
+}
+
+TEST(Network, SelfSendSkipsNicAndLatency) {
+  Simulator sim;
+  NetConfig cfg;
+  cfg.cpu = CpuCost{0.0, 0.0, 0.0};
+  Network net(sim, std::make_shared<FixedLatency>(seconds(10)), cfg, 1);
+  Recorder a;
+  net.attach(0, a);
+  net.send(0, 0, Bytes{9}, 0);
+  sim.run_until();
+  EXPECT_EQ(a.received.size(), 1u);
+  EXPECT_LT(sim.now(), ms(1));
+}
+
+TEST(Network, DetachedReplicaDropsMessages) {
+  Simulator sim;
+  Network net(sim, std::make_shared<FixedLatency>(ms(1)), NetConfig{}, 1);
+  Recorder a;
+  net.attach(1, a);
+  net.detach(1);
+  net.send(0, 1, Bytes{1}, 0);
+  sim.run_until();
+  EXPECT_TRUE(a.received.empty());
+}
+
+TEST(Latency, UniformStaysAroundMean) {
+  UniformLatency model(ms(100));
+  Rng rng(1);
+  double sum = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const SimTime t = model.sample(0, 1, rng);
+    EXPECT_GE(t, ms(50));
+    EXPECT_LE(t, ms(150));
+    sum += static_cast<double>(t);
+  }
+  EXPECT_NEAR(sum / 5000, static_cast<double>(ms(100)), 2000.0);
+}
+
+TEST(Latency, AwsIntraRegionFasterThanInterContinent) {
+  AwsLatency model;
+  Rng rng(2);
+  // Replicas 0 and 5 are both in region 0; 0 and 3 span the Atlantic.
+  const SimTime same = model.sample(0, 5, rng);
+  const SimTime far = model.sample(0, 3, rng);
+  EXPECT_LT(same, far);
+}
+
+TEST(Latency, PartitionOverlayDelaysCrossPartitionOnly) {
+  auto base = std::make_shared<FixedLatency>(ms(1));
+  auto attack = std::make_shared<FixedLatency>(seconds(1));
+  // Replicas 0,1 in partition 0; replicas 2,3 in partition 1; replica 4
+  // deceitful (-1).
+  PartitionOverlay overlay(base, attack, {0, 0, 1, 1, -1});
+  Rng rng(3);
+  EXPECT_EQ(overlay.sample(0, 1, rng), ms(1));
+  EXPECT_EQ(overlay.sample(0, 2, rng), ms(1) + seconds(1));
+  EXPECT_EQ(overlay.sample(4, 0, rng), ms(1));
+  EXPECT_EQ(overlay.sample(2, 4, rng), ms(1));
+}
+
+TEST(Network, StatsAccumulate) {
+  Simulator sim;
+  Network net(sim, std::make_shared<FixedLatency>(0), NetConfig{}, 1);
+  Recorder a;
+  net.attach(1, a);
+  net.send(0, 1, Bytes(100, 0), 0, 500);
+  sim.run_until();
+  EXPECT_EQ(net.stats().messages, 1u);
+  EXPECT_EQ(net.stats().bytes, 100u + 500u + net.config().header_bytes);
+}
+
+}  // namespace
+}  // namespace zlb::sim

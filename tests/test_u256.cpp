@@ -1,0 +1,136 @@
+// 256-bit arithmetic and modular reduction properties, including
+// randomized property sweeps against the definitions.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "crypto/secp256k1.hpp"
+#include "crypto/u256.hpp"
+
+namespace zlb::crypto {
+namespace {
+
+U256 random_u256(Rng& rng) {
+  return U256{rng.next(), rng.next(), rng.next(), rng.next()};
+}
+
+TEST(U256, HexRoundtrip) {
+  const U256 v = U256::from_hex(
+      "0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef");
+  EXPECT_EQ(v.to_hex(),
+            "0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef");
+}
+
+TEST(U256, ShortHexIsZeroPadded) {
+  EXPECT_EQ(U256::from_hex("ff"), U256(255));
+}
+
+TEST(U256, ByteRoundtrip) {
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const U256 v = random_u256(rng);
+    EXPECT_EQ(U256::from_bytes(
+                  BytesView(v.to_bytes().data(), 32)),
+              v);
+  }
+}
+
+TEST(U256, CompareBasics) {
+  EXPECT_LT(cmp(U256(1), U256(2)), 0);
+  EXPECT_GT(cmp(U256(1, 0, 0, 0), U256(0, ~0ULL, ~0ULL, ~0ULL)), 0);
+  EXPECT_EQ(cmp(U256(5), U256(5)), 0);
+}
+
+TEST(U256, AddSubInverse) {
+  Rng rng(11);
+  for (int i = 0; i < 500; ++i) {
+    const U256 a = random_u256(rng);
+    const U256 b = random_u256(rng);
+    U256 sum, back;
+    const auto carry = add_carry(sum, a, b);
+    const auto borrow = sub_borrow(back, sum, b);
+    EXPECT_EQ(carry, borrow);  // overflow wraps consistently
+    EXPECT_EQ(back, a);
+  }
+}
+
+TEST(U256, TopBit) {
+  EXPECT_EQ(U256().top_bit(), -1);
+  EXPECT_EQ(U256(1).top_bit(), 0);
+  EXPECT_EQ(U256(1, 0, 0, 0).top_bit(), 192);
+  U256 v(0x8000000000000000ULL, 0, 0, 0);
+  EXPECT_EQ(v.top_bit(), 255);
+}
+
+TEST(U256, MulWideSmall) {
+  const U512 prod = mul_wide(U256(3), U256(7));
+  EXPECT_EQ(prod[0], 21u);
+  for (int i = 1; i < 8; ++i) EXPECT_EQ(prod[static_cast<std::size_t>(i)], 0u);
+}
+
+TEST(U256, MulWideCross) {
+  // (2^64)(2^64) = 2^128.
+  const U512 prod = mul_wide(U256(0, 0, 1, 0), U256(0, 0, 1, 0));
+  EXPECT_EQ(prod[2], 1u);
+}
+
+class ModularProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ModularProperty, FieldAxioms) {
+  const Modulus& p = curve().p;
+  Rng rng(GetParam());
+  for (int i = 0; i < 50; ++i) {
+    const U256 a = normalize(random_u256(rng), p);
+    const U256 b = normalize(random_u256(rng), p);
+    const U256 c = normalize(random_u256(rng), p);
+    // Commutativity.
+    EXPECT_EQ(add_mod(a, b, p), add_mod(b, a, p));
+    EXPECT_EQ(mul_mod(a, b, p), mul_mod(b, a, p));
+    // Associativity of multiplication.
+    EXPECT_EQ(mul_mod(mul_mod(a, b, p), c, p),
+              mul_mod(a, mul_mod(b, c, p), p));
+    // Distributivity.
+    EXPECT_EQ(mul_mod(a, add_mod(b, c, p), p),
+              add_mod(mul_mod(a, b, p), mul_mod(a, c, p), p));
+    // Additive inverse.
+    EXPECT_EQ(add_mod(a, sub_mod(U256(), a, p), p), U256());
+    // Multiplicative inverse (skip zero).
+    if (!a.is_zero()) {
+      EXPECT_EQ(mul_mod(a, inv_mod(a, p), p), U256(1));
+    }
+  }
+}
+
+TEST_P(ModularProperty, OrderArithmetic) {
+  const Modulus& n = curve().n;
+  Rng rng(GetParam() * 31 + 5);
+  for (int i = 0; i < 50; ++i) {
+    const U256 a = normalize(random_u256(rng), n);
+    if (a.is_zero()) continue;
+    EXPECT_EQ(mul_mod(a, inv_mod(a, n), n), U256(1));
+    // Fermat: a^(n-1) = 1 mod n (n prime).
+    U256 n_minus_1;
+    sub_borrow(n_minus_1, n.m, U256(1));
+    EXPECT_EQ(pow_mod(a, n_minus_1, n), U256(1));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModularProperty,
+                         ::testing::Values(1u, 2u, 3u, 42u, 1337u));
+
+TEST(U256, Reduce512MatchesKnownValue) {
+  // (p-1)^2 mod p = 1.
+  const Modulus& p = curve().p;
+  U256 p_minus_1;
+  sub_borrow(p_minus_1, p.m, U256(1));
+  EXPECT_EQ(mul_mod(p_minus_1, p_minus_1, p), U256(1));
+}
+
+TEST(U256, PowModEdgeCases) {
+  const Modulus& p = curve().p;
+  EXPECT_EQ(pow_mod(U256(5), U256(), p), U256(1));   // x^0 = 1
+  EXPECT_EQ(pow_mod(U256(5), U256(1), p), U256(5));  // x^1 = x
+  EXPECT_EQ(pow_mod(U256(2), U256(10), p), U256(1024));
+}
+
+}  // namespace
+}  // namespace zlb::crypto

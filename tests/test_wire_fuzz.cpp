@@ -1,0 +1,145 @@
+// Wire-robustness fuzzing: replicas (simulated and live) must survive
+// arbitrary bytes on the wire — random garbage, truncated and
+// bit-flipped real protocol messages, wrong tags — without crashing,
+// without accepting forged votes, and while still reaching consensus
+// afterwards.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "consensus/messages.hpp"
+#include "net/frame.hpp"
+#include "zlb/cluster.hpp"
+
+namespace zlb {
+namespace {
+
+Bytes random_bytes(Rng& rng, std::size_t max_len) {
+  Bytes b(rng.next() % (max_len + 1));
+  for (auto& byte : b) byte = static_cast<std::uint8_t>(rng.next());
+  return b;
+}
+
+class WireFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Pure random garbage at every message tag.
+TEST_P(WireFuzz, RandomGarbageNeverCrashesAReplica) {
+  ClusterConfig cfg;
+  cfg.n = 4;
+  cfg.base_delay = DelayModel::kLan;
+  cfg.replica.batch_tx_count = 10;
+  cfg.replica.max_instances = 2;
+  cfg.seed = GetParam();
+  Cluster cluster(cfg);
+
+  Rng rng(GetParam() * 1000003);
+  asmr::Replica& victim = cluster.replica(0);
+  for (int i = 0; i < 400; ++i) {
+    Bytes junk = random_bytes(rng, 300);
+    if (!junk.empty() && rng.next() % 2 == 0) {
+      // Half the time force a valid tag so the decoder path is hit.
+      junk[0] = static_cast<std::uint8_t>(1 + rng.next() % 8);
+    }
+    victim.on_message(static_cast<ReplicaId>(rng.next() % 4),
+                      BytesView(junk.data(), junk.size()));
+  }
+
+  // The cluster still works afterwards.
+  cluster.run(seconds(120));
+  for (ReplicaId id : cluster.honest_ids()) {
+    const auto* rec = cluster.replica(id).decision(0, 1);
+    ASSERT_NE(rec, nullptr);
+    EXPECT_TRUE(rec->decided);
+  }
+}
+
+// Bit-flipped REAL votes: either the decode fails, or the decoded vote
+// fails signature verification — a flipped vote must never influence
+// the instance (forged-vote resistance).
+TEST_P(WireFuzz, MutatedSignedVotesAreRejected) {
+  crypto::SimScheme scheme(64);
+  consensus::SignedVote vote;
+  vote.signer = 2;
+  vote.body.key = {0, consensus::InstanceKind::kRegular, 0};
+  vote.body.slot = 1;
+  vote.body.round = 1;
+  vote.body.type = consensus::VoteType::kAux;
+  vote.body.value = Bytes{1};
+  const Bytes sb = vote.body.signing_bytes();
+  vote.signature = scheme.sign(2, BytesView(sb.data(), sb.size()));
+  const Bytes wire = consensus::encode_vote_msg(vote);
+
+  Rng rng(GetParam());
+  int decoded_valid = 0;
+  for (int i = 0; i < 500; ++i) {
+    Bytes mutated = wire;
+    const std::size_t pos = 1 + rng.next() % (mutated.size() - 1);
+    mutated[pos] ^= static_cast<std::uint8_t>(1 + (rng.next() % 255));
+    try {
+      Reader r(BytesView(mutated.data() + 1, mutated.size() - 1));
+      const auto v = consensus::SignedVote::decode(r);
+      const Bytes check = v.body.signing_bytes();
+      if (scheme.verify(v.signer, BytesView(check.data(), check.size()),
+                        BytesView(v.signature.data(), v.signature.size()))) {
+        ++decoded_valid;
+      }
+    } catch (const DecodeError&) {
+      // fine: rejected at the codec
+    }
+  }
+  EXPECT_EQ(decoded_valid, 0)
+      << "a single-byte mutation survived decode AND signature check";
+}
+
+// Truncations of every real message kind.
+TEST_P(WireFuzz, TruncatedMessagesThrowCleanly) {
+  crypto::SimScheme scheme(64);
+  consensus::SignedVote vote;
+  vote.signer = 1;
+  vote.body.key = {0, consensus::InstanceKind::kRegular, 3};
+  vote.body.type = consensus::VoteType::kEcho;
+  vote.body.value = Bytes(32, 0xab);
+  const Bytes sb = vote.body.signing_bytes();
+  vote.signature = scheme.sign(1, BytesView(sb.data(), sb.size()));
+  const Bytes wire = consensus::encode_vote_msg(vote);
+
+  Rng rng(GetParam() * 31);
+  for (std::size_t cut = 1; cut < wire.size(); ++cut) {
+    try {
+      Reader r(BytesView(wire.data() + 1, cut));
+      (void)consensus::SignedVote::decode(r);
+      // Decoding a prefix may "succeed" if the prefix happens to be a
+      // complete encoding — that is fine; dispatch re-verifies.
+    } catch (const DecodeError&) {
+      // expected for most cuts
+    } catch (...) {
+      FAIL() << "non-DecodeError escaped at cut " << cut;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireFuzz, ::testing::Values(1, 7, 42, 1337));
+
+// Frame-decoder + garbage stream: a peer spraying random bytes at a
+// framed connection must poison or starve, never deliver junk frames
+// bigger than the cap nor loop forever.
+TEST(WireFuzz, FramedGarbageStreamIsBounded) {
+  Rng rng(99);
+  for (int round = 0; round < 50; ++round) {
+    net::FrameDecoder dec;
+    std::size_t delivered_bytes = 0;
+    bool alive = true;
+    for (int chunk = 0; alive && chunk < 50; ++chunk) {
+      const Bytes junk = random_bytes(rng, 4096);
+      alive = dec.feed(BytesView(junk.data(), junk.size()),
+                       [&](BytesView p) { delivered_bytes += p.size(); });
+    }
+    // Whatever was "delivered" obeys the frame cap per frame; the
+    // decoder either stays live (interpreting garbage as lengths) or
+    // poisoned itself on an oversized length — both are acceptable,
+    // crashing or unbounded buffering is not.
+    EXPECT_LE(dec.pending_bytes(), (64u << 20) + 4);
+  }
+}
+
+}  // namespace
+}  // namespace zlb
