@@ -56,7 +56,7 @@ int main() {
       {"aws-like", DelayModel::kAws, 0},
   };
 
-  for (const auto [attack, label] :
+  for (const auto& [attack, label] :
        {std::pair{AttackKind::kBinaryConsensus, "binary-consensus attack"},
         std::pair{AttackKind::kReliableBroadcast,
                   "reliable-broadcast attack"}}) {

@@ -17,7 +17,7 @@ int main() {
       "# Section 5.3: disagreeing proposals under catastrophic delays "
       "(n=%zu, d=%zu)\n# attack delay_s disagreements forked_instances\n",
       n, bench::deceitful_for(n));
-  for (const auto [attack, label] :
+  for (const auto& [attack, label] :
        {std::pair{AttackKind::kBinaryConsensus, "binary-consensus"},
         std::pair{AttackKind::kReliableBroadcast, "reliable-broadcast"}}) {
     for (SimTime delay : {seconds(5.0), seconds(10.0)}) {

@@ -1,0 +1,37 @@
+# Shared compile/link options for every zlb target.
+#
+# Usage: zlb_apply_options(<target>) — sets the C++20 standard, the
+# warning set (warnings are errors), and, when ZLB_SANITIZE is a
+# non-empty comma-separated list (e.g. "address,undefined"), the
+# matching -fsanitize instrumentation on both compile and link lines.
+
+set(ZLB_SANITIZE "" CACHE STRING
+    "Comma-separated sanitizers to instrument with (e.g. address,undefined)")
+
+function(zlb_apply_options target)
+  target_compile_features(${target} PUBLIC cxx_std_20)
+  set_target_properties(${target} PROPERTIES
+    CXX_STANDARD 20
+    CXX_STANDARD_REQUIRED ON
+    CXX_EXTENSIONS OFF)
+
+  if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+    # No -Wpedantic: the u256 wide-mul path deliberately uses __int128.
+    target_compile_options(${target} PRIVATE
+      -Wall -Wextra -Werror)
+    if(CMAKE_CXX_COMPILER_ID STREQUAL "GNU")
+      # GCC 12 -O2 false positive on inlined std::string operator+
+      # (PR105329); fires inside libstdc++ headers, not our code.
+      target_compile_options(${target} PRIVATE -Wno-restrict)
+    endif()
+  endif()
+
+  if(ZLB_SANITIZE)
+    string(REPLACE "," ";" _zlb_san_list "${ZLB_SANITIZE}")
+    foreach(_san IN LISTS _zlb_san_list)
+      target_compile_options(${target} PRIVATE -fsanitize=${_san}
+        -fno-omit-frame-pointer)
+      target_link_options(${target} PRIVATE -fsanitize=${_san})
+    endforeach()
+  endif()
+endfunction()

@@ -4,8 +4,8 @@
 // submit payments with zlb_wallet.
 //
 //   # peers.txt: one "<id> <port>" pair per line, the full committee
-//   ./zlb_node --id 0 --peers peers.txt --client-port 9100 \
-//              --genesis <address-hex>:100000 --journal node0.wal
+//   ./zlb_node --id 0 --peers peers.txt --client-port 9100
+//              [--genesis <address-hex>:100000] [--journal node0.wal]
 //
 // The node serves until the instance budget is exhausted or SIGINT.
 #include <csignal>
@@ -146,6 +146,10 @@ int main(int argc, char** argv) {
   cfg.client_port = opts.client_port;
   cfg.block_interval = std::chrono::milliseconds(opts.block_interval_ms);
   cfg.journal_path = opts.journal_path;
+  // Serve anti-entropy resync to stragglers after finishing the
+  // budget; the node exits once every peer reported it is done too
+  // (and stays up serving if a peer never does — it is a daemon).
+  cfg.linger_after_decided = true;
 
   net::LiveNode node(cfg);
   if (!node.listening()) {

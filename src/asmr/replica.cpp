@@ -289,7 +289,7 @@ void Replica::start_instance(InstanceId k) {
   get_or_create_engine(Key{epoch_, InstanceKind::kRegular, k});
 }
 
-void Replica::on_engine_decided(const Key& key) {
+void Replica::on_engine_decided(Key key) {
   Engine* engine = find_engine(key);
   if (engine == nullptr) return;
   switch (key.kind) {
@@ -367,7 +367,7 @@ void Replica::commit_outcome(const Key& key, Engine& engine) {
   }
 }
 
-void Replica::on_exclusion_decided(const Key& key, Engine& engine) {
+void Replica::on_exclusion_decided(const Key& /*key*/, Engine& engine) {
   if (!cons_exclude_.empty()) return;  // already handled
   std::set<ReplicaId> culprits;
   for (const auto& entry : engine.outcome()) {
@@ -394,7 +394,7 @@ void Replica::on_exclusion_decided(const Key& key, Engine& engine) {
   replay_pending();
 }
 
-void Replica::on_inclusion_decided(const Key& key, Engine& engine) {
+void Replica::on_inclusion_decided(const Key& /*key*/, Engine& engine) {
   std::vector<std::vector<ReplicaId>> proposals;
   for (const auto& entry : engine.outcome()) {
     try {
@@ -575,7 +575,14 @@ void Replica::handle_decision_msg(const DecisionMsg& msg) {
       metrics_.txs_confirmed += rec.tx_count;
       if (rec.conflicted_slots.empty()) {
         tombstones_.insert(msg.key);
-        engines_.erase(msg.key);
+        // Deferred: this path can run inside the engine's own decided
+        // hook (stashed decisions replayed from on_regular_decided),
+        // and destroying the engine under its own callback frame is a
+        // use-after-free. The tombstone blocks engine re-creation, and
+        // freezing the still-live engine stops same-timestep votes
+        // from re-populating the PofStore state pruned below.
+        if (Engine* zombie = find_engine(msg.key)) zombie->stop();
+        sim_.schedule(0, [this, k = msg.key]() { engines_.erase(k); });
         pofs_.prune_instance(msg.key);
       }
     }

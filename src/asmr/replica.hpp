@@ -139,7 +139,10 @@ class Replica : public sim::Process {
   Engine* get_or_create_engine(const Key& key);
   Engine* find_engine(const Key& key);
   void wire_and_propose(const Key& key, Engine& engine);
-  void on_engine_decided(const Key& key);
+  /// `key` is taken by value: the caller is the engine's own decided
+  /// hook, whose captured key dies if a handler below destroys the
+  /// engine (confirmation-phase prune).
+  void on_engine_decided(Key key);
   void on_regular_decided(const Key& key, Engine& engine);
   void on_exclusion_decided(const Key& key, Engine& engine);
   void on_inclusion_decided(const Key& key, Engine& engine);

@@ -122,6 +122,12 @@ enum class MsgTag : std::uint8_t {
   kCatchupReq = 6,
   kCatchupResp = 7,
   kReconcile = 8,     ///< decided blocks pushed after a conflict (merge)
+  /// Live-deployment anti-entropy heartbeat: the sender's lowest
+  /// undecided instance. Receivers replay their recorded wire for
+  /// instances the sender is still missing (net/live_node.cpp) —
+  /// the resend path that makes the lossy TCP transport live up to
+  /// the reliable-delivery assumption of the liveness proof.
+  kResyncStatus = 9,
 };
 
 /// Proposal = RBC send vote + the batch payload it commits to.

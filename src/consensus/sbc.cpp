@@ -54,7 +54,9 @@ void SbcEngine::broadcast_vote(VoteType type, std::uint32_t slot,
   vote.body = VoteBody{key_, slot, round, type, std::move(value)};
   const Bytes sb = vote.body.signing_bytes();
   vote.signature = scheme_.sign(me_, BytesView(sb.data(), sb.size()));
-  hooks_.broadcast(encode_vote_msg(vote), 1 + extra_units, extra_wire);
+  Bytes wire = encode_vote_msg(vote);
+  if (config_.record_wire) wire_log_.push_back(wire);
+  hooks_.broadcast(std::move(wire), 1 + extra_units, extra_wire);
 }
 
 void SbcEngine::propose(Bytes payload, std::uint64_t extra_wire,
@@ -78,7 +80,9 @@ void SbcEngine::propose(Bytes payload, std::uint64_t extra_wire,
   msg.extra_wire = extra_wire;
   msg.tx_count = tx_count;
   // Receiver verifies the envelope plus (a share of) the batch content.
-  hooks_.broadcast(encode_proposal_msg(msg), verify_units, extra_wire);
+  Bytes wire = encode_proposal_msg(msg);
+  if (config_.record_wire) wire_log_.push_back(wire);
+  hooks_.broadcast(std::move(wire), verify_units, extra_wire);
 }
 
 void SbcEngine::handle_proposal(const ProposalMsg& msg) {

@@ -43,6 +43,12 @@ class SbcEngine {
     /// (memory guard; honest executions decide in <= 3 rounds, stragglers
     /// adopt certified decisions instead).
     std::uint32_t max_rounds = 64;
+    /// Record every outbound wire message (proposal + votes) so a live
+    /// deployment can replay them for anti-entropy resync. The
+    /// simulator's network is reliable, so it leaves this off; a lossy
+    /// transport (TCP connection churn) needs the replay to keep the
+    /// paper's liveness argument, which assumes reliable delivery.
+    bool record_wire = false;
   };
 
   struct Hooks {
@@ -104,6 +110,17 @@ class SbcEngine {
   /// from a verified DecisionMsg). Does not emit votes.
   void adopt_slot_decision(std::uint32_t slot, std::uint8_t value,
                            const crypto::Hash32* digest_hint);
+
+  /// Everything this engine ever broadcast, in emission order (empty
+  /// unless config.record_wire). Signed and idempotent on receivers —
+  /// first-vote-per-signer dedup — so a resync layer may resend any
+  /// suffix of it at will.
+  [[nodiscard]] const std::vector<Bytes>& wire_log() const {
+    return wire_log_;
+  }
+  /// Frees the recorded wire (once every peer is known to be past this
+  /// instance).
+  void clear_wire_log() { wire_log_.clear(); wire_log_.shrink_to_fit(); }
 
   /// Introspection for tests and debugging.
   struct SlotDebug {
@@ -186,6 +203,7 @@ class SbcEngine {
   bool instance_decided_ = false;
   std::vector<OutcomeEntry> outcome_;
   std::vector<std::uint8_t> bitmask_;
+  std::vector<Bytes> wire_log_;  ///< outbound messages (record_wire)
 };
 
 }  // namespace zlb::consensus

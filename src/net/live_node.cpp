@@ -14,6 +14,10 @@ LiveNode::LiveNode(LiveNodeConfig config)
     : config_(std::move(config)),
       transport_(loop_, TransportConfig{config_.me, config_.listen_port, {}}),
       committee_(config_.committee) {
+  // Resync replays recorded wire, so the engines must record it.
+  if (config_.resync_interval > Duration::zero()) {
+    config_.engine.record_wire = true;
+  }
   if (config_.use_ecdsa) {
     scheme_ = std::make_unique<crypto::EcdsaScheme>();
   } else {
@@ -177,7 +181,15 @@ void LiveNode::on_decided(InstanceId k) {
   decided_count_.fetch_add(1);
 
   if (all_decided()) {
-    loop_.stop();
+    // Lingering nodes stay up to serve resync to straggling peers (the
+    // cluster stops them once everyone decided); standalone nodes are
+    // done. Lingering's own termination lives in resync_tick, so with
+    // resync disabled there would be no stop path at all — fall back
+    // to stopping here.
+    if (!config_.linger_after_decided ||
+        config_.resync_interval <= Duration::zero()) {
+      loop_.stop();
+    }
     return;
   }
   // Advance past every already-decided index and propose in the next
@@ -197,6 +209,177 @@ void LiveNode::on_decided(InstanceId k) {
       });
     } else {
       start_instance(current_);
+    }
+  }
+}
+
+InstanceId LiveNode::decision_floor() const {
+  // current_ is the first-undecided cursor on_decided maintains;
+  // starting there keeps this O(1) amortized over a run instead of
+  // rescanning every decided instance from zero on each tick.
+  InstanceId k = current_;
+  while (k < config_.instances) {
+    const auto it = engines_.find(k);
+    if (it == engines_.end() || !it->second->has_decided()) break;
+    ++k;
+  }
+  return k;
+}
+
+namespace {
+/// Domain-separated signing bytes of a resync status claim. The
+/// wall-clock timestamp gives the claim freshness: floors may
+/// legitimately regress (daemon restart), so without it a recorded
+/// old "I am done" status could be replayed to re-poison the floor
+/// the signature protects. Committee machines are assumed loosely
+/// clock-synchronized (well within kResyncFreshness).
+Bytes resync_signing_bytes(ReplicaId signer, InstanceId floor,
+                           std::int64_t unix_seconds) {
+  Writer sb;
+  sb.string("zlb-resync-status");
+  sb.u32(signer);
+  sb.u64(floor);
+  sb.i64(unix_seconds);
+  return sb.take();
+}
+
+std::int64_t unix_now() {
+  return std::chrono::duration_cast<std::chrono::seconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+constexpr std::int64_t kResyncFreshness = 120;  // seconds
+}  // namespace
+
+void LiveNode::resync_tick() {
+  // Heartbeat: tell every peer how far we got. Peers that are ahead
+  // answer by replaying their recorded wire for what we are missing —
+  // the resend path that recovers frames TCP connection churn lost.
+  // Signed: floors steer wire-log pruning and linger termination, so
+  // a forged status must not be able to poison them.
+  const InstanceId my_floor = decision_floor();
+  const std::int64_t now_s = unix_now();
+  const Bytes sb = resync_signing_bytes(config_.me, my_floor, now_s);
+  const Bytes sig = scheme_->sign(config_.me, BytesView(sb.data(), sb.size()));
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgTag::kResyncStatus));
+  w.u64(my_floor);
+  w.i64(now_s);
+  w.bytes(BytesView(sig.data(), sig.size()));
+  const Bytes status = w.take();
+  for (ReplicaId member : config_.committee) {
+    if (member == config_.me) continue;
+    // Only to live links: a heartbeat is only useful fresh, and
+    // queueing one per tick at a dead peer grows the transport buffer
+    // without bound (the peer gets a current one next tick anyway).
+    if (!transport_.connected(member)) continue;
+    transport_.send(member, BytesView(status.data(), status.size()));
+  }
+  // Drop wire logs every live peer is provably past. A peer that has
+  // not reported within the last kPruneGraceTicks — long enough for
+  // any startup connect race to heal — is written off, whether it
+  // never connected or reported once and died: a silent peer must not
+  // pin every instance's wire in memory for the whole run. Within the
+  // grace, a not-yet-reported peer holds the floor at zero. A replica
+  // returning after its write-off re-reports its true floor (floors
+  // are verbatim, restarts included) and anything not yet pruned is
+  // replayed; recovering already-pruned history is a state-snapshot
+  // concern, not a frame-resend one.
+  resync_ticks_ += 1;
+  constexpr int kPruneGraceTicks = 240;  // 60 s at the default interval
+  InstanceId floor = my_floor;
+  bool hold = false;
+  for (ReplicaId member : config_.committee) {
+    if (member == config_.me) continue;
+    const auto it = peer_sync_.find(member);
+    const int last_tick = it == peer_sync_.end() ? 0 : it->second.report_tick;
+    if (resync_ticks_ - last_tick > kPruneGraceTicks) continue;  // written off
+    if (it == peer_sync_.end()) {
+      hold = true;  // within grace, not yet heard from
+      break;
+    }
+    floor = std::min(floor, it->second.floor);
+  }
+  if (!hold) {
+    // Bound what any single peer can pin: a deceitful member endlessly
+    // reporting a signed low floor would otherwise hold every honest
+    // node's wire in memory for the whole run. Beyond the cap it gets
+    // written-off semantics (snapshot territory) like a silent peer.
+    constexpr InstanceId kMaxRetainedInstances = 1024;
+    if (my_floor > kMaxRetainedInstances) {
+      floor = std::max(floor, my_floor - kMaxRetainedInstances);
+    }
+    for (auto it = engines_.lower_bound(pruned_floor_);
+         it != engines_.end() && it->first < floor; ++it) {
+      it->second->clear_wire_log();
+    }
+    pruned_floor_ = std::max(pruned_floor_, floor);
+  }
+  // Distributed termination for lingering nodes without an external
+  // coordinator (standalone daemons): wind down once we decided
+  // everything AND every peer reported it is done too — until then a
+  // straggler may still need our wire replayed.
+  if (config_.linger_after_decided && all_decided()) {
+    bool peers_done = true;
+    for (ReplicaId member : config_.committee) {
+      if (member == config_.me) continue;
+      const auto it = peer_sync_.find(member);
+      if (it == peer_sync_.end() || it->second.floor < config_.instances) {
+        peers_done = false;
+        break;
+      }
+    }
+    if (peers_done) {
+      // Not immediately: a peer that exits right after its final
+      // status can have that frame torn away by the RST its close
+      // raises (unread heartbeats in its receive buffer discard
+      // in-flight data), and a peer that missed it would wait
+      // forever. A few more ticks of rebroadcasting our floor make
+      // the final exchange robust.
+      constexpr int kDoneGraceTicks = 4;
+      if (++done_grace_ticks_ > kDoneGraceTicks) {
+        loop_.stop();
+        return;
+      }
+    } else {
+      done_grace_ticks_ = 0;
+    }
+  }
+  loop_.schedule(config_.resync_interval, [this]() { resync_tick(); });
+}
+
+void LiveNode::handle_resync_status(ReplicaId from, InstanceId peer_floor) {
+  // Verbatim, not a running max: a restarted daemon legitimately
+  // reports a lower floor again.
+  const auto last = peer_sync_.find(from);
+  const bool stalled =
+      last != peer_sync_.end() && last->second.floor == peer_floor;
+  PeerResync& ps = peer_sync_[from];
+  ps.floor = peer_floor;
+  ps.report_tick = resync_ticks_;
+  // Only a *stalled* peer (same floor twice in a row) gets a replay: a
+  // progressing peer needs no help, and every duplicate costs each
+  // receiver a signature verification before the engine dedups it.
+  if (!stalled) return;
+  // Cooldown between replays to the same peer: a peer chewing through
+  // a backlog keeps reporting the same floor for a few ticks, and
+  // resending the window on each heartbeat amplifies exactly the
+  // verification load that is slowing it down.
+  constexpr int kReplayCooldownTicks = 4;
+  if (resync_ticks_ - ps.replay_tick < kReplayCooldownTicks) return;
+  ps.replay_tick = resync_ticks_;
+  // Replay our outbound wire for the window the peer is stuck on. The
+  // messages are signed and receivers dedup per signer, so resending
+  // is idempotent; the window bounds the burst for deep stragglers.
+  constexpr InstanceId kResyncWindow = 4;
+  const InstanceId hi =
+      std::min<InstanceId>(config_.instances, peer_floor + kResyncWindow);
+  for (InstanceId k = peer_floor; k < hi; ++k) {
+    const auto it = engines_.find(k);
+    if (it == engines_.end()) continue;
+    for (const Bytes& wire : it->second->wire_log()) {
+      transport_.send(from, BytesView(wire.data(), wire.size()));
     }
   }
 }
@@ -233,6 +416,21 @@ void LiveNode::on_frame(ReplicaId from, BytesView data) {
         if (engine != nullptr) engine->handle_proposal(msg);
         break;
       }
+      case MsgTag::kResyncStatus: {
+        const InstanceId peer_floor = r.u64();
+        const std::int64_t ts = r.i64();
+        const Bytes sig = r.bytes();
+        if (!r.done()) break;
+        const std::int64_t age = unix_now() - ts;
+        if (age > kResyncFreshness || age < -kResyncFreshness) break;
+        const Bytes sb = resync_signing_bytes(from, peer_floor, ts);
+        if (!scheme_->verify(from, BytesView(sb.data(), sb.size()),
+                             BytesView(sig.data(), sig.size()))) {
+          break;
+        }
+        handle_resync_status(from, peer_floor);
+        break;
+      }
       default:
         break;  // confirmation/recovery traffic is simulator-only
     }
@@ -253,6 +451,14 @@ void LiveNode::run(Duration deadline) {
   }
   transport_.start();
   start_instance(current_);
+  if (config_.resync_interval > Duration::zero()) {
+    loop_.schedule(config_.resync_interval, [this]() { resync_tick(); });
+  }
+  if (config_.inject_drop_after > Duration::zero()) {
+    loop_.schedule(config_.inject_drop_after, [this]() {
+      transport_.sever_all_links(/*discard_queued=*/true);
+    });
+  }
   loop_.run_until(Clock::now() + deadline);
 }
 
@@ -262,6 +468,10 @@ std::vector<LiveDecision> LiveNode::decisions() const {
 }
 
 LiveCluster::LiveCluster(std::size_t n, LiveNodeConfig base) {
+  // A node that decided everything must keep serving resync: a peer
+  // may still be waiting on a replay of this node's frames. run()
+  // stops the whole cluster once every node decided.
+  base.linger_after_decided = true;
   base.committee.clear();
   for (std::size_t i = 0; i < n; ++i) {
     base.committee.push_back(static_cast<ReplicaId>(i));
@@ -278,11 +488,27 @@ LiveCluster::LiveCluster(std::size_t n, LiveNodeConfig base) {
 }
 
 bool LiveCluster::run(Duration deadline) {
+  std::atomic<std::size_t> finished{0};
   std::vector<std::thread> threads;
   threads.reserve(nodes_.size());
   for (auto& node : nodes_) {
-    threads.emplace_back([&node, deadline]() { node->run(deadline); });
+    threads.emplace_back([&node, &finished, deadline]() {
+      node->run(deadline);
+      finished.fetch_add(1);
+    });
   }
+  // Nodes linger after deciding; release the cluster as soon as every
+  // node decided everything, every node wound down on its own (e.g.
+  // the caller stopped them early), or the deadline hit.
+  const TimePoint give_up = Clock::now() + deadline;
+  for (;;) {
+    if (finished.load() == nodes_.size()) break;
+    bool all = true;
+    for (const auto& node : nodes_) all = all && node->all_decided();
+    if (all || Clock::now() >= give_up) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  for (auto& node : nodes_) node->stop();
   for (auto& t : threads) t.join();
   for (const auto& node : nodes_) {
     if (!node->all_decided()) return false;

@@ -48,6 +48,22 @@ struct LiveNodeConfig {
   /// Payment mode: durable block journal path ("" = in-memory only).
   /// Existing records are replayed into the BlockManager at startup.
   std::string journal_path;
+  /// Anti-entropy resync cadence (zero disables). Every interval the
+  /// node broadcasts its lowest undecided instance; peers answer by
+  /// replaying their recorded wire for the instances it is missing.
+  /// TCP connection churn silently loses fully-sent frames, and the
+  /// SBC liveness argument assumes reliable delivery — without this
+  /// resend path a frame lost in the startup connect/accept race can
+  /// stall an instance forever.
+  Duration resync_interval = std::chrono::milliseconds(250);
+  /// Keep the event loop alive after this node decided everything, so
+  /// it can still serve resync to straggling peers. The caller must
+  /// then stop() the node (LiveCluster does, once all nodes decided).
+  bool linger_after_decided = false;
+  /// Fault injection (tests): this long after run() starts, sever all
+  /// transport links and discard queued frames — a worst-case burst of
+  /// wire loss that only the resync path can recover from. Zero = off.
+  Duration inject_drop_after = Duration::zero();
 };
 
 /// One decided instance as seen by a node.
@@ -114,6 +130,11 @@ class LiveNode {
   Engine* get_or_create(InstanceId k);
   void on_frame(ReplicaId from, BytesView data);
   void on_decided(InstanceId k);
+  /// Lowest instance this node has not decided yet (== instances when
+  /// everything decided).
+  [[nodiscard]] InstanceId decision_floor() const;
+  void resync_tick();
+  void handle_resync_status(ReplicaId from, InstanceId peer_floor);
   [[nodiscard]] Bytes payload_for(InstanceId k);
   bool accept_tx(const chain::Transaction& tx);
   void commit_decided_blocks(InstanceId k, Engine& engine);
@@ -126,6 +147,24 @@ class LiveNode {
 
   std::map<InstanceId, std::unique_ptr<Engine>> engines_;
   InstanceId current_ = 0;
+  /// Per-peer anti-entropy state, updated from signed kResyncStatus
+  /// reports. `floor` is the last report verbatim — it may regress
+  /// when a daemon restarts, and pruning or terminating on a stale
+  /// high-water mark would strand it. Drives wire-log pruning, linger
+  /// termination, and stall detection (same floor twice in a row =
+  /// stalled, gets a wire replay).
+  struct PeerResync {
+    InstanceId floor = 0;
+    int report_tick = 0;           ///< staleness write-off
+    int replay_tick = -(1 << 20);  ///< replay cooldown
+  };
+  std::map<ReplicaId, PeerResync> peer_sync_;
+  /// Wire logs below this are already cleared (prune watermark).
+  InstanceId pruned_floor_ = 0;
+  /// Ticks spent in the everyone-is-done state before winding down.
+  int done_grace_ticks_ = 0;
+  /// Total resync ticks so far (prune write-off grace).
+  int resync_ticks_ = 0;
   std::vector<Bytes> queued_payloads_;
   std::size_t next_payload_ = 0;
 

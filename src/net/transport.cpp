@@ -240,18 +240,29 @@ void TcpTransport::on_link_event(ReplicaId peer, bool readable, bool writable) {
     }
     stats_.bytes_received += chunk.size();
     bool bad_hello = false;
+    link.in_feed = true;
     const bool ok = link.decoder.feed(
         BytesView(chunk.data(), chunk.size()), [&](BytesView payload) {
           if (!link.hello_received) {
-            // First frame on an initiated link: the peer's HELLO.
+            // First frame on an initiated link: the peer's HELLO. A
+            // valid one proves the address is good again — clear the
+            // failure streak so a later drop retries at full cadence.
             const auto claimed = parse_hello(payload);
             if (!claimed || *claimed != peer) bad_hello = true;
+            else link.attempts = 0;
             link.hello_received = true;
             return;
           }
           stats_.frames_received += 1;
           if (handler_) handler_(peer, payload);
         });
+    link.in_feed = false;
+    if (link.defer_decoder_reset) {
+      // A handler severed this link mid-feed; finish the drop now.
+      link.defer_decoder_reset = false;
+      link.decoder = FrameDecoder{};
+      return;
+    }
     if (!ok || bad_hello) {
       if (bad_hello) stats_.handshake_failures += 1;
       drop_link(peer, true);
@@ -288,11 +299,16 @@ void TcpTransport::update_interest(ReplicaId peer, const Link& link) {
 void TcpTransport::schedule_reconnect(ReplicaId peer) {
   const auto it = links_.find(peer);
   if (it == links_.end() || !it->second.initiated) return;
-  if (config_.max_reconnect_attempts > 0 &&
-      it->second.attempts >= config_.max_reconnect_attempts) {
-    return;
-  }
-  loop_.schedule(config_.reconnect_delay, [this, peer]() {
+  // Exhausting max_reconnect_attempts used to abandon the link for
+  // good, which left the pair permanently partitioned even after the
+  // peer came (back) up. Back off to the slow probe cadence instead:
+  // the cluster always heals, it just stops hammering a dead address.
+  const bool probing = config_.max_reconnect_attempts > 0 &&
+                       it->second.attempts >= config_.max_reconnect_attempts;
+  const Duration delay =
+      probing ? std::max(config_.probe_delay, config_.reconnect_delay)
+              : config_.reconnect_delay;
+  loop_.schedule(delay, [this, peer]() {
     const auto l = links_.find(peer);
     if (l != links_.end() && !l->second.fd.valid()) begin_connect(peer);
   });
@@ -308,7 +324,15 @@ void TcpTransport::drop_link(ReplicaId peer, bool reconnect) {
     stats_.connections_dropped += 1;
   }
   link.state = LinkState::kConnecting;
-  link.decoder = FrameDecoder{};
+  if (link.in_feed) {
+    // The drop was triggered from inside this link's own decoder.feed
+    // (a frame handler wrote back and hit a dead socket). Frames
+    // already received are still valid; let the feed finish and reset
+    // the decoder afterwards.
+    link.defer_decoder_reset = true;
+  } else {
+    link.decoder = FrameDecoder{};
+  }
   compact(link);
   if (reconnect && link.initiated) schedule_reconnect(peer);
 }
@@ -336,6 +360,19 @@ void TcpTransport::send(ReplicaId to, BytesView payload) {
       update_interest(to, it->second);
     }
   }
+}
+
+void TcpTransport::sever_all_links(bool discard_queued) {
+  for (auto& [peer, link] : links_) {
+    if (discard_queued) {
+      link.outbuf.clear();
+      link.frame_ends.clear();
+      link.out_offset = 0;
+    }
+    if (link.fd.valid()) drop_link(peer, /*reconnect=*/true);
+  }
+  for (auto& [fd, pending] : pending_) loop_.unwatch(fd);
+  pending_.clear();
 }
 
 bool TcpTransport::connected(ReplicaId peer) const {

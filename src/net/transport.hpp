@@ -29,8 +29,14 @@ struct TransportConfig {
   /// Peer id -> loopback port. Only peers in this map are accepted.
   std::map<ReplicaId, std::uint16_t> peers;
   Duration reconnect_delay = std::chrono::milliseconds(50);
-  /// Give up reconnecting after this many failed attempts (0 = forever).
+  /// After this many failed attempts in a row, fall back from
+  /// `reconnect_delay` to the slower `probe_delay` cadence instead of
+  /// hammering the peer (0 = never back off). The link is never
+  /// abandoned: a peer that comes up late still heals the cluster, and
+  /// any successful accept/hello resets the counter.
   int max_reconnect_attempts = 200;
+  /// Retry cadence once max_reconnect_attempts is exhausted.
+  Duration probe_delay = std::chrono::milliseconds(500);
 };
 
 struct TransportStats {
@@ -74,6 +80,14 @@ class TcpTransport {
   [[nodiscard]] std::size_t connected_count() const;
   [[nodiscard]] const TransportStats& stats() const { return stats_; }
 
+  /// Fault injection (tests): severs every established and pending
+  /// connection as if the wire reset. With `discard_queued`, frames
+  /// buffered for delivery are thrown away too — modelling frames that
+  /// were handed to the kernel and then lost with the connection, the
+  /// loss class the consensus layer's anti-entropy resync must absorb.
+  /// Initiated links schedule their normal reconnect.
+  void sever_all_links(bool discard_queued);
+
  private:
   enum class LinkState : std::uint8_t { kConnecting, kHello, kUp };
 
@@ -91,6 +105,12 @@ class TcpTransport {
     /// initiated links: first frame after connect).
     bool hello_received = false;
     int attempts = 0;
+    /// decoder.feed is on the stack. A frame handler may sever this
+    /// very link (broadcast -> send -> flush -> write error), and
+    /// resetting the decoder mid-feed would pull the buffer out from
+    /// under the running iteration — so drop_link defers the reset.
+    bool in_feed = false;
+    bool defer_decoder_reset = false;
   };
 
   /// Accepted connection waiting for its HELLO.
