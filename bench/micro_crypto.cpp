@@ -5,6 +5,7 @@
 
 #include "chain/wallet.hpp"
 #include "consensus/pof.hpp"
+#include "crypto/batch_verify.hpp"
 #include "crypto/ecdsa.hpp"
 #include "crypto/signer.hpp"
 
@@ -42,6 +43,43 @@ void BM_EcdsaVerify(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EcdsaVerify)->Unit(benchmark::kMicrosecond);
+
+void BM_EcdsaVerifyPredecompressed(benchmark::State& state) {
+  // The hot path once a consumer caches decompression (chain/utxo):
+  // skips the square root per verify.
+  const auto key = crypto::PrivateKey::from_seed(to_bytes("bench"));
+  const auto pub = key.public_key();
+  const auto q = crypto::decompress(BytesView(pub.data.data(), 33));
+  const crypto::Hash32 digest =
+      crypto::sha256(to_bytes("a 400-byte-ish transaction body stand-in"));
+  const auto sig = key.sign_digest(digest);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::verify_digest(*q, digest, sig));
+  }
+}
+BENCHMARK(BM_EcdsaVerifyPredecompressed)->Unit(benchmark::kMicrosecond);
+
+void BM_EcdsaBatchVerify64(benchmark::State& state) {
+  // 64 independent signatures fanned across the shared thread pool —
+  // the per-block shape the Blockchain Manager commits with. Items/s is
+  // the per-signature rate.
+  const auto key = crypto::PrivateKey::from_seed(to_bytes("bench"));
+  const auto pub = key.public_key();
+  const auto q = crypto::decompress(BytesView(pub.data.data(), 33));
+  std::vector<std::pair<crypto::Hash32, crypto::Signature>> sigs;
+  for (int i = 0; i < 64; ++i) {
+    const crypto::Hash32 digest =
+        crypto::sha256(to_bytes("batch tx " + std::to_string(i)));
+    sigs.emplace_back(digest, key.sign_digest(digest));
+  }
+  crypto::BatchVerifier batch;
+  for (auto _ : state) {
+    for (const auto& [digest, sig] : sigs) batch.add(*q, digest, sig);
+    benchmark::DoNotOptimize(batch.verify_all());
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EcdsaBatchVerify64)->Unit(benchmark::kMicrosecond);
 
 void BM_SimSchemeSignVerify(benchmark::State& state) {
   crypto::SimScheme scheme(64);

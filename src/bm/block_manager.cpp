@@ -1,14 +1,107 @@
 #include "bm/block_manager.hpp"
 
+#include "crypto/batch_verify.hpp"
+
 namespace zlb::bm {
+
+std::vector<std::uint8_t> BlockManager::batch_verify_block(
+    const chain::Block& block) {
+  // Fan the block's input signatures across the thread pool in one
+  // batch, then reduce to one ok/fail flag per transaction. Signature
+  // validity depends only on the transaction bytes — not on UTXO state
+  // — so checking before sequential application is exactly equivalent
+  // to checking inside it, and a transaction is applied iff the serial
+  // path would have applied it (bit-identical state).
+  //
+  // The serial path reaches a signature only after the cheap checks
+  // (known tx, input exists, owner and value match), so the batch path
+  // repeats them here before spending crypto. An input is verified iff
+  // it could still matter at apply time: when its outpoint is doomed
+  // (absent from both the pre-block set and every earlier block tx's
+  // outputs), or its owner/value cannot match, the transaction is
+  // rejected with or without a signature result, and the job degrades
+  // to add_invalid(), costing nothing.
+  crypto::BatchVerifier verifier;
+  // Keys attributable to an existing UTXO's owner go through the
+  // shared per-set memo — the same admission rule as the serial path,
+  // so attacker-chosen garbage keys cannot grow it. Keys only
+  // attributable to outputs of earlier transactions in this block use
+  // a block-local memo that dies with this call.
+  crypto::PubkeyCache block_cache;
+  std::unordered_set<chain::OutPoint, chain::OutPointHasher> earlier_outputs;
+  std::vector<std::size_t> first_job(block.txs.size(), 0);
+  std::size_t jobs = 0;
+  for (std::size_t t = 0; t < block.txs.size(); ++t) {
+    const chain::Transaction& tx = block.txs[t];
+    first_job[t] = jobs;
+    const chain::TxId id = tx.id();
+    // Known transactions are skipped by commit_block before their flag
+    // is consulted; malformed ones fail apply() before signatures.
+    if (txs_.count(id) != 0 || !tx.well_formed()) continue;
+    const crypto::Hash32 digest = tx.body_digest();
+    for (const auto& in : tx.inputs) {
+      ++jobs;
+      const auto sig =
+          crypto::Signature::from_bytes(BytesView(in.sig.data(), 64));
+      if (!sig) {
+        verifier.add_invalid();
+        continue;
+      }
+      const crypto::AffinePoint* q = nullptr;
+      if (const auto prev = utxos_.get(in.prev)) {
+        if (!(chain::Address::of(in.pubkey) == prev->to) ||
+            in.value != prev->value) {
+          verifier.add_invalid();  // doomed: kWrongOwner/kValueMismatch
+          continue;
+        }
+        q = utxos_.pubkey_cache().get(in.pubkey);
+      } else if (earlier_outputs.count(in.prev) != 0) {
+        // Intra-block chain: the outpoint may exist by the time this
+        // transaction applies, so its signature must be checked.
+        q = block_cache.get(in.pubkey);
+      } else {
+        verifier.add_invalid();  // doomed: kMissingInput
+        continue;
+      }
+      if (q == nullptr) {
+        verifier.add_invalid();
+      } else {
+        verifier.add(*q, digest, *sig);
+      }
+    }
+    for (std::uint32_t i = 0; i < tx.outputs.size(); ++i) {
+      earlier_outputs.insert(chain::OutPoint{id, i});
+    }
+  }
+  const std::vector<std::uint8_t> per_input = verifier.verify_all();
+  std::vector<std::uint8_t> per_tx(block.txs.size(), 1);
+  for (std::size_t t = 0; t < block.txs.size(); ++t) {
+    const std::size_t end = t + 1 < block.txs.size() ? first_job[t + 1]
+                                                     : per_input.size();
+    for (std::size_t j = first_job[t]; j < end; ++j) {
+      if (per_input[j] == 0) {
+        per_tx[t] = 0;
+        break;
+      }
+    }
+  }
+  return per_tx;
+}
 
 std::size_t BlockManager::commit_block(const chain::Block& block,
                                        bool verify_sigs) {
+  std::vector<std::uint8_t> sig_ok;
+  if (verify_sigs) sig_ok = batch_verify_block(block);
   std::size_t applied = 0;
-  for (const auto& tx : block.txs) {
+  for (std::size_t t = 0; t < block.txs.size(); ++t) {
+    const chain::Transaction& tx = block.txs[t];
     const chain::TxId id = tx.id();
     if (txs_.count(id) != 0) continue;
-    if (utxos_.apply(tx, verify_sigs) == chain::TxCheck::kOk) {
+    // A failed signature skips the transaction exactly as the serial
+    // kBadSignature path would; all other checks still run in order
+    // inside apply().
+    if (verify_sigs && sig_ok[t] == 0) continue;
+    if (utxos_.apply(tx, /*verify_sigs=*/false) == chain::TxCheck::kOk) {
       txs_.insert(id);
       ++applied;
     }

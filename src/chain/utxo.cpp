@@ -50,7 +50,12 @@ TxCheck UtxoSet::check(const Transaction& tx, bool verify_sigs) const {
     if (verify_sigs) {
       const auto sig =
           crypto::Signature::from_bytes(BytesView(in.sig.data(), 64));
-      if (!sig || !crypto::verify_digest(in.pubkey, digest, *sig)) {
+      // Decompress through the memo: repeat spenders (and multi-input
+      // transactions from one key) pay the square root only once, and
+      // valid/invalid signatures now cost the same on the apply path.
+      const crypto::AffinePoint* q = pk_cache_.get(in.pubkey);
+      if (!sig || q == nullptr ||
+          !crypto::verify_digest(*q, digest, *sig)) {
         return TxCheck::kBadSignature;
       }
     }

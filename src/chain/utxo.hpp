@@ -33,7 +33,10 @@ class UtxoSet {
   [[nodiscard]] std::optional<TxOut> get(const OutPoint& op) const;
 
   /// Full validation against the current table; `verify_sigs` can be
-  /// disabled when signatures were already checked upstream.
+  /// disabled when signatures were already checked upstream. Although
+  /// const, signature checks populate the decompressed-pubkey memo, so
+  /// concurrent check() calls on one set are NOT safe — parallelism
+  /// belongs in crypto::BatchVerifier, not here.
   [[nodiscard]] TxCheck check(const Transaction& tx,
                               bool verify_sigs = true) const;
 
@@ -57,10 +60,19 @@ class UtxoSet {
   /// Blockchain Manager to price conflicting inputs (Alg. 2 line 22).
   [[nodiscard]] std::optional<Amount> value_of(const OutPoint& op) const;
 
+  /// Decompressed-pubkey memo shared by every signature check against
+  /// this set: an account's key is decompressed once, not per input per
+  /// verify. Exposed so the Blockchain Manager's batch path reuses the
+  /// same memo. Bounded by the number of distinct keys ever seen.
+  [[nodiscard]] crypto::PubkeyCache& pubkey_cache() const {
+    return pk_cache_;
+  }
+
  private:
   std::unordered_map<OutPoint, TxOut, OutPointHasher> table_;
   std::unordered_map<OutPoint, Amount, OutPointHasher> ever_;
   std::uint64_t mint_counter_ = 0;
+  mutable crypto::PubkeyCache pk_cache_;
 };
 
 }  // namespace zlb::chain

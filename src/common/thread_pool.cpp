@@ -1,0 +1,83 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace zlb::common {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t lanes = workers() + 1;
+  if (lanes == 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // Contiguous chunks, one per lane; the last lane runs inline. The
+  // completion counter lives under done_mu so the final notify and the
+  // waiter's wake-up cannot race with this frame unwinding.
+  const std::size_t chunks = std::min(lanes, n);
+  const std::size_t per = (n + chunks - 1) / chunks;
+  std::size_t pending = chunks - 1;
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  auto run_chunk = [&](std::size_t c) {
+    const std::size_t begin = c * per;
+    const std::size_t end = std::min(n, begin + per);
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+  };
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t c = 0; c + 1 < chunks; ++c) {
+      queue_.emplace_back([&, c] {
+        run_chunk(c);
+        std::lock_guard<std::mutex> done_lock(done_mu);
+        if (--pending == 0) done_cv.notify_one();
+      });
+    }
+  }
+  cv_.notify_all();
+  run_chunk(chunks - 1);
+  std::unique_lock<std::mutex> done_lock(done_mu);
+  done_cv.wait(done_lock, [&] { return pending == 0; });
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool([] {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return static_cast<std::size_t>(hw > 1 ? hw - 1 : 0);
+  }());
+  return pool;
+}
+
+}  // namespace zlb::common

@@ -1,0 +1,53 @@
+// Minimal fixed-size thread pool for CPU-bound fan-out (signature batch
+// verification). Deliberately tiny: tasks are submitted as contiguous
+// index ranges via parallel_for, the calling thread participates in the
+// work (so a 1-core host degrades gracefully to plain serial execution),
+// and the call blocks until every index is processed. Determinism is the
+// caller's job: parallel_for only promises that fn(i) runs exactly once
+// for every i in [0, n).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace zlb::common {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads. 0 is valid: parallel_for then runs
+  /// everything on the calling thread.
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t workers() const { return threads_.size(); }
+
+  /// Runs fn(i) exactly once for every i in [0, n), fanning contiguous
+  /// chunks across the workers; the calling thread takes a chunk too.
+  /// Blocks until all n calls completed. fn must not recurse into the
+  /// same pool.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Process-wide pool sized to the hardware (hardware_concurrency - 1
+  /// workers, so the submitting thread saturates the last core).
+  [[nodiscard]] static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+};
+
+}  // namespace zlb::common

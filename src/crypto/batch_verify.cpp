@@ -1,0 +1,60 @@
+#include "crypto/batch_verify.hpp"
+
+#include "common/thread_pool.hpp"
+
+namespace zlb::crypto {
+
+void BatchVerifier::add(const PublicKey& pub, const Hash32& digest,
+                        const Signature& sig) {
+  Job job;
+  job.kind = Job::Kind::kCompressed;
+  job.pub = pub;
+  job.digest = digest;
+  job.sig = sig;
+  jobs_.push_back(job);
+}
+
+void BatchVerifier::add(const AffinePoint& pub, const Hash32& digest,
+                        const Signature& sig) {
+  Job job;
+  job.kind = Job::Kind::kAffine;
+  job.point = pub;
+  job.digest = digest;
+  job.sig = sig;
+  jobs_.push_back(job);
+}
+
+void BatchVerifier::add_invalid() { jobs_.emplace_back(); }
+
+std::vector<std::uint8_t> BatchVerifier::verify_all() {
+  std::vector<std::uint8_t> results(jobs_.size(), 0);
+  if (!jobs_.empty()) {
+    // Warm the fixed-base generator table on this thread, so the lazy
+    // one-time build is not raced (magic statics serialize it anyway,
+    // but workers would all block on the first batch).
+    (void)scalar_mul_base(U256(1));
+    common::ThreadPool& pool =
+        pool_ != nullptr ? *pool_ : common::ThreadPool::shared();
+    const std::vector<Job>& jobs = jobs_;
+    pool.parallel_for(jobs.size(), [&jobs, &results](std::size_t i) {
+      const Job& job = jobs[i];
+      bool ok = false;
+      switch (job.kind) {
+        case Job::Kind::kCompressed:
+          ok = verify_digest(job.pub, job.digest, job.sig);
+          break;
+        case Job::Kind::kAffine:
+          ok = verify_digest(job.point, job.digest, job.sig);
+          break;
+        case Job::Kind::kInvalid:
+          ok = false;
+          break;
+      }
+      results[i] = ok ? 1 : 0;
+    });
+  }
+  jobs_.clear();
+  return results;
+}
+
+}  // namespace zlb::crypto

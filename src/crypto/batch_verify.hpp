@@ -1,0 +1,56 @@
+// Parallel ECDSA batch verification. Independent signature checks from
+// a block (or a vote bundle) fan out across the shared thread pool;
+// results come back as one flag per job, in submission order, identical
+// to what serial verify_digest would return — so callers (and the
+// discrete-event simulator above them) stay deterministic regardless of
+// core count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/ecdsa.hpp"
+
+namespace zlb::common {
+class ThreadPool;
+}  // namespace zlb::common
+
+namespace zlb::crypto {
+
+class BatchVerifier {
+ public:
+  /// Uses `pool`, or the process-wide ThreadPool::shared() when null.
+  explicit BatchVerifier(common::ThreadPool* pool = nullptr) : pool_(pool) {}
+
+  /// Queues one signature check. The compressed-key overload pays
+  /// decompression inside the job (parallelized); the AffinePoint
+  /// overload is for callers that already hold a decompressed key.
+  void add(const PublicKey& pub, const Hash32& digest, const Signature& sig);
+  void add(const AffinePoint& pub, const Hash32& digest,
+           const Signature& sig);
+  /// Queues a job that is already known to fail (e.g. an unparseable
+  /// signature blob), keeping result indices aligned with inputs.
+  void add_invalid();
+
+  [[nodiscard]] std::size_t size() const { return jobs_.size(); }
+
+  /// Runs every queued check (in parallel when the pool has workers)
+  /// and returns accept/reject per job, in add() order. Clears the
+  /// queue, so the verifier can be reused for the next batch.
+  [[nodiscard]] std::vector<std::uint8_t> verify_all();
+
+ private:
+  struct Job {
+    enum class Kind : std::uint8_t { kCompressed, kAffine, kInvalid };
+    Kind kind = Kind::kInvalid;
+    PublicKey pub;     // kCompressed
+    AffinePoint point; // kAffine
+    Hash32 digest{};
+    Signature sig;
+  };
+
+  common::ThreadPool* pool_;
+  std::vector<Job> jobs_;
+};
+
+}  // namespace zlb::crypto

@@ -87,14 +87,7 @@ Signature PrivateKey::sign_digest(const Hash32& digest) const {
     s = mul_mod(s, kinv, order);
     if (s.is_zero()) continue;
     // Low-s normalization (BIP 62): replace s by n - s if s > n/2.
-    U256 half = order.m;
-    std::uint64_t carry = 0;
-    for (int i = 3; i >= 0; --i) {
-      const std::uint64_t cur = half.w[static_cast<std::size_t>(i)];
-      half.w[static_cast<std::size_t>(i)] = (cur >> 1) | (carry << 63);
-      carry = cur & 1;
-    }
-    if (cmp(s, half) > 0) s = sub_mod(U256(), s, order);
+    if (cmp(s, curve().n_half) > 0) s = sub_mod(U256(), s, order);
     return Signature{r, s};
   }
 }
@@ -105,20 +98,51 @@ bool verify(const PublicKey& pub, BytesView message, const Signature& sig) {
 
 bool verify_digest(const PublicKey& pub, const Hash32& digest,
                    const Signature& sig) {
-  const Modulus& order = curve().n;
-  if (sig.r.is_zero() || sig.s.is_zero()) return false;
-  if (cmp(sig.r, order.m) >= 0 || cmp(sig.s, order.m) >= 0) return false;
   const auto q_affine = decompress(BytesView(pub.data.data(), 33));
   if (!q_affine) return false;
+  return verify_digest(*q_affine, digest, sig);
+}
+
+bool verify_digest(const AffinePoint& pub, const Hash32& digest,
+                   const Signature& sig) {
+  const Modulus& order = curve().n;
+  // Reject the identity and off-curve points: the Jacobian formulas
+  // never consult the curve's b coefficient, so arithmetic on a point
+  // from another curve would be self-consistent (invalid-curve attack)
+  // if a caller ever feeds this overload untrusted coordinates.
+  if (!on_curve(pub)) return false;
+  if (sig.r.is_zero() || sig.s.is_zero()) return false;
+  if (cmp(sig.r, order.m) >= 0) return false;
+  // Reject non-canonical high-s (covers s >= n as well): the signer
+  // always emits s <= n/2, so anything above is a malleated copy.
+  if (cmp(sig.s, curve().n_half) > 0) return false;
   const U256 z = digest_to_scalar(digest);
   const U256 w = inv_mod(sig.s, order);
   const U256 u1 = mul_mod(z, w, order);
   const U256 u2 = mul_mod(sig.r, w, order);
-  const JacobianPoint r_point = double_scalar_mul(
-      u1, u2, JacobianPoint::from_affine(*q_affine));
+  const JacobianPoint r_point =
+      double_scalar_mul(u1, u2, JacobianPoint::from_affine(pub));
   if (r_point.is_identity()) return false;
-  const AffinePoint r_affine = to_affine(r_point);
-  return normalize(r_affine.x, order) == sig.r;
+  // Compare in Jacobian space: affine x equals X/Z² (mod p), and the
+  // candidate affine x values congruent to r mod n below p are r and
+  // r + n. Checking r·Z² == X avoids the field inversion of to_affine.
+  const Modulus& fp = curve().p;
+  const U256 z2 = sqr_mod(r_point.z, fp);
+  if (mul_mod(sig.r, z2, fp) == r_point.x) return true;
+  U256 r_plus_n;
+  if (add_carry(r_plus_n, sig.r, order.m) == 0 &&
+      cmp(r_plus_n, fp.m) < 0) {
+    return mul_mod(r_plus_n, z2, fp) == r_point.x;
+  }
+  return false;
+}
+
+const AffinePoint* PubkeyCache::get(const PublicKey& pub) {
+  const auto it = map_.find(pub);
+  if (it != map_.end()) return it->second ? &*it->second : nullptr;
+  const auto decoded = decompress(BytesView(pub.data.data(), 33));
+  const auto& slot = map_.emplace(pub, decoded).first->second;
+  return slot ? &*slot : nullptr;
 }
 
 }  // namespace zlb::crypto

@@ -1,9 +1,14 @@
 // ECDSA over secp256k1 with RFC-6979-style deterministic nonces and
 // low-s normalization, matching Bitcoin's transaction signatures as the
-// paper specifies (§4.2.4).
+// paper specifies (§4.2.4). Verification enforces the low-s rule too:
+// a high-s signature (s > n/2) is rejected, so the (r, s) → (r, n−s)
+// malleation of a valid signature does not yield a second valid
+// encoding — the accountability layer relies on signature bytes being
+// canonical.
 #pragma once
 
 #include <optional>
+#include <unordered_map>
 
 #include "crypto/secp256k1.hpp"
 #include "crypto/sha256.hpp"
@@ -58,10 +63,44 @@ class PrivateKey {
 };
 
 /// Verifies `sig` over sha256(message) against `pub`. Returns false for
-/// malformed keys/signatures rather than throwing.
+/// malformed keys/signatures (including non-canonical high-s) rather
+/// than throwing.
 [[nodiscard]] bool verify(const PublicKey& pub, BytesView message,
                           const Signature& sig);
 [[nodiscard]] bool verify_digest(const PublicKey& pub, const Hash32& digest,
                                  const Signature& sig);
+/// Same check against an already-decompressed public key — the hot path
+/// when the caller caches decompression (chain/utxo, batch verifier).
+[[nodiscard]] bool verify_digest(const AffinePoint& pub, const Hash32& digest,
+                                 const Signature& sig);
+
+struct PublicKeyHasher {
+  std::size_t operator()(const PublicKey& pub) const noexcept {
+    // FNV-1a over all 33 bytes: key bytes are attacker-chosen (they
+    // need not be valid curve points to enter a cache), so a prefix
+    // hash would invite bucket-flooding.
+    std::uint64_t v = 1469598103934665603ull;
+    for (const std::uint8_t b : pub.data) {
+      v = (v ^ b) * 1099511628211ull;
+    }
+    return static_cast<std::size_t>(v);
+  }
+};
+
+/// Memoizes point decompression per public key. Decompression costs a
+/// field exponentiation (square root), so verifying many signatures
+/// from the same key — every UTXO spend, every consensus vote — should
+/// pay it once. Not thread-safe; entries are stable (node-based map).
+class PubkeyCache {
+ public:
+  /// Decompressed point, or nullptr if `pub` is not a valid curve
+  /// point. Both outcomes are memoized.
+  [[nodiscard]] const AffinePoint* get(const PublicKey& pub);
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+
+ private:
+  std::unordered_map<PublicKey, std::optional<AffinePoint>, PublicKeyHasher>
+      map_;
+};
 
 }  // namespace zlb::crypto

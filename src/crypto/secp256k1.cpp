@@ -1,19 +1,24 @@
 #include "crypto/secp256k1.hpp"
 
+#include <algorithm>
+#include <vector>
+
 namespace zlb::crypto {
 
 namespace {
 
 CurveParams make_params() {
+  const Modulus n = Modulus::make(U256::from_hex(
+      "fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141"));
   CurveParams cp{
       Modulus::make(U256::from_hex(
           "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f")),
-      Modulus::make(U256::from_hex(
-          "fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141")),
+      n,
       U256::from_hex(
           "79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798"),
       U256::from_hex(
-          "483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8")};
+          "483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8"),
+      shr1(n.m)};
   return cp;
 }
 
@@ -93,41 +98,203 @@ JacobianPoint jacobian_add(const JacobianPoint& a, const JacobianPoint& b) {
   return JacobianPoint{x3, y3, z3};
 }
 
-JacobianPoint scalar_mul(const U256& k, const JacobianPoint& p) {
-  if (k.is_zero() || p.is_identity()) return JacobianPoint::identity();
-  // 4-bit window table: table[i] = i * P.
-  std::array<JacobianPoint, 16> table;
-  table[0] = JacobianPoint::identity();
-  table[1] = p;
-  for (std::size_t i = 2; i < 16; ++i) {
-    table[i] = jacobian_add(table[i - 1], p);
+JacobianPoint jacobian_add_mixed(const JacobianPoint& a,
+                                 const AffinePoint& b) {
+  if (b.infinity) return a;
+  if (a.is_identity()) return JacobianPoint::from_affine(b);
+  const Modulus& fp = curve().p;
+  // madd-2007-bl: with Z2 = 1, U1 = X1 and S1 = Y1 come for free.
+  const U256 z1z1 = sqr_mod(a.z, fp);
+  const U256 u2 = mul_mod(b.x, z1z1, fp);
+  const U256 s2 = mul_mod(b.y, mul_mod(z1z1, a.z, fp), fp);
+  if (a.x == u2) {
+    if (a.y == s2) return jacobian_double(a);
+    return JacobianPoint::identity();
   }
-  JacobianPoint acc = JacobianPoint::identity();
-  const int top = k.top_bit();
-  const int top_nibble = top / 4;
-  for (int nib = top_nibble; nib >= 0; --nib) {
-    if (nib != top_nibble) {
-      acc = jacobian_double(acc);
-      acc = jacobian_double(acc);
-      acc = jacobian_double(acc);
-      acc = jacobian_double(acc);
+  const U256 h = sub_mod(u2, a.x, fp);
+  const U256 r = sub_mod(s2, a.y, fp);
+  const U256 h2 = sqr_mod(h, fp);
+  const U256 h3 = mul_mod(h2, h, fp);
+  const U256 u1h2 = mul_mod(a.x, h2, fp);
+  U256 x3 = sqr_mod(r, fp);
+  x3 = sub_mod(x3, h3, fp);
+  x3 = sub_mod(x3, add_mod(u1h2, u1h2, fp), fp);
+  U256 y3 = sub_mod(u1h2, x3, fp);
+  y3 = mul_mod(r, y3, fp);
+  y3 = sub_mod(y3, mul_mod(a.y, h3, fp), fp);
+  const U256 z3 = mul_mod(a.z, h, fp);
+  return JacobianPoint{x3, y3, z3};
+}
+
+namespace {
+
+/// Fixed-window generator table: win[w][d-1] = d·16^w·G in affine
+/// coordinates, for w in [0, 64) and digits d in [1, 15]. k·G then
+/// needs only one mixed addition per non-zero nibble of k — no
+/// doublings at all. Window 0 doubles as the odd-multiples-of-G table
+/// for the Shamir ladder.
+struct BaseTable {
+  std::array<std::array<AffinePoint, 15>, 64> win;
+};
+
+BaseTable build_base_table() {
+  const Modulus& fp = curve().p;
+  // All 64×15 multiples in Jacobian form first.
+  std::array<std::array<JacobianPoint, 15>, 64> jac;
+  JacobianPoint base =
+      JacobianPoint::from_affine(AffinePoint{curve().gx, curve().gy, false});
+  for (std::size_t w = 0; w < 64; ++w) {
+    jac[w][0] = base;
+    for (std::size_t d = 1; d < 15; ++d) {
+      jac[w][d] = jacobian_add(jac[w][d - 1], base);
     }
-    const std::size_t digit = static_cast<std::size_t>(
-        (k.w[static_cast<std::size_t>(nib / 16)] >> (4 * (nib % 16))) & 0xf);
-    if (digit != 0) acc = jacobian_add(acc, table[digit]);
+    base = jacobian_double(jacobian_double(
+        jacobian_double(jacobian_double(base))));  // 16^(w+1)·G
+  }
+  // Montgomery batch inversion: normalize all 960 points to affine with
+  // a single field inversion. No entry is the identity (d·16^w < n).
+  constexpr std::size_t kCount = 64 * 15;
+  std::vector<U256> prefix(kCount);
+  for (std::size_t i = 0; i < kCount; ++i) {
+    const U256& z = jac[i / 15][i % 15].z;
+    prefix[i] = i == 0 ? z : mul_mod(prefix[i - 1], z, fp);
+  }
+  U256 inv = inv_mod(prefix[kCount - 1], fp);
+  BaseTable t;
+  for (std::size_t i = kCount; i-- > 0;) {
+    const JacobianPoint& p = jac[i / 15][i % 15];
+    const U256 zinv = i == 0 ? inv : mul_mod(inv, prefix[i - 1], fp);
+    inv = mul_mod(inv, p.z, fp);
+    const U256 zinv2 = sqr_mod(zinv, fp);
+    t.win[i / 15][i % 15] = AffinePoint{
+        mul_mod(p.x, zinv2, fp), mul_mod(p.y, mul_mod(zinv2, zinv, fp), fp),
+        false};
+  }
+  return t;
+}
+
+const BaseTable& base_table() {
+  static const BaseTable table = build_base_table();
+  return table;
+}
+
+/// Width-5 wNAF recoding: k = Σ out[i]·2^i with out[i] either zero or
+/// odd in [-15, 15]; adjacent non-zero digits are ≥ 5 positions apart.
+/// Returns the digit count.
+int wnaf5(const U256& k, std::array<std::int8_t, 260>& out) {
+  U256 d = k;
+  int len = 0;
+  while (!d.is_zero()) {
+    std::int8_t digit = 0;
+    if (d.is_odd()) {
+      const int val = static_cast<int>(d.w[0] & 0x1f);
+      U256 t;
+      if (val >= 16) {
+        digit = static_cast<std::int8_t>(val - 32);
+        add_carry(t, d, U256(static_cast<std::uint64_t>(32 - val)));
+      } else {
+        digit = static_cast<std::int8_t>(val);
+        sub_borrow(t, d, U256(static_cast<std::uint64_t>(val)));
+      }
+      d = t;
+    }
+    out[static_cast<std::size_t>(len++)] = digit;
+    d = shr1(d);
+  }
+  return len;
+}
+
+JacobianPoint negate(const JacobianPoint& p) {
+  if (p.is_identity()) return p;
+  return JacobianPoint{p.x, sub_mod(U256(), p.y, curve().p), p.z};
+}
+
+AffinePoint negate(const AffinePoint& p) {
+  if (p.infinity) return p;
+  return AffinePoint{p.x, sub_mod(U256(), p.y, curve().p), false};
+}
+
+/// Odd multiples 1P, 3P, ..., 15P for the wNAF loops.
+std::array<JacobianPoint, 8> odd_multiples(const JacobianPoint& p) {
+  std::array<JacobianPoint, 8> tbl;
+  tbl[0] = p;
+  const JacobianPoint p2 = jacobian_double(p);
+  for (std::size_t i = 1; i < 8; ++i) {
+    tbl[i] = jacobian_add(tbl[i - 1], p2);
+  }
+  return tbl;
+}
+
+}  // namespace
+
+JacobianPoint scalar_mul(const U256& k, const JacobianPoint& p) {
+  const U256 kn = normalize(k, curve().n);
+  if (kn.is_zero() || p.is_identity()) return JacobianPoint::identity();
+  const std::array<JacobianPoint, 8> tbl = odd_multiples(p);
+  std::array<std::int8_t, 260> digits{};
+  const int len = wnaf5(kn, digits);
+  JacobianPoint acc = JacobianPoint::identity();
+  for (int i = len - 1; i >= 0; --i) {
+    acc = jacobian_double(acc);
+    const int d = digits[static_cast<std::size_t>(i)];
+    if (d > 0) {
+      acc = jacobian_add(acc, tbl[static_cast<std::size_t>((d - 1) / 2)]);
+    } else if (d < 0) {
+      acc = jacobian_add(
+          acc, negate(tbl[static_cast<std::size_t>((-d - 1) / 2)]));
+    }
   }
   return acc;
 }
 
 JacobianPoint scalar_mul_base(const U256& k) {
-  static const JacobianPoint g =
-      JacobianPoint::from_affine(AffinePoint{curve().gx, curve().gy, false});
-  return scalar_mul(k, g);
+  const U256 kn = normalize(k, curve().n);
+  const BaseTable& t = base_table();
+  JacobianPoint acc = JacobianPoint::identity();
+  for (std::size_t w = 0; w < 64; ++w) {
+    const std::size_t digit =
+        (kn.w[w / 16] >> (4 * (w % 16))) & 0xf;
+    if (digit != 0) acc = jacobian_add_mixed(acc, t.win[w][digit - 1]);
+  }
+  return acc;
 }
 
 JacobianPoint double_scalar_mul(const U256& u1, const U256& u2,
                                 const JacobianPoint& q) {
-  return jacobian_add(scalar_mul_base(u1), scalar_mul(u2, q));
+  const Modulus& order = curve().n;
+  const U256 k1 = normalize(u1, order);
+  const U256 k2 = normalize(u2, order);
+  if (q.is_identity() || k2.is_zero()) return scalar_mul_base(k1);
+  if (k1.is_zero()) return scalar_mul(k2, q);
+  // Shamir's trick: one shared doubling run; per-bit additions use wNAF
+  // digits of both scalars. G digits hit the precomputed affine table
+  // (window 0 holds 1G..15G), Q digits a runtime odd-multiples table.
+  const std::array<JacobianPoint, 8> qtbl = odd_multiples(q);
+  const BaseTable& bt = base_table();
+  std::array<std::int8_t, 260> w1{};
+  std::array<std::int8_t, 260> w2{};
+  const int l1 = wnaf5(k1, w1);
+  const int l2 = wnaf5(k2, w2);
+  JacobianPoint acc = JacobianPoint::identity();
+  for (int i = std::max(l1, l2) - 1; i >= 0; --i) {
+    acc = jacobian_double(acc);
+    const int d1 = i < l1 ? w1[static_cast<std::size_t>(i)] : 0;
+    if (d1 > 0) {
+      acc = jacobian_add_mixed(acc,
+                               bt.win[0][static_cast<std::size_t>(d1 - 1)]);
+    } else if (d1 < 0) {
+      acc = jacobian_add_mixed(
+          acc, negate(bt.win[0][static_cast<std::size_t>(-d1 - 1)]));
+    }
+    const int d2 = i < l2 ? w2[static_cast<std::size_t>(i)] : 0;
+    if (d2 > 0) {
+      acc = jacobian_add(acc, qtbl[static_cast<std::size_t>((d2 - 1) / 2)]);
+    } else if (d2 < 0) {
+      acc = jacobian_add(
+          acc, negate(qtbl[static_cast<std::size_t>((-d2 - 1) / 2)]));
+    }
+  }
+  return acc;
 }
 
 bool on_curve(const AffinePoint& p) {
@@ -161,16 +328,7 @@ std::optional<AffinePoint> decompress(BytesView data) {
   U256 exp;
   add_carry(exp, fp.m, U256(1));
   // (p + 1) may carry out of 256 bits only if p = 2^256 - 1; not the case.
-  U256 quarter = exp;
-  // Divide by 4 via two right shifts.
-  for (int pass = 0; pass < 2; ++pass) {
-    std::uint64_t carry = 0;
-    for (int i = 3; i >= 0; --i) {
-      const std::uint64_t cur = quarter.w[static_cast<std::size_t>(i)];
-      quarter.w[static_cast<std::size_t>(i)] = (cur >> 1) | (carry << 63);
-      carry = cur & 1;
-    }
-  }
+  const U256 quarter = shr1(shr1(exp));
   U256 y = pow_mod(rhs, quarter, fp);
   if (sqr_mod(y, fp) != rhs) return std::nullopt;  // not a quadratic residue
   const bool want_odd = data[0] == 0x03;

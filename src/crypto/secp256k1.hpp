@@ -1,7 +1,11 @@
 // secp256k1 elliptic-curve group operations (y² = x³ + 7 over F_p) in
-// Jacobian coordinates, with 4-bit windowed scalar multiplication.
-// Everything the ECDSA layer needs: point add/double/mul, compressed
-// point (de)serialization, and the curve constants.
+// Jacobian coordinates. Scalar multiplication runs on the fast paths a
+// verifier-bound blockchain needs: a precomputed fixed-window table for
+// the generator (built once, 64 windows of 4 bits), wNAF recoding with
+// mixed Jacobian+affine addition for arbitrary points, and an
+// interleaved Shamir ladder for the u1·G + u2·Q shape of ECDSA
+// verification. Plus compressed point (de)serialization and the curve
+// constants.
 #pragma once
 
 #include <optional>
@@ -11,11 +15,13 @@
 namespace zlb::crypto {
 
 /// Curve constants (field prime p, group order n, generator G).
+/// `n_half` caches ⌊n/2⌋ for BIP-62 low-s checks.
 struct CurveParams {
   Modulus p;
   Modulus n;
   U256 gx;
   U256 gy;
+  U256 n_half;
 };
 
 [[nodiscard]] const CurveParams& curve();
@@ -47,11 +53,17 @@ struct JacobianPoint {
 [[nodiscard]] JacobianPoint jacobian_double(const JacobianPoint& p);
 [[nodiscard]] JacobianPoint jacobian_add(const JacobianPoint& a,
                                          const JacobianPoint& b);
-/// k·P via 4-bit fixed window (k interpreted mod n is the caller's job).
+/// a + b with b affine (Z2 = 1): saves ~5 field mults per addition.
+[[nodiscard]] JacobianPoint jacobian_add_mixed(const JacobianPoint& a,
+                                               const AffinePoint& b);
+/// k·P via width-5 wNAF (k is reduced mod n; every curve point has
+/// order n, so the result is unchanged).
 [[nodiscard]] JacobianPoint scalar_mul(const U256& k, const JacobianPoint& p);
-/// k·G with the cached generator.
+/// k·G via the static precomputed fixed-window generator table: 64
+/// table lookups + mixed additions, no doublings.
 [[nodiscard]] JacobianPoint scalar_mul_base(const U256& k);
-/// u1·G + u2·Q (ECDSA verification workhorse).
+/// u1·G + u2·Q via an interleaved Shamir ladder (shared doubling run,
+/// wNAF digits for both scalars) — the ECDSA verification workhorse.
 [[nodiscard]] JacobianPoint double_scalar_mul(const U256& u1, const U256& u2,
                                               const JacobianPoint& q);
 

@@ -54,67 +54,86 @@ int U256::top_bit() const {
   return -1;
 }
 
-int cmp(const U256& a, const U256& b) {
-  for (int i = 3; i >= 0; --i) {
-    const auto ai = a.w[static_cast<std::size_t>(i)];
-    const auto bi = b.w[static_cast<std::size_t>(i)];
-    if (ai != bi) return ai < bi ? -1 : 1;
-  }
-  return 0;
-}
-
-std::uint64_t add_carry(U256& out, const U256& a, const U256& b) {
-  u128 carry = 0;
-  for (std::size_t i = 0; i < 4; ++i) {
-    const u128 s = static_cast<u128>(a.w[i]) + b.w[i] + carry;
-    out.w[i] = static_cast<std::uint64_t>(s);
-    carry = s >> 64;
-  }
-  return static_cast<std::uint64_t>(carry);
-}
-
-std::uint64_t sub_borrow(U256& out, const U256& a, const U256& b) {
-  u128 borrow = 0;
-  for (std::size_t i = 0; i < 4; ++i) {
-    const u128 d = static_cast<u128>(a.w[i]) - b.w[i] - borrow;
-    out.w[i] = static_cast<std::uint64_t>(d);
-    borrow = (d >> 64) & 1;
-  }
-  return static_cast<std::uint64_t>(borrow);
-}
-
-U512 mul_wide(const U256& a, const U256& b) {
-  U512 out{};
-  for (std::size_t i = 0; i < 4; ++i) {
-    std::uint64_t carry = 0;
-    for (std::size_t j = 0; j < 4; ++j) {
-      const u128 cur =
-          static_cast<u128>(a.w[i]) * b.w[j] + out[i + j] + carry;
-      out[i + j] = static_cast<std::uint64_t>(cur);
-      carry = static_cast<std::uint64_t>(cur >> 64);
-    }
-    out[i + 4] = carry;
-  }
-  return out;
-}
-
 Modulus Modulus::make(const U256& m) {
   // c = 2^256 - m computed as (~m) + 1 over 256 bits.
   U256 c;
   U256 zero;
   sub_borrow(c, zero, m);
-  return Modulus{m, c};
+  int c_limbs = 4;
+  while (c_limbs > 0 && c.w[static_cast<std::size_t>(c_limbs - 1)] == 0) {
+    --c_limbs;
+  }
+  return Modulus{m, c, c_limbs};
 }
 
+namespace {
+
+/// a (4 limbs) times the low `c_limbs` limbs of c; upper limbs of the
+/// product are zero and skipped. Same schoolbook as mul_wide.
+U512 mul_wide_sparse(const U256& a, const U256& c, int c_limbs) {
+  U512 out{};
+  for (std::size_t i = 0; i < 4; ++i) {
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < static_cast<std::size_t>(c_limbs); ++j) {
+      const u128 cur =
+          static_cast<u128>(a.w[i]) * c.w[j] + out[i + j] + carry;
+      out[i + j] = static_cast<std::uint64_t>(cur);
+      carry = static_cast<std::uint64_t>(cur >> 64);
+    }
+    out[i + static_cast<std::size_t>(c_limbs)] = carry;
+  }
+  return out;
+}
+
+}  // namespace
+
 U256 reduce512(const U512& v, const Modulus& mod) {
+  if (mod.c_limbs == 1) {
+    // Fast path for c < 2^64 (the secp256k1 prime: c = 2^32 + 977).
+    // One pass of low + high·c leaves a carry limb k ≤ c; folding k·c
+    // back in cascades at most one bit further.
+    const std::uint64_t c = mod.c.w[0];
+    U256 r;
+    std::uint64_t k = 0;
+    for (std::size_t i = 0; i < 4; ++i) {
+      const u128 t = static_cast<u128>(v[i + 4]) * c + v[i] + k;
+      r.w[i] = static_cast<std::uint64_t>(t);
+      k = static_cast<std::uint64_t>(t >> 64);
+    }
+    u128 t = static_cast<u128>(k) * c + r.w[0];
+    r.w[0] = static_cast<std::uint64_t>(t);
+    t = (t >> 64) + r.w[1];
+    r.w[1] = static_cast<std::uint64_t>(t);
+    std::uint64_t carry = static_cast<std::uint64_t>(t >> 64);
+    for (std::size_t i = 2; i < 4 && carry != 0; ++i) {
+      const u128 s = static_cast<u128>(r.w[i]) + carry;
+      r.w[i] = static_cast<std::uint64_t>(s);
+      carry = static_cast<std::uint64_t>(s >> 64);
+    }
+    if (carry != 0) {
+      // Wrapped past 2^256: 2^256 ≡ c, and the wrapped value is tiny,
+      // so one more small add cannot carry again.
+      U256 t2;
+      add_carry(t2, r, U256(c));
+      r = t2;
+    }
+    while (cmp(r, mod.m) >= 0) {
+      U256 t2;
+      sub_borrow(t2, r, mod.m);
+      r = t2;
+    }
+    return r;
+  }
   U512 cur = v;
   // Fold the high 256 bits down using 2^256 ≡ c (mod m) until the value
   // fits in 256 bits. Since m > 2^255, c < 2^255 and this converges in a
-  // handful of iterations.
+  // handful of iterations. The fold multiplies only by c's significant
+  // limbs (one for the secp256k1 prime), which is where scalar-mul hot
+  // loops spend their time.
   while (cur[4] != 0 || cur[5] != 0 || cur[6] != 0 || cur[7] != 0) {
     const U256 low{cur[3], cur[2], cur[1], cur[0]};
     const U256 high{cur[7], cur[6], cur[5], cur[4]};
-    const U512 folded = mul_wide(high, mod.c);
+    const U512 folded = mul_wide_sparse(high, mod.c, mod.c_limbs);
     // cur = folded + low (512-bit add; cannot overflow 512 bits here).
     u128 carry = 0;
     for (std::size_t i = 0; i < 8; ++i) {
@@ -133,36 +152,6 @@ U256 reduce512(const U512& v, const Modulus& mod) {
   return r;
 }
 
-U256 add_mod(const U256& a, const U256& b, const Modulus& mod) {
-  U256 s;
-  const std::uint64_t carry = add_carry(s, a, b);
-  if (carry != 0 || cmp(s, mod.m) >= 0) {
-    U256 t;
-    sub_borrow(t, s, mod.m);
-    return t;
-  }
-  return s;
-}
-
-U256 sub_mod(const U256& a, const U256& b, const Modulus& mod) {
-  U256 d;
-  const std::uint64_t borrow = sub_borrow(d, a, b);
-  if (borrow != 0) {
-    U256 t;
-    add_carry(t, d, mod.m);
-    return t;
-  }
-  return d;
-}
-
-U256 mul_mod(const U256& a, const U256& b, const Modulus& mod) {
-  return reduce512(mul_wide(a, b), mod);
-}
-
-U256 sqr_mod(const U256& a, const Modulus& mod) {
-  return mul_mod(a, a, mod);
-}
-
 U256 pow_mod(const U256& base, const U256& exp, const Modulus& mod) {
   U256 result(1);
   const int top = exp.top_bit();
@@ -173,10 +162,50 @@ U256 pow_mod(const U256& base, const U256& exp, const Modulus& mod) {
   return result;
 }
 
+namespace {
+
+/// x := x / 2 (mod m) for odd m: halve directly when even, else halve
+/// x + m, whose 257th bit lands in `carry`.
+void halve_mod(U256& x, const Modulus& mod) {
+  std::uint64_t carry = 0;
+  if (x.is_odd()) carry = add_carry(x, x, mod.m);
+  x = shr1(x);
+  x.w[3] |= carry << 63;
+}
+
+}  // namespace
+
 U256 inv_mod(const U256& a, const Modulus& mod) {
-  U256 m_minus_2;
-  sub_borrow(m_minus_2, mod.m, U256(2));
-  return pow_mod(a, m_minus_2, mod);
+  // Binary extended Euclid (HAC 14.61). Invariants: x1·a ≡ u and
+  // x2·a ≡ v (mod m); u, v > 0 shrink until one reaches 1.
+  U256 u = normalize(a, mod);
+  if (u.is_zero()) return U256();
+  U256 v = mod.m;
+  U256 x1(1);
+  U256 x2;
+  const U256 one(1);
+  while (u != one && v != one) {
+    while (!u.is_odd()) {
+      u = shr1(u);
+      halve_mod(x1, mod);
+    }
+    while (!v.is_odd()) {
+      v = shr1(v);
+      halve_mod(x2, mod);
+    }
+    if (cmp(u, v) >= 0) {
+      U256 t;
+      sub_borrow(t, u, v);
+      u = t;
+      x1 = sub_mod(x1, x2, mod);
+    } else {
+      U256 t;
+      sub_borrow(t, v, u);
+      v = t;
+      x2 = sub_mod(x2, x1, mod);
+    }
+  }
+  return u == one ? x1 : x2;
 }
 
 U256 normalize(const U256& a, const Modulus& mod) {

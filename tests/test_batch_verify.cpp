@@ -1,0 +1,258 @@
+// Parallel batch signature verification: determinism against the serial
+// path, the thread pool underneath it, and the Blockchain Manager's
+// batched commit path.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "bm/block_manager.hpp"
+#include "chain/wallet.hpp"
+#include "common/thread_pool.hpp"
+#include "crypto/batch_verify.hpp"
+
+namespace zlb {
+namespace {
+
+using namespace zlb::crypto;
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  common::ThreadPool pool(3);
+  for (const std::size_t n : {0ul, 1ul, 2ul, 7ul, 64ul, 1000ul}) {
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallel_for(n, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(ThreadPool, ZeroWorkersRunsInline) {
+  common::ThreadPool pool(0);
+  EXPECT_EQ(pool.workers(), 0u);
+  std::vector<int> hits(100, 0);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { hits[i] += 1; });
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(BatchVerifier, MatchesSerialOnMixedBatch) {
+  // A batch mixing valid signatures, wrong-digest, wrong-key, high-s
+  // malleated, invalid pubkey bytes, and pre-rejected jobs must return
+  // exactly what serial verify_digest returns, job by job.
+  const auto alice = PrivateKey::from_seed(to_bytes("batch-alice"));
+  const auto bob = PrivateKey::from_seed(to_bytes("batch-bob"));
+  struct Case {
+    PublicKey pub;
+    Hash32 digest;
+    Signature sig;
+  };
+  std::vector<Case> cases;
+  for (int i = 0; i < 24; ++i) {
+    const PrivateKey& signer = (i % 2 == 0) ? alice : bob;
+    Case c;
+    c.digest = sha256(to_bytes("batch-msg-" + std::to_string(i)));
+    c.sig = signer.sign_digest(c.digest);
+    c.pub = signer.public_key();
+    switch (i % 4) {
+      case 1:  // wrong digest
+        c.digest = sha256(to_bytes("other"));
+        break;
+      case 2:  // high-s twin
+        c.sig.s = sub_mod(U256(), c.sig.s, curve().n);
+        break;
+      case 3:  // wrong key
+        c.pub = (i % 2 == 0) ? bob.public_key() : alice.public_key();
+        break;
+      default:
+        break;
+    }
+    cases.push_back(c);
+  }
+  BatchVerifier batch;
+  std::vector<std::uint8_t> expected;
+  for (const Case& c : cases) {
+    batch.add(c.pub, c.digest, c.sig);
+    expected.push_back(verify_digest(c.pub, c.digest, c.sig) ? 1 : 0);
+  }
+  batch.add_invalid();
+  expected.push_back(0);
+  const auto got = batch.verify_all();
+  EXPECT_EQ(got, expected);
+  // Valid jobs exist and invalid jobs exist — the batch is a real mix.
+  EXPECT_NE(std::count(expected.begin(), expected.end(), 1), 0);
+  EXPECT_NE(std::count(expected.begin(), expected.end(), 0), 0);
+  // verify_all drains the queue; a rerun over re-added jobs is
+  // identical (determinism across runs and pool schedules).
+  EXPECT_EQ(batch.size(), 0u);
+  for (const Case& c : cases) batch.add(c.pub, c.digest, c.sig);
+  batch.add_invalid();
+  EXPECT_EQ(batch.verify_all(), expected);
+}
+
+TEST(BatchVerifier, AffineJobsMatchCompressedJobs) {
+  const auto key = PrivateKey::from_seed(to_bytes("batch-affine"));
+  const auto pub = key.public_key();
+  const auto q = decompress(BytesView(pub.data.data(), 33));
+  ASSERT_TRUE(q.has_value());
+  BatchVerifier batch;
+  for (int i = 0; i < 8; ++i) {
+    const Hash32 digest = sha256(to_bytes("affine-" + std::to_string(i)));
+    Signature sig = key.sign_digest(digest);
+    if (i % 2 == 1) sig.r = add_mod(sig.r, U256(1), curve().n);  // corrupt
+    batch.add(pub, digest, sig);
+    batch.add(*q, digest, sig);
+  }
+  const auto got = batch.verify_all();
+  ASSERT_EQ(got.size(), 16u);
+  for (std::size_t i = 0; i < got.size(); i += 2) {
+    EXPECT_EQ(got[i], got[i + 1]);
+    EXPECT_EQ(got[i], (i / 2) % 2 == 0 ? 1 : 0);
+  }
+}
+
+TEST(BatchVerifier, EmptyBatch) {
+  BatchVerifier batch;
+  EXPECT_TRUE(batch.verify_all().empty());
+}
+
+class BlockCommitFixture : public ::testing::Test {
+ protected:
+  BlockCommitFixture()
+      : alice(to_bytes("bm-alice")),
+        bob(to_bytes("bm-bob")),
+        carol(to_bytes("bm-carol")) {}
+
+  chain::Wallet alice, bob, carol;
+};
+
+TEST_F(BlockCommitFixture, BatchedCommitMatchesSerialApply) {
+  // Two managers over identical genesis: one commits a block through
+  // the batched path, the reference applies the same transactions
+  // serially with inline signature checks. Final state must match
+  // exactly — same acceptance set, same balances.
+  bm::BlockManager batched;
+  chain::UtxoSet serial;
+  for (int i = 0; i < 4; ++i) {
+    batched.utxos().mint(alice.address(), 500);
+  }
+  for (int i = 0; i < 4; ++i) {
+    serial.mint(alice.address(), 500);
+  }
+  const auto coins = batched.utxos().owned_by(alice.address());
+  chain::Block block;
+  // tx0: valid payment.
+  block.txs.push_back(alice.pay_from({coins[0]}, bob.address(), 500));
+  // tx1: high-s malleated input signature — must be skipped.
+  {
+    chain::Transaction tx = alice.pay_from({coins[1]}, carol.address(), 500);
+    const auto sig =
+        Signature::from_bytes(BytesView(tx.inputs[0].sig.data(), 64));
+    tx.inputs[0].sig =
+        Signature{sig->r, sub_mod(U256(), sig->s, curve().n)}.to_bytes();
+    block.txs.push_back(tx);
+  }
+  // tx2: tampered signature byte — must be skipped.
+  {
+    chain::Transaction tx = alice.pay_from({coins[2]}, carol.address(), 500);
+    tx.inputs[0].sig[5] ^= 0x40;
+    block.txs.push_back(tx);
+  }
+  // tx3: valid multi-output payment.
+  block.txs.push_back(alice.pay_from({coins[3]}, bob.address(), 300));
+  const std::size_t applied = batched.commit_block(block);
+  std::size_t expected_applied = 0;
+  for (const auto& tx : block.txs) {
+    if (serial.apply(tx, /*verify_sigs=*/true) == chain::TxCheck::kOk) {
+      ++expected_applied;
+    }
+  }
+  EXPECT_EQ(applied, expected_applied);
+  EXPECT_EQ(applied, 2u);
+  for (const auto& who :
+       {alice.address(), bob.address(), carol.address()}) {
+    EXPECT_EQ(batched.utxos().balance(who), serial.balance(who));
+  }
+  EXPECT_EQ(batched.utxos().size(), serial.size());
+  // The malleated and tampered transactions are unknown to the manager.
+  EXPECT_TRUE(batched.knows_tx(block.txs[0].id()));
+  EXPECT_FALSE(batched.knows_tx(block.txs[1].id()));
+  EXPECT_FALSE(batched.knows_tx(block.txs[2].id()));
+  EXPECT_TRUE(batched.knows_tx(block.txs[3].id()));
+}
+
+TEST_F(BlockCommitFixture, IntraBlockChainStillSignatureChecked) {
+  // tx1 spends an output tx0 creates in the same block. The batch
+  // pre-filter cannot attribute tx1's input to a pre-block UTXO, but
+  // its signature must still be verified — a forged chained spend
+  // sneaking past batching would be a signature bypass.
+  const auto make_block = [&](bool tamper) {
+    bm::BlockManager manager;
+    manager.utxos().mint(alice.address(), 500);
+    const auto coins = manager.utxos().owned_by(alice.address());
+    chain::Block block;
+    block.txs.push_back(alice.pay_from(coins, bob.address(), 500));
+    // Bob chains off tx0's first output (the 500 to him).
+    chain::Transaction chained = bob.pay_from(
+        {{chain::OutPoint{block.txs[0].id(), 0},
+          chain::TxOut{500, bob.address()}}},
+        carol.address(), 500);
+    if (tamper) chained.inputs[0].sig[7] ^= 0x20;
+    block.txs.push_back(chained);
+    const std::size_t applied = manager.commit_block(block);
+    return std::make_pair(applied, manager.utxos().balance(carol.address()));
+  };
+  const auto [ok_applied, ok_carol] = make_block(false);
+  EXPECT_EQ(ok_applied, 2u);
+  EXPECT_EQ(ok_carol, 500);
+  const auto [bad_applied, bad_carol] = make_block(true);
+  EXPECT_EQ(bad_applied, 1u);  // tx0 lands, forged chain does not
+  EXPECT_EQ(bad_carol, 0);
+}
+
+TEST_F(BlockCommitFixture, DoomedInputsSkipCryptoButMatchSerial) {
+  // Transactions spending nonexistent outpoints or carrying a
+  // wrong-owner key are rejected identically to the serial path (the
+  // batch path just skips the wasted signature work).
+  bm::BlockManager manager;
+  chain::UtxoSet serial;
+  manager.utxos().mint(alice.address(), 100);
+  serial.mint(alice.address(), 100);
+  const auto coins = manager.utxos().owned_by(alice.address());
+  chain::Block block;
+  // Missing input: spends an outpoint that never existed.
+  block.txs.push_back(bob.pay_from(
+      {{chain::OutPoint{crypto::sha256(to_bytes("nope")), 0},
+        chain::TxOut{50, bob.address()}}},
+      carol.address(), 50));
+  // Wrong owner: bob spends alice's coin with his own key.
+  block.txs.push_back(bob.pay_from(coins, carol.address(), 100));
+  // Valid spend of the same coin.
+  block.txs.push_back(alice.pay_from(coins, bob.address(), 100));
+  const std::size_t applied = manager.commit_block(block);
+  std::size_t expected = 0;
+  for (const auto& tx : block.txs) {
+    if (serial.apply(tx, /*verify_sigs=*/true) == chain::TxCheck::kOk) {
+      ++expected;
+    }
+  }
+  EXPECT_EQ(applied, expected);
+  EXPECT_EQ(applied, 1u);
+  EXPECT_EQ(manager.utxos().balance(bob.address()), serial.balance(bob.address()));
+  EXPECT_EQ(manager.utxos().balance(carol.address()), 0);
+  // The shared memo holds only the legitimate owner's key: garbage and
+  // unattributable keys must not grow it.
+  EXPECT_EQ(manager.utxos().pubkey_cache().size(), 1u);
+}
+
+TEST_F(BlockCommitFixture, CommitWithoutSigCheckStillApplies) {
+  bm::BlockManager manager;
+  manager.utxos().mint(alice.address(), 100);
+  const auto coins = manager.utxos().owned_by(alice.address());
+  chain::Block block;
+  chain::Transaction tx = alice.pay_from(coins, bob.address(), 100);
+  tx.inputs[0].sig[5] ^= 0x40;  // bad signature, but checks disabled
+  block.txs.push_back(tx);
+  EXPECT_EQ(manager.commit_block(block, /*verify_sigs=*/false), 1u);
+}
+
+}  // namespace
+}  // namespace zlb

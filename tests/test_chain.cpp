@@ -53,6 +53,27 @@ TEST_F(ChainFixture, WrongOwnerRejected) {
   EXPECT_EQ(utxos.check(theft), TxCheck::kWrongOwner);
 }
 
+TEST_F(ChainFixture, HighSMalleatedSignatureRejected) {
+  // Malleability regression at the admission layer: flipping a valid
+  // input signature to its high-s twin (r, n−s) must not re-admit the
+  // transaction under different bytes.
+  auto tx = alice.pay(utxos, bob.address(), 100);
+  ASSERT_TRUE(tx.has_value());
+  EXPECT_EQ(utxos.check(*tx), TxCheck::kOk);
+  const auto sig = crypto::Signature::from_bytes(
+      BytesView(tx->inputs[0].sig.data(), 64));
+  ASSERT_TRUE(sig.has_value());
+  const crypto::Signature high{
+      sig->r, sub_mod(crypto::U256(), sig->s, crypto::curve().n)};
+  ASSERT_FALSE(high.to_bytes() == tx->inputs[0].sig);
+  tx->inputs[0].sig = high.to_bytes();
+  EXPECT_EQ(utxos.check(*tx), TxCheck::kBadSignature);
+  EXPECT_EQ(utxos.apply(*tx), TxCheck::kBadSignature);
+  // Restoring the canonical signature re-admits it.
+  tx->inputs[0].sig = sig->to_bytes();
+  EXPECT_EQ(utxos.apply(*tx), TxCheck::kOk);
+}
+
 TEST_F(ChainFixture, TamperedSignatureRejected) {
   auto tx = alice.pay(utxos, bob.address(), 100);
   ASSERT_TRUE(tx.has_value());

@@ -63,6 +63,67 @@ TEST(Secp256k1, CompressionRoundtrip) {
   }
 }
 
+TEST(Secp256k1, DecompressRejectsNonResidue) {
+  // x = 5, 7, 9 are in-range but x³ + 7 is a quadratic non-residue mod
+  // p: no curve point has these x coordinates.
+  for (const std::uint64_t x : {5ull, 7ull, 9ull}) {
+    std::array<std::uint8_t, 33> enc{};
+    enc[0] = 0x02;
+    const auto xb = U256(x).to_bytes();
+    std::copy(xb.begin(), xb.end(), enc.begin() + 1);
+    EXPECT_FALSE(decompress(BytesView(enc.data(), 33)).has_value())
+        << "x=" << x;
+  }
+}
+
+TEST(Secp256k1, DoubleScalarMulMatchesNaive) {
+  // The interleaved Shamir ladder must agree with the two-multiplies
+  // baseline for random scalars and points, including zero scalars.
+  Rng rng(17);
+  for (int i = 0; i < 8; ++i) {
+    const U256 u1 = normalize(
+        U256{rng.next(), rng.next(), rng.next(), rng.next()}, curve().n);
+    const U256 u2 = normalize(
+        U256{rng.next(), rng.next(), rng.next(), rng.next()}, curve().n);
+    const U256 kq = normalize(
+        U256{rng.next(), rng.next(), rng.next(), rng.next()}, curve().n);
+    const JacobianPoint q = scalar_mul_base(kq);
+    const AffinePoint fast = to_affine(double_scalar_mul(u1, u2, q));
+    const AffinePoint naive =
+        to_affine(jacobian_add(scalar_mul_base(u1), scalar_mul(u2, q)));
+    EXPECT_EQ(fast, naive);
+  }
+  const JacobianPoint q = scalar_mul_base(U256(77));
+  EXPECT_EQ(to_affine(double_scalar_mul(U256(), U256(5), q)),
+            to_affine(scalar_mul(U256(5), q)));
+  EXPECT_EQ(to_affine(double_scalar_mul(U256(5), U256(), q)),
+            to_affine(scalar_mul_base(U256(5))));
+  EXPECT_TRUE(
+      double_scalar_mul(U256(), U256(), JacobianPoint::identity())
+          .is_identity());
+}
+
+TEST(Secp256k1, MixedAdditionMatchesFull) {
+  Rng rng(23);
+  for (int i = 0; i < 8; ++i) {
+    const U256 a = normalize(
+        U256{rng.next(), rng.next(), rng.next(), rng.next()}, curve().n);
+    const U256 b = normalize(
+        U256{rng.next(), rng.next(), rng.next(), rng.next()}, curve().n);
+    const JacobianPoint pa = scalar_mul_base(a);
+    const AffinePoint pb = to_affine(scalar_mul_base(b));
+    EXPECT_EQ(to_affine(jacobian_add_mixed(pa, pb)),
+              to_affine(jacobian_add(pa, JacobianPoint::from_affine(pb))));
+  }
+  // Doubling and cancellation branches.
+  const JacobianPoint g = scalar_mul_base(U256(1));
+  const AffinePoint ga = to_affine(g);
+  EXPECT_EQ(to_affine(jacobian_add_mixed(g, ga)),
+            to_affine(jacobian_double(g)));
+  const AffinePoint neg_g{ga.x, sub_mod(U256(), ga.y, curve().p), false};
+  EXPECT_TRUE(jacobian_add_mixed(g, neg_g).is_identity());
+}
+
 TEST(Secp256k1, DecompressRejectsGarbage) {
   std::array<std::uint8_t, 33> junk{};
   junk[0] = 0x02;
@@ -135,6 +196,125 @@ TEST(Ecdsa, LowS) {
     const auto sig = key.sign(BytesView(msg.data(), msg.size()));
     EXPECT_LE(cmp(sig.s, half), 0);
   }
+}
+
+TEST(Ecdsa, KnownAnswerVectors) {
+  // Pinned against the pre-fast-path implementation: deterministic
+  // nonces mean seed + message fully determine (r, s). Any change to
+  // signing behaviour (nonce schedule, low-s rule, scalar mul) that
+  // alters emitted bytes breaks these.
+  struct Vector {
+    const char* seed;
+    const char* msg;
+    const char* pub;
+    const char* r;
+    const char* s;
+  };
+  const Vector vectors[] = {
+      {"zlb-kat-0", "zlb-kat-msg-0",
+       "03c38c01c9b22a91cfaf25e1a6097096b0e9e967961536a92ca6c2faea999e82da",
+       "4f2902a3df1a85b875e8f86c3e0e292ba372f15c1c537c5d7dfb4b0063a10218",
+       "31e145e98a413293a50d5751f9ed95c74571317f11e50d0fbc387e676e84f294"},
+      {"zlb-kat-1", "zlb-kat-msg-1",
+       "02d99ec9b2314761e1ceccce8ce0d046f72731ff2d1bfc3c6d5128fdd88c859fa1",
+       "f076681019b89d1d450d32e342d7912346bf175c90b3b2c077356c80929a9288",
+       "6eb3d7433322602403f862d01809a3acb0ed7553c06fb2120399783b355324c0"},
+      {"zlb-kat-2", "zlb-kat-msg-2",
+       "03c729869e9af9eb55aeb51ba894cc008beb344fb68dc508985064c29690902bc7",
+       "c94207d68f0b1e7689000658113f4828590a654a416c76fafb33cb5659513a42",
+       "5dec4c1fc76028ad386ed5271abd61e8172aa0431e87175c84f67aea9f449fd7"},
+      {"zlb-kat-3", "zlb-kat-msg-3",
+       "02d45ecb9cef89c588d1ee17d45aa472fc7230e6fc554f8ba3f4d85a7e76adf095",
+       "281d569a598d7af6ee1957b0fba0bb56096be4d832278d55f40b3006cda5a049",
+       "2f22202c937bae6857732ee8e816e2719780cf7f379f8f1431af7dcae897cd4b"},
+  };
+  for (const Vector& v : vectors) {
+    const auto key = PrivateKey::from_seed(to_bytes(v.seed));
+    const auto pub = key.public_key();
+    EXPECT_EQ(pub.hex(), v.pub);
+    const Bytes msg = to_bytes(v.msg);
+    const Signature sig = key.sign(BytesView(msg.data(), msg.size()));
+    EXPECT_EQ(sig.r.to_hex(), v.r);
+    EXPECT_EQ(sig.s.to_hex(), v.s);
+    EXPECT_TRUE(verify(pub, BytesView(msg.data(), msg.size()), sig));
+  }
+}
+
+TEST(Ecdsa, HighSMutationRejected) {
+  // Malleability regression: (r, s) → (r, n−s) satisfies the raw ECDSA
+  // equation with distinct bytes. The verifier must accept only the
+  // canonical low-s form the signer emits.
+  const auto key = PrivateKey::from_seed(to_bytes("malleate"));
+  const auto pub = key.public_key();
+  const Hash32 digest = sha256(to_bytes("spend outpoint 7"));
+  const Signature sig = key.sign_digest(digest);
+  ASSERT_TRUE(verify_digest(pub, digest, sig));
+  const Signature high{sig.r, sub_mod(U256(), sig.s, curve().n)};
+  ASSERT_NE(high.to_bytes(), sig.to_bytes());
+  EXPECT_GT(cmp(high.s, curve().n_half), 0);
+  EXPECT_FALSE(verify_digest(pub, digest, high));
+  // Same through the pre-decompressed fast path.
+  const auto q = decompress(BytesView(pub.data.data(), 33));
+  ASSERT_TRUE(q.has_value());
+  EXPECT_TRUE(verify_digest(*q, digest, sig));
+  EXPECT_FALSE(verify_digest(*q, digest, high));
+}
+
+TEST(Ecdsa, SignVerifyRoundtrip100Digests) {
+  const auto key = PrivateKey::from_seed(to_bytes("roundtrip"));
+  const auto pub = key.public_key();
+  Rng rng(41);
+  for (int i = 0; i < 100; ++i) {
+    Hash32 digest{};
+    for (std::size_t b = 0; b < digest.size(); b += 8) {
+      const std::uint64_t v = rng.next();
+      for (std::size_t j = 0; j < 8; ++j) {
+        digest[b + j] = static_cast<std::uint8_t>(v >> (8 * j));
+      }
+    }
+    const Signature sig = key.sign_digest(digest);
+    EXPECT_LE(cmp(sig.s, curve().n_half), 0);
+    EXPECT_TRUE(verify_digest(pub, digest, sig));
+    Hash32 flipped = digest;
+    flipped[i % 32] ^= 1;
+    EXPECT_FALSE(verify_digest(pub, flipped, sig));
+  }
+}
+
+TEST(Ecdsa, PredecompressedOverloadMatchesAndRejectsInfinity) {
+  const auto key = PrivateKey::from_seed(to_bytes("overload"));
+  const auto pub = key.public_key();
+  const Hash32 digest = sha256(to_bytes("msg"));
+  const Signature sig = key.sign_digest(digest);
+  const auto q = decompress(BytesView(pub.data.data(), 33));
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(verify_digest(*q, digest, sig), verify_digest(pub, digest, sig));
+  // The identity is never a valid public key, even though scalar
+  // arithmetic would happily absorb it.
+  EXPECT_FALSE(verify_digest(AffinePoint{U256(), U256(), true}, digest, sig));
+  // Off-curve coordinates are rejected before any scalar arithmetic
+  // (invalid-curve attack guard).
+  EXPECT_FALSE(
+      verify_digest(AffinePoint{q->x, add_mod(q->y, U256(1), curve().p),
+                                false},
+                    digest, sig));
+}
+
+TEST(Ecdsa, PubkeyCacheMemoizes) {
+  PubkeyCache cache;
+  const auto key = PrivateKey::from_seed(to_bytes("cache"));
+  const auto pub = key.public_key();
+  const AffinePoint* first = cache.get(pub);
+  ASSERT_NE(first, nullptr);
+  EXPECT_TRUE(on_curve(*first));
+  EXPECT_EQ(cache.get(pub), first);  // same node, no re-decompression
+  EXPECT_EQ(cache.size(), 1u);
+  PublicKey junk;
+  junk.data[0] = 0x02;
+  junk.data[32] = 5;  // x = 5: x³+7 is a non-residue mod p
+  EXPECT_EQ(cache.get(junk), nullptr);
+  EXPECT_EQ(cache.get(junk), nullptr);  // memoized failure
+  EXPECT_EQ(cache.size(), 2u);
 }
 
 TEST(SignatureScheme, EcdsaSchemeRoundtrip) {

@@ -132,5 +132,38 @@ TEST(U256, PowModEdgeCases) {
   EXPECT_EQ(pow_mod(U256(2), U256(10), p), U256(1024));
 }
 
+TEST(U256, InvModMatchesFermat) {
+  // The binary extended-gcd inverse must agree with a^(m-2) mod m for
+  // both moduli, across random inputs and the boundary values.
+  for (const Modulus* mod : {&curve().p, &curve().n}) {
+    U256 m_minus_2;
+    sub_borrow(m_minus_2, mod->m, U256(2));
+    Rng rng(77);
+    for (int i = 0; i < 50; ++i) {
+      const U256 a = normalize(
+          U256{rng.next(), rng.next(), rng.next(), rng.next()}, *mod);
+      if (a.is_zero()) continue;
+      EXPECT_EQ(inv_mod(a, *mod), pow_mod(a, m_minus_2, *mod));
+    }
+    U256 m_minus_1;
+    sub_borrow(m_minus_1, mod->m, U256(1));
+    EXPECT_EQ(inv_mod(U256(1), *mod), U256(1));
+    EXPECT_EQ(inv_mod(m_minus_1, *mod), m_minus_1);  // self-inverse
+    EXPECT_EQ(inv_mod(U256(), *mod), U256());        // degenerate input
+    EXPECT_EQ(inv_mod(mod->m, *mod), U256());        // a ≡ 0 (mod m)
+  }
+}
+
+TEST(U256, Shr1) {
+  EXPECT_EQ(shr1(U256(3)), U256(1));
+  EXPECT_EQ(shr1(U256()), U256());
+  // Cross-limb borrow: 2^64 >> 1 = 2^63.
+  const U256 two64{0, 0, 1, 0};
+  EXPECT_EQ(shr1(two64), U256(0, 0, 0, 0x8000000000000000ull));
+  U256 doubled;
+  add_carry(doubled, two64, two64);
+  EXPECT_EQ(shr1(doubled), two64);
+}
+
 }  // namespace
 }  // namespace zlb::crypto
