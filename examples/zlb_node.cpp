@@ -29,6 +29,11 @@ struct Options {
   std::vector<std::pair<chain::Address, chain::Amount>> genesis;
   std::uint64_t instances = 1'000'000;
   int block_interval_ms = 250;
+  /// Snapshot the ledger (and compact the journal) every this many
+  /// decided instances; 0 disables. With a journal the image lands at
+  /// <journal>.ckpt and restarts replay only the post-checkpoint tail;
+  /// either way the node serves checkpoint transfer to deep laggards.
+  std::uint64_t checkpoint_interval = 0;
 };
 
 chain::Address parse_address(const std::string& hex) {
@@ -68,6 +73,10 @@ bool parse_options(int argc, char** argv, Options& opts) {
       const char* v = next();
       if (v == nullptr) return false;
       opts.instances = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--checkpoint-interval") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opts.checkpoint_interval = std::strtoull(v, nullptr, 10);
     } else if (arg == "--block-interval-ms") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -123,7 +132,8 @@ int main(int argc, char** argv) {
         stderr,
         "usage: zlb_node --id <n> --peers <file> [--client-port <p>]\n"
         "                [--journal <path>] [--genesis <addr-hex>:<amount>]\n"
-        "                [--instances <n>] [--block-interval-ms <ms>]\n");
+        "                [--instances <n>] [--block-interval-ms <ms>]\n"
+        "                [--checkpoint-interval <n>]\n");
     return 2;
   }
 
@@ -146,6 +156,7 @@ int main(int argc, char** argv) {
   cfg.client_port = opts.client_port;
   cfg.block_interval = std::chrono::milliseconds(opts.block_interval_ms);
   cfg.journal_path = opts.journal_path;
+  cfg.checkpoint.interval = opts.checkpoint_interval;
   // Serve anti-entropy resync to stragglers after finishing the
   // budget; the node exits once every peer reported it is done too
   // (and stays up serving if a peer never does — it is a daemon).

@@ -27,8 +27,15 @@ Replica::Replica(sim::Simulator& sim, sim::Network& net,
       me_(id),
       config_(config),
       committee_(std::move(committee)),
-      pool_(std::move(pool)) {
+      pool_(std::move(pool)),
+      mempool_(config.mempool_capacity) {
   epoch_members_ = committee_.members();
+  if (!config_.synthetic && config_.checkpoint_interval > 0) {
+    // Memory-only (no disk I/O inside the deterministic simulator).
+    sync::CheckpointConfig ckpt;
+    ckpt.interval = config_.checkpoint_interval;
+    checkpoints_ = std::make_unique<sync::CheckpointManager>(ckpt);
+  }
   net_.attach(me_, *this);
 }
 
@@ -323,6 +330,12 @@ void Replica::on_regular_decided(const Key& key, Engine& engine) {
 
   commit_outcome(key, engine);
 
+  // Checkpoint trigger on decide (functional mode): the next regular
+  // index is the contiguous decided floor — instances run in order.
+  if (checkpoints_ != nullptr) {
+    (void)checkpoints_->on_decided(bm_, key.index + 1);
+  }
+
   if (config_.confirmation && config_.accountable) {
     DecisionMsg msg;
     msg.sender = me_;
@@ -437,6 +450,21 @@ void Replica::send_catchup(ReplicaId to) {
   for (ReplicaId id : epoch_members_) w.u32(id);
   w.u64(next_index_);
   w.u32(config_.catchup_blocks);
+  // Functional mode: ship a real state snapshot at our decided floor,
+  // so the new replica starts from the actual ledger instead of an
+  // empty one. The standing checkpoint is reused only when it sits
+  // EXACTLY at the floor — a stale one would leave a gap the Alg. 1
+  // catch-up has no tail-replay step to close (unlike the live-TCP
+  // path, where wire replay covers the tail); otherwise cut fresh.
+  // Synthetic mode ships no state — the download stays modelled.
+  if (!config_.synthetic) {
+    const sync::CheckpointImage* ckpt =
+        checkpoints_ != nullptr ? checkpoints_->latest() : nullptr;
+    const Bytes snap_bytes = ckpt != nullptr && ckpt->upto == next_index_
+                                 ? ckpt->bytes
+                                 : bm_.snapshot(next_index_).encode();
+    w.bytes(BytesView(snap_bytes.data(), snap_bytes.size()));
+  }
   // Modelled download: blocks plus their certificates; verification is
   // quorum signatures per block (this is what makes catch-up grow
   // linearly with n, Fig. 5 right).
@@ -460,6 +488,8 @@ void Replica::handle_catchup(ReplicaId from, Reader& r) {
   for (std::uint64_t i = 0; i < nm; ++i) members.push_back(r.u32());
   const InstanceId next_index = r.u64();
   (void)r.u32();  // chain height (modelled)
+  Bytes snap_bytes;
+  if (!r.done()) snap_bytes = r.bytes();  // functional-mode state snapshot
 
   if (active_) return;  // only standby replicas consume catch-ups
   // Hash (epoch, committee); activate after t+1 matching copies. The
@@ -470,7 +500,35 @@ void Replica::handle_catchup(ReplicaId from, Reader& r) {
   for (ReplicaId id : members) w.u32(id);
   const crypto::Hash32 digest =
       crypto::sha256(BytesView(w.data().data(), w.data().size()));
-  catchup_index_[digest] = std::max(catchup_index_[digest], next_index);
+  // Keep the freshest decodable snapshot offered for this membership;
+  // veterans at different chain positions legitimately ship different
+  // watermarks, the deepest one minimizes the tail we must replay.
+  // The chain-position vote is coupled to the state that backs it: in
+  // functional mode a sender's index only counts as far as its own
+  // snapshot reaches (Alg. 1 catch-up has no tail replay, so adopting
+  // an index beyond any installed state would leave a silent gap — a
+  // deceitful veteran could mint one with garbage snapshot bytes and
+  // an inflated index).
+  if (!snap_bytes.empty()) {
+    try {
+      const sync::Snapshot snap =
+          sync::Snapshot::decode(BytesView(snap_bytes.data(),
+                                           snap_bytes.size()));
+      catchup_index_[digest] = std::max(catchup_index_[digest],
+                                        std::min(next_index, snap.upto));
+      const auto cur = catchup_snapshot_.find(digest);
+      if (cur == catchup_snapshot_.end() || snap.upto > cur->second.first) {
+        catchup_snapshot_[digest] = {snap.upto, std::move(snap_bytes)};
+      }
+    } catch (const DecodeError&) {
+      // Undecodable snapshot from a (possibly deceitful) veteran:
+      // ignore both the state and the index, keep the membership vote.
+    }
+  } else {
+    // Synthetic mode: the position is advisory (downloads are
+    // modelled), adopt the highest seen as before.
+    catchup_index_[digest] = std::max(catchup_index_[digest], next_index);
+  }
   auto& voters = catchup_votes_[digest];
   voters.insert(from);
   const std::size_t t_plus_1 = (members.size() - 1) / 3 + 1;
@@ -480,6 +538,15 @@ void Replica::handle_catchup(ReplicaId from, Reader& r) {
   epoch_ = epoch;
   epoch_members_ = committee_.members();
   next_index_ = catchup_index_[digest];
+  const auto snap_it = catchup_snapshot_.find(digest);
+  if (snap_it != catchup_snapshot_.end()) {
+    const Bytes& bytes = snap_it->second.second;
+    const sync::Snapshot snap =
+        sync::Snapshot::decode(BytesView(bytes.data(), bytes.size()));
+    bm_.restore(snap);
+    metrics_.snapshot_installed = true;
+    metrics_.snapshot_upto = snap.upto;
+  }
   active_ = true;
   metrics_.activation_time = sim_.now();
   replay_pending();

@@ -20,6 +20,7 @@
 #include "chain/mempool.hpp"
 #include "consensus/sbc.hpp"
 #include "sim/network.hpp"
+#include "sync/checkpoint.hpp"
 
 namespace zlb::asmr {
 
@@ -58,6 +59,15 @@ struct ReplicaConfig {
   std::uint32_t cert_unit_divisor = 8;
   /// Blocks a new replica downloads during catch-up (modelled).
   std::uint32_t catchup_blocks = 10;
+  /// Functional mode (synthetic=false): snapshot the Blockchain-
+  /// Manager state every this many decided regular instances
+  /// (in-memory, deterministic). Catch-up then ships a real state
+  /// snapshot instead of only a modelled download, so an included pool
+  /// replica starts from the actual ledger. 0 = snapshot on demand at
+  /// catch-up time.
+  std::uint64_t checkpoint_interval = 0;
+  /// Mempool capacity (0 = unbounded); submit() drops at the bound.
+  std::size_t mempool_capacity = 0;
 };
 
 struct ReplicaMetrics {
@@ -74,6 +84,10 @@ struct ReplicaMetrics {
   std::uint32_t included_count = 0;
   std::uint64_t pof_count = 0;
   std::uint64_t conflicts_seen = 0;  ///< conflicting DecisionMsgs received
+  /// Functional catch-up: a real state snapshot was installed at
+  /// activation (and the watermark it covered).
+  bool snapshot_installed = false;
+  InstanceId snapshot_upto = 0;
 };
 
 /// Per-instance decision record (what the harness compares across
@@ -119,6 +133,9 @@ class Replica : public sim::Process {
   [[nodiscard]] const consensus::PofStore& pofs() const { return pofs_; }
   [[nodiscard]] bm::BlockManager& block_manager() { return bm_; }
   [[nodiscard]] const bm::BlockManager& block_manager() const { return bm_; }
+  [[nodiscard]] const sync::CheckpointManager* checkpoints() const {
+    return checkpoints_ ? checkpoints_.get() : nullptr;
+  }
   [[nodiscard]] const DecisionRecord* decision(std::uint32_t epoch,
                                                InstanceId index) const;
   [[nodiscard]] const std::vector<ReplicaId>& excluded() const {
@@ -197,9 +214,17 @@ class Replica : public sim::Process {
   // Catch-up (standby -> active).
   std::map<crypto::Hash32, std::set<ReplicaId>> catchup_votes_;
   std::map<crypto::Hash32, InstanceId> catchup_index_;
+  /// Best (highest-watermark) snapshot seen per catch-up digest, as
+  /// (watermark, canonical bytes); installed at activation (functional
+  /// mode). The watermark is cached so freshness comparisons do not
+  /// re-decode the stored image on every arriving catch-up.
+  std::map<crypto::Hash32, std::pair<InstanceId, Bytes>> catchup_snapshot_;
 
   chain::Mempool mempool_;
   bm::BlockManager bm_;
+  /// Functional mode: deterministic in-memory checkpoints serving the
+  /// snapshot-based catch-up (src/sync).
+  std::unique_ptr<sync::CheckpointManager> checkpoints_;
   ReplicaMetrics metrics_;
 };
 

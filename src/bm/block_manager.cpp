@@ -1,5 +1,7 @@
 #include "bm/block_manager.hpp"
 
+#include <algorithm>
+
 #include "crypto/batch_verify.hpp"
 
 namespace zlb::bm {
@@ -128,7 +130,7 @@ void BlockManager::journal_block(const chain::Block& block, bool was_new) {
   if (journal_ && was_new) journal_->append(block);
 }
 
-std::optional<std::size_t> BlockManager::open_journal(
+std::optional<chain::Journal::ReplayStats> BlockManager::open_journal(
     const std::string& path) {
   chain::Journal::ReplayStats stats;
   auto journal = chain::Journal::open(
@@ -136,7 +138,41 @@ std::optional<std::size_t> BlockManager::open_journal(
       &stats);
   if (!journal) return std::nullopt;
   journal_ = std::move(*journal);
-  return stats.blocks;
+  return stats;
+}
+
+std::optional<std::size_t> BlockManager::compact_journal(
+    InstanceId keep_from) {
+  if (!journaling()) return 0;
+  return journal_->compact(keep_from);
+}
+
+sync::Snapshot BlockManager::snapshot(InstanceId upto) const {
+  sync::Snapshot s;
+  s.upto = upto;
+  s.mint_counter = utxos_.mint_counter();
+  s.deposit = deposit_;
+  s.utxos = utxos_.entries();
+  s.ever_values = utxos_.ever_entries();
+  s.known_txs.assign(txs_.begin(), txs_.end());
+  std::sort(s.known_txs.begin(), s.known_txs.end());
+  s.inputs_deposit.assign(inputs_deposit_.begin(), inputs_deposit_.end());
+  s.punished.assign(punished_.begin(), punished_.end());
+  std::sort(s.punished.begin(), s.punished.end());
+  return s;
+}
+
+void BlockManager::restore(const sync::Snapshot& snap) {
+  utxos_.restore(snap.utxos, snap.ever_values, snap.mint_counter);
+  deposit_ = snap.deposit;
+  txs_.clear();
+  txs_.insert(snap.known_txs.begin(), snap.known_txs.end());
+  inputs_deposit_.clear();
+  for (const auto& [op, value] : snap.inputs_deposit) {
+    inputs_deposit_.emplace(op, value);
+  }
+  punished_.clear();
+  punished_.insert(snap.punished.begin(), snap.punished.end());
 }
 
 void BlockManager::commit_tx_merge(const chain::Transaction& tx) {

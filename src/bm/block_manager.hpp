@@ -12,6 +12,7 @@
 #include "chain/journal.hpp"
 #include "chain/store.hpp"
 #include "chain/utxo.hpp"
+#include "sync/snapshot.hpp"
 
 namespace zlb::bm {
 
@@ -58,10 +59,15 @@ class BlockManager {
   /// replays every intact record into this manager through the MERGE
   /// path — so recovered fork branches rebuild their deposit accounting
   /// too — and keeps the journal attached: every block that newly
-  /// enters the store from then on is appended. Returns the number of
-  /// blocks replayed, or nullopt on I/O failure.
-  [[nodiscard]] std::optional<std::size_t> open_journal(
+  /// enters the store from then on is appended. Returns the replay
+  /// stats (blocks delivered, torn tail removed), or nullopt on I/O
+  /// failure.
+  [[nodiscard]] std::optional<chain::Journal::ReplayStats> open_journal(
       const std::string& path);
+  /// Drops journal records below `keep_from` (checkpoint compaction).
+  /// No-op without an attached journal. Returns records dropped.
+  [[nodiscard]] std::optional<std::size_t> compact_journal(
+      InstanceId keep_from);
   [[nodiscard]] bool journaling() const {
     return journal_.has_value() && journal_->is_open();
   }
@@ -78,6 +84,21 @@ class BlockManager {
   /// conflicting input whose UTXO was already consumed).
   [[nodiscard]] std::optional<chain::Amount> output_value(
       const chain::OutPoint& op) const;
+
+  /// Checkpoint export: the full ledger state with watermark `upto`
+  /// (every section in canonical sorted order).
+  [[nodiscard]] sync::Snapshot snapshot(InstanceId upto) const;
+  /// Installs a snapshot wholesale, replacing the ledger state (UTXO
+  /// set, known txs, deposit accounting, punished set). The block store
+  /// and any attached journal are untouched: blocks below the watermark
+  /// are represented by the snapshot, the post-watermark tail replays
+  /// on top (re-application dedups by txid).
+  void restore(const sync::Snapshot& snap);
+  /// Digest of the ledger state (position-independent; two replicas
+  /// with identical ledgers compare equal regardless of chain height).
+  [[nodiscard]] crypto::Hash32 state_digest() const {
+    return snapshot(0).state_digest();
+  }
 
  private:
   /// One ok/fail flag per transaction: 1 iff every input signature of

@@ -144,6 +144,78 @@ bool Journal::append(const Block& block) {
   return sync();
 }
 
+std::optional<std::size_t> Journal::compact(InstanceId keep_from) {
+  if (file_ == nullptr) return std::nullopt;
+  if (std::fflush(file_) != 0) return std::nullopt;
+
+  // Pass 1: read every intact record, keep the ones at or above the
+  // watermark. Same tolerant scan as open() — a torn tail is dropped.
+  std::size_t kept = 0;
+  std::size_t dropped = 0;
+  const std::string tmp_path = path_ + ".compact";
+  {
+    std::FILE* in = std::fopen(path_.c_str(), "rb");
+    if (in == nullptr) return std::nullopt;
+    std::FILE* out = std::fopen(tmp_path.c_str(), "wb");
+    if (out == nullptr) {
+      std::fclose(in);
+      return std::nullopt;
+    }
+    bool io_ok = true;
+    for (;;) {
+      std::uint8_t header[kHeaderBytes];
+      if (std::fread(header, 1, kHeaderBytes, in) < kHeaderBytes) break;
+      const std::uint32_t magic = get_u32(header);
+      const std::uint32_t len = get_u32(header + 4);
+      const std::uint32_t crc = get_u32(header + 8);
+      if (magic != kRecordMagic || len > kMaxRecordBytes) break;
+      Bytes payload(len);
+      if (std::fread(payload.data(), 1, len, in) < len) break;
+      if (crc32(BytesView(payload.data(), payload.size())) != crc) break;
+      InstanceId index = 0;
+      try {
+        Reader r(BytesView(payload.data(), payload.size()));
+        index = Block::deserialize(r).index;
+      } catch (const DecodeError&) {
+        break;
+      }
+      if (index < keep_from) {
+        ++dropped;
+        continue;
+      }
+      if (std::fwrite(header, 1, kHeaderBytes, out) < kHeaderBytes ||
+          std::fwrite(payload.data(), 1, len, out) < len) {
+        io_ok = false;
+        break;
+      }
+      ++kept;
+    }
+    std::fclose(in);
+    const bool flushed = std::fflush(out) == 0;
+    std::fclose(out);
+    if (!io_ok || !flushed) {
+      std::remove(tmp_path.c_str());
+      return std::nullopt;
+    }
+  }
+  (void)kept;
+
+  // Swap in the compacted file and reopen positioned for appending.
+  std::fclose(file_);
+  file_ = nullptr;
+  if (std::rename(tmp_path.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    // Fall back to the (still intact) old file.
+    file_ = std::fopen(path_.c_str(), "r+b");
+    if (file_ != nullptr) std::fseek(file_, 0, SEEK_END);
+    return std::nullopt;
+  }
+  file_ = std::fopen(path_.c_str(), "r+b");
+  if (file_ == nullptr) return std::nullopt;
+  std::fseek(file_, 0, SEEK_END);
+  return dropped;
+}
+
 bool Journal::sync() {
   return file_ != nullptr && std::fflush(file_) == 0;
 }

@@ -47,6 +47,14 @@ class Journal {
   /// Appends one block and flushes it to the OS. False on I/O failure.
   bool append(const Block& block);
 
+  /// Checkpoint compaction: rewrites the journal keeping only records
+  /// whose block index is >= `keep_from` (in their original order),
+  /// then repositions for appending. Atomic (write-temp + rename): a
+  /// crash mid-compaction leaves either the old or the new file.
+  /// Returns the number of records dropped, or nullopt on I/O failure
+  /// (the journal stays open on the old file in that case).
+  [[nodiscard]] std::optional<std::size_t> compact(InstanceId keep_from);
+
   /// fsync-equivalent barrier (flushes user-space buffers; tests and
   /// examples don't need a physical-disk guarantee).
   bool sync();

@@ -2,7 +2,19 @@
 
 namespace zlb::chain {
 
-bool Mempool::add(const Transaction& tx) {
+Mempool::AddResult Mempool::try_add(const Transaction& tx) {
+  const TxId id = tx.id();
+  if (known_.count(id) != 0) return AddResult::kDuplicate;
+  if (full()) {
+    ++rejected_full_;
+    return AddResult::kFull;
+  }
+  known_.insert(id);
+  queue_.push_back(tx);
+  return AddResult::kAdded;
+}
+
+bool Mempool::readmit(const Transaction& tx) {
   const TxId id = tx.id();
   if (!known_.insert(id).second) return false;
   queue_.push_back(tx);

@@ -1,6 +1,10 @@
 // FIFO mempool with id-based deduplication; replicas batch from here
 // when proposing (§4: "when sufficiently many payment requests have
 // been received, the BM issues a batch of requests to the ASMR").
+// Bounded: under sustained client traffic the queue refuses new
+// transactions at `capacity` instead of growing without limit, and the
+// client gateway turns that refusal into SubmitStatus::kRejected
+// backpressure so wallets retry elsewhere.
 #pragma once
 
 #include <deque>
@@ -12,8 +16,24 @@ namespace zlb::chain {
 
 class Mempool {
  public:
-  /// Returns false if the tx was already known.
-  bool add(const Transaction& tx);
+  enum class AddResult : std::uint8_t {
+    kAdded = 0,
+    kDuplicate = 1,  ///< id already queued
+    kFull = 2,       ///< at capacity — backpressure, not an error
+  };
+
+  /// capacity 0 = unbounded.
+  explicit Mempool(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  [[nodiscard]] AddResult try_add(const Transaction& tx);
+  /// Convenience: true iff the tx was newly queued.
+  bool add(const Transaction& tx) { return try_add(tx) == AddResult::kAdded; }
+
+  /// Re-queues a transaction that was ALREADY admitted once (drained
+  /// into a proposal that lost its slot). Ignores the capacity bound:
+  /// the client holds an ACK for it, and backpressure belongs at
+  /// admission, never after the ACK. Still deduplicates.
+  bool readmit(const Transaction& tx);
 
   /// Removes and returns up to `max` transactions.
   [[nodiscard]] std::vector<Transaction> take_batch(std::size_t max);
@@ -22,12 +42,21 @@ class Mempool {
   void remove_committed(
       const std::unordered_set<TxId, crypto::Hash32Hasher>& committed);
 
+  void set_capacity(std::size_t capacity) { capacity_ = capacity; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] bool full() const {
+    return capacity_ != 0 && queue_.size() >= capacity_;
+  }
   [[nodiscard]] std::size_t size() const { return queue_.size(); }
   [[nodiscard]] bool empty() const { return queue_.empty(); }
+  /// Transactions refused at capacity since construction.
+  [[nodiscard]] std::uint64_t rejected_full() const { return rejected_full_; }
 
  private:
   std::deque<Transaction> queue_;
   std::unordered_set<TxId, crypto::Hash32Hasher> known_;
+  std::size_t capacity_ = 0;
+  std::uint64_t rejected_full_ = 0;
 };
 
 }  // namespace zlb::chain

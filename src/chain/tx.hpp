@@ -75,6 +75,10 @@ struct TxIn {
 struct TxOut {
   Amount value = 0;
   Address to{};
+
+  friend bool operator==(const TxOut& a, const TxOut& b) {
+    return a.value == b.value && a.to == b.to;
+  }
 };
 
 class Transaction {

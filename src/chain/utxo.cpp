@@ -87,6 +87,32 @@ std::optional<Amount> UtxoSet::value_of(const OutPoint& op) const {
   return it->second;
 }
 
+std::vector<std::pair<OutPoint, TxOut>> UtxoSet::entries() const {
+  std::vector<std::pair<OutPoint, TxOut>> out(table_.begin(), table_.end());
+  std::sort(out.begin(), out.end(),
+            [](const auto& x, const auto& y) { return x.first < y.first; });
+  return out;
+}
+
+std::vector<std::pair<OutPoint, Amount>> UtxoSet::ever_entries() const {
+  std::vector<std::pair<OutPoint, Amount>> out(ever_.begin(), ever_.end());
+  std::sort(out.begin(), out.end(),
+            [](const auto& x, const auto& y) { return x.first < y.first; });
+  return out;
+}
+
+void UtxoSet::restore(const std::vector<std::pair<OutPoint, TxOut>>& live,
+                      const std::vector<std::pair<OutPoint, Amount>>& ever,
+                      std::uint64_t mint_counter) {
+  table_.clear();
+  ever_.clear();
+  table_.reserve(live.size());
+  ever_.reserve(ever.size());
+  for (const auto& [op, out] : live) table_.emplace(op, out);
+  for (const auto& [op, value] : ever) ever_.emplace(op, value);
+  mint_counter_ = mint_counter;
+}
+
 Amount UtxoSet::balance(const Address& a) const {
   Amount sum = 0;
   for (const auto& [op, out] : table_) {

@@ -60,6 +60,19 @@ class UtxoSet {
   /// Blockchain Manager to price conflicting inputs (Alg. 2 line 22).
   [[nodiscard]] std::optional<Amount> value_of(const OutPoint& op) const;
 
+  /// Deterministic export for the checkpoint/state-sync subsystem: the
+  /// live table and the ever-created archive, sorted by outpoint.
+  [[nodiscard]] std::vector<std::pair<OutPoint, TxOut>> entries() const;
+  [[nodiscard]] std::vector<std::pair<OutPoint, Amount>> ever_entries() const;
+  [[nodiscard]] std::uint64_t mint_counter() const { return mint_counter_; }
+
+  /// Replaces the whole set with snapshot contents (the inverse of
+  /// entries()/ever_entries()). The pubkey memo is kept — it caches
+  /// pure decompression results, valid across states.
+  void restore(const std::vector<std::pair<OutPoint, TxOut>>& live,
+               const std::vector<std::pair<OutPoint, Amount>>& ever,
+               std::uint64_t mint_counter);
+
   /// Decompressed-pubkey memo shared by every signature check against
   /// this set: an account's key is decompressed once, not per input per
   /// verify. Exposed so the Blockchain Manager's batch path reuses the

@@ -128,6 +128,14 @@ enum class MsgTag : std::uint8_t {
   /// the resend path that makes the lossy TCP transport live up to
   /// the reliable-delivery assumption of the liveness proof.
   kResyncStatus = 9,
+  /// Chunked checkpoint transfer (src/sync): a replica whose floor is
+  /// below a peer's checkpoint watermark is offered a signed snapshot
+  /// manifest, pulls the image chunk by chunk, verifies each chunk's
+  /// merkle path against the signed root, installs the state and only
+  /// wire-replays the post-checkpoint tail. Bodies in sync/frames.hpp.
+  kSnapshotManifest = 10,
+  kSnapshotChunkReq = 11,
+  kSnapshotChunk = 12,
 };
 
 /// Proposal = RBC send vote + the batch payload it commits to.

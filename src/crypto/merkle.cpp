@@ -1,0 +1,99 @@
+#include "crypto/merkle.hpp"
+
+namespace zlb::crypto {
+
+namespace {
+
+/// Largest power of two strictly below n (n >= 2).
+std::size_t split_point(std::size_t n) {
+  std::size_t k = 1;
+  while (k * 2 < n) k *= 2;
+  return k;
+}
+
+/// RFC 6962 merkle tree hash of leaves[first, first+n).
+Hash32 subtree_root(const std::vector<Hash32>& leaves, std::size_t first,
+                    std::size_t n) {
+  if (n == 1) return leaves[first];
+  const std::size_t k = split_point(n);
+  return merkle_node(subtree_root(leaves, first, k),
+                     subtree_root(leaves, first + k, n - k));
+}
+
+void audit_path(const std::vector<Hash32>& leaves, std::size_t first,
+                std::size_t n, std::size_t index, std::vector<Hash32>& out) {
+  if (n == 1) return;
+  const std::size_t k = split_point(n);
+  if (index < k) {
+    audit_path(leaves, first, k, index, out);
+    out.push_back(subtree_root(leaves, first + k, n - k));
+  } else {
+    audit_path(leaves, first + k, n - k, index - k, out);
+    out.push_back(subtree_root(leaves, first, k));
+  }
+}
+
+}  // namespace
+
+Hash32 merkle_leaf(BytesView data) {
+  Sha256 ctx;
+  const std::uint8_t tag = 0x00;
+  ctx.update(BytesView(&tag, 1));
+  ctx.update(data);
+  return ctx.finish();
+}
+
+Hash32 merkle_node(const Hash32& left, const Hash32& right) {
+  Sha256 ctx;
+  const std::uint8_t tag = 0x01;
+  ctx.update(BytesView(&tag, 1));
+  ctx.update(BytesView(left.data(), left.size()));
+  ctx.update(BytesView(right.data(), right.size()));
+  return ctx.finish();
+}
+
+MerkleTree MerkleTree::build(std::vector<Hash32> leaves) {
+  MerkleTree t;
+  t.leaves_ = std::move(leaves);
+  if (!t.leaves_.empty()) {
+    t.root_ = subtree_root(t.leaves_, 0, t.leaves_.size());
+  }
+  return t;
+}
+
+std::vector<Hash32> MerkleTree::proof(std::size_t index) const {
+  std::vector<Hash32> out;
+  if (index < leaves_.size()) {
+    audit_path(leaves_, 0, leaves_.size(), index, out);
+  }
+  return out;
+}
+
+bool MerkleTree::verify(const Hash32& root, std::size_t index,
+                        std::size_t count, const Hash32& leaf,
+                        const std::vector<Hash32>& proof) {
+  // RFC 9162 §2.1.3.2 inclusion-proof verification.
+  if (count == 0 || index >= count) return false;
+  std::size_t fn = index;
+  std::size_t sn = count - 1;
+  Hash32 r = leaf;
+  for (const Hash32& p : proof) {
+    if (sn == 0) return false;
+    if ((fn & 1u) != 0 || fn == sn) {
+      r = merkle_node(p, r);
+      if ((fn & 1u) == 0) {
+        while (fn != 0 && (fn & 1u) == 0) {
+          fn >>= 1;
+          sn >>= 1;
+        }
+      }
+    } else {
+      r = merkle_node(r, p);
+    }
+    fn >>= 1;
+    sn >>= 1;
+  }
+  return sn == 0 && r == root;
+}
+
+}  // namespace zlb::crypto

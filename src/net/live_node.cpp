@@ -10,10 +10,21 @@ using consensus::MsgTag;
 using consensus::ProposalMsg;
 using consensus::SignedVote;
 
+namespace {
+TransportConfig transport_config(const LiveNodeConfig& cfg) {
+  TransportConfig t;
+  t.me = cfg.me;
+  t.listen_port = cfg.listen_port;
+  t.down_link_buffer_bytes = cfg.down_link_buffer_bytes;
+  return t;
+}
+}  // namespace
+
 LiveNode::LiveNode(LiveNodeConfig config)
     : config_(std::move(config)),
-      transport_(loop_, TransportConfig{config_.me, config_.listen_port, {}}),
-      committee_(config_.committee) {
+      transport_(loop_, transport_config(config_)),
+      committee_(config_.committee),
+      mempool_(config_.mempool_capacity) {
   // Resync replays recorded wire, so the engines must record it.
   if (config_.resync_interval > Duration::zero()) {
     config_.engine.record_wire = true;
@@ -29,20 +40,33 @@ LiveNode::LiveNode(LiveNodeConfig config)
     gateway_ = std::make_unique<ClientGateway>(
         loop_, config_.client_port,
         [this](const chain::Transaction& tx) { return accept_tx(tx); });
+    sync::CheckpointConfig ckpt_cfg = config_.checkpoint;
+    if (ckpt_cfg.path.empty() && ckpt_cfg.interval > 0 &&
+        !config_.journal_path.empty()) {
+      ckpt_cfg.path = config_.journal_path + ".ckpt";
+    }
+    if (ckpt_cfg.interval > 0 || !ckpt_cfg.path.empty()) {
+      ckpt_ = std::make_unique<sync::CheckpointManager>(ckpt_cfg);
+    }
+    if (config_.snapshot_catchup) {
+      fetcher_ = std::make_unique<sync::SnapshotFetcher>(
+          config_.fetcher, [this](ReplicaId to, const sync::ChunkRequest& r) {
+            const Bytes msg = sync::encode_chunk_request_msg(r);
+            transport_.send(to, BytesView(msg.data(), msg.size()));
+          });
+    }
   }
 }
 
 bool LiveNode::accept_tx(const chain::Transaction& tx) {
   // Runs on the loop thread (the gateway lives on the same loop).
-  // Structural validity was checked by the gateway; refuse duplicates
-  // and anything already committed.
+  // Structural validity was checked by the gateway; refuse duplicates,
+  // anything already committed, and everything once the (bounded)
+  // mempool is full — the gateway answers kRejected and the wallet
+  // retries elsewhere.
   const std::lock_guard<std::mutex> lock(decisions_mutex_);
   if (bm_.knows_tx(tx.id())) return false;
-  for (const auto& pending : mempool_) {
-    if (pending.id() == tx.id()) return false;
-  }
-  mempool_.push_back(tx);
-  return true;
+  return mempool_.try_add(tx) == chain::Mempool::AddResult::kAdded;
 }
 
 chain::Amount LiveNode::balance(const chain::Address& a) const {
@@ -79,8 +103,7 @@ Bytes LiveNode::payload_for(InstanceId k) {
         std::max(0, committee_.slot_of(config_.me)));
     {
       const std::lock_guard<std::mutex> lock(decisions_mutex_);
-      block.txs = std::move(mempool_);
-      mempool_.clear();
+      block.txs = mempool_.take_batch(config_.max_block_txs);
       if (!block.txs.empty()) proposed_txs_[k] = block.txs;
     }
     return block.serialize();
@@ -100,6 +123,7 @@ void LiveNode::commit_decided_blocks(InstanceId k, Engine& engine) {
   // with the same results. Transaction signatures are real ECDSA and
   // verified here, on the decided payload (not on gossip).
   const std::lock_guard<std::mutex> lock(decisions_mutex_);
+  std::unordered_set<chain::TxId, crypto::Hash32Hasher> committed;
   for (const auto& entry : engine.outcome()) {
     if (entry.payload.empty()) continue;
     try {
@@ -107,15 +131,22 @@ void LiveNode::commit_decided_blocks(InstanceId k, Engine& engine) {
       chain::Block block = chain::Block::deserialize(r);
       block.index = k;
       bm_.commit_block(block, /*verify_sigs=*/true);
+      for (const auto& tx : block.txs) committed.insert(tx.id());
     } catch (const DecodeError&) {
       // A proposer shipped garbage instead of a block: skip it (the
       // consensus already fixed the bytes; the application rejects).
     }
   }
+  // Anything another proposer just committed must not linger in (and
+  // later be re-proposed from) our own queue.
+  if (!committed.empty()) mempool_.remove_committed(committed);
 }
 
 LiveNode::Engine* LiveNode::get_or_create(InstanceId k) {
   if (k >= config_.instances) return nullptr;
+  // Settled by an installed snapshot: the instance is history, its
+  // engine will never run here (late frames for it are ignored).
+  if (k < settled_floor_) return nullptr;
   const auto it = engines_.find(k);
   if (it != engines_.end()) return it->second.get();
 
@@ -161,10 +192,19 @@ void LiveNode::on_decided(InstanceId k) {
       if (!included) {
         const std::lock_guard<std::mutex> lock(decisions_mutex_);
         for (auto& tx : proposed->second) {
-          if (!bm_.knows_tx(tx.id())) mempool_.push_back(std::move(tx));
+          // readmit: these were ACKed at admission; the capacity bound
+          // must not silently drop them now.
+          if (!bm_.knows_tx(tx.id())) (void)mempool_.readmit(tx);
         }
       }
       proposed_txs_.erase(proposed);
+    }
+    if (ckpt_) {
+      // Checkpoint on the contiguous decided floor (never on an
+      // out-of-order decision ahead of a gap): the snapshot plus the
+      // journal tail must cover the whole chain.
+      const std::lock_guard<std::mutex> lock(decisions_mutex_);
+      (void)ckpt_->on_decided(bm_, decision_floor());
     }
   }
   LiveDecision d;
@@ -217,7 +257,8 @@ InstanceId LiveNode::decision_floor() const {
   // current_ is the first-undecided cursor on_decided maintains;
   // starting there keeps this O(1) amortized over a run instead of
   // rescanning every decided instance from zero on each tick.
-  InstanceId k = current_;
+  // Snapshot-settled instances count as decided.
+  InstanceId k = std::max(current_, settled_floor_);
   while (k < config_.instances) {
     const auto it = engines_.find(k);
     if (it == engines_.end() || !it->second->has_decided()) break;
@@ -287,6 +328,12 @@ void LiveNode::resync_tick() {
   // replayed; recovering already-pruned history is a state-snapshot
   // concern, not a frame-resend one.
   resync_ticks_ += 1;
+  // Drive any in-flight state transfer: re-requests whatever chunks a
+  // dropped connection swallowed (resume-across-churn).
+  if (fetcher_ != nullptr) {
+    const std::lock_guard<std::mutex> lock(decisions_mutex_);
+    fetcher_->tick();
+  }
   constexpr int kPruneGraceTicks = 240;  // 60 s at the default interval
   InstanceId floor = my_floor;
   bool hold = false;
@@ -358,6 +405,46 @@ void LiveNode::handle_resync_status(ReplicaId from, InstanceId peer_floor) {
   PeerResync& ps = peer_sync_[from];
   ps.floor = peer_floor;
   ps.report_tick = resync_ticks_;
+  // A peer deep below our checkpoint watermark gets the checkpoint,
+  // not instance-by-instance replay: catching up one engine at a time
+  // from genesis is O(chain), and the wire below the watermark may be
+  // pruned anyway. "Deep" = at least one checkpoint interval behind —
+  // offered on the FIRST report (a brand-new joiner must not have to
+  // grind through history while we watch it "progress"). One manifest
+  // per cooldown; the peer pulls chunks at its own pace.
+  if (config_.snapshot_catchup && ckpt_ != nullptr) {
+    const InstanceId my_floor = decision_floor();
+    const std::uint64_t interval = ckpt_->config().interval;
+    const std::uint64_t deep =
+        std::max<std::uint64_t>(interval, config_.fetcher.min_lag);
+    // Wire below pruned_floor_ is gone for good; a peer stuck inside
+    // the pruned region can only be saved by state transfer. If the
+    // standing checkpoint does not reach past the pruned region, cut a
+    // fresh one at our floor (covers everything the peer is missing).
+    const bool wire_gone = peer_floor < pruned_floor_;
+    const bool deep_lag = ckpt_->latest() != nullptr &&
+                          peer_floor + deep <= ckpt_->watermark();
+    const bool stuck_shallow =
+        stalled && ckpt_->latest() != nullptr &&
+        peer_floor + config_.fetcher.min_lag <= ckpt_->watermark();
+    const bool stuck_pruned =
+        stalled && wire_gone &&
+        peer_floor + config_.fetcher.min_lag <= my_floor;
+    if (deep_lag || stuck_shallow || stuck_pruned) {
+      constexpr int kOfferCooldownTicks = 8;
+      if (resync_ticks_ - ps.offer_tick >= kOfferCooldownTicks) {
+        if (stuck_pruned && ckpt_->watermark() < pruned_floor_) {
+          const std::lock_guard<std::mutex> lock(decisions_mutex_);
+          (void)ckpt_->take(bm_, my_floor);
+        }
+        ps.offer_tick = resync_ticks_;
+        send_manifest(from);
+      }
+      // No return: a stalled peer still gets the (cooldown-bounded)
+      // wire replay below. A peer that cannot consume manifests (no
+      // fetcher on its build) must not be left with neither path.
+    }
+  }
   // Only a *stalled* peer (same floor twice in a row) gets a replay: a
   // progressing peer needs no help, and every duplicate costs each
   // receiver a signature verification before the engine dedups it.
@@ -381,6 +468,121 @@ void LiveNode::handle_resync_status(ReplicaId from, InstanceId peer_floor) {
     for (const Bytes& wire : it->second->wire_log()) {
       transport_.send(from, BytesView(wire.data(), wire.size()));
     }
+  }
+}
+
+void LiveNode::send_manifest(ReplicaId to) {
+  const sync::CheckpointImage* img = ckpt_->latest();
+  if (img == nullptr) return;
+  sync::SnapshotManifest m;
+  m.server = config_.me;
+  m.upto = img->upto;
+  m.chunk_size = static_cast<std::uint32_t>(img->chunk_size);
+  m.chunk_count = img->chunks();
+  m.total_bytes = img->bytes.size();
+  m.root = img->root();
+  const Bytes sb = m.signing_bytes();
+  m.signature = scheme_->sign(config_.me, BytesView(sb.data(), sb.size()));
+  const Bytes msg = sync::encode_manifest_msg(m);
+  transport_.send(to, BytesView(msg.data(), msg.size()));
+  const std::lock_guard<std::mutex> lock(decisions_mutex_);
+  ++sync_stats_.manifests_sent;
+}
+
+void LiveNode::serve_chunks(ReplicaId to, const sync::ChunkRequest& req) {
+  if (ckpt_ == nullptr) return;
+  const sync::CheckpointImage* img = ckpt_->latest();
+  if (img == nullptr || img->upto != req.upto) return;
+  // Rate limit per peer per resync tick: chunk frames are queued into
+  // the (unbounded while up) link send buffer, so without a budget a
+  // request loop is a free memory/bandwidth amplification against the
+  // server. The honest fetcher's window fits one budget easily;
+  // anything beyond re-requests on its next stall tick.
+  constexpr std::uint32_t kMaxChunksPerTick = 64;
+  PeerResync& ps = peer_sync_[to];
+  if (ps.serve_tick != resync_ticks_) {
+    ps.serve_tick = resync_ticks_;
+    ps.served_in_tick = 0;
+  }
+  if (ps.served_in_tick >= kMaxChunksPerTick) return;
+  const std::uint32_t budget = kMaxChunksPerTick - ps.served_in_tick;
+  const std::uint32_t n = img->chunks();
+  const std::uint32_t first = std::min(req.first, n);
+  const std::uint32_t end = std::min(first + std::min(req.count, budget), n);
+  ps.served_in_tick += end - first;
+  for (std::uint32_t i = first; i < end; ++i) {
+    sync::SnapshotChunk chunk;
+    chunk.upto = img->upto;
+    chunk.index = i;
+    const BytesView view = img->chunk(i);
+    chunk.data.assign(view.begin(), view.end());
+    chunk.proof = img->tree.proof(i);
+    const Bytes msg = sync::encode_chunk_msg(chunk);
+    transport_.send(to, BytesView(msg.data(), msg.size()));
+  }
+  if (end > first) {
+    const std::lock_guard<std::mutex> lock(decisions_mutex_);
+    sync_stats_.chunks_served += end - first;
+  }
+}
+
+void LiveNode::settle_below(InstanceId upto) {
+  // The watermark ultimately comes off the wire (a snapshot image); an
+  // absurd value must neither spin this loop nor fabricate decisions.
+  upto = std::min(upto, config_.instances);
+  std::uint64_t newly = 0;
+  for (InstanceId k = settled_floor_; k < upto; ++k) {
+    const auto it = engines_.find(k);
+    if (it != engines_.end()) {
+      // Live-decided instances were already counted by on_decided.
+      if (!it->second->has_decided()) ++newly;
+      engines_.erase(it);
+    } else {
+      ++newly;
+    }
+  }
+  settled_floor_ = std::max(settled_floor_, upto);
+  current_ = std::max(current_, settled_floor_);
+  pruned_floor_ = std::max(pruned_floor_, settled_floor_);
+  decided_count_.fetch_add(newly);
+}
+
+void LiveNode::install_snapshot_bytes(const Bytes& bytes) {
+  sync::Snapshot snap;
+  try {
+    snap = sync::Snapshot::decode(BytesView(bytes.data(), bytes.size()));
+  } catch (const DecodeError&) {
+    // The chunks verified against the signed root, so the *server*
+    // committed to garbage — drop it and wait for another manifest.
+    const std::lock_guard<std::mutex> lock(decisions_mutex_);
+    ++sync_stats_.snapshots_rejected;
+    return;
+  }
+  // Only worth installing if it moves our *contiguous* floor forward:
+  // restoring an image older than what we already executed would
+  // rewind the ledger past live-committed blocks.
+  if (snap.upto <= decision_floor()) return;
+  {
+    const std::lock_guard<std::mutex> lock(decisions_mutex_);
+    bm_.restore(snap);
+    ++sync_stats_.snapshots_installed;
+    sync_stats_.installed_upto = snap.upto;
+  }
+  // Adopt the image as our own checkpoint: the disk (when journaled)
+  // must represent the installed state across a restart, and we can
+  // serve the same transfer to the next joiner.
+  if (ckpt_ != nullptr) (void)ckpt_->adopt(snap.upto, bytes);
+  settle_below(snap.upto);
+  // Instances decided out of order beyond the watermark were committed
+  // before the restore wiped their effects; re-commit them on top of
+  // the installed state (idempotent — application dedups by txid).
+  for (auto& [k, engine] : engines_) {
+    if (engine->has_decided()) commit_decided_blocks(k, *engine);
+  }
+  // Participate from the watermark on: the tail either decides with us
+  // or arrives by wire replay once our (now much higher) floor stalls.
+  if (!all_decided() && current_ < config_.instances) {
+    start_instance(current_);
   }
 }
 
@@ -431,6 +633,38 @@ void LiveNode::on_frame(ReplicaId from, BytesView data) {
         handle_resync_status(from, peer_floor);
         break;
       }
+      case MsgTag::kSnapshotManifest: {
+        if (fetcher_ == nullptr || !config_.real_blocks) break;
+        const auto m = sync::SnapshotManifest::decode(r);
+        if (!r.done() || m.server != from) break;
+        const Bytes sb = m.signing_bytes();
+        if (!scheme_->verify(from, BytesView(sb.data(), sb.size()),
+                             BytesView(m.signature.data(),
+                                       m.signature.size()))) {
+          break;
+        }
+        const std::lock_guard<std::mutex> lock(decisions_mutex_);
+        (void)fetcher_->consider(from, m, decision_floor());
+        break;
+      }
+      case MsgTag::kSnapshotChunkReq: {
+        const auto req = sync::ChunkRequest::decode(r);
+        if (!r.done()) break;
+        serve_chunks(from, req);
+        break;
+      }
+      case MsgTag::kSnapshotChunk: {
+        if (fetcher_ == nullptr) break;
+        const auto chunk = sync::SnapshotChunk::decode(r);
+        if (!r.done()) break;
+        std::optional<Bytes> image;
+        {
+          const std::lock_guard<std::mutex> lock(decisions_mutex_);
+          image = fetcher_->on_chunk(from, chunk);
+        }
+        if (image.has_value()) install_snapshot_bytes(*image);
+        break;
+      }
       default:
         break;  // confirmation/recovery traffic is simulator-only
     }
@@ -442,12 +676,30 @@ void LiveNode::on_frame(ReplicaId from, BytesView data) {
 }
 
 void LiveNode::run(Duration deadline) {
-  if (config_.real_blocks && !config_.journal_path.empty() &&
-      !bm_.journaling()) {
-    // Replays any previous life of this replica (after the caller had
-    // its chance to mint the genesis), then journals on.
-    const std::lock_guard<std::mutex> lock(decisions_mutex_);
-    (void)bm_.open_journal(config_.journal_path);
+  if (config_.real_blocks && !bm_.journaling()) {
+    // Recovery order (after the caller had its chance to mint the
+    // genesis): newest durable checkpoint first, then the journal —
+    // which after compaction only holds the post-checkpoint tail, so
+    // restart cost is O(checkpoint interval), not O(chain).
+    bool restored = false;
+    InstanceId restored_upto = 0;
+    {
+      const std::lock_guard<std::mutex> lock(decisions_mutex_);
+      if (ckpt_ != nullptr) {
+        if (const auto snap = ckpt_->load_disk()) {
+          bm_.restore(*snap);
+          restored = true;
+          restored_upto = snap->upto;
+          sync_stats_.restored_upto = snap->upto;
+        }
+      }
+      if (!config_.journal_path.empty()) {
+        if (const auto stats = bm_.open_journal(config_.journal_path)) {
+          journal_replay_ = *stats;
+        }
+      }
+    }
+    if (restored) settle_below(restored_upto);
   }
   transport_.start();
   start_instance(current_);
@@ -465,6 +717,23 @@ void LiveNode::run(Duration deadline) {
 std::vector<LiveDecision> LiveNode::decisions() const {
   const std::lock_guard<std::mutex> lock(decisions_mutex_);
   return decisions_;
+}
+
+LiveNode::SyncStats LiveNode::sync_stats() const {
+  const std::lock_guard<std::mutex> lock(decisions_mutex_);
+  SyncStats out = sync_stats_;
+  if (fetcher_ != nullptr) out.fetch = fetcher_->stats();
+  return out;
+}
+
+chain::Journal::ReplayStats LiveNode::journal_replay_stats() const {
+  const std::lock_guard<std::mutex> lock(decisions_mutex_);
+  return journal_replay_;
+}
+
+crypto::Hash32 LiveNode::state_digest() const {
+  const std::lock_guard<std::mutex> lock(decisions_mutex_);
+  return bm_.state_digest();
 }
 
 LiveCluster::LiveCluster(std::size_t n, LiveNodeConfig base) {

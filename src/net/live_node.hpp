@@ -20,11 +20,14 @@
 #include <vector>
 
 #include "bm/block_manager.hpp"
+#include "chain/mempool.hpp"
 #include "consensus/sbc.hpp"
 #include "crypto/signer.hpp"
 #include "net/client_gateway.hpp"
 #include "net/event_loop.hpp"
 #include "net/transport.hpp"
+#include "sync/checkpoint.hpp"
+#include "sync/fetcher.hpp"
 
 namespace zlb::net {
 
@@ -64,6 +67,27 @@ struct LiveNodeConfig {
   /// transport links and discard queued frames — a worst-case burst of
   /// wire loss that only the resync path can recover from. Zero = off.
   Duration inject_drop_after = Duration::zero();
+  /// Payment mode: checkpointing (src/sync). With interval > 0 the node
+  /// snapshots its ledger every `checkpoint.interval` decided
+  /// instances, compacts the journal and serves the image to lagging
+  /// peers. An empty checkpoint.path with a journal_path set defaults
+  /// to `<journal_path>.ckpt`.
+  sync::CheckpointConfig checkpoint;
+  /// Payment mode: offer our checkpoint to a stalled peer whose floor
+  /// is below the watermark, and fetch one ourselves when offered a
+  /// manifest at least `fetcher.min_lag` ahead of our floor.
+  bool snapshot_catchup = true;
+  sync::SnapshotFetcher::Config fetcher;
+  /// Mempool capacity (0 = unbounded). A full queue rejects further
+  /// client transactions (SubmitStatus::kRejected backpressure).
+  std::size_t mempool_capacity = 65536;
+  /// Per-peer bound on frames queued while the peer's link is down
+  /// (see TransportConfig::down_link_buffer_bytes). Dropped history is
+  /// recovered through resync / checkpoint transfer, not the socket
+  /// buffer.
+  std::size_t down_link_buffer_bytes = 1u << 20;
+  /// Transactions drained into one proposed block.
+  std::size_t max_block_txs = 4096;
 };
 
 /// One decided instance as seen by a node.
@@ -114,6 +138,25 @@ class LiveNode {
   [[nodiscard]] std::uint16_t client_port() const {
     return gateway_ ? gateway_->local_port() : 0;
   }
+  /// State-sync observability (thread-safe snapshots).
+  struct SyncStats {
+    std::uint64_t manifests_sent = 0;      ///< checkpoint offers made
+    std::uint64_t chunks_served = 0;
+    std::uint64_t snapshots_installed = 0; ///< via network transfer
+    std::uint64_t snapshots_rejected = 0;  ///< undecodable after verify
+    InstanceId installed_upto = 0;         ///< highest installed watermark
+    InstanceId restored_upto = 0;          ///< from disk at startup
+    sync::FetchStats fetch;
+  };
+  [[nodiscard]] SyncStats sync_stats() const;
+  /// Startup journal replay (blocks delivered after any checkpoint
+  /// restore — i.e. the post-checkpoint tail).
+  [[nodiscard]] chain::Journal::ReplayStats journal_replay_stats() const;
+  /// Thread-safe ledger digest (position-independent).
+  [[nodiscard]] crypto::Hash32 state_digest() const;
+  [[nodiscard]] const sync::CheckpointManager* checkpoints() const {
+    return ckpt_ ? ckpt_.get() : nullptr;
+  }
   /// Local chain state. Mutate (e.g. mint a genesis) only before run().
   [[nodiscard]] bm::BlockManager& block_manager() { return bm_; }
   [[nodiscard]] const bm::BlockManager& block_manager() const { return bm_; }
@@ -131,13 +174,23 @@ class LiveNode {
   void on_frame(ReplicaId from, BytesView data);
   void on_decided(InstanceId k);
   /// Lowest instance this node has not decided yet (== instances when
-  /// everything decided).
+  /// everything decided). Instances below the snapshot-settled floor
+  /// count as decided.
   [[nodiscard]] InstanceId decision_floor() const;
   void resync_tick();
   void handle_resync_status(ReplicaId from, InstanceId peer_floor);
   [[nodiscard]] Bytes payload_for(InstanceId k);
   bool accept_tx(const chain::Transaction& tx);
   void commit_decided_blocks(InstanceId k, Engine& engine);
+  /// Offers our latest checkpoint to `to` (signed manifest).
+  void send_manifest(ReplicaId to);
+  void serve_chunks(ReplicaId to, const sync::ChunkRequest& req);
+  /// Assembled+verified image bytes arrived: decode, restore the
+  /// ledger, settle every covered instance.
+  void install_snapshot_bytes(const Bytes& bytes);
+  /// Marks instances below `upto` decided-without-engines (snapshot
+  /// install or disk restore) and advances the cursors.
+  void settle_below(InstanceId upto);
 
   LiveNodeConfig config_;
   EventLoop loop_;
@@ -157,6 +210,9 @@ class LiveNode {
     InstanceId floor = 0;
     int report_tick = 0;           ///< staleness write-off
     int replay_tick = -(1 << 20);  ///< replay cooldown
+    int offer_tick = -(1 << 20);   ///< snapshot-manifest cooldown
+    int serve_tick = -1;           ///< chunk-serving budget window
+    std::uint32_t served_in_tick = 0;
   };
   std::map<ReplicaId, PeerResync> peer_sync_;
   /// Wire logs below this are already cleared (prune watermark).
@@ -169,13 +225,23 @@ class LiveNode {
   std::size_t next_payload_ = 0;
 
   std::unique_ptr<ClientGateway> gateway_;
-  std::vector<chain::Transaction> mempool_;
+  chain::Mempool mempool_;
   /// Payment mode: what we proposed per instance, so transactions are
   /// re-queued when our own slot loses its binary consensus.
   std::map<InstanceId, std::vector<chain::Transaction>> proposed_txs_;
   bm::BlockManager bm_;
 
-  mutable std::mutex decisions_mutex_;  ///< guards decisions_ and bm_ reads
+  /// Checkpoint/state-sync (payment mode; see src/sync).
+  std::unique_ptr<sync::CheckpointManager> ckpt_;
+  std::unique_ptr<sync::SnapshotFetcher> fetcher_;
+  /// Instances below this are settled by an installed snapshot (no
+  /// engine ever ran for them on this node).
+  InstanceId settled_floor_ = 0;
+  SyncStats sync_stats_;
+  chain::Journal::ReplayStats journal_replay_;
+
+  mutable std::mutex decisions_mutex_;  ///< guards decisions_, bm_ reads
+                                        ///< and sync_stats_
   std::vector<LiveDecision> decisions_;
   std::atomic<std::uint64_t> decided_count_{0};
 };

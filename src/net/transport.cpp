@@ -37,6 +37,34 @@ void TcpTransport::enqueue_frame(Link& link, BytesView payload) {
   link.frame_ends.push_back(link.outbuf.size());
 }
 
+void TcpTransport::trim_down_link(Link& link) {
+  // Only for links with nothing in flight (down links have
+  // out_offset 0 — compact() resets it on every drop): oldest whole
+  // frames are discarded until the queue fits the bound. The newest
+  // frames stay — they are the ones a peer coming up now can still
+  // use; anything older is anti-entropy territory.
+  const std::size_t cap = config_.down_link_buffer_bytes;
+  if (cap == 0 || link.outbuf.size() <= cap || link.out_offset != 0) return;
+  // Shed down to half the cap, not just below it: a steady broadcast
+  // to a dead peer would otherwise pay an O(cap) front-erase per sent
+  // frame once saturated; the low-water mark amortizes it away. The
+  // newest frame always survives, even alone above the cap: the bound
+  // sheds stale backlog, it must not eat fresh traffic (a single large
+  // payload queued across a reconnect still arrives).
+  const std::size_t low_water = cap / 2;
+  std::size_t cut = 0;
+  while (link.frame_ends.size() > 1 && link.outbuf.size() - cut > low_water) {
+    cut = link.frame_ends.front();
+    link.frame_ends.pop_front();
+    stats_.frames_dropped += 1;
+  }
+  if (cut > 0) {
+    link.outbuf.erase(link.outbuf.begin(),
+                      link.outbuf.begin() + static_cast<std::ptrdiff_t>(cut));
+    for (auto& end : link.frame_ends) end -= cut;
+  }
+}
+
 void TcpTransport::compact(Link& link) {
   // Rewind to the boundary of the first frame that was not fully handed
   // to the kernel: fully-sent frames are dropped (TCP may still lose
@@ -359,6 +387,8 @@ void TcpTransport::send(ReplicaId to, BytesView payload) {
     if (it != links_.end() && it->second.fd.valid()) {
       update_interest(to, it->second);
     }
+  } else {
+    trim_down_link(link);
   }
 }
 

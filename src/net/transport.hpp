@@ -37,6 +37,14 @@ struct TransportConfig {
   int max_reconnect_attempts = 200;
   /// Retry cadence once max_reconnect_attempts is exhausted.
   Duration probe_delay = std::chrono::milliseconds(500);
+  /// Bytes of frames queued for a peer whose link is DOWN (never
+  /// connected, or between reconnects) before the oldest whole frames
+  /// are dropped. Without a bound, a committee member that never comes
+  /// up pins every frame ever broadcast — O(chain) memory per dead
+  /// peer. Dropped frames are recovered by the consensus layer's
+  /// anti-entropy resync (wire replay for the tail, checkpoint
+  /// transfer for deep history). 0 = unbounded.
+  std::size_t down_link_buffer_bytes = 1u << 20;
 };
 
 struct TransportStats {
@@ -46,6 +54,9 @@ struct TransportStats {
   std::uint64_t bytes_received = 0;
   std::uint64_t connections_dropped = 0;
   std::uint64_t handshake_failures = 0;
+  /// Frames dropped from a down link's bounded queue (see
+  /// TransportConfig::down_link_buffer_bytes).
+  std::uint64_t frames_dropped = 0;
 };
 
 class TcpTransport {
@@ -129,6 +140,7 @@ class TcpTransport {
   void update_interest(ReplicaId peer, const Link& link);
   void send_hello(Link& link);
   void enqueue_frame(Link& link, BytesView payload);
+  void trim_down_link(Link& link);
   void compact(Link& link);
   [[nodiscard]] std::optional<ReplicaId> parse_hello(BytesView payload) const;
   void adopt_pending(int fd, ReplicaId peer, const Bytes& buffered_frames);

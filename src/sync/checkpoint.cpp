@@ -1,0 +1,156 @@
+#include "sync/checkpoint.hpp"
+
+#include <cstdio>
+
+#include "chain/journal.hpp"
+#include "common/serde.hpp"
+
+namespace zlb::sync {
+
+namespace {
+
+constexpr std::uint32_t kCheckpointMagic = 0x5a4c424b;  // "ZLBK"
+constexpr std::uint32_t kCheckpointVersion = 1;
+// A checkpoint holds one serialized state snapshot; anything bigger
+// than this is a corrupt length prefix, not a plausible ledger.
+constexpr std::uint64_t kMaxImageBytes = 1u << 30;
+
+}  // namespace
+
+CheckpointImage CheckpointImage::from_bytes(InstanceId upto, Bytes bytes,
+                                            std::size_t chunk_size) {
+  CheckpointImage img;
+  img.upto = upto;
+  img.chunk_size = chunk_size;
+  img.bytes = std::move(bytes);
+  img.tree = crypto::MerkleTree::build(
+      chunk_leaves(BytesView(img.bytes.data(), img.bytes.size()), chunk_size));
+  return img;
+}
+
+bool CheckpointManager::on_decided(bm::BlockManager& bm, InstanceId floor) {
+  if (config_.interval == 0) return false;
+  if (floor < watermark() + config_.interval) return false;
+  // Snap to the interval grid so every replica checkpoints the same
+  // watermarks regardless of how floors happened to be observed.
+  const InstanceId target = floor - floor % config_.interval;
+  if (target <= watermark()) return false;
+  return take(bm, target);
+}
+
+bool CheckpointManager::take(bm::BlockManager& bm, InstanceId floor) {
+  if (latest_ && floor <= latest_->upto) return false;
+  const Snapshot snap = bm.snapshot(floor);
+  CheckpointImage image =
+      CheckpointImage::from_bytes(floor, snap.encode(), config_.chunk_size);
+
+  // After the rotation below, this watermark is what <path>.prev
+  // covers — and therefore the deepest point the journal may shrink to.
+  const InstanceId prev_upto = latest_ ? latest_->upto : 0;
+  if (!config_.path.empty()) {
+    if (!write_disk(image)) {
+      ++stats_.disk_failures;
+      return false;
+    }
+    // The journal only shrinks once the checkpoint covering the dropped
+    // records is durable — and only to the .prev watermark, so the
+    // .prev image plus the tail always covers the chain (see header).
+    if (const auto dropped = bm.compact_journal(prev_upto)) {
+      stats_.journal_dropped += *dropped;
+    }
+  }
+  latest_ = std::move(image);
+  ++stats_.taken;
+  return true;
+}
+
+bool CheckpointManager::adopt(InstanceId upto, Bytes bytes) {
+  if (latest_ && upto <= latest_->upto) return false;
+  CheckpointImage image =
+      CheckpointImage::from_bytes(upto, std::move(bytes), config_.chunk_size);
+  if (!config_.path.empty() && !write_disk(image)) {
+    ++stats_.disk_failures;
+    return false;
+  }
+  latest_ = std::move(image);
+  ++stats_.taken;
+  return true;
+}
+
+bool CheckpointManager::write_disk(const CheckpointImage& image) {
+  Writer w;
+  w.u32(kCheckpointMagic);
+  w.u32(kCheckpointVersion);
+  w.u64(image.upto);
+  w.u32(chain::crc32(BytesView(image.bytes.data(), image.bytes.size())));
+  w.varint(image.bytes.size());
+  w.raw(BytesView(image.bytes.data(), image.bytes.size()));
+  const Bytes file = w.take();
+
+  const std::string tmp = config_.path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool written =
+      std::fwrite(file.data(), 1, file.size(), f) == file.size() &&
+      std::fflush(f) == 0;
+  std::fclose(f);
+  if (!written) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  // Rotate: latest -> .prev, tmp -> latest. A failed rotate of the old
+  // file is tolerable (we lose the fallback, not the checkpoint).
+  (void)std::rename(config_.path.c_str(), (config_.path + ".prev").c_str());
+  if (std::rename(tmp.c_str(), config_.path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+std::optional<CheckpointImage> CheckpointManager::read_file(
+    const std::string& path, std::size_t chunk_size) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return std::nullopt;
+  Bytes file;
+  std::uint8_t buf[1 << 16];
+  for (;;) {
+    const std::size_t got = std::fread(buf, 1, sizeof buf, f);
+    file.insert(file.end(), buf, buf + got);
+    if (got < sizeof buf) break;
+  }
+  std::fclose(f);
+
+  try {
+    Reader r(BytesView(file.data(), file.size()));
+    if (r.u32() != kCheckpointMagic) return std::nullopt;
+    if (r.u32() != kCheckpointVersion) return std::nullopt;
+    const InstanceId upto = r.u64();
+    const std::uint32_t crc = r.u32();
+    const std::uint64_t len = r.varint();
+    if (len > kMaxImageBytes || len > r.remaining()) return std::nullopt;
+    Bytes bytes = r.raw(static_cast<std::size_t>(len));
+    r.expect_done();
+    if (chain::crc32(BytesView(bytes.data(), bytes.size())) != crc) {
+      return std::nullopt;
+    }
+    // The snapshot must decode (it is what restore() will consume).
+    (void)Snapshot::decode(BytesView(bytes.data(), bytes.size()));
+    return CheckpointImage::from_bytes(upto, std::move(bytes), chunk_size);
+  } catch (const DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<Snapshot> CheckpointManager::load_disk() {
+  if (config_.path.empty()) return std::nullopt;
+  auto image = read_file(config_.path, config_.chunk_size);
+  if (!image) image = read_file(config_.path + ".prev", config_.chunk_size);
+  if (!image) return std::nullopt;
+  Snapshot snap =
+      Snapshot::decode(BytesView(image->bytes.data(), image->bytes.size()));
+  latest_ = std::move(*image);
+  return snap;
+}
+
+}  // namespace zlb::sync

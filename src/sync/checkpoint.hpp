@@ -1,0 +1,108 @@
+// Checkpointing: every K decided instances the replica snapshots its
+// Blockchain-Manager state, chunks the canonical bytes, merkleizes the
+// chunks, optionally persists the image beside the journal, and
+// compacts the journal so restart cost is O(K) instead of O(chain).
+//
+// Durability layout (when `path` is set):
+//   <path>       latest checkpoint (atomic write-temp + rename)
+//   <path>.prev  the one before it
+// The journal is only compacted up to the PREVIOUS checkpoint's
+// watermark: if the latest file is torn or corrupt, <path>.prev plus
+// the journal tail still covers the whole chain — one interval of extra
+// replay buys tolerance to a crash mid-checkpoint.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "bm/block_manager.hpp"
+#include "sync/snapshot.hpp"
+
+namespace zlb::sync {
+
+struct CheckpointConfig {
+  /// On-disk image path ("" = memory-only: still serves state transfer,
+  /// but restart replays the whole journal and nothing is compacted).
+  std::string path;
+  /// Decided instances between checkpoints (0 disables the trigger;
+  /// take() still works for on-demand snapshots).
+  std::uint64_t interval = 0;
+  /// Transfer/merkle chunk granularity.
+  std::size_t chunk_size = 64 * 1024;
+};
+
+/// A materialized checkpoint: canonical snapshot bytes plus the chunk
+/// merkle tree a joiner verifies transfers against.
+struct CheckpointImage {
+  InstanceId upto = 0;
+  std::size_t chunk_size = 0;
+  Bytes bytes;
+  crypto::MerkleTree tree;
+
+  [[nodiscard]] std::uint32_t chunks() const {
+    return chunk_count(bytes.size(), chunk_size);
+  }
+  [[nodiscard]] BytesView chunk(std::uint32_t index) const {
+    return chunk_view(BytesView(bytes.data(), bytes.size()), index,
+                      chunk_size);
+  }
+  [[nodiscard]] const crypto::Hash32& root() const { return tree.root(); }
+
+  [[nodiscard]] static CheckpointImage from_bytes(InstanceId upto,
+                                                  Bytes bytes,
+                                                  std::size_t chunk_size);
+};
+
+struct CheckpointStats {
+  std::uint64_t taken = 0;            ///< checkpoints materialized
+  std::uint64_t journal_dropped = 0;  ///< journal records compacted away
+  std::uint64_t disk_failures = 0;    ///< failed writes (kept serving)
+};
+
+class CheckpointManager {
+ public:
+  explicit CheckpointManager(CheckpointConfig config)
+      : config_(std::move(config)) {}
+
+  /// Interval trigger: takes a checkpoint when `floor` (the contiguous
+  /// decided-instance watermark) advanced at least `interval` past the
+  /// last one. Returns true iff a new checkpoint was taken.
+  bool on_decided(bm::BlockManager& bm, InstanceId floor);
+
+  /// Unconditional checkpoint at `floor` (skipped if not ahead of the
+  /// current watermark).
+  bool take(bm::BlockManager& bm, InstanceId floor);
+
+  /// Adopts an externally obtained image (a snapshot installed from a
+  /// peer transfer) as the latest checkpoint, persisting it when a
+  /// path is configured — without this, a journaled joiner's disk
+  /// would hold only the post-watermark tail and a restart would
+  /// silently rebuild the wrong state. No journal compaction (there is
+  /// nothing below the watermark to drop). Skipped if not ahead.
+  bool adopt(InstanceId upto, Bytes bytes);
+
+  /// Startup: loads and verifies the on-disk image (falling back to
+  /// <path>.prev when the latest is damaged), installs it as latest()
+  /// and returns the decoded snapshot for BlockManager::restore().
+  [[nodiscard]] std::optional<Snapshot> load_disk();
+
+  [[nodiscard]] const CheckpointImage* latest() const {
+    return latest_ ? &*latest_ : nullptr;
+  }
+  [[nodiscard]] InstanceId watermark() const {
+    return latest_ ? latest_->upto : 0;
+  }
+  [[nodiscard]] const CheckpointConfig& config() const { return config_; }
+  [[nodiscard]] const CheckpointStats& stats() const { return stats_; }
+
+ private:
+  [[nodiscard]] bool write_disk(const CheckpointImage& image);
+  [[nodiscard]] static std::optional<CheckpointImage> read_file(
+      const std::string& path, std::size_t chunk_size);
+
+  CheckpointConfig config_;
+  std::optional<CheckpointImage> latest_;
+  CheckpointStats stats_;
+};
+
+}  // namespace zlb::sync

@@ -1,0 +1,126 @@
+#include "sync/fetcher.hpp"
+
+#include <algorithm>
+
+namespace zlb::sync {
+
+bool SnapshotFetcher::consider(ReplicaId from, const SnapshotManifest& m,
+                               InstanceId my_floor) {
+  if (!m.plausible()) return false;
+  if (m.upto < my_floor + config_.min_lag) return false;
+  if (active_) {
+    const bool fresher = m.upto > manifest_.upto;
+    const bool given_up = retry_rounds_ >= config_.max_retry_rounds;
+    // Same image from the same source: nothing to change. A fresher
+    // image is always worth restarting for; the same (or an older-but-
+    // acceptable) image from elsewhere only once this source stalled
+    // out — chunks verify against the root, so switching is safe.
+    if (!fresher && !(given_up && from != source_)) return false;
+  }
+  active_ = true;
+  source_ = from;
+  manifest_ = m;
+  buffer_.assign(static_cast<std::size_t>(m.total_bytes), 0);
+  have_.assign(m.chunk_count, 0);
+  requested_.assign(m.chunk_count, 0);
+  have_count_ = 0;
+  outstanding_ = 0;
+  ticks_since_progress_ = 0;
+  retry_rounds_ = 0;
+  ++stats_.manifests_adopted;
+  fill_window();
+  return true;
+}
+
+void SnapshotFetcher::fill_window() {
+  // Lowest-index chunks that are neither received nor in flight,
+  // coalesced into contiguous ranges, until `window` are outstanding.
+  std::uint32_t budget =
+      config_.window > outstanding_ ? config_.window - outstanding_ : 0;
+  std::uint32_t i = 0;
+  while (i < manifest_.chunk_count && budget > 0) {
+    if (have_[i] != 0 || requested_[i] != 0) {
+      ++i;
+      continue;
+    }
+    std::uint32_t end = i;
+    while (end < manifest_.chunk_count && have_[end] == 0 &&
+           requested_[end] == 0 && end - i < budget) {
+      requested_[end] = 1;
+      ++end;
+    }
+    ChunkRequest req;
+    req.upto = manifest_.upto;
+    req.first = i;
+    req.count = end - i;
+    request_(source_, req);
+    outstanding_ += req.count;
+    budget -= req.count;
+    i = end;
+  }
+}
+
+std::optional<Bytes> SnapshotFetcher::on_chunk(ReplicaId /*from*/,
+                                               const SnapshotChunk& chunk) {
+  // Chunks are validated against the adopted manifest, not the sender:
+  // any peer holding the same image may serve it.
+  if (!active_ || chunk.upto != manifest_.upto) return std::nullopt;
+  if (chunk.index >= manifest_.chunk_count) {
+    ++stats_.chunks_rejected;
+    return std::nullopt;
+  }
+  const std::size_t begin =
+      static_cast<std::size_t>(chunk.index) * manifest_.chunk_size;
+  const std::size_t expect =
+      std::min<std::size_t>(manifest_.chunk_size, buffer_.size() - begin);
+  if (chunk.data.size() != expect) {
+    ++stats_.chunks_rejected;
+    return std::nullopt;
+  }
+  const crypto::Hash32 leaf =
+      crypto::merkle_leaf(BytesView(chunk.data.data(), chunk.data.size()));
+  if (!crypto::MerkleTree::verify(manifest_.root, chunk.index,
+                                  manifest_.chunk_count, leaf, chunk.proof)) {
+    ++stats_.chunks_rejected;
+    return std::nullopt;
+  }
+  if (have_[chunk.index] != 0) return std::nullopt;  // duplicate
+  std::copy(chunk.data.begin(), chunk.data.end(), buffer_.begin() + begin);
+  have_[chunk.index] = 1;
+  ++have_count_;
+  if (requested_[chunk.index] != 0 && outstanding_ > 0) --outstanding_;
+  ++stats_.chunks_received;
+  ticks_since_progress_ = 0;
+  retry_rounds_ = 0;
+  if (have_count_ < manifest_.chunk_count) {
+    fill_window();
+    return std::nullopt;
+  }
+  ++stats_.completed;
+  active_ = false;
+  return std::move(buffer_);
+}
+
+void SnapshotFetcher::tick() {
+  if (!active_) return;
+  if (++ticks_since_progress_ < config_.stall_ticks) return;
+  ticks_since_progress_ = 0;
+  ++retry_rounds_;
+  ++stats_.retry_rounds;
+  // Everything in flight is presumed lost with the stalled connection:
+  // forget the requested marks and ask again from the lowest gap.
+  std::fill(requested_.begin(), requested_.end(), std::uint8_t{0});
+  outstanding_ = 0;
+  fill_window();
+}
+
+void SnapshotFetcher::abandon() {
+  active_ = false;
+  buffer_.clear();
+  have_.clear();
+  requested_.clear();
+  have_count_ = 0;
+  outstanding_ = 0;
+}
+
+}  // namespace zlb::sync

@@ -1,0 +1,93 @@
+// Client side of the chunked state transfer: a transport-agnostic
+// state machine that adopts a (signature-verified) manifest, pulls the
+// image with a bounded window of outstanding chunk requests, verifies
+// every chunk's merkle audit path against the manifest root, survives
+// connection churn by re-requesting whatever is still missing on the
+// caller's resync cadence, and can retarget to a fresher manifest or
+// switch sources when the current one stalls. The caller owns signature
+// verification (the fetcher never sees the scheme) and the install step
+// (decode + BlockManager::restore).
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "sync/frames.hpp"
+
+namespace zlb::sync {
+
+struct FetchStats {
+  std::uint64_t manifests_adopted = 0;
+  std::uint64_t chunks_received = 0;   ///< verified and new
+  std::uint64_t chunks_rejected = 0;   ///< bad proof / geometry / stale
+  std::uint64_t retry_rounds = 0;      ///< stall-triggered re-requests
+  std::uint64_t completed = 0;         ///< images fully assembled
+};
+
+class SnapshotFetcher {
+ public:
+  struct Config {
+    /// Outstanding chunk-request window.
+    std::uint32_t window = 16;
+    /// tick() calls without progress before the window is re-requested
+    /// (resume-after-churn).
+    int stall_ticks = 4;
+    /// Give up on the current source after this many stalled retry
+    /// rounds; the next acceptable manifest (any source) is adopted.
+    int max_retry_rounds = 8;
+    /// Only fetch when the manifest is at least this far ahead of the
+    /// caller's decision floor — below that, wire replay of the tail is
+    /// cheaper than a state transfer.
+    std::uint64_t min_lag = 2;
+  };
+
+  /// Sends one ChunkRequest to `to` (the adopted manifest's server).
+  using RequestFn = std::function<void(ReplicaId to, const ChunkRequest&)>;
+
+  SnapshotFetcher(Config config, RequestFn request)
+      : config_(config), request_(std::move(request)) {}
+
+  /// Offers a verified manifest. Adopts it (and starts requesting) when
+  /// it is worth a transfer; returns true iff adopted.
+  bool consider(ReplicaId from, const SnapshotManifest& manifest,
+                InstanceId my_floor);
+
+  /// Feeds one received chunk. Returns the fully assembled, merkle-
+  /// verified image bytes when this chunk completes the transfer (the
+  /// fetcher then goes idle); nullopt otherwise.
+  [[nodiscard]] std::optional<Bytes> on_chunk(ReplicaId from,
+                                              const SnapshotChunk& chunk);
+
+  /// Drives retries; call on the owner's resync cadence.
+  void tick();
+
+  void abandon();
+  [[nodiscard]] bool active() const { return active_; }
+  [[nodiscard]] InstanceId target() const { return manifest_.upto; }
+  [[nodiscard]] ReplicaId source() const { return source_; }
+  [[nodiscard]] std::uint32_t have() const { return have_count_; }
+  [[nodiscard]] const FetchStats& stats() const { return stats_; }
+
+ private:
+  /// Requests not-yet-requested missing chunks until `window` are
+  /// outstanding. Loss is healed by the stall path in tick(), which
+  /// clears the requested marks first — so a chunk is asked for once
+  /// per round, not once per sibling arrival.
+  void fill_window();
+
+  Config config_;
+  RequestFn request_;
+  bool active_ = false;
+  ReplicaId source_ = 0;
+  SnapshotManifest manifest_;
+  Bytes buffer_;
+  std::vector<std::uint8_t> have_;
+  std::vector<std::uint8_t> requested_;
+  std::uint32_t have_count_ = 0;
+  std::uint32_t outstanding_ = 0;
+  int ticks_since_progress_ = 0;
+  int retry_rounds_ = 0;
+  FetchStats stats_;
+};
+
+}  // namespace zlb::sync

@@ -1,0 +1,141 @@
+#include "sync/frames.hpp"
+
+#include <algorithm>
+
+#include "consensus/messages.hpp"
+#include "net/frame.hpp"
+
+namespace zlb::sync {
+
+namespace {
+
+// Protocol sanity bounds: a manifest describing more chunks, a bigger
+// image or a deeper proof than these is a corrupt or hostile frame, not
+// a plausible checkpoint.
+constexpr std::uint32_t kMaxChunks = 1u << 20;
+constexpr std::uint64_t kMaxImageBytes = 1u << 30;
+constexpr std::size_t kMaxProofDepth = 40;  // covers 2^40 leaves
+
+crypto::Hash32 read_hash(Reader& r) {
+  crypto::Hash32 h;
+  const Bytes raw = r.raw(32);
+  std::copy(raw.begin(), raw.end(), h.begin());
+  return h;
+}
+
+}  // namespace
+
+bool SnapshotManifest::plausible() const {
+  if (chunk_size == 0 || chunk_count == 0) return false;
+  if (chunk_count > kMaxChunks || total_bytes > kMaxImageBytes) return false;
+  // chunk_count must be exactly ceil(total_bytes / chunk_size), with
+  // one (empty) chunk for an empty image.
+  const std::uint64_t expect =
+      total_bytes == 0
+          ? 1
+          : (total_bytes + chunk_size - 1) / chunk_size;
+  return chunk_count == expect;
+}
+
+Bytes SnapshotManifest::signing_bytes() const {
+  Writer w;
+  w.string("zlb-snapshot-manifest");
+  w.u32(server);
+  w.u64(upto);
+  w.u32(chunk_size);
+  w.u32(chunk_count);
+  w.u64(total_bytes);
+  w.raw(BytesView(root.data(), root.size()));
+  return w.take();
+}
+
+void SnapshotManifest::encode(Writer& w) const {
+  w.u32(server);
+  w.u64(upto);
+  w.u32(chunk_size);
+  w.u32(chunk_count);
+  w.u64(total_bytes);
+  w.raw(BytesView(root.data(), root.size()));
+  w.bytes(BytesView(signature.data(), signature.size()));
+}
+
+SnapshotManifest SnapshotManifest::decode(Reader& r) {
+  SnapshotManifest m;
+  m.server = r.u32();
+  m.upto = r.u64();
+  m.chunk_size = r.u32();
+  m.chunk_count = r.u32();
+  m.total_bytes = r.u64();
+  m.root = read_hash(r);
+  m.signature = r.bytes();
+  if (!m.plausible()) throw DecodeError("manifest: implausible geometry");
+  if (m.signature.size() > 512) throw DecodeError("manifest: oversized sig");
+  return m;
+}
+
+void ChunkRequest::encode(Writer& w) const {
+  w.u64(upto);
+  w.u32(first);
+  w.u32(count);
+}
+
+ChunkRequest ChunkRequest::decode(Reader& r) {
+  ChunkRequest req;
+  req.upto = r.u64();
+  req.first = r.u32();
+  req.count = r.u32();
+  if (req.count > kMaxChunks || req.first > kMaxChunks) {
+    throw DecodeError("chunk request: absurd range");
+  }
+  return req;
+}
+
+void SnapshotChunk::encode(Writer& w) const {
+  w.u64(upto);
+  w.u32(index);
+  w.bytes(BytesView(data.data(), data.size()));
+  w.varint(proof.size());
+  for (const auto& h : proof) w.raw(BytesView(h.data(), h.size()));
+}
+
+SnapshotChunk SnapshotChunk::decode(Reader& r) {
+  SnapshotChunk c;
+  c.upto = r.u64();
+  c.index = r.u32();
+  if (c.index > kMaxChunks) throw DecodeError("chunk: absurd index");
+  c.data = r.bytes();
+  if (c.data.size() > net::kMaxFrameBytes) {
+    throw DecodeError("chunk: oversized data");
+  }
+  const std::uint64_t n = r.varint();
+  if (n > kMaxProofDepth || n * 32 > r.remaining()) {
+    throw DecodeError("chunk: absurd proof");
+  }
+  c.proof.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) c.proof.push_back(read_hash(r));
+  return c;
+}
+
+namespace {
+template <typename T>
+Bytes tagged(consensus::MsgTag tag, const T& body) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(tag));
+  body.encode(w);
+  return w.take();
+}
+}  // namespace
+
+Bytes encode_manifest_msg(const SnapshotManifest& m) {
+  return tagged(consensus::MsgTag::kSnapshotManifest, m);
+}
+
+Bytes encode_chunk_request_msg(const ChunkRequest& req) {
+  return tagged(consensus::MsgTag::kSnapshotChunkReq, req);
+}
+
+Bytes encode_chunk_msg(const SnapshotChunk& c) {
+  return tagged(consensus::MsgTag::kSnapshotChunk, c);
+}
+
+}  // namespace zlb::sync

@@ -1,0 +1,66 @@
+// Wire messages of the chunked state-transfer protocol (live TCP
+// deployment). A replica serving a checkpoint advertises it with a
+// signed manifest; a lagging replica pulls the image chunk by chunk and
+// verifies every chunk's merkle audit path against the manifest root
+// before a single byte is applied — so a transfer can resume across
+// connection churn and mix sources without trusting the stream.
+// MsgTag values live in consensus/messages.hpp with the rest of the
+// protocol tags.
+#pragma once
+
+#include <vector>
+
+#include "common/serde.hpp"
+#include "common/types.hpp"
+#include "crypto/merkle.hpp"
+
+namespace zlb::sync {
+
+/// Advertises the sender's latest checkpoint. Signed (domain-separated)
+/// so a forged manifest cannot make a joiner assemble garbage — chunks
+/// verify against `root`, and `root` is covered by the signature.
+struct SnapshotManifest {
+  ReplicaId server = 0;
+  InstanceId upto = 0;
+  std::uint32_t chunk_size = 0;
+  std::uint32_t chunk_count = 0;
+  std::uint64_t total_bytes = 0;
+  crypto::Hash32 root{};
+  Bytes signature;
+
+  [[nodiscard]] Bytes signing_bytes() const;
+  void encode(Writer& w) const;
+  [[nodiscard]] static SnapshotManifest decode(Reader& r);
+  /// Internal consistency of the chunk geometry (decode() enforces it;
+  /// exposed for fetcher re-checks).
+  [[nodiscard]] bool plausible() const;
+};
+
+/// Pulls chunks [first, first+count) of the checkpoint at `upto`.
+struct ChunkRequest {
+  InstanceId upto = 0;
+  std::uint32_t first = 0;
+  std::uint32_t count = 0;
+
+  void encode(Writer& w) const;
+  [[nodiscard]] static ChunkRequest decode(Reader& r);
+};
+
+/// One verified unit of transfer: chunk bytes plus the merkle audit
+/// path from merkle_leaf(data) to the manifest root.
+struct SnapshotChunk {
+  InstanceId upto = 0;
+  std::uint32_t index = 0;
+  Bytes data;
+  std::vector<crypto::Hash32> proof;
+
+  void encode(Writer& w) const;
+  [[nodiscard]] static SnapshotChunk decode(Reader& r);
+};
+
+/// Tag + body helpers (mirrors consensus/messages.hpp).
+[[nodiscard]] Bytes encode_manifest_msg(const SnapshotManifest& m);
+[[nodiscard]] Bytes encode_chunk_request_msg(const ChunkRequest& req);
+[[nodiscard]] Bytes encode_chunk_msg(const SnapshotChunk& c);
+
+}  // namespace zlb::sync

@@ -1,0 +1,191 @@
+#include "sync/snapshot.hpp"
+
+#include <algorithm>
+
+#include "common/serde.hpp"
+
+namespace zlb::sync {
+
+namespace {
+
+constexpr std::uint32_t kSnapshotMagic = 0x5a4c4253;  // "ZLBS"
+
+void put_outpoint(Writer& w, const chain::OutPoint& op) {
+  w.raw(BytesView(op.txid.data(), op.txid.size()));
+  w.u32(op.index);
+}
+
+chain::OutPoint get_outpoint(Reader& r) {
+  chain::OutPoint op;
+  const Bytes txid = r.raw(32);
+  std::copy(txid.begin(), txid.end(), op.txid.begin());
+  op.index = r.u32();
+  return op;
+}
+
+chain::Address get_address(Reader& r) {
+  chain::Address a;
+  const Bytes raw = r.raw(20);
+  std::copy(raw.begin(), raw.end(), a.data.begin());
+  return a;
+}
+
+/// Guards a section count against length-prefix abuse: each entry needs
+/// at least `min_entry_bytes` more input, so a count the remaining
+/// buffer cannot possibly satisfy is rejected before any allocation.
+std::size_t checked_count(Reader& r, std::size_t min_entry_bytes,
+                          const char* what) {
+  const std::uint64_t n = r.varint();
+  if (n > r.remaining() / min_entry_bytes) {
+    throw DecodeError(std::string("snapshot: absurd count in ") + what);
+  }
+  return static_cast<std::size_t>(n);
+}
+
+template <typename T, typename Less>
+void expect_sorted(const std::vector<T>& v, Less less, const char* what) {
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    if (!less(v[i - 1], v[i])) {
+      throw DecodeError(std::string("snapshot: unsorted ") + what);
+    }
+  }
+}
+
+}  // namespace
+
+Bytes Snapshot::encode() const {
+  Writer w;
+  w.u32(kSnapshotMagic);
+  w.u32(kVersion);
+  w.u64(upto);
+  w.u64(mint_counter);
+  w.i64(deposit);
+  w.varint(utxos.size());
+  for (const auto& [op, out] : utxos) {
+    put_outpoint(w, op);
+    w.i64(out.value);
+    w.raw(BytesView(out.to.data.data(), out.to.data.size()));
+  }
+  w.varint(ever_values.size());
+  for (const auto& [op, value] : ever_values) {
+    put_outpoint(w, op);
+    w.i64(value);
+  }
+  w.varint(known_txs.size());
+  for (const auto& id : known_txs) {
+    w.raw(BytesView(id.data(), id.size()));
+  }
+  w.varint(inputs_deposit.size());
+  for (const auto& [op, value] : inputs_deposit) {
+    put_outpoint(w, op);
+    w.i64(value);
+  }
+  w.varint(punished.size());
+  for (const auto& a : punished) {
+    w.raw(BytesView(a.data.data(), a.data.size()));
+  }
+  return w.take();
+}
+
+Snapshot Snapshot::decode(BytesView data) {
+  Reader r(data);
+  if (r.u32() != kSnapshotMagic) throw DecodeError("snapshot: bad magic");
+  if (r.u32() != kVersion) throw DecodeError("snapshot: bad version");
+  Snapshot s;
+  s.upto = r.u64();
+  s.mint_counter = r.u64();
+  s.deposit = r.i64();
+
+  const std::size_t n_utxo = checked_count(r, 36 + 8 + 20, "utxos");
+  s.utxos.reserve(n_utxo);
+  for (std::size_t i = 0; i < n_utxo; ++i) {
+    const chain::OutPoint op = get_outpoint(r);
+    chain::TxOut out;
+    out.value = r.i64();
+    out.to = get_address(r);
+    s.utxos.emplace_back(op, out);
+  }
+  const std::size_t n_ever = checked_count(r, 36 + 8, "ever_values");
+  s.ever_values.reserve(n_ever);
+  for (std::size_t i = 0; i < n_ever; ++i) {
+    const chain::OutPoint op = get_outpoint(r);
+    const chain::Amount v = r.i64();
+    s.ever_values.emplace_back(op, v);
+  }
+  const std::size_t n_txs = checked_count(r, 32, "known_txs");
+  s.known_txs.reserve(n_txs);
+  for (std::size_t i = 0; i < n_txs; ++i) {
+    chain::TxId id;
+    const Bytes raw = r.raw(32);
+    std::copy(raw.begin(), raw.end(), id.begin());
+    s.known_txs.push_back(id);
+  }
+  const std::size_t n_dep = checked_count(r, 36 + 8, "inputs_deposit");
+  s.inputs_deposit.reserve(n_dep);
+  for (std::size_t i = 0; i < n_dep; ++i) {
+    const chain::OutPoint op = get_outpoint(r);
+    const chain::Amount v = r.i64();
+    s.inputs_deposit.emplace_back(op, v);
+  }
+  const std::size_t n_pun = checked_count(r, 20, "punished");
+  s.punished.reserve(n_pun);
+  for (std::size_t i = 0; i < n_pun; ++i) {
+    s.punished.push_back(get_address(r));
+  }
+  r.expect_done();
+
+  // Canonical form: strictly ascending sections (also bans duplicates).
+  const auto by_op = [](const auto& a, const auto& b) {
+    return a.first < b.first;
+  };
+  expect_sorted(s.utxos, by_op, "utxos");
+  expect_sorted(s.ever_values, by_op, "ever_values");
+  expect_sorted(s.known_txs,
+                [](const chain::TxId& a, const chain::TxId& b) { return a < b; },
+                "known_txs");
+  expect_sorted(s.inputs_deposit, by_op, "inputs_deposit");
+  expect_sorted(
+      s.punished,
+      [](const chain::Address& a, const chain::Address& b) { return a < b; },
+      "punished");
+  return s;
+}
+
+crypto::Hash32 Snapshot::state_digest() const {
+  // Hash the canonical bytes with the watermark zeroed: the watermark
+  // is positional metadata, not ledger state. The upto field occupies
+  // bytes [8, 16) of the encoding (after the u32 magic and u32
+  // version), so it is zeroed in place rather than deep-copying the
+  // whole snapshot.
+  Bytes bytes = encode();
+  std::fill(bytes.begin() + 8, bytes.begin() + 16, std::uint8_t{0});
+  return crypto::sha256(BytesView(bytes.data(), bytes.size()));
+}
+
+std::uint32_t chunk_count(std::size_t total_bytes, std::size_t chunk_size) {
+  if (chunk_size == 0) return 0;
+  if (total_bytes == 0) return 1;
+  return static_cast<std::uint32_t>((total_bytes + chunk_size - 1) /
+                                    chunk_size);
+}
+
+BytesView chunk_view(BytesView bytes, std::uint32_t index,
+                     std::size_t chunk_size) {
+  const std::size_t begin = static_cast<std::size_t>(index) * chunk_size;
+  if (begin >= bytes.size()) return BytesView();
+  const std::size_t len = std::min(chunk_size, bytes.size() - begin);
+  return bytes.subspan(begin, len);
+}
+
+std::vector<crypto::Hash32> chunk_leaves(BytesView bytes,
+                                         std::size_t chunk_size) {
+  const std::uint32_t n = chunk_count(bytes.size(), chunk_size);
+  std::vector<crypto::Hash32> leaves;
+  leaves.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    leaves.push_back(crypto::merkle_leaf(chunk_view(bytes, i, chunk_size)));
+  }
+  return leaves;
+}
+
+}  // namespace zlb::sync

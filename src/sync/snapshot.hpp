@@ -1,0 +1,72 @@
+// Deterministic, merkleizable snapshot of chain state: the UTXO set and
+// the Blockchain-Manager ledger bookkeeping (known transactions,
+// deposit, inputs-deposit, punished accounts) up to a consensus-instance
+// watermark. The canonical codec sorts every section and the decoder
+// rejects anything unsorted, so one state has exactly one byte string —
+// which is what makes the state digest and the chunk merkle root
+// meaningful across replicas. A joiner that installs a snapshot and
+// replays the post-watermark block tail converges to the same state as
+// a replica that executed the whole chain (transaction application is
+// deduplicated by txid, so tail overlap is harmless).
+#pragma once
+
+#include "chain/tx.hpp"
+#include "common/types.hpp"
+#include "crypto/merkle.hpp"
+
+namespace zlb::sync {
+
+struct Snapshot {
+  static constexpr std::uint32_t kVersion = 1;
+
+  /// Watermark: every block decided at an instance below this is
+  /// reflected in the state sections.
+  InstanceId upto = 0;
+
+  std::uint64_t mint_counter = 0;
+  chain::Amount deposit = 0;
+  /// Live unspent outputs, sorted by outpoint.
+  std::vector<std::pair<chain::OutPoint, chain::TxOut>> utxos;
+  /// Value of every output ever created (live or spent), sorted by
+  /// outpoint — the Blockchain Manager prices conflicting inputs from
+  /// this archive (Alg. 2 line 22).
+  std::vector<std::pair<chain::OutPoint, chain::Amount>> ever_values;
+  /// Ids of every committed transaction, sorted.
+  std::vector<chain::TxId> known_txs;
+  /// Ω.inputs-deposit: inputs funded from the deposit, sorted.
+  std::vector<std::pair<chain::OutPoint, chain::Amount>> inputs_deposit;
+  /// Punished accounts, sorted.
+  std::vector<chain::Address> punished;
+
+  /// Canonical encoding (header + sorted sections). The producer must
+  /// hand over sorted sections; encode() does not re-sort.
+  [[nodiscard]] Bytes encode() const;
+  /// Strict decode: throws DecodeError on truncation, trailing bytes,
+  /// unsorted or duplicate entries, or absurd section counts.
+  [[nodiscard]] static Snapshot decode(BytesView data);
+
+  /// Digest over the state sections only (everything except `upto`), so
+  /// replicas at different chain positions with identical ledgers
+  /// compare equal.
+  [[nodiscard]] crypto::Hash32 state_digest() const;
+
+  friend bool operator==(const Snapshot& a, const Snapshot& b) {
+    return a.upto == b.upto && a.mint_counter == b.mint_counter &&
+           a.deposit == b.deposit && a.utxos == b.utxos &&
+           a.ever_values == b.ever_values && a.known_txs == b.known_txs &&
+           a.inputs_deposit == b.inputs_deposit && a.punished == b.punished;
+  }
+};
+
+/// Fixed-size chunking of an encoded snapshot. Every snapshot has at
+/// least one chunk (an empty byte string still transfers one empty
+/// chunk), so the merkle tree is never empty.
+[[nodiscard]] std::uint32_t chunk_count(std::size_t total_bytes,
+                                        std::size_t chunk_size);
+[[nodiscard]] BytesView chunk_view(BytesView bytes, std::uint32_t index,
+                                   std::size_t chunk_size);
+/// merkle_leaf() of every chunk, in order.
+[[nodiscard]] std::vector<crypto::Hash32> chunk_leaves(BytesView bytes,
+                                                       std::size_t chunk_size);
+
+}  // namespace zlb::sync

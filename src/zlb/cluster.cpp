@@ -258,6 +258,7 @@ ClusterReport Cluster::report() const {
     if (m.activation_time >= 0) {
       last_activation = std::max(last_activation, m.activation_time);
     }
+    if (m.snapshot_installed) rep.snapshot_catchups += 1;
   }
   if (last_activation >= 0 && include_min >= 0) {
     rep.catchup_time = std::max<SimTime>(0, last_activation - include_min);

@@ -47,6 +47,9 @@ struct ClusterReport {
   SimTime catchup_time = -1;            ///< inclusion -> last activation
   std::size_t excluded = 0;
   std::size_t included = 0;
+  /// Pool replicas that joined through a real state-snapshot catch-up
+  /// (functional mode with replica.checkpoint_interval configured).
+  std::size_t snapshot_catchups = 0;
   bool recovered = false;
 };
 

@@ -1,0 +1,201 @@
+// CheckpointManager: interval-grid triggering, atomic on-disk images
+// with the .prev fallback, journal compaction lagging one checkpoint,
+// and the crash-recovery contract — restart from snapshot + journal
+// tail is bit-identical to an uninterrupted replica and replays only
+// the post-checkpoint tail (asserted via ReplayStats).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "chain/wallet.hpp"
+#include "sync/checkpoint.hpp"
+
+namespace zlb::sync {
+namespace {
+
+class CheckpointFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_ = (std::filesystem::temp_directory_path() /
+             ("zlb-ckpt-" + std::to_string(::getpid()) + "-" +
+              ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+                .string();
+    journal_ = base_ + ".wal";
+    ckpt_ = base_ + ".ckpt";
+    for (const auto& p :
+         {journal_, ckpt_, ckpt_ + ".prev", ckpt_ + ".tmp"}) {
+      std::remove(p.c_str());
+    }
+  }
+  void TearDown() override {
+    for (const auto& p :
+         {journal_, ckpt_, ckpt_ + ".prev", ckpt_ + ".tmp"}) {
+      std::remove(p.c_str());
+    }
+  }
+
+  /// One block per instance: alice pays bob 1 coin from a fresh mint
+  /// (every block is valid against the running UTXO set).
+  chain::Block make_block(bm::BlockManager& bm, InstanceId index) {
+    chain::Block b;
+    b.index = index;
+    const auto tx = alice_.pay(bm.utxos(), bob_.address(), 1);
+    if (tx) b.txs.push_back(*tx);
+    return b;
+  }
+
+  std::string base_, journal_, ckpt_;
+  chain::Wallet alice_{to_bytes("alice")};
+  chain::Wallet bob_{to_bytes("bob")};
+};
+
+TEST_F(CheckpointFixture, IntervalSnapsToGrid) {
+  bm::BlockManager bm;
+  bm.utxos().mint(alice_.address(), 1000);
+  CheckpointManager mgr(CheckpointConfig{"", 10, 64});
+  EXPECT_FALSE(mgr.on_decided(bm, 9));
+  EXPECT_TRUE(mgr.on_decided(bm, 10));
+  EXPECT_EQ(mgr.watermark(), 10u);
+  EXPECT_FALSE(mgr.on_decided(bm, 19));
+  // A floor that jumped several intervals lands on the grid, not on
+  // the raw floor.
+  EXPECT_TRUE(mgr.on_decided(bm, 37));
+  EXPECT_EQ(mgr.watermark(), 30u);
+  EXPECT_EQ(mgr.stats().taken, 2u);
+  ASSERT_NE(mgr.latest(), nullptr);
+  EXPECT_GT(mgr.latest()->chunks(), 0u);
+}
+
+TEST_F(CheckpointFixture, DiskRoundtripAndJournalCompaction) {
+  crypto::Hash32 digest_before{};
+  {
+    bm::BlockManager bm;
+    bm.utxos().mint(alice_.address(), 1000);
+    ASSERT_TRUE(bm.open_journal(journal_).has_value());
+    CheckpointManager mgr(CheckpointConfig{ckpt_, 10, 128});
+    for (InstanceId k = 0; k < 25; ++k) {
+      bm.commit_block(make_block(bm, k));
+      (void)mgr.on_decided(bm, k + 1);
+    }
+    EXPECT_EQ(mgr.watermark(), 20u);
+    // Compaction lags one checkpoint: at the wm=20 checkpoint the
+    // journal dropped records below wm=10 (the .prev watermark).
+    EXPECT_GT(mgr.stats().journal_dropped, 0u);
+    digest_before = bm.state_digest();
+  }
+
+  // Second life: checkpoint restore + tail replay.
+  bm::BlockManager bm;
+  CheckpointManager mgr(CheckpointConfig{ckpt_, 10, 128});
+  const auto snap = mgr.load_disk();
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->upto, 20u);
+  bm.restore(*snap);
+  const auto stats = bm.open_journal(journal_);
+  ASSERT_TRUE(stats.has_value());
+  // Only the tail: blocks 10..24 (compaction floor was the .prev
+  // watermark 10), far fewer than the 25 of a full replay.
+  EXPECT_EQ(stats->blocks, 15u);
+  EXPECT_EQ(bm.state_digest(), digest_before);
+  EXPECT_EQ(bm.utxos().balance(bob_.address()), 25);
+}
+
+TEST_F(CheckpointFixture, CrashMidAppendRecoversBitIdentical) {
+  // Reference replica: never crashes, commits blocks 0..19 (the 20th
+  // block is the one the crash tears — it never counts anywhere).
+  bm::BlockManager reference;
+  reference.utxos().mint(alice_.address(), 1000);
+  bm::BlockManager bm;
+  bm.utxos().mint(alice_.address(), 1000);
+  ASSERT_TRUE(bm.open_journal(journal_).has_value());
+  CheckpointManager mgr(CheckpointConfig{ckpt_, 8, 64});
+  for (InstanceId k = 0; k < 20; ++k) {
+    const chain::Block b = make_block(bm, k);
+    bm.commit_block(b);
+    reference.commit_block(b);
+    (void)mgr.on_decided(bm, k + 1);
+  }
+  ASSERT_EQ(mgr.watermark(), 16u);
+  // "Kill the node mid-append": a 21st block whose journal record is
+  // torn — chop bytes off the tail, exactly what a crash leaves.
+  bm.commit_block(make_block(bm, 20));
+  {
+    const auto size = std::filesystem::file_size(journal_);
+    std::filesystem::resize_file(journal_, size - 9);
+  }
+
+  // Restart: snapshot first, then the surviving journal tail.
+  bm::BlockManager reborn;
+  CheckpointManager mgr2(CheckpointConfig{ckpt_, 8, 64});
+  const auto snap = mgr2.load_disk();
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->upto, 16u);
+  reborn.restore(*snap);
+  const auto stats = reborn.open_journal(journal_);
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_GT(stats->truncated_bytes, 0u) << "torn record must be dropped";
+  // Post-checkpoint tail only: blocks 8..19 (compaction floor = .prev
+  // watermark 8), not the 20 a genesis replay would deliver.
+  EXPECT_EQ(stats->blocks, 12u);
+  EXPECT_EQ(reborn.state_digest(), reference.state_digest())
+      << "snapshot + tail must equal the uninterrupted replica";
+}
+
+TEST_F(CheckpointFixture, CorruptLatestFallsBackToPrev) {
+  bm::BlockManager bm;
+  bm.utxos().mint(alice_.address(), 1000);
+  ASSERT_TRUE(bm.open_journal(journal_).has_value());
+  CheckpointManager mgr(CheckpointConfig{ckpt_, 5, 64});
+  for (InstanceId k = 0; k < 12; ++k) {
+    bm.commit_block(make_block(bm, k));
+    (void)mgr.on_decided(bm, k + 1);
+  }
+  ASSERT_EQ(mgr.watermark(), 10u);
+  // Flip a byte inside the latest image's payload.
+  {
+    std::FILE* f = std::fopen(ckpt_.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fseek(f, size / 2, SEEK_SET);
+    const int c = std::fgetc(f);
+    std::fseek(f, size / 2, SEEK_SET);
+    std::fputc(c ^ 0x20, f);
+    std::fclose(f);
+  }
+  bm::BlockManager reborn;
+  CheckpointManager mgr2(CheckpointConfig{ckpt_, 5, 64});
+  const auto snap = mgr2.load_disk();
+  ASSERT_TRUE(snap.has_value()) << "must fall back to .prev";
+  EXPECT_EQ(snap->upto, 5u);
+  reborn.restore(*snap);
+  const auto stats = reborn.open_journal(journal_);
+  ASSERT_TRUE(stats.has_value());
+  // The journal floor is the .prev watermark, so .prev + tail covers
+  // everything even with the latest image gone.
+  EXPECT_EQ(reborn.state_digest(), bm.state_digest());
+}
+
+TEST_F(CheckpointFixture, MemoryModeNeverTouchesDiskOrJournal) {
+  bm::BlockManager bm;
+  bm.utxos().mint(alice_.address(), 1000);
+  ASSERT_TRUE(bm.open_journal(journal_).has_value());
+  CheckpointManager mgr(CheckpointConfig{"", 4, 64});
+  for (InstanceId k = 0; k < 10; ++k) {
+    bm.commit_block(make_block(bm, k));
+    (void)mgr.on_decided(bm, k + 1);
+  }
+  EXPECT_EQ(mgr.watermark(), 8u);
+  EXPECT_EQ(mgr.stats().journal_dropped, 0u)
+      << "a volatile checkpoint must never shrink the durable journal";
+  EXPECT_FALSE(std::filesystem::exists(ckpt_));
+  // Full replay still possible.
+  bm::BlockManager reborn;
+  const auto stats = reborn.open_journal(journal_);
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->blocks, 10u);
+}
+
+}  // namespace
+}  // namespace zlb::sync

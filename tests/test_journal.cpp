@@ -151,7 +151,7 @@ TEST_F(JournalFixture, BlockManagerPersistsAndRecovers) {
     genesis = bm.utxos().mint(alice.address(), 1000);
     const auto replayed = bm.open_journal(path_);
     ASSERT_TRUE(replayed.has_value());
-    EXPECT_EQ(*replayed, 0u);
+    EXPECT_EQ(replayed->blocks, 0u);
     auto tx = alice.pay(bm.utxos(), bob.address(), 250);
     ASSERT_TRUE(tx.has_value());
     Block b;
@@ -167,7 +167,7 @@ TEST_F(JournalFixture, BlockManagerPersistsAndRecovers) {
     bm.utxos().mint(alice.address(), 1000);  // deterministic genesis
     const auto replayed = bm.open_journal(path_);
     ASSERT_TRUE(replayed.has_value());
-    EXPECT_EQ(*replayed, 1u);
+    EXPECT_EQ(replayed->blocks, 1u);
     EXPECT_EQ(bm.utxos().balance(bob.address()), 250);
     EXPECT_EQ(bm.utxos().balance(alice.address()), 750);
     EXPECT_EQ(bm.store().size(), 1u);
@@ -204,7 +204,7 @@ TEST_F(JournalFixture, RecoveredForkRebuildsDepositAccounting) {
   bm.fund_deposit(5000);
   const auto replayed = bm.open_journal(path_);
   ASSERT_TRUE(replayed.has_value());
-  EXPECT_EQ(*replayed, 2u);
+  EXPECT_EQ(replayed->blocks, 2u);
   EXPECT_EQ(bm.utxos().balance(v1.address()), 300);
   EXPECT_EQ(bm.utxos().balance(v2.address()), 300);
   EXPECT_EQ(bm.deposit(), deposit_after)

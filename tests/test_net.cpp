@@ -233,6 +233,53 @@ TEST(TcpTransport, QueuedBeforeConnectIsDeliveredAfter) {
   EXPECT_EQ(got[2], to_bytes("three"));
 }
 
+TEST(TcpTransport, DownLinkQueueIsBoundedDropOldest) {
+  // A peer that never comes up must not pin every frame ever sent to
+  // it: beyond the configured bound the oldest frames are shed (the
+  // consensus layer's resync / checkpoint transfer recovers history,
+  // not the socket buffer). The newest frames survive and arrive once
+  // the link finally heals.
+  EventLoop loop;
+  TransportConfig cfg_a{0, 0, {}};
+  TransportConfig cfg_b{1, 0, {}};
+  cfg_b.down_link_buffer_bytes = 256;
+  TcpTransport a(loop, cfg_a);
+  TcpTransport b(loop, cfg_b);
+  a.set_peers({{1, b.local_port()}});
+  b.set_peers({{0, a.local_port()}});
+
+  std::vector<Bytes> got;
+  a.set_handler(
+      [&](ReplicaId, BytesView p) { got.emplace_back(p.begin(), p.end()); });
+  // 50 x 32-byte frames >> 256-byte cap, all queued while the link is
+  // down (b never started connecting yet).
+  for (int i = 0; i < 50; ++i) {
+    Bytes frame(32, static_cast<std::uint8_t>(i));
+    b.send(0, BytesView(frame.data(), frame.size()));
+  }
+  EXPECT_GT(b.stats().frames_dropped, 0u);
+  a.start();
+  b.start();
+  drive(loop, [&] { return !got.empty() && b.stats().frames_sent > 0; },
+        std::chrono::milliseconds(2000));
+  ASSERT_FALSE(got.empty());
+  EXPECT_LT(got.size(), 50u) << "the backlog must have been shed";
+  // What did arrive is the newest suffix, in order.
+  EXPECT_EQ(got.back().front(), 49u);
+  for (std::size_t i = 1; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].front(), got[i - 1].front() + 1);
+  }
+  // An up link is never trimmed: steady traffic all arrives.
+  got.clear();
+  for (int i = 0; i < 50; ++i) {
+    Bytes frame(32, static_cast<std::uint8_t>(100 + i));
+    b.send(0, BytesView(frame.data(), frame.size()));
+  }
+  drive(loop, [&] { return got.size() == 50; },
+        std::chrono::milliseconds(2000));
+  EXPECT_EQ(got.size(), 50u);
+}
+
 TEST(TcpTransport, LargePayloadSurvivesPartialWrites) {
   Pair pair;
   const Bytes big = pattern_bytes(3u << 20, 42);  // 3 MiB >> socket buffers

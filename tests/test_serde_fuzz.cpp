@@ -4,9 +4,13 @@
 #include <gtest/gtest.h>
 
 #include "asmr/payload.hpp"
+#include "bm/block_manager.hpp"
 #include "chain/block.hpp"
+#include "chain/wallet.hpp"
 #include "consensus/messages.hpp"
 #include "consensus/pof.hpp"
+#include "sync/frames.hpp"
+#include "sync/snapshot.hpp"
 
 namespace zlb {
 namespace {
@@ -75,6 +79,126 @@ TEST_P(DecoderFuzz, AllDecodersRejectGarbageGracefully) {
           (void)chain::Block::deserialize(r);
         },
         data);
+    // State-sync codecs (snapshot images and transfer frames) take
+    // network input on the catch-up path.
+    expect_no_crash([](BytesView d) { (void)sync::Snapshot::decode(d); },
+                    data);
+    expect_no_crash(
+        [](BytesView d) {
+          Reader r(d);
+          (void)sync::SnapshotManifest::decode(r);
+        },
+        data);
+    expect_no_crash(
+        [](BytesView d) {
+          Reader r(d);
+          (void)sync::ChunkRequest::decode(r);
+        },
+        data);
+    expect_no_crash(
+        [](BytesView d) {
+          Reader r(d);
+          (void)sync::SnapshotChunk::decode(r);
+        },
+        data);
+  }
+}
+
+TEST_P(DecoderFuzz, MutatedSnapshotNeverCrashesAndNeverLies) {
+  // Start from a VALID snapshot encoding and abuse it: truncation at
+  // every boundary class, bit flips, and length-prefix inflation must
+  // either decode to exactly the same canonical bytes or throw — no
+  // crash, no over-read, no silently different state.
+  Rng rng(GetParam() * 8191 + 3);
+  bm::BlockManager bm;
+  chain::Wallet alice(to_bytes("fuzz-alice"));
+  chain::Wallet bob(to_bytes("fuzz-bob"));
+  for (int i = 0; i < 8; ++i) {
+    bm.utxos().mint(alice.address(), 100 + i);
+  }
+  chain::Block b;
+  b.index = 0;
+  const auto tx = alice.pay(bm.utxos(), bob.address(), 50);
+  ASSERT_TRUE(tx.has_value());
+  b.txs.push_back(*tx);
+  bm.commit_block(b);
+  const Bytes wire = bm.snapshot(7).encode();
+
+  for (int i = 0; i < 1500; ++i) {
+    Bytes mutated = wire;
+    switch (rng.next_below(3)) {
+      case 0:  // truncate
+        mutated.resize(rng.next_below(mutated.size()));
+        break;
+      case 1: {  // bit flips
+        const std::size_t flips = 1 + rng.next_below(4);
+        for (std::size_t f = 0; f < flips; ++f) {
+          mutated[rng.next_below(mutated.size())] ^=
+              static_cast<std::uint8_t>(1u << rng.next_below(8));
+        }
+        break;
+      }
+      default:  // garbage tail (trailing bytes must be rejected)
+        for (std::size_t n = rng.next_below(16) + 1; n > 0; --n) {
+          mutated.push_back(static_cast<std::uint8_t>(rng.next()));
+        }
+        break;
+    }
+    try {
+      const auto snap =
+          sync::Snapshot::decode(BytesView(mutated.data(), mutated.size()));
+      EXPECT_EQ(snap.encode(), mutated)
+          << "accepted a non-canonical mutation";
+    } catch (const DecodeError&) {
+      // expected for nearly every mutation
+    }
+  }
+}
+
+TEST_P(DecoderFuzz, MutatedSyncFramesDontCrash) {
+  Rng rng(GetParam() * 524287 + 11);
+  sync::SnapshotManifest m;
+  m.server = 2;
+  m.upto = 99;
+  m.chunk_size = 64;
+  m.chunk_count = 3;
+  m.total_bytes = 130;
+  m.root = crypto::sha256(to_bytes("root"));
+  m.signature = to_bytes("sig-bytes-of-some-length");
+  Writer mw;
+  m.encode(mw);
+  const Bytes manifest_wire = mw.take();
+
+  sync::SnapshotChunk c;
+  c.upto = 99;
+  c.index = 1;
+  c.data = to_bytes("chunk-payload-bytes");
+  c.proof = {crypto::sha256(to_bytes("p0")), crypto::sha256(to_bytes("p1"))};
+  Writer cw;
+  c.encode(cw);
+  const Bytes chunk_wire = cw.take();
+
+  for (int i = 0; i < 2000; ++i) {
+    for (const Bytes* wire : {&manifest_wire, &chunk_wire}) {
+      Bytes mutated = *wire;
+      const std::size_t flips = 1 + rng.next_below(5);
+      for (std::size_t f = 0; f < flips; ++f) {
+        mutated[rng.next_below(mutated.size())] ^=
+            static_cast<std::uint8_t>(1u << rng.next_below(8));
+      }
+      if (rng.next_below(4) == 0) {
+        mutated.resize(rng.next_below(mutated.size() + 1));
+      }
+      try {
+        Reader r(BytesView(mutated.data(), mutated.size()));
+        if (wire == &manifest_wire) {
+          (void)sync::SnapshotManifest::decode(r);
+        } else {
+          (void)sync::SnapshotChunk::decode(r);
+        }
+      } catch (const DecodeError&) {
+      }
+    }
   }
 }
 

@@ -1,0 +1,226 @@
+// The state-sync primitives: RFC-6962-style merkle tree (roots, audit
+// paths, adversarial proofs), the canonical snapshot codec (roundtrip,
+// canonicality enforcement, state digest semantics) and the chunking
+// helpers the transfer protocol is built on.
+#include <gtest/gtest.h>
+
+#include "bm/block_manager.hpp"
+#include "chain/wallet.hpp"
+#include "common/rng.hpp"
+#include "crypto/merkle.hpp"
+#include "sync/snapshot.hpp"
+
+namespace zlb::sync {
+namespace {
+
+std::vector<crypto::Hash32> make_leaves(std::size_t n, std::uint64_t seed) {
+  std::vector<crypto::Hash32> leaves;
+  leaves.reserve(n);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    Bytes data(16);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+    leaves.push_back(crypto::merkle_leaf(BytesView(data.data(), data.size())));
+  }
+  return leaves;
+}
+
+TEST(Merkle, SingleLeafRootIsTheLeaf) {
+  const auto leaves = make_leaves(1, 7);
+  const auto tree = crypto::MerkleTree::build(leaves);
+  EXPECT_EQ(tree.root(), leaves[0]);
+  EXPECT_TRUE(tree.proof(0).empty());
+  EXPECT_TRUE(crypto::MerkleTree::verify(tree.root(), 0, 1, leaves[0], {}));
+}
+
+TEST(Merkle, DomainSeparationLeafVsNode) {
+  // A leaf whose bytes happen to equal (left||right) of an interior
+  // node must not hash to that node: the 0x00/0x01 prefixes differ.
+  const auto leaves = make_leaves(2, 9);
+  const crypto::Hash32 node = crypto::merkle_node(leaves[0], leaves[1]);
+  Bytes concat_bytes;
+  append(concat_bytes, BytesView(leaves[0].data(), 32));
+  append(concat_bytes, BytesView(leaves[1].data(), 32));
+  EXPECT_NE(crypto::merkle_leaf(BytesView(concat_bytes.data(),
+                                          concat_bytes.size())),
+            node);
+}
+
+TEST(Merkle, EveryIndexVerifiesEveryShape) {
+  for (std::size_t n : {1u, 2u, 3u, 4u, 5u, 7u, 8u, 9u, 13u, 16u, 33u, 100u}) {
+    const auto leaves = make_leaves(n, 1000 + n);
+    const auto tree = crypto::MerkleTree::build(leaves);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto proof = tree.proof(i);
+      EXPECT_TRUE(crypto::MerkleTree::verify(tree.root(), i, n, leaves[i],
+                                             proof))
+          << "n=" << n << " i=" << i;
+      // Wrong index / wrong leaf / truncated proof all fail.
+      EXPECT_FALSE(crypto::MerkleTree::verify(tree.root(), (i + 1) % n, n,
+                                              leaves[i], proof) &&
+                   n > 1)
+          << "n=" << n << " i=" << i;
+      if (!proof.empty()) {
+        auto shorter = proof;
+        shorter.pop_back();
+        EXPECT_FALSE(crypto::MerkleTree::verify(tree.root(), i, n, leaves[i],
+                                                shorter));
+      }
+      auto wrong_leaf = leaves[i];
+      wrong_leaf[0] ^= 0x01;
+      EXPECT_FALSE(
+          crypto::MerkleTree::verify(tree.root(), i, n, wrong_leaf, proof));
+    }
+  }
+}
+
+TEST(Merkle, MutatedProofHashFails) {
+  const auto leaves = make_leaves(29, 42);
+  const auto tree = crypto::MerkleTree::build(leaves);
+  for (std::size_t i : {0u, 13u, 28u}) {
+    auto proof = tree.proof(i);
+    ASSERT_FALSE(proof.empty());
+    proof[proof.size() / 2][7] ^= 0x80;
+    EXPECT_FALSE(
+        crypto::MerkleTree::verify(tree.root(), i, 29, leaves[i], proof));
+  }
+}
+
+TEST(Merkle, OutOfRangeAndEmpty) {
+  const auto leaves = make_leaves(4, 3);
+  const auto tree = crypto::MerkleTree::build(leaves);
+  EXPECT_FALSE(crypto::MerkleTree::verify(tree.root(), 4, 4, leaves[0],
+                                          tree.proof(0)));
+  EXPECT_FALSE(crypto::MerkleTree::verify(tree.root(), 0, 0, leaves[0], {}));
+  EXPECT_TRUE(crypto::MerkleTree::build({}).empty());
+}
+
+// ---------------------------------------------------------------------
+
+/// A BlockManager with a little history: genesis mints, a few payments,
+/// one merged fork branch (deposit accounting), a punished account.
+bm::BlockManager populated_bm() {
+  bm::BlockManager bm;
+  chain::Wallet alice(to_bytes("alice"));
+  chain::Wallet bob(to_bytes("bob"));
+  chain::Wallet mallory(to_bytes("mallory"));
+  bm.utxos().mint(alice.address(), 1000);
+  bm.utxos().mint(mallory.address(), 500);
+  bm.fund_deposit(10000);
+
+  chain::Block b1;
+  b1.index = 0;
+  auto tx = alice.pay(bm.utxos(), bob.address(), 400);
+  b1.txs.push_back(*tx);
+  bm.commit_block(b1);
+
+  // Fork branch: mallory double-spends; the second branch arrives via
+  // the merge path and dips into the deposit.
+  chain::UtxoSet mallory_view;
+  mallory_view.mint(mallory.address(), 500);
+  const auto coins = mallory_view.owned_by(mallory.address());
+  chain::Block b2a;
+  b2a.index = 1;
+  b2a.slot = 0;
+  b2a.txs.push_back(mallory.pay_from(coins, alice.address(), 500));
+  chain::Block b2b;
+  b2b.index = 1;
+  b2b.slot = 1;
+  b2b.txs.push_back(mallory.pay_from(coins, bob.address(), 500));
+  bm.merge_block(b2a);
+  bm.merge_block(b2b);
+  bm.punish_account(mallory.address());
+  return bm;
+}
+
+TEST(SnapshotCodec, RoundtripsPopulatedState) {
+  const bm::BlockManager bm = populated_bm();
+  const Snapshot snap = bm.snapshot(17);
+  const Bytes bytes = snap.encode();
+  const Snapshot back = Snapshot::decode(BytesView(bytes.data(),
+                                                   bytes.size()));
+  EXPECT_EQ(back, snap);
+  EXPECT_EQ(back.upto, 17u);
+  EXPECT_EQ(back.state_digest(), snap.state_digest());
+  EXPECT_FALSE(snap.utxos.empty());
+  EXPECT_FALSE(snap.known_txs.empty());
+  EXPECT_FALSE(snap.inputs_deposit.empty());
+  EXPECT_EQ(snap.punished.size(), 1u);
+}
+
+TEST(SnapshotCodec, RestoreRebuildsIdenticalLedger) {
+  const bm::BlockManager bm = populated_bm();
+  const Snapshot snap = bm.snapshot(5);
+
+  bm::BlockManager fresh;
+  fresh.restore(snap);
+  EXPECT_EQ(fresh.state_digest(), bm.state_digest());
+  chain::Wallet bob(to_bytes("bob"));
+  chain::Wallet mallory(to_bytes("mallory"));
+  EXPECT_EQ(fresh.utxos().balance(bob.address()),
+            bm.utxos().balance(bob.address()));
+  EXPECT_EQ(fresh.deposit(), bm.deposit());
+  EXPECT_TRUE(fresh.is_punished(mallory.address()));
+  // The ever-archive transferred: conflict pricing still works.
+  for (const auto& [op, v] : snap.ever_values) {
+    EXPECT_EQ(fresh.output_value(op), v);
+  }
+  // Known-tx dedup transferred: re-committing a snapshotted block is a
+  // no-op.
+  for (const auto& id : snap.known_txs) EXPECT_TRUE(fresh.knows_tx(id));
+}
+
+TEST(SnapshotCodec, StateDigestIgnoresWatermark) {
+  const bm::BlockManager bm = populated_bm();
+  EXPECT_EQ(bm.snapshot(1).state_digest(), bm.snapshot(99).state_digest());
+  EXPECT_NE(bm.snapshot(1).encode(), bm.snapshot(99).encode());
+}
+
+TEST(SnapshotCodec, RejectsNonCanonicalOrder) {
+  const bm::BlockManager bm = populated_bm();
+  Snapshot snap = bm.snapshot(3);
+  ASSERT_GE(snap.utxos.size(), 2u);
+  std::swap(snap.utxos[0], snap.utxos[1]);
+  const Bytes bytes = snap.encode();
+  EXPECT_THROW((void)Snapshot::decode(BytesView(bytes.data(), bytes.size())),
+               DecodeError);
+}
+
+TEST(SnapshotCodec, RejectsTruncationAndTrailingBytes) {
+  const bm::BlockManager bm = populated_bm();
+  const Bytes bytes = bm.snapshot(3).encode();
+  for (std::size_t cut : {1u, 7u, 20u, 50u}) {
+    if (cut >= bytes.size()) continue;
+    EXPECT_THROW((void)Snapshot::decode(
+                     BytesView(bytes.data(), bytes.size() - cut)),
+                 DecodeError);
+  }
+  Bytes padded = bytes;
+  padded.push_back(0);
+  EXPECT_THROW((void)Snapshot::decode(BytesView(padded.data(),
+                                                padded.size())),
+               DecodeError);
+}
+
+TEST(Chunking, ViewsReassembleAndCountMatches) {
+  Bytes data(1000);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i);
+  }
+  for (std::size_t cs : {1u, 7u, 256u, 999u, 1000u, 4096u}) {
+    const std::uint32_t n = chunk_count(data.size(), cs);
+    EXPECT_EQ(n, (data.size() + cs - 1) / cs);
+    Bytes joined;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const auto v = chunk_view(BytesView(data.data(), data.size()), i, cs);
+      append(joined, v);
+    }
+    EXPECT_EQ(joined, data) << "chunk size " << cs;
+    EXPECT_EQ(chunk_leaves(BytesView(data.data(), data.size()), cs).size(),
+              n);
+  }
+  EXPECT_EQ(chunk_count(0, 64), 1u) << "empty image still has one chunk";
+}
+
+}  // namespace
+}  // namespace zlb::sync
