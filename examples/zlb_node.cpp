@@ -3,11 +3,21 @@
 // scaled to one machine. Start n of these (one per committee id) and
 // submit payments with zlb_wallet.
 //
-//   # peers.txt: one "<id> <port>" pair per line, the full committee
+//   # peers.txt: one "<id> <port>" pair per line, the full universe
+//   # (committee plus standby pool)
 //   ./zlb_node --id 0 --peers peers.txt --client-port 9100
 //              [--genesis <address-hex>:100000] [--journal node0.wal]
+//              [--pool 10,11,12,13]
+//
+// Live reconfiguration: ids named in --pool are the standby pool — not
+// committee members, but eligible for inclusion when the committee
+// excludes a proven-deceitful coalition. A daemon whose own id is in
+// the pool starts passive and activates when t+1 veterans announce its
+// admission; it then catches up via checkpoint transfer and serves as
+// a full member of epoch e+1.
 //
 // The node serves until the instance budget is exhausted or SIGINT.
+#include <algorithm>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -29,6 +39,9 @@ struct Options {
   std::vector<std::pair<chain::Address, chain::Amount>> genesis;
   std::uint64_t instances = 1'000'000;
   int block_interval_ms = 250;
+  /// Standby pool ids (comma-separated). Members of the peers file that
+  /// are NOT committee members; admitted by the inclusion consensus.
+  std::vector<ReplicaId> pool;
   /// Snapshot the ledger (and compact the journal) every this many
   /// decided instances; 0 disables. With a journal the image lands at
   /// <journal>.ckpt and restarts replay only the post-checkpoint tail;
@@ -77,6 +90,21 @@ bool parse_options(int argc, char** argv, Options& opts) {
       const char* v = next();
       if (v == nullptr) return false;
       opts.checkpoint_interval = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--pool") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      std::istringstream ids(v);
+      std::string token;
+      while (std::getline(ids, token, ',')) {
+        if (token.empty()) continue;
+        char* end = nullptr;
+        const unsigned long id = std::strtoul(token.c_str(), &end, 10);
+        if (end == token.c_str() || *end != '\0') {
+          std::fprintf(stderr, "bad --pool id: '%s'\n", token.c_str());
+          return false;
+        }
+        opts.pool.push_back(static_cast<ReplicaId>(id));
+      }
     } else if (arg == "--block-interval-ms") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -133,7 +161,7 @@ int main(int argc, char** argv) {
         "usage: zlb_node --id <n> --peers <file> [--client-port <p>]\n"
         "                [--journal <path>] [--genesis <addr-hex>:<amount>]\n"
         "                [--instances <n>] [--block-interval-ms <ms>]\n"
-        "                [--checkpoint-interval <n>]\n");
+        "                [--checkpoint-interval <n>] [--pool <id,id,...>]\n");
     return 2;
   }
 
@@ -146,9 +174,28 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // The peers file lists the whole universe; the pool flag carves the
+  // standbys out of it — the remainder is the epoch-0 committee.
+  std::vector<ReplicaId> pool_members;
+  if (!opts.pool.empty()) {
+    std::vector<ReplicaId> active;
+    for (ReplicaId id : committee) {
+      if (std::find(opts.pool.begin(), opts.pool.end(), id) ==
+          opts.pool.end()) {
+        active.push_back(id);
+      } else {
+        pool_members.push_back(id);
+      }
+    }
+    committee = std::move(active);
+  }
+
   net::LiveNodeConfig cfg;
   cfg.me = opts.id;
   cfg.committee = committee;
+  cfg.pool = pool_members;
+  cfg.standby = std::find(pool_members.begin(), pool_members.end(),
+                          opts.id) != pool_members.end();
   cfg.instances = opts.instances;
   cfg.use_ecdsa = true;
   cfg.listen_port = my_port;
@@ -173,8 +220,9 @@ int main(int argc, char** argv) {
   node.set_peer_ports(ports);
 
   std::printf("zlb_node id=%u replica-port=%u client-port=%u committee=%zu "
-              "journal=%s\n",
+              "pool=%zu%s journal=%s\n",
               opts.id, node.port(), node.client_port(), committee.size(),
+              pool_members.size(), cfg.standby ? " (standby)" : "",
               opts.journal_path.empty() ? "(none)"
                                         : opts.journal_path.c_str());
   std::fflush(stdout);

@@ -131,6 +131,7 @@ Replica::Engine* Replica::get_or_create_engine(const Key& key) {
   }
 
   Engine::Config ec;
+  ec.epoch = key.epoch;
   ec.accountable = config_.accountable;
   ec.cert_vote_bytes = config_.cert_vote_bytes;
   ec.cert_on_all_votes = config_.cert_on_all_votes;

@@ -131,14 +131,20 @@ void BlockManager::journal_block(const chain::Block& block, bool was_new) {
 }
 
 std::optional<chain::Journal::ReplayStats> BlockManager::open_journal(
-    const std::string& path) {
+    const std::string& path,
+    const std::function<void(const chain::EpochRecord&)>& epoch_sink) {
   chain::Journal::ReplayStats stats;
   auto journal = chain::Journal::open(
       path, [this](const chain::Block& block) { merge_block(block); },
-      &stats);
+      &stats, epoch_sink);
   if (!journal) return std::nullopt;
   journal_ = std::move(*journal);
   return stats;
+}
+
+bool BlockManager::journal_epoch(const chain::EpochRecord& record) {
+  if (!journaling()) return true;  // in-memory deployments have no WAL
+  return journal_->append_epoch(record);
 }
 
 std::optional<std::size_t> BlockManager::compact_journal(

@@ -63,7 +63,12 @@ class BlockManager {
   /// stats (blocks delivered, torn tail removed), or nullopt on I/O
   /// failure.
   [[nodiscard]] std::optional<chain::Journal::ReplayStats> open_journal(
-      const std::string& path);
+      const std::string& path,
+      const std::function<void(const chain::EpochRecord&)>& epoch_sink =
+          nullptr);
+  /// Appends an epoch-boundary record to the attached journal (true
+  /// when journaling is off — there is nothing to make durable then).
+  bool journal_epoch(const chain::EpochRecord& record);
   /// Drops journal records below `keep_from` (checkpoint compaction).
   /// No-op without an attached journal. Returns records dropped.
   [[nodiscard]] std::optional<std::size_t> compact_journal(

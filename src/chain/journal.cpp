@@ -5,6 +5,7 @@
 #include <utility>
 
 #if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
 #include <unistd.h>
 #endif
 
@@ -12,9 +13,14 @@ namespace zlb::chain {
 
 namespace {
 
-constexpr std::uint32_t kRecordMagic = 0x5a4c424a;  // "ZLBJ"
+constexpr std::uint32_t kRecordMagic = 0x5a4c424a;  // "ZLBJ" — block
+constexpr std::uint32_t kEpochMagic = 0x5a4c4245;   // "ZLBE" — epoch boundary
 constexpr std::size_t kHeaderBytes = 12;
 constexpr std::size_t kMaxRecordBytes = 256u << 20;
+
+bool known_magic(std::uint32_t magic) {
+  return magic == kRecordMagic || magic == kEpochMagic;
+}
 
 std::array<std::uint32_t, 256> make_crc_table() {
   std::array<std::uint32_t, 256> table{};
@@ -26,6 +32,26 @@ std::array<std::uint32_t, 256> make_crc_table() {
     table[i] = c;
   }
   return table;
+}
+
+// The write-ahead contract covers file CREATION and RENAME too: data
+// fdatasync'd into a file whose directory entry was never flushed is
+// gone with the file after power loss. Called after creating the
+// journal and after publishing a compaction.
+void sync_parent_dir(const std::string& path) {
+#if defined(__unix__) || defined(__APPLE__)
+  const auto slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash + 1);
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    (void)::fsync(fd);
+    ::close(fd);
+  }
+#else
+  (void)path;
+#endif
 }
 
 void put_u32(std::uint8_t* p, std::uint32_t v) {
@@ -43,6 +69,32 @@ std::uint32_t get_u32(const std::uint8_t* p) {
 }
 
 }  // namespace
+
+Bytes EpochRecord::serialize() const {
+  Writer w;
+  w.u32(epoch);
+  w.u64(start_index);
+  w.varint(members.size());
+  for (ReplicaId id : members) w.u32(id);
+  w.varint(excluded.size());
+  for (ReplicaId id : excluded) w.u32(id);
+  return w.take();
+}
+
+EpochRecord EpochRecord::deserialize(Reader& r) {
+  EpochRecord rec;
+  rec.epoch = r.u32();
+  rec.start_index = r.u64();
+  const std::uint64_t n = r.varint();
+  if (n > 65536) throw DecodeError("EpochRecord: absurd member count");
+  rec.members.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) rec.members.push_back(r.u32());
+  const std::uint64_t ne = r.varint();
+  if (ne > 65536) throw DecodeError("EpochRecord: absurd excluded count");
+  rec.excluded.reserve(ne);
+  for (std::uint64_t i = 0; i < ne; ++i) rec.excluded.push_back(r.u32());
+  return rec;
+}
 
 std::uint32_t crc32(BytesView data) {
   static const std::array<std::uint32_t, 256> table = make_crc_table();
@@ -70,12 +122,14 @@ Journal& Journal::operator=(Journal&& o) noexcept {
 
 std::optional<Journal> Journal::open(
     const std::string& path, const std::function<void(const Block&)>& sink,
-    ReplayStats* stats) {
+    ReplayStats* stats,
+    const std::function<void(const EpochRecord&)>& epoch_sink) {
   // "a+b" creates if missing; we reopen in r+b afterwards to control
   // the write position explicitly.
   std::FILE* touch = std::fopen(path.c_str(), "ab");
   if (touch == nullptr) return std::nullopt;
   std::fclose(touch);
+  sync_parent_dir(path);
 
   std::FILE* f = std::fopen(path.c_str(), "r+b");
   if (f == nullptr) return std::nullopt;
@@ -83,6 +137,7 @@ std::optional<Journal> Journal::open(
   // Replay: read records until EOF or damage.
   std::size_t good_end = 0;
   std::size_t blocks = 0;
+  std::size_t epochs = 0;
   for (;;) {
     std::uint8_t header[kHeaderBytes];
     const std::size_t got = std::fread(header, 1, kHeaderBytes, f);
@@ -90,19 +145,25 @@ std::optional<Journal> Journal::open(
     const std::uint32_t magic = get_u32(header);
     const std::uint32_t len = get_u32(header + 4);
     const std::uint32_t crc = get_u32(header + 8);
-    if (magic != kRecordMagic || len > kMaxRecordBytes) break;
+    if (!known_magic(magic) || len > kMaxRecordBytes) break;
 
     Bytes payload(len);
     if (std::fread(payload.data(), 1, len, f) < len) break;  // torn body
     if (crc32(BytesView(payload.data(), payload.size())) != crc) break;
     try {
       Reader r(BytesView(payload.data(), payload.size()));
-      const Block block = Block::deserialize(r);
-      sink(block);
+      if (magic == kRecordMagic) {
+        const Block block = Block::deserialize(r);
+        sink(block);
+        blocks += 1;
+      } else {
+        const EpochRecord rec = EpochRecord::deserialize(r);
+        if (epoch_sink) epoch_sink(rec);
+        epochs += 1;
+      }
     } catch (const DecodeError&) {
       break;  // structurally corrupt: treat like a torn record
     }
-    blocks += 1;
     good_end += kHeaderBytes + len;
   }
 
@@ -111,6 +172,7 @@ std::optional<Journal> Journal::open(
   const auto file_size = static_cast<std::size_t>(std::ftell(f));
   if (stats != nullptr) {
     stats->blocks = blocks;
+    stats->epochs = epochs;
     stats->truncated_bytes = file_size - good_end;
   }
   if (file_size > good_end) {
@@ -129,17 +191,29 @@ std::optional<Journal> Journal::open(
   return j;
 }
 
-bool Journal::append(const Block& block) {
-  if (file_ == nullptr) return false;
-  const Bytes payload = block.serialize();
+namespace {
+bool append_record(std::FILE* file, std::uint32_t magic,
+                   const Bytes& payload) {
   std::uint8_t header[kHeaderBytes];
-  put_u32(header, kRecordMagic);
+  put_u32(header, magic);
   put_u32(header + 4, static_cast<std::uint32_t>(payload.size()));
   put_u32(header + 8, crc32(BytesView(payload.data(), payload.size())));
-  if (std::fwrite(header, 1, kHeaderBytes, file_) < kHeaderBytes) return false;
-  if (std::fwrite(payload.data(), 1, payload.size(), file_) < payload.size()) {
-    return false;
-  }
+  if (std::fwrite(header, 1, kHeaderBytes, file) < kHeaderBytes) return false;
+  return std::fwrite(payload.data(), 1, payload.size(), file) ==
+         payload.size();
+}
+}  // namespace
+
+bool Journal::append(const Block& block) {
+  if (file_ == nullptr) return false;
+  if (!append_record(file_, kRecordMagic, block.serialize())) return false;
+  appended_ += 1;
+  return sync();
+}
+
+bool Journal::append_epoch(const EpochRecord& record) {
+  if (file_ == nullptr) return false;
+  if (!append_record(file_, kEpochMagic, record.serialize())) return false;
   appended_ += 1;
   return sync();
 }
@@ -168,14 +242,22 @@ std::optional<std::size_t> Journal::compact(InstanceId keep_from) {
       const std::uint32_t magic = get_u32(header);
       const std::uint32_t len = get_u32(header + 4);
       const std::uint32_t crc = get_u32(header + 8);
-      if (magic != kRecordMagic || len > kMaxRecordBytes) break;
+      if (!known_magic(magic) || len > kMaxRecordBytes) break;
       Bytes payload(len);
       if (std::fread(payload.data(), 1, len, in) < len) break;
       if (crc32(BytesView(payload.data(), payload.size())) != crc) break;
+      // Epoch-boundary records always survive compaction: the restart
+      // path needs the whole boundary history to key instances to the
+      // right committee, and they cost a handful of bytes each.
       InstanceId index = 0;
       try {
         Reader r(BytesView(payload.data(), payload.size()));
-        index = Block::deserialize(r).index;
+        if (magic == kRecordMagic) {
+          index = Block::deserialize(r).index;
+        } else {
+          (void)EpochRecord::deserialize(r);
+          index = keep_from;  // never dropped
+        }
       } catch (const DecodeError&) {
         break;
       }
@@ -191,7 +273,13 @@ std::optional<std::size_t> Journal::compact(InstanceId keep_from) {
       ++kept;
     }
     std::fclose(in);
-    const bool flushed = std::fflush(out) == 0;
+    bool flushed = std::fflush(out) == 0;
+#if defined(__unix__) || defined(__APPLE__)
+    // The rename below publishes the compacted file; its contents must
+    // be durable first or a crash could leave a shorter-than-promised
+    // journal behind the new name.
+    if (flushed && ::fsync(::fileno(out)) != 0) flushed = false;
+#endif
     std::fclose(out);
     if (!io_ok || !flushed) {
       std::remove(tmp_path.c_str());
@@ -210,6 +298,7 @@ std::optional<std::size_t> Journal::compact(InstanceId keep_from) {
     if (file_ != nullptr) std::fseek(file_, 0, SEEK_END);
     return std::nullopt;
   }
+  sync_parent_dir(path_);
   file_ = std::fopen(path_.c_str(), "r+b");
   if (file_ == nullptr) return std::nullopt;
   std::fseek(file_, 0, SEEK_END);
@@ -217,7 +306,19 @@ std::optional<std::size_t> Journal::compact(InstanceId keep_from) {
 }
 
 bool Journal::sync() {
-  return file_ != nullptr && std::fflush(file_) == 0;
+  if (file_ == nullptr || std::fflush(file_) != 0) return false;
+#if defined(__unix__) || defined(__APPLE__)
+  // A power-loss-grade write-ahead guarantee needs the kernel to push
+  // the pages to the device, not just our stdio buffer to the kernel.
+  // fdatasync skips the inode-metadata flush fsync would add — record
+  // payloads and lengths are all the replay path reads back.
+#if defined(__APPLE__)
+  if (::fsync(::fileno(file_)) != 0) return false;
+#else
+  if (::fdatasync(::fileno(file_)) != 0) return false;
+#endif
+#endif
+  return true;
 }
 
 void Journal::close() {

@@ -4,16 +4,20 @@
 //
 //   [u32 magic][u32 payload_len][u32 crc32(payload)][payload]
 //
-// where the payload is a serialized chain::Block. replay() stops at the
-// first torn or corrupt record (a crash mid-append leaves a partial
-// tail; everything before it is intact), truncates the damage away and
-// re-positions for appending — the standard write-ahead-log contract.
+// where the magic selects the payload kind: a serialized chain::Block
+// ("ZLBJ") or an epoch-boundary EpochRecord ("ZLBE") marking where a
+// membership change took effect, so a restart recovers into the right
+// epoch. replay() stops at the first torn or corrupt record (a crash
+// mid-append leaves a partial tail; everything before it is intact),
+// truncates the damage away and re-positions for appending — the
+// standard write-ahead-log contract.
 #pragma once
 
 #include <cstdio>
 #include <functional>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "chain/block.hpp"
 
@@ -22,10 +26,33 @@ namespace zlb::chain {
 /// CRC-32 (IEEE 802.3, reflected), the classic WAL checksum.
 [[nodiscard]] std::uint32_t crc32(BytesView data);
 
+/// Epoch-boundary journal record: epoch `epoch` governs every regular
+/// instance from `start_index` on, decided by committee `members`;
+/// `excluded` is the CUMULATIVE exclusion list as of this epoch, so a
+/// restart that replays a gapped history (epochs pruned or slept
+/// through) still recovers the full permanent-ban set. Appended when a
+/// membership change (exclusion + inclusion) completes; replayed so a
+/// restarted replica rejoins under the correct committee instead of
+/// silently resuming epoch 0.
+struct EpochRecord {
+  std::uint32_t epoch = 0;
+  InstanceId start_index = 0;
+  std::vector<ReplicaId> members;
+  std::vector<ReplicaId> excluded;
+
+  [[nodiscard]] Bytes serialize() const;
+  [[nodiscard]] static EpochRecord deserialize(Reader& r);
+  friend bool operator==(const EpochRecord& a, const EpochRecord& b) {
+    return a.epoch == b.epoch && a.start_index == b.start_index &&
+           a.members == b.members && a.excluded == b.excluded;
+  }
+};
+
 class Journal {
  public:
   struct ReplayStats {
-    std::size_t blocks = 0;          ///< intact records delivered
+    std::size_t blocks = 0;          ///< intact block records delivered
+    std::size_t epochs = 0;          ///< epoch-boundary records delivered
     std::size_t truncated_bytes = 0; ///< torn/corrupt tail removed
   };
 
@@ -37,26 +64,35 @@ class Journal {
   Journal& operator=(Journal&& o) noexcept;
 
   /// Opens (creating if absent) the journal at `path`, replays every
-  /// intact record into `sink`, truncates any torn tail and leaves the
-  /// journal positioned for appending. nullopt on I/O failure.
+  /// intact record — blocks into `sink`, epoch boundaries into
+  /// `epoch_sink` (when non-null), in their original append order —
+  /// truncates any torn tail and leaves the journal positioned for
+  /// appending. nullopt on I/O failure.
   [[nodiscard]] static std::optional<Journal> open(
       const std::string& path,
       const std::function<void(const Block&)>& sink,
-      ReplayStats* stats = nullptr);
+      ReplayStats* stats = nullptr,
+      const std::function<void(const EpochRecord&)>& epoch_sink = nullptr);
 
-  /// Appends one block and flushes it to the OS. False on I/O failure.
+  /// Appends one block and syncs it to disk. False on I/O failure.
   bool append(const Block& block);
+  /// Appends one epoch-boundary record and syncs it. False on failure.
+  bool append_epoch(const EpochRecord& record);
 
   /// Checkpoint compaction: rewrites the journal keeping only records
   /// whose block index is >= `keep_from` (in their original order),
-  /// then repositions for appending. Atomic (write-temp + rename): a
-  /// crash mid-compaction leaves either the old or the new file.
-  /// Returns the number of records dropped, or nullopt on I/O failure
-  /// (the journal stays open on the old file in that case).
+  /// then repositions for appending. Epoch-boundary records are always
+  /// kept — they are a handful of bytes per membership change and a
+  /// restart needs the full boundary history regardless of how far the
+  /// checkpoint reaches. Atomic (write-temp + rename): a crash
+  /// mid-compaction leaves either the old or the new file. Returns the
+  /// number of records dropped, or nullopt on I/O failure (the journal
+  /// stays open on the old file in that case).
   [[nodiscard]] std::optional<std::size_t> compact(InstanceId keep_from);
 
-  /// fsync-equivalent barrier (flushes user-space buffers; tests and
-  /// examples don't need a physical-disk guarantee).
+  /// Durability barrier: flushes user-space buffers AND issues
+  /// fdatasync, so an append that returned true survives power loss —
+  /// the write-ahead guarantee the commit path relies on.
   bool sync();
 
   void close();

@@ -145,6 +145,61 @@ DecisionMsg DecisionMsg::decode(Reader& r) {
   return d;
 }
 
+namespace {
+/// The announce's signer-independent content, written once: every
+/// serialization (wire, signing bytes, matching digest) goes through
+/// here, so a future field cannot ride the wire outside the signature
+/// or escape the t+1 content-match.
+void write_announce_content(Writer& w, const EpochAnnounceMsg& m) {
+  w.u32(m.epoch);
+  w.u64(m.start_index);
+  w.varint(m.members.size());
+  for (ReplicaId id : m.members) w.u32(id);
+  w.varint(m.excluded.size());
+  for (ReplicaId id : m.excluded) w.u32(id);
+}
+}  // namespace
+
+Bytes EpochAnnounceMsg::signing_bytes() const {
+  Writer w;
+  w.string("zlb-epoch-announce");
+  w.u32(sender);
+  write_announce_content(w, *this);
+  return w.take();
+}
+
+crypto::Hash32 EpochAnnounceMsg::content_digest() const {
+  Writer w;
+  write_announce_content(w, *this);
+  return crypto::sha256(BytesView(w.data().data(), w.data().size()));
+}
+
+void EpochAnnounceMsg::encode(Writer& w) const {
+  w.u32(sender);
+  write_announce_content(w, *this);
+  w.bytes(signature);
+}
+
+EpochAnnounceMsg EpochAnnounceMsg::decode(Reader& r) {
+  EpochAnnounceMsg m;
+  m.sender = r.u32();
+  m.epoch = r.u32();
+  m.start_index = r.u64();
+  const std::uint64_t nm = r.varint();
+  if (nm == 0 || nm > 65536) {
+    throw DecodeError("EpochAnnounce: absurd member count");
+  }
+  m.members.reserve(nm);
+  for (std::uint64_t i = 0; i < nm; ++i) m.members.push_back(r.u32());
+  const std::uint64_t ne = r.varint();
+  if (ne > 65536) throw DecodeError("EpochAnnounce: absurd excluded count");
+  m.excluded.reserve(ne);
+  for (std::uint64_t i = 0; i < ne; ++i) m.excluded.push_back(r.u32());
+  m.signature = r.bytes();
+  if (m.signature.size() > 1024) throw DecodeError("EpochAnnounce: huge sig");
+  return m;
+}
+
 void EvidenceMsg::encode(Writer& w) const {
   key.encode(w);
   w.u32(slot);
@@ -186,6 +241,10 @@ Bytes encode_decision_msg(const DecisionMsg& d) {
 
 Bytes encode_evidence_msg(const EvidenceMsg& e) {
   return with_tag(MsgTag::kEvidence, [&](Writer& w) { e.encode(w); });
+}
+
+Bytes encode_epoch_announce_msg(const EpochAnnounceMsg& m) {
+  return with_tag(MsgTag::kEpochAnnounce, [&](Writer& w) { m.encode(w); });
 }
 
 }  // namespace zlb::consensus

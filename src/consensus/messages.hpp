@@ -136,6 +136,11 @@ enum class MsgTag : std::uint8_t {
   kSnapshotManifest = 10,
   kSnapshotChunkReq = 11,
   kSnapshotChunk = 12,
+  /// Live membership change (Alg. 1 lines 45-47): veterans of a decided
+  /// exclusion+inclusion announce the new epoch to the admitted standby
+  /// replicas (and to straggling veterans reporting a stale epoch). A
+  /// standby activates after t+1 matching announcements.
+  kEpochAnnounce = 13,
 };
 
 /// Proposal = RBC send vote + the batch payload it commits to.
@@ -175,6 +180,26 @@ struct DecisionMsg {
   [[nodiscard]] static DecisionMsg decode(Reader& r);
 };
 
+/// Signed announcement of a completed membership change: the new epoch,
+/// the regular-instance index it starts at (everything below stays in
+/// earlier epochs), and the full new committee. Standby replicas adopt
+/// it after t+1 matching copies from distinct signers — the same rule
+/// the simulator's catch-up applies.
+struct EpochAnnounceMsg {
+  ReplicaId sender = 0;
+  std::uint32_t epoch = 0;
+  InstanceId start_index = 0;            ///< first regular index of `epoch`
+  std::vector<ReplicaId> members;        ///< committee of `epoch`, sorted
+  std::vector<ReplicaId> excluded;       ///< everyone excluded so far
+  Bytes signature;
+
+  [[nodiscard]] Bytes signing_bytes() const;
+  /// Content digest (signer-independent): what t+1 copies must agree on.
+  [[nodiscard]] crypto::Hash32 content_digest() const;
+  void encode(Writer& w) const;
+  [[nodiscard]] static EpochAnnounceMsg decode(Reader& r);
+};
+
 /// Vote log pushed when two decisions conflict on a slot.
 struct EvidenceMsg {
   InstanceKey key;
@@ -190,5 +215,6 @@ struct EvidenceMsg {
 [[nodiscard]] Bytes encode_proposal_msg(const ProposalMsg& p);
 [[nodiscard]] Bytes encode_decision_msg(const DecisionMsg& d);
 [[nodiscard]] Bytes encode_evidence_msg(const EvidenceMsg& e);
+[[nodiscard]] Bytes encode_epoch_announce_msg(const EpochAnnounceMsg& m);
 
 }  // namespace zlb::consensus

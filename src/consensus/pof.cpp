@@ -48,8 +48,34 @@ std::vector<ProofOfFraud> decode_pofs(BytesView data) {
   return out;
 }
 
+Bytes ExclusionClaim::encode() const {
+  Writer w;
+  w.u64(ceiling);
+  w.varint(pofs.size());
+  for (const auto& p : pofs) p.encode(w);
+  return w.take();
+}
+
+ExclusionClaim ExclusionClaim::decode(BytesView data) {
+  Reader r(data);
+  ExclusionClaim c;
+  c.ceiling = r.u64();
+  const std::uint64_t n = r.varint();
+  if (n > 4096) throw DecodeError("ExclusionClaim: too many pofs");
+  c.pofs.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    c.pofs.push_back(ProofOfFraud::decode(r));
+  }
+  r.expect_done();
+  return c;
+}
+
 std::optional<ProofOfFraud> PofStore::observe(const SignedVote& vote) {
   if (!accountable(vote.body.type)) return std::nullopt;
+  if (vote.body.key.kind == InstanceKind::kRegular &&
+      vote.body.key.index < log_floor_) {
+    return std::nullopt;  // settled: a straggler must not resurrect it
+  }
   auto& steps = first_votes_[vote.body.key];
   const StepKey sk{vote.body.slot, vote.body.round, vote.body.type,
                    vote.signer};

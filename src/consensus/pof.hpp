@@ -33,6 +33,20 @@ struct ProofOfFraud {
 [[nodiscard]] Bytes encode_pofs(const std::vector<ProofOfFraud>& pofs);
 [[nodiscard]] std::vector<ProofOfFraud> decode_pofs(BytesView data);
 
+/// Live-deployment exclusion-consensus proposal: the proposer's proofs
+/// of fraud plus its claimed chain position. The decided claims fix the
+/// epoch boundary — the first regular index that runs under the new
+/// committee is the maximum decided ceiling, so nothing decided under
+/// the old committee is ever re-run under the new one.
+struct ExclusionClaim {
+  /// 1 + the proposer's highest decided regular index (0 = nothing).
+  InstanceId ceiling = 0;
+  std::vector<ProofOfFraud> pofs;
+
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] static ExclusionClaim decode(BytesView data);
+};
+
 /// Collects votes and detects equivocation. One store per replica.
 class PofStore {
  public:
@@ -57,6 +71,14 @@ class PofStore {
   /// PoFs themselves are kept).
   void prune_instance(const InstanceKey& key);
 
+  /// Regular-instance votes below this index are no longer logged:
+  /// straggler votes arriving after a prune would otherwise resurrect
+  /// the pruned entry and the log would grow O(chain) anyway. Only
+  /// moves forward. Membership-kind instances are unaffected.
+  void set_log_floor(InstanceId floor) {
+    log_floor_ = std::max(log_floor_, floor);
+  }
+
   /// All first-votes logged for (instance, slot) — the conflict
   /// evidence honest replicas exchange when decisions diverge.
   [[nodiscard]] std::vector<SignedVote> votes_for(const InstanceKey& key,
@@ -78,6 +100,7 @@ class PofStore {
                      InstanceKeyHasher>
       first_votes_;
   std::map<ReplicaId, ProofOfFraud> by_culprit_;
+  InstanceId log_floor_ = 0;
 };
 
 }  // namespace zlb::consensus

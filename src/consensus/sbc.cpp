@@ -25,6 +25,10 @@ SbcEngine::SbcEngine(InstanceKey key, std::vector<ReplicaId> slot_members,
       config_(config),
       hooks_(std::move(hooks)) {
   slots_.resize(slot_members_.size());
+  // Epoch threading is explicit: the caller names the epoch twice (key
+  // and config) and a disagreement means the engine was wired across a
+  // membership boundary — refuse everything rather than mix epochs.
+  if (config_.epoch != key_.epoch) stopped_ = true;
 }
 
 std::size_t SbcEngine::live_quorum() const {
@@ -378,6 +382,7 @@ void SbcEngine::check_instance_decided() {
     bitmask_[s] = st.decided_value;
     if (st.decided_value != 1) continue;
     OutcomeEntry entry;
+    entry.epoch = key_.epoch;
     entry.slot = s;
     entry.digest = st.delivered_digest;
     const auto it = st.payloads.find(st.delivered_digest);
@@ -391,8 +396,22 @@ void SbcEngine::check_instance_decided() {
   if (hooks_.decided) hooks_.decided();
 }
 
+std::vector<Bytes> SbcEngine::known_proposals() const {
+  std::vector<Bytes> out;
+  for (const SlotState& st : slots_) {
+    for (const auto& [digest, msg] : st.payloads) {
+      // Our own proposal is already in wire_log_ — resending it here
+      // would double it on every replay.
+      if (msg.vote.signer == me_) continue;
+      out.push_back(encode_proposal_msg(msg));
+    }
+  }
+  return out;
+}
+
 SbcEngine::SlotDebug SbcEngine::slot_debug(std::uint32_t slot) const {
   SlotDebug d;
+  d.epoch = key_.epoch;
   if (slot >= slots_.size()) return d;
   const SlotState& st = slots_[slot];
   d.delivered = st.delivered;

@@ -30,6 +30,11 @@ namespace zlb::consensus {
 class SbcEngine {
  public:
   struct Config {
+    /// Membership-change generation this engine belongs to. Must match
+    /// the instance key's epoch — a mismatch means the caller wired an
+    /// engine across an epoch boundary, and the engine refuses all
+    /// input (constructed stopped) rather than mixing memberships.
+    std::uint32_t epoch = 0;
     bool accountable = true;
     /// Modelled wire bytes of one certificate vote piggybacked on
     /// round>1 ESTs (sig + metadata).
@@ -65,6 +70,7 @@ class SbcEngine {
   };
 
   struct OutcomeEntry {
+    std::uint32_t epoch = 0;  ///< epoch the deciding instance ran under
     std::uint32_t slot = 0;
     crypto::Hash32 digest{};
     Bytes payload;
@@ -93,9 +99,17 @@ class SbcEngine {
 
   /// Γk.stop() — freezes the engine (Alg. 1 line 19).
   void stop() { stopped_ = true; }
+  /// Alg. 1 line 49: un-freezes a stopped engine so it can finish under
+  /// the (possibly shrunk) live committee. No-op on an epoch-mismatch
+  /// engine, which is permanently dead.
+  void resume() {
+    if (config_.epoch == key_.epoch) stopped_ = false;
+  }
   [[nodiscard]] bool stopped() const { return stopped_; }
+  [[nodiscard]] std::uint32_t epoch() const { return key_.epoch; }
 
   [[nodiscard]] bool has_decided() const { return instance_decided_; }
+  [[nodiscard]] bool has_proposed() const { return proposed_; }
   [[nodiscard]] const std::vector<OutcomeEntry>& outcome() const {
     return outcome_;
   }
@@ -118,12 +132,19 @@ class SbcEngine {
   [[nodiscard]] const std::vector<Bytes>& wire_log() const {
     return wire_log_;
   }
+  /// Every OTHER proposer's proposal this engine holds, re-encoded for
+  /// the wire (each carries its proposer's signature, so forwarding is
+  /// sound). A stalled peer may be missing exactly one of these — and
+  /// when the proposer has since been excluded, nobody's own wire log
+  /// can resend it; any honest holder can.
+  [[nodiscard]] std::vector<Bytes> known_proposals() const;
   /// Frees the recorded wire (once every peer is known to be past this
   /// instance).
   void clear_wire_log() { wire_log_.clear(); wire_log_.shrink_to_fit(); }
 
   /// Introspection for tests and debugging.
   struct SlotDebug {
+    std::uint32_t epoch = 0;
     bool delivered = false;
     bool started = false;
     bool decided = false;

@@ -1,16 +1,42 @@
 #include "net/live_node.hpp"
 
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "asmr/payload.hpp"
 #include "chain/block.hpp"
 #include "common/serde.hpp"
 #include "consensus/messages.hpp"
 
 namespace zlb::net {
 
+using consensus::EpochAnnounceMsg;
+using consensus::ExclusionClaim;
+using consensus::InstanceKind;
 using consensus::MsgTag;
+using consensus::ProofOfFraud;
 using consensus::ProposalMsg;
 using consensus::SignedVote;
 
 namespace {
+/// ZLB_DEBUG_RECONFIG=1: trace membership-change state transitions to
+/// stderr (off in normal runs; invaluable when a live cluster wedges).
+bool reconfig_trace_enabled() {
+  static const bool on = []() {
+    const char* env = std::getenv("ZLB_DEBUG_RECONFIG");
+    return env != nullptr && env[0] == '1';
+  }();
+  return on;
+}
+
+#define ZLB_RTRACE(...)                      \
+  do {                                       \
+    if (reconfig_trace_enabled()) {          \
+      std::fprintf(stderr, __VA_ARGS__);     \
+    }                                        \
+  } while (0)
+
 TransportConfig transport_config(const LiveNodeConfig& cfg) {
   TransportConfig t;
   t.me = cfg.me;
@@ -18,12 +44,19 @@ TransportConfig transport_config(const LiveNodeConfig& cfg) {
   t.down_link_buffer_bytes = cfg.down_link_buffer_bytes;
   return t;
 }
+
+std::vector<ReplicaId> sorted_unique(std::vector<ReplicaId> ids) {
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+constexpr std::size_t kMembershipStashCap = 8192;
 }  // namespace
 
 LiveNode::LiveNode(LiveNodeConfig config)
     : config_(std::move(config)),
       transport_(loop_, transport_config(config_)),
-      committee_(config_.committee),
       mempool_(config_.mempool_capacity) {
   // Resync replays recorded wire, so the engines must record it.
   if (config_.resync_interval > Duration::zero()) {
@@ -33,6 +66,22 @@ LiveNode::LiveNode(LiveNodeConfig config)
     scheme_ = std::make_unique<crypto::EcdsaScheme>();
   } else {
     scheme_ = std::make_unique<crypto::SimScheme>();
+  }
+  const std::vector<ReplicaId> members = sorted_unique(config_.committee);
+  epoch_members_[0] = members;
+  epoch_live_.emplace(0u, consensus::Committee(members));
+  committee_snapshot_ = members;
+  active_ = !config_.standby;
+  active_atomic_.store(active_);
+  if (!config_.standby) {
+    epoch_spans_.push_back({0, 0});
+  }
+  // Cross-validated roots: unless the caller pinned a quorum (an
+  // explicit 1 = trust one server is honoured), require the
+  // committee's t+1 matching manifests before a root is trusted.
+  if (config_.fetcher.manifest_quorum == 0 && !members.empty()) {
+    config_.fetcher.manifest_quorum =
+        static_cast<std::uint32_t>((members.size() - 1) / 3 + 1);
   }
   transport_.set_handler(
       [this](ReplicaId from, BytesView data) { on_frame(from, data); });
@@ -80,13 +129,31 @@ std::vector<std::pair<chain::OutPoint, chain::TxOut>> LiveNode::owned_coins(
   return bm_.utxos().owned_by(a);
 }
 
+std::vector<ReplicaId> LiveNode::committee_members() const {
+  const std::lock_guard<std::mutex> lock(decisions_mutex_);
+  return committee_snapshot_;
+}
+
+LiveNode::ReconfigStats LiveNode::reconfig_stats() const {
+  const std::lock_guard<std::mutex> lock(decisions_mutex_);
+  return reconfig_;
+}
+
 void LiveNode::set_peer_ports(const std::map<ReplicaId, std::uint16_t>& ports) {
+  all_ports_ = ports;
+  // The transport's table is the whole universe (committee + pool): a
+  // standby keeps warm links to the committee it may be asked to join,
+  // and a veteran accepts the standby's dial-in. The initiation rule
+  // (higher id dials) plus the convention that pool ids sort last makes
+  // the standbys do the connecting.
   std::map<ReplicaId, std::uint16_t> peers;
-  for (ReplicaId member : config_.committee) {
-    if (member == config_.me) continue;
+  auto admit = [&](ReplicaId member) {
+    if (member == config_.me) return;
     const auto it = ports.find(member);
     if (it != ports.end()) peers.emplace(member, it->second);
-  }
+  };
+  for (ReplicaId member : config_.committee) admit(member);
+  for (ReplicaId member : config_.pool) admit(member);
   transport_.set_peers(std::move(peers));
 }
 
@@ -94,21 +161,40 @@ void LiveNode::queue_payload(Bytes payload) {
   queued_payloads_.push_back(std::move(payload));
 }
 
-Bytes LiveNode::payload_for(InstanceId k) {
+std::int64_t LiveNode::ms_since_start() const {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                               run_start_)
+      .count();
+}
+
+std::optional<std::uint32_t> LiveNode::epoch_of(InstanceId k) const {
+  for (auto it = epoch_spans_.rbegin(); it != epoch_spans_.rend(); ++it) {
+    if (it->first <= k) return it->second;
+  }
+  return std::nullopt;
+}
+
+Bytes LiveNode::payload_for(InstanceId k, bool drain_mempool) {
   if (config_.real_blocks) {
     chain::Block block;
     block.index = k;
     block.proposer = config_.me;
-    block.slot = static_cast<std::uint32_t>(
-        std::max(0, committee_.slot_of(config_.me)));
-    {
+    const auto eo = epoch_of(k);
+    const auto members =
+        eo ? epoch_members_.find(*eo) : epoch_members_.end();
+    if (members != epoch_members_.end()) {
+      const consensus::Committee com(members->second);
+      block.slot = static_cast<std::uint32_t>(
+          std::max(0, com.slot_of(config_.me)));
+    }
+    if (drain_mempool) {
       const std::lock_guard<std::mutex> lock(decisions_mutex_);
       block.txs = mempool_.take_batch(config_.max_block_txs);
       if (!block.txs.empty()) proposed_txs_[k] = block.txs;
     }
     return block.serialize();
   }
-  if (next_payload_ < queued_payloads_.size()) {
+  if (drain_mempool && next_payload_ < queued_payloads_.size()) {
     return queued_payloads_[next_payload_++];
   }
   Writer w;
@@ -150,25 +236,100 @@ LiveNode::Engine* LiveNode::get_or_create(InstanceId k) {
   const auto it = engines_.find(k);
   if (it != engines_.end()) return it->second.get();
 
-  consensus::InstanceKey key{0, consensus::InstanceKind::kRegular, k};
+  // Γ.stop() window (Alg. 1 line 19): while the membership change runs
+  // no NEW regular instance may open — a stale old-epoch vote arriving
+  // between the exclusion's engine sweep and the epoch bump would
+  // otherwise resurrect an old-epoch zombie at an index the NEW epoch
+  // must re-run, and with engines keyed by index the new-epoch engine
+  // could then never exist: the cluster wedges on that instance.
+  if (membership_running_) return nullptr;
+
+  const auto eo = epoch_of(k);
+  // A standby has no membership knowledge below its join boundary —
+  // that history arrives as a snapshot, never as engines.
+  if (!eo) return nullptr;
+  const std::uint32_t e = *eo;
+  const auto& members = epoch_members_.at(e);
+
+  Key key{e, InstanceKind::kRegular, k};
+  Engine::Config ec = config_.engine;
+  ec.epoch = e;
   Engine::Hooks hooks;
-  hooks.broadcast = [this](Bytes data, std::uint32_t, std::uint64_t) {
-    for (ReplicaId member : config_.committee) {
+  hooks.broadcast = [this, k, dests = members](Bytes data, std::uint32_t,
+                                               std::uint64_t) {
+    for (ReplicaId member : dests) {
       transport_.send(member, BytesView(data.data(), data.size()));
+    }
+    if (config_.byzantine_equivocate && k >= config_.equivocate_from &&
+        !data.empty() &&
+        data[0] == static_cast<std::uint8_t>(MsgTag::kVote)) {
+      // Fault injection: double-vote on AUX — the accountable step
+      // whose equivocation every honest receiver turns into a PoF.
+      try {
+        Reader r(BytesView(data.data() + 1, data.size() - 1));
+        SignedVote v = SignedVote::decode(r);
+        if (v.body.type == consensus::VoteType::kAux &&
+            v.body.value.size() == 1) {
+          v.body.value[0] ^= 1;
+          const Bytes sb = v.body.signing_bytes();
+          v.signature =
+              scheme_->sign(config_.me, BytesView(sb.data(), sb.size()));
+          const Bytes evil = consensus::encode_vote_msg(v);
+          for (ReplicaId member : dests) {
+            transport_.send(member, BytesView(evil.data(), evil.size()));
+          }
+        }
+      } catch (const DecodeError&) {
+      }
     }
   };
   hooks.decided = [this, k]() { on_decided(k); };
-  auto engine = std::make_unique<Engine>(key, config_.committee, &committee_,
-                                         config_.me, *scheme_, config_.engine,
+  if (config_.reconfiguration) {
+    hooks.observe = [this](const SignedVote& v) { observe_vote(v); };
+  }
+  auto engine = std::make_unique<Engine>(key, members, &epoch_live_.at(e),
+                                         config_.me, *scheme_, ec,
                                          std::move(hooks));
   Engine* raw = engine.get();
   engines_.emplace(k, std::move(engine));
+  ZLB_RTRACE("[%u] engine created k=%llu epoch=%u\n", config_.me,
+             static_cast<unsigned long long>(k), e);
+  // Liveness across an epoch boundary: a member proposes in every
+  // instance its committee is actively working, even when its own
+  // contiguous floor lags (an admitted standby mid-catch-up, a veteran
+  // behind a join). The zero-phase only fires after a QUORUM of slots
+  // deliver — with more than t members waiting for their floor to reach
+  // the working instance, fewer than a quorum of slots would ever
+  // propose and the instance wedges. Only the in-order cursor drains
+  // the mempool: a remote frame for a far-future index must not be
+  // able to strand ACKed client batches in an instance the chain will
+  // not reach for ages, so everything past the cursor proposes empty.
+  // The window above the legitimate frontier (the cursor or the newest
+  // epoch boundary, whichever is ahead) bounds what one forged vote
+  // per index can make every honest node broadcast.
+  constexpr InstanceId kProposeAheadWindow = 64;
+  const InstanceId frontier =
+      std::max(current_, epoch_spans_.empty() ? InstanceId{0}
+                                              : epoch_spans_.back().first);
+  if (active_ && !membership_running_ && k >= current_ &&
+      k < frontier + kProposeAheadWindow) {
+    raw->propose(payload_for(k, /*drain_mempool=*/k == current_),
+                 /*extra_wire=*/0, /*tx_count=*/1, /*verify_units=*/1);
+  }
   return raw;
 }
 
 void LiveNode::start_instance(InstanceId k) {
+  if (!active_ || membership_running_) return;
   Engine* engine = get_or_create(k);
-  if (engine == nullptr || engine->has_decided()) return;
+  if (engine == nullptr || engine->has_decided() || engine->has_proposed()) {
+    return;
+  }
+  ZLB_RTRACE("[%u] start_instance k=%llu epoch=%u\n", config_.me,
+             static_cast<unsigned long long>(k), engine->epoch());
+  // payload_for only after the proposed-check: it drains the mempool,
+  // and a drain for a proposal that never goes out would strand the
+  // drained transactions in proposed_txs_.
   const Bytes payload = payload_for(k);
   engine->propose(payload, /*extra_wire=*/0,
                   /*tx_count=*/1, /*verify_units=*/1);
@@ -176,14 +337,32 @@ void LiveNode::start_instance(InstanceId k) {
 
 void LiveNode::on_decided(InstanceId k) {
   Engine* engine = engines_.at(k).get();
+  decided_ceiling_ = std::max(decided_ceiling_, k + 1);
+  ZLB_RTRACE("[%u] decided k=%llu epoch=%u\n", config_.me,
+             static_cast<unsigned long long>(k), engine->epoch());
   if (config_.real_blocks) {
     commit_decided_blocks(k, *engine);
+    // Gap fill: instances decide out of order during catch-up, and a
+    // transaction spending an output of block k was SKIPPED when its
+    // own (higher-indexed) block committed before k existed here.
+    // Re-commit the decided blocks above k in index order — apply is
+    // txid-deduped, so in-flight state converges to the in-order
+    // result. In normal in-order operation the ceiling check makes
+    // this a no-op.
+    if (decision_ceiling() > k + 1) {
+      for (auto it = engines_.upper_bound(k); it != engines_.end(); ++it) {
+        if (it->second->has_decided()) {
+          commit_decided_blocks(it->first, *it->second);
+        }
+      }
+    }
     // If our own slot lost its binary consensus (the proposal raced the
     // zero-phase), the drained transactions must go back into the
     // mempool for the next block — clients got an ACK for them.
     const auto proposed = proposed_txs_.find(k);
     if (proposed != proposed_txs_.end()) {
-      const int my_slot = committee_.slot_of(config_.me);
+      const consensus::Committee com(epoch_members_.at(engine->epoch()));
+      const int my_slot = com.slot_of(config_.me);
       const auto& bitmask = engine->bitmask();
       const bool included = my_slot >= 0 &&
                             static_cast<std::size_t>(my_slot) <
@@ -202,13 +381,27 @@ void LiveNode::on_decided(InstanceId k) {
     if (ckpt_) {
       // Checkpoint on the contiguous decided floor (never on an
       // out-of-order decision ahead of a gap): the snapshot plus the
-      // journal tail must cover the whole chain.
+      // journal tail must cover the whole chain. The epoch label
+      // belongs to the watermark the manager actually snaps to, not to
+      // the floor — an interval straddling an epoch boundary would
+      // otherwise mislabel the image, and every peer's manifest gate
+      // would reject it as a relabelling attack.
+      const InstanceId floor = decision_floor();
       const std::lock_guard<std::mutex> lock(decisions_mutex_);
-      (void)ckpt_->on_decided(bm_, decision_floor());
+      (void)ckpt_->on_decided(bm_, floor, [this](InstanceId w) {
+        return epoch_of(w).value_or(epoch_);
+      });
     }
   }
+  // The instance is settled here: its first-vote log is no longer
+  // needed for PoF extraction (live equivocation was observed live),
+  // and without the prune the store grows O(chain). The floor keeps
+  // straggler votes from resurrecting what was just pruned.
+  pofs_.prune_instance(engine->key());
+  pofs_.set_log_floor(decision_floor());
   LiveDecision d;
   d.index = k;
+  d.epoch = engine->epoch();
   d.bitmask = engine->bitmask();
   for (const auto& entry : engine->outcome()) {
     d.digests.push_back(entry.digest);
@@ -240,6 +433,7 @@ void LiveNode::on_decided(InstanceId k) {
     if (it == engines_.end() || !it->second->has_decided()) break;
     ++current_;
   }
+  if (membership_running_) return;  // resumes after the epoch switch
   if (current_ < config_.instances) {
     if (config_.real_blocks && config_.block_interval > Duration::zero()) {
       // Give clients a window to fill the next block.
@@ -267,18 +461,745 @@ InstanceId LiveNode::decision_floor() const {
   return k;
 }
 
+InstanceId LiveNode::decision_ceiling() const {
+  // Cursor-maintained (on_decided / settle_below): the commit hot path
+  // and the exclusion validate hook both ask, and a map scan here
+  // would cost O(chain) per decide.
+  return std::max(decision_floor(), decided_ceiling_);
+}
+
+// --- membership change (Alg. 1, live) --------------------------------
+
+LiveNode::Engine* LiveNode::route_engine(ReplicaId from, const Key& key,
+                                         BytesView frame) {
+  if (key.kind == InstanceKind::kRegular) {
+    const auto eo = epoch_of(key.index);
+    if (!eo) return nullptr;  // pre-join history: snapshot territory
+    if (key.epoch != *eo) {
+      // Cross-epoch rejection: a vote keyed to the wrong membership
+      // generation never reaches an engine.
+      const std::lock_guard<std::mutex> lock(decisions_mutex_);
+      ++reconfig_.cross_epoch_dropped;
+      return nullptr;
+    }
+    return get_or_create(key.index);
+  }
+  if (!config_.reconfiguration) return nullptr;
+  if (key.epoch < epoch_) return nullptr;  // settled history
+  if (key.epoch > epoch_) {
+    // A change we have not caught up to; the announce path heals us,
+    // these votes are useless until then.
+    const std::lock_guard<std::mutex> lock(decisions_mutex_);
+    ++reconfig_.cross_epoch_dropped;
+    return nullptr;
+  }
+  const auto it = member_engines_.find(key);
+  if (it != member_engines_.end()) return it->second.get();
+  // Exclusion/inclusion traffic ahead of our own threshold or
+  // exclusion decision: hold it (Alg. 1 buffers too).
+  stash_membership_frame(from, frame);
+  return nullptr;
+}
+
+void LiveNode::requeue_proposed(InstanceId k) {
+  const auto it = proposed_txs_.find(k);
+  if (it == proposed_txs_.end()) return;
+  {
+    const std::lock_guard<std::mutex> lock(decisions_mutex_);
+    for (auto& tx : it->second) {
+      // Clients were ACKed at admission; the teardown of an engine
+      // whose proposal never decided must not silently drop them.
+      if (!bm_.knows_tx(tx.id())) (void)mempool_.readmit(tx);
+    }
+  }
+  proposed_txs_.erase(it);
+}
+
+void LiveNode::observe_vote(const SignedVote& vote) {
+  auto pof = pofs_.observe(vote);
+  if (pof.has_value()) pending_pofs_.push_back(*pof);
+}
+
+void LiveNode::note_new_pofs() {
+  if (pending_pofs_.empty()) return;
+  std::vector<ProofOfFraud> fresh;
+  for (auto& pof : pending_pofs_) {
+    if (pofs_.add_pof(pof)) fresh.push_back(pof);
+  }
+  pending_pofs_.clear();
+  {
+    const std::lock_guard<std::mutex> lock(decisions_mutex_);
+    reconfig_.pof_culprits = pofs_.culprit_count();
+  }
+  if (!config_.reconfiguration) return;
+
+  if (!fresh.empty() && active_) {
+    // Alg. 1 line 26: rebroadcast the new PoFs — the unblocker that
+    // spreads detection past whatever partition of observations each
+    // replica happened to make.
+    Writer w;
+    w.u8(static_cast<std::uint8_t>(MsgTag::kPofGossip));
+    w.raw(consensus::encode_pofs(fresh));
+    const Bytes msg = w.take();
+    for (ReplicaId member : epoch_members_.at(epoch_)) {
+      if (member != config_.me) {
+        transport_.send(member, BytesView(msg.data(), msg.size()));
+      }
+    }
+  }
+
+  if (membership_running_) {
+    // Alg. 1 lines 23-27: shrink C′ and re-check thresholds at runtime.
+    std::vector<ReplicaId> to_remove;
+    for (ReplicaId m : exclusion_live_.members()) {
+      if (pofs_.is_culprit(m)) to_remove.push_back(m);
+    }
+    if (!to_remove.empty()) {
+      exclusion_live_.remove(to_remove);
+      const auto it =
+          member_engines_.find(Key{epoch_, InstanceKind::kExclusion,
+                                   next_excl_index_[epoch_]});
+      if (it != member_engines_.end()) it->second->recheck();
+    }
+  }
+  maybe_start_membership();
+}
+
+void LiveNode::maybe_start_membership() {
+  if (!config_.reconfiguration || !active_ || membership_running_) return;
+  // One membership change attempt at a time: the current exclusion
+  // index's engine is the tombstone (aborted rounds advance the index,
+  // re-arming the trigger under a fresh key).
+  const Key excl_key{epoch_, InstanceKind::kExclusion,
+                     next_excl_index_[epoch_]};
+  if (member_engines_.count(excl_key) != 0) return;
+  consensus::Committee& live = live_committee();
+  std::size_t in_committee = 0;
+  for (ReplicaId id : pofs_.culprits()) {
+    if (live.contains(id)) ++in_committee;
+  }
+  if (in_committee < live.fd()) return;
+  {
+    const std::lock_guard<std::mutex> lock(decisions_mutex_);
+    if (reconfig_.detect_ms < 0) reconfig_.detect_ms = ms_since_start();
+  }
+
+  membership_running_ = true;
+  ZLB_RTRACE("[%u] membership trigger: %zu culprits, floor=%llu\n",
+             config_.me, in_committee,
+             static_cast<unsigned long long>(decision_floor()));
+  // Alg. 1 line 19: freeze the pending regular instances — nothing may
+  // decide under the old committee while the exclusion runs, so the
+  // decided boundary claims stay honest.
+  for (auto& [k, engine] : engines_) {
+    if (!engine->has_decided()) engine->stop();
+  }
+  // Alg. 1 lines 20-22: C′ = C \ culprits; start the exclusion
+  // consensus with the full epoch membership as the slot map.
+  std::vector<ReplicaId> cprime;
+  for (ReplicaId m : epoch_members_.at(epoch_)) {
+    if (!pofs_.is_culprit(m)) cprime.push_back(m);
+  }
+  exclusion_live_.reset(std::move(cprime));
+  Engine* engine = create_membership_engine(excl_key);
+  if (engine != nullptr) {
+    ExclusionClaim claim;
+    claim.ceiling = decision_ceiling();
+    // Only PoFs against CURRENT members go into the claim: the store
+    // keeps earlier epochs' culprits forever (they must stay banned
+    // from re-inclusion), but validators reject claims naming
+    // non-members — a stale PoF would invalidate the whole proposal
+    // and wedge every membership change after the first.
+    const auto& members = epoch_members_.at(epoch_);
+    for (const auto& pof : pofs_.pofs()) {
+      if (std::find(members.begin(), members.end(), pof.culprit()) !=
+          members.end()) {
+        claim.pofs.push_back(pof);
+      }
+    }
+    engine->propose(claim.encode(), 0, 0,
+                    1 + 2 * static_cast<std::uint32_t>(claim.pofs.size()));
+  }
+  drain_membership_stash();
+}
+
+LiveNode::Engine* LiveNode::create_membership_engine(const Key& key) {
+  const auto it = member_engines_.find(key);
+  if (it != member_engines_.end()) return it->second.get();
+
+  std::vector<ReplicaId> slot_members;
+  const consensus::Committee* live = nullptr;
+  Engine::Hooks hooks;
+  if (key.kind == InstanceKind::kExclusion) {
+    slot_members = epoch_members_.at(key.epoch);
+    live = &exclusion_live_;
+    hooks.validate = [this](BytesView payload) {
+      try {
+        const ExclusionClaim claim = ExclusionClaim::decode(payload);
+        if (claim.pofs.empty()) return false;
+        // The decided max ceiling becomes the epoch boundary, so an
+        // inflated claim defers the new committee's effect. Honest
+        // ceilings sit near the validator's own; a proposal claiming
+        // far beyond that never collects the honest echoes RBC
+        // delivery needs, which caps Byzantine inflation at (some
+        // honest ceiling + slack). The slack absorbs legitimate
+        // pipeline skew between replicas.
+        constexpr InstanceId kCeilingSlack = 64;
+        if (claim.ceiling > config_.instances ||
+            claim.ceiling > decision_ceiling() + kCeilingSlack) {
+          return false;
+        }
+        const auto& members = epoch_members_.at(epoch_);
+        for (const auto& pof : claim.pofs) {
+          if (!consensus::verify_pof(pof, *scheme_)) return false;
+          if (std::find(members.begin(), members.end(), pof.culprit()) ==
+              members.end()) {
+            return false;
+          }
+        }
+        // Valid PoFs are proof in themselves: adopt them (Alg. 1 lines
+        // 13-16), deferred to the end of frame handling.
+        pending_pofs_.insert(pending_pofs_.end(), claim.pofs.begin(),
+                             claim.pofs.end());
+        return true;
+      } catch (const DecodeError&) {
+        return false;
+      }
+    };
+  } else {
+    // Inclusion: the post-exclusion committee is the slot map; only
+    // reachable once our exclusion decided (cons_exclude_ is set).
+    slot_members = live_committee().members();
+    live = &epoch_live_.at(epoch_);
+    hooks.validate = [this](BytesView payload) {
+      try {
+        const auto ids = asmr::decode_replica_ids(payload);
+        for (ReplicaId id : ids) {
+          if (std::find(config_.pool.begin(), config_.pool.end(), id) ==
+              config_.pool.end()) {
+            return false;
+          }
+          if (live_committee().contains(id)) return false;
+          if (std::find(excluded_ids_.begin(), excluded_ids_.end(), id) !=
+              excluded_ids_.end()) {
+            return false;
+          }
+        }
+        return true;
+      } catch (const DecodeError&) {
+        return false;
+      }
+    };
+  }
+
+  hooks.broadcast = [this, dests = slot_members](Bytes data, std::uint32_t,
+                                                 std::uint64_t) {
+    for (ReplicaId member : dests) {
+      transport_.send(member, BytesView(data.data(), data.size()));
+    }
+  };
+  const Key key_copy = key;
+  hooks.decided = [this, key_copy]() {
+    const auto eit = member_engines_.find(key_copy);
+    if (eit == member_engines_.end()) return;
+    if (key_copy.kind == InstanceKind::kExclusion) {
+      on_exclusion_decided(key_copy, *eit->second);
+    } else {
+      on_inclusion_decided(key_copy, *eit->second);
+    }
+  };
+  hooks.observe = [this](const SignedVote& v) { observe_vote(v); };
+
+  Engine::Config ec = config_.engine;
+  ec.epoch = key.epoch;
+  auto engine = std::make_unique<Engine>(key, slot_members, live, config_.me,
+                                         *scheme_, ec, std::move(hooks));
+  Engine* raw = engine.get();
+  member_engines_.emplace(key, std::move(engine));
+  return raw;
+}
+
+void LiveNode::on_exclusion_decided(const Key& key, Engine& engine) {
+  if (!cons_exclude_.empty()) return;  // already handled
+  std::set<ReplicaId> culprits;
+  InstanceId boundary = 0;
+  for (const auto& entry : engine.outcome()) {
+    try {
+      const ExclusionClaim claim = ExclusionClaim::decode(
+          BytesView(entry.payload.data(), entry.payload.size()));
+      boundary = std::max(boundary, claim.ceiling);
+      for (const auto& pof : claim.pofs) {
+        pofs_.add_pof(pof);
+        culprits.insert(pof.culprit());
+      }
+    } catch (const DecodeError&) {
+      continue;
+    }
+  }
+  for (ReplicaId id : epoch_members_.at(epoch_)) {
+    if (culprits.count(id) != 0) cons_exclude_.push_back(id);
+  }
+  if (cons_exclude_.empty()) {
+    // Nothing provably in the committee decided out: abort the change
+    // and let the frozen instances continue. The decided all-zero
+    // engine stays as THIS round's tombstone; the retry runs at the
+    // next exclusion index so the trigger re-arms under a fresh
+    // signing context (every replica that decided this round computes
+    // the same next index, so the retry converges).
+    membership_running_ = false;
+    next_excl_index_[key.epoch] =
+        std::max(next_excl_index_[key.epoch], key.index + 1);
+    for (auto& [k2, e] : engines_) {
+      if (!e->has_decided()) {
+        e->resume();
+        e->recheck();
+      }
+    }
+    // The pipeline must restart here too: the start_instance the
+    // trigger swallowed (membership_running_ guard) is not coming
+    // back, and if every replica froze before proposing the cursor
+    // instance, nobody would ever open it again.
+    if (current_ < config_.instances) start_instance(current_);
+    // Still fd proven culprits in the committee? Retry immediately.
+    maybe_start_membership();
+    return;
+  }
+  // The boundary only moves forward across changes, and never below an
+  // already-settled prefix.
+  if (!epoch_spans_.empty()) {
+    boundary = std::max(boundary, epoch_spans_.back().first);
+  }
+  boundary = std::max(boundary, settled_floor_);
+  pending_boundary_ = boundary;
+  ZLB_RTRACE("[%u] exclusion decided: %zu culprits, boundary=%llu\n",
+             config_.me, cons_exclude_.size(),
+             static_cast<unsigned long long>(boundary));
+  {
+    const std::lock_guard<std::mutex> lock(decisions_mutex_);
+    if (reconfig_.exclude_ms < 0) reconfig_.exclude_ms = ms_since_start();
+  }
+
+  // Alg. 1 line 40 + lines 23-25 retroactively: the coalition leaves
+  // EVERY epoch's live committee, so stalled old-epoch instances can
+  // decide among the honest remainder.
+  for (auto& [e, com] : epoch_live_) com.remove(cons_exclude_);
+  exclusion_live_.remove(cons_exclude_);
+
+  // Instances at/above the boundary re-run under the new epoch: their
+  // frozen old-epoch engines are tombstones now. Below the boundary the
+  // old epochs finish — resume and re-check against the shrunk live
+  // committees (quorums are reachable honest-only from here).
+  for (auto it = engines_.begin(); it != engines_.end();) {
+    if (it->first >= boundary && !it->second->has_decided()) {
+      requeue_proposed(it->first);
+      it = engines_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto& [k, e] : engines_) {
+    if (!e->has_decided()) {
+      e->resume();
+      e->recheck();
+    }
+  }
+
+  // Alg. 1 lines 41-42: inclusion consensus among the survivors.
+  Engine* inclusion =
+      create_membership_engine(Key{epoch_, InstanceKind::kInclusion, 0});
+  if (inclusion != nullptr && !inclusion->has_decided()) {
+    // pool.take(|cons-exclude|), offset by our slot so proposals differ
+    // across replicas and choose() can spread the inclusions evenly.
+    std::vector<ReplicaId> candidates;
+    for (ReplicaId id : config_.pool) {
+      if (!live_committee().contains(id) &&
+          std::find(excluded_ids_.begin(), excluded_ids_.end(), id) ==
+              excluded_ids_.end()) {
+        candidates.push_back(id);
+      }
+    }
+    std::vector<ReplicaId> prop;
+    if (!candidates.empty()) {
+      const int my_slot = std::max(0, live_committee().slot_of(config_.me));
+      const std::size_t want =
+          std::min(cons_exclude_.size(), candidates.size());
+      const std::size_t start =
+          (static_cast<std::size_t>(my_slot) * want) % candidates.size();
+      for (std::size_t i = 0; i < want; ++i) {
+        prop.push_back(candidates[(start + i) % candidates.size()]);
+      }
+    }
+    inclusion->propose(asmr::encode_replica_ids(prop), 0, 0, 1);
+  }
+  drain_membership_stash();
+}
+
+void LiveNode::on_inclusion_decided(const Key& /*key*/, Engine& engine) {
+  if (!membership_running_) return;  // already switched
+  std::vector<std::vector<ReplicaId>> proposals;
+  for (const auto& entry : engine.outcome()) {
+    try {
+      proposals.push_back(asmr::decode_replica_ids(
+          BytesView(entry.payload.data(), entry.payload.size())));
+    } catch (const DecodeError&) {
+      continue;
+    }
+  }
+  std::unordered_set<ReplicaId> banned(epoch_members_.at(epoch_).begin(),
+                                       epoch_members_.at(epoch_).end());
+  banned.insert(excluded_ids_.begin(), excluded_ids_.end());
+  const auto chosen =
+      asmr::choose_inclusion(cons_exclude_.size(), proposals, banned);
+
+  excluded_ids_.insert(excluded_ids_.end(), cons_exclude_.begin(),
+                       cons_exclude_.end());
+  std::vector<ReplicaId> members = live_committee().members();
+  members.insert(members.end(), chosen.begin(), chosen.end());
+  members = sorted_unique(members);
+
+  const std::uint32_t new_epoch = epoch_ + 1;
+  epoch_members_[new_epoch] = members;
+  epoch_live_.emplace(new_epoch, consensus::Committee(members));
+  epoch_ = new_epoch;
+  epoch_atomic_.store(new_epoch);
+  epoch_spans_.push_back({pending_boundary_, new_epoch});
+  membership_running_ = false;
+  {
+    const std::lock_guard<std::mutex> lock(decisions_mutex_);
+    committee_snapshot_ = members;
+    reconfig_.epoch = new_epoch;
+    reconfig_.excluded += cons_exclude_.size();
+    reconfig_.included += chosen.size();
+    if (reconfig_.include_ms < 0) reconfig_.include_ms = ms_since_start();
+    // The boundary enters the WAL before any new-epoch block can: a
+    // restart must never replay epoch-e+1 blocks into an epoch-0 view.
+    (void)bm_.journal_epoch(chain::EpochRecord{
+        new_epoch, pending_boundary_, members, sorted_unique(excluded_ids_)});
+  }
+
+  // Membership takes effect below the consensus too: excluded links go
+  // down for good, admitted standbys get links raised (Alg. 1 45-47).
+  retarget_transport();
+
+  // Tell the admitted replicas (they activate on t+1 matching copies);
+  // the same message heals veterans that slept through the change.
+  EpochAnnounceMsg announce;
+  announce.sender = config_.me;
+  announce.epoch = new_epoch;
+  announce.start_index = pending_boundary_;
+  announce.members = members;
+  announce.excluded = sorted_unique(excluded_ids_);
+  const Bytes sb = announce.signing_bytes();
+  announce.signature =
+      scheme_->sign(config_.me, BytesView(sb.data(), sb.size()));
+  last_announce_ = announce;
+  // The whole pool hears the change, not just the admitted: a standby
+  // passed over today must still track the committee's evolution, or
+  // its trusted signer set fossilizes at epoch 0 and a LATER admission
+  // could never gather t+1 signatures it recognizes.
+  for (ReplicaId id : config_.pool) {
+    if (id == config_.me) continue;
+    if (std::find(excluded_ids_.begin(), excluded_ids_.end(), id) !=
+        excluded_ids_.end()) {
+      continue;
+    }
+    send_epoch_announce(id);
+  }
+
+  cons_exclude_.clear();
+  ZLB_RTRACE("[%u] inclusion decided: epoch=%u start=%llu members=%zu\n",
+             config_.me, epoch_,
+             static_cast<unsigned long long>(pending_boundary_),
+             epoch_members_.at(epoch_).size());
+  // Defensive sweep: any undecided old-epoch engine at/above the
+  // boundary is a zombie squatting on an index the new epoch must
+  // re-run (get_or_create refuses to create them during the change,
+  // but the invariant is load-bearing — enforce it here too).
+  for (auto it = engines_.lower_bound(pending_boundary_);
+       it != engines_.end();) {
+    if (!it->second->has_decided() && it->second->epoch() != epoch_) {
+      requeue_proposed(it->first);
+      it = engines_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Alg. 1 line 49: resume the regular pipeline — the old-epoch tail
+  // first (its engines were resumed at exclusion), then the new epoch
+  // from the boundary.
+  while (current_ < config_.instances) {
+    const auto it = engines_.find(current_);
+    if (it == engines_.end() || !it->second->has_decided()) break;
+    ++current_;
+  }
+  if (current_ < config_.instances) start_instance(current_);
+  drain_membership_stash();
+}
+
+void LiveNode::retarget_transport() {
+  // excluded_ids_ covers this change's cons_exclude_ (merged before the
+  // call) AND everyone excluded in earlier epochs — the restart path
+  // re-runs this after journal recovery, where only excluded_ids_
+  // survives, and the "links down for good" invariant must hold there
+  // too.
+  for (ReplicaId id : excluded_ids_) transport_.remove_peer(id);
+  for (ReplicaId id : epoch_members_.at(epoch_)) {
+    if (id == config_.me || transport_.knows_peer(id)) continue;
+    const auto it = all_ports_.find(id);
+    if (it != all_ports_.end()) transport_.add_peer(id, it->second);
+  }
+}
+
+void LiveNode::maybe_reannounce(ReplicaId to) {
+  if (!last_announce_.has_value()) return;
+  constexpr int kAnnounceCooldownTicks = 4;
+  PeerResync& ps = peer_sync_[to];
+  if (resync_ticks_ - ps.announce_tick < kAnnounceCooldownTicks) return;
+  ps.announce_tick = resync_ticks_;
+  send_epoch_announce(to);
+}
+
+void LiveNode::send_epoch_announce(ReplicaId to) {
+  if (!last_announce_.has_value()) return;
+  const Bytes msg = consensus::encode_epoch_announce_msg(*last_announce_);
+  transport_.send(to, BytesView(msg.data(), msg.size()));
+}
+
+void LiveNode::handle_epoch_announce(ReplicaId from,
+                                     const EpochAnnounceMsg& msg) {
+  if (msg.sender != from || msg.epoch <= epoch_) return;
+  if (msg.members.empty()) return;
+  const Bytes sb = msg.signing_bytes();
+  if (!scheme_->verify(from, BytesView(sb.data(), sb.size()),
+                       BytesView(msg.signature.data(),
+                                 msg.signature.size()))) {
+    return;
+  }
+  // Signers are counted against a committee the receiver ALREADY
+  // trusts — its own current epoch's membership — never against the
+  // announced list. Counting against msg.members would let a single
+  // authenticated peer announce a committee of itself (t+1 of 1 = 1)
+  // and capture every node. With the threshold anchored to the trusted
+  // committee, forging a change still takes t+1 colluding members of
+  // it — the bound the whole design already lives with.
+  const std::vector<ReplicaId>& trusted = epoch_members_.at(epoch_);
+  if (std::find(trusted.begin(), trusted.end(), from) == trusted.end()) {
+    return;
+  }
+  const crypto::Hash32 digest = msg.content_digest();
+  // Everything at/below our epoch is dead weight.
+  for (auto it = announce_content_.begin(); it != announce_content_.end();) {
+    if (it->second.epoch <= epoch_) {
+      announce_votes_.erase(it->first);
+      it = announce_content_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = announce_by_sender_.begin();
+       it != announce_by_sender_.end();) {
+    if (announce_content_.count(it->second) == 0) {
+      it = announce_by_sender_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // One standing announcement per signer (the fetcher's endorsement
+  // rule): a forger churning contents only ever occupies one entry, so
+  // the maps stay bounded by the committee population — and a global
+  // cap it could fill to crowd out the honest digest is unnecessary.
+  const auto prev = announce_by_sender_.find(from);
+  if (prev != announce_by_sender_.end() && !(prev->second == digest)) {
+    const auto old = announce_votes_.find(prev->second);
+    if (old != announce_votes_.end()) {
+      old->second.erase(from);
+      if (old->second.empty()) {
+        announce_votes_.erase(old);
+        announce_content_.erase(prev->second);
+      }
+    }
+  }
+  announce_by_sender_[from] = digest;
+  announce_content_.emplace(digest, msg);
+  auto& voters = announce_votes_[digest];
+  voters.insert(from);
+  const std::size_t t_plus_1 = (trusted.size() - 1) / 3 + 1;
+  if (voters.size() < t_plus_1) return;
+  adopt_epoch(announce_content_.at(digest));
+}
+
+void LiveNode::adopt_epoch(const EpochAnnounceMsg& msg) {
+  if (msg.epoch <= epoch_ && active_) return;
+  const std::vector<ReplicaId> members = sorted_unique(msg.members);
+  epoch_members_[msg.epoch] = members;
+  auto [lit, inserted] =
+      epoch_live_.emplace(msg.epoch, consensus::Committee(members));
+  if (!inserted) lit->second.reset(members);
+  epoch_ = msg.epoch;
+  epoch_atomic_.store(msg.epoch);
+  epoch_spans_.push_back({msg.start_index, msg.epoch});
+  excluded_ids_ = sorted_unique(msg.excluded);
+  // A change we were not part of finished without us; whatever local
+  // membership state was in flight is overtaken.
+  membership_running_ = false;
+  cons_exclude_.clear();
+  {
+    const std::lock_guard<std::mutex> lock(decisions_mutex_);
+    committee_snapshot_ = members;
+    reconfig_.epoch = msg.epoch;
+    if (reconfig_.include_ms < 0) reconfig_.include_ms = ms_since_start();
+    (void)bm_.journal_epoch(chain::EpochRecord{msg.epoch, msg.start_index,
+                                               members, excluded_ids_});
+  }
+  // Undecided engines keyed to superseded epochs at/after the boundary
+  // are tombstones (their instances re-run under the new committee).
+  for (auto it = engines_.lower_bound(msg.start_index);
+       it != engines_.end();) {
+    if (!it->second->has_decided() && it->second->epoch() != msg.epoch) {
+      requeue_proposed(it->first);
+      it = engines_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // The old-epoch tail below the boundary must still finish — among
+  // the honest remainder. Apply the exclusions to every older epoch's
+  // live committee and wake whatever our own (possibly never-decided)
+  // membership attempt froze: without this a veteran healed by
+  // announcement wedges on the instances it stopped at its trigger.
+  for (auto& [e, com] : epoch_live_) {
+    if (e < msg.epoch) com.remove(excluded_ids_);
+  }
+  for (auto& [k, engine] : engines_) {
+    if (!engine->has_decided()) {
+      engine->resume();
+      engine->recheck();
+    }
+  }
+  retarget_transport();
+  // Make the change re-announceable from here too: the original
+  // announcers may be gone by the time a laggard surfaces, and we just
+  // verified the content with t+1 signatures — vouch for it under our
+  // own key (a verbatim relay would fail the sender==from check).
+  {
+    EpochAnnounceMsg own = msg;
+    own.sender = config_.me;
+    const Bytes osb = own.signing_bytes();
+    own.signature = scheme_->sign(config_.me, BytesView(osb.data(),
+                                                        osb.size()));
+    last_announce_ = std::move(own);
+  }
+  ZLB_RTRACE("[%u] adopt_epoch: epoch=%u start=%llu (was standby=%d)\n",
+             config_.me, msg.epoch,
+             static_cast<unsigned long long>(msg.start_index),
+             active_ ? 0 : 1);
+  // A pool replica adopts every change — tracking the committee's
+  // evolution keeps its trusted signer set current for FUTURE
+  // announces — but only becomes a member when the inclusion actually
+  // named it. History below its join boundary arrives as a snapshot
+  // (it was never a member there); refuse anything older.
+  if (!active_ &&
+      std::find(members.begin(), members.end(), config_.me) !=
+          members.end()) {
+    active_ = true;
+    active_atomic_.store(true);
+    join_floor_ = msg.start_index;
+  }
+  // Participate from wherever our floor stands; the consensus traffic
+  // for the new epoch creates engines on demand.
+  if (!membership_running_ && current_ < config_.instances) {
+    start_instance(std::max(current_, decision_floor()));
+  }
+  // Stale stashed membership frames of the superseded epochs drain
+  // away here (route_engine now drops them); anything for the adopted
+  // epoch gets its chance.
+  drain_membership_stash();
+}
+
+void LiveNode::recover_epoch_record(const chain::EpochRecord& rec) {
+  if (rec.epoch == 0 || rec.members.empty()) return;
+  const std::vector<ReplicaId> members = sorted_unique(rec.members);
+  // The record's cumulative exclusion list is authoritative — it
+  // survives gapped histories (epochs slept through or compacted away)
+  // where a members-diff against epoch-1 would miss bans. Older
+  // epochs' live committees shrink by the same set, so their tail can
+  // still decide honest-only.
+  excluded_ids_.insert(excluded_ids_.end(), rec.excluded.begin(),
+                       rec.excluded.end());
+  excluded_ids_ = sorted_unique(excluded_ids_);
+  for (auto& [e, com] : epoch_live_) {
+    if (e < rec.epoch) com.remove(excluded_ids_);
+  }
+  epoch_members_[rec.epoch] = members;
+  auto [lit, inserted] =
+      epoch_live_.emplace(rec.epoch, consensus::Committee(members));
+  if (!inserted) lit->second.reset(members);
+  epoch_spans_.push_back({rec.start_index, rec.epoch});
+  epoch_ = std::max(epoch_, rec.epoch);
+  epoch_atomic_.store(epoch_);
+  // Called under decisions_mutex_ (the journal-replay block in run()).
+  reconfig_.epoch = epoch_;
+  committee_snapshot_ = members;
+  // An admitted standby that journaled its activation must come back
+  // as a MEMBER: the epoch is already ours, so re-announcements are
+  // (correctly) ignored and no other activation path exists.
+  if (!active_ &&
+      std::find(members.begin(), members.end(), config_.me) !=
+          members.end()) {
+    active_ = true;
+    active_atomic_.store(true);
+    join_floor_ = rec.start_index;
+  }
+}
+
+void LiveNode::stash_membership_frame(ReplicaId from, BytesView data) {
+  if (membership_stash_.size() >= kMembershipStashCap) return;
+  membership_stash_.emplace_back(from, Bytes(data.begin(), data.end()));
+}
+
+void LiveNode::drain_membership_stash() {
+  if (draining_stash_ || membership_stash_.empty()) return;
+  draining_stash_ = true;
+  std::vector<std::pair<ReplicaId, Bytes>> pending;
+  pending.swap(membership_stash_);
+  for (auto& [from, bytes] : pending) {
+    on_frame(from, BytesView(bytes.data(), bytes.size()));
+  }
+  draining_stash_ = false;
+}
+
+void LiveNode::handle_pof_gossip(BytesView body) {
+  if (!config_.reconfiguration) return;
+  std::vector<ProofOfFraud> pofs;
+  try {
+    pofs = consensus::decode_pofs(body);
+  } catch (const DecodeError&) {
+    return;
+  }
+  for (const auto& pof : pofs) {
+    if (pofs_.is_culprit(pof.culprit())) continue;
+    if (!consensus::verify_pof(pof, *scheme_)) continue;
+    pending_pofs_.push_back(pof);
+  }
+}
+
+// ---------------------------------------------------------------------
+
 namespace {
 /// Domain-separated signing bytes of a resync status claim. The
 /// wall-clock timestamp gives the claim freshness: floors may
 /// legitimately regress (daemon restart), so without it a recorded
 /// old "I am done" status could be replayed to re-poison the floor
 /// the signature protects. Committee machines are assumed loosely
-/// clock-synchronized (well within kResyncFreshness).
-Bytes resync_signing_bytes(ReplicaId signer, InstanceId floor,
-                           std::int64_t unix_seconds) {
+/// clock-synchronized (well within kResyncFreshness). The claimed
+/// epoch rides in the signature too: peers act on it (re-announcing a
+/// membership change to laggards), so it must not be forgeable.
+Bytes resync_signing_bytes(ReplicaId signer, std::uint32_t epoch,
+                           InstanceId floor, std::int64_t unix_seconds) {
   Writer sb;
   sb.string("zlb-resync-status");
   sb.u32(signer);
+  sb.u32(epoch);
   sb.u64(floor);
   sb.i64(unix_seconds);
   return sb.take();
@@ -294,6 +1215,18 @@ constexpr std::int64_t kResyncFreshness = 120;  // seconds
 }  // namespace
 
 void LiveNode::resync_tick() {
+  // Drive any in-flight state transfer: re-requests whatever chunks a
+  // dropped connection swallowed (resume-across-churn).
+  resync_ticks_ += 1;
+  if (fetcher_ != nullptr) {
+    const std::lock_guard<std::mutex> lock(decisions_mutex_);
+    fetcher_->tick();
+  }
+  if (!active_) {
+    // A standby only listens: no status to report, nothing to prune.
+    loop_.schedule(config_.resync_interval, [this]() { resync_tick(); });
+    return;
+  }
   // Heartbeat: tell every peer how far we got. Peers that are ahead
   // answer by replaying their recorded wire for what we are missing —
   // the resend path that recovers frames TCP connection churn lost.
@@ -301,21 +1234,31 @@ void LiveNode::resync_tick() {
   // a forged status must not be able to poison them.
   const InstanceId my_floor = decision_floor();
   const std::int64_t now_s = unix_now();
-  const Bytes sb = resync_signing_bytes(config_.me, my_floor, now_s);
+  const Bytes sb = resync_signing_bytes(config_.me, epoch_, my_floor, now_s);
   const Bytes sig = scheme_->sign(config_.me, BytesView(sb.data(), sb.size()));
   Writer w;
   w.u8(static_cast<std::uint8_t>(MsgTag::kResyncStatus));
+  w.u32(epoch_);
   w.u64(my_floor);
   w.i64(now_s);
   w.bytes(BytesView(sig.data(), sig.size()));
   const Bytes status = w.take();
-  for (ReplicaId member : config_.committee) {
+  const std::vector<ReplicaId>& members = epoch_members_.at(epoch_);
+  for (ReplicaId member : members) {
     if (member == config_.me) continue;
     // Only to live links: a heartbeat is only useful fresh, and
     // queueing one per tick at a dead peer grows the transport buffer
     // without bound (the peer gets a current one next tick anyway).
     if (!transport_.connected(member)) continue;
     transport_.send(member, BytesView(status.data(), status.size()));
+    // A member that has never reported under the current epoch may have
+    // lost the announce burst (a passive standby sends nothing until it
+    // activates, so there is no status to react to): keep re-announcing
+    // on a cooldown until its reports carry the current epoch.
+    const auto ps = peer_sync_.find(member);
+    if (ps == peer_sync_.end() || ps->second.epoch < epoch_) {
+      maybe_reannounce(member);
+    }
   }
   // Drop wire logs every live peer is provably past. A peer that has
   // not reported within the last kPruneGraceTicks — long enough for
@@ -327,17 +1270,27 @@ void LiveNode::resync_tick() {
   // are verbatim, restarts included) and anything not yet pruned is
   // replayed; recovering already-pruned history is a state-snapshot
   // concern, not a frame-resend one.
-  resync_ticks_ += 1;
-  // Drive any in-flight state transfer: re-requests whatever chunks a
-  // dropped connection swallowed (resume-across-churn).
-  if (fetcher_ != nullptr) {
-    const std::lock_guard<std::mutex> lock(decisions_mutex_);
-    fetcher_->tick();
+  if (reconfig_trace_enabled() && resync_ticks_ % 40 == 0) {
+    const InstanceId f = decision_floor();
+    const auto it = engines_.find(f);
+    if (it != engines_.end()) {
+      for (std::uint32_t slot = 0;
+           slot < it->second->slot_count(); ++slot) {
+        const auto d = it->second->slot_debug(slot);
+        ZLB_RTRACE(
+            "[%u] k=%llu e=%u slot=%u payl=%zu ech=%zu rdy=%zu deli=%d "
+            "start=%d dec=%d val=%u rnd=%u est0=%zu est1=%zu aux=%zu\n",
+            config_.me, static_cast<unsigned long long>(f),
+            it->second->epoch(), slot, d.payloads, d.echoes, d.readies,
+            d.delivered ? 1 : 0, d.started ? 1 : 0, d.decided ? 1 : 0,
+            d.decided_value, d.round, d.est0, d.est1, d.aux);
+      }
+    }
   }
   constexpr int kPruneGraceTicks = 240;  // 60 s at the default interval
   InstanceId floor = my_floor;
   bool hold = false;
-  for (ReplicaId member : config_.committee) {
+  for (ReplicaId member : members) {
     if (member == config_.me) continue;
     const auto it = peer_sync_.find(member);
     const int last_tick = it == peer_sync_.end() ? 0 : it->second.report_tick;
@@ -369,7 +1322,7 @@ void LiveNode::resync_tick() {
   // straggler may still need our wire replayed.
   if (config_.linger_after_decided && all_decided()) {
     bool peers_done = true;
-    for (ReplicaId member : config_.committee) {
+    for (ReplicaId member : members) {
       if (member == config_.me) continue;
       const auto it = peer_sync_.find(member);
       if (it == peer_sync_.end() || it->second.floor < config_.instances) {
@@ -396,7 +1349,8 @@ void LiveNode::resync_tick() {
   loop_.schedule(config_.resync_interval, [this]() { resync_tick(); });
 }
 
-void LiveNode::handle_resync_status(ReplicaId from, InstanceId peer_floor) {
+void LiveNode::handle_resync_status(ReplicaId from, std::uint32_t peer_epoch,
+                                    InstanceId peer_floor) {
   // Verbatim, not a running max: a restarted daemon legitimately
   // reports a lower floor again.
   const auto last = peer_sync_.find(from);
@@ -404,7 +1358,13 @@ void LiveNode::handle_resync_status(ReplicaId from, InstanceId peer_floor) {
       last != peer_sync_.end() && last->second.floor == peer_floor;
   PeerResync& ps = peer_sync_[from];
   ps.floor = peer_floor;
+  ps.epoch = peer_epoch;
   ps.report_tick = resync_ticks_;
+  // A peer still living in an old epoch slept through a membership
+  // change: re-announce it (cooldown-bounded) so it rejoins under the
+  // current committee — without this, a veteran that missed the
+  // announce burst would grind against tombstoned epochs forever.
+  if (peer_epoch < epoch_) maybe_reannounce(from);
   // A peer deep below our checkpoint watermark gets the checkpoint,
   // not instance-by-instance replay: catching up one engine at a time
   // from genesis is O(chain), and the wire below the watermark may be
@@ -435,7 +1395,8 @@ void LiveNode::handle_resync_status(ReplicaId from, InstanceId peer_floor) {
       if (resync_ticks_ - ps.offer_tick >= kOfferCooldownTicks) {
         if (stuck_pruned && ckpt_->watermark() < pruned_floor_) {
           const std::lock_guard<std::mutex> lock(decisions_mutex_);
-          (void)ckpt_->take(bm_, my_floor);
+          (void)ckpt_->take(bm_, my_floor,
+                            epoch_of(my_floor).value_or(epoch_));
         }
         ps.offer_tick = resync_ticks_;
         send_manifest(from);
@@ -456,6 +1417,9 @@ void LiveNode::handle_resync_status(ReplicaId from, InstanceId peer_floor) {
   constexpr int kReplayCooldownTicks = 4;
   if (resync_ticks_ - ps.replay_tick < kReplayCooldownTicks) return;
   ps.replay_tick = resync_ticks_;
+  ZLB_RTRACE("[%u] replaying window [%llu,+4) to %u (peer epoch %u)\n",
+             config_.me, static_cast<unsigned long long>(peer_floor), from,
+             peer_epoch);
   // Replay our outbound wire for the window the peer is stuck on. The
   // messages are signed and receivers dedup per signer, so resending
   // is idempotent; the window bounds the burst for deep stragglers.
@@ -468,6 +1432,26 @@ void LiveNode::handle_resync_status(ReplicaId from, InstanceId peer_floor) {
     for (const Bytes& wire : it->second->wire_log()) {
       transport_.send(from, BytesView(wire.data(), wire.size()));
     }
+    // Forward held proposals too (signed by their proposers): after an
+    // exclusion, the peer may be missing exactly the coalition's
+    // payload, which no honest node's own wire log can resend.
+    for (const Bytes& wire : it->second->known_proposals()) {
+      transport_.send(from, BytesView(wire.data(), wire.size()));
+    }
+  }
+  // A stalled peer may be stuck on the membership change itself, not a
+  // regular instance: replay the exclusion/inclusion wire of the epoch
+  // the PEER is living in (a handful of votes; same per-signer dedup
+  // idempotence). A peer already past that epoch would just drop the
+  // stale votes, so its epoch gates the replay.
+  for (const auto& [key, engine] : member_engines_) {
+    if (key.epoch != peer_epoch) continue;
+    for (const Bytes& wire : engine->wire_log()) {
+      transport_.send(from, BytesView(wire.data(), wire.size()));
+    }
+    for (const Bytes& wire : engine->known_proposals()) {
+      transport_.send(from, BytesView(wire.data(), wire.size()));
+    }
   }
 }
 
@@ -476,6 +1460,7 @@ void LiveNode::send_manifest(ReplicaId to) {
   if (img == nullptr) return;
   sync::SnapshotManifest m;
   m.server = config_.me;
+  m.epoch = img->epoch;
   m.upto = img->upto;
   m.chunk_size = static_cast<std::uint32_t>(img->chunk_size);
   m.chunk_count = img->chunks();
@@ -535,13 +1520,19 @@ void LiveNode::settle_below(InstanceId upto) {
     const auto it = engines_.find(k);
     if (it != engines_.end()) {
       // Live-decided instances were already counted by on_decided.
-      if (!it->second->has_decided()) ++newly;
+      if (!it->second->has_decided()) {
+        ++newly;
+        // Our drained batch never decided here; if the settled history
+        // did not commit it either, it must go back into the queue.
+        requeue_proposed(k);
+      }
       engines_.erase(it);
     } else {
       ++newly;
     }
   }
   settled_floor_ = std::max(settled_floor_, upto);
+  decided_ceiling_ = std::max(decided_ceiling_, settled_floor_);
   current_ = std::max(current_, settled_floor_);
   pruned_floor_ = std::max(pruned_floor_, settled_floor_);
   decided_count_.fetch_add(newly);
@@ -552,7 +1543,7 @@ void LiveNode::install_snapshot_bytes(const Bytes& bytes) {
   try {
     snap = sync::Snapshot::decode(BytesView(bytes.data(), bytes.size()));
   } catch (const DecodeError&) {
-    // The chunks verified against the signed root, so the *server*
+    // The chunks verified against the signed root, so the *servers*
     // committed to garbage — drop it and wait for another manifest.
     const std::lock_guard<std::mutex> lock(decisions_mutex_);
     ++sync_stats_.snapshots_rejected;
@@ -571,7 +1562,11 @@ void LiveNode::install_snapshot_bytes(const Bytes& bytes) {
   // Adopt the image as our own checkpoint: the disk (when journaled)
   // must represent the installed state across a restart, and we can
   // serve the same transfer to the next joiner.
-  if (ckpt_ != nullptr) (void)ckpt_->adopt(snap.upto, bytes);
+  if (ckpt_ != nullptr) {
+    (void)ckpt_->adopt(snap.upto, bytes, epoch_of(snap.upto).value_or(epoch_));
+  }
+  ZLB_RTRACE("[%u] snapshot installed upto=%llu\n", config_.me,
+             static_cast<unsigned long long>(snap.upto));
   settle_below(snap.upto);
   // Instances decided out of order beyond the watermark were committed
   // before the restore wiped their effects; re-commit them on top of
@@ -599,8 +1594,7 @@ void LiveNode::on_frame(ReplicaId from, BytesView data) {
                                        vote.signature.size()))) {
           return;
         }
-        if (vote.body.key.kind != consensus::InstanceKind::kRegular) return;
-        Engine* engine = get_or_create(vote.body.key.index);
+        Engine* engine = route_engine(from, vote.body.key, data);
         if (engine != nullptr) engine->handle_vote(vote);
         break;
       }
@@ -612,25 +1606,36 @@ void LiveNode::on_frame(ReplicaId from, BytesView data) {
                                        msg.vote.signature.size()))) {
           return;
         }
-        if (msg.vote.body.key.kind != consensus::InstanceKind::kRegular)
-          return;
-        Engine* engine = get_or_create(msg.vote.body.key.index);
+        Engine* engine = route_engine(from, msg.vote.body.key, data);
         if (engine != nullptr) engine->handle_proposal(msg);
         break;
       }
+      case MsgTag::kPofGossip: {
+        const Bytes body = r.raw(r.remaining());
+        handle_pof_gossip(BytesView(body.data(), body.size()));
+        break;
+      }
+      case MsgTag::kEpochAnnounce: {
+        const auto msg = EpochAnnounceMsg::decode(r);
+        if (!r.done()) break;
+        handle_epoch_announce(from, msg);
+        break;
+      }
       case MsgTag::kResyncStatus: {
+        const std::uint32_t peer_epoch = r.u32();
         const InstanceId peer_floor = r.u64();
         const std::int64_t ts = r.i64();
         const Bytes sig = r.bytes();
         if (!r.done()) break;
         const std::int64_t age = unix_now() - ts;
         if (age > kResyncFreshness || age < -kResyncFreshness) break;
-        const Bytes sb = resync_signing_bytes(from, peer_floor, ts);
+        const Bytes sb =
+            resync_signing_bytes(from, peer_epoch, peer_floor, ts);
         if (!scheme_->verify(from, BytesView(sb.data(), sb.size()),
                              BytesView(sig.data(), sig.size()))) {
           break;
         }
-        handle_resync_status(from, peer_floor);
+        handle_resync_status(from, peer_epoch, peer_floor);
         break;
       }
       case MsgTag::kSnapshotManifest: {
@@ -641,6 +1646,16 @@ void LiveNode::on_frame(ReplicaId from, BytesView data) {
         if (!scheme_->verify(from, BytesView(sb.data(), sb.size()),
                              BytesView(m.signature.data(),
                                        m.signature.size()))) {
+          break;
+        }
+        // Epoch gate: state below our join boundary is useless (a
+        // standby cannot replay an old-epoch tail), and a watermark
+        // whose claimed epoch contradicts our boundary map is either a
+        // relabelling attack or a server on a fork.
+        const auto eo = epoch_of(m.upto);
+        if (m.upto < join_floor_ || (eo && *eo != m.epoch)) {
+          const std::lock_guard<std::mutex> lock(decisions_mutex_);
+          ++reconfig_.stale_manifests_rejected;
           break;
         }
         const std::lock_guard<std::mutex> lock(decisions_mutex_);
@@ -673,14 +1688,21 @@ void LiveNode::on_frame(ReplicaId from, BytesView data) {
     // also score the peer).
     (void)from;
   }
+  // PoFs harvested anywhere above (engine observation, gossip,
+  // exclusion-proposal validation) take effect once the frame is fully
+  // handled: gossip fresh ones, shrink C′, trigger the change at fd.
+  note_new_pofs();
 }
 
 void LiveNode::run(Duration deadline) {
+  run_start_ = Clock::now();
   if (config_.real_blocks && !bm_.journaling()) {
     // Recovery order (after the caller had its chance to mint the
     // genesis): newest durable checkpoint first, then the journal —
     // which after compaction only holds the post-checkpoint tail, so
-    // restart cost is O(checkpoint interval), not O(chain).
+    // restart cost is O(checkpoint interval), not O(chain). Epoch
+    // records in the journal rebuild the membership history, so the
+    // node rejoins under the committee it last decided with.
     bool restored = false;
     InstanceId restored_upto = 0;
     {
@@ -694,15 +1716,19 @@ void LiveNode::run(Duration deadline) {
         }
       }
       if (!config_.journal_path.empty()) {
-        if (const auto stats = bm_.open_journal(config_.journal_path)) {
+        if (const auto stats = bm_.open_journal(
+                config_.journal_path, [this](const chain::EpochRecord& rec) {
+                  recover_epoch_record(rec);
+                })) {
           journal_replay_ = *stats;
         }
       }
     }
     if (restored) settle_below(restored_upto);
+    if (epoch_ > 0) retarget_transport();
   }
   transport_.start();
-  start_instance(current_);
+  if (active_) start_instance(current_);
   if (config_.resync_interval > Duration::zero()) {
     loop_.schedule(config_.resync_interval, [this]() { resync_tick(); });
   }

@@ -6,21 +6,33 @@
 // loopback exercises the full wire path: serialization, framing,
 // partial reads, signature verification and the SBC state machine.
 //
-// Scope: the happy-path ①/② pipeline (a sequence of regular SBC
-// instances). Attack/recovery experiments need the deterministic
-// simulator (src/zlb) — real sockets cannot reproduce controlled
-// cross-partition delays.
+// Scope: the ①/② pipeline (a sequence of regular SBC instances) PLUS
+// the paper's headline mechanism, live: proofs of fraud accumulate in
+// a PofStore, ⌈n/3⌉ proven culprits trigger the exclusion consensus
+// (Alg. 1), the decided coalition is cut out of every epoch's live
+// committee, the inclusion consensus admits standby replicas from a
+// configured pool, the transport tears down the excluded links and
+// raises the new ones, admitted standbys activate on t+1 matching
+// signed epoch announcements and catch up through the checkpoint
+// fetcher, and regular instances resume under epoch e+1. Epoch
+// boundaries are journaled so a restart recovers into the right
+// membership. Controlled cross-partition delay attacks still need the
+// deterministic simulator (src/zlb); the live fault injection here is
+// direct equivocation, which real sockets can carry.
 #pragma once
 
 #include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <set>
 #include <thread>
 #include <vector>
 
 #include "bm/block_manager.hpp"
 #include "chain/mempool.hpp"
+#include "consensus/pof.hpp"
 #include "consensus/sbc.hpp"
 #include "crypto/signer.hpp"
 #include "net/client_gateway.hpp"
@@ -34,6 +46,27 @@ namespace zlb::net {
 struct LiveNodeConfig {
   ReplicaId me = 0;
   std::vector<ReplicaId> committee;
+  /// Standby replicas eligible for inclusion after an exclusion (Alg. 1
+  /// line 41). Their ports come through set_peer_ports like everyone
+  /// else's; by convention pool ids sort above committee ids so the
+  /// connection-initiation rule makes the standbys dial the committee.
+  std::vector<ReplicaId> pool;
+  /// Start passive: not a committee member, silent, waiting for t+1
+  /// matching epoch announcements before activating as a member.
+  bool standby = false;
+  /// Live membership changes: observe votes for PoFs, gossip them, run
+  /// the exclusion/inclusion consensus when ⌈n/3⌉ members are proven
+  /// deceitful. Off = the legacy static epoch-0 committee.
+  bool reconfiguration = true;
+  /// Fault injection (tests/bench): this node equivocates on its binary
+  /// consensus AUX votes — the signed double-vote every honest receiver
+  /// turns into a proof of fraud. The attack a live deployment can
+  /// actually carry end to end (split-brain delay attacks need the
+  /// simulator's clock).
+  bool byzantine_equivocate = false;
+  /// First regular instance the equivocation hits (earlier instances
+  /// run clean, so a harness can settle real state before the attack).
+  InstanceId equivocate_from = 0;
   /// Regular SBC instances to run back to back.
   std::uint64_t instances = 1;
   consensus::SbcEngine::Config engine;
@@ -49,7 +82,8 @@ struct LiveNodeConfig {
   /// client transactions can accumulate into the next block.
   Duration block_interval = std::chrono::milliseconds(100);
   /// Payment mode: durable block journal path ("" = in-memory only).
-  /// Existing records are replayed into the BlockManager at startup.
+  /// Existing records are replayed into the BlockManager at startup;
+  /// epoch-boundary records recover the membership history.
   std::string journal_path;
   /// Anti-entropy resync cadence (zero disables). Every interval the
   /// node broadcasts its lowest undecided instance; peers answer by
@@ -75,7 +109,9 @@ struct LiveNodeConfig {
   sync::CheckpointConfig checkpoint;
   /// Payment mode: offer our checkpoint to a stalled peer whose floor
   /// is below the watermark, and fetch one ourselves when offered a
-  /// manifest at least `fetcher.min_lag` ahead of our floor.
+  /// manifest at least `fetcher.min_lag` ahead of our floor. Roots are
+  /// cross-validated: fetcher.manifest_quorum defaults to the
+  /// committee's t+1 (set it explicitly to override).
   bool snapshot_catchup = true;
   sync::SnapshotFetcher::Config fetcher;
   /// Mempool capacity (0 = unbounded). A full queue rejects further
@@ -93,6 +129,7 @@ struct LiveNodeConfig {
 /// One decided instance as seen by a node.
 struct LiveDecision {
   InstanceId index = 0;
+  std::uint32_t epoch = 0;  ///< membership generation it decided under
   std::vector<std::uint8_t> bitmask;
   std::vector<crypto::Hash32> digests;  ///< decided slots, slot order
   std::uint64_t payload_bytes = 0;
@@ -106,8 +143,9 @@ class LiveNode {
   [[nodiscard]] std::uint16_t port() const { return transport_.local_port(); }
   [[nodiscard]] bool listening() const { return transport_.listening(); }
 
-  /// Must be called before run(); maps every committee member to its
-  /// loopback port.
+  /// Must be called before run(); maps every committee AND pool member
+  /// to its loopback port (the full universe — reconfiguration raises
+  /// links to admitted standbys from this table).
   void set_peer_ports(const std::map<ReplicaId, std::uint16_t>& ports);
 
   /// Payload this node proposes in instance `k` (defaults to a small
@@ -133,6 +171,28 @@ class LiveNode {
   [[nodiscard]] const TransportStats& transport_stats() const {
     return transport_.stats();
   }
+
+  /// Thread-safe: the node's current membership generation.
+  [[nodiscard]] std::uint32_t epoch() const { return epoch_atomic_.load(); }
+  /// Thread-safe: an activated member (standbys start false).
+  [[nodiscard]] bool active() const { return active_atomic_.load(); }
+  /// Thread-safe snapshot of the current committee.
+  [[nodiscard]] std::vector<ReplicaId> committee_members() const;
+
+  /// Membership-change observability (thread-safe snapshot).
+  struct ReconfigStats {
+    std::uint32_t epoch = 0;
+    std::uint64_t pof_culprits = 0;   ///< distinct proven-deceitful ids
+    std::uint64_t excluded = 0;       ///< cumulative exclusions
+    std::uint64_t included = 0;       ///< cumulative inclusions
+    std::uint64_t cross_epoch_dropped = 0;  ///< frames rejected on epoch
+    std::uint64_t stale_manifests_rejected = 0;
+    /// Wall-clock milliseconds since run(), -1 = not reached.
+    std::int64_t detect_ms = -1;   ///< fd culprits proven
+    std::int64_t exclude_ms = -1;  ///< exclusion consensus decided
+    std::int64_t include_ms = -1;  ///< inclusion decided, epoch bumped
+  };
+  [[nodiscard]] ReconfigStats reconfig_stats() const;
 
   /// Payment mode (real_blocks): the client-facing gateway port.
   [[nodiscard]] std::uint16_t client_port() const {
@@ -168,6 +228,7 @@ class LiveNode {
 
  private:
   using Engine = consensus::SbcEngine;
+  using Key = consensus::InstanceKey;
 
   void start_instance(InstanceId k);
   Engine* get_or_create(InstanceId k);
@@ -177,9 +238,18 @@ class LiveNode {
   /// everything decided). Instances below the snapshot-settled floor
   /// count as decided.
   [[nodiscard]] InstanceId decision_floor() const;
+  /// 1 + the highest locally decided regular index (>= decision floor).
+  [[nodiscard]] InstanceId decision_ceiling() const;
   void resync_tick();
-  void handle_resync_status(ReplicaId from, InstanceId peer_floor);
-  [[nodiscard]] Bytes payload_for(InstanceId k);
+  void handle_resync_status(ReplicaId from, std::uint32_t peer_epoch,
+                            InstanceId peer_floor);
+  /// `drain_mempool` = false builds an empty proposal: out-of-order
+  /// auto-proposals need our slot delivered for quorum liveness, but
+  /// must never move ACKed client transactions into an instance the
+  /// chain may be a long way from reaching.
+  [[nodiscard]] Bytes payload_for(InstanceId k, bool drain_mempool = true);
+  /// Cooldown-gated re-send of our latest epoch announcement.
+  void maybe_reannounce(ReplicaId to);
   bool accept_tx(const chain::Transaction& tx);
   void commit_decided_blocks(InstanceId k, Engine& engine);
   /// Offers our latest checkpoint to `to` (signed manifest).
@@ -192,14 +262,108 @@ class LiveNode {
   /// install or disk restore) and advances the cursors.
   void settle_below(InstanceId upto);
 
+  // --- membership change (Alg. 1, live) ------------------------------
+  /// Epoch governing regular instance `k`; nullopt when `k` predates
+  /// everything this node knows (a standby's pre-join history, settled
+  /// only by snapshot).
+  [[nodiscard]] std::optional<std::uint32_t> epoch_of(InstanceId k) const;
+  [[nodiscard]] consensus::Committee& live_committee() {
+    return epoch_live_.at(epoch_);
+  }
+  /// Epoch gate + routing shared by vote and proposal frames: returns
+  /// the engine the frame must reach, or nullptr when it was dropped
+  /// (cross-epoch / pre-join history) or stashed (membership traffic
+  /// ahead of its engine).
+  Engine* route_engine(ReplicaId from, const Key& key, BytesView frame);
+  /// Re-queues the drained-but-never-decided batch of instance `k`
+  /// (client-ACKed transactions must survive the engine's teardown).
+  void requeue_proposed(InstanceId k);
+  void observe_vote(const consensus::SignedVote& vote);
+  /// Registers pending PoFs, gossips fresh ones, shrinks the exclusion
+  /// committee, and triggers the membership change at fd culprits.
+  void note_new_pofs();
+  void maybe_start_membership();
+  Engine* create_membership_engine(const Key& key);
+  void on_exclusion_decided(const Key& key, Engine& engine);
+  void on_inclusion_decided(const Key& key, Engine& engine);
+  void handle_pof_gossip(BytesView body);
+  void handle_epoch_announce(ReplicaId from,
+                             const consensus::EpochAnnounceMsg& msg);
+  /// Adopts a membership change this node did not take part in (a
+  /// standby's activation, or a veteran that slept through the change).
+  void adopt_epoch(const consensus::EpochAnnounceMsg& msg);
+  void send_epoch_announce(ReplicaId to);
+  /// Reconnects the transport to the current committee: tears down
+  /// excluded links, raises links to admitted members.
+  void retarget_transport();
+  void recover_epoch_record(const chain::EpochRecord& rec);
+  void stash_membership_frame(ReplicaId from, BytesView data);
+  void drain_membership_stash();
+  [[nodiscard]] std::int64_t ms_since_start() const;
+
   LiveNodeConfig config_;
   EventLoop loop_;
   TcpTransport transport_;
   std::unique_ptr<crypto::SignatureScheme> scheme_;
-  consensus::Committee committee_;
+
+  // --- epoch state ---------------------------------------------------
+  std::uint32_t epoch_ = 0;
+  std::atomic<std::uint32_t> epoch_atomic_{0};
+  bool active_ = true;  ///< standbys start passive
+  std::atomic<bool> active_atomic_{true};
+  /// (start_index, epoch), ascending: epoch e governs every regular
+  /// instance from its start to the next span's start. Veterans seed
+  /// {{0, 0}}; a standby's history begins at its join boundary.
+  std::vector<std::pair<InstanceId, std::uint32_t>> epoch_spans_;
+  /// Fixed slot membership per epoch (proposer map of its instances).
+  std::map<std::uint32_t, std::vector<ReplicaId>> epoch_members_;
+  /// Live committee per epoch: exclusions shrink EVERY epoch's live set
+  /// (Alg. 1 lines 23-25), so stalled old-epoch instances can still
+  /// decide among the honest remainder. Node-stable map: engines hold
+  /// pointers into it.
+  std::map<std::uint32_t, consensus::Committee> epoch_live_;
+  /// Full id -> port universe (committee + pool), for raising links.
+  std::map<ReplicaId, std::uint16_t> all_ports_;
+
+  consensus::PofStore pofs_;
+  std::vector<consensus::ProofOfFraud> pending_pofs_;
+  bool membership_running_ = false;
+  consensus::Committee exclusion_live_;  ///< C′, shrinks at runtime
+  std::vector<ReplicaId> cons_exclude_;  ///< decided by the exclusion
+  std::vector<ReplicaId> excluded_ids_;  ///< everyone excluded so far
+  /// First regular index of the epoch being created (max decided
+  /// exclusion ceiling): instances below finish under their old epochs,
+  /// instances at/above run under the new committee.
+  InstanceId pending_boundary_ = 0;
+  /// Exclusion/inclusion engines, by full key (one pair per epoch).
+  std::map<Key, std::unique_ptr<Engine>> member_engines_;
+  /// Next exclusion instance index per epoch: an exclusion that decides
+  /// with an empty outcome aborts and the retry runs at index+1 — a
+  /// FRESH signing context, because re-voting the same key with
+  /// different values would turn honest retries into provable fraud.
+  std::map<std::uint32_t, InstanceId> next_excl_index_;
+  /// Membership frames that arrived before their engine exists
+  /// (bounded); replayed on every membership state transition.
+  std::vector<std::pair<ReplicaId, Bytes>> membership_stash_;
+  bool draining_stash_ = false;
+  /// Standby activation: announce content digest -> distinct signers.
+  /// Bounded by the signer population (one standing announce each).
+  std::map<crypto::Hash32, std::set<ReplicaId>> announce_votes_;
+  std::map<crypto::Hash32, consensus::EpochAnnounceMsg> announce_content_;
+  std::map<ReplicaId, crypto::Hash32> announce_by_sender_;
+  /// Our own announcement of the latest change (re-sent to laggards).
+  std::optional<consensus::EpochAnnounceMsg> last_announce_;
+  /// A standby refuses snapshots below its join boundary: it cannot
+  /// replay an old-epoch tail it was never a member for.
+  InstanceId join_floor_ = 0;
+  ReconfigStats reconfig_;
+  TimePoint run_start_{};
 
   std::map<InstanceId, std::unique_ptr<Engine>> engines_;
   InstanceId current_ = 0;
+  /// 1 + highest locally decided/settled index (decision_ceiling()'s
+  /// O(1) cursor; the engines map must not be scanned per decide).
+  InstanceId decided_ceiling_ = 0;
   /// Per-peer anti-entropy state, updated from signed kResyncStatus
   /// reports. `floor` is the last report verbatim — it may regress
   /// when a daemon restarts, and pruning or terminating on a stale
@@ -208,9 +372,11 @@ class LiveNode {
   /// stalled, gets a wire replay).
   struct PeerResync {
     InstanceId floor = 0;
+    std::uint32_t epoch = 0;       ///< peer's last reported epoch
     int report_tick = 0;           ///< staleness write-off
     int replay_tick = -(1 << 20);  ///< replay cooldown
     int offer_tick = -(1 << 20);   ///< snapshot-manifest cooldown
+    int announce_tick = -(1 << 20);  ///< epoch re-announce cooldown
     int serve_tick = -1;           ///< chunk-serving budget window
     std::uint32_t served_in_tick = 0;
   };
@@ -240,8 +406,12 @@ class LiveNode {
   SyncStats sync_stats_;
   chain::Journal::ReplayStats journal_replay_;
 
-  mutable std::mutex decisions_mutex_;  ///< guards decisions_, bm_ reads
-                                        ///< and sync_stats_
+  mutable std::mutex decisions_mutex_;  ///< guards decisions_, bm_ reads,
+                                        ///< sync_stats_, reconfig_ and
+                                        ///< committee_snapshot_
+  /// Mutex-guarded copy of the current committee for cross-thread
+  /// readers; the epoch maps themselves are loop-thread-only.
+  std::vector<ReplicaId> committee_snapshot_;
   std::vector<LiveDecision> decisions_;
   std::atomic<std::uint64_t> decided_count_{0};
 };

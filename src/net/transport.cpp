@@ -32,6 +32,49 @@ void TcpTransport::set_peers(std::map<ReplicaId, std::uint16_t> peers) {
   config_.peers = std::move(peers);
 }
 
+void TcpTransport::add_peer(ReplicaId peer, std::uint16_t port) {
+  if (peer == config_.me) return;
+  config_.peers[peer] = port;
+  // Same responsibility rule as start(): the higher id initiates.
+  if (started_ && peer < config_.me) {
+    const auto it = links_.find(peer);
+    if (it == links_.end() ||
+        (!it->second.fd.valid() && !it->second.initiated)) {
+      begin_connect(peer);
+    }
+  }
+}
+
+void TcpTransport::remove_peer(ReplicaId peer) {
+  const auto it = links_.find(peer);
+  if (it != links_.end()) {
+    Link& link = it->second;
+    link.outbuf.clear();
+    link.frame_ends.clear();
+    link.out_offset = 0;
+    // No reconnect: the peer left the membership for good. A reconnect
+    // timer already in flight aborts in begin_connect once the peer is
+    // gone from the table.
+    link.initiated = false;
+    const bool in_feed = link.in_feed;
+    drop_link(peer, /*reconnect=*/false);
+    // If this link's own decoder feed triggered the removal, the Link
+    // must outlive the running feed iteration — erase it once the
+    // stack unwinds (re-checking the table: an add_peer in between
+    // legitimately resurrects the entry).
+    if (!in_feed) {
+      links_.erase(peer);
+    } else {
+      loop_.schedule(Duration::zero(), [this, peer]() {
+        if (config_.peers.count(peer) == 0) links_.erase(peer);
+      });
+    }
+  }
+  // Pending accepted connections from this peer die at their HELLO
+  // check once the table entry is gone.
+  config_.peers.erase(peer);
+}
+
 void TcpTransport::enqueue_frame(Link& link, BytesView payload) {
   append_frame(link.outbuf, payload);
   link.frame_ends.push_back(link.outbuf.size());
@@ -86,6 +129,7 @@ void TcpTransport::compact(Link& link) {
 }
 
 void TcpTransport::start() {
+  started_ = true;
   for (const auto& [peer, port] : config_.peers) {
     if (peer >= config_.me) continue;
     const auto it = links_.find(peer);

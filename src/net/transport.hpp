@@ -79,6 +79,20 @@ class TcpTransport {
   /// transports first, then distribute the port map).
   void set_peers(std::map<ReplicaId, std::uint16_t> peers);
 
+  /// Membership change: admits a peer to the table (and, when the
+  /// transport already started and the connection-initiation rule makes
+  /// it ours, begins connecting). A standby replica joining the
+  /// committee enters every veteran's table through this.
+  void add_peer(ReplicaId peer, std::uint16_t port);
+  /// Membership change: tears the peer's link down for good — severs
+  /// any established or pending connection, discards its queued frames,
+  /// cancels reconnection and refuses future accepts. An excluded
+  /// replica's traffic ends here, below the consensus layer.
+  void remove_peer(ReplicaId peer);
+  [[nodiscard]] bool knows_peer(ReplicaId peer) const {
+    return config_.peers.count(peer) != 0;
+  }
+
   /// Starts outbound connections to all higher-responsibility peers.
   void start();
 
@@ -150,6 +164,7 @@ class TcpTransport {
   Handler handler_;
   Fd listener_;
   std::uint16_t local_port_ = 0;
+  bool started_ = false;
   std::map<ReplicaId, Link> links_;
   std::unordered_map<int, Pending> pending_;
   TransportStats stats_;

@@ -10,7 +10,9 @@ namespace zlb::sync {
 namespace {
 
 constexpr std::uint32_t kCheckpointMagic = 0x5a4c424b;  // "ZLBK"
-constexpr std::uint32_t kCheckpointVersion = 1;
+// v2 adds the watermark's epoch; v1 files (epoch-0 deployments) still
+// load, reading an implicit epoch of zero.
+constexpr std::uint32_t kCheckpointVersion = 2;
 // A checkpoint holds one serialized state snapshot; anything bigger
 // than this is a corrupt length prefix, not a plausible ledger.
 constexpr std::uint64_t kMaxImageBytes = 1u << 30;
@@ -18,9 +20,11 @@ constexpr std::uint64_t kMaxImageBytes = 1u << 30;
 }  // namespace
 
 CheckpointImage CheckpointImage::from_bytes(InstanceId upto, Bytes bytes,
-                                            std::size_t chunk_size) {
+                                            std::size_t chunk_size,
+                                            std::uint32_t epoch) {
   CheckpointImage img;
   img.upto = upto;
+  img.epoch = epoch;
   img.chunk_size = chunk_size;
   img.bytes = std::move(bytes);
   img.tree = crypto::MerkleTree::build(
@@ -28,21 +32,24 @@ CheckpointImage CheckpointImage::from_bytes(InstanceId upto, Bytes bytes,
   return img;
 }
 
-bool CheckpointManager::on_decided(bm::BlockManager& bm, InstanceId floor) {
+bool CheckpointManager::on_decided(
+    bm::BlockManager& bm, InstanceId floor,
+    const std::function<std::uint32_t(InstanceId)>& epoch_of) {
   if (config_.interval == 0) return false;
   if (floor < watermark() + config_.interval) return false;
   // Snap to the interval grid so every replica checkpoints the same
   // watermarks regardless of how floors happened to be observed.
   const InstanceId target = floor - floor % config_.interval;
   if (target <= watermark()) return false;
-  return take(bm, target);
+  return take(bm, target, epoch_of ? epoch_of(target) : 0);
 }
 
-bool CheckpointManager::take(bm::BlockManager& bm, InstanceId floor) {
+bool CheckpointManager::take(bm::BlockManager& bm, InstanceId floor,
+                             std::uint32_t epoch) {
   if (latest_ && floor <= latest_->upto) return false;
   const Snapshot snap = bm.snapshot(floor);
-  CheckpointImage image =
-      CheckpointImage::from_bytes(floor, snap.encode(), config_.chunk_size);
+  CheckpointImage image = CheckpointImage::from_bytes(
+      floor, snap.encode(), config_.chunk_size, epoch);
 
   // After the rotation below, this watermark is what <path>.prev
   // covers — and therefore the deepest point the journal may shrink to.
@@ -64,10 +71,11 @@ bool CheckpointManager::take(bm::BlockManager& bm, InstanceId floor) {
   return true;
 }
 
-bool CheckpointManager::adopt(InstanceId upto, Bytes bytes) {
+bool CheckpointManager::adopt(InstanceId upto, Bytes bytes,
+                              std::uint32_t epoch) {
   if (latest_ && upto <= latest_->upto) return false;
-  CheckpointImage image =
-      CheckpointImage::from_bytes(upto, std::move(bytes), config_.chunk_size);
+  CheckpointImage image = CheckpointImage::from_bytes(
+      upto, std::move(bytes), config_.chunk_size, epoch);
   if (!config_.path.empty() && !write_disk(image)) {
     ++stats_.disk_failures;
     return false;
@@ -82,6 +90,7 @@ bool CheckpointManager::write_disk(const CheckpointImage& image) {
   w.u32(kCheckpointMagic);
   w.u32(kCheckpointVersion);
   w.u64(image.upto);
+  w.u32(image.epoch);
   w.u32(chain::crc32(BytesView(image.bytes.data(), image.bytes.size())));
   w.varint(image.bytes.size());
   w.raw(BytesView(image.bytes.data(), image.bytes.size()));
@@ -124,8 +133,10 @@ std::optional<CheckpointImage> CheckpointManager::read_file(
   try {
     Reader r(BytesView(file.data(), file.size()));
     if (r.u32() != kCheckpointMagic) return std::nullopt;
-    if (r.u32() != kCheckpointVersion) return std::nullopt;
+    const std::uint32_t version = r.u32();
+    if (version == 0 || version > kCheckpointVersion) return std::nullopt;
     const InstanceId upto = r.u64();
+    const std::uint32_t epoch = version >= 2 ? r.u32() : 0;
     const std::uint32_t crc = r.u32();
     const std::uint64_t len = r.varint();
     if (len > kMaxImageBytes || len > r.remaining()) return std::nullopt;
@@ -136,7 +147,8 @@ std::optional<CheckpointImage> CheckpointManager::read_file(
     }
     // The snapshot must decode (it is what restore() will consume).
     (void)Snapshot::decode(BytesView(bytes.data(), bytes.size()));
-    return CheckpointImage::from_bytes(upto, std::move(bytes), chunk_size);
+    return CheckpointImage::from_bytes(upto, std::move(bytes), chunk_size,
+                                       epoch);
   } catch (const DecodeError&) {
     return std::nullopt;
   }

@@ -12,6 +12,7 @@
 // replay buys tolerance to a crash mid-checkpoint.
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <string>
 
@@ -32,9 +33,13 @@ struct CheckpointConfig {
 };
 
 /// A materialized checkpoint: canonical snapshot bytes plus the chunk
-/// merkle tree a joiner verifies transfers against.
+/// merkle tree a joiner verifies transfers against. `epoch` records the
+/// membership generation the watermark was decided under, so a served
+/// manifest claims — and a restart recovers — state for the right
+/// committee.
 struct CheckpointImage {
   InstanceId upto = 0;
+  std::uint32_t epoch = 0;
   std::size_t chunk_size = 0;
   Bytes bytes;
   crypto::MerkleTree tree;
@@ -50,7 +55,8 @@ struct CheckpointImage {
 
   [[nodiscard]] static CheckpointImage from_bytes(InstanceId upto,
                                                   Bytes bytes,
-                                                  std::size_t chunk_size);
+                                                  std::size_t chunk_size,
+                                                  std::uint32_t epoch = 0);
 };
 
 struct CheckpointStats {
@@ -66,12 +72,17 @@ class CheckpointManager {
 
   /// Interval trigger: takes a checkpoint when `floor` (the contiguous
   /// decided-instance watermark) advanced at least `interval` past the
-  /// last one. Returns true iff a new checkpoint was taken.
-  bool on_decided(bm::BlockManager& bm, InstanceId floor);
+  /// last one. `epoch_of` (optional) labels the membership generation
+  /// of the watermark ACTUALLY taken — the manager grid-snaps the
+  /// floor, so the caller cannot pre-compute the label without
+  /// duplicating the snap.
+  bool on_decided(
+      bm::BlockManager& bm, InstanceId floor,
+      const std::function<std::uint32_t(InstanceId)>& epoch_of = nullptr);
 
   /// Unconditional checkpoint at `floor` (skipped if not ahead of the
   /// current watermark).
-  bool take(bm::BlockManager& bm, InstanceId floor);
+  bool take(bm::BlockManager& bm, InstanceId floor, std::uint32_t epoch = 0);
 
   /// Adopts an externally obtained image (a snapshot installed from a
   /// peer transfer) as the latest checkpoint, persisting it when a
@@ -79,7 +90,7 @@ class CheckpointManager {
   /// would hold only the post-watermark tail and a restart would
   /// silently rebuild the wrong state. No journal compaction (there is
   /// nothing below the watermark to drop). Skipped if not ahead.
-  bool adopt(InstanceId upto, Bytes bytes);
+  bool adopt(InstanceId upto, Bytes bytes, std::uint32_t epoch = 0);
 
   /// Startup: loads and verifies the on-disk image (falling back to
   /// <path>.prev when the latest is damaged), installs it as latest()
@@ -91,6 +102,9 @@ class CheckpointManager {
   }
   [[nodiscard]] InstanceId watermark() const {
     return latest_ ? latest_->upto : 0;
+  }
+  [[nodiscard]] std::uint32_t watermark_epoch() const {
+    return latest_ ? latest_->epoch : 0;
   }
   [[nodiscard]] const CheckpointConfig& config() const { return config_; }
   [[nodiscard]] const CheckpointStats& stats() const { return stats_; }

@@ -2,12 +2,67 @@
 
 #include <algorithm>
 
+#include "crypto/sha256.hpp"
+
 namespace zlb::sync {
+
+namespace {
+/// Everything two honest servers at the same watermark must agree on —
+/// the signed claim minus the server identity and signature.
+crypto::Hash32 manifest_content_digest(const SnapshotManifest& m) {
+  Writer w;
+  w.u32(m.epoch);
+  w.u64(m.upto);
+  w.u32(m.chunk_size);
+  w.u32(m.chunk_count);
+  w.u64(m.total_bytes);
+  w.raw(BytesView(m.root.data(), m.root.size()));
+  return crypto::sha256(BytesView(w.data().data(), w.data().size()));
+}
+}  // namespace
+
+bool SnapshotFetcher::endorse(ReplicaId from, const SnapshotManifest& m,
+                              InstanceId my_floor) {
+  if (config_.manifest_quorum <= 1) return true;
+  // Drop endorsement sets the floor has overtaken — they can never be
+  // adopted and a server churning watermarks must not grow this map.
+  for (auto it = endorsements_.begin(); it != endorsements_.end();) {
+    if (it->second.first < my_floor + config_.min_lag) {
+      it = endorsements_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  const crypto::Hash32 digest = manifest_content_digest(m);
+  // One standing endorsement per server: an honest server only ever
+  // re-offers the same or a fresher image, so moving its vote costs
+  // nothing — and a deceitful server fabricating a different root per
+  // frame then occupies exactly one entry instead of growing the map
+  // by one per frame until OOM.
+  const auto prev = last_endorsed_.find(from);
+  if (prev != last_endorsed_.end() && !(prev->second == digest)) {
+    const auto old = endorsements_.find(prev->second);
+    if (old != endorsements_.end()) {
+      old->second.second.erase(from);
+      if (old->second.second.empty()) endorsements_.erase(old);
+    }
+  }
+  last_endorsed_[from] = digest;
+  auto& entry = endorsements_[digest];
+  entry.first = m.upto;
+  if (entry.second.insert(from).second) ++stats_.manifests_endorsed;
+  return entry.second.size() >= config_.manifest_quorum;
+}
 
 bool SnapshotFetcher::consider(ReplicaId from, const SnapshotManifest& m,
                                InstanceId my_floor) {
   if (!m.plausible()) return false;
   if (m.upto < my_floor + config_.min_lag) return false;
+  // The root must be cross-validated before it is worth anything: a
+  // lone server's claim (however fresh) neither starts nor retargets a
+  // transfer until manifest_quorum distinct servers signed the same
+  // content.
+  if (!endorse(from, m, my_floor)) return false;
   if (active_) {
     const bool fresher = m.upto > manifest_.upto;
     const bool given_up = retry_rounds_ >= config_.max_retry_rounds;

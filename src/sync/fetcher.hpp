@@ -7,10 +7,20 @@
 // switch sources when the current one stalls. The caller owns signature
 // verification (the fetcher never sees the scheme) and the install step
 // (decode + BlockManager::restore).
+//
+// Cross-validated roots: with manifest_quorum > 1, a root is only
+// trusted — and a transfer only starts — once that many DISTINCT
+// servers have offered byte-identical manifests for the same watermark.
+// Chunks merkle-verify against the root either way, but the root
+// itself is one server's claim; requiring t+1 matching claims mirrors
+// the t+1 rule the simulator's catch-up applies to membership, so a
+// single deceitful server cannot feed a joiner a fabricated ledger.
 #pragma once
 
 #include <functional>
+#include <map>
 #include <optional>
+#include <set>
 
 #include "sync/frames.hpp"
 
@@ -18,6 +28,7 @@ namespace zlb::sync {
 
 struct FetchStats {
   std::uint64_t manifests_adopted = 0;
+  std::uint64_t manifests_endorsed = 0;  ///< offers counted toward quorum
   std::uint64_t chunks_received = 0;   ///< verified and new
   std::uint64_t chunks_rejected = 0;   ///< bad proof / geometry / stale
   std::uint64_t retry_rounds = 0;      ///< stall-triggered re-requests
@@ -39,6 +50,12 @@ class SnapshotFetcher {
     /// caller's decision floor — below that, wire replay of the tail is
     /// cheaper than a state transfer.
     std::uint64_t min_lag = 2;
+    /// Distinct servers that must offer byte-identical manifests (same
+    /// watermark, root, epoch and chunk geometry) before the root is
+    /// trusted and a transfer starts. 0 = deployment default (the live
+    /// node raises it to its committee's t+1); an explicit 1 keeps the
+    /// trust-one-server behaviour for harnesses that only have one.
+    std::uint32_t manifest_quorum = 0;
   };
 
   /// Sends one ChunkRequest to `to` (the adopted manifest's server).
@@ -74,12 +91,22 @@ class SnapshotFetcher {
   /// clears the requested marks first — so a chunk is asked for once
   /// per round, not once per sibling arrival.
   void fill_window();
+  /// Records `from`'s endorsement of `m`; true once manifest_quorum
+  /// distinct servers endorsed identical content.
+  bool endorse(ReplicaId from, const SnapshotManifest& m,
+               InstanceId my_floor);
 
   Config config_;
   RequestFn request_;
   bool active_ = false;
   ReplicaId source_ = 0;
   SnapshotManifest manifest_;
+  /// Content digest -> distinct endorsing servers (plus the watermark,
+  /// for pruning offers the floor has overtaken). Bounded by the
+  /// server population: each server holds at most one endorsement.
+  std::map<crypto::Hash32, std::pair<InstanceId, std::set<ReplicaId>>>
+      endorsements_;
+  std::map<ReplicaId, crypto::Hash32> last_endorsed_;
   Bytes buffer_;
   std::vector<std::uint8_t> have_;
   std::vector<std::uint8_t> requested_;

@@ -41,6 +41,7 @@ Bytes SnapshotManifest::signing_bytes() const {
   Writer w;
   w.string("zlb-snapshot-manifest");
   w.u32(server);
+  w.u32(epoch);
   w.u64(upto);
   w.u32(chunk_size);
   w.u32(chunk_count);
@@ -51,6 +52,7 @@ Bytes SnapshotManifest::signing_bytes() const {
 
 void SnapshotManifest::encode(Writer& w) const {
   w.u32(server);
+  w.u32(epoch);
   w.u64(upto);
   w.u32(chunk_size);
   w.u32(chunk_count);
@@ -62,6 +64,7 @@ void SnapshotManifest::encode(Writer& w) const {
 SnapshotManifest SnapshotManifest::decode(Reader& r) {
   SnapshotManifest m;
   m.server = r.u32();
+  m.epoch = r.u32();
   m.upto = r.u64();
   m.chunk_size = r.u32();
   m.chunk_count = r.u32();

@@ -18,9 +18,13 @@ namespace zlb::sync {
 
 /// Advertises the sender's latest checkpoint. Signed (domain-separated)
 /// so a forged manifest cannot make a joiner assemble garbage — chunks
-/// verify against `root`, and `root` is covered by the signature.
+/// verify against `root`, and `root` is covered by the signature. The
+/// epoch the watermark was decided under is part of the signed claim,
+/// so a joiner installs state for the membership it expects — a
+/// manifest relabelled across an epoch boundary fails verification.
 struct SnapshotManifest {
   ReplicaId server = 0;
+  std::uint32_t epoch = 0;  ///< epoch governing instance `upto`
   InstanceId upto = 0;
   std::uint32_t chunk_size = 0;
   std::uint32_t chunk_count = 0;

@@ -212,6 +212,104 @@ TEST_F(JournalFixture, RecoveredForkRebuildsDepositAccounting) {
   EXPECT_GT(bm.stats().conflicting_inputs, 0u);
 }
 
+TEST_F(JournalFixture, EpochRecordsRoundtripInterleavedWithBlocks) {
+  const EpochRecord e1{1, 7, {0, 1, 2, 3, 10, 11}, {4, 5}};
+  const EpochRecord e2{2, 19, {0, 1, 2, 10, 11, 12}, {3, 4, 5}};
+  {
+    auto j = Journal::open(path_, [](const Block&) {});
+    ASSERT_TRUE(j.has_value());
+    ASSERT_TRUE(j->append(make_block(5, 0, 1)));
+    ASSERT_TRUE(j->append_epoch(e1));
+    ASSERT_TRUE(j->append(make_block(7, 0, 1)));
+    ASSERT_TRUE(j->append_epoch(e2));
+    ASSERT_TRUE(j->append(make_block(19, 0, 1)));
+  }
+  // Replay delivers both kinds, each in original append order.
+  std::vector<InstanceId> block_order;
+  std::vector<EpochRecord> epochs;
+  Journal::ReplayStats stats;
+  auto j = Journal::open(
+      path_, [&](const Block& b) { block_order.push_back(b.index); }, &stats,
+      [&](const EpochRecord& r) { epochs.push_back(r); });
+  ASSERT_TRUE(j.has_value());
+  EXPECT_EQ(stats.blocks, 3u);
+  EXPECT_EQ(stats.epochs, 2u);
+  EXPECT_EQ(block_order, (std::vector<InstanceId>{5, 7, 19}));
+  ASSERT_EQ(epochs.size(), 2u);
+  EXPECT_EQ(epochs[0], e1);
+  EXPECT_EQ(epochs[1], e2);
+  // A reader without an epoch sink skips them without miscounting.
+  j->close();
+  std::size_t blocks_only = 0;
+  Journal::ReplayStats stats2;
+  auto j2 =
+      Journal::open(path_, [&](const Block&) { ++blocks_only; }, &stats2);
+  ASSERT_TRUE(j2.has_value());
+  EXPECT_EQ(blocks_only, 3u);
+  EXPECT_EQ(stats2.epochs, 2u);
+}
+
+TEST_F(JournalFixture, CompactionKeepsEpochRecords) {
+  const EpochRecord boundary{1, 10, {0, 1, 2, 3}, {7}};
+  {
+    auto j = Journal::open(path_, [](const Block&) {});
+    ASSERT_TRUE(j.has_value());
+    for (InstanceId i = 0; i < 12; ++i) {
+      ASSERT_TRUE(j->append(make_block(i, 0, 1)));
+      if (i == 9) {
+        ASSERT_TRUE(j->append_epoch(boundary));
+      }
+    }
+    // Checkpoint at 10: blocks below drop, the boundary must not.
+    const auto dropped = j->compact(10);
+    ASSERT_TRUE(dropped.has_value());
+    EXPECT_EQ(*dropped, 10u);
+  }
+  std::vector<InstanceId> blocks;
+  std::vector<EpochRecord> epochs;
+  auto j = Journal::open(
+      path_, [&](const Block& b) { blocks.push_back(b.index); }, nullptr,
+      [&](const EpochRecord& r) { epochs.push_back(r); });
+  ASSERT_TRUE(j.has_value());
+  EXPECT_EQ(blocks, (std::vector<InstanceId>{10, 11}));
+  ASSERT_EQ(epochs.size(), 1u);
+  EXPECT_EQ(epochs[0], boundary);
+}
+
+// Write-ahead ordering: when append() returns true, the record is
+// already complete and durable in the file — an independent reader
+// (modelling a post-crash recovery) sees every acknowledged record with
+// no torn tail, even while the writing journal stays open. This is
+// what fdatasync in sync() buys: with only user-space buffering the
+// bytes would still sit in the writer's stdio buffer.
+TEST_F(JournalFixture, AppendIsDurableAndWholeBeforeReturn) {
+  auto j = Journal::open(path_, [](const Block&) {});
+  ASSERT_TRUE(j.has_value());
+  for (InstanceId i = 0; i < 4; ++i) {
+    const Block b = make_block(i, 0, 1);
+    ASSERT_TRUE(j->append(b));
+    if (i == 1) {
+      ASSERT_TRUE(j->append_epoch(EpochRecord{1, 2, {0, 1, 2}, {3}}));
+    }
+    // Independent recovery-grade read of the same file, writer still
+    // open: every acknowledged record must be intact, nothing torn.
+    std::size_t blocks = 0, epochs = 0;
+    Journal::ReplayStats stats;
+    {
+      auto reader = Journal::open(
+          path_, [&](const Block&) { ++blocks; }, &stats,
+          [&](const EpochRecord&) { ++epochs; });
+      ASSERT_TRUE(reader.has_value());
+      // The reader repositions/truncates; it must not eat the tail the
+      // writer will keep appending to — nothing was torn, so nothing
+      // may be truncated.
+      EXPECT_EQ(stats.truncated_bytes, 0u) << "record " << i;
+    }
+    EXPECT_EQ(blocks, static_cast<std::size_t>(i) + 1) << "record " << i;
+    EXPECT_EQ(epochs, i >= 1 ? 1u : 0u);
+  }
+}
+
 TEST_F(JournalFixture, DuplicateBlocksAreJournaledOnce) {
   bm::BlockManager bm;
   Wallet alice(to_bytes("alice"));

@@ -6,6 +6,7 @@
 #include "asmr/payload.hpp"
 #include "bm/block_manager.hpp"
 #include "chain/block.hpp"
+#include "chain/journal.hpp"
 #include "chain/wallet.hpp"
 #include "consensus/messages.hpp"
 #include "consensus/pof.hpp"
@@ -101,6 +102,143 @@ TEST_P(DecoderFuzz, AllDecodersRejectGarbageGracefully) {
           (void)sync::SnapshotChunk::decode(r);
         },
         data);
+    // Epoch-tagged reconfiguration codecs (announcements, exclusion
+    // claims, journal boundary records) take network/disk input too.
+    expect_no_crash(
+        [](BytesView d) {
+          Reader r(d);
+          (void)consensus::EpochAnnounceMsg::decode(r);
+        },
+        data);
+    expect_no_crash(
+        [](BytesView d) { (void)consensus::ExclusionClaim::decode(d); },
+        data);
+    expect_no_crash(
+        [](BytesView d) {
+          Reader r(d);
+          (void)chain::EpochRecord::deserialize(r);
+        },
+        data);
+  }
+}
+
+TEST_P(DecoderFuzz, EpochTaggedFramesRoundtripAndRejectTruncation) {
+  Rng rng(GetParam() * 40503 + 17);
+  crypto::SimScheme scheme(64);
+
+  // EpochAnnounceMsg: roundtrip at random shapes, truncation at every
+  // cut either throws or yields a prefix that re-encodes differently —
+  // and an epoch flip always breaks the signature (the epoch is in the
+  // signing bytes, not just the envelope).
+  for (int i = 0; i < 200; ++i) {
+    consensus::EpochAnnounceMsg m;
+    m.sender = static_cast<ReplicaId>(rng.next_below(64));
+    m.epoch = static_cast<std::uint32_t>(1 + rng.next_below(8));
+    m.start_index = rng.next_below(1000);
+    const std::size_t nm = 1 + rng.next_below(12);
+    for (std::size_t j = 0; j < nm; ++j) {
+      m.members.push_back(static_cast<ReplicaId>(rng.next_below(64)));
+    }
+    for (std::size_t j = 0; j < rng.next_below(4); ++j) {
+      m.excluded.push_back(static_cast<ReplicaId>(rng.next_below(64)));
+    }
+    const Bytes sb = m.signing_bytes();
+    m.signature = scheme.sign(m.sender, BytesView(sb.data(), sb.size()));
+    Writer w;
+    m.encode(w);
+    const Bytes wire = w.take();
+
+    Reader r(BytesView(wire.data(), wire.size()));
+    const auto back = consensus::EpochAnnounceMsg::decode(r);
+    r.expect_done();
+    EXPECT_EQ(back.epoch, m.epoch);
+    EXPECT_EQ(back.start_index, m.start_index);
+    EXPECT_EQ(back.members, m.members);
+    EXPECT_EQ(back.excluded, m.excluded);
+    EXPECT_EQ(back.content_digest(), m.content_digest());
+
+    // Epoch mismatch rejection: relabelling the announced epoch (or its
+    // boundary) invalidates the signature.
+    for (auto mutate : {0, 1}) {
+      auto forged = back;
+      if (mutate == 0) {
+        forged.epoch += 1;
+      } else {
+        forged.start_index += 1;
+      }
+      const Bytes fb = forged.signing_bytes();
+      EXPECT_FALSE(scheme.verify(
+          forged.sender, BytesView(fb.data(), fb.size()),
+          BytesView(forged.signature.data(), forged.signature.size())));
+    }
+
+    const std::size_t cut = 1 + rng.next_below(wire.size() - 1);
+    expect_no_crash(
+        [](BytesView d) {
+          Reader rr(d);
+          (void)consensus::EpochAnnounceMsg::decode(rr);
+        },
+        Bytes(wire.begin(), wire.begin() + static_cast<long>(cut)));
+  }
+
+  // SnapshotManifest: the epoch rides in the signing bytes, so a
+  // cross-epoch relabelling of an otherwise valid manifest must fail
+  // signature verification.
+  {
+    sync::SnapshotManifest m;
+    m.server = 4;
+    m.epoch = 2;
+    m.upto = 320;
+    m.chunk_size = 64;
+    m.chunk_count = 3;
+    m.total_bytes = 130;
+    m.root = crypto::sha256(to_bytes("epoch-root"));
+    const Bytes sb = m.signing_bytes();
+    m.signature = scheme.sign(m.server, BytesView(sb.data(), sb.size()));
+    Writer w;
+    m.encode(w);
+    Reader r(BytesView(w.data().data(), w.data().size()));
+    const auto back = sync::SnapshotManifest::decode(r);
+    EXPECT_EQ(back.epoch, 2u);
+    const Bytes vb = back.signing_bytes();
+    EXPECT_TRUE(scheme.verify(back.server, BytesView(vb.data(), vb.size()),
+                              BytesView(back.signature.data(),
+                                        back.signature.size())));
+    auto forged = back;
+    forged.epoch = 0;  // claim the same state belongs to epoch 0
+    const Bytes fb = forged.signing_bytes();
+    EXPECT_FALSE(scheme.verify(forged.server, BytesView(fb.data(), fb.size()),
+                               BytesView(forged.signature.data(),
+                                         forged.signature.size())));
+  }
+
+  // ExclusionClaim + EpochRecord: strict roundtrips; truncations throw.
+  for (int i = 0; i < 100; ++i) {
+    consensus::ExclusionClaim claim;
+    claim.ceiling = rng.next_below(5000);
+    const Bytes claim_wire = claim.encode();
+    EXPECT_EQ(consensus::ExclusionClaim::decode(
+                  BytesView(claim_wire.data(), claim_wire.size()))
+                  .ceiling,
+              claim.ceiling);
+
+    chain::EpochRecord rec;
+    rec.epoch = static_cast<std::uint32_t>(rng.next_below(16));
+    rec.start_index = rng.next_below(4096);
+    const std::size_t nm = 1 + rng.next_below(20);
+    for (std::size_t j = 0; j < nm; ++j) {
+      rec.members.push_back(static_cast<ReplicaId>(rng.next_below(256)));
+    }
+    const Bytes rec_wire = rec.serialize();
+    Reader rr(BytesView(rec_wire.data(), rec_wire.size()));
+    EXPECT_EQ(chain::EpochRecord::deserialize(rr), rec);
+    const std::size_t cut = rng.next_below(rec_wire.size());
+    expect_no_crash(
+        [](BytesView d) {
+          Reader r2(d);
+          (void)chain::EpochRecord::deserialize(r2);
+        },
+        Bytes(rec_wire.begin(), rec_wire.begin() + static_cast<long>(cut)));
   }
 }
 

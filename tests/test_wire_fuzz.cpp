@@ -119,6 +119,59 @@ TEST_P(WireFuzz, TruncatedMessagesThrowCleanly) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, WireFuzz, ::testing::Values(1, 7, 42, 1337));
 
+// Epoch-tagged frames: a validly signed vote whose instance key names
+// the wrong epoch must never influence an engine — the epoch is inside
+// the signed body, so a relabelled epoch is an invalid signature and a
+// *re-signed* cross-epoch vote is dropped at the key check.
+TEST_P(WireFuzz, CrossEpochVotesNeverReachTheEngine) {
+  crypto::SimScheme scheme(64);
+  const std::vector<ReplicaId> members = {0, 1, 2, 3};
+  consensus::SbcEngine::Config cfg;
+  cfg.epoch = 0;
+  consensus::SbcEngine engine({0, consensus::InstanceKind::kRegular, 2},
+                              members, nullptr, 0, scheme, cfg, {});
+
+  Rng rng(GetParam() * 6151 + 5);
+  for (int i = 0; i < 200; ++i) {
+    consensus::SignedVote vote;
+    vote.signer = static_cast<ReplicaId>(1 + rng.next() % 3);
+    // Same instance index, random WRONG epoch — properly re-signed, so
+    // only the engine's key check stands between it and the tallies.
+    vote.body.key = {static_cast<std::uint32_t>(1 + rng.next() % 7),
+                     consensus::InstanceKind::kRegular, 2};
+    vote.body.slot = static_cast<std::uint32_t>(rng.next() % 4);
+    vote.body.round = 1;
+    vote.body.type = consensus::VoteType::kAux;
+    vote.body.value = Bytes{static_cast<std::uint8_t>(rng.next() % 2)};
+    const Bytes sb = vote.body.signing_bytes();
+    vote.signature = scheme.sign(vote.signer,
+                                 BytesView(sb.data(), sb.size()));
+    engine.handle_vote(vote);
+  }
+  for (std::uint32_t slot = 0; slot < 4; ++slot) {
+    const auto d = engine.slot_debug(slot);
+    EXPECT_EQ(d.aux, 0u) << "cross-epoch vote tallied at slot " << slot;
+    EXPECT_EQ(d.echoes, 0u);
+  }
+
+  // And a bit-flipped epoch on a correctly signed vote dies at the
+  // signature, before any key comparison matters.
+  consensus::SignedVote vote;
+  vote.signer = 1;
+  vote.body.key = {0, consensus::InstanceKind::kRegular, 2};
+  vote.body.round = 1;
+  vote.body.type = consensus::VoteType::kAux;
+  vote.body.value = Bytes{1};
+  const Bytes sb = vote.body.signing_bytes();
+  vote.signature = scheme.sign(1, BytesView(sb.data(), sb.size()));
+  vote.body.key.epoch = 3;  // relabel without re-signing
+  const Bytes forged = vote.body.signing_bytes();
+  EXPECT_FALSE(scheme.verify(vote.signer,
+                             BytesView(forged.data(), forged.size()),
+                             BytesView(vote.signature.data(),
+                                       vote.signature.size())));
+}
+
 // Frame-decoder + garbage stream: a peer spraying random bytes at a
 // framed connection must poison or starve, never deliver junk frames
 // bigger than the cap nor loop forever.
