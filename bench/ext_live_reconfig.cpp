@@ -32,6 +32,36 @@ struct RunResult {
   std::int64_t include_ms = -1;  ///< node-reported (run -> epoch bumped)
 };
 
+/// Stops every node and joins its thread on scope exit, whatever path
+/// leaves run_once() — a throwing poll loop must not let a detached
+/// node thread outlive the LiveNode it runs on (or std::terminate in
+/// ~thread). While the threads run, the harness only observes the
+/// nodes through their thread-safe surface: the atomic epoch()/
+/// decided_count() and the decisions_mutex_-guarded reconfig_stats().
+class ClusterRun {
+ public:
+  explicit ClusterRun(std::vector<std::unique_ptr<zlb::net::LiveNode>>& nodes)
+      : nodes_(nodes) {
+    threads_.reserve(nodes.size());
+    for (auto& node : nodes) {
+      threads_.emplace_back(
+          [n = node.get()] { n->run(std::chrono::seconds(120)); });
+    }
+  }
+  ~ClusterRun() {
+    for (auto& node : nodes_) node->stop();
+    for (auto& t : threads_) {
+      if (t.joinable()) t.join();
+    }
+  }
+  ClusterRun(const ClusterRun&) = delete;
+  ClusterRun& operator=(const ClusterRun&) = delete;
+
+ private:
+  std::vector<std::unique_ptr<zlb::net::LiveNode>>& nodes_;
+  std::vector<std::thread> threads_;
+};
+
 RunResult run_once() {
   using namespace std::chrono_literals;
   using namespace zlb;
@@ -68,10 +98,7 @@ RunResult run_once() {
   for (auto& node : nodes) node->set_peer_ports(ports);
 
   const auto t0 = BenchClock::now();
-  std::vector<std::thread> threads;
-  for (auto& node : nodes) {
-    threads.emplace_back([n = node.get()] { n->run(120s); });
-  }
+  const ClusterRun cluster(nodes);
 
   RunResult res;
   const auto deadline = BenchClock::now() + 90s;
@@ -101,9 +128,7 @@ RunResult run_once() {
     res.exclude_ms = stats.exclude_ms;
     res.include_ms = stats.include_ms;
   }
-  for (auto& node : nodes) node->stop();
-  for (auto& t : threads) t.join();
-  return res;
+  return res;  // ~ClusterRun stops and joins every node thread
 }
 
 }  // namespace

@@ -1,0 +1,43 @@
+# ZLB invariant linter integration (tools/lint/zlb_lint.py).
+#
+# Adds, when a Python3 interpreter exists:
+#   - a `zlb_lint` custom target (manual: `cmake --build build -t zlb_lint`)
+#   - two ctest entries:
+#       zlb_lint_src       src/ must be clean under the allowlist
+#       zlb_lint_fixtures  every known-bad fixture must still fail with
+#                          its rule, and the allowlist must stay
+#                          load-bearing (see tools/lint/test_zlb_lint.py)
+#
+# Without Python3 the linter is skipped with a notice — it gates CI
+# (which always has an interpreter), not local builds on bare boxes.
+
+find_package(Python3 COMPONENTS Interpreter QUIET)
+
+if(NOT Python3_Interpreter_FOUND)
+  message(STATUS "Python3 not found — zlb_lint target and tests disabled")
+  return()
+endif()
+
+set(ZLB_LINT_SCRIPT "${CMAKE_CURRENT_SOURCE_DIR}/tools/lint/zlb_lint.py")
+set(ZLB_LINT_ALLOW "${CMAKE_CURRENT_SOURCE_DIR}/tools/lint/zlb_lint_allow.txt")
+set(ZLB_LINT_SELFTEST "${CMAKE_CURRENT_SOURCE_DIR}/tools/lint/test_zlb_lint.py")
+
+add_custom_target(zlb_lint
+  COMMAND "${Python3_EXECUTABLE}" "${ZLB_LINT_SCRIPT}"
+          --root "${CMAKE_CURRENT_SOURCE_DIR}/src"
+          --allow "${ZLB_LINT_ALLOW}"
+  WORKING_DIRECTORY "${CMAKE_CURRENT_SOURCE_DIR}"
+  COMMENT "Running ZLB invariant linter over src/"
+  VERBATIM)
+
+if(ZLB_BUILD_TESTS)
+  add_test(NAME zlb_lint_src
+    COMMAND "${Python3_EXECUTABLE}" "${ZLB_LINT_SCRIPT}"
+            --root "${CMAKE_CURRENT_SOURCE_DIR}/src"
+            --allow "${ZLB_LINT_ALLOW}")
+  add_test(NAME zlb_lint_fixtures
+    COMMAND "${Python3_EXECUTABLE}" "${ZLB_LINT_SELFTEST}")
+  set_tests_properties(zlb_lint_src zlb_lint_fixtures PROPERTIES
+    TIMEOUT 120
+    LABELS "lint")
+endif()

@@ -6,7 +6,17 @@
 # matching -fsanitize instrumentation on both compile and link lines.
 
 set(ZLB_SANITIZE "" CACHE STRING
-    "Comma-separated sanitizers to instrument with (e.g. address,undefined)")
+    "Comma-separated sanitizers to instrument with (address, undefined, thread, ...)")
+
+# ThreadSanitizer owns the whole shadow-memory layout; combining it
+# with ASan/LSan is rejected by the compilers with a link error at
+# best. Fail at configure time with a message that says so.
+if(ZLB_SANITIZE MATCHES "thread" AND ZLB_SANITIZE MATCHES "address|leak")
+  message(FATAL_ERROR
+    "ZLB_SANITIZE=${ZLB_SANITIZE}: 'thread' cannot be combined with "
+    "'address' or 'leak' — build them in separate trees "
+    "(e.g. -B build-tsan -DZLB_SANITIZE=thread).")
+endif()
 
 function(zlb_apply_options target)
   target_compile_features(${target} PUBLIC cxx_std_20)

@@ -1,0 +1,101 @@
+// Annotated mutex wrappers — the ONLY lock primitives zlb code uses.
+//
+// zlb::common::Mutex is a CAPABILITY in clang's thread-safety analysis:
+// fields tagged GUARDED_BY(mu_) can only be touched under it, helpers
+// tagged REQUIRES(mu_) can only be called with it held, and the
+// `clang-threadsafety` CI job turns any violation into a build error.
+// Raw std::mutex / std::lock_guard elsewhere in src/ is rejected by
+// tools/lint/zlb_lint.py (rule raw-mutex): an unannotated lock is
+// invisible to the analysis, so everything it guards would silently
+// fall out of the machine-checked contract.
+//
+// CondVar deliberately has no predicate-taking wait(): the predicate
+// lambda would be analyzed as a separate function and flagged for
+// touching guarded state "without" the lock. Callers write the
+// standard `while (!pred) cv.wait(mu);` loop instead, which keeps the
+// guarded reads in the scope that visibly holds the lock.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.hpp"
+
+namespace zlb::common {
+
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// For callbacks that run under a lock taken by their caller, across
+  /// a call boundary the analysis cannot see (e.g. a journal-replay
+  /// hook invoked from a locked region): asserting the capability makes
+  /// the contract explicit instead of disabling analysis wholesale.
+  void assert_held() const ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock for a whole scope (the only way zlb code takes a Mutex).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable bound to the annotated Mutex. wait() REQUIRES the
+/// mutex: the analysis treats the capability as held across the call,
+/// which matches the caller-visible contract (wait returns with the
+/// lock re-acquired).
+class CondVar {
+ public:
+  void wait(Mutex& mu) REQUIRES(mu) {
+    // Adopt the caller-held mutex for the duration of the wait, then
+    // release ownership so the unique_lock's destructor does not unlock
+    // what the caller still believes it holds.
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    (void)lock.release();
+  }
+
+  template <typename Rep, typename Period>
+  bool wait_for(Mutex& mu,
+                const std::chrono::duration<Rep, Period>& timeout)
+      REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    const bool woke = cv_.wait_for(lock, timeout) == std::cv_status::no_timeout;
+    (void)lock.release();
+    return woke;
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  // condition_variable (not _any): waiting through the wrapped
+  // std::mutex directly keeps the fast futex path.
+  std::condition_variable cv_;
+};
+
+}  // namespace zlb::common
+
+namespace zlb {
+using common::CondVar;
+using common::Mutex;
+using common::MutexLock;
+}  // namespace zlb

@@ -1,0 +1,76 @@
+// Clang thread-safety-analysis attribute macros (no-ops elsewhere).
+//
+// These drive `-Wthread-safety`: annotate a mutex-like class as a
+// CAPABILITY, tag the data it protects with GUARDED_BY, and declare the
+// locking contract of every function that touches that data (REQUIRES
+// when the caller must already hold the lock, ACQUIRE/RELEASE on the
+// lock primitives themselves, EXCLUDES when a function takes the lock
+// and must therefore not be entered with it held). Clang then proves,
+// at compile time, that no annotated field is ever read or written
+// without its lock and that no lock is recursively acquired — the
+// machine-checked counterpart of the "guards X, Y, Z" comments the
+// concurrent subsystems used to rely on.
+//
+// The macro set mirrors the canonical LLVM example header, so the
+// names match the upstream documentation one-to-one. GCC (and clang
+// without the attribute) compiles them away: the annotations are a
+// static-analysis contract, never codegen.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define ZLB_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef ZLB_THREAD_ANNOTATION
+#define ZLB_THREAD_ANNOTATION(x)  // no-op: GCC / non-TSA clang
+#endif
+
+/// Class is a lockable capability (e.g. a mutex wrapper).
+#define CAPABILITY(x) ZLB_THREAD_ANNOTATION(capability(x))
+
+/// RAII class whose constructor acquires and destructor releases.
+#define SCOPED_CAPABILITY ZLB_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field may only be accessed while holding `x`.
+#define GUARDED_BY(x) ZLB_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer field: the *pointee* may only be accessed while holding `x`.
+#define PT_GUARDED_BY(x) ZLB_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Lock-ordering declarations (deadlock detection).
+#define ACQUIRED_BEFORE(...) ZLB_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) ZLB_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Caller must hold the capability (exclusively / shared) on entry.
+#define REQUIRES(...) ZLB_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  ZLB_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability and holds it on return.
+#define ACQUIRE(...) ZLB_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  ZLB_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability (held on entry).
+#define RELEASE(...) ZLB_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  ZLB_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// Function acquires iff it returns `b`.
+#define TRY_ACQUIRE(b, ...) \
+  ZLB_THREAD_ANNOTATION(try_acquire_capability(b, __VA_ARGS__))
+
+/// Caller must NOT hold the capability (the function takes it itself).
+#define EXCLUDES(...) ZLB_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (for callbacks invoked
+/// under a lock the analysis cannot see across the call boundary).
+#define ASSERT_CAPABILITY(x) ZLB_THREAD_ANNOTATION(assert_capability(x))
+
+/// Function returns a reference to the given capability.
+#define RETURN_CAPABILITY(x) ZLB_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch — document why at every use site.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  ZLB_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -1,7 +1,7 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
-#include <atomic>
+#include <exception>
 
 namespace zlb::common {
 
@@ -14,7 +14,7 @@ ThreadPool::ThreadPool(std::size_t workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -25,8 +25,8 @@ void ThreadPool::worker_loop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stop_ && queue_.empty()) cv_.wait(mu_);
       if (queue_.empty()) return;  // stop_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -49,27 +49,63 @@ void ThreadPool::parallel_for(std::size_t n,
   const std::size_t chunks = std::min(lanes, n);
   const std::size_t per = (n + chunks - 1) / chunks;
   std::size_t pending = chunks - 1;
-  std::mutex done_mu;
-  std::condition_variable done_cv;
-  auto run_chunk = [&](std::size_t c) {
+  Mutex done_mu;
+  CondVar done_cv;
+  std::exception_ptr first_error;
+  auto run_chunk = [&](std::size_t c) -> std::exception_ptr {
     const std::size_t begin = c * per;
     const std::size_t end = std::min(n, begin + per);
-    for (std::size_t i = begin; i < end; ++i) fn(i);
+    std::exception_ptr err;
+    for (std::size_t i = begin; i < end; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        // Keep the exactly-once contract for the remaining indices and
+        // surface the failure afterwards: a chunk that bails early
+        // would leave silent holes in the batch's results.
+        if (!err) err = std::current_exception();
+      }
+    }
+    return err;
   };
+  bool run_inline = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    for (std::size_t c = 0; c + 1 < chunks; ++c) {
-      queue_.emplace_back([&, c] {
-        run_chunk(c);
-        std::lock_guard<std::mutex> done_lock(done_mu);
-        if (--pending == 0) done_cv.notify_one();
-      });
+    const MutexLock lock(mu_);
+    if (stop_) {
+      // The pool is shutting down (or already drained its workers):
+      // enqueued chunks would never be picked up and this frame would
+      // wait forever. Decided under mu_ — not a bare flag check — so a
+      // concurrent destructor cannot slip between test and enqueue.
+      run_inline = true;
+    } else {
+      for (std::size_t c = 0; c + 1 < chunks; ++c) {
+        queue_.emplace_back([&, c] {
+          const std::exception_ptr err = run_chunk(c);
+          const MutexLock done_lock(done_mu);
+          if (err && !first_error) first_error = err;
+          if (--pending == 0) done_cv.notify_one();
+        });
+      }
     }
   }
+  if (run_inline) {
+    for (std::size_t c = 0; c + 1 < chunks; ++c) {
+      const std::exception_ptr err = run_chunk(c);
+      if (err && !first_error) first_error = err;
+    }
+    const std::exception_ptr err = run_chunk(chunks - 1);
+    if (err && !first_error) first_error = err;
+    if (first_error) std::rethrow_exception(first_error);
+    return;
+  }
   cv_.notify_all();
-  run_chunk(chunks - 1);
-  std::unique_lock<std::mutex> done_lock(done_mu);
-  done_cv.wait(done_lock, [&] { return pending == 0; });
+  const std::exception_ptr inline_err = run_chunk(chunks - 1);
+  {
+    MutexLock done_lock(done_mu);
+    while (pending != 0) done_cv.wait(done_mu);
+    if (inline_err && !first_error) first_error = inline_err;
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 ThreadPool& ThreadPool::shared() {

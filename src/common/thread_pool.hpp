@@ -7,13 +7,13 @@
 // for every i in [0, n).
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.hpp"
 
 namespace zlb::common {
 
@@ -32,22 +32,26 @@ class ThreadPool {
   /// Runs fn(i) exactly once for every i in [0, n), fanning contiguous
   /// chunks across the workers; the calling thread takes a chunk too.
   /// Blocks until all n calls completed. fn must not recurse into the
-  /// same pool.
+  /// same pool. If fn throws, every remaining index still runs and the
+  /// first exception is rethrown here, on the calling thread, once all
+  /// chunks finished — a worker never dies with a stray exception and
+  /// the caller never deadlocks on a decrement that got skipped.
   void parallel_for(std::size_t n,
-                    const std::function<void(std::size_t)>& fn);
+                    const std::function<void(std::size_t)>& fn)
+      EXCLUDES(mu_);
 
   /// Process-wide pool sized to the hardware (hardware_concurrency - 1
   /// workers, so the submitting thread saturates the last core).
   [[nodiscard]] static ThreadPool& shared();
 
  private:
-  void worker_loop();
+  void worker_loop() EXCLUDES(mu_);
 
   std::vector<std::thread> threads_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  bool stop_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace zlb::common

@@ -4,6 +4,15 @@
 // to what serial verify_digest would return — so callers (and the
 // discrete-event simulator above them) stay deterministic regardless of
 // core count.
+//
+// Thread-safety: a BatchVerifier is NOT itself thread-safe — one thread
+// builds a batch and calls verify_all(); the internal parallelism is
+// write-disjoint (each pool task fills results[i] for its own indices
+// only), so no lock is needed or held here. Because verify_all() runs
+// inside ThreadPool::parallel_for, a caller holding a lock across it
+// must place that lock ABOVE ThreadPool::mu_ in the lock order (LiveNode
+// documents decisions_mutex_ > ThreadPool::mu_ for exactly this call
+// path) and must never take the same lock from a pool task.
 #pragma once
 
 #include <cstdint>

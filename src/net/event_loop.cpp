@@ -86,17 +86,23 @@ bool EventLoop::poll_once(Duration timeout) {
 }
 
 void EventLoop::run() {
-  stopped_.store(false, std::memory_order_relaxed);
+  // The stop flag is consumed on exit, not reset on entry: a stop()
+  // posted from another thread before the loop thread reaches this
+  // frame must still terminate THIS run (reset-on-entry silently
+  // swallowed it — LiveCluster stopping a node whose thread had not
+  // entered run yet left that node spinning until its deadline). The
+  // consume keeps loops reusable: one stop() ends exactly one run.
   while (!stopped()) {
     if (!poll_once(std::chrono::milliseconds(100))) break;
   }
+  stopped_.store(false, std::memory_order_relaxed);
 }
 
 void EventLoop::run_until(TimePoint deadline) {
-  stopped_.store(false, std::memory_order_relaxed);
   while (!stopped() && Clock::now() < deadline) {
     if (!poll_once(std::chrono::milliseconds(20))) break;
   }
+  stopped_.store(false, std::memory_order_relaxed);
 }
 
 }  // namespace zlb::net

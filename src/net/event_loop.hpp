@@ -3,6 +3,16 @@
 // share a loop, so no state in this layer needs locking. This is the
 // real-time counterpart of sim::Simulator: timers instead of scheduled
 // events, socket readiness instead of simulated message arrival.
+//
+// Thread affinity: every member except `stopped_` is owned by the loop
+// thread — watch/unwatch/schedule/cancel/run/poll_once must only be
+// called there. The single cross-thread entry point is stop(): an
+// atomic request flag, observed at the next loop iteration and
+// CONSUMED when a run exits (so a stop posted before the loop thread
+// even entered run() still terminates that run, and the loop stays
+// reusable afterwards). There is deliberately no mutex here; anything
+// that would need one belongs a layer up (see LiveNode's
+// decisions_mutex_).
 #pragma once
 
 #include <atomic>

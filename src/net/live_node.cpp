@@ -113,29 +113,29 @@ bool LiveNode::accept_tx(const chain::Transaction& tx) {
   // anything already committed, and everything once the (bounded)
   // mempool is full — the gateway answers kRejected and the wallet
   // retries elsewhere.
-  const std::lock_guard<std::mutex> lock(decisions_mutex_);
+  const common::MutexLock lock(decisions_mutex_);
   if (bm_.knows_tx(tx.id())) return false;
   return mempool_.try_add(tx) == chain::Mempool::AddResult::kAdded;
 }
 
 chain::Amount LiveNode::balance(const chain::Address& a) const {
-  const std::lock_guard<std::mutex> lock(decisions_mutex_);
+  const common::MutexLock lock(decisions_mutex_);
   return bm_.utxos().balance(a);
 }
 
 std::vector<std::pair<chain::OutPoint, chain::TxOut>> LiveNode::owned_coins(
     const chain::Address& a) const {
-  const std::lock_guard<std::mutex> lock(decisions_mutex_);
+  const common::MutexLock lock(decisions_mutex_);
   return bm_.utxos().owned_by(a);
 }
 
 std::vector<ReplicaId> LiveNode::committee_members() const {
-  const std::lock_guard<std::mutex> lock(decisions_mutex_);
+  const common::MutexLock lock(decisions_mutex_);
   return committee_snapshot_;
 }
 
 LiveNode::ReconfigStats LiveNode::reconfig_stats() const {
-  const std::lock_guard<std::mutex> lock(decisions_mutex_);
+  const common::MutexLock lock(decisions_mutex_);
   return reconfig_;
 }
 
@@ -188,7 +188,7 @@ Bytes LiveNode::payload_for(InstanceId k, bool drain_mempool) {
           std::max(0, com.slot_of(config_.me)));
     }
     if (drain_mempool) {
-      const std::lock_guard<std::mutex> lock(decisions_mutex_);
+      const common::MutexLock lock(decisions_mutex_);
       block.txs = mempool_.take_batch(config_.max_block_txs);
       if (!block.txs.empty()) proposed_txs_[k] = block.txs;
     }
@@ -208,7 +208,7 @@ void LiveNode::commit_decided_blocks(InstanceId k, Engine& engine) {
   // Slot order is the agreed order; every node commits the same blocks
   // with the same results. Transaction signatures are real ECDSA and
   // verified here, on the decided payload (not on gossip).
-  const std::lock_guard<std::mutex> lock(decisions_mutex_);
+  const common::MutexLock lock(decisions_mutex_);
   std::unordered_set<chain::TxId, crypto::Hash32Hasher> committed;
   for (const auto& entry : engine.outcome()) {
     if (entry.payload.empty()) continue;
@@ -369,7 +369,7 @@ void LiveNode::on_decided(InstanceId k) {
                                 bitmask.size() &&
                             bitmask[static_cast<std::size_t>(my_slot)] == 1;
       if (!included) {
-        const std::lock_guard<std::mutex> lock(decisions_mutex_);
+        const common::MutexLock lock(decisions_mutex_);
         for (auto& tx : proposed->second) {
           // readmit: these were ACKed at admission; the capacity bound
           // must not silently drop them now.
@@ -387,7 +387,7 @@ void LiveNode::on_decided(InstanceId k) {
       // otherwise mislabel the image, and every peer's manifest gate
       // would reject it as a relabelling attack.
       const InstanceId floor = decision_floor();
-      const std::lock_guard<std::mutex> lock(decisions_mutex_);
+      const common::MutexLock lock(decisions_mutex_);
       (void)ckpt_->on_decided(bm_, floor, [this](InstanceId w) {
         return epoch_of(w).value_or(epoch_);
       });
@@ -408,7 +408,7 @@ void LiveNode::on_decided(InstanceId k) {
     d.payload_bytes += entry.payload.size();
   }
   {
-    const std::lock_guard<std::mutex> lock(decisions_mutex_);
+    const common::MutexLock lock(decisions_mutex_);
     decisions_.push_back(std::move(d));
   }
   decided_count_.fetch_add(1);
@@ -478,7 +478,7 @@ LiveNode::Engine* LiveNode::route_engine(ReplicaId from, const Key& key,
     if (key.epoch != *eo) {
       // Cross-epoch rejection: a vote keyed to the wrong membership
       // generation never reaches an engine.
-      const std::lock_guard<std::mutex> lock(decisions_mutex_);
+      const common::MutexLock lock(decisions_mutex_);
       ++reconfig_.cross_epoch_dropped;
       return nullptr;
     }
@@ -489,7 +489,7 @@ LiveNode::Engine* LiveNode::route_engine(ReplicaId from, const Key& key,
   if (key.epoch > epoch_) {
     // A change we have not caught up to; the announce path heals us,
     // these votes are useless until then.
-    const std::lock_guard<std::mutex> lock(decisions_mutex_);
+    const common::MutexLock lock(decisions_mutex_);
     ++reconfig_.cross_epoch_dropped;
     return nullptr;
   }
@@ -505,7 +505,7 @@ void LiveNode::requeue_proposed(InstanceId k) {
   const auto it = proposed_txs_.find(k);
   if (it == proposed_txs_.end()) return;
   {
-    const std::lock_guard<std::mutex> lock(decisions_mutex_);
+    const common::MutexLock lock(decisions_mutex_);
     for (auto& tx : it->second) {
       // Clients were ACKed at admission; the teardown of an engine
       // whose proposal never decided must not silently drop them.
@@ -528,7 +528,7 @@ void LiveNode::note_new_pofs() {
   }
   pending_pofs_.clear();
   {
-    const std::lock_guard<std::mutex> lock(decisions_mutex_);
+    const common::MutexLock lock(decisions_mutex_);
     reconfig_.pof_culprits = pofs_.culprit_count();
   }
   if (!config_.reconfiguration) return;
@@ -580,7 +580,7 @@ void LiveNode::maybe_start_membership() {
   }
   if (in_committee < live.fd()) return;
   {
-    const std::lock_guard<std::mutex> lock(decisions_mutex_);
+    const common::MutexLock lock(decisions_mutex_);
     if (reconfig_.detect_ms < 0) reconfig_.detect_ms = ms_since_start();
   }
 
@@ -775,7 +775,7 @@ void LiveNode::on_exclusion_decided(const Key& key, Engine& engine) {
              config_.me, cons_exclude_.size(),
              static_cast<unsigned long long>(boundary));
   {
-    const std::lock_guard<std::mutex> lock(decisions_mutex_);
+    const common::MutexLock lock(decisions_mutex_);
     if (reconfig_.exclude_ms < 0) reconfig_.exclude_ms = ms_since_start();
   }
 
@@ -865,7 +865,7 @@ void LiveNode::on_inclusion_decided(const Key& /*key*/, Engine& engine) {
   epoch_spans_.push_back({pending_boundary_, new_epoch});
   membership_running_ = false;
   {
-    const std::lock_guard<std::mutex> lock(decisions_mutex_);
+    const common::MutexLock lock(decisions_mutex_);
     committee_snapshot_ = members;
     reconfig_.epoch = new_epoch;
     reconfig_.excluded += cons_exclude_.size();
@@ -1044,7 +1044,7 @@ void LiveNode::adopt_epoch(const EpochAnnounceMsg& msg) {
   membership_running_ = false;
   cons_exclude_.clear();
   {
-    const std::lock_guard<std::mutex> lock(decisions_mutex_);
+    const common::MutexLock lock(decisions_mutex_);
     committee_snapshot_ = members;
     reconfig_.epoch = msg.epoch;
     if (reconfig_.include_ms < 0) reconfig_.include_ms = ms_since_start();
@@ -1219,7 +1219,7 @@ void LiveNode::resync_tick() {
   // dropped connection swallowed (resume-across-churn).
   resync_ticks_ += 1;
   if (fetcher_ != nullptr) {
-    const std::lock_guard<std::mutex> lock(decisions_mutex_);
+    const common::MutexLock lock(decisions_mutex_);
     fetcher_->tick();
   }
   if (!active_) {
@@ -1394,7 +1394,7 @@ void LiveNode::handle_resync_status(ReplicaId from, std::uint32_t peer_epoch,
       constexpr int kOfferCooldownTicks = 8;
       if (resync_ticks_ - ps.offer_tick >= kOfferCooldownTicks) {
         if (stuck_pruned && ckpt_->watermark() < pruned_floor_) {
-          const std::lock_guard<std::mutex> lock(decisions_mutex_);
+          const common::MutexLock lock(decisions_mutex_);
           (void)ckpt_->take(bm_, my_floor,
                             epoch_of(my_floor).value_or(epoch_));
         }
@@ -1470,7 +1470,7 @@ void LiveNode::send_manifest(ReplicaId to) {
   m.signature = scheme_->sign(config_.me, BytesView(sb.data(), sb.size()));
   const Bytes msg = sync::encode_manifest_msg(m);
   transport_.send(to, BytesView(msg.data(), msg.size()));
-  const std::lock_guard<std::mutex> lock(decisions_mutex_);
+  const common::MutexLock lock(decisions_mutex_);
   ++sync_stats_.manifests_sent;
 }
 
@@ -1506,7 +1506,7 @@ void LiveNode::serve_chunks(ReplicaId to, const sync::ChunkRequest& req) {
     transport_.send(to, BytesView(msg.data(), msg.size()));
   }
   if (end > first) {
-    const std::lock_guard<std::mutex> lock(decisions_mutex_);
+    const common::MutexLock lock(decisions_mutex_);
     sync_stats_.chunks_served += end - first;
   }
 }
@@ -1545,7 +1545,7 @@ void LiveNode::install_snapshot_bytes(const Bytes& bytes) {
   } catch (const DecodeError&) {
     // The chunks verified against the signed root, so the *servers*
     // committed to garbage — drop it and wait for another manifest.
-    const std::lock_guard<std::mutex> lock(decisions_mutex_);
+    const common::MutexLock lock(decisions_mutex_);
     ++sync_stats_.snapshots_rejected;
     return;
   }
@@ -1554,7 +1554,7 @@ void LiveNode::install_snapshot_bytes(const Bytes& bytes) {
   // rewind the ledger past live-committed blocks.
   if (snap.upto <= decision_floor()) return;
   {
-    const std::lock_guard<std::mutex> lock(decisions_mutex_);
+    const common::MutexLock lock(decisions_mutex_);
     bm_.restore(snap);
     ++sync_stats_.snapshots_installed;
     sync_stats_.installed_upto = snap.upto;
@@ -1654,11 +1654,11 @@ void LiveNode::on_frame(ReplicaId from, BytesView data) {
         // relabelling attack or a server on a fork.
         const auto eo = epoch_of(m.upto);
         if (m.upto < join_floor_ || (eo && *eo != m.epoch)) {
-          const std::lock_guard<std::mutex> lock(decisions_mutex_);
+          const common::MutexLock lock(decisions_mutex_);
           ++reconfig_.stale_manifests_rejected;
           break;
         }
-        const std::lock_guard<std::mutex> lock(decisions_mutex_);
+        const common::MutexLock lock(decisions_mutex_);
         (void)fetcher_->consider(from, m, decision_floor());
         break;
       }
@@ -1674,7 +1674,7 @@ void LiveNode::on_frame(ReplicaId from, BytesView data) {
         if (!r.done()) break;
         std::optional<Bytes> image;
         {
-          const std::lock_guard<std::mutex> lock(decisions_mutex_);
+          const common::MutexLock lock(decisions_mutex_);
           image = fetcher_->on_chunk(from, chunk);
         }
         if (image.has_value()) install_snapshot_bytes(*image);
@@ -1696,7 +1696,15 @@ void LiveNode::on_frame(ReplicaId from, BytesView data) {
 
 void LiveNode::run(Duration deadline) {
   run_start_ = Clock::now();
-  if (config_.real_blocks && !bm_.journaling()) {
+  bool need_recovery = false;
+  {
+    // bm_ is mutex-guarded; even though no other thread can be touching
+    // it this early, the pre-recovery probe takes the lock like every
+    // other bm_ access so the guard holds uniformly.
+    const common::MutexLock lock(decisions_mutex_);
+    need_recovery = config_.real_blocks && !bm_.journaling();
+  }
+  if (need_recovery) {
     // Recovery order (after the caller had its chance to mint the
     // genesis): newest durable checkpoint first, then the journal —
     // which after compaction only holds the post-checkpoint tail, so
@@ -1706,7 +1714,7 @@ void LiveNode::run(Duration deadline) {
     bool restored = false;
     InstanceId restored_upto = 0;
     {
-      const std::lock_guard<std::mutex> lock(decisions_mutex_);
+      const common::MutexLock lock(decisions_mutex_);
       if (ckpt_ != nullptr) {
         if (const auto snap = ckpt_->load_disk()) {
           bm_.restore(*snap);
@@ -1718,6 +1726,11 @@ void LiveNode::run(Duration deadline) {
       if (!config_.journal_path.empty()) {
         if (const auto stats = bm_.open_journal(
                 config_.journal_path, [this](const chain::EpochRecord& rec) {
+                  // Replay runs synchronously inside the locked scope
+                  // above; the analysis cannot see a capture-crossing
+                  // lock, so re-assert it for recover_epoch_record's
+                  // REQUIRES.
+                  decisions_mutex_.assert_held();
                   recover_epoch_record(rec);
                 })) {
           journal_replay_ = *stats;
@@ -1741,24 +1754,24 @@ void LiveNode::run(Duration deadline) {
 }
 
 std::vector<LiveDecision> LiveNode::decisions() const {
-  const std::lock_guard<std::mutex> lock(decisions_mutex_);
+  const common::MutexLock lock(decisions_mutex_);
   return decisions_;
 }
 
 LiveNode::SyncStats LiveNode::sync_stats() const {
-  const std::lock_guard<std::mutex> lock(decisions_mutex_);
+  const common::MutexLock lock(decisions_mutex_);
   SyncStats out = sync_stats_;
   if (fetcher_ != nullptr) out.fetch = fetcher_->stats();
   return out;
 }
 
 chain::Journal::ReplayStats LiveNode::journal_replay_stats() const {
-  const std::lock_guard<std::mutex> lock(decisions_mutex_);
+  const common::MutexLock lock(decisions_mutex_);
   return journal_replay_;
 }
 
 crypto::Hash32 LiveNode::state_digest() const {
-  const std::lock_guard<std::mutex> lock(decisions_mutex_);
+  const common::MutexLock lock(decisions_mutex_);
   return bm_.state_digest();
 }
 

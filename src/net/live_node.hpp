@@ -24,13 +24,13 @@
 #include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <thread>
 #include <vector>
 
 #include "bm/block_manager.hpp"
+#include "common/mutex.hpp"
 #include "chain/mempool.hpp"
 #include "consensus/pof.hpp"
 #include "consensus/sbc.hpp"
@@ -135,6 +135,34 @@ struct LiveDecision {
   std::uint64_t payload_bytes = 0;
 };
 
+// Threading model & lock order
+// ----------------------------
+// A running LiveNode spans exactly two thread domains:
+//
+//   1. The loop thread (the caller of run()): owns the event loop, the
+//      transport, every engine map, the epoch/membership state and all
+//      cursors. Everything not explicitly marked otherwise below is
+//      loop-thread-affine and intentionally unlocked.
+//   2. Harness/observer threads (LiveCluster, tests, benches): may only
+//      call stop() (atomic), the *_atomic accessors, and the accessors
+//      annotated EXCLUDES(decisions_mutex_), which snapshot under the
+//      mutex.
+//
+// decisions_mutex_ guards the small cross-thread surface: the decision
+// log, the ledger (bm_ + mempool_), the stats blocks and the committee
+// snapshot. Lock-order (outermost first):
+//
+//   decisions_mutex_  >  ThreadPool::mu_ (+ its per-call done_mu)
+//
+// The pool locks nest inside because commit_decided_blocks holds
+// decisions_mutex_ while bm_.commit_block batch-verifies signatures
+// through ThreadPool::parallel_for. The inverse order is forbidden: a
+// pool task must NEVER touch a LiveNode (nothing may capture `this`
+// into parallel_for), or a task blocked on decisions_mutex_ would
+// deadlock against the committer waiting for that very task. No other
+// lock exists in this class; keep it that way — helpers that need the
+// lock are annotated REQUIRES, helpers that take it are EXCLUDES, and
+// the clang -Wthread-safety CI job enforces both.
 class LiveNode {
  public:
   explicit LiveNode(LiveNodeConfig config);
@@ -154,20 +182,25 @@ class LiveNode {
 
   /// Drives the node until every instance decided or `deadline`
   /// elapses. Blocking; typically the body of the node's thread.
-  void run(Duration deadline);
+  void run(Duration deadline) EXCLUDES(decisions_mutex_);
 
   /// Thread-safe: asks a running node to wind down (e.g. once the
   /// caller observed the state it was waiting for).
   void stop() { loop_.stop(); }
 
   /// Thread-safe snapshot of decided instances.
-  [[nodiscard]] std::vector<LiveDecision> decisions() const;
+  [[nodiscard]] std::vector<LiveDecision> decisions() const
+      EXCLUDES(decisions_mutex_);
   [[nodiscard]] bool all_decided() const {
     return decided_count_.load() >= config_.instances;
   }
   [[nodiscard]] std::uint64_t decided_count() const {
     return decided_count_.load();
   }
+  /// NOT thread-safe: the counters behind this reference are mutated by
+  /// the loop thread without synchronization. Read it only before run()
+  /// starts or after run() returned (i.e. post-join) — mid-run
+  /// observability goes through the atomic/locked accessors below.
   [[nodiscard]] const TransportStats& transport_stats() const {
     return transport_.stats();
   }
@@ -177,7 +210,8 @@ class LiveNode {
   /// Thread-safe: an activated member (standbys start false).
   [[nodiscard]] bool active() const { return active_atomic_.load(); }
   /// Thread-safe snapshot of the current committee.
-  [[nodiscard]] std::vector<ReplicaId> committee_members() const;
+  [[nodiscard]] std::vector<ReplicaId> committee_members() const
+      EXCLUDES(decisions_mutex_);
 
   /// Membership-change observability (thread-safe snapshot).
   struct ReconfigStats {
@@ -192,7 +226,8 @@ class LiveNode {
     std::int64_t exclude_ms = -1;  ///< exclusion consensus decided
     std::int64_t include_ms = -1;  ///< inclusion decided, epoch bumped
   };
-  [[nodiscard]] ReconfigStats reconfig_stats() const;
+  [[nodiscard]] ReconfigStats reconfig_stats() const
+      EXCLUDES(decisions_mutex_);
 
   /// Payment mode (real_blocks): the client-facing gateway port.
   [[nodiscard]] std::uint16_t client_port() const {
@@ -208,59 +243,77 @@ class LiveNode {
     InstanceId restored_upto = 0;          ///< from disk at startup
     sync::FetchStats fetch;
   };
-  [[nodiscard]] SyncStats sync_stats() const;
+  [[nodiscard]] SyncStats sync_stats() const EXCLUDES(decisions_mutex_);
   /// Startup journal replay (blocks delivered after any checkpoint
   /// restore — i.e. the post-checkpoint tail).
-  [[nodiscard]] chain::Journal::ReplayStats journal_replay_stats() const;
+  [[nodiscard]] chain::Journal::ReplayStats journal_replay_stats() const
+      EXCLUDES(decisions_mutex_);
   /// Thread-safe ledger digest (position-independent).
-  [[nodiscard]] crypto::Hash32 state_digest() const;
+  [[nodiscard]] crypto::Hash32 state_digest() const
+      EXCLUDES(decisions_mutex_);
   [[nodiscard]] const sync::CheckpointManager* checkpoints() const {
     return ckpt_ ? ckpt_.get() : nullptr;
   }
-  /// Local chain state. Mutate (e.g. mint a genesis) only before run().
-  [[nodiscard]] bm::BlockManager& block_manager() { return bm_; }
-  [[nodiscard]] const bm::BlockManager& block_manager() const { return bm_; }
+  /// Local chain state. Mutate (e.g. mint a genesis) only before run();
+  /// once the node runs, go through balance()/owned_coins()/
+  /// state_digest() instead — this escape hatch deliberately bypasses
+  /// the decisions_mutex_ guard on bm_ for the single-threaded setup
+  /// phase.
+  [[nodiscard]] bm::BlockManager& block_manager()
+      NO_THREAD_SAFETY_ANALYSIS {
+    return bm_;
+  }
+  [[nodiscard]] const bm::BlockManager& block_manager() const
+      NO_THREAD_SAFETY_ANALYSIS {
+    return bm_;
+  }
   /// Thread-safe balance snapshot (the loop thread owns bm_ during run).
-  [[nodiscard]] chain::Amount balance(const chain::Address& a) const;
+  [[nodiscard]] chain::Amount balance(const chain::Address& a) const
+      EXCLUDES(decisions_mutex_);
   /// Thread-safe snapshot of an address's spendable coins.
   [[nodiscard]] std::vector<std::pair<chain::OutPoint, chain::TxOut>>
-  owned_coins(const chain::Address& a) const;
+  owned_coins(const chain::Address& a) const EXCLUDES(decisions_mutex_);
 
  private:
   using Engine = consensus::SbcEngine;
   using Key = consensus::InstanceKey;
 
-  void start_instance(InstanceId k);
-  Engine* get_or_create(InstanceId k);
-  void on_frame(ReplicaId from, BytesView data);
-  void on_decided(InstanceId k);
+  void start_instance(InstanceId k) EXCLUDES(decisions_mutex_);
+  Engine* get_or_create(InstanceId k) EXCLUDES(decisions_mutex_);
+  void on_frame(ReplicaId from, BytesView data) EXCLUDES(decisions_mutex_);
+  void on_decided(InstanceId k) EXCLUDES(decisions_mutex_);
   /// Lowest instance this node has not decided yet (== instances when
   /// everything decided). Instances below the snapshot-settled floor
   /// count as decided.
   [[nodiscard]] InstanceId decision_floor() const;
   /// 1 + the highest locally decided regular index (>= decision floor).
   [[nodiscard]] InstanceId decision_ceiling() const;
-  void resync_tick();
+  void resync_tick() EXCLUDES(decisions_mutex_);
   void handle_resync_status(ReplicaId from, std::uint32_t peer_epoch,
-                            InstanceId peer_floor);
+                            InstanceId peer_floor)
+      EXCLUDES(decisions_mutex_);
   /// `drain_mempool` = false builds an empty proposal: out-of-order
   /// auto-proposals need our slot delivered for quorum liveness, but
   /// must never move ACKed client transactions into an instance the
   /// chain may be a long way from reaching.
-  [[nodiscard]] Bytes payload_for(InstanceId k, bool drain_mempool = true);
+  [[nodiscard]] Bytes payload_for(InstanceId k, bool drain_mempool = true)
+      EXCLUDES(decisions_mutex_);
   /// Cooldown-gated re-send of our latest epoch announcement.
   void maybe_reannounce(ReplicaId to);
-  bool accept_tx(const chain::Transaction& tx);
-  void commit_decided_blocks(InstanceId k, Engine& engine);
+  bool accept_tx(const chain::Transaction& tx) EXCLUDES(decisions_mutex_);
+  void commit_decided_blocks(InstanceId k, Engine& engine)
+      EXCLUDES(decisions_mutex_);
   /// Offers our latest checkpoint to `to` (signed manifest).
-  void send_manifest(ReplicaId to);
-  void serve_chunks(ReplicaId to, const sync::ChunkRequest& req);
+  void send_manifest(ReplicaId to) EXCLUDES(decisions_mutex_);
+  void serve_chunks(ReplicaId to, const sync::ChunkRequest& req)
+      EXCLUDES(decisions_mutex_);
   /// Assembled+verified image bytes arrived: decode, restore the
   /// ledger, settle every covered instance.
-  void install_snapshot_bytes(const Bytes& bytes);
+  void install_snapshot_bytes(const Bytes& bytes)
+      EXCLUDES(decisions_mutex_);
   /// Marks instances below `upto` decided-without-engines (snapshot
   /// install or disk restore) and advances the cursors.
-  void settle_below(InstanceId upto);
+  void settle_below(InstanceId upto) EXCLUDES(decisions_mutex_);
 
   // --- membership change (Alg. 1, live) ------------------------------
   /// Epoch governing regular instance `k`; nullopt when `k` predates
@@ -274,31 +327,36 @@ class LiveNode {
   /// the engine the frame must reach, or nullptr when it was dropped
   /// (cross-epoch / pre-join history) or stashed (membership traffic
   /// ahead of its engine).
-  Engine* route_engine(ReplicaId from, const Key& key, BytesView frame);
+  Engine* route_engine(ReplicaId from, const Key& key, BytesView frame)
+      EXCLUDES(decisions_mutex_);
   /// Re-queues the drained-but-never-decided batch of instance `k`
   /// (client-ACKed transactions must survive the engine's teardown).
-  void requeue_proposed(InstanceId k);
+  void requeue_proposed(InstanceId k) EXCLUDES(decisions_mutex_);
   void observe_vote(const consensus::SignedVote& vote);
   /// Registers pending PoFs, gossips fresh ones, shrinks the exclusion
   /// committee, and triggers the membership change at fd culprits.
-  void note_new_pofs();
-  void maybe_start_membership();
+  void note_new_pofs() EXCLUDES(decisions_mutex_);
+  void maybe_start_membership() EXCLUDES(decisions_mutex_);
   Engine* create_membership_engine(const Key& key);
-  void on_exclusion_decided(const Key& key, Engine& engine);
-  void on_inclusion_decided(const Key& key, Engine& engine);
+  void on_exclusion_decided(const Key& key, Engine& engine)
+      EXCLUDES(decisions_mutex_);
+  void on_inclusion_decided(const Key& key, Engine& engine)
+      EXCLUDES(decisions_mutex_);
   void handle_pof_gossip(BytesView body);
   void handle_epoch_announce(ReplicaId from,
                              const consensus::EpochAnnounceMsg& msg);
   /// Adopts a membership change this node did not take part in (a
   /// standby's activation, or a veteran that slept through the change).
-  void adopt_epoch(const consensus::EpochAnnounceMsg& msg);
+  void adopt_epoch(const consensus::EpochAnnounceMsg& msg)
+      EXCLUDES(decisions_mutex_);
   void send_epoch_announce(ReplicaId to);
   /// Reconnects the transport to the current committee: tears down
   /// excluded links, raises links to admitted members.
   void retarget_transport();
-  void recover_epoch_record(const chain::EpochRecord& rec);
+  void recover_epoch_record(const chain::EpochRecord& rec)
+      REQUIRES(decisions_mutex_);
   void stash_membership_frame(ReplicaId from, BytesView data);
-  void drain_membership_stash();
+  void drain_membership_stash() EXCLUDES(decisions_mutex_);
   [[nodiscard]] std::int64_t ms_since_start() const;
 
   LiveNodeConfig config_;
@@ -356,7 +414,7 @@ class LiveNode {
   /// A standby refuses snapshots below its join boundary: it cannot
   /// replay an old-epoch tail it was never a member for.
   InstanceId join_floor_ = 0;
-  ReconfigStats reconfig_;
+  ReconfigStats reconfig_ GUARDED_BY(decisions_mutex_);
   TimePoint run_start_{};
 
   std::map<InstanceId, std::unique_ptr<Engine>> engines_;
@@ -391,28 +449,32 @@ class LiveNode {
   std::size_t next_payload_ = 0;
 
   std::unique_ptr<ClientGateway> gateway_;
-  chain::Mempool mempool_;
+  chain::Mempool mempool_ GUARDED_BY(decisions_mutex_);
   /// Payment mode: what we proposed per instance, so transactions are
-  /// re-queued when our own slot loses its binary consensus.
+  /// re-queued when our own slot loses its binary consensus. Loop-thread
+  /// only (the map itself needs no lock; the transaction VECTORS are
+  /// drained/readmitted under decisions_mutex_ where they touch the
+  /// mempool).
   std::map<InstanceId, std::vector<chain::Transaction>> proposed_txs_;
-  bm::BlockManager bm_;
+  bm::BlockManager bm_ GUARDED_BY(decisions_mutex_);
 
   /// Checkpoint/state-sync (payment mode; see src/sync).
   std::unique_ptr<sync::CheckpointManager> ckpt_;
-  std::unique_ptr<sync::SnapshotFetcher> fetcher_;
+  std::unique_ptr<sync::SnapshotFetcher> fetcher_
+      PT_GUARDED_BY(decisions_mutex_);
   /// Instances below this are settled by an installed snapshot (no
   /// engine ever ran for them on this node).
   InstanceId settled_floor_ = 0;
-  SyncStats sync_stats_;
-  chain::Journal::ReplayStats journal_replay_;
+  SyncStats sync_stats_ GUARDED_BY(decisions_mutex_);
+  chain::Journal::ReplayStats journal_replay_ GUARDED_BY(decisions_mutex_);
 
-  mutable std::mutex decisions_mutex_;  ///< guards decisions_, bm_ reads,
-                                        ///< sync_stats_, reconfig_ and
-                                        ///< committee_snapshot_
+  /// The node's only lock; see the threading-model comment above the
+  /// class for what it guards and how it orders against ThreadPool.
+  mutable common::Mutex decisions_mutex_;
   /// Mutex-guarded copy of the current committee for cross-thread
   /// readers; the epoch maps themselves are loop-thread-only.
-  std::vector<ReplicaId> committee_snapshot_;
-  std::vector<LiveDecision> decisions_;
+  std::vector<ReplicaId> committee_snapshot_ GUARDED_BY(decisions_mutex_);
+  std::vector<LiveDecision> decisions_ GUARDED_BY(decisions_mutex_);
   std::atomic<std::uint64_t> decided_count_{0};
 };
 

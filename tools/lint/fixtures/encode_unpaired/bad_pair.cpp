@@ -1,0 +1,23 @@
+// Known-bad fixture for the `encode-pair` rule: a free encode_* with no
+// matching decode_* — the decode side is presumably hand-rolled at some
+// call site and will drift from this encoder.
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+using Bytes = std::vector<std::uint8_t>;
+
+struct Widget {
+  std::uint32_t id = 0;
+  std::uint32_t size = 0;
+};
+
+Bytes encode_widget(const Widget& w) {
+  Bytes out;
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(w.id >> (8 * i)));
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(w.size >> (8 * i)));
+  return out;
+}
+
+}  // namespace fixture

@@ -1,0 +1,39 @@
+// Known-bad fixture for the `epoch-signing` rule: a signed wire payload
+// whose signing bytes cover sender and index but never the membership
+// epoch — the signature verifies unchanged after a reconfiguration, so
+// an excluded replica could replay it into the next epoch. The helpers
+// keep the call graph non-trivial (the rule searches transitively).
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+using Bytes = std::vector<std::uint8_t>;
+
+struct Writer {
+  Bytes out;
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+};
+
+struct BadVote {
+  std::uint32_t sender = 0;
+  std::uint64_t index = 0;
+
+  void write_header(Writer& w) const {
+    w.u32(sender);
+    w.u64(index);
+  }
+
+  Bytes signing_bytes() const {
+    Writer w;
+    write_header(w);
+    return w.out;
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// Known-bad fixture for the `raw-mutex` rule: std synchronization
+// primitives used directly instead of the annotated zlb::Mutex /
+// MutexLock wrappers, making the code invisible to -Wthread-safety.
+#include <mutex>
+
+namespace fixture {
+
+class Counter {
+ public:
+  void bump() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++value_;
+  }
+
+ private:
+  std::mutex mu_;
+  long value_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,296 @@
+#!/usr/bin/env python3
+"""ZLB protocol-invariant linter.
+
+Four rules over the C++ sources, each protecting an invariant the type
+system cannot express:
+
+  epoch-signing    Every signed wire payload must bind the membership
+                   epoch: a `*signing_bytes`/`summary_bytes` function
+                   whose (transitively reachable, depth-bounded) body
+                   never touches an `epoch` field produces signatures
+                   that are replayable across membership generations —
+                   exactly the cross-epoch confusion the ZLB
+                   reconfiguration gates exist to prevent.
+  raw-mutex        Raw std::mutex / std::lock_guard / std::unique_lock /
+                   std::condition_variable outside the annotated
+                   common/mutex.hpp wrappers escapes the clang
+                   -Wthread-safety analysis (the wrappers carry the
+                   capability attributes; the std types do not).
+  io-under-lock    Blocking file/socket calls lexically inside a held
+                   lock scope stall every thread contending on that
+                   lock (and under decisions_mutex_ would stall the
+                   consensus loop on disk latency).
+  encode-pair      A free `encode_X` without a matching `decode_X`
+                   usually means the decode path is hand-rolled at the
+                   call site and will drift from the encoder.
+
+Vetted exceptions live in an allowlist file (see --allow):
+
+  raw-mutex:<path-suffix>     file allowed to use std primitives
+  io-under-lock:<path-suffix>
+  encode-pair:<function-name> encoder whose decoder is a class/another
+                              mechanism (e.g. FrameDecoder)
+
+Exit status: 0 = clean, 1 = findings, 2 = usage error. Findings print
+as `file:line: [rule] message` so editors and CI annotate them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+CXX_SUFFIXES = {".cpp", ".hpp", ".cc", ".hh", ".cxx", ".h"}
+
+SIGNING_NAME = re.compile(r"(^|_)(signing_bytes|summary_bytes)$")
+EPOCH_TOKEN = re.compile(r"\bepoch\w*\b")
+CALL = re.compile(r"\b([A-Za-z_]\w*)\s*\(")
+RAW_MUTEX = re.compile(
+    r"\bstd::(mutex|timed_mutex|recursive_mutex|shared_mutex|"
+    r"lock_guard|unique_lock|scoped_lock|shared_lock|"
+    r"condition_variable(_any)?)\b"
+)
+LOCK_DECL = re.compile(
+    r"\b(?:common::)?(?:MutexLock|std::lock_guard|std::unique_lock|"
+    r"std::scoped_lock)\b[^;{}]*\("
+)
+BLOCKING_CALL = re.compile(
+    r"\b(fopen|fclose|fread|fwrite|fflush|fsync|fdatasync|"
+    r"std::ofstream|std::ifstream|std::fstream|std::getline|"
+    r"sleep_for|sleep_until|::poll|::connect|::accept|::recv|::send|"
+    r"std::rename|std::remove)\b"
+)
+# `} name(...)` / `Type name(args) ... {` style definition headers. The
+# last path component of a qualified name is the lookup key: the call
+# graph below resolves bare calls by that component, which is
+# deliberately merge-happy (any same-named definition satisfies the
+# search) — the rule must never false-positive on real code.
+FUNC_DEF = re.compile(
+    r"([A-Za-z_][\w:]*)\s*\(([^;{}]*)\)\s*"
+    r"((?:const|noexcept|override|final|mutable|->\s*[\w:<>&*, ]+)\s*)*\{"
+)
+
+COMMENT_BLOCK = re.compile(r"/\*.*?\*/", re.S)
+COMMENT_LINE = re.compile(r"//[^\n]*")
+STRING_LIT = re.compile(r'"(?:\\.|[^"\\])*"')
+CHAR_LIT = re.compile(r"'(?:\\.|[^'\\])*'")
+
+
+def strip_noise(text: str) -> str:
+    """Blanks comments/strings, preserving newlines for line numbers."""
+
+    def blank(m: re.Match) -> str:
+        return re.sub(r"[^\n]", " ", m.group(0))
+
+    for pat in (COMMENT_BLOCK, COMMENT_LINE, STRING_LIT, CHAR_LIT):
+        text = pat.sub(blank, text)
+    return text
+
+
+def body_at(text: str, open_brace: int) -> str:
+    depth = 0
+    for i in range(open_brace, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return text[open_brace : i + 1]
+    return text[open_brace:]
+
+
+class Finding:
+    def __init__(self, path: Path, line: int, rule: str, msg: str):
+        self.path, self.line, self.rule, self.msg = path, line, rule, msg
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.msg}"
+
+
+def load_allowlist(path: Path | None) -> dict[str, set[str]]:
+    allow: dict[str, set[str]] = {}
+    if path is None or not path.exists():
+        return allow
+    for raw in path.read_text().splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        rule, _, token = line.partition(":")
+        allow.setdefault(rule.strip(), set()).add(token.strip())
+    return allow
+
+
+def allowed_file(allow: dict[str, set[str]], rule: str, path: Path) -> bool:
+    posix = path.as_posix()
+    return any(posix.endswith(suffix) for suffix in allow.get(rule, ()))
+
+
+def collect_functions(files: dict[Path, str]) -> dict[str, list[str]]:
+    """name (last qualified component) -> list of stripped bodies."""
+    functions: dict[str, list[str]] = {}
+    for text in files.values():
+        for m in FUNC_DEF.finditer(text):
+            name = m.group(1).split("::")[-1]
+            if name in ("if", "for", "while", "switch", "catch", "return"):
+                continue
+            body = body_at(text, m.end() - 1)
+            # Keep the parameter list with the body: an `epoch` parameter
+            # (resync_signing_bytes-style free functions) binds it too.
+            functions.setdefault(name, []).append(m.group(2) + body)
+    return functions
+
+
+def rule_epoch_signing(files: dict[Path, str],
+                       functions: dict[str, list[str]],
+                       depth: int) -> list[Finding]:
+    findings = []
+    for path, text in files.items():
+        for m in FUNC_DEF.finditer(text):
+            name = m.group(1).split("::")[-1]
+            if not SIGNING_NAME.search(name):
+                continue
+            seen = {name}
+            frontier = [m.group(2) + body_at(text, m.end() - 1)]
+            bound = False
+            for _ in range(depth + 1):
+                next_frontier = []
+                for body in frontier:
+                    if EPOCH_TOKEN.search(body):
+                        bound = True
+                        break
+                    for call in CALL.finditer(body):
+                        callee = call.group(1)
+                        if callee in seen:
+                            continue
+                        seen.add(callee)
+                        next_frontier.extend(functions.get(callee, ()))
+                if bound:
+                    break
+                frontier = next_frontier
+            if not bound:
+                line = text.count("\n", 0, m.start()) + 1
+                findings.append(Finding(
+                    path, line, "epoch-signing",
+                    f"{m.group(1)} never binds an epoch field: the "
+                    "signature is replayable across membership "
+                    "generations"))
+    return findings
+
+
+def rule_raw_mutex(files: dict[Path, str],
+                   allow: dict[str, set[str]]) -> list[Finding]:
+    findings = []
+    for path, text in files.items():
+        if allowed_file(allow, "raw-mutex", path):
+            continue
+        for m in RAW_MUTEX.finditer(text):
+            line = text.count("\n", 0, m.start()) + 1
+            findings.append(Finding(
+                path, line, "raw-mutex",
+                f"std::{m.group(1)} bypasses the annotated zlb::Mutex/"
+                "MutexLock wrappers (invisible to -Wthread-safety)"))
+    return findings
+
+
+def rule_io_under_lock(files: dict[Path, str],
+                       allow: dict[str, set[str]]) -> list[Finding]:
+    findings = []
+    for path, text in files.items():
+        if allowed_file(allow, "io-under-lock", path):
+            continue
+        lock_depths: list[int] = []  # brace depth at each held lock
+        depth = 0
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            if lock_depths and BLOCKING_CALL.search(line):
+                call = BLOCKING_CALL.search(line).group(1)
+                findings.append(Finding(
+                    path, lineno, "io-under-lock",
+                    f"blocking call {call} inside a held lock scope"))
+            if LOCK_DECL.search(line):
+                lock_depths.append(depth)
+            for ch in line:
+                if ch == "{":
+                    depth += 1
+                elif ch == "}":
+                    depth -= 1
+                    while lock_depths and depth <= lock_depths[-1]:
+                        lock_depths.pop()
+    return findings
+
+
+def rule_encode_pair(files: dict[Path, str],
+                     functions: dict[str, list[str]],
+                     allow: dict[str, set[str]]) -> list[Finding]:
+    findings = []
+    allowed = allow.get("encode-pair", set())
+    reported = set()
+    for path, text in files.items():
+        for m in FUNC_DEF.finditer(text):
+            name = m.group(1).split("::")[-1]
+            if not name.startswith("encode_") or name in reported:
+                continue
+            partner = "decode_" + name[len("encode_"):]
+            if name in allowed or partner in functions:
+                continue
+            reported.add(name)
+            line = text.count("\n", 0, m.start()) + 1
+            findings.append(Finding(
+                path, line, "encode-pair",
+                f"{name} has no matching {partner} (decoder drift "
+                "hazard); pair it or allowlist `encode-pair:{0}`"
+                .format(name)))
+    return findings
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", action="append", required=True,
+                    help="directory tree to lint (repeatable)")
+    ap.add_argument("--allow", type=Path, default=None,
+                    help="allowlist file (rule:token lines)")
+    ap.add_argument("--rule", action="append", default=None,
+                    help="run only these rules (default: all)")
+    ap.add_argument("--depth", type=int, default=3,
+                    help="epoch-signing call-graph search depth")
+    args = ap.parse_args()
+
+    files: dict[Path, str] = {}
+    for root in args.root:
+        root_path = Path(root)
+        if not root_path.is_dir():
+            print(f"zlb_lint: no such directory: {root}", file=sys.stderr)
+            return 2
+        for path in sorted(root_path.rglob("*")):
+            if path.suffix in CXX_SUFFIXES and path.is_file():
+                files[path] = strip_noise(path.read_text(errors="replace"))
+    allow = load_allowlist(args.allow)
+    functions = collect_functions(files)
+
+    rules = {
+        "epoch-signing":
+            lambda: rule_epoch_signing(files, functions, args.depth),
+        "raw-mutex": lambda: rule_raw_mutex(files, allow),
+        "io-under-lock": lambda: rule_io_under_lock(files, allow),
+        "encode-pair": lambda: rule_encode_pair(files, functions, allow),
+    }
+    selected = args.rule or list(rules)
+    unknown = [r for r in selected if r not in rules]
+    if unknown:
+        print(f"zlb_lint: unknown rule(s): {', '.join(unknown)}",
+              file=sys.stderr)
+        return 2
+
+    findings: list[Finding] = []
+    for rule in selected:
+        findings.extend(rules[rule]())
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"zlb_lint: {len(findings)} finding(s)", file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
