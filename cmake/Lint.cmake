@@ -10,6 +10,8 @@
 #
 # Without Python3 the linter is skipped with a notice — it gates CI
 # (which always has an interpreter), not local builds on bare boxes.
+# Also adds, when clang-tidy exists: a `zlb_tidy` custom target running
+# the curated .clang-tidy profile over src/ and tools/mc/.
 
 find_package(Python3 COMPONENTS Interpreter QUIET)
 
@@ -29,6 +31,27 @@ add_custom_target(zlb_lint
   WORKING_DIRECTORY "${CMAKE_CURRENT_SOURCE_DIR}"
   COMMENT "Running ZLB invariant linter over src/"
   VERBATIM)
+
+# clang-tidy integration: the curated check profile lives in .clang-tidy
+# at the repo root. The target needs compile_commands.json (exported
+# unconditionally by the top-level CMakeLists) and is skipped with a
+# notice when clang-tidy is not installed — plain local builds never
+# require it; CI installs it and runs `cmake --build build -t zlb_tidy`.
+find_program(ZLB_CLANG_TIDY_EXE NAMES clang-tidy clang-tidy-19
+                                      clang-tidy-18 clang-tidy-17)
+if(NOT ZLB_CLANG_TIDY_EXE)
+  message(STATUS "clang-tidy not found — zlb_tidy target disabled")
+else()
+  file(GLOB_RECURSE ZLB_TIDY_SOURCES CONFIGURE_DEPENDS
+    "${CMAKE_CURRENT_SOURCE_DIR}/src/*.cpp"
+    "${CMAKE_CURRENT_SOURCE_DIR}/tools/mc/*.cpp")
+  add_custom_target(zlb_tidy
+    COMMAND "${ZLB_CLANG_TIDY_EXE}" -p "${CMAKE_BINARY_DIR}" --quiet
+            ${ZLB_TIDY_SOURCES}
+    WORKING_DIRECTORY "${CMAKE_CURRENT_SOURCE_DIR}"
+    COMMENT "clang-tidy (curated bugprone/concurrency/performance profile)"
+    VERBATIM)
+endif()
 
 if(ZLB_BUILD_TESTS)
   add_test(NAME zlb_lint_src

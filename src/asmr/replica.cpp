@@ -137,6 +137,7 @@ Replica::Engine* Replica::get_or_create_engine(const Key& key) {
   ec.cert_on_all_votes = config_.cert_on_all_votes;
   ec.cert_unit_divisor = config_.cert_unit_divisor;
   ec.max_rounds = config_.max_rounds;
+  ec.mc_quorum_delta = config_.mc_quorum_delta;
 
   Engine::Hooks hooks;
   hooks.broadcast = [this, dests = slot_members](Bytes data,
@@ -611,10 +612,13 @@ void Replica::maybe_start_membership() {
   if (!config_.recovery || membership_running_) return;
 
   membership_running_ = true;
-  // Alg. 1 line 19: stop the pending ASMR consensus.
+  // Alg. 1 line 19: stop the pending ASMR consensus. The injected
+  // mc_resume_stale_engines bug skips the freeze — the retired engine
+  // then keeps counting stale votes and can commit under the old epoch
+  // after the membership change, which the model checker must catch.
   if (Engine* cur =
           find_engine(Key{epoch_, InstanceKind::kRegular, next_index_})) {
-    cur->stop();
+    if (!config_.mc_resume_stale_engines) cur->stop();
   }
   instance_running_ = false;
   // Alg. 1 lines 20-22: C' = C \ culprits; start the exclusion consensus.
@@ -900,6 +904,102 @@ void Replica::dispatch(ReplicaId from, BytesView data, bool replaying) {
   } catch (const std::invalid_argument&) {
     return;
   }
+}
+
+void Replica::fingerprint(Writer& w) const {
+  // Everything that can influence a future transition is serialized
+  // canonically (every container here is ordered). Metrics and sim
+  // timestamps are deliberately excluded: they never feed back into
+  // protocol decisions, and including schedule-dependent clock values
+  // would make equivalent states fingerprint differently.
+  w.u32(me_);
+  w.boolean(active_);
+  w.u32(epoch_);
+  w.boolean(in_replay_);
+  w.u64(next_index_);
+  w.boolean(instance_running_);
+  w.boolean(membership_running_);
+
+  const auto ids = [&w](const std::vector<ReplicaId>& v) {
+    w.varint(v.size());
+    for (ReplicaId id : v) w.u32(id);
+  };
+  ids(committee_.members());
+  ids(epoch_members_);
+  ids(pool_);
+  ids(excluded_ids_);
+  ids(exclusion_live_.members());
+  ids(cons_exclude_);
+
+  w.varint(engines_.size());
+  for (const auto& [key, engine] : engines_) engine->fingerprint(w);
+  w.varint(tombstones_.size());
+  for (const Key& key : tombstones_) key.encode(w);
+
+  w.varint(records_.size());
+  for (const auto& [key, rec] : records_) {
+    key.encode(w);
+    w.boolean(rec.decided);
+    w.bytes(BytesView(rec.bitmask.data(), rec.bitmask.size()));
+    w.varint(rec.digests.size());
+    for (const auto& d : rec.digests) w.raw(BytesView(d.data(), d.size()));
+    w.varint(rec.one_slots.size());
+    for (std::uint32_t s : rec.one_slots) w.u32(s);
+    w.u64(rec.tx_count);
+    w.boolean(rec.confirmed);
+    w.boolean(rec.reconcile_sent);
+    w.varint(rec.confirmations.size());
+    for (ReplicaId id : rec.confirmations) w.u32(id);
+    w.varint(rec.conflicted_slots.size());
+    for (std::uint32_t s : rec.conflicted_slots) w.u32(s);
+    w.varint(rec.evidence_sent.size());
+    for (std::uint32_t s : rec.evidence_sent) w.u32(s);
+  }
+
+  w.varint(others_.size());
+  for (const auto& [key, msgs] : others_) {
+    key.encode(w);
+    w.varint(msgs.size());
+    for (const auto& msg : msgs) {
+      w.u32(msg.sender);
+      w.bytes(BytesView(msg.bitmask.data(), msg.bitmask.size()));
+      w.varint(msg.digests.size());
+      for (const auto& d : msg.digests) w.raw(BytesView(d.data(), d.size()));
+    }
+  }
+
+  w.varint(pending_buffer_.size());
+  for (const auto& [from, data] : pending_buffer_) {
+    w.u32(from);
+    w.bytes(BytesView(data.data(), data.size()));
+  }
+
+  pofs_.fingerprint(w);
+  w.varint(pending_pofs_.size());
+  for (const auto& pof : pending_pofs_) pof.encode(w);
+
+  w.varint(catchup_votes_.size());
+  for (const auto& [digest, voters] : catchup_votes_) {
+    w.raw(BytesView(digest.data(), digest.size()));
+    w.varint(voters.size());
+    for (ReplicaId id : voters) w.u32(id);
+  }
+  w.varint(catchup_index_.size());
+  for (const auto& [digest, index] : catchup_index_) {
+    w.raw(BytesView(digest.data(), digest.size()));
+    w.u64(index);
+  }
+  w.varint(catchup_snapshot_.size());
+  for (const auto& [digest, snap] : catchup_snapshot_) {
+    w.raw(BytesView(digest.data(), digest.size()));
+    w.u64(snap.first);
+    w.varint(snap.second.size());
+  }
+
+  w.varint(mempool_.size());
+  const crypto::Hash32 ledger = bm_.state_digest();
+  w.raw(BytesView(ledger.data(), ledger.size()));
+  w.u64(bm_.store().size());
 }
 
 }  // namespace zlb::asmr

@@ -68,6 +68,17 @@ struct ReplicaConfig {
   std::uint64_t checkpoint_interval = 0;
   /// Mempool capacity (0 = unbounded); submit() drops at the bound.
   std::size_t mempool_capacity = 0;
+  /// FAULT INJECTION — model checker only (zlb_mc --inject-bug=epoch).
+  /// Skips the Alg. 1 line 19 freeze of the pending regular instance
+  /// when a membership change starts: the retired engine keeps
+  /// counting stale votes and can commit under the old epoch after
+  /// the inclusion decision bumps it, the exact class of bug the
+  /// epoch-boundary invariant exists to catch. Never set outside
+  /// zlb_mc.
+  bool mc_resume_stale_engines = false;
+  /// FAULT INJECTION — model checker only (zlb_mc --inject-bug=quorum).
+  /// Forwarded into every engine's SbcEngine::Config::mc_quorum_delta.
+  std::uint32_t mc_quorum_delta = 0;
 };
 
 struct ReplicaMetrics {
@@ -147,6 +158,15 @@ class Replica : public sim::Process {
     const auto it = engines_.find(key);
     return it == engines_.end() ? nullptr : it->second.get();
   }
+  /// All decision records (model checker / harness introspection).
+  [[nodiscard]] const std::map<consensus::InstanceKey, DecisionRecord>&
+  records() const {
+    return records_;
+  }
+  /// Canonical serialization of all protocol-relevant replica state.
+  /// Two replicas with equal fingerprints react identically to
+  /// identical future inputs — the model checker's visited-state key.
+  void fingerprint(Writer& w) const;
 
  private:
   using Engine = consensus::SbcEngine;

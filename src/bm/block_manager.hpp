@@ -84,6 +84,14 @@ class BlockManager {
     return txs_.count(id) != 0;
   }
   [[nodiscard]] const MergeStats& stats() const { return stats_; }
+  /// Ω.inputs-deposit accounting. The model checker's no-double-spend
+  /// invariant reads it directly: every outpoint consumed by more than
+  /// one applied transaction must appear here (conflicts are funded
+  /// from the deposit, Alg. 2), or safety is broken.
+  [[nodiscard]] const std::map<chain::OutPoint, chain::Amount>&
+  inputs_deposit() const {
+    return inputs_deposit_;
+  }
 
   /// Looks up the value of any output ever committed (needed to price a
   /// conflicting input whose UTXO was already consumed).

@@ -1,0 +1,55 @@
+// Injectable wall-clock seam. Protocol code must never read
+// std::chrono directly (the `wall-clock` lint rule enforces this):
+// anything timestamp-dependent goes through a Clock* so deterministic
+// harnesses (the model checker, the seeded simulator) can pin time.
+// This header is the one sanctioned home for std::chrono::system_clock
+// outside src/net.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace zlb::common {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Seconds since the Unix epoch. Used only for coarse freshness
+  /// checks (e.g. resync-status staleness), never for protocol
+  /// ordering decisions.
+  [[nodiscard]] virtual std::int64_t unix_seconds() const = 0;
+
+  /// The process-wide real clock. Deterministic harnesses pass their
+  /// own Clock instead of calling this.
+  static const Clock& system();
+};
+
+/// Real wall clock (the `system()` singleton).
+class SystemClock final : public Clock {
+ public:
+  [[nodiscard]] std::int64_t unix_seconds() const override {
+    return std::chrono::duration_cast<std::chrono::seconds>(
+               std::chrono::system_clock::now().time_since_epoch())
+        .count();
+  }
+};
+
+/// Hand-cranked clock for tests and the model checker.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(std::int64_t start_s = 0) : now_s_(start_s) {}
+  [[nodiscard]] std::int64_t unix_seconds() const override { return now_s_; }
+  void set(std::int64_t s) { now_s_ = s; }
+  void advance(std::int64_t s) { now_s_ += s; }
+
+ private:
+  std::int64_t now_s_ = 0;
+};
+
+inline const Clock& Clock::system() {
+  static const SystemClock clock;
+  return clock;
+}
+
+}  // namespace zlb::common

@@ -127,4 +127,25 @@ std::vector<SignedVote> PofStore::votes_for(const InstanceKey& key,
   return out;
 }
 
+void PofStore::fingerprint(Writer& w) const {
+  w.u64(log_floor_);
+  w.varint(by_culprit_.size());
+  for (const auto& [id, pof] : by_culprit_) {
+    w.u32(id);
+    pof.encode(w);
+  }
+  w.varint(first_votes_.size());
+  for (const auto& [key, steps] : first_votes_) {
+    key.encode(w);
+    w.varint(steps.size());
+    for (const auto& [sk, vote] : steps) {
+      w.u32(sk.slot);
+      w.u32(sk.round);
+      w.u8(static_cast<std::uint8_t>(sk.type));
+      w.u32(sk.signer);
+      w.bytes(BytesView(vote.body.value.data(), vote.body.value.size()));
+    }
+  }
+}
+
 }  // namespace zlb::consensus

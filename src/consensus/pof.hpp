@@ -7,7 +7,6 @@
 #pragma once
 
 #include <map>
-#include <unordered_map>
 
 #include "consensus/messages.hpp"
 #include "crypto/signer.hpp"
@@ -84,6 +83,10 @@ class PofStore {
   [[nodiscard]] std::vector<SignedVote> votes_for(const InstanceKey& key,
                                                   std::uint32_t slot) const;
 
+  /// Canonical serialization of the store (ordered containers only) —
+  /// part of a replica's model-checker state fingerprint.
+  void fingerprint(Writer& w) const;
+
  private:
   struct StepKey {
     std::uint32_t slot;
@@ -95,10 +98,13 @@ class PofStore {
              std::tie(b.slot, b.round, b.type, b.signer);
     }
   };
-  // first vote seen per (instance, step, signer)
-  std::unordered_map<InstanceKey, std::map<StepKey, SignedVote>,
-                     InstanceKeyHasher>
-      first_votes_;
+  // First vote seen per (instance, step, signer). Ordered map: pofs()
+  // iterates it indirectly via by_culprit_ and votes_for() walks one
+  // instance, but more importantly the model checker serializes the
+  // whole store canonically — nondeterministic iteration order here
+  // would leak into state fingerprints (and the nondet-iter lint rule
+  // bans unordered iteration in protocol paths).
+  std::map<InstanceKey, std::map<StepKey, SignedVote>> first_votes_;
   std::map<ReplicaId, ProofOfFraud> by_culprit_;
   InstanceId log_floor_ = 0;
 };

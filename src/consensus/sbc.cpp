@@ -32,7 +32,13 @@ SbcEngine::SbcEngine(InstanceKey key, std::vector<ReplicaId> slot_members,
 }
 
 std::size_t SbcEngine::live_quorum() const {
-  return live_ != nullptr ? live_->quorum() : slot_committee_.quorum();
+  const std::size_t q =
+      live_ != nullptr ? live_->quorum() : slot_committee_.quorum();
+  // mc_quorum_delta is the model checker's injected safety bug: a
+  // weakened quorum no longer guarantees intersection in an honest
+  // member, which zlb_mc must detect as an agreement violation.
+  const std::size_t delta = config_.mc_quorum_delta;
+  return q > delta ? q - delta : 1;
 }
 
 std::size_t SbcEngine::live_amplify() const {
@@ -466,6 +472,75 @@ void SbcEngine::recheck() {
     maybe_ready(s);
     maybe_deliver(s);
     recheck_slot(s);
+  }
+}
+
+void SbcEngine::fingerprint(Writer& w) const {
+  // Count-derived fields (echo_counts, est_counts, ...) are functions
+  // of the first-vote maps and the live committee, so the first-vote
+  // maps alone pin them; they are still included because they are
+  // cheap and make fingerprint collisions across live-committee
+  // changes impossible.
+  key_.encode(w);
+  w.u32(config_.epoch);
+  w.boolean(stopped_);
+  w.boolean(proposed_);
+  w.boolean(zero_phase_started_);
+  w.boolean(instance_decided_);
+  w.varint(delivered_);
+  w.bytes(BytesView(bitmask_.data(), bitmask_.size()));
+  w.varint(outcome_.size());
+  for (const OutcomeEntry& e : outcome_) {
+    w.u32(e.epoch);
+    w.u32(e.slot);
+    w.raw(BytesView(e.digest.data(), e.digest.size()));
+    w.u32(e.tx_count);
+    w.varint(e.payload.size());
+  }
+  w.varint(slots_.size());
+  for (const SlotState& st : slots_) {
+    w.varint(st.payloads.size());
+    for (const auto& [digest, msg] : st.payloads) {
+      w.raw(BytesView(digest.data(), digest.size()));
+      w.u32(msg.vote.signer);
+    }
+    w.boolean(st.echoed);
+    w.boolean(st.readied);
+    w.varint(st.echo_first.size());
+    for (const auto& [signer, digest] : st.echo_first) {
+      w.u32(signer);
+      w.raw(BytesView(digest.data(), digest.size()));
+    }
+    w.varint(st.ready_first.size());
+    for (const auto& [signer, digest] : st.ready_first) {
+      w.u32(signer);
+      w.raw(BytesView(digest.data(), digest.size()));
+    }
+    w.boolean(st.delivered);
+    w.raw(BytesView(st.delivered_digest.data(), st.delivered_digest.size()));
+    w.boolean(st.started);
+    w.u32(st.round);
+    w.u8(st.est);
+    w.varint(st.rounds.size());
+    for (const auto& [round, rs] : st.rounds) {
+      w.u32(round);
+      for (int v = 0; v <= 1; ++v) {
+        const auto vi = static_cast<std::size_t>(v);
+        w.boolean(rs.est_sent[vi]);
+        w.boolean(rs.bin_values[vi]);
+        w.varint(rs.est_votes[vi].size());
+        for (ReplicaId id : rs.est_votes[vi]) w.u32(id);
+      }
+      w.boolean(rs.aux_sent);
+      w.varint(rs.aux_first.size());
+      for (const auto& [signer, value] : rs.aux_first) {
+        w.u32(signer);
+        w.u8(value);
+      }
+    }
+    w.boolean(st.decided);
+    w.u8(st.decided_value);
+    w.u32(st.decided_round);
   }
 }
 

@@ -48,6 +48,12 @@ class SbcEngine {
     /// (memory guard; honest executions decide in <= 3 rounds, stragglers
     /// adopt certified decisions instead).
     std::uint32_t max_rounds = 64;
+    /// FAULT INJECTION — model checker only (zlb_mc --inject-bug=quorum).
+    /// Subtracted from the live quorum threshold, deliberately breaking
+    /// the n-t intersection argument so the checker can demonstrate it
+    /// finds the resulting agreement violation. Never set in production
+    /// paths; the default is a correct engine.
+    std::uint32_t mc_quorum_delta = 0;
     /// Record every outbound wire message (proposal + votes) so a live
     /// deployment can replay them for anti-entropy resync. The
     /// simulator's network is reliable, so it leaves this off; a lossy
@@ -155,6 +161,12 @@ class SbcEngine {
     bool echoed = false, readied = false;
   };
   [[nodiscard]] SlotDebug slot_debug(std::uint32_t slot) const;
+
+  /// Serializes every protocol-relevant field into `w`, canonically
+  /// (all internal containers are ordered). Two engines with equal
+  /// fingerprints behave identically under identical future inputs —
+  /// this is the model checker's visited-state key.
+  void fingerprint(Writer& w) const;
 
  private:
   struct RoundState {

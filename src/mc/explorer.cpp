@@ -1,0 +1,340 @@
+#include "mc/explorer.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/rng.hpp"
+#include "mc/world.hpp"
+
+namespace zlb::mc {
+
+namespace {
+
+/// Every action enabled in `w`, under the POR ample-set rule when
+/// `por` is set (see header for the soundness argument).
+std::vector<Action> enabled_actions(World& w, bool por) {
+  std::vector<Action> out;
+  if (w.violation()) return out;  // violations are terminal
+  const auto& pending = w.pending();
+  const auto& cfg = w.config();
+
+  std::optional<ReplicaId> ample;
+  if (por) {
+    for (const PendingMessage& m : pending) {
+      if (!ample || m.to < *ample) ample = m.to;
+    }
+  }
+  for (const PendingMessage& m : pending) {
+    if (ample && m.to != *ample) continue;
+    out.push_back({ActionKind::kDeliver, m.seq, 0});
+    if (w.drops_used() < cfg.drop_budget) {
+      out.push_back({ActionKind::kDrop, m.seq, 0});
+    }
+    if (w.dups_used() < cfg.dup_budget && !m.duplicated) {
+      out.push_back({ActionKind::kDuplicate, m.seq, 0});
+    }
+  }
+  if (w.crashes_used() < cfg.crash_budget) {
+    // Crash actions are never reduced away: a crash of ANY replica can
+    // matter, and it does not commute with deliveries to the victim.
+    for (ReplicaId id : w.honest_ids()) {
+      if (!w.crashed(id)) out.push_back({ActionKind::kCrash, 0, id});
+    }
+    for (ReplicaId id : w.pool_ids()) {
+      if (!w.crashed(id)) out.push_back({ActionKind::kCrash, 0, id});
+    }
+  }
+  return out;
+}
+
+std::unique_ptr<World> rebuild(const McConfig& config,
+                               const std::vector<Action>& path,
+                               ExploreStats& stats) {
+  auto w = std::make_unique<World>(config);
+  for (const Action& a : path) {
+    (void)w->apply(a);
+    ++stats.replayed_actions;
+  }
+  return w;
+}
+
+/// Terminal check shared by explorer and fair runner: a quiescent state
+/// reached without faults must satisfy the liveness expectations.
+std::optional<Violation> settle(World& w) {
+  if (w.violation()) return w.violation();
+  if (w.quiescent() && w.fair_so_far()) return w.check_quiescent();
+  return std::nullopt;
+}
+
+}  // namespace
+
+ExploreResult explore(const McConfig& config, const ExploreOptions& options) {
+  ExploreResult result;
+  ExploreStats& st = result.stats;
+
+  struct Node {
+    std::int64_t parent = -1;
+    Action action;
+    std::uint32_t depth = 0;
+  };
+  std::vector<Node> nodes;
+  const auto path_of = [&nodes](std::int64_t idx) {
+    std::vector<Action> path;
+    for (std::int64_t i = idx; i > 0; i = nodes[static_cast<std::size_t>(i)]
+                                             .parent) {
+      path.push_back(nodes[static_cast<std::size_t>(i)].action);
+    }
+    std::reverse(path.begin(), path.end());
+    return path;
+  };
+  const auto note_state = [&st](std::uint32_t depth) {
+    ++st.states;
+    if (depth > st.max_depth_seen) st.max_depth_seen = depth;
+    if (st.depth_states.size() <= depth) st.depth_states.resize(depth + 1);
+    ++st.depth_states[depth];
+  };
+  const auto found = [&](std::int64_t parent, const Action& a,
+                         const Violation& v) {
+    result.violation = v;
+    Trace t;
+    t.config = config;
+    t.actions = path_of(parent);
+    t.actions.push_back(a);
+    result.trace = t;
+  };
+
+  // fingerprint -> shallowest depth seen. BFS visits in depth order so
+  // the map degenerates to a set; DFS uses it to re-expand states it
+  // later finds on a shorter path.
+  std::unordered_map<std::uint64_t, std::uint32_t> visited;
+
+  nodes.push_back({-1, {}, 0});
+  {
+    World root(config);
+    if (const auto v = settle(root)) {
+      result.violation = v;
+      result.trace = Trace{config, 0, {}};
+      return result;
+    }
+    visited.emplace(root.fingerprint(), 0);
+  }
+  note_state(0);
+
+  std::deque<std::int64_t> frontier;
+  frontier.push_back(0);
+  bool truncated = false;
+
+  while (!frontier.empty()) {
+    std::int64_t idx = 0;
+    if (options.dfs) {
+      idx = frontier.back();
+      frontier.pop_back();
+    } else {
+      idx = frontier.front();
+      frontier.pop_front();
+    }
+    const std::uint32_t depth = nodes[static_cast<std::size_t>(idx)].depth;
+    // Depth-bounded by design: a frontier cut at max_depth still counts
+    // as a complete exploration OF that depth; only a state-budget cut
+    // makes the run incomplete.
+    if (depth >= options.max_depth) continue;
+    const std::vector<Action> path = path_of(idx);
+    auto here = rebuild(config, path, st);
+    const std::vector<Action> actions = enabled_actions(*here, options.por);
+    for (std::size_t i = 0; i < actions.size(); ++i) {
+      // The first child consumes the already-built world; the rest
+      // rebuild from the path (replay-based backtracking).
+      auto child = here != nullptr ? std::move(here)
+                                   : rebuild(config, path, st);
+      here = nullptr;
+      if (!child->apply(actions[i])) continue;
+      ++st.transitions;
+      if (const auto v = settle(*child)) {
+        found(idx, actions[i], *v);
+        return result;
+      }
+      const std::uint64_t fp = child->fingerprint();
+      const std::uint32_t cdepth = depth + 1;
+      const auto it = visited.find(fp);
+      if (it != visited.end() && it->second <= cdepth) {
+        ++st.dedup_hits;
+        continue;
+      }
+      if (it != visited.end()) {
+        it->second = cdepth;
+      } else {
+        visited.emplace(fp, cdepth);
+      }
+      if (st.states >= options.max_states) {
+        truncated = true;
+        break;
+      }
+      nodes.push_back({idx, actions[i], cdepth});
+      note_state(cdepth);
+      frontier.push_back(static_cast<std::int64_t>(nodes.size()) - 1);
+      if (options.progress_every != 0 && options.progress &&
+          st.states % options.progress_every == 0) {
+        options.progress(st);
+      }
+    }
+    if (truncated && st.states >= options.max_states) break;
+  }
+  st.complete = !truncated;
+  return result;
+}
+
+FairResult run_fair(const McConfig& config, const FairOptions& options) {
+  FairResult result;
+  for (std::uint64_t s = 0; s < options.schedules; ++s) {
+    Rng rng(options.seed + s);
+    World w(config);
+    Trace trace;
+    trace.config = config;
+    trace.seed = options.seed + s;
+
+    // Every other schedule runs in "straggler" mode: a random subset of
+    // the initially-pending messages (all epoch-0, instance-0 traffic)
+    // is withheld until nothing else remains. Uniform sampling almost
+    // never keeps a specific early vote in flight across the hundreds
+    // of actions a membership change takes — but delayed stale votes
+    // crossing an epoch boundary are exactly the schedules the
+    // epoch-safety bugs hide in. Still a fair schedule: everything is
+    // delivered eventually.
+    std::set<std::uint64_t> deferred;
+    if ((options.seed + s) % 2 == 1) {  // absolute-seed parity: a pinned
+                                        // seed replays the same mode
+      for (const PendingMessage& m : w.pending()) {
+        if (rng.next_below(3) == 0) deferred.insert(m.seq);
+      }
+    }
+
+    std::optional<Violation> v = settle(w);
+    while (!v && !w.quiescent() &&
+           trace.actions.size() < options.max_actions) {
+      const auto& pending = w.pending();
+      std::vector<std::uint64_t> ready;
+      ready.reserve(pending.size());
+      for (const PendingMessage& m : pending) {
+        if (deferred.count(m.seq) == 0) ready.push_back(m.seq);
+      }
+      if (ready.empty()) {
+        for (const PendingMessage& m : pending) ready.push_back(m.seq);
+      }
+      Action a{ActionKind::kDeliver, 0, 0};
+      // Occasional faults when budgets allow; otherwise pure fair
+      // delivery. Crash/drop make the schedule unfair — liveness is
+      // then no longer expected, only safety.
+      const std::uint64_t roll = rng.next_below(32);
+      if (roll == 0 && w.crashes_used() < config.crash_budget) {
+        const auto& ids = w.honest_ids();
+        a = {ActionKind::kCrash, 0,
+             ids[static_cast<std::size_t>(rng.next_below(ids.size()))]};
+      } else {
+        const std::uint64_t seq =
+            ready[static_cast<std::size_t>(rng.next_below(ready.size()))];
+        if (roll == 1 && w.drops_used() < config.drop_budget) {
+          a = {ActionKind::kDrop, seq, 0};
+        } else if (roll == 2 && w.dups_used() < config.dup_budget) {
+          a = {ActionKind::kDuplicate, seq, 0};
+        } else {
+          a = {ActionKind::kDeliver, seq, 0};
+        }
+      }
+      if (!w.apply(a)) continue;
+      trace.actions.push_back(a);
+      ++result.actions_run;
+      v = settle(w);
+    }
+    ++result.schedules_run;
+    if (v) {
+      result.violation = v;
+      result.trace = options.minimize ? minimize(trace) : trace;
+      return result;
+    }
+    if (options.progress_every != 0 && options.progress &&
+        (s + 1) % options.progress_every == 0) {
+      options.progress(s + 1);
+    }
+  }
+  return result;
+}
+
+ReplayResult replay(const Trace& trace) {
+  ReplayResult r;
+  World w(trace.config);
+  for (const Action& a : trace.actions) {
+    if (w.violation()) break;  // latched: remaining actions irrelevant
+    if (w.apply(a)) {
+      ++r.applied;
+    } else {
+      ++r.skipped;
+    }
+  }
+  r.quiescent = w.quiescent();
+  r.violation = settle(w);
+  return r;
+}
+
+Trace minimize(const Trace& trace) {
+  const auto full = replay(trace);
+  if (!full.violation) return trace;  // not a counterexample: keep as-is
+  const std::string invariant = full.violation->invariant;
+  const auto still_violates = [&](const std::vector<Action>& actions) {
+    Trace t = trace;
+    t.actions = actions;
+    const auto r = replay(t);
+    return r.violation && r.violation->invariant == invariant;
+  };
+
+  std::vector<Action> actions = trace.actions;
+  for (std::size_t chunk = std::max<std::size_t>(actions.size() / 2, 1);
+       chunk >= 1; chunk /= 2) {
+    std::size_t i = 0;
+    while (i < actions.size()) {
+      std::vector<Action> candidate;
+      candidate.reserve(actions.size());
+      candidate.insert(candidate.end(), actions.begin(),
+                       actions.begin() + static_cast<std::ptrdiff_t>(i));
+      const std::size_t hi = std::min(i + chunk, actions.size());
+      candidate.insert(candidate.end(),
+                       actions.begin() + static_cast<std::ptrdiff_t>(hi),
+                       actions.end());
+      if (still_violates(candidate)) {
+        actions = std::move(candidate);
+      } else {
+        i += chunk;
+      }
+    }
+    if (chunk == 1) break;
+  }
+  Trace out = trace;
+  out.actions = std::move(actions);
+  return out;
+}
+
+std::string stats_json(const McConfig& config, const ExploreStats& stats,
+                       bool violation_found) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"config\": \"" << config.encode() << "\",\n";
+  os << "  \"states\": " << stats.states << ",\n";
+  os << "  \"transitions\": " << stats.transitions << ",\n";
+  os << "  \"dedup_hits\": " << stats.dedup_hits << ",\n";
+  os << "  \"replayed_actions\": " << stats.replayed_actions << ",\n";
+  os << "  \"max_depth\": " << stats.max_depth_seen << ",\n";
+  os << "  \"complete\": " << (stats.complete ? "true" : "false") << ",\n";
+  os << "  \"violation\": " << (violation_found ? "true" : "false") << ",\n";
+  os << "  \"depth_states\": [";
+  for (std::size_t d = 0; d < stats.depth_states.size(); ++d) {
+    if (d != 0) os << ", ";
+    os << stats.depth_states[d];
+  }
+  os << "]\n}\n";
+  return os.str();
+}
+
+}  // namespace zlb::mc

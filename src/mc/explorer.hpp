@@ -1,0 +1,97 @@
+// The search half of the model checker: exhaustive bounded exploration
+// (BFS for minimal counterexamples, DFS optional) over the action
+// alphabet of one World, plus seeded fair-schedule runs for the deep
+// interleavings (a membership change needs hundreds of actions —
+// outside exhaustive reach but squarely inside random-schedule reach),
+// counterexample minimization (ddmin) and exact trace replay.
+//
+// States are deduplicated by World::fingerprint(). Backtracking is
+// replay-based: a node is reconstructed by re-running its action path
+// from a fresh World — the protocol objects are deterministic, so this
+// is exact (and cheaper than snapshotting a web of live objects).
+//
+// Partial-order reduction (on by default): from each state only the
+// actions of the lowest-id replica with pending messages are expanded
+// (plus every crash action when a budget remains). Deliveries to
+// different receivers commute, and every invariant violation LATCHES in
+// World (violation_ is sticky), so any violation reachable via an
+// interleaving is reachable via the reduced schedule too.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "mc/mc.hpp"
+
+namespace zlb::mc {
+
+struct ExploreStats {
+  std::uint64_t states = 0;       ///< distinct canonical states visited
+  std::uint64_t transitions = 0;  ///< actions applied (minus replays)
+  std::uint64_t dedup_hits = 0;
+  std::uint64_t replayed_actions = 0;  ///< backtracking cost
+  std::uint32_t max_depth_seen = 0;
+  /// Full frontier exhausted within the depth/state budget.
+  bool complete = false;
+  std::vector<std::uint64_t> depth_states;  ///< states first seen per depth
+};
+
+struct ExploreOptions {
+  std::uint32_t max_depth = 14;
+  std::uint64_t max_states = 100'000;
+  bool por = true;
+  bool dfs = false;  ///< default BFS: counterexamples are minimal
+  std::uint64_t progress_every = 0;  ///< 0 = no progress callbacks
+  std::function<void(const ExploreStats&)> progress;
+};
+
+struct ExploreResult {
+  ExploreStats stats;
+  std::optional<Violation> violation;
+  std::optional<Trace> trace;
+};
+
+[[nodiscard]] ExploreResult explore(const McConfig& config,
+                                    const ExploreOptions& options = {});
+
+struct FairOptions {
+  std::uint64_t schedules = 64;
+  std::uint64_t seed = 1;
+  std::uint64_t max_actions = 50'000;  ///< per schedule (safety net)
+  bool minimize = true;
+  std::uint64_t progress_every = 0;  ///< 0 = no progress callbacks
+  std::function<void(std::uint64_t schedules_run)> progress;
+};
+
+struct FairResult {
+  std::uint64_t schedules_run = 0;
+  std::uint64_t actions_run = 0;
+  std::optional<Violation> violation;
+  std::optional<Trace> trace;  ///< minimized when options.minimize
+};
+
+[[nodiscard]] FairResult run_fair(const McConfig& config,
+                                  const FairOptions& options = {});
+
+struct ReplayResult {
+  std::optional<Violation> violation;
+  std::uint64_t applied = 0;
+  std::uint64_t skipped = 0;  ///< inapplicable actions (diverged trace)
+  bool quiescent = false;
+};
+
+/// Re-executes a trace action by action against a fresh World built
+/// from trace.config. Safety violations latch mid-run; liveness
+/// violations are evaluated at the end if the run is quiescent + fair.
+[[nodiscard]] ReplayResult replay(const Trace& trace);
+
+/// ddmin-style 1-minimal reduction: drops every action whose removal
+/// keeps the replay violating the SAME invariant.
+[[nodiscard]] Trace minimize(const Trace& trace);
+
+/// Machine-readable run summary (the CI coverage artifact).
+[[nodiscard]] std::string stats_json(const McConfig& config,
+                                     const ExploreStats& stats,
+                                     bool violation_found);
+
+}  // namespace zlb::mc

@@ -1,0 +1,149 @@
+#include "mc/mc.hpp"
+
+#include <sstream>
+
+namespace zlb::mc {
+
+std::string to_string(const Action& a) {
+  std::ostringstream os;
+  switch (a.kind) {
+    case ActionKind::kDeliver:
+      os << "deliver " << a.seq;
+      break;
+    case ActionKind::kDrop:
+      os << "drop " << a.seq;
+      break;
+    case ActionKind::kDuplicate:
+      os << "dup " << a.seq;
+      break;
+    case ActionKind::kCrash:
+      os << "crash " << a.target;
+      break;
+  }
+  return os.str();
+}
+
+std::optional<Action> parse_action(const std::string& line) {
+  std::istringstream is(line);
+  std::string verb;
+  std::uint64_t arg = 0;
+  if (!(is >> verb >> arg)) return std::nullopt;
+  Action a;
+  if (verb == "deliver") {
+    a.kind = ActionKind::kDeliver;
+    a.seq = arg;
+  } else if (verb == "drop") {
+    a.kind = ActionKind::kDrop;
+    a.seq = arg;
+  } else if (verb == "dup") {
+    a.kind = ActionKind::kDuplicate;
+    a.seq = arg;
+  } else if (verb == "crash") {
+    a.kind = ActionKind::kCrash;
+    a.target = static_cast<ReplicaId>(arg);
+  } else {
+    return std::nullopt;
+  }
+  return a;
+}
+
+std::string McConfig::encode() const {
+  std::ostringstream os;
+  os << "n=" << n << " equivocators=" << equivocators << " pool=" << pool
+     << " instances=" << instances << " functional=" << (functional ? 1 : 0)
+     << " confirmation=" << (confirmation ? 1 : 0)
+     << " eq_proposals=" << (equivocate_proposals ? 1 : 0)
+     << " eq_rbc=" << (equivocate_rbc ? 1 : 0)
+     << " eq_aux=" << (equivocate_aux ? 1 : 0) << " drops=" << drop_budget
+     << " dups=" << dup_budget << " crashes=" << crash_budget
+     << " bug=" << static_cast<int>(bug) << " expect_epoch=" << expect_epoch;
+  return os.str();
+}
+
+std::optional<McConfig> McConfig::decode(const std::string& line) {
+  McConfig c;
+  std::istringstream is(line);
+  std::string kv;
+  while (is >> kv) {
+    const auto eq = kv.find('=');
+    if (eq == std::string::npos) return std::nullopt;
+    const std::string key = kv.substr(0, eq);
+    std::uint64_t value = 0;
+    try {
+      value = std::stoull(kv.substr(eq + 1));
+    } catch (const std::exception&) {
+      return std::nullopt;
+    }
+    if (key == "n") {
+      c.n = static_cast<std::uint32_t>(value);
+    } else if (key == "equivocators") {
+      c.equivocators = static_cast<std::uint32_t>(value);
+    } else if (key == "pool") {
+      c.pool = static_cast<std::uint32_t>(value);
+    } else if (key == "instances") {
+      c.instances = value;
+    } else if (key == "functional") {
+      c.functional = value != 0;
+    } else if (key == "confirmation") {
+      c.confirmation = value != 0;
+    } else if (key == "eq_proposals") {
+      c.equivocate_proposals = value != 0;
+    } else if (key == "eq_rbc") {
+      c.equivocate_rbc = value != 0;
+    } else if (key == "eq_aux") {
+      c.equivocate_aux = value != 0;
+    } else if (key == "drops") {
+      c.drop_budget = static_cast<std::uint32_t>(value);
+    } else if (key == "dups") {
+      c.dup_budget = static_cast<std::uint32_t>(value);
+    } else if (key == "crashes") {
+      c.crash_budget = static_cast<std::uint32_t>(value);
+    } else if (key == "bug") {
+      c.bug = static_cast<InjectedBug>(value);
+    } else if (key == "expect_epoch") {
+      c.expect_epoch = static_cast<std::uint32_t>(value);
+    } else {
+      return std::nullopt;  // unknown key: refuse to mis-replay
+    }
+  }
+  return c;
+}
+
+std::string Trace::encode() const {
+  std::ostringstream os;
+  os << "zlb-mc-trace v1\n";
+  os << config.encode() << "\n";
+  os << "seed=" << seed << "\n";
+  for (const Action& a : actions) os << to_string(a) << "\n";
+  return os.str();
+}
+
+std::optional<Trace> Trace::decode(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  if (!std::getline(is, line) || line != "zlb-mc-trace v1") {
+    return std::nullopt;
+  }
+  Trace t;
+  if (!std::getline(is, line)) return std::nullopt;
+  const auto cfg = McConfig::decode(line);
+  if (!cfg) return std::nullopt;
+  t.config = *cfg;
+  if (!std::getline(is, line) || line.rfind("seed=", 0) != 0) {
+    return std::nullopt;
+  }
+  try {
+    t.seed = std::stoull(line.substr(5));
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const auto a = parse_action(line);
+    if (!a) return std::nullopt;
+    t.actions.push_back(*a);
+  }
+  return t;
+}
+
+}  // namespace zlb::mc

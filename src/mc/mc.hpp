@@ -1,0 +1,97 @@
+// Model-checker core types: the small-scope configuration, the action
+// alphabet the scheduler explores (deliver / drop / duplicate / crash),
+// invariant violations, and the replayable counterexample trace format.
+//
+// The checker (src/mc/world.hpp, src/mc/explorer.hpp, tools/mc) drives
+// the REAL protocol objects — asmr::Replica over SbcEngine over
+// BlockManager — through a captured network where every delivery
+// decision belongs to the scheduler. A trace is therefore a complete
+// description of one execution: replaying its action list against the
+// same McConfig reproduces the run bit for bit.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace zlb::mc {
+
+enum class ActionKind : std::uint8_t {
+  kDeliver = 0,    ///< hand pending message `seq` to its receiver
+  kDrop = 1,       ///< discard pending message `seq` (network loss)
+  kDuplicate = 2,  ///< deliver a copy of `seq`, keeping the original
+  kCrash = 3,      ///< silence replica `target` permanently
+};
+
+struct Action {
+  ActionKind kind = ActionKind::kDeliver;
+  std::uint64_t seq = 0;  ///< message id (deliver / drop / duplicate)
+  ReplicaId target = 0;   ///< crash victim
+};
+
+[[nodiscard]] std::string to_string(const Action& a);
+[[nodiscard]] std::optional<Action> parse_action(const std::string& line);
+
+/// Deliberately injectable safety bugs. The checker must FIND these —
+/// they prove the invariants and the search have teeth. kQuorum weakens
+/// the SBC vote quorum (agreement breaks); kEpoch resumes retired
+/// old-epoch engines after a membership change (epoch-boundary safety
+/// breaks).
+enum class InjectedBug : std::uint8_t { kNone = 0, kQuorum = 1, kEpoch = 2 };
+
+/// One small-scope configuration. Committee ids are 0..n-1 with ids
+/// 0..equivocators-1 scripted adversaries (pre-signed conflicting
+/// message arsenal, never a live process); pool standbys take ids
+/// n..n+pool-1.
+struct McConfig {
+  std::uint32_t n = 4;
+  std::uint32_t equivocators = 1;
+  std::uint32_t pool = 0;
+  std::uint64_t instances = 1;
+  /// Real blocks + conflicting client transactions instead of
+  /// synthetic batches (exercises the BlockManager apply/merge path
+  /// and the no-double-spend invariant).
+  bool functional = false;
+  /// Confirmation phase ② on (DecisionMsg exchange + reconciliation).
+  bool confirmation = false;
+  /// Adversary arsenal toggles.
+  bool equivocate_proposals = true;  ///< two payloads for its slot
+  bool equivocate_rbc = true;        ///< conflicting kEcho / kReady
+  bool equivocate_aux = false;       ///< conflicting kAux 0/1
+  /// Scheduler fault budgets (0 = that action class is disabled).
+  std::uint32_t drop_budget = 0;
+  std::uint32_t dup_budget = 0;
+  std::uint32_t crash_budget = 0;
+  InjectedBug bug = InjectedBug::kNone;
+  /// Quiescence expectations on fair (no-loss) schedules: every honest
+  /// active replica must have decided `instances` regular instances
+  /// and sit at epoch >= expect_epoch once no message is in flight.
+  std::uint32_t expect_epoch = 0;
+
+  [[nodiscard]] std::string encode() const;
+  [[nodiscard]] static std::optional<McConfig> decode(
+      const std::string& line);
+};
+
+struct Violation {
+  std::string invariant;  ///< agreement | epoch-boundary | double-spend |
+                          ///< ledger-divergence | eventual-decision
+  std::string detail;
+};
+
+/// A replayable counterexample (or any recorded schedule): config +
+/// action list + the fair-schedule seed that produced it (0 for
+/// exhaustive-search traces). Text format, one action per line.
+struct Trace {
+  McConfig config;
+  std::uint64_t seed = 0;
+  std::vector<Action> actions;
+
+  [[nodiscard]] std::string encode() const;
+  [[nodiscard]] static std::optional<Trace> decode(const std::string& text);
+};
+
+}  // namespace zlb::mc

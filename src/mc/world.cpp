@@ -1,0 +1,575 @@
+#include "mc/world.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <tuple>
+
+#include "asmr/payload.hpp"
+#include "chain/wallet.hpp"
+#include "consensus/messages.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/signer.hpp"
+#include "sim/latency.hpp"
+
+namespace zlb::mc {
+
+namespace {
+
+Bytes id_seed(ReplicaId id) {
+  Writer w;
+  w.string("zlb-mc-wallet");
+  w.u32(id);
+  return w.take();
+}
+
+constexpr chain::Amount kCoin = 100;
+constexpr chain::Amount kDeposit = 10'000;
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// CaptureNet
+
+CaptureNet::CaptureNet(sim::Simulator& sim, World& world)
+    : sim::Network(sim, std::make_shared<sim::FixedLatency>(0),
+                   sim::NetConfig{}, /*seed=*/0),
+      world_(world) {}
+
+void CaptureNet::send(ReplicaId from, ReplicaId to, Bytes data,
+                      std::uint32_t /*verify_units*/,
+                      std::uint64_t /*extra_wire*/) {
+  world_.on_send(from, to, std::move(data));
+}
+
+void CaptureNet::broadcast(ReplicaId from, const std::vector<ReplicaId>& dests,
+                           const Bytes& data, std::uint32_t /*verify_units*/,
+                           std::uint64_t /*extra_wire*/) {
+  for (ReplicaId to : dests) world_.on_send(from, to, data);
+}
+
+void CaptureNet::backchannel(ReplicaId from, ReplicaId to, Bytes data) {
+  world_.on_send(from, to, std::move(data));
+}
+
+// ---------------------------------------------------------------------
+// World
+
+World::World(const McConfig& config)
+    : config_(config),
+      scheme_(std::make_unique<crypto::SimScheme>(64, 0)),
+      net_(std::make_unique<CaptureNet>(sim_, *this)) {
+  for (ReplicaId id = 0; id < config_.n; ++id) committee_.push_back(id);
+  for (ReplicaId id = config_.equivocators; id < config_.n; ++id) {
+    honest_.push_back(id);
+  }
+  for (ReplicaId id = config_.n; id < config_.n + config_.pool; ++id) {
+    pool_ids_.push_back(id);
+  }
+  build_replicas();
+  if (config_.functional) seed_funds();
+  for (ReplicaId id : honest_) replicas_.at(id)->start();
+  for (ReplicaId id : pool_ids_) replicas_.at(id)->start_standby();
+  drain();
+  // Honest proposals are in flight now; the arsenal can reference their
+  // digests (deceitful replicas echo honest slots when liveness needs
+  // their participation).
+  build_arsenal();
+  post_checks();
+}
+
+asmr::Replica* World::replica(ReplicaId id) {
+  const auto it = replicas_.find(id);
+  return it == replicas_.end() ? nullptr : it->second.get();
+}
+
+void World::build_replicas() {
+  asmr::ReplicaConfig rc;
+  rc.batch_tx_count = 2;
+  rc.avg_tx_bytes = 64;
+  rc.accountable = true;
+  rc.recovery = true;
+  rc.confirmation = config_.confirmation;
+  rc.synthetic = !config_.functional;
+  rc.max_instances = config_.instances;
+  rc.max_rounds = 8;
+  rc.log_slot_cap = 64;
+  if (config_.bug == InjectedBug::kQuorum) rc.mc_quorum_delta = 1;
+  if (config_.bug == InjectedBug::kEpoch) rc.mc_resume_stale_engines = true;
+
+  std::vector<ReplicaId> pool = pool_ids_;
+  for (ReplicaId id : honest_) {
+    replicas_.emplace(id, std::make_unique<asmr::Replica>(
+                              sim_, *net_, *scheme_, id, committee_, pool, rc));
+  }
+  for (ReplicaId id : pool_ids_) {
+    replicas_.emplace(id, std::make_unique<asmr::Replica>(
+                              sim_, *net_, *scheme_, id, committee_, pool, rc));
+  }
+}
+
+void World::seed_funds() {
+  // Identical genesis on every replica: one coin per committee member
+  // (equivocators included — their coin feeds the conflicting-spend
+  // arsenal), minted in id order so outpoints agree everywhere.
+  chain::UtxoSet genesis;  // scratch view for outpoint discovery
+  for (ReplicaId id : committee_) {
+    const Bytes seed = id_seed(id);
+    const chain::Wallet w(BytesView(seed.data(), seed.size()));
+    (void)genesis.mint(w.address(), kCoin);
+  }
+  for (auto& [id, rep] : replicas_) {
+    auto& bm = rep->block_manager();
+    bm.fund_deposit(kDeposit);
+    for (ReplicaId member : committee_) {
+      const Bytes seed = id_seed(member);
+      const chain::Wallet w(BytesView(seed.data(), seed.size()));
+      (void)bm.utxos().mint(w.address(), kCoin);
+    }
+  }
+  // One honest client payment per honest replica, submitted to its own
+  // mempool before Γ0 starts.
+  for (std::size_t i = 0; i < honest_.size(); ++i) {
+    const ReplicaId id = honest_[i];
+    const ReplicaId peer = honest_[(i + 1) % honest_.size()];
+    const Bytes seed = id_seed(id);
+    chain::Wallet w(BytesView(seed.data(), seed.size()));
+    const Bytes pseed = id_seed(peer);
+    const chain::Wallet pw(BytesView(pseed.data(), pseed.size()));
+    const auto tx = w.pay(genesis, pw.address(), 10);
+    if (tx) replicas_.at(id)->submit(*tx);
+  }
+}
+
+void World::arsenal_vote(ReplicaId signer, const consensus::InstanceKey& key,
+                         std::uint32_t slot, std::uint32_t round,
+                         consensus::VoteType type, Bytes value,
+                         const std::vector<ReplicaId>& dests) {
+  consensus::SignedVote v;
+  v.signer = signer;
+  v.body.key = key;
+  v.body.slot = slot;
+  v.body.round = round;
+  v.body.type = type;
+  v.body.value = std::move(value);
+  const Bytes sb = v.body.signing_bytes();
+  v.signature = scheme_->sign(signer, BytesView(sb.data(), sb.size()));
+  const Bytes wire = consensus::encode_vote_msg(v);
+  for (ReplicaId to : dests) {
+    pending_.push_back({next_seq_++, signer, to, wire, false});
+  }
+}
+
+void World::arsenal_proposal(ReplicaId signer,
+                             const consensus::InstanceKey& key,
+                             std::uint32_t slot, Bytes payload,
+                             const std::vector<ReplicaId>& dests) {
+  consensus::ProposalMsg msg;
+  msg.vote.signer = signer;
+  msg.vote.body.key = key;
+  msg.vote.body.slot = slot;
+  msg.vote.body.round = 0;
+  msg.vote.body.type = consensus::VoteType::kSend;
+  const crypto::Hash32 digest =
+      crypto::sha256(BytesView(payload.data(), payload.size()));
+  msg.vote.body.value.assign(digest.begin(), digest.end());
+  const Bytes sb = msg.vote.body.signing_bytes();
+  msg.vote.signature = scheme_->sign(signer, BytesView(sb.data(), sb.size()));
+  msg.payload = std::move(payload);
+  msg.tx_count = 0;
+  const Bytes wire = consensus::encode_proposal_msg(msg);
+  for (ReplicaId to : dests) {
+    pending_.push_back({next_seq_++, signer, to, wire, false});
+  }
+}
+
+void World::build_arsenal() {
+  using consensus::InstanceKey;
+  using consensus::VoteType;
+  if (config_.equivocators == 0) return;
+
+  const std::size_t t = (config_.n - 1) / 3;
+  const std::size_t quorum = config_.n - t;
+  // When the honest replicas alone cannot reach quorum, the deceitful
+  // coalition must keep participating (echoing honest proposals, voting
+  // EST/AUX) or nothing ever decides — exactly how the paper's d > n/3
+  // coalition behaves: protocol-conformant except where it forks.
+  const bool helpers = honest_.size() < quorum;
+
+  // Honest proposal digests per (instance, slot), read back from the
+  // proposals the real replicas just broadcast.
+  std::map<std::pair<std::uint64_t, std::uint32_t>, crypto::Hash32> honest_dig;
+  for (const PendingMessage& m : pending_) {
+    Reader r(BytesView(m.data.data(), m.data.size()));
+    try {
+      const auto tag = static_cast<consensus::MsgTag>(r.u8());
+      if (tag != consensus::MsgTag::kProposal) continue;
+      const auto msg = consensus::ProposalMsg::decode(r);
+      if (msg.vote.body.key.kind != consensus::InstanceKind::kRegular) {
+        continue;
+      }
+      const crypto::Hash32 d =
+          crypto::sha256(BytesView(msg.payload.data(), msg.payload.size()));
+      honest_dig[{msg.vote.body.key.index, msg.vote.body.slot}] = d;
+    } catch (const DecodeError&) {
+      continue;
+    }
+  }
+
+  // Conflicting client spends (functional mode): the equivocator's coin
+  // pays two different honest beneficiaries from the same outpoint.
+  chain::UtxoSet genesis;
+  if (config_.functional) {
+    for (ReplicaId id : committee_) {
+      const Bytes seed = id_seed(id);
+      const chain::Wallet w(BytesView(seed.data(), seed.size()));
+      (void)genesis.mint(w.address(), kCoin);
+    }
+  }
+
+  for (ReplicaId b = 0; b < config_.equivocators; ++b) {
+    for (std::uint64_t k = 0; k < config_.instances; ++k) {
+      const InstanceKey key{0, consensus::InstanceKind::kRegular, k};
+      const std::uint32_t slot = b;  // committee is 0..n-1 in slot order
+
+      // Two conflicting proposals for its own slot.
+      std::vector<crypto::Hash32> variant_digest;
+      for (std::uint32_t v = 0; v < 2; ++v) {
+        asmr::BatchPayload p;
+        p.synthetic = !config_.functional;
+        p.proposer = b;
+        p.index = k;
+        p.tag = 1000 + v;
+        p.tx_count = 1;
+        if (config_.functional) {
+          const Bytes seed = id_seed(b);
+          chain::Wallet w(BytesView(seed.data(), seed.size()));
+          const ReplicaId dest = honest_[v % honest_.size()];
+          const Bytes dseed = id_seed(dest);
+          const chain::Wallet dw(BytesView(dseed.data(), dseed.size()));
+          // Both variants spend the SAME coin: committing both forks is
+          // the double spend the merge path must absorb via the deposit.
+          std::vector<std::pair<chain::OutPoint, chain::TxOut>> coins;
+          for (const auto& [op, out] : genesis.entries()) {
+            if (out.to == w.address()) coins.emplace_back(op, out);
+          }
+          chain::Block blk;
+          blk.index = k;
+          blk.slot = slot;
+          blk.proposer = b;
+          if (!coins.empty()) {
+            blk.txs.push_back(w.pay_from({coins.front()}, dw.address(), kCoin));
+          }
+          p.block_bytes = blk.serialize();
+        }
+        const Bytes payload = p.encode();
+        variant_digest.push_back(
+            crypto::sha256(BytesView(payload.data(), payload.size())));
+        if (config_.equivocate_proposals || v == 0) {
+          arsenal_proposal(b, key, slot, payload, honest_);
+        }
+      }
+
+      // Conflicting RBC echo/ready on its own two payloads.
+      if (config_.equivocate_rbc) {
+        for (std::uint32_t v = 0; v < 2; ++v) {
+          Bytes dig(variant_digest[v].begin(), variant_digest[v].end());
+          arsenal_vote(b, key, slot, 0, VoteType::kEcho, dig, honest_);
+          arsenal_vote(b, key, slot, 0, VoteType::kReady, dig, honest_);
+        }
+      }
+
+      if (helpers) {
+        // Protocol-conformant participation on honest slots.
+        for (ReplicaId h : honest_) {
+          const auto it = honest_dig.find({k, h});
+          if (it == honest_dig.end()) continue;
+          Bytes dig(it->second.begin(), it->second.end());
+          arsenal_vote(b, key, h, 0, VoteType::kEcho, dig, honest_);
+          arsenal_vote(b, key, h, 0, VoteType::kReady, dig, honest_);
+        }
+      }
+
+      // Binary-consensus votes. EST for both values is legal Bracha
+      // amplification; AUX for both values in one round is accountable
+      // equivocation (a PoF source on top of the RBC one).
+      if (helpers || config_.equivocate_aux) {
+        for (std::uint32_t s = 0; s < config_.n; ++s) {
+          for (std::uint32_t round = 1; round <= 3; ++round) {
+            for (std::uint8_t bit = 0; bit <= 1; ++bit) {
+              arsenal_vote(b, key, s, round, VoteType::kEst, Bytes{bit},
+                           honest_);
+              if (config_.equivocate_aux || bit == 0) {
+                arsenal_vote(b, key, s, round, VoteType::kAux, Bytes{bit},
+                             honest_);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void World::on_send(ReplicaId from, ReplicaId to, Bytes data) {
+  if (crashed_.count(from) != 0 || crashed_.count(to) != 0) return;
+  if (from == to) {
+    // Self-delivery keeps the simulator's non-reentrancy: it runs as a
+    // zero-delay event inside the same drain as the handler that sent it.
+    sim_.schedule(0, [this, from, to, data = std::move(data)]() {
+      const auto it = replicas_.find(to);
+      if (it != replicas_.end() && crashed_.count(to) == 0) {
+        it->second->on_message(from, BytesView(data.data(), data.size()));
+      }
+    });
+    return;
+  }
+  if (replicas_.count(to) == 0) return;  // equivocators are not processes
+  pending_.push_back({next_seq_++, from, to, std::move(data), false});
+}
+
+void World::drain() { sim_.run_until(sim_.now()); }
+
+bool World::apply(const Action& a) {
+  const auto find_seq = [this](std::uint64_t seq) {
+    return std::find_if(pending_.begin(), pending_.end(),
+                        [seq](const PendingMessage& m) {
+                          return m.seq == seq;
+                        });
+  };
+  switch (a.kind) {
+    case ActionKind::kDeliver: {
+      const auto it = find_seq(a.seq);
+      if (it == pending_.end()) return false;
+      const PendingMessage msg = std::move(*it);
+      pending_.erase(it);
+      const auto rit = replicas_.find(msg.to);
+      if (rit != replicas_.end() && crashed_.count(msg.to) == 0) {
+        rit->second->on_message(msg.from,
+                                BytesView(msg.data.data(), msg.data.size()));
+        drain();
+      }
+      post_checks();
+      return true;
+    }
+    case ActionKind::kDrop: {
+      if (drops_used_ >= config_.drop_budget) return false;
+      const auto it = find_seq(a.seq);
+      if (it == pending_.end()) return false;
+      pending_.erase(it);
+      ++drops_used_;
+      return true;
+    }
+    case ActionKind::kDuplicate: {
+      if (dups_used_ >= config_.dup_budget) return false;
+      const auto it = find_seq(a.seq);
+      if (it == pending_.end() || it->duplicated) return false;
+      it->duplicated = true;
+      ++dups_used_;
+      const PendingMessage copy = *it;  // `it` may dangle after handlers
+      const auto rit = replicas_.find(copy.to);
+      if (rit != replicas_.end() && crashed_.count(copy.to) == 0) {
+        rit->second->on_message(copy.from,
+                                BytesView(copy.data.data(), copy.data.size()));
+        drain();
+      }
+      post_checks();
+      return true;
+    }
+    case ActionKind::kCrash: {
+      if (crashes_used_ >= config_.crash_budget) return false;
+      if (replicas_.count(a.target) == 0 || crashed_.count(a.target) != 0) {
+        return false;
+      }
+      crashed_.insert(a.target);
+      ++crashes_used_;
+      pending_.erase(std::remove_if(pending_.begin(), pending_.end(),
+                                    [&](const PendingMessage& m) {
+                                      return m.to == a.target;
+                                    }),
+                     pending_.end());
+      return true;
+    }
+  }
+  return false;
+}
+
+void World::post_checks() {
+  check_agreement_and_epoch();
+  if (config_.functional) {
+    for (const auto& [id, rep] : replicas_) {
+      if (!rep->active()) continue;
+      check_ledger(id, *rep);
+    }
+  }
+}
+
+void World::check_agreement_and_epoch() {
+  for (const auto& [id, rep] : replicas_) {
+    for (const auto& [key, rec] : rep->records()) {
+      if (!rec.decided) continue;
+      auto& seen = seen_decided_[id];
+      if (seen.count(key) != 0) continue;
+      seen.insert(key);
+
+      // Epoch-boundary safety: an honest replica must never COMMIT a
+      // regular instance under an epoch it has already left. (Votes may
+      // legitimately straddle the boundary — the inclusion consensus of
+      // epoch e itself decides inside e — so the send side is not
+      // checked; the decide side is the paper's safety clause.)
+      if (key.kind == consensus::InstanceKind::kRegular &&
+          key.epoch < rep->epoch()) {
+        std::ostringstream os;
+        os << "replica " << id << " committed instance " << key.index
+           << " under retired epoch " << key.epoch << " while at epoch "
+           << rep->epoch();
+        fail("epoch-boundary", os.str());
+        return;
+      }
+
+      const auto cit = canonical_.find(key);
+      if (cit == canonical_.end()) {
+        canonical_.emplace(key,
+                           CanonicalDecision{rec.bitmask, rec.digests, id});
+        continue;
+      }
+      if (cit->second.bitmask != rec.bitmask ||
+          cit->second.digests != rec.digests) {
+        std::ostringstream os;
+        os << "replicas " << cit->second.first_decider << " and " << id
+           << " decided differently in epoch " << key.epoch << " kind "
+           << static_cast<int>(key.kind) << " index " << key.index;
+        fail("agreement", os.str());
+        return;
+      }
+    }
+  }
+}
+
+void World::check_ledger(ReplicaId id, const asmr::Replica& rep) {
+  const auto& bm = rep.block_manager();
+
+  // Every multiply-consumed outpoint must have been funded from the
+  // deposit (Alg. 2): excess consumptions <= conflicting_inputs.
+  std::map<chain::OutPoint, std::uint64_t> consumers;
+  std::set<chain::TxId> counted;
+  const auto& store = bm.store();
+  for (InstanceId idx = 0; idx <= store.max_index(); ++idx) {
+    for (const auto& bid : store.at_index(idx)) {
+      const auto* blk = store.get(bid);
+      if (blk == nullptr) continue;
+      for (const auto& tx : blk->txs) {
+        const chain::TxId txid = tx.id();
+        if (!bm.knows_tx(txid)) continue;  // rejected, never applied
+        if (!counted.insert(txid).second) continue;
+        for (const auto& in : tx.inputs) consumers[in.prev] += 1;
+      }
+    }
+  }
+  std::uint64_t excess = 0;
+  for (const auto& [op, c] : consumers) {
+    if (c > 1) excess += c - 1;
+  }
+  if (excess > bm.stats().conflicting_inputs) {
+    std::ostringstream os;
+    os << "replica " << id << ": " << excess
+       << " excess input consumption(s) but only "
+       << bm.stats().conflicting_inputs << " deposit-funded";
+    fail("double-spend", os.str());
+    return;
+  }
+
+  // Ω.inputs-deposit accounting balances: live entries == outflow-refill.
+  chain::Amount entries = 0;
+  for (const auto& [op, amount] : bm.inputs_deposit()) entries += amount;
+  if (entries != bm.stats().deposit_spent - bm.stats().deposit_refunded) {
+    std::ostringstream os;
+    os << "replica " << id << ": inputs-deposit entries " << entries
+       << " != spent " << bm.stats().deposit_spent << " - refunded "
+       << bm.stats().deposit_refunded;
+    fail("double-spend", os.str());
+  }
+}
+
+std::optional<Violation> World::check_quiescent() const {
+  // Liveness under a fair schedule: everything in flight was delivered
+  // and nothing remains, so every veteran honest replica must have
+  // decided all its instances and completed the expected membership
+  // changes; functional ledgers must agree.
+  for (ReplicaId id : honest_) {
+    if (crashed_.count(id) != 0) continue;
+    const auto& rep = *replicas_.at(id);
+    if (rep.metrics().instances_decided < config_.instances) {
+      std::ostringstream os;
+      os << "replica " << id << " decided "
+         << rep.metrics().instances_decided << "/" << config_.instances
+         << " instances at quiescence";
+      return Violation{"eventual-decision", os.str()};
+    }
+    if (rep.epoch() < config_.expect_epoch) {
+      std::ostringstream os;
+      os << "replica " << id << " stuck at epoch " << rep.epoch()
+         << " (expected " << config_.expect_epoch << ") at quiescence";
+      return Violation{"eventual-decision", os.str()};
+    }
+  }
+  if (config_.functional) {
+    std::optional<std::pair<ReplicaId, crypto::Hash32>> ref;
+    for (ReplicaId id : honest_) {
+      if (crashed_.count(id) != 0) continue;
+      const auto& rep = *replicas_.at(id);
+      const crypto::Hash32 d = rep.block_manager().state_digest();
+      if (!ref) {
+        ref = {id, d};
+      } else if (ref->second != d) {
+        std::ostringstream os;
+        os << "ledgers of replicas " << ref->first << " and " << id
+           << " diverge at quiescence";
+        return Violation{"ledger-divergence", os.str()};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::uint64_t World::fingerprint() const {
+  Writer w;
+  for (const auto& [id, rep] : replicas_) {
+    w.u32(id);
+    rep->fingerprint(w);
+  }
+  w.u64(crashed_.size());
+  for (ReplicaId id : crashed_) w.u32(id);
+  w.u32(drops_used_);
+  w.u32(dups_used_);
+  w.u32(crashes_used_);
+  // Canonical pending multiset: schedules that reach the same content
+  // by different orders (or different seq numbering) are the same state.
+  std::vector<std::tuple<ReplicaId, ReplicaId, crypto::Hash32, bool>> msgs;
+  msgs.reserve(pending_.size());
+  for (const PendingMessage& m : pending_) {
+    msgs.emplace_back(m.to, m.from,
+                      crypto::sha256(BytesView(m.data.data(), m.data.size())),
+                      m.duplicated);
+  }
+  std::sort(msgs.begin(), msgs.end());
+  w.u64(msgs.size());
+  for (const auto& [to, from, digest, dup] : msgs) {
+    w.u32(to);
+    w.u32(from);
+    w.raw(BytesView(digest.data(), digest.size()));
+    w.boolean(dup);
+  }
+  const Bytes bytes = w.take();
+  const crypto::Hash32 h =
+      crypto::sha256(BytesView(bytes.data(), bytes.size()));
+  std::uint64_t fp = 0;
+  for (int i = 0; i < 8; ++i) fp = (fp << 8) | h[static_cast<std::size_t>(i)];
+  return fp;
+}
+
+void World::fail(std::string invariant, std::string detail) {
+  if (violation_) return;  // first violation wins
+  violation_ = Violation{std::move(invariant), std::move(detail)};
+}
+
+}  // namespace zlb::mc

@@ -1,0 +1,160 @@
+// The model checker's world: one small-scope ZLB configuration made
+// fully deterministic. Honest replicas (and pool standbys) are REAL
+// asmr::Replica objects running the production SbcEngine / PofStore /
+// BlockManager code; the network is replaced by a capturing subclass
+// whose every outbound message lands in a pending set that only the
+// scheduler (explorer / fair runner / replayer) releases. Equivocators
+// are not processes at all: their entire behavior is a pre-signed
+// arsenal of conflicting messages placed into the pending set at
+// construction, so the schedule alone decides who sees which half of
+// each equivocation.
+//
+// Invariants are checked after every action:
+//   agreement        no two honest replicas decide differently
+//   epoch-boundary   no honest vote/commit signed under a retired epoch
+//   double-spend     every multiply-consumed outpoint is deposit-funded
+//                    (functional mode), deposit accounting balances
+//   eventual-decision / ledger-divergence at quiescence on fair runs
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "asmr/replica.hpp"
+#include "mc/mc.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace zlb::mc {
+
+struct PendingMessage {
+  std::uint64_t seq = 0;  ///< creation-order id, unique within one run
+  ReplicaId from = 0;
+  ReplicaId to = 0;
+  Bytes data;
+  bool duplicated = false;  ///< one extra copy max per message
+};
+
+class World;
+
+/// sim::Network override that hands every send to the World instead of
+/// scheduling timed deliveries. Self-sends keep the simulator's
+/// semantics (a zero-delay event drained within the same action), so
+/// engine handling stays non-reentrant.
+class CaptureNet final : public sim::Network {
+ public:
+  CaptureNet(sim::Simulator& sim, World& world);
+
+  void send(ReplicaId from, ReplicaId to, Bytes data,
+            std::uint32_t verify_units, std::uint64_t extra_wire) override;
+  void broadcast(ReplicaId from, const std::vector<ReplicaId>& dests,
+                 const Bytes& data, std::uint32_t verify_units,
+                 std::uint64_t extra_wire) override;
+  void backchannel(ReplicaId from, ReplicaId to, Bytes data) override;
+
+ private:
+  World& world_;
+};
+
+class World {
+ public:
+  explicit World(const McConfig& config);
+
+  // -- scheduler interface ---------------------------------------------
+  [[nodiscard]] const std::vector<PendingMessage>& pending() const {
+    return pending_;
+  }
+  /// Applies one action. Returns false if the action is not currently
+  /// applicable (unknown seq, exhausted budget, dead target) — a replay
+  /// against a diverged config, never a legal explorer step.
+  bool apply(const Action& a);
+  [[nodiscard]] const std::optional<Violation>& violation() const {
+    return violation_;
+  }
+  /// No message in flight: the run can make no further progress.
+  [[nodiscard]] bool quiescent() const { return pending_.empty(); }
+  /// No drop or crash so far — the fair-schedule premise under which
+  /// liveness (eventual decision) must hold.
+  [[nodiscard]] bool fair_so_far() const {
+    return drops_used_ == 0 && crashes_used_ == 0;
+  }
+  [[nodiscard]] std::uint32_t drops_used() const { return drops_used_; }
+  [[nodiscard]] std::uint32_t dups_used() const { return dups_used_; }
+  [[nodiscard]] std::uint32_t crashes_used() const { return crashes_used_; }
+  [[nodiscard]] bool crashed(ReplicaId id) const {
+    return crashed_.count(id) != 0;
+  }
+  [[nodiscard]] const McConfig& config() const { return config_; }
+
+  /// Canonical 64-bit state hash: every replica's protocol state plus
+  /// the pending-message multiset (seq ids excluded — two schedules
+  /// reaching the same content are the same state) plus fault budgets.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+
+  /// Liveness / convergence checks for a quiescent fair state: every
+  /// honest active replica decided all instances, reached
+  /// config.expect_epoch, and (functional mode) the ledgers agree.
+  [[nodiscard]] std::optional<Violation> check_quiescent() const;
+
+  // -- introspection ----------------------------------------------------
+  [[nodiscard]] asmr::Replica* replica(ReplicaId id);
+  [[nodiscard]] const std::vector<ReplicaId>& honest_ids() const {
+    return honest_;
+  }
+  [[nodiscard]] const std::vector<ReplicaId>& pool_ids() const {
+    return pool_ids_;
+  }
+
+  /// CaptureNet callback: record (or route) one outbound message.
+  void on_send(ReplicaId from, ReplicaId to, Bytes data);
+
+ private:
+  void build_replicas();
+  void build_arsenal();
+  void arsenal_vote(ReplicaId signer, const consensus::InstanceKey& key,
+                    std::uint32_t slot, std::uint32_t round,
+                    consensus::VoteType type, Bytes value,
+                    const std::vector<ReplicaId>& dests);
+  void arsenal_proposal(ReplicaId signer, const consensus::InstanceKey& key,
+                        std::uint32_t slot, Bytes payload,
+                        const std::vector<ReplicaId>& dests);
+  void seed_funds();
+  /// Runs every zero-delay continuation the last handler scheduled
+  /// (self-deliveries, deferred instance starts, engine teardown).
+  void drain();
+  /// All safety invariants, evaluated incrementally.
+  void post_checks();
+  void check_agreement_and_epoch();
+  void check_ledger(ReplicaId id, const asmr::Replica& rep);
+  void fail(std::string invariant, std::string detail);
+
+  McConfig config_;
+  sim::Simulator sim_;
+  std::unique_ptr<crypto::SignatureScheme> scheme_;
+  std::unique_ptr<CaptureNet> net_;
+  std::vector<ReplicaId> committee_;  ///< 0..n-1
+  std::vector<ReplicaId> honest_;    ///< equivocators..n-1
+  std::vector<ReplicaId> pool_ids_;  ///< n..n+pool-1
+  std::map<ReplicaId, std::unique_ptr<asmr::Replica>> replicas_;
+  std::set<ReplicaId> crashed_;
+  std::vector<PendingMessage> pending_;
+  std::uint64_t next_seq_ = 0;
+  std::uint32_t drops_used_ = 0;
+  std::uint32_t dups_used_ = 0;
+  std::uint32_t crashes_used_ = 0;
+  std::optional<Violation> violation_;
+
+  // Incremental invariant bookkeeping.
+  struct CanonicalDecision {
+    std::vector<std::uint8_t> bitmask;
+    std::vector<crypto::Hash32> digests;
+    ReplicaId first_decider = 0;
+  };
+  std::map<consensus::InstanceKey, CanonicalDecision> canonical_;
+  std::map<ReplicaId, std::set<consensus::InstanceKey>> seen_decided_;
+};
+
+}  // namespace zlb::mc

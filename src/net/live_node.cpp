@@ -1205,14 +1205,13 @@ Bytes resync_signing_bytes(ReplicaId signer, std::uint32_t epoch,
   return sb.take();
 }
 
-std::int64_t unix_now() {
-  return std::chrono::duration_cast<std::chrono::seconds>(
-             std::chrono::system_clock::now().time_since_epoch())
-      .count();
-}
-
 constexpr std::int64_t kResyncFreshness = 120;  // seconds
 }  // namespace
+
+std::int64_t LiveNode::unix_now() const {
+  const common::Clock* clock = config_.clock;
+  return (clock != nullptr ? *clock : common::Clock::system()).unix_seconds();
+}
 
 void LiveNode::resync_tick() {
   // Drive any in-flight state transfer: re-requests whatever chunks a

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "bm/block_manager.hpp"
+#include "common/clock.hpp"
 #include "common/mutex.hpp"
 #include "chain/mempool.hpp"
 #include "consensus/pof.hpp"
@@ -124,6 +125,9 @@ struct LiveNodeConfig {
   std::size_t down_link_buffer_bytes = 1u << 20;
   /// Transactions drained into one proposed block.
   std::size_t max_block_txs = 4096;
+  /// Wall-clock source for resync-status freshness stamps. Null = the
+  /// real system clock; deterministic harnesses inject a ManualClock.
+  const common::Clock* clock = nullptr;
 };
 
 /// One decided instance as seen by a node.
@@ -289,6 +293,8 @@ class LiveNode {
   /// 1 + the highest locally decided regular index (>= decision floor).
   [[nodiscard]] InstanceId decision_ceiling() const;
   void resync_tick() EXCLUDES(decisions_mutex_);
+  /// Wall clock via the injectable seam (LiveNodeConfig::clock).
+  [[nodiscard]] std::int64_t unix_now() const;
   void handle_resync_status(ReplicaId from, std::uint32_t peer_epoch,
                             InstanceId peer_floor)
       EXCLUDES(decisions_mutex_);

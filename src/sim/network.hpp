@@ -52,6 +52,7 @@ class Network {
  public:
   Network(Simulator& sim, std::shared_ptr<const LatencyModel> latency,
           NetConfig config, std::uint64_t seed);
+  virtual ~Network() = default;
 
   void attach(ReplicaId id, Process& proc);
   void detach(ReplicaId id);
@@ -63,17 +64,21 @@ class Network {
   /// verifications the receiver will perform; `extra_wire_bytes` models
   /// bulk payload (tx bodies) that is on the wire but not materialized
   /// in `data`.
-  void send(ReplicaId from, ReplicaId to, Bytes data,
-            std::uint32_t verify_units = 1, std::uint64_t extra_wire_bytes = 0);
+  ///
+  /// Virtual: the model checker (src/mc) substitutes a capturing
+  /// network whose scheduler owns every delivery decision.
+  virtual void send(ReplicaId from, ReplicaId to, Bytes data,
+                    std::uint32_t verify_units = 1,
+                    std::uint64_t extra_wire_bytes = 0);
 
   /// Sends to every id in `dests` (including `from` itself, delivered
   /// locally without NIC/latency cost).
-  void broadcast(ReplicaId from, const std::vector<ReplicaId>& dests,
-                 const Bytes& data, std::uint32_t verify_units = 1,
-                 std::uint64_t extra_wire_bytes = 0);
+  virtual void broadcast(ReplicaId from, const std::vector<ReplicaId>& dests,
+                         const Bytes& data, std::uint32_t verify_units = 1,
+                         std::uint64_t extra_wire_bytes = 0);
 
   /// Colluder backchannel: fixed small delay, no NIC/CPU charge.
-  void backchannel(ReplicaId from, ReplicaId to, Bytes data);
+  virtual void backchannel(ReplicaId from, ReplicaId to, Bytes data);
 
   void set_latency(std::shared_ptr<const LatencyModel> latency) {
     latency_ = std::move(latency);
@@ -82,6 +87,14 @@ class Network {
   [[nodiscard]] Simulator& sim() { return sim_; }
   [[nodiscard]] const NetStats& stats() const { return stats_; }
   [[nodiscard]] const NetConfig& config() const { return config_; }
+
+ protected:
+  /// Direct handler dispatch for subclasses that bypass the latency/CPU
+  /// cost model (the model checker delivers captured messages itself).
+  [[nodiscard]] Process* process(ReplicaId id) const {
+    const auto it = procs_.find(id);
+    return it == procs_.end() ? nullptr : it->second;
+  }
 
  private:
   void deliver(ReplicaId from, ReplicaId to, Bytes data, SimTime arrival,

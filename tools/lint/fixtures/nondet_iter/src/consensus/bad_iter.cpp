@@ -1,0 +1,25 @@
+// Known-bad fixture for the `nondet-iter` rule: iterating an unordered
+// container in a protocol-visible path (the fixture sits under a fake
+// src/consensus/). The emitted order depends on the hash function and
+// load factor, so two replicas building this "proposal" from equal sets
+// can broadcast different byte strings — and a model-checker replay of
+// the same action list diverges.
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+std::vector<std::uint32_t> proposal_order(
+    const std::unordered_set<std::uint32_t>& members) {
+  std::vector<std::uint32_t> out;
+  for (const auto id : members) out.push_back(id);
+  return out;
+}
+
+std::vector<std::uint32_t> copy_order(
+    const std::unordered_set<std::uint32_t>& members) {
+  return {members.begin(), members.end()};
+}
+
+}  // namespace fixture

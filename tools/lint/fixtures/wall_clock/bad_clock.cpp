@@ -1,0 +1,17 @@
+// Known-bad fixture for the `wall-clock` rule: protocol code reading
+// real time directly. Timestamps taken here differ across runs, so the
+// protocol's behaviour is no longer a pure function of the delivered
+// messages — the model checker cannot replay it.
+#include <chrono>
+#include <cstdint>
+
+namespace fixture {
+
+std::uint64_t stamp_now() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace fixture

@@ -28,6 +28,8 @@ FIXTURES = {
     "raw_mutex": "raw-mutex",
     "io_under_lock": "io-under-lock",
     "encode_unpaired": "encode-pair",
+    "nondet_iter": "nondet-iter",
+    "wall_clock": "wall-clock",
 }
 
 

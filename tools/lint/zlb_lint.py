@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """ZLB protocol-invariant linter.
 
-Four rules over the C++ sources, each protecting an invariant the type
+Six rules over the C++ sources, each protecting an invariant the type
 system cannot express:
 
   epoch-signing    Every signed wire payload must bind the membership
@@ -23,6 +23,15 @@ system cannot express:
   encode-pair      A free `encode_X` without a matching `decode_X`
                    usually means the decode path is hand-rolled at the
                    call site and will drift from the encoder.
+  nondet-iter      Iterating a std::unordered_map/unordered_set in a
+                   protocol-visible path (src/consensus, src/zlb,
+                   src/bm, src/asmr) leaks hash-table order into
+                   proposals/votes/snapshots and breaks the replay
+                   determinism the model checker depends on.
+  wall-clock       std::chrono::{system,steady,high_resolution}_clock
+                   outside the src/net and src/common shims reads real
+                   time from inside the protocol; route it through
+                   common/clock.hpp so the scheduler owns time.
 
 Vetted exceptions live in an allowlist file (see --allow):
 
@@ -30,6 +39,9 @@ Vetted exceptions live in an allowlist file (see --allow):
   io-under-lock:<path-suffix>
   encode-pair:<function-name> encoder whose decoder is a class/another
                               mechanism (e.g. FrameDecoder)
+  nondet-iter:<path-suffix>   iteration provably canonicalized (e.g.
+                              sorted immediately after collection)
+  wall-clock:<path-suffix>    additional sanctioned clock shim
 
 Exit status: 0 = clean, 1 = findings, 2 = usage error. Findings print
 as `file:line: [rule] message` so editors and CI annotate them.
@@ -71,6 +83,21 @@ FUNC_DEF = re.compile(
     r"([A-Za-z_][\w:]*)\s*\(([^;{}]*)\)\s*"
     r"((?:const|noexcept|override|final|mutable|->\s*[\w:<>&*, ]+)\s*)*\{"
 )
+
+UNORDERED_DECL = re.compile(r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<")
+ITER_BEGIN = re.compile(
+    r"\b([A-Za-z_]\w*)\s*(?:\.|->)\s*c?r?(?:begin|end)\s*\(")
+# Range-for only: a classic `for (init; cond; step)` cannot match
+# because neither capture may cross a `;`.
+RANGE_FOR = re.compile(r"\bfor\s*\(([^;{}]*?):([^;{}]*?)\)")
+# Paths where iteration order is protocol-visible (feeds proposals,
+# votes, decided state, or ledger application).
+PROTOCOL_DIRS = ("src/consensus/", "src/zlb/", "src/bm/", "src/asmr/")
+WALL_CLOCK = re.compile(
+    r"\b(?:std::chrono::)?(system_clock|steady_clock|high_resolution_clock)\b")
+# The sanctioned homes for real time: the live transport's event loop
+# and the common/clock.hpp injectable shim.
+CLOCK_SHIM_DIRS = ("src/net/", "src/common/")
 
 COMMENT_BLOCK = re.compile(r"/\*.*?\*/", re.S)
 COMMENT_LINE = re.compile(r"//[^\n]*")
@@ -244,6 +271,86 @@ def rule_encode_pair(files: dict[Path, str],
     return findings
 
 
+def unordered_container_names(files: dict[Path, str]) -> set[str]:
+    """Identifiers declared anywhere with an unordered container type.
+
+    Deliberately merge-happy, like the call graph: a vector that merely
+    shares a name with an unordered member elsewhere can false-positive,
+    which is what the allowlist is for — a missed nondeterministic
+    iteration is the expensive direction.
+    """
+    names: set[str] = set()
+    for text in files.values():
+        for m in UNORDERED_DECL.finditer(text):
+            i = m.end() - 1  # at the '<'
+            depth = 0
+            while i < len(text):
+                if text[i] == "<":
+                    depth += 1
+                elif text[i] == ">":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                i += 1
+            dm = re.match(r"[&\s]*([A-Za-z_]\w*)", text[i + 1 : i + 160])
+            if dm:
+                names.add(dm.group(1))
+    return names
+
+
+def rule_nondet_iter(files: dict[Path, str],
+                     allow: dict[str, set[str]]) -> list[Finding]:
+    names = unordered_container_names(files)
+    findings = []
+    for path, text in files.items():
+        posix = path.as_posix()
+        if not any(d in posix for d in PROTOCOL_DIRS):
+            continue
+        if allowed_file(allow, "nondet-iter", path):
+            continue
+        for m in RANGE_FOR.finditer(text):
+            idents = re.findall(r"[A-Za-z_]\w*", m.group(2))
+            if idents and idents[-1] in names:
+                line = text.count("\n", 0, m.start()) + 1
+                findings.append(Finding(
+                    path, line, "nondet-iter",
+                    f"range-for over unordered container {idents[-1]}: "
+                    "hash-table order leaks into protocol-visible state "
+                    "and breaks replay determinism"))
+        seen_lines: set[int] = set()
+        for m in ITER_BEGIN.finditer(text):
+            if m.group(1) in names:
+                line = text.count("\n", 0, m.start()) + 1
+                if line in seen_lines:
+                    continue  # .begin() and .end() share a line
+                seen_lines.add(line)
+                findings.append(Finding(
+                    path, line, "nondet-iter",
+                    f"{m.group(1)}.begin()/end() iterates an unordered "
+                    "container in a protocol-visible path; sort the "
+                    "result or use an ordered container"))
+    return findings
+
+
+def rule_wall_clock(files: dict[Path, str],
+                    allow: dict[str, set[str]]) -> list[Finding]:
+    findings = []
+    for path, text in files.items():
+        posix = path.as_posix()
+        if any(d in posix for d in CLOCK_SHIM_DIRS):
+            continue
+        if allowed_file(allow, "wall-clock", path):
+            continue
+        for m in WALL_CLOCK.finditer(text):
+            line = text.count("\n", 0, m.start()) + 1
+            findings.append(Finding(
+                path, line, "wall-clock",
+                f"{m.group(1)} outside the src/net|src/common clock "
+                "shims; route time through common/clock.hpp so the "
+                "scheduler (and model checker) owns it"))
+    return findings
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--root", action="append", required=True,
@@ -274,6 +381,8 @@ def main() -> int:
         "raw-mutex": lambda: rule_raw_mutex(files, allow),
         "io-under-lock": lambda: rule_io_under_lock(files, allow),
         "encode-pair": lambda: rule_encode_pair(files, functions, allow),
+        "nondet-iter": lambda: rule_nondet_iter(files, allow),
+        "wall-clock": lambda: rule_wall_clock(files, allow),
     }
     selected = args.rule or list(rules)
     unknown = [r for r in selected if r not in rules]

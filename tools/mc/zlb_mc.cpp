@@ -1,0 +1,267 @@
+// zlb_mc — explicit-state model checker for the ZLB protocol stack.
+//
+// Drives the REAL asmr::Replica / SbcEngine / BlockManager objects
+// through every (bounded) message schedule of a small-scope
+// configuration, checking agreement, epoch-boundary safety,
+// no-double-spend and (on fair schedules) eventual decision after
+// every action. See src/mc/ and the README "Model checking" section.
+//
+// Modes:
+//   explore (default)  bounded exhaustive BFS/DFS with POR + dedup
+//   fair               seeded random full schedules to quiescence
+//   replay             re-execute a counterexample trace file
+//
+// Exit codes: 0 clean, 1 violation found, 2 usage/config error.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "mc/explorer.hpp"
+#include "mc/mc.hpp"
+
+namespace {
+
+using namespace zlb;
+using namespace zlb::mc;
+
+int usage() {
+  std::cerr <<
+      "usage: zlb_mc [mode] [options]\n"
+      "modes:\n"
+      "  explore            bounded exhaustive search (default)\n"
+      "  fair               seeded random fair schedules to quiescence\n"
+      "  replay --trace F   re-execute a recorded counterexample\n"
+      "configuration:\n"
+      "  --n N              committee size (default 4)\n"
+      "  --equivocators E   scripted adversaries, ids 0..E-1 (default 1)\n"
+      "  --pool P           standby pool size (default 0)\n"
+      "  --instances K      regular instances (default 1)\n"
+      "  --functional       real blocks + conflicting spends\n"
+      "  --confirmation     confirmation phase on\n"
+      "  --no-eq-proposals  adversary proposes one payload only\n"
+      "  --no-eq-rbc        no conflicting echo/ready\n"
+      "  --eq-aux           conflicting AUX votes too\n"
+      "  --drops N --dups N --crashes N   fault budgets (default 0)\n"
+      "  --inject-bug quorum|epoch        deliberate safety bug\n"
+      "  --expect-epoch E   epoch every honest replica must reach\n"
+      "explore options:\n"
+      "  --depth D          action-depth bound (default 14)\n"
+      "  --max-states N     state budget (default 100000)\n"
+      "  --no-por           disable partial-order reduction\n"
+      "  --dfs              depth-first instead of breadth-first\n"
+      "fair options:\n"
+      "  --schedules N      schedules to run (default 64)\n"
+      "  --seed S           base seed (default 1)\n"
+      "  --max-actions N    per-schedule action cap (default 50000)\n"
+      "  --no-minimize      keep the raw counterexample\n"
+      "output:\n"
+      "  --json FILE        write the coverage/stats artifact\n"
+      "  --trace-out FILE   write the counterexample trace\n"
+      "  --quiet            suppress progress lines\n";
+  return 2;
+}
+
+bool write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << text;
+  return static_cast<bool>(out);
+}
+
+void print_violation(const Violation& v) {
+  std::cout << "VIOLATION [" << v.invariant << "] " << v.detail << "\n";
+}
+
+void print_trace(const Trace& t) {
+  std::cout << "counterexample (" << t.actions.size() << " actions, seed "
+            << t.seed << "):\n";
+  for (const Action& a : t.actions) std::cout << "  " << to_string(a) << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string mode = "explore";
+  McConfig config;
+  ExploreOptions eopt;
+  FairOptions fopt;
+  std::string json_path;
+  std::string trace_out;
+  std::string trace_in;
+  bool quiet = false;
+
+  int i = 1;
+  if (i < argc && argv[i][0] != '-') mode = argv[i++];
+  const auto next_u64 = [&](std::uint64_t& out) {
+    if (i + 1 >= argc) return false;
+    try {
+      out = std::stoull(argv[++i]);
+    } catch (const std::exception&) {
+      return false;
+    }
+    return true;
+  };
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::uint64_t v = 0;
+    if (arg == "--n" && next_u64(v)) {
+      config.n = static_cast<std::uint32_t>(v);
+    } else if (arg == "--equivocators" && next_u64(v)) {
+      config.equivocators = static_cast<std::uint32_t>(v);
+    } else if (arg == "--pool" && next_u64(v)) {
+      config.pool = static_cast<std::uint32_t>(v);
+    } else if (arg == "--instances" && next_u64(v)) {
+      config.instances = v;
+    } else if (arg == "--functional") {
+      config.functional = true;
+    } else if (arg == "--confirmation") {
+      config.confirmation = true;
+    } else if (arg == "--no-eq-proposals") {
+      config.equivocate_proposals = false;
+    } else if (arg == "--no-eq-rbc") {
+      config.equivocate_rbc = false;
+    } else if (arg == "--eq-aux") {
+      config.equivocate_aux = true;
+    } else if (arg == "--drops" && next_u64(v)) {
+      config.drop_budget = static_cast<std::uint32_t>(v);
+    } else if (arg == "--dups" && next_u64(v)) {
+      config.dup_budget = static_cast<std::uint32_t>(v);
+    } else if (arg == "--crashes" && next_u64(v)) {
+      config.crash_budget = static_cast<std::uint32_t>(v);
+    } else if (arg == "--inject-bug" && i + 1 < argc) {
+      const std::string bug = argv[++i];
+      if (bug == "quorum") {
+        config.bug = InjectedBug::kQuorum;
+      } else if (bug == "epoch") {
+        config.bug = InjectedBug::kEpoch;
+      } else {
+        return usage();
+      }
+    } else if (arg == "--expect-epoch" && next_u64(v)) {
+      config.expect_epoch = static_cast<std::uint32_t>(v);
+    } else if (arg == "--depth" && next_u64(v)) {
+      eopt.max_depth = static_cast<std::uint32_t>(v);
+    } else if (arg == "--max-states" && next_u64(v)) {
+      eopt.max_states = v;
+    } else if (arg == "--no-por") {
+      eopt.por = false;
+    } else if (arg == "--dfs") {
+      eopt.dfs = true;
+    } else if (arg == "--schedules" && next_u64(v)) {
+      fopt.schedules = v;
+    } else if (arg == "--seed" && next_u64(v)) {
+      fopt.seed = v;
+    } else if (arg == "--max-actions" && next_u64(v)) {
+      fopt.max_actions = v;
+    } else if (arg == "--no-minimize") {
+      fopt.minimize = false;
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else if (arg == "--trace" && i + 1 < argc) {
+      trace_in = argv[++i];
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      std::cerr << "zlb_mc: bad argument: " << arg << "\n";
+      return usage();
+    }
+  }
+  if (config.equivocators >= config.n) {
+    std::cerr << "zlb_mc: equivocators must be < n\n";
+    return 2;
+  }
+
+  const auto emit_trace = [&](const Trace& t) {
+    print_trace(t);
+    if (!trace_out.empty() && !write_file(trace_out, t.encode())) {
+      std::cerr << "zlb_mc: cannot write " << trace_out << "\n";
+    }
+  };
+
+  if (mode == "explore") {
+    if (!quiet) {
+      eopt.progress_every = 10'000;
+      eopt.progress = [](const ExploreStats& st) {
+        std::cerr << "  ... " << st.states << " states, depth "
+                  << st.max_depth_seen << ", " << st.dedup_hits
+                  << " dedup hits\n";
+      };
+    }
+    const ExploreResult r = explore(config, eopt);
+    std::cout << "explored " << r.stats.states << " states, "
+              << r.stats.transitions << " transitions, "
+              << r.stats.dedup_hits << " dedup hits, max depth "
+              << r.stats.max_depth_seen
+              << (r.stats.complete ? " (complete)" : " (truncated)") << "\n";
+    if (!json_path.empty()) {
+      write_file(json_path,
+                 stats_json(config, r.stats, r.violation.has_value()));
+    }
+    if (r.violation) {
+      print_violation(*r.violation);
+      if (r.trace) emit_trace(*r.trace);
+      return 1;
+    }
+    std::cout << "no violation\n";
+    return 0;
+  }
+
+  if (mode == "fair") {
+    if (!quiet) {
+      fopt.progress_every = 8;
+      fopt.progress = [&](std::uint64_t done) {
+        std::cerr << "  ... " << done << "/" << fopt.schedules
+                  << " schedules clean\n";
+      };
+    }
+    const FairResult r = run_fair(config, fopt);
+    std::cout << "ran " << r.schedules_run << " fair schedule(s), "
+              << r.actions_run << " actions\n";
+    if (!json_path.empty()) {
+      ExploreStats st;
+      st.states = r.actions_run;  // actions ~ states along random walks
+      st.transitions = r.actions_run;
+      st.complete = false;
+      write_file(json_path,
+                 stats_json(config, st, r.violation.has_value()));
+    }
+    if (r.violation) {
+      print_violation(*r.violation);
+      if (r.trace) emit_trace(*r.trace);
+      return 1;
+    }
+    std::cout << "no violation\n";
+    return 0;
+  }
+
+  if (mode == "replay") {
+    if (trace_in.empty()) return usage();
+    std::ifstream in(trace_in);
+    if (!in) {
+      std::cerr << "zlb_mc: cannot read " << trace_in << "\n";
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const auto trace = Trace::decode(buf.str());
+    if (!trace) {
+      std::cerr << "zlb_mc: malformed trace file\n";
+      return 2;
+    }
+    const ReplayResult r = replay(*trace);
+    std::cout << "replayed " << r.applied << " action(s), " << r.skipped
+              << " inapplicable, " << (r.quiescent ? "quiescent" : "active")
+              << "\n";
+    if (r.violation) {
+      print_violation(*r.violation);
+      return 1;
+    }
+    std::cout << "no violation\n";
+    return 0;
+  }
+
+  return usage();
+}
