@@ -13,6 +13,8 @@
 #include "baselines/hotstuff.hpp"
 #include "baselines/polygraph.hpp"
 #include "baselines/redbelly.hpp"
+#include "obs/expo.hpp"
+#include "obs/trace.hpp"
 #include "zlb/cluster.hpp"
 
 namespace zlb::bench {
@@ -106,6 +108,41 @@ inline double hotstuff_tx_per_sec(std::size_t n, std::uint32_t batch,
   return baselines::run_hotstuff(n, cfg, wan_net(),
                                  std::make_shared<sim::AwsLatency>(), seed)
       .tx_per_sec;
+}
+
+/// JSON metrics snapshot of a finished cluster run, seen from one
+/// honest replica: every decided regular instance is replayed into an
+/// obs::InstanceTracer span (propose -> RBC deliver -> decide, using
+/// the recorded sim timestamps; SimTime is microseconds, hence the
+/// 1e-6 scale), so the benches emit the same
+/// zlb_decide_latency_seconds / zlb_decide_phase_latency_seconds
+/// series — with identical names and bucket boundaries — that a live
+/// node serves on --metrics-port. One line, CI-archivable.
+inline std::string metrics_json(Cluster& cluster, ReplicaId observer) {
+  obs::Registry reg;
+  // The clock is only consulted by mark(); every stamp below arrives
+  // through mark_at() with recorded virtual time, keeping the snapshot
+  // a pure function of the simulation.
+  obs::InstanceTracer tracer(reg, &common::Clock::system(), /*scale=*/1e-6);
+  const asmr::Replica& rep = cluster.replica(observer);
+  for (const auto& [key, rec] : rep.records()) {
+    if (key.kind != consensus::InstanceKind::kRegular || !rec.decided) {
+      continue;
+    }
+    if (const asmr::PhaseTimes* pt = rep.phase_times(key)) {
+      if (pt->propose_time >= 0) {
+        tracer.mark_at(key.epoch, key.index, obs::Phase::kPropose,
+                       pt->propose_time);
+      }
+      if (pt->deliver_time >= 0) {
+        tracer.mark_at(key.epoch, key.index, obs::Phase::kDeliver,
+                       pt->deliver_time);
+      }
+    }
+    tracer.mark_at(key.epoch, key.index, obs::Phase::kDecide, rec.decide_time);
+    tracer.finish(key.epoch, key.index);
+  }
+  return obs::render_json(reg);
 }
 
 /// true => full paper grid; default trimmed grid keeps the suite quick.

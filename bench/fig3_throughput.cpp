@@ -12,9 +12,15 @@ using namespace zlb;
 
 namespace {
 
-double run_cluster_txps(const ClusterConfig& cfg) {
+/// When `metrics` is non-null it receives the per-instance
+/// decide-latency JSON snapshot (same series a live node scrapes).
+double run_cluster_txps(const ClusterConfig& cfg,
+                        std::string* metrics = nullptr) {
   Cluster cluster(cfg);
   cluster.run(seconds(3600));
+  if (metrics != nullptr) {
+    *metrics = bench::metrics_json(cluster, cluster.honest_ids().front());
+  }
   return cluster.report().decided_tx_per_sec;
 }
 
@@ -35,8 +41,9 @@ int main() {
       "# batch=10000 ~400B txs, 5-region AWS latencies, f=0\n"
       "# n zlb redbelly polygraph hotstuff\n");
   for (std::size_t n : sizes) {
-    const double zlb_txps =
-        run_cluster_txps(bench::zlb_throughput_config(n, batch, instances, 1));
+    std::string zlb_metrics;
+    const double zlb_txps = run_cluster_txps(
+        bench::zlb_throughput_config(n, batch, instances, 1), &zlb_metrics);
     const double rbb_txps =
         run_cluster_txps(bench::redbelly_config(n, batch, instances, 1));
     const double pg_txps =
@@ -44,6 +51,7 @@ int main() {
     const double hs_txps = bench::hotstuff_tx_per_sec(n, batch, 1);
     std::printf("%zu %.0f %.0f %.0f %.0f\n", n, zlb_txps, rbb_txps, pg_txps,
                 hs_txps);
+    std::printf("# metrics fig3 n=%zu %s\n", n, zlb_metrics.c_str());
     std::fflush(stdout);
   }
   return 0;

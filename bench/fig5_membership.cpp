@@ -14,8 +14,12 @@ using namespace zlb;
 
 namespace {
 
+/// When `metrics` is non-null it receives the observing honest
+/// replica's decide-latency JSON snapshot (same series a live node
+/// scrapes on --metrics-port).
 ClusterReport run_recovery(std::size_t n, DelayModel delay, SimTime mean,
-                           std::uint32_t catchup_blocks, std::uint64_t seed) {
+                           std::uint32_t catchup_blocks, std::uint64_t seed,
+                           std::string* metrics = nullptr) {
   ClusterConfig cfg = bench::attack_config(n, AttackKind::kBinaryConsensus,
                                            delay, mean, seed);
   cfg.replica.catchup_blocks = catchup_blocks;
@@ -31,6 +35,9 @@ ClusterReport run_recovery(std::size_t n, DelayModel delay, SimTime mean,
       },
       seconds(1800));
   cluster.run(cluster.sim().now() + seconds(60));  // drain catch-ups
+  if (metrics != nullptr) {
+    *metrics = bench::metrics_json(cluster, cluster.honest_ids().front());
+  }
   return cluster.report();
 }
 
@@ -58,10 +65,13 @@ int main() {
       "# n delay detect_s exclude_s include_s\n");
   for (std::size_t n : sizes) {
     for (const auto& d : delays) {
-      const auto rep = run_recovery(n, d.model, d.mean, 10, 21);
+      std::string metrics;
+      const auto rep = run_recovery(n, d.model, d.mean, 10, 21, &metrics);
       std::printf("%zu %s %.2f %.2f %.2f\n", n, d.name,
                   to_seconds(rep.detect_time), to_seconds(rep.exclude_time),
                   to_seconds(rep.include_time));
+      std::printf("# metrics fig5 n=%zu delay=%s %s\n", n, d.name,
+                  metrics.c_str());
       std::fflush(stdout);
     }
   }

@@ -42,6 +42,9 @@ struct Options {
   /// Standby pool ids (comma-separated). Members of the peers file that
   /// are NOT committee members; admitted by the inclusion consensus.
   std::vector<ReplicaId> pool;
+  /// Serve Prometheus/JSON metrics on this loopback port (-1 = off,
+  /// 0 = ephemeral; the bound port is printed at startup).
+  int metrics_port = -1;
   /// Snapshot the ledger (and compact the journal) every this many
   /// decided instances; 0 disables. With a journal the image lands at
   /// <journal>.ckpt and restarts replay only the post-checkpoint tail;
@@ -86,6 +89,10 @@ bool parse_options(int argc, char** argv, Options& opts) {
       const char* v = next();
       if (v == nullptr) return false;
       opts.instances = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--metrics-port") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opts.metrics_port = std::atoi(v);
     } else if (arg == "--checkpoint-interval") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -161,7 +168,9 @@ int main(int argc, char** argv) {
         "usage: zlb_node --id <n> --peers <file> [--client-port <p>]\n"
         "                [--journal <path>] [--genesis <addr-hex>:<amount>]\n"
         "                [--instances <n>] [--block-interval-ms <ms>]\n"
-        "                [--checkpoint-interval <n>] [--pool <id,id,...>]\n");
+        "                [--checkpoint-interval <n>] [--pool <id,id,...>]\n"
+        "                [--metrics-port <p>]   # Prometheus at /metrics,\n"
+        "                                       # JSON at /metrics.json\n");
     return 2;
   }
 
@@ -204,6 +213,9 @@ int main(int argc, char** argv) {
   cfg.block_interval = std::chrono::milliseconds(opts.block_interval_ms);
   cfg.journal_path = opts.journal_path;
   cfg.checkpoint.interval = opts.checkpoint_interval;
+  if (opts.metrics_port >= 0) {
+    cfg.metrics_port = static_cast<std::uint16_t>(opts.metrics_port);
+  }
   // Serve anti-entropy resync to stragglers after finishing the
   // budget; the node exits once every peer reported it is done too
   // (and stays up serving if a peer never does — it is a daemon).
@@ -219,10 +231,11 @@ int main(int argc, char** argv) {
   }
   node.set_peer_ports(ports);
 
-  std::printf("zlb_node id=%u replica-port=%u client-port=%u committee=%zu "
-              "pool=%zu%s journal=%s\n",
-              opts.id, node.port(), node.client_port(), committee.size(),
-              pool_members.size(), cfg.standby ? " (standby)" : "",
+  std::printf("zlb_node id=%u replica-port=%u client-port=%u "
+              "metrics-port=%u committee=%zu pool=%zu%s journal=%s\n",
+              opts.id, node.port(), node.client_port(), node.metrics_port(),
+              committee.size(), pool_members.size(),
+              cfg.standby ? " (standby)" : "",
               opts.journal_path.empty() ? "(none)"
                                         : opts.journal_path.c_str());
   std::fflush(stdout);

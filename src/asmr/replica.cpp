@@ -151,6 +151,12 @@ Replica::Engine* Replica::get_or_create_engine(const Key& key) {
   }
   switch (key.kind) {
     case InstanceKind::kRegular:
+      // Observability only: first RBC slot delivery closes the
+      // propose->deliver phase of the decide-latency breakdown.
+      hooks.slot_delivered = [this, key](std::uint32_t) {
+        PhaseTimes& pt = phase_times_[key];
+        if (pt.deliver_time < 0) pt.deliver_time = sim_.now();
+      };
       hooks.validate = [this](BytesView payload) {
         try {
           const BatchPayload p = BatchPayload::decode(payload);
@@ -216,6 +222,7 @@ Replica::Engine* Replica::get_or_create_engine(const Key& key) {
 void Replica::wire_and_propose(const Key& key, Engine& engine) {
   switch (key.kind) {
     case InstanceKind::kRegular: {
+      phase_times_[key].propose_time = sim_.now();
       BatchPayload p;
       p.proposer = me_;
       p.index = key.index;

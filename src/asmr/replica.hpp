@@ -101,6 +101,16 @@ struct ReplicaMetrics {
   InstanceId snapshot_upto = 0;
 };
 
+/// Observability side-channel: propose / first-RBC-deliver sim
+/// timestamps per regular instance. Kept outside DecisionRecord (whose
+/// entries are created lazily at decide time and serialized into
+/// fingerprint()) so that phase tracing can never perturb the model
+/// checker's visited-state keys.
+struct PhaseTimes {
+  SimTime propose_time = -1;  ///< our proposal entered the RBC
+  SimTime deliver_time = -1;  ///< first proposal slot RBC-delivered
+};
+
 /// Per-instance decision record (what the harness compares across
 /// replicas to count disagreements, §5.2).
 struct DecisionRecord {
@@ -163,6 +173,12 @@ class Replica : public sim::Process {
   records() const {
     return records_;
   }
+  /// Phase timestamps for a regular instance (nullptr if never traced).
+  [[nodiscard]] const PhaseTimes* phase_times(
+      const consensus::InstanceKey& key) const {
+    const auto it = phase_times_.find(key);
+    return it == phase_times_.end() ? nullptr : &it->second;
+  }
   /// Canonical serialization of all protocol-relevant replica state.
   /// Two replicas with equal fingerprints react identically to
   /// identical future inputs — the model checker's visited-state key.
@@ -218,6 +234,7 @@ class Replica : public sim::Process {
   std::map<Key, std::unique_ptr<Engine>> engines_;
   std::set<Key> tombstones_;  ///< pruned instances must never be re-run
   std::map<Key, DecisionRecord> records_;
+  std::map<Key, PhaseTimes> phase_times_;  ///< never fingerprinted
   std::map<Key, std::vector<consensus::DecisionMsg>> others_;
   std::vector<std::pair<ReplicaId, Bytes>> pending_buffer_;
   bool in_replay_ = false;

@@ -92,8 +92,13 @@ std::vector<std::uint8_t> BlockManager::batch_verify_block(
 
 std::size_t BlockManager::commit_block(const chain::Block& block,
                                        bool verify_sigs) {
+  const auto stamp = [this]() {
+    return obs_clock_ != nullptr ? obs_clock_->nanos() : 0;
+  };
+  const std::int64_t t_start = stamp();
   std::vector<std::uint8_t> sig_ok;
   if (verify_sigs) sig_ok = batch_verify_block(block);
+  const std::int64_t t_verified = stamp();
   std::size_t applied = 0;
   for (std::size_t t = 0; t < block.txs.size(); ++t) {
     const chain::Transaction& tx = block.txs[t];
@@ -108,7 +113,18 @@ std::size_t BlockManager::commit_block(const chain::Block& block,
       ++applied;
     }
   }
+  const std::int64_t t_applied = stamp();
   journal_block(block, store_.put(block));
+  if (obs_clock_ != nullptr) {
+    const std::int64_t t_journaled = stamp();
+    if (verify_hist_ != nullptr && verify_sigs) {
+      verify_hist_->observe(t_verified - t_start);
+    }
+    if (apply_hist_ != nullptr) apply_hist_->observe(t_applied - t_verified);
+    if (fsync_hist_ != nullptr && journaling()) {
+      fsync_hist_->observe(t_journaled - t_applied);
+    }
+  }
   return applied;
 }
 

@@ -11,6 +11,7 @@ Mempool::AddResult Mempool::try_add(const Transaction& tx) {
   }
   known_.insert(id);
   queue_.push_back(tx);
+  stamps_.push_back(clock_ != nullptr ? clock_->nanos() : -1);
   return AddResult::kAdded;
 }
 
@@ -18,6 +19,7 @@ bool Mempool::readmit(const Transaction& tx) {
   const TxId id = tx.id();
   if (!known_.insert(id).second) return false;
   queue_.push_back(tx);
+  stamps_.push_back(clock_ != nullptr ? clock_->nanos() : -1);
   return true;
 }
 
@@ -26,6 +28,7 @@ std::vector<Transaction> Mempool::take_batch(std::size_t max) {
   while (!queue_.empty() && out.size() < max) {
     out.push_back(std::move(queue_.front()));
     queue_.pop_front();
+    stamps_.pop_front();
   }
   for (const auto& tx : out) known_.erase(tx.id());
   return out;
@@ -34,15 +37,19 @@ std::vector<Transaction> Mempool::take_batch(std::size_t max) {
 void Mempool::remove_committed(
     const std::unordered_set<TxId, crypto::Hash32Hasher>& committed) {
   std::deque<Transaction> kept;
-  for (auto& tx : queue_) {
+  std::deque<std::int64_t> kept_stamps;
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    Transaction& tx = queue_[i];
     const TxId id = tx.id();
     if (committed.count(id) != 0) {
       known_.erase(id);
     } else {
       kept.push_back(std::move(tx));
+      kept_stamps.push_back(stamps_[i]);
     }
   }
   queue_ = std::move(kept);
+  stamps_ = std::move(kept_stamps);
 }
 
 }  // namespace zlb::chain

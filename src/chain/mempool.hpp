@@ -11,6 +11,7 @@
 #include <unordered_set>
 
 #include "chain/tx.hpp"
+#include "common/clock.hpp"
 
 namespace zlb::chain {
 
@@ -42,6 +43,17 @@ class Mempool {
   void remove_committed(
       const std::unordered_set<TxId, crypto::Hash32Hasher>& committed);
 
+  /// Observability: admissions are stamped with `clock->nanos()` so
+  /// the lifecycle tracer can attribute queueing delay to the batch
+  /// that drains them. Null (the default) stamps -1 — the sim/model-
+  /// checker replicas never set a clock and stay bit-deterministic.
+  void set_clock(const common::Clock* clock) { clock_ = clock; }
+  /// Admission stamp of the transaction the next take_batch() drains
+  /// first; -1 when empty or unstamped.
+  [[nodiscard]] std::int64_t oldest_pending_ns() const {
+    return stamps_.empty() ? -1 : stamps_.front();
+  }
+
   void set_capacity(std::size_t capacity) { capacity_ = capacity; }
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
   [[nodiscard]] bool full() const {
@@ -54,9 +66,12 @@ class Mempool {
 
  private:
   std::deque<Transaction> queue_;
+  /// Admission stamp per queued transaction, in lockstep with queue_.
+  std::deque<std::int64_t> stamps_;
   std::unordered_set<TxId, crypto::Hash32Hasher> known_;
   std::size_t capacity_ = 0;
   std::uint64_t rejected_full_ = 0;
+  const common::Clock* clock_ = nullptr;
 };
 
 }  // namespace zlb::chain

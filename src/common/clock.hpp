@@ -20,6 +20,15 @@ class Clock {
   /// ordering decisions.
   [[nodiscard]] virtual std::int64_t unix_seconds() const = 0;
 
+  /// Nanoseconds on a monotonic-ish axis, for latency spans and
+  /// metrics timestamps (src/obs) — observability only, never protocol
+  /// ordering. The default derives it from unix_seconds() so manual
+  /// clocks stay bit-deterministic without overriding anything; the
+  /// real clock overrides it with steady_clock resolution.
+  [[nodiscard]] virtual std::int64_t nanos() const {
+    return unix_seconds() * 1'000'000'000;
+  }
+
   /// The process-wide real clock. Deterministic harnesses pass their
   /// own Clock instead of calling this.
   static const Clock& system();
@@ -31,6 +40,12 @@ class SystemClock final : public Clock {
   [[nodiscard]] std::int64_t unix_seconds() const override {
     return std::chrono::duration_cast<std::chrono::seconds>(
                std::chrono::system_clock::now().time_since_epoch())
+        .count();
+  }
+
+  [[nodiscard]] std::int64_t nanos() const override {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
         .count();
   }
 };

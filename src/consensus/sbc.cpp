@@ -219,6 +219,7 @@ void SbcEngine::maybe_deliver(std::uint32_t slot) {
       st.delivered = true;
       st.delivered_digest = d;
       ++delivered_;
+      if (hooks_.slot_delivered) hooks_.slot_delivered(slot);
       if (!st.started) start_bincon(slot, 1);
       if (!zero_phase_started_ && delivered_ >= live_quorum()) {
         zero_phase_started_ = true;
@@ -369,8 +370,17 @@ void SbcEngine::adopt_slot_decision(std::uint32_t slot, std::uint8_t value,
     st.delivered = true;
     st.delivered_digest = *digest_hint;
     ++delivered_;
+    if (hooks_.slot_delivered) hooks_.slot_delivered(slot);
   }
   check_instance_decided();
+}
+
+std::uint64_t SbcEngine::total_rounds() const {
+  std::uint64_t total = 0;
+  for (const SlotState& st : slots_) {
+    if (st.decided) total += st.decided_round;
+  }
+  return total;
 }
 
 void SbcEngine::check_instance_decided() {

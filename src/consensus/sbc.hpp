@@ -73,6 +73,11 @@ class SbcEngine {
     std::function<void()> decided;
     /// Every valid accountable vote passes through here (PoF logging).
     std::function<void(const SignedVote&)> observe;
+    /// Fired each time a slot's RBC delivers (observability: the
+    /// lifecycle tracer timestamps the deliver phase). Purely passive —
+    /// the engine's behavior and fingerprint are identical with or
+    /// without it.
+    std::function<void(std::uint32_t slot)> slot_delivered;
   };
 
   struct OutcomeEntry {
@@ -125,6 +130,11 @@ class SbcEngine {
   [[nodiscard]] const InstanceKey& key() const { return key_; }
   [[nodiscard]] std::size_t slot_count() const { return slot_members_.size(); }
   [[nodiscard]] std::size_t delivered_count() const { return delivered_; }
+  /// Sum of the binary-consensus rounds each decided slot took
+  /// (adopted decisions count 0) — the per-instance round-count
+  /// observable; honest executions stay at slot_count() or barely
+  /// above.
+  [[nodiscard]] std::uint64_t total_rounds() const;
 
   /// Force-adopt a certified decision for a slot (straggler catch-up
   /// from a verified DecisionMsg). Does not emit votes.

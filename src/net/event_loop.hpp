@@ -66,6 +66,11 @@ class EventLoop {
     return stopped_.load(std::memory_order_relaxed);
   }
 
+  /// Observability (loop thread only): current fd-watch and pending-
+  /// timer counts, sampled into queue-depth gauges.
+  [[nodiscard]] std::size_t watch_count() const { return watches_.size(); }
+  [[nodiscard]] std::size_t timer_count() const { return timers_.size(); }
+
  private:
   struct Watch {
     Interest interest;

@@ -1,13 +1,13 @@
 #include "net/live_node.hpp"
 
 #include <algorithm>
-#include <cstdio>
-#include <cstdlib>
 
 #include "asmr/payload.hpp"
 #include "chain/block.hpp"
 #include "common/serde.hpp"
 #include "consensus/messages.hpp"
+#include "net/metrics_server.hpp"
+#include "obs/log.hpp"
 
 namespace zlb::net {
 
@@ -20,22 +20,11 @@ using consensus::ProposalMsg;
 using consensus::SignedVote;
 
 namespace {
-/// ZLB_DEBUG_RECONFIG=1: trace membership-change state transitions to
-/// stderr (off in normal runs; invaluable when a live cluster wedges).
-bool reconfig_trace_enabled() {
-  static const bool on = []() {
-    const char* env = std::getenv("ZLB_DEBUG_RECONFIG");
-    return env != nullptr && env[0] == '1';
-  }();
-  return on;
-}
-
-#define ZLB_RTRACE(...)                      \
-  do {                                       \
-    if (reconfig_trace_enabled()) {          \
-      std::fprintf(stderr, __VA_ARGS__);     \
-    }                                        \
-  } while (0)
+/// Membership-change state transitions log at debug on the `reconfig`
+/// subsystem: ZLB_LOG=reconfig=debug (or the legacy alias
+/// ZLB_DEBUG_RECONFIG=1) — invaluable when a live cluster wedges.
+#define ZLB_RTRACE(...) \
+  ZLB_LOG_DEBUG(::zlb::obs::LogSubsys::kReconfig, __VA_ARGS__)
 
 TransportConfig transport_config(const LiveNodeConfig& cfg) {
   TransportConfig t;
@@ -101,9 +90,242 @@ LiveNode::LiveNode(LiveNodeConfig config)
       fetcher_ = std::make_unique<sync::SnapshotFetcher>(
           config_.fetcher, [this](ReplicaId to, const sync::ChunkRequest& r) {
             const Bytes msg = sync::encode_chunk_request_msg(r);
-            transport_.send(to, BytesView(msg.data(), msg.size()));
+            send_counted(to, BytesView(msg.data(), msg.size()));
           });
     }
+  }
+  register_metrics();
+  if (config_.metrics_port.has_value()) {
+    metrics_server_ =
+        std::make_unique<MetricsServer>(loop_, metrics_, *config_.metrics_port);
+  }
+}
+
+LiveNode::~LiveNode() = default;
+
+std::uint16_t LiveNode::metrics_port() const {
+  return metrics_server_ ? metrics_server_->local_port() : 0;
+}
+
+const common::Clock& LiveNode::obs_clock() const {
+  return config_.clock != nullptr ? *config_.clock : common::Clock::system();
+}
+
+void LiveNode::send_counted(ReplicaId to, BytesView data) {
+  const std::size_t kind =
+      !data.empty() && data[0] < kMsgKinds ? data[0] : 0;
+  tx_frames_[kind]->inc();
+  tx_bytes_[kind]->inc(data.size());
+  transport_.send(to, data);
+}
+
+namespace {
+/// Exposition label for a payload tag byte (MsgTag); unknown tags
+/// (and the impossible tag 0) collapse into one "other" series.
+const char* msg_kind_name(std::size_t tag) {
+  switch (static_cast<MsgTag>(tag)) {
+    case MsgTag::kVote: return "vote";
+    case MsgTag::kProposal: return "proposal";
+    case MsgTag::kDecision: return "decision";
+    case MsgTag::kEvidence: return "evidence";
+    case MsgTag::kPofGossip: return "pof_gossip";
+    case MsgTag::kCatchupReq: return "catchup_req";
+    case MsgTag::kCatchupResp: return "catchup_resp";
+    case MsgTag::kReconcile: return "reconcile";
+    case MsgTag::kResyncStatus: return "resync_status";
+    case MsgTag::kSnapshotManifest: return "snapshot_manifest";
+    case MsgTag::kSnapshotChunkReq: return "snapshot_chunk_req";
+    case MsgTag::kSnapshotChunk: return "snapshot_chunk";
+    case MsgTag::kEpochAnnounce: return "epoch_announce";
+    default: return "other";
+  }
+}
+}  // namespace
+
+void LiveNode::register_metrics() {
+  tracer_ = std::make_unique<obs::InstanceTracer>(metrics_, &obs_clock());
+
+  // Per-message-kind wire accounting (both directions). Registration
+  // is idempotent, so every unknown tag shares the one "other" series.
+  for (std::size_t tag = 0; tag < kMsgKinds; ++tag) {
+    const obs::LabelSet rx{{"dir", "rx"}, {"kind", msg_kind_name(tag)}};
+    const obs::LabelSet tx{{"dir", "tx"}, {"kind", msg_kind_name(tag)}};
+    rx_frames_[tag] = &metrics_.counter(
+        "zlb_msgs_total", "Protocol frames by direction and kind", rx);
+    rx_bytes_[tag] = &metrics_.counter(
+        "zlb_msg_bytes_total", "Protocol frame bytes by direction and kind",
+        rx);
+    tx_frames_[tag] = &metrics_.counter(
+        "zlb_msgs_total", "Protocol frames by direction and kind", tx);
+    tx_bytes_[tag] = &metrics_.counter(
+        "zlb_msg_bytes_total", "Protocol frame bytes by direction and kind",
+        tx);
+  }
+
+  // Transport totals: pulled from the relaxed-atomic counters, safe to
+  // render from any thread.
+  metrics_.counter_fn(
+      "zlb_transport_bytes_total", "Raw socket bytes by direction",
+      [this] { return transport_.stats().bytes_sent; }, {{"dir", "sent"}});
+  metrics_.counter_fn(
+      "zlb_transport_bytes_total", "Raw socket bytes by direction",
+      [this] { return transport_.stats().bytes_received; },
+      {{"dir", "received"}});
+  metrics_.counter_fn(
+      "zlb_transport_frames_total", "Framed messages by direction",
+      [this] { return transport_.stats().frames_sent; }, {{"dir", "sent"}});
+  metrics_.counter_fn(
+      "zlb_transport_frames_total", "Framed messages by direction",
+      [this] { return transport_.stats().frames_received; },
+      {{"dir", "received"}});
+  metrics_.counter_fn(
+      "zlb_transport_connections_dropped_total",
+      "Peer links torn down (error/EOF)",
+      [this] { return transport_.stats().connections_dropped; });
+  metrics_.counter_fn(
+      "zlb_transport_handshake_failures_total",
+      "Connections dropped during the hello exchange",
+      [this] { return transport_.stats().handshake_failures; });
+  metrics_.counter_fn(
+      "zlb_transport_frames_dropped_total",
+      "Frames dropped from a down link's bounded queue",
+      [this] { return transport_.stats().frames_dropped; });
+  metrics_.counter_fn(
+      "zlb_transport_reconnects_total",
+      "Outbound connection retries after the initial attempt",
+      [this] { return transport_.stats().reconnects; });
+
+  // Queue depths (loop-thread state: rendered by the metrics server on
+  // the loop thread, or after run() returned).
+  metrics_.gauge_fn("zlb_transport_queued_bytes",
+                    "Bytes buffered in per-link send queues", [this] {
+                      return static_cast<std::int64_t>(
+                          transport_.queued_bytes());
+                    });
+  metrics_.gauge_fn("zlb_event_loop_watches",
+                    "File descriptors registered with the event loop",
+                    [this] {
+                      return static_cast<std::int64_t>(loop_.watch_count());
+                    });
+  metrics_.gauge_fn("zlb_event_loop_timers",
+                    "Pending timers in the event loop", [this] {
+                      return static_cast<std::int64_t>(loop_.timer_count());
+                    });
+
+  // Mempool: occupancy and reject causes.
+  metrics_.gauge_fn("zlb_mempool_size", "Transactions queued for proposal",
+                    [this]() -> std::int64_t {
+                      const common::MutexLock lock(decisions_mutex_);
+                      return static_cast<std::int64_t>(mempool_.size());
+                    });
+  mempool_rejects_dup_ = &metrics_.counter(
+      "zlb_mempool_rejected_total", "Client transactions refused, by cause",
+      {{"cause", "duplicate"}});
+  mempool_rejects_committed_ = &metrics_.counter(
+      "zlb_mempool_rejected_total", "Client transactions refused, by cause",
+      {{"cause", "committed"}});
+  mempool_rejects_full_ = &metrics_.counter(
+      "zlb_mempool_rejected_total", "Client transactions refused, by cause",
+      {{"cause", "full"}});
+
+  // Consensus progress.
+  metrics_.counter_fn("zlb_instances_decided_total",
+                      "Regular SBC instances decided (or settled) locally",
+                      [this] { return decided_count_.load(); });
+  rounds_total_ = &metrics_.counter(
+      "zlb_consensus_rounds_total",
+      "Binary-consensus rounds summed over decided slots");
+  metrics_.gauge_fn("zlb_epoch", "Current membership generation", [this] {
+    return static_cast<std::int64_t>(epoch_atomic_.load());
+  });
+
+  // Commit path: per-stage timing fed by the BlockManager.
+  {
+    const common::MutexLock lock(decisions_mutex_);
+    mempool_.set_clock(&obs_clock());
+    bm_.set_observability(
+        &obs_clock(),
+        &metrics_.histogram("zlb_block_verify_seconds",
+                            "Batch signature verification per commit", 1e-9),
+        &metrics_.histogram("zlb_block_apply_seconds",
+                            "UTXO application per commit", 1e-9),
+        &metrics_.histogram("zlb_journal_fsync_seconds",
+                            "Journal append+fsync per commit", 1e-9));
+  }
+  checkpoint_seconds_ = &metrics_.histogram(
+      "zlb_checkpoint_export_seconds",
+      "Ledger snapshot + persist + journal compaction per checkpoint", 1e-9);
+
+  // State sync (mutex-guarded stat blocks; cheap snapshot per render).
+  metrics_.counter_fn("zlb_sync_manifests_sent_total",
+                      "Checkpoint offers made to lagging peers", [this] {
+                        const common::MutexLock lock(decisions_mutex_);
+                        return sync_stats_.manifests_sent;
+                      });
+  metrics_.counter_fn("zlb_sync_chunks_served_total",
+                      "Snapshot chunks served to fetching peers", [this] {
+                        const common::MutexLock lock(decisions_mutex_);
+                        return sync_stats_.chunks_served;
+                      });
+  metrics_.counter_fn("zlb_sync_snapshots_installed_total",
+                      "Snapshots installed via network transfer", [this] {
+                        const common::MutexLock lock(decisions_mutex_);
+                        return sync_stats_.snapshots_installed;
+                      });
+  metrics_.counter_fn("zlb_sync_chunks_received_total",
+                      "Snapshot chunks fetched, verified and new", [this] {
+                        const common::MutexLock lock(decisions_mutex_);
+                        return fetcher_ ? fetcher_->stats().chunks_received
+                                        : 0;
+                      });
+  metrics_.counter_fn("zlb_sync_fetch_retry_rounds_total",
+                      "Stall-triggered chunk re-request rounds", [this] {
+                        const common::MutexLock lock(decisions_mutex_);
+                        return fetcher_ ? fetcher_->stats().retry_rounds : 0;
+                      });
+
+  // Membership change: cumulative outcomes plus the detect -> exclude
+  // -> include -> resume phase stamps (ms since run(), -1 = not
+  // reached), mirroring ReconfigStats for scrapers.
+  metrics_.counter_fn("zlb_reconfig_excluded_total",
+                      "Members excluded across all epochs", [this] {
+                        const common::MutexLock lock(decisions_mutex_);
+                        return reconfig_.excluded;
+                      });
+  metrics_.counter_fn("zlb_reconfig_included_total",
+                      "Standbys admitted across all epochs", [this] {
+                        const common::MutexLock lock(decisions_mutex_);
+                        return reconfig_.included;
+                      });
+  metrics_.counter_fn("zlb_reconfig_cross_epoch_dropped_total",
+                      "Frames rejected by the epoch gate", [this] {
+                        const common::MutexLock lock(decisions_mutex_);
+                        return reconfig_.cross_epoch_dropped;
+                      });
+  metrics_.gauge_fn("zlb_pof_culprits",
+                    "Distinct replicas proven deceitful", [this] {
+                      const common::MutexLock lock(decisions_mutex_);
+                      return static_cast<std::int64_t>(
+                          reconfig_.pof_culprits);
+                    });
+  const struct {
+    const char* phase;
+    std::int64_t LiveNode::ReconfigStats::* field;
+  } kPhases[] = {
+      {"detect", &ReconfigStats::detect_ms},
+      {"exclude", &ReconfigStats::exclude_ms},
+      {"include", &ReconfigStats::include_ms},
+      {"resume", &ReconfigStats::resume_ms},
+  };
+  for (const auto& p : kPhases) {
+    metrics_.gauge_fn(
+        "zlb_reconfig_phase_ms",
+        "Membership-change phase stamp, ms since run() (-1 = not reached)",
+        [this, field = p.field] {
+          const common::MutexLock lock(decisions_mutex_);
+          return reconfig_.*field;
+        },
+        {{"phase", p.phase}});
   }
 }
 
@@ -114,8 +336,21 @@ bool LiveNode::accept_tx(const chain::Transaction& tx) {
   // mempool is full — the gateway answers kRejected and the wallet
   // retries elsewhere.
   const common::MutexLock lock(decisions_mutex_);
-  if (bm_.knows_tx(tx.id())) return false;
-  return mempool_.try_add(tx) == chain::Mempool::AddResult::kAdded;
+  if (bm_.knows_tx(tx.id())) {
+    mempool_rejects_committed_->inc();
+    return false;
+  }
+  switch (mempool_.try_add(tx)) {
+    case chain::Mempool::AddResult::kAdded:
+      return true;
+    case chain::Mempool::AddResult::kDuplicate:
+      mempool_rejects_dup_->inc();
+      return false;
+    case chain::Mempool::AddResult::kFull:
+      mempool_rejects_full_->inc();
+      return false;
+  }
+  return false;
 }
 
 chain::Amount LiveNode::balance(const chain::Address& a) const {
@@ -189,8 +424,19 @@ Bytes LiveNode::payload_for(InstanceId k, bool drain_mempool) {
     }
     if (drain_mempool) {
       const common::MutexLock lock(decisions_mutex_);
+      // The oldest queued admission stamp opens the span: the e2e
+      // latency of instance k is measured from the longest-waiting
+      // transaction its batch carries.
+      const std::int64_t admitted = mempool_.oldest_pending_ns();
       block.txs = mempool_.take_batch(config_.max_block_txs);
-      if (!block.txs.empty()) proposed_txs_[k] = block.txs;
+      if (!block.txs.empty()) {
+        proposed_txs_[k] = block.txs;
+        if (admitted >= 0) {
+          const std::uint32_t e = eo.value_or(epoch_);
+          tracer_->mark_at(e, k, obs::Phase::kSubmit, admitted);
+          tracer_->mark_at(e, k, obs::Phase::kAdmit, admitted);
+        }
+      }
     }
     return block.serialize();
   }
@@ -258,7 +504,7 @@ LiveNode::Engine* LiveNode::get_or_create(InstanceId k) {
   hooks.broadcast = [this, k, dests = members](Bytes data, std::uint32_t,
                                                std::uint64_t) {
     for (ReplicaId member : dests) {
-      transport_.send(member, BytesView(data.data(), data.size()));
+      send_counted(member, BytesView(data.data(), data.size()));
     }
     if (config_.byzantine_equivocate && k >= config_.equivocate_from &&
         !data.empty() &&
@@ -276,7 +522,7 @@ LiveNode::Engine* LiveNode::get_or_create(InstanceId k) {
               scheme_->sign(config_.me, BytesView(sb.data(), sb.size()));
           const Bytes evil = consensus::encode_vote_msg(v);
           for (ReplicaId member : dests) {
-            transport_.send(member, BytesView(evil.data(), evil.size()));
+            send_counted(member, BytesView(evil.data(), evil.size()));
           }
         }
       } catch (const DecodeError&) {
@@ -284,6 +530,11 @@ LiveNode::Engine* LiveNode::get_or_create(InstanceId k) {
     }
   };
   hooks.decided = [this, k]() { on_decided(k); };
+  // Purely passive: records the first RBC slot delivery into the
+  // instance's lifecycle span (first mark wins).
+  hooks.slot_delivered = [this, k, e](std::uint32_t) {
+    tracer_->mark(e, k, obs::Phase::kDeliver);
+  };
   if (config_.reconfiguration) {
     hooks.observe = [this](const SignedVote& v) { observe_vote(v); };
   }
@@ -292,7 +543,7 @@ LiveNode::Engine* LiveNode::get_or_create(InstanceId k) {
                                          std::move(hooks));
   Engine* raw = engine.get();
   engines_.emplace(k, std::move(engine));
-  ZLB_RTRACE("[%u] engine created k=%llu epoch=%u\n", config_.me,
+  ZLB_RTRACE("[%u] engine created k=%llu epoch=%u", config_.me,
              static_cast<unsigned long long>(k), e);
   // Liveness across an epoch boundary: a member proposes in every
   // instance its committee is actively working, even when its own
@@ -315,6 +566,7 @@ LiveNode::Engine* LiveNode::get_or_create(InstanceId k) {
       k < frontier + kProposeAheadWindow) {
     raw->propose(payload_for(k, /*drain_mempool=*/k == current_),
                  /*extra_wire=*/0, /*tx_count=*/1, /*verify_units=*/1);
+    tracer_->mark(e, k, obs::Phase::kPropose);
   }
   return raw;
 }
@@ -325,7 +577,7 @@ void LiveNode::start_instance(InstanceId k) {
   if (engine == nullptr || engine->has_decided() || engine->has_proposed()) {
     return;
   }
-  ZLB_RTRACE("[%u] start_instance k=%llu epoch=%u\n", config_.me,
+  ZLB_RTRACE("[%u] start_instance k=%llu epoch=%u", config_.me,
              static_cast<unsigned long long>(k), engine->epoch());
   // payload_for only after the proposed-check: it drains the mempool,
   // and a drain for a proposal that never goes out would strand the
@@ -333,14 +585,18 @@ void LiveNode::start_instance(InstanceId k) {
   const Bytes payload = payload_for(k);
   engine->propose(payload, /*extra_wire=*/0,
                   /*tx_count=*/1, /*verify_units=*/1);
+  tracer_->mark(engine->epoch(), k, obs::Phase::kPropose);
 }
 
 void LiveNode::on_decided(InstanceId k) {
   Engine* engine = engines_.at(k).get();
   decided_ceiling_ = std::max(decided_ceiling_, k + 1);
-  ZLB_RTRACE("[%u] decided k=%llu epoch=%u\n", config_.me,
+  ZLB_RTRACE("[%u] decided k=%llu epoch=%u", config_.me,
              static_cast<unsigned long long>(k), engine->epoch());
+  tracer_->mark(engine->epoch(), k, obs::Phase::kDecide);
+  rounds_total_->inc(engine->total_rounds());
   if (config_.real_blocks) {
+    tracer_->mark(engine->epoch(), k, obs::Phase::kCommit);
     commit_decided_blocks(k, *engine);
     // Gap fill: instances decide out of order during catch-up, and a
     // transaction spending an output of block k was SKIPPED when its
@@ -356,6 +612,7 @@ void LiveNode::on_decided(InstanceId k) {
         }
       }
     }
+    tracer_->mark(engine->epoch(), k, obs::Phase::kApply);
     // If our own slot lost its binary consensus (the proposal raced the
     // zero-phase), the drained transactions must go back into the
     // mempool for the next block — clients got an ACK for them.
@@ -387,12 +644,19 @@ void LiveNode::on_decided(InstanceId k) {
       // otherwise mislabel the image, and every peer's manifest gate
       // would reject it as a relabelling attack.
       const InstanceId floor = decision_floor();
-      const common::MutexLock lock(decisions_mutex_);
-      (void)ckpt_->on_decided(bm_, floor, [this](InstanceId w) {
-        return epoch_of(w).value_or(epoch_);
-      });
+      bool taken = false;
+      {
+        const common::MutexLock lock(decisions_mutex_);
+        const std::int64_t t0 = obs_clock().nanos();
+        taken = ckpt_->on_decided(bm_, floor, [this](InstanceId w) {
+          return epoch_of(w).value_or(epoch_);
+        });
+        if (taken) checkpoint_seconds_->observe(obs_clock().nanos() - t0);
+      }
+      if (taken) tracer_->mark(engine->epoch(), k, obs::Phase::kCheckpoint);
     }
   }
+  tracer_->finish(engine->epoch(), k);
   // The instance is settled here: its first-vote log is no longer
   // needed for PoF extraction (live equivocation was observed live),
   // and without the prune the store grows O(chain). The floor keeps
@@ -543,7 +807,7 @@ void LiveNode::note_new_pofs() {
     const Bytes msg = w.take();
     for (ReplicaId member : epoch_members_.at(epoch_)) {
       if (member != config_.me) {
-        transport_.send(member, BytesView(msg.data(), msg.size()));
+        send_counted(member, BytesView(msg.data(), msg.size()));
       }
     }
   }
@@ -585,7 +849,7 @@ void LiveNode::maybe_start_membership() {
   }
 
   membership_running_ = true;
-  ZLB_RTRACE("[%u] membership trigger: %zu culprits, floor=%llu\n",
+  ZLB_RTRACE("[%u] membership trigger: %zu culprits, floor=%llu",
              config_.me, in_committee,
              static_cast<unsigned long long>(decision_floor()));
   // Alg. 1 line 19: freeze the pending regular instances — nothing may
@@ -695,7 +959,7 @@ LiveNode::Engine* LiveNode::create_membership_engine(const Key& key) {
   hooks.broadcast = [this, dests = slot_members](Bytes data, std::uint32_t,
                                                  std::uint64_t) {
     for (ReplicaId member : dests) {
-      transport_.send(member, BytesView(data.data(), data.size()));
+      send_counted(member, BytesView(data.data(), data.size()));
     }
   };
   const Key key_copy = key;
@@ -771,7 +1035,7 @@ void LiveNode::on_exclusion_decided(const Key& key, Engine& engine) {
   }
   boundary = std::max(boundary, settled_floor_);
   pending_boundary_ = boundary;
-  ZLB_RTRACE("[%u] exclusion decided: %zu culprits, boundary=%llu\n",
+  ZLB_RTRACE("[%u] exclusion decided: %zu culprits, boundary=%llu",
              config_.me, cons_exclude_.size(),
              static_cast<unsigned long long>(boundary));
   {
@@ -792,6 +1056,7 @@ void LiveNode::on_exclusion_decided(const Key& key, Engine& engine) {
   for (auto it = engines_.begin(); it != engines_.end();) {
     if (it->first >= boundary && !it->second->has_decided()) {
       requeue_proposed(it->first);
+      tracer_->abandon(it->second->epoch(), it->first);
       it = engines_.erase(it);
     } else {
       ++it;
@@ -907,7 +1172,7 @@ void LiveNode::on_inclusion_decided(const Key& /*key*/, Engine& engine) {
   }
 
   cons_exclude_.clear();
-  ZLB_RTRACE("[%u] inclusion decided: epoch=%u start=%llu members=%zu\n",
+  ZLB_RTRACE("[%u] inclusion decided: epoch=%u start=%llu members=%zu",
              config_.me, epoch_,
              static_cast<unsigned long long>(pending_boundary_),
              epoch_members_.at(epoch_).size());
@@ -919,6 +1184,7 @@ void LiveNode::on_inclusion_decided(const Key& /*key*/, Engine& engine) {
        it != engines_.end();) {
     if (!it->second->has_decided() && it->second->epoch() != epoch_) {
       requeue_proposed(it->first);
+      tracer_->abandon(it->second->epoch(), it->first);
       it = engines_.erase(it);
     } else {
       ++it;
@@ -933,6 +1199,10 @@ void LiveNode::on_inclusion_decided(const Key& /*key*/, Engine& engine) {
     ++current_;
   }
   if (current_ < config_.instances) start_instance(current_);
+  {
+    const common::MutexLock lock(decisions_mutex_);
+    if (reconfig_.resume_ms < 0) reconfig_.resume_ms = ms_since_start();
+  }
   drain_membership_stash();
 }
 
@@ -962,7 +1232,7 @@ void LiveNode::maybe_reannounce(ReplicaId to) {
 void LiveNode::send_epoch_announce(ReplicaId to) {
   if (!last_announce_.has_value()) return;
   const Bytes msg = consensus::encode_epoch_announce_msg(*last_announce_);
-  transport_.send(to, BytesView(msg.data(), msg.size()));
+  send_counted(to, BytesView(msg.data(), msg.size()));
 }
 
 void LiveNode::handle_epoch_announce(ReplicaId from,
@@ -1057,6 +1327,7 @@ void LiveNode::adopt_epoch(const EpochAnnounceMsg& msg) {
        it != engines_.end();) {
     if (!it->second->has_decided() && it->second->epoch() != msg.epoch) {
       requeue_proposed(it->first);
+      tracer_->abandon(it->second->epoch(), it->first);
       it = engines_.erase(it);
     } else {
       ++it;
@@ -1089,7 +1360,7 @@ void LiveNode::adopt_epoch(const EpochAnnounceMsg& msg) {
                                                         osb.size()));
     last_announce_ = std::move(own);
   }
-  ZLB_RTRACE("[%u] adopt_epoch: epoch=%u start=%llu (was standby=%d)\n",
+  ZLB_RTRACE("[%u] adopt_epoch: epoch=%u start=%llu (was standby=%d)",
              config_.me, msg.epoch,
              static_cast<unsigned long long>(msg.start_index),
              active_ ? 0 : 1);
@@ -1109,6 +1380,8 @@ void LiveNode::adopt_epoch(const EpochAnnounceMsg& msg) {
   // for the new epoch creates engines on demand.
   if (!membership_running_ && current_ < config_.instances) {
     start_instance(std::max(current_, decision_floor()));
+    const common::MutexLock lock(decisions_mutex_);
+    if (reconfig_.resume_ms < 0) reconfig_.resume_ms = ms_since_start();
   }
   // Stale stashed membership frames of the superseded epochs drain
   // away here (route_engine now drops them); anything for the adopted
@@ -1249,7 +1522,7 @@ void LiveNode::resync_tick() {
     // queueing one per tick at a dead peer grows the transport buffer
     // without bound (the peer gets a current one next tick anyway).
     if (!transport_.connected(member)) continue;
-    transport_.send(member, BytesView(status.data(), status.size()));
+    send_counted(member, BytesView(status.data(), status.size()));
     // A member that has never reported under the current epoch may have
     // lost the announce burst (a passive standby sends nothing until it
     // activates, so there is no status to react to): keep re-announcing
@@ -1269,7 +1542,8 @@ void LiveNode::resync_tick() {
   // are verbatim, restarts included) and anything not yet pruned is
   // replayed; recovering already-pruned history is a state-snapshot
   // concern, not a frame-resend one.
-  if (reconfig_trace_enabled() && resync_ticks_ % 40 == 0) {
+  if (obs::log_enabled(obs::LogSubsys::kReconfig, obs::LogLevel::kDebug) &&
+      resync_ticks_ % 40 == 0) {
     const InstanceId f = decision_floor();
     const auto it = engines_.find(f);
     if (it != engines_.end()) {
@@ -1278,7 +1552,7 @@ void LiveNode::resync_tick() {
         const auto d = it->second->slot_debug(slot);
         ZLB_RTRACE(
             "[%u] k=%llu e=%u slot=%u payl=%zu ech=%zu rdy=%zu deli=%d "
-            "start=%d dec=%d val=%u rnd=%u est0=%zu est1=%zu aux=%zu\n",
+            "start=%d dec=%d val=%u rnd=%u est0=%zu est1=%zu aux=%zu",
             config_.me, static_cast<unsigned long long>(f),
             it->second->epoch(), slot, d.payloads, d.echoes, d.readies,
             d.delivered ? 1 : 0, d.started ? 1 : 0, d.decided ? 1 : 0,
@@ -1416,7 +1690,7 @@ void LiveNode::handle_resync_status(ReplicaId from, std::uint32_t peer_epoch,
   constexpr int kReplayCooldownTicks = 4;
   if (resync_ticks_ - ps.replay_tick < kReplayCooldownTicks) return;
   ps.replay_tick = resync_ticks_;
-  ZLB_RTRACE("[%u] replaying window [%llu,+4) to %u (peer epoch %u)\n",
+  ZLB_RTRACE("[%u] replaying window [%llu,+4) to %u (peer epoch %u)",
              config_.me, static_cast<unsigned long long>(peer_floor), from,
              peer_epoch);
   // Replay our outbound wire for the window the peer is stuck on. The
@@ -1429,13 +1703,13 @@ void LiveNode::handle_resync_status(ReplicaId from, std::uint32_t peer_epoch,
     const auto it = engines_.find(k);
     if (it == engines_.end()) continue;
     for (const Bytes& wire : it->second->wire_log()) {
-      transport_.send(from, BytesView(wire.data(), wire.size()));
+      send_counted(from, BytesView(wire.data(), wire.size()));
     }
     // Forward held proposals too (signed by their proposers): after an
     // exclusion, the peer may be missing exactly the coalition's
     // payload, which no honest node's own wire log can resend.
     for (const Bytes& wire : it->second->known_proposals()) {
-      transport_.send(from, BytesView(wire.data(), wire.size()));
+      send_counted(from, BytesView(wire.data(), wire.size()));
     }
   }
   // A stalled peer may be stuck on the membership change itself, not a
@@ -1446,10 +1720,10 @@ void LiveNode::handle_resync_status(ReplicaId from, std::uint32_t peer_epoch,
   for (const auto& [key, engine] : member_engines_) {
     if (key.epoch != peer_epoch) continue;
     for (const Bytes& wire : engine->wire_log()) {
-      transport_.send(from, BytesView(wire.data(), wire.size()));
+      send_counted(from, BytesView(wire.data(), wire.size()));
     }
     for (const Bytes& wire : engine->known_proposals()) {
-      transport_.send(from, BytesView(wire.data(), wire.size()));
+      send_counted(from, BytesView(wire.data(), wire.size()));
     }
   }
 }
@@ -1468,7 +1742,7 @@ void LiveNode::send_manifest(ReplicaId to) {
   const Bytes sb = m.signing_bytes();
   m.signature = scheme_->sign(config_.me, BytesView(sb.data(), sb.size()));
   const Bytes msg = sync::encode_manifest_msg(m);
-  transport_.send(to, BytesView(msg.data(), msg.size()));
+  send_counted(to, BytesView(msg.data(), msg.size()));
   const common::MutexLock lock(decisions_mutex_);
   ++sync_stats_.manifests_sent;
 }
@@ -1502,7 +1776,7 @@ void LiveNode::serve_chunks(ReplicaId to, const sync::ChunkRequest& req) {
     chunk.data.assign(view.begin(), view.end());
     chunk.proof = img->tree.proof(i);
     const Bytes msg = sync::encode_chunk_msg(chunk);
-    transport_.send(to, BytesView(msg.data(), msg.size()));
+    send_counted(to, BytesView(msg.data(), msg.size()));
   }
   if (end > first) {
     const common::MutexLock lock(decisions_mutex_);
@@ -1524,6 +1798,7 @@ void LiveNode::settle_below(InstanceId upto) {
         // Our drained batch never decided here; if the settled history
         // did not commit it either, it must go back into the queue.
         requeue_proposed(k);
+        tracer_->abandon(it->second->epoch(), k);
       }
       engines_.erase(it);
     } else {
@@ -1564,7 +1839,7 @@ void LiveNode::install_snapshot_bytes(const Bytes& bytes) {
   if (ckpt_ != nullptr) {
     (void)ckpt_->adopt(snap.upto, bytes, epoch_of(snap.upto).value_or(epoch_));
   }
-  ZLB_RTRACE("[%u] snapshot installed upto=%llu\n", config_.me,
+  ZLB_RTRACE("[%u] snapshot installed upto=%llu", config_.me,
              static_cast<unsigned long long>(snap.upto));
   settle_below(snap.upto);
   // Instances decided out of order beyond the watermark were committed
@@ -1582,6 +1857,11 @@ void LiveNode::install_snapshot_bytes(const Bytes& bytes) {
 
 void LiveNode::on_frame(ReplicaId from, BytesView data) {
   if (data.empty()) return;
+  if (!draining_stash_) {  // stash replays were counted at arrival
+    const std::size_t kind = data[0] < kMsgKinds ? data[0] : 0;
+    rx_frames_[kind]->inc();
+    rx_bytes_[kind]->inc(data.size());
+  }
   try {
     Reader r(data.subspan(1));
     switch (static_cast<MsgTag>(data[0])) {

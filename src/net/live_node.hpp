@@ -39,10 +39,14 @@
 #include "net/client_gateway.hpp"
 #include "net/event_loop.hpp"
 #include "net/transport.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sync/checkpoint.hpp"
 #include "sync/fetcher.hpp"
 
 namespace zlb::net {
+
+class MetricsServer;
 
 struct LiveNodeConfig {
   ReplicaId me = 0;
@@ -125,9 +129,15 @@ struct LiveNodeConfig {
   std::size_t down_link_buffer_bytes = 1u << 20;
   /// Transactions drained into one proposed block.
   std::size_t max_block_txs = 4096;
-  /// Wall-clock source for resync-status freshness stamps. Null = the
-  /// real system clock; deterministic harnesses inject a ManualClock.
+  /// Wall-clock source for resync-status freshness stamps and all
+  /// lifecycle-span / duration metrics. Null = the real system clock;
+  /// deterministic harnesses inject a ManualClock.
   const common::Clock* clock = nullptr;
+  /// Serve Prometheus/JSON metrics over HTTP on this loopback port
+  /// (0 = ephemeral; see LiveNode::metrics_port() for the bound one).
+  /// nullopt = no metrics listener; the registry still populates and
+  /// harnesses read it in-process through LiveNode::metrics().
+  std::optional<std::uint16_t> metrics_port;
 };
 
 /// One decided instance as seen by a node.
@@ -170,6 +180,7 @@ struct LiveDecision {
 class LiveNode {
  public:
   explicit LiveNode(LiveNodeConfig config);
+  ~LiveNode();  // out-of-line: MetricsServer is forward-declared
 
   [[nodiscard]] ReplicaId id() const { return config_.me; }
   [[nodiscard]] std::uint16_t port() const { return transport_.local_port(); }
@@ -201,13 +212,23 @@ class LiveNode {
   [[nodiscard]] std::uint64_t decided_count() const {
     return decided_count_.load();
   }
-  /// NOT thread-safe: the counters behind this reference are mutated by
-  /// the loop thread without synchronization. Read it only before run()
-  /// starts or after run() returned (i.e. post-join) — mid-run
-  /// observability goes through the atomic/locked accessors below.
-  [[nodiscard]] const TransportStats& transport_stats() const {
+  /// Thread-safe: a snapshot assembled from the transport's relaxed
+  /// atomic counters — valid mid-run, not just post-join.
+  [[nodiscard]] TransportStats transport_stats() const {
     return transport_.stats();
   }
+
+  /// The node's metrics registry (counters/gauges/histograms across
+  /// every layer; see README "Observability" for the catalogue).
+  /// Registration is thread-safe; pull-callback series that read
+  /// loop-thread state must only be *rendered* on the loop thread
+  /// (the metrics server does) or after run() returned.
+  [[nodiscard]] obs::Registry& metrics() { return metrics_; }
+  [[nodiscard]] const obs::Registry& metrics() const { return metrics_; }
+  /// Lifecycle spans per (epoch, instance); always recording.
+  [[nodiscard]] const obs::InstanceTracer& tracer() const { return *tracer_; }
+  /// Bound metrics listener port (0 = no listener configured/bound).
+  [[nodiscard]] std::uint16_t metrics_port() const;
 
   /// Thread-safe: the node's current membership generation.
   [[nodiscard]] std::uint32_t epoch() const { return epoch_atomic_.load(); }
@@ -229,6 +250,7 @@ class LiveNode {
     std::int64_t detect_ms = -1;   ///< fd culprits proven
     std::int64_t exclude_ms = -1;  ///< exclusion consensus decided
     std::int64_t include_ms = -1;  ///< inclusion decided, epoch bumped
+    std::int64_t resume_ms = -1;   ///< regular pipeline restarted
   };
   [[nodiscard]] ReconfigStats reconfig_stats() const
       EXCLUDES(decisions_mutex_);
@@ -365,10 +387,40 @@ class LiveNode {
   void drain_membership_stash() EXCLUDES(decisions_mutex_);
   [[nodiscard]] std::int64_t ms_since_start() const;
 
+  // --- observability -------------------------------------------------
+  /// Registers the pull-callback metric catalogue (transport, mempool,
+  /// sync, reconfig, queue depths) and creates the tracer. Constructor
+  /// tail; split out for readability only.
+  void register_metrics();
+  /// Counted transport send: attributes frames/bytes to the message
+  /// kind (payload tag byte) before handing off to the transport.
+  void send_counted(ReplicaId to, BytesView data);
+  /// The injected clock or the system clock (never null).
+  [[nodiscard]] const common::Clock& obs_clock() const;
+
   LiveNodeConfig config_;
   EventLoop loop_;
   TcpTransport transport_;
   std::unique_ptr<crypto::SignatureScheme> scheme_;
+
+  /// Per-node metric registry + instance-lifecycle tracer. Declared
+  /// before anything that might record into them; destroyed after.
+  obs::Registry metrics_;
+  std::unique_ptr<obs::InstanceTracer> tracer_;
+  std::unique_ptr<MetricsServer> metrics_server_;
+  /// Per-message-kind frame/byte counters, indexed by the payload tag
+  /// byte (MsgTag); [0] collects unknown tags. Cached so the hot path
+  /// is one relaxed fetch-add, not a registry lookup.
+  static constexpr std::size_t kMsgKinds = 16;
+  std::array<obs::Counter*, kMsgKinds> rx_frames_{};
+  std::array<obs::Counter*, kMsgKinds> rx_bytes_{};
+  std::array<obs::Counter*, kMsgKinds> tx_frames_{};
+  std::array<obs::Counter*, kMsgKinds> tx_bytes_{};
+  obs::Counter* rounds_total_ = nullptr;
+  obs::Counter* mempool_rejects_dup_ = nullptr;
+  obs::Counter* mempool_rejects_committed_ = nullptr;
+  obs::Counter* mempool_rejects_full_ = nullptr;
+  obs::Histogram* checkpoint_seconds_ = nullptr;
 
   // --- epoch state ---------------------------------------------------
   std::uint32_t epoch_ = 0;

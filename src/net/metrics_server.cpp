@@ -1,0 +1,147 @@
+#include "net/metrics_server.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "obs/expo.hpp"
+
+namespace zlb::net {
+
+namespace {
+
+constexpr std::size_t kMaxRequestBytes = 8192;
+
+/// First line of an HTTP request: "GET <path> HTTP/1.x". Returns the
+/// path, or empty on anything else (only GET is served).
+std::string request_path(const Bytes& in, std::size_t line_end) {
+  const std::string line(in.begin(),
+                         in.begin() + static_cast<std::ptrdiff_t>(line_end));
+  if (line.rfind("GET ", 0) != 0) return {};
+  const std::size_t path_end = line.find(' ', 4);
+  if (path_end == std::string::npos) return {};
+  return line.substr(4, path_end - 4);
+}
+
+Bytes http_response(const char* status, const char* content_type,
+                    const std::string& body) {
+  std::string head;
+  head += "HTTP/1.0 ";
+  head += status;
+  head += "\r\nContent-Type: ";
+  head += content_type;
+  head += "\r\nContent-Length: ";
+  head += std::to_string(body.size());
+  head += "\r\nConnection: close\r\n\r\n";
+  Bytes out;
+  out.reserve(head.size() + body.size());
+  out.insert(out.end(), head.begin(), head.end());
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+}  // namespace
+
+MetricsServer::MetricsServer(EventLoop& loop, const obs::Registry& registry,
+                             std::uint16_t port)
+    : loop_(loop), registry_(registry) {
+  auto bound = listen_loopback(port);
+  if (!bound) return;
+  listener_ = std::move(bound->first);
+  port_ = bound->second;
+  loop_.watch(listener_.get(), Interest{true, false},
+              [this](bool readable, bool) {
+                if (readable) on_listener_ready();
+              });
+}
+
+MetricsServer::~MetricsServer() {
+  if (listener_.valid()) loop_.unwatch(listener_.get());
+  for (auto& [fd, conn] : conns_) loop_.unwatch(fd);
+}
+
+void MetricsServer::on_listener_ready() {
+  for (;;) {
+    auto fd = accept_connection(listener_);
+    if (!fd) return;
+    const int raw = fd->get();
+    conns_.emplace(raw, Conn{std::move(*fd), {}, {}, 0, false});
+    loop_.watch(raw, Interest{true, false},
+                [this, raw](bool readable, bool writable) {
+                  on_conn_event(raw, readable, writable);
+                });
+  }
+}
+
+bool MetricsServer::try_respond(Conn& conn) {
+  // Headers complete at the first blank line; scrapers send tiny
+  // requests, so no incremental parse is needed.
+  const auto it = std::search(conn.in.begin(), conn.in.end(),
+                              reinterpret_cast<const std::uint8_t*>("\r\n\r\n"),
+                              reinterpret_cast<const std::uint8_t*>("\r\n\r\n") +
+                                  4);
+  if (it == conn.in.end()) return conn.in.size() >= kMaxRequestBytes;
+  const auto line_end =
+      std::search(conn.in.begin(), conn.in.end(),
+                  reinterpret_cast<const std::uint8_t*>("\r\n"),
+                  reinterpret_cast<const std::uint8_t*>("\r\n") + 2);
+  const std::string path = request_path(
+      conn.in, static_cast<std::size_t>(line_end - conn.in.begin()));
+  if (path == "/metrics" || path == "/") {
+    conn.out = http_response("200 OK", "text/plain; version=0.0.4",
+                             obs::render_prometheus(registry_));
+  } else if (path == "/metrics.json" || path == "/json") {
+    conn.out = http_response("200 OK", "application/json",
+                             obs::render_json(registry_));
+  } else if (path.empty()) {
+    conn.out = http_response("405 Method Not Allowed", "text/plain",
+                             "only GET is served\n");
+  } else {
+    conn.out = http_response("404 Not Found", "text/plain",
+                             "try /metrics or /metrics.json\n");
+  }
+  served_ += 1;
+  conn.responding = true;
+  return true;
+}
+
+void MetricsServer::on_conn_event(int fd, bool readable, bool writable) {
+  const auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  Conn& conn = it->second;
+
+  if (readable && !conn.responding) {
+    const IoStatus status = read_available(conn.fd, conn.in);
+    if (status == IoStatus::kClosed || status == IoStatus::kError) {
+      drop(fd);
+      return;
+    }
+    if (try_respond(conn) && conn.out.empty()) {
+      // Oversized garbage before the header terminator: not HTTP.
+      drop(fd);
+      return;
+    }
+  }
+
+  if (conn.responding && (writable || conn.out_offset < conn.out.size())) {
+    const IoStatus status = write_some(conn.fd, conn.out, conn.out_offset);
+    if (status == IoStatus::kError) {
+      drop(fd);
+      return;
+    }
+    if (conn.out_offset == conn.out.size()) {
+      // One request per connection (Connection: close).
+      drop(fd);
+      return;
+    }
+  }
+  loop_.set_interest(conn.fd.get(),
+                     Interest{!conn.responding,
+                              conn.out_offset < conn.out.size()});
+}
+
+void MetricsServer::drop(int fd) {
+  loop_.unwatch(fd);
+  conns_.erase(fd);
+}
+
+}  // namespace zlb::net

@@ -1,0 +1,61 @@
+// Minimal HTTP/1.0 metrics responder riding the node's own event loop:
+// no extra thread, no HTTP library — the server accepts a connection,
+// reads until the header terminator, renders the registry snapshot and
+// writes the response through the same non-blocking socket helpers the
+// transport uses. Two endpoints:
+//
+//   GET /metrics        Prometheus text exposition (v0.0.4)
+//   GET /metrics.json   JSON snapshot (same series, machine-friendly)
+//
+// Rendering happens on the loop thread, so registry callbacks that
+// read loop-thread-affine state (queue depths, mempool occupancy) are
+// safe without extra locking.
+#pragma once
+
+#include <unordered_map>
+
+#include "net/event_loop.hpp"
+#include "net/socket.hpp"
+#include "obs/metrics.hpp"
+
+namespace zlb::net {
+
+class MetricsServer {
+ public:
+  /// Binds 127.0.0.1:`port` immediately (0 = ephemeral; the actual
+  /// port is local_port()). The registry must outlive the server.
+  MetricsServer(EventLoop& loop, const obs::Registry& registry,
+                std::uint16_t port);
+  ~MetricsServer();
+
+  MetricsServer(const MetricsServer&) = delete;
+  MetricsServer& operator=(const MetricsServer&) = delete;
+
+  [[nodiscard]] bool listening() const { return listener_.valid(); }
+  [[nodiscard]] std::uint16_t local_port() const { return port_; }
+  [[nodiscard]] std::uint64_t requests_served() const { return served_; }
+
+ private:
+  struct Conn {
+    Fd fd;
+    Bytes in;
+    Bytes out;
+    std::size_t out_offset = 0;
+    bool responding = false;  ///< request parsed, draining the reply
+  };
+
+  void on_listener_ready();
+  void on_conn_event(int fd, bool readable, bool writable);
+  /// True once the request line + headers are complete; fills conn.out.
+  bool try_respond(Conn& conn);
+  void drop(int fd);
+
+  EventLoop& loop_;
+  const obs::Registry& registry_;
+  Fd listener_;
+  std::uint16_t port_ = 0;
+  std::unordered_map<int, Conn> conns_;
+  std::uint64_t served_ = 0;
+};
+
+}  // namespace zlb::net

@@ -99,7 +99,7 @@ void TcpTransport::trim_down_link(Link& link) {
   while (link.frame_ends.size() > 1 && link.outbuf.size() - cut > low_water) {
     cut = link.frame_ends.front();
     link.frame_ends.pop_front();
-    stats_.frames_dropped += 1;
+    stats_.frames_dropped.fetch_add(1, std::memory_order_relaxed);
   }
   if (cut > 0) {
     link.outbuf.erase(link.outbuf.begin(),
@@ -144,6 +144,11 @@ void TcpTransport::begin_connect(ReplicaId peer) {
   if (it == config_.peers.end()) return;
   Link& link = links_[peer];  // keeps any queued frames
   link.initiated = true;
+  if (link.attempts > 0) {
+    // Not the first try of this streak: the link dropped (or never
+    // came up) and we are dialing again.
+    stats_.reconnects.fetch_add(1, std::memory_order_relaxed);
+  }
   link.attempts += 1;
   link.decoder = FrameDecoder{};
   link.hello_received = false;
@@ -229,7 +234,7 @@ void TcpTransport::on_pending_readable(int fd) {
   // valid HELLO, or a suspiciously long prefix with no frame at all.
   if (!ok || (saw_frame && !claimed) ||
       (!saw_frame && it->second.decoder.pending_bytes() > 64)) {
-    stats_.handshake_failures += 1;
+    stats_.handshake_failures.fetch_add(1, std::memory_order_relaxed);
     loop_.unwatch(fd);
     pending_.erase(it);
     return;
@@ -244,7 +249,7 @@ void TcpTransport::on_pending_readable(int fd) {
                           existing->second.fd.valid() &&
                           existing->second.state == LinkState::kUp;
   if (config_.peers.count(peer) == 0 || peer <= config_.me || already_up) {
-    stats_.handshake_failures += 1;
+    stats_.handshake_failures.fetch_add(1, std::memory_order_relaxed);
     loop_.unwatch(fd);
     pending_.erase(it);
     return;
@@ -276,7 +281,7 @@ void TcpTransport::adopt_pending(int fd, ReplicaId peer,
     FrameDecoder replay;
     replay.feed(BytesView(buffered_frames.data(), buffered_frames.size()),
                 [&](BytesView payload) {
-                  stats_.frames_received += 1;
+                  stats_.frames_received.fetch_add(1, std::memory_order_relaxed);
                   if (handler_) handler_(peer, payload);
                 });
   }
@@ -310,7 +315,7 @@ void TcpTransport::on_link_event(ReplicaId peer, bool readable, bool writable) {
       drop_link(peer, true);
       return;
     }
-    stats_.bytes_received += chunk.size();
+    stats_.bytes_received.fetch_add(chunk.size(), std::memory_order_relaxed);
     bool bad_hello = false;
     link.in_feed = true;
     const bool ok = link.decoder.feed(
@@ -325,7 +330,7 @@ void TcpTransport::on_link_event(ReplicaId peer, bool readable, bool writable) {
             link.hello_received = true;
             return;
           }
-          stats_.frames_received += 1;
+          stats_.frames_received.fetch_add(1, std::memory_order_relaxed);
           if (handler_) handler_(peer, payload);
         });
     link.in_feed = false;
@@ -336,7 +341,7 @@ void TcpTransport::on_link_event(ReplicaId peer, bool readable, bool writable) {
       return;
     }
     if (!ok || bad_hello) {
-      if (bad_hello) stats_.handshake_failures += 1;
+      if (bad_hello) stats_.handshake_failures.fetch_add(1, std::memory_order_relaxed);
       drop_link(peer, true);
       return;
     }
@@ -351,7 +356,7 @@ void TcpTransport::flush(ReplicaId peer, Link& link) {
     return;
   }
   if (link.out_offset == link.outbuf.size()) {
-    stats_.bytes_sent += link.outbuf.size();
+    stats_.bytes_sent.fetch_add(link.outbuf.size(), std::memory_order_relaxed);
     link.outbuf.clear();
     link.frame_ends.clear();
     link.out_offset = 0;
@@ -393,7 +398,7 @@ void TcpTransport::drop_link(ReplicaId peer, bool reconnect) {
   if (link.fd.valid()) {
     loop_.unwatch(link.fd.get());
     link.fd.reset();
-    stats_.connections_dropped += 1;
+    stats_.connections_dropped.fetch_add(1, std::memory_order_relaxed);
   }
   link.state = LinkState::kConnecting;
   if (link.in_feed) {
@@ -415,16 +420,16 @@ void TcpTransport::send(ReplicaId to, BytesView payload) {
     // its own handler mid-broadcast.
     Bytes copy(payload.begin(), payload.end());
     loop_.schedule(Duration::zero(), [this, copy = std::move(copy)]() {
-      stats_.frames_received += 1;
+      stats_.frames_received.fetch_add(1, std::memory_order_relaxed);
       if (handler_) handler_(config_.me, BytesView(copy.data(), copy.size()));
     });
-    stats_.frames_sent += 1;
+    stats_.frames_sent.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   if (config_.peers.count(to) == 0) return;
   Link& link = links_[to];  // may create a queue-only link (pre-start)
   enqueue_frame(link, payload);
-  stats_.frames_sent += 1;
+  stats_.frames_sent.fetch_add(1, std::memory_order_relaxed);
   if (link.fd.valid() && link.state == LinkState::kUp) {
     flush(to, link);
     const auto it = links_.find(to);
@@ -461,6 +466,14 @@ std::size_t TcpTransport::connected_count() const {
     if (link.fd.valid() && link.state == LinkState::kUp) ++count;
   }
   return count;
+}
+
+std::size_t TcpTransport::queued_bytes() const {
+  std::size_t total = 0;
+  for (const auto& [peer, link] : links_) {
+    total += link.outbuf.size() - link.out_offset;
+  }
+  return total;
 }
 
 }  // namespace zlb::net

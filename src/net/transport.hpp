@@ -10,6 +10,7 @@
 // frames, or a HELLO claiming an unexpected id all drop the connection.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -47,6 +48,8 @@ struct TransportConfig {
   std::size_t down_link_buffer_bytes = 1u << 20;
 };
 
+/// Plain-value snapshot of the transport's counters (see
+/// TcpTransport::stats()). Safe to hold and compare across time.
 struct TransportStats {
   std::uint64_t frames_sent = 0;
   std::uint64_t frames_received = 0;
@@ -57,6 +60,37 @@ struct TransportStats {
   /// Frames dropped from a down link's bounded queue (see
   /// TransportConfig::down_link_buffer_bytes).
   std::uint64_t frames_dropped = 0;
+  /// Outbound connection (re)attempts after the initial start().
+  std::uint64_t reconnects = 0;
+};
+
+/// The transport's live counters: written on the loop thread with
+/// relaxed atomics, readable as a consistent-enough snapshot from any
+/// thread while the loop runs (each counter is monotonic; a reader
+/// may see counter A from slightly before counter B, never torn
+/// values).
+struct AtomicTransportStats {
+  std::atomic<std::uint64_t> frames_sent{0};
+  std::atomic<std::uint64_t> frames_received{0};
+  std::atomic<std::uint64_t> bytes_sent{0};
+  std::atomic<std::uint64_t> bytes_received{0};
+  std::atomic<std::uint64_t> connections_dropped{0};
+  std::atomic<std::uint64_t> handshake_failures{0};
+  std::atomic<std::uint64_t> frames_dropped{0};
+  std::atomic<std::uint64_t> reconnects{0};
+
+  [[nodiscard]] TransportStats snapshot() const {
+    TransportStats s;
+    s.frames_sent = frames_sent.load(std::memory_order_relaxed);
+    s.frames_received = frames_received.load(std::memory_order_relaxed);
+    s.bytes_sent = bytes_sent.load(std::memory_order_relaxed);
+    s.bytes_received = bytes_received.load(std::memory_order_relaxed);
+    s.connections_dropped = connections_dropped.load(std::memory_order_relaxed);
+    s.handshake_failures = handshake_failures.load(std::memory_order_relaxed);
+    s.frames_dropped = frames_dropped.load(std::memory_order_relaxed);
+    s.reconnects = reconnects.load(std::memory_order_relaxed);
+    return s;
+  }
 };
 
 class TcpTransport {
@@ -103,7 +137,12 @@ class TcpTransport {
 
   [[nodiscard]] bool connected(ReplicaId peer) const;
   [[nodiscard]] std::size_t connected_count() const;
-  [[nodiscard]] const TransportStats& stats() const { return stats_; }
+  /// Atomic snapshot of the counters — safe from any thread while the
+  /// loop runs.
+  [[nodiscard]] TransportStats stats() const { return stats_.snapshot(); }
+  /// Bytes queued across all links' output buffers (loop thread only:
+  /// walks the link table).
+  [[nodiscard]] std::size_t queued_bytes() const;
 
   /// Fault injection (tests): severs every established and pending
   /// connection as if the wire reset. With `discard_queued`, frames
@@ -167,7 +206,7 @@ class TcpTransport {
   bool started_ = false;
   std::map<ReplicaId, Link> links_;
   std::unordered_map<int, Pending> pending_;
-  TransportStats stats_;
+  AtomicTransportStats stats_;
 };
 
 }  // namespace zlb::net

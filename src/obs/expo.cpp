@@ -1,0 +1,174 @@
+#include "obs/expo.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace zlb::obs {
+
+namespace {
+
+const char* kind_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+/// Shortest round-trip-safe double; Prometheus and JSON share it.
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // Prefer the shorter %g form when it round-trips exactly.
+  char shorter[64];
+  std::snprintf(shorter, sizeof(shorter), "%g", v);
+  double back = 0.0;
+  if (std::sscanf(shorter, "%lf", &back) == 1 && back == v) {
+    return shorter;
+  }
+  return buf;
+}
+
+std::string escape(const std::string& s, bool json) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default:
+        if (json && static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string prom_labels(const LabelSet& labels, const std::string& extra_key,
+                        const std::string& extra_val) {
+  if (labels.empty() && extra_key.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += k + "=\"" + escape(v, /*json=*/false) + "\"";
+  }
+  if (!extra_key.empty()) {
+    if (!first) out.push_back(',');
+    out += extra_key + "=\"" + extra_val + "\"";
+  }
+  out.push_back('}');
+  return out;
+}
+
+}  // namespace
+
+std::string render_prometheus(const Registry& reg) {
+  std::string out;
+  std::string last_family;
+  char buf[128];
+  for (const Sample& s : reg.samples()) {
+    if (s.name != last_family) {
+      out += "# HELP " + s.name + " " + escape(s.help, /*json=*/false) + "\n";
+      out += "# TYPE " + s.name + " " + kind_name(s.kind) + "\n";
+      last_family = s.name;
+    }
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", s.counter_value);
+        out += s.name + prom_labels(s.labels, "", "") + buf;
+        break;
+      case MetricKind::kGauge:
+        std::snprintf(buf, sizeof(buf), " %" PRId64 "\n", s.gauge_value);
+        out += s.name + prom_labels(s.labels, "", "") + buf;
+        break;
+      case MetricKind::kHistogram: {
+        std::uint64_t cum = 0;
+        for (std::size_t i = 0; i < s.hist.buckets.size(); ++i) {
+          if (s.hist.buckets[i] == 0) continue;
+          cum += s.hist.buckets[i];
+          const double le =
+              static_cast<double>(HistogramSnapshot::bucket_upper(i)) * s.scale;
+          std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", cum);
+          out += s.name + "_bucket" +
+                 prom_labels(s.labels, "le", fmt_double(le)) + buf;
+        }
+        std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", s.hist.count);
+        out += s.name + "_bucket" + prom_labels(s.labels, "le", "+Inf") + buf;
+        out += s.name + "_sum" + prom_labels(s.labels, "", "") + " " +
+               fmt_double(static_cast<double>(s.hist.sum) * s.scale) + "\n";
+        std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", s.hist.count);
+        out += s.name + "_count" + prom_labels(s.labels, "", "") + buf;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string render_json(const Registry& reg) {
+  std::string out = "{\"metrics\":[";
+  char buf[128];
+  bool first_metric = true;
+  for (const Sample& s : reg.samples()) {
+    if (!first_metric) out.push_back(',');
+    first_metric = false;
+    out += "{\"name\":\"" + escape(s.name, true) + "\",\"type\":\"";
+    out += kind_name(s.kind);
+    out += "\",\"labels\":{";
+    bool first_label = true;
+    for (const auto& [k, v] : s.labels) {
+      if (!first_label) out.push_back(',');
+      first_label = false;
+      out += "\"" + escape(k, true) + "\":\"" + escape(v, true) + "\"";
+    }
+    out += "}";
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        std::snprintf(buf, sizeof(buf), ",\"value\":%" PRIu64, s.counter_value);
+        out += buf;
+        break;
+      case MetricKind::kGauge:
+        std::snprintf(buf, sizeof(buf), ",\"value\":%" PRId64, s.gauge_value);
+        out += buf;
+        break;
+      case MetricKind::kHistogram: {
+        std::snprintf(buf, sizeof(buf), ",\"count\":%" PRIu64, s.hist.count);
+        out += buf;
+        out += ",\"sum\":" + fmt_double(static_cast<double>(s.hist.sum) * s.scale);
+        out += ",\"buckets\":[";
+        std::uint64_t cum = 0;
+        bool first_bucket = true;
+        for (std::size_t i = 0; i < s.hist.buckets.size(); ++i) {
+          if (s.hist.buckets[i] == 0) continue;
+          cum += s.hist.buckets[i];
+          if (!first_bucket) out.push_back(',');
+          first_bucket = false;
+          const double le =
+              static_cast<double>(HistogramSnapshot::bucket_upper(i)) * s.scale;
+          std::snprintf(buf, sizeof(buf), "[%s,%" PRIu64 "]",
+                        fmt_double(le).c_str(), cum);
+          out += buf;
+        }
+        out += "]";
+        out += ",\"p50\":" + fmt_double(s.hist.quantile(0.50) * s.scale);
+        out += ",\"p90\":" + fmt_double(s.hist.quantile(0.90) * s.scale);
+        out += ",\"p99\":" + fmt_double(s.hist.quantile(0.99) * s.scale);
+        break;
+      }
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace zlb::obs

@@ -1,0 +1,22 @@
+// Exposition formats over a Registry snapshot: Prometheus text
+// (served by `zlb_node --metrics-port`) and a JSON snapshot (what
+// bench_util and the CI smoke archive), both deterministic — same
+// registry state renders to the same bytes.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace zlb::obs {
+
+/// Prometheus text format v0.0.4: `# HELP` / `# TYPE` per family,
+/// histograms as cumulative `_bucket{le=...}` plus `_sum`/`_count`.
+[[nodiscard]] std::string render_prometheus(const Registry& reg);
+
+/// JSON object: {"metrics":[{name,type,labels,...}, ...]}. Histograms
+/// carry count/sum plus cumulative [le, count] bucket pairs and p50/
+/// p90/p99 estimates so bench archives are self-contained.
+[[nodiscard]] std::string render_json(const Registry& reg);
+
+}  // namespace zlb::obs

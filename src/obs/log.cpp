@@ -1,0 +1,108 @@
+#include "obs/log.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace zlb::obs {
+
+namespace {
+
+constexpr std::size_t kSubsysCount =
+    static_cast<std::size_t>(LogSubsys::kCount_);
+
+const char* const kSubsysNames[kSubsysCount] = {
+    "reconfig", "transport", "sync", "consensus", "node", "obs",
+};
+
+const char* const kLevelNames[] = {"error", "warn", "info", "debug", "trace"};
+
+bool parse_level(const std::string& token, LogLevel* out) {
+  for (std::size_t i = 0; i < 5; ++i) {
+    if (token == kLevelNames[i]) {
+      *out = static_cast<LogLevel>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+struct LogConfig {
+  LogLevel levels[kSubsysCount];
+
+  LogConfig() {
+    for (auto& l : levels) l = LogLevel::kWarn;
+    const char* env = std::getenv("ZLB_LOG");
+    if (env != nullptr) {
+      const std::string spec(env);
+      std::size_t pos = 0;
+      while (pos <= spec.size()) {
+        const std::size_t comma = spec.find(',', pos);
+        const std::string token = spec.substr(
+            pos, comma == std::string::npos ? std::string::npos : comma - pos);
+        apply(token);
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+    }
+    // Legacy alias from before the structured logger existed.
+    const char* legacy = std::getenv("ZLB_DEBUG_RECONFIG");
+    if (legacy != nullptr && legacy[0] == '1') {
+      auto& level = levels[static_cast<std::size_t>(LogSubsys::kReconfig)];
+      if (level < LogLevel::kDebug) level = LogLevel::kDebug;
+    }
+  }
+
+  void apply(const std::string& token) {
+    if (token.empty()) return;
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      LogLevel level;
+      if (parse_level(token, &level)) {
+        for (auto& l : levels) l = level;
+      }
+      return;
+    }
+    const std::string name = token.substr(0, eq);
+    LogLevel level;
+    if (!parse_level(token.substr(eq + 1), &level)) return;
+    for (std::size_t i = 0; i < kSubsysCount; ++i) {
+      if (name == kSubsysNames[i]) {
+        levels[i] = level;
+        return;
+      }
+    }
+  }
+};
+
+const LogConfig& config() {
+  static const LogConfig cfg;
+  return cfg;
+}
+
+}  // namespace
+
+bool log_enabled(LogSubsys subsys, LogLevel level) {
+  const auto idx = static_cast<std::size_t>(subsys);
+  if (idx >= kSubsysCount) return false;
+  return level <= config().levels[idx];
+}
+
+void log_write(LogSubsys subsys, LogLevel level, const char* fmt, ...) {
+  const auto sub_idx = static_cast<std::size_t>(subsys);
+  const auto lvl_idx = static_cast<std::size_t>(level);
+  char line[1024];
+  std::va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(line, sizeof(line), fmt, args);
+  va_end(args);
+  // One fprintf per line so concurrent writers interleave at line
+  // granularity (stderr is unbuffered/line-buffered either way).
+  std::fprintf(stderr, "[%s][%s] %s\n",
+               lvl_idx < 5 ? kLevelNames[lvl_idx] : "?",
+               sub_idx < kSubsysCount ? kSubsysNames[sub_idx] : "?", line);
+}
+
+}  // namespace zlb::obs

@@ -1,0 +1,67 @@
+// Structured leveled logging to stderr, gated per subsystem.
+//
+// Configuration comes from the ZLB_LOG environment variable, parsed
+// once at first use:
+//
+//   ZLB_LOG=debug                    every subsystem at debug
+//   ZLB_LOG=info,reconfig=debug      default info, reconfig at debug
+//   ZLB_LOG=warn,sync=trace
+//
+// Levels: error < warn < info < debug < trace; the default is warn,
+// so a node is silent in normal operation (errors/warnings are rare
+// by construction). ZLB_DEBUG_RECONFIG=1 is honoured as a legacy
+// alias for `reconfig=debug`.
+//
+// Lines are printf-formatted with a fixed `[level][subsystem]`
+// prefix and no timestamp: time would have to flow through the clock
+// seam to stay deterministic, and the consumers (operators tailing
+// stderr, CI logs) already timestamp externally.
+#pragma once
+
+#include <cstdint>
+
+namespace zlb::obs {
+
+enum class LogLevel : std::uint8_t {
+  kError = 0,
+  kWarn = 1,
+  kInfo = 2,
+  kDebug = 3,
+  kTrace = 4,
+};
+
+enum class LogSubsys : std::uint8_t {
+  kReconfig = 0,
+  kTransport,
+  kSync,
+  kConsensus,
+  kNode,
+  kObs,
+  kCount_,  // sentinel
+};
+
+[[nodiscard]] bool log_enabled(LogSubsys subsys, LogLevel level);
+
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 3, 4)))
+#endif
+void log_write(LogSubsys subsys, LogLevel level, const char* fmt, ...);
+
+}  // namespace zlb::obs
+
+/// Emit one line when `subsys` is enabled at `level`. The format
+/// string is evaluated lazily — disabled subsystems cost one branch
+/// on a cached config.
+#define ZLB_LOG(subsys, level, ...)                        \
+  do {                                                     \
+    if (::zlb::obs::log_enabled((subsys), (level))) {      \
+      ::zlb::obs::log_write((subsys), (level), __VA_ARGS__); \
+    }                                                      \
+  } while (0)
+
+#define ZLB_LOG_DEBUG(subsys, ...) \
+  ZLB_LOG((subsys), ::zlb::obs::LogLevel::kDebug, __VA_ARGS__)
+#define ZLB_LOG_INFO(subsys, ...) \
+  ZLB_LOG((subsys), ::zlb::obs::LogLevel::kInfo, __VA_ARGS__)
+#define ZLB_LOG_WARN(subsys, ...) \
+  ZLB_LOG((subsys), ::zlb::obs::LogLevel::kWarn, __VA_ARGS__)

@@ -1,0 +1,168 @@
+#include "obs/metrics.hpp"
+
+#include <limits>
+
+namespace zlb::obs {
+
+namespace {
+
+std::string entry_key(const std::string& name, const LabelSet& labels) {
+  std::string key = name;
+  for (const auto& [k, v] : labels) {
+    key.push_back('\x1f');
+    key += k;
+    key.push_back('=');
+    key += v;
+  }
+  return key;
+}
+
+}  // namespace
+
+std::int64_t HistogramSnapshot::bucket_upper(std::size_t idx) {
+  constexpr std::size_t kSub = Histogram::kSubBuckets;
+  constexpr std::size_t kSubBits = Histogram::kSubBits;
+  if (idx < kSub) return static_cast<std::int64_t>(idx);
+  const std::size_t major = kSubBits + (idx - kSub) / kSub;
+  const std::size_t sub = (idx - kSub) % kSub;
+  const std::uint64_t base = kSub + sub + 1;
+  const std::size_t shift = major - kSubBits;
+  // The top few of the 256 buckets lie beyond the int64 value range
+  // (observe() clamps its input, so they stay empty): saturate instead
+  // of shifting into the sign bit.
+  if (shift + static_cast<std::size_t>(std::bit_width(base)) > 63) {
+    return std::numeric_limits<std::int64_t>::max();
+  }
+  return static_cast<std::int64_t>((base << shift) - 1);
+}
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target observation, 1-based; q=1 -> the last one.
+  const double rank = q * static_cast<double>(count);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    const std::uint64_t before = seen;
+    seen += buckets[i];
+    if (static_cast<double>(seen) >= rank) {
+      const double lower =
+          i == 0 ? 0.0 : static_cast<double>(bucket_upper(i - 1));
+      const double upper = static_cast<double>(bucket_upper(i));
+      const double within =
+          (rank - static_cast<double>(before)) / static_cast<double>(buckets[i]);
+      return lower + (upper - lower) * (within < 0.0 ? 0.0 : within);
+    }
+  }
+  return static_cast<double>(bucket_upper(buckets.empty() ? 0
+                                                          : buckets.size() - 1));
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.buckets.resize(kBuckets);
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  // Concurrent observers can land between the bucket loads and the
+  // count load; clamp so count always covers the buckets we saw.
+  std::uint64_t bucket_total = 0;
+  for (const auto b : snap.buckets) bucket_total += b;
+  if (snap.count < bucket_total) snap.count = bucket_total;
+  return snap;
+}
+
+Registry::Entry& Registry::entry(MetricKind kind, const std::string& name,
+                                 const std::string& help,
+                                 const LabelSet& labels, double scale) {
+  auto [it, inserted] = entries_.try_emplace(entry_key(name, labels));
+  Entry& e = it->second;
+  if (inserted) {
+    e.kind = kind;
+    e.name = name;
+    e.help = help;
+    e.labels = labels;
+    e.scale = scale;
+  }
+  return e;
+}
+
+Counter& Registry::counter(const std::string& name, const std::string& help,
+                           const LabelSet& labels) {
+  MutexLock lock(mu_);
+  Entry& e = entry(MetricKind::kCounter, name, help, labels, 1.0);
+  if (!e.counter) e.counter = std::make_unique<Counter>();
+  return *e.counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, const std::string& help,
+                       const LabelSet& labels) {
+  MutexLock lock(mu_);
+  Entry& e = entry(MetricKind::kGauge, name, help, labels, 1.0);
+  if (!e.gauge) e.gauge = std::make_unique<Gauge>();
+  return *e.gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name, const std::string& help,
+                               double scale, const LabelSet& labels) {
+  MutexLock lock(mu_);
+  Entry& e = entry(MetricKind::kHistogram, name, help, labels, scale);
+  if (!e.histogram) e.histogram = std::make_unique<Histogram>();
+  return *e.histogram;
+}
+
+void Registry::counter_fn(const std::string& name, const std::string& help,
+                          std::function<std::uint64_t()> fn,
+                          const LabelSet& labels) {
+  MutexLock lock(mu_);
+  Entry& e = entry(MetricKind::kCounter, name, help, labels, 1.0);
+  e.counter_cb = std::move(fn);
+}
+
+void Registry::gauge_fn(const std::string& name, const std::string& help,
+                        std::function<std::int64_t()> fn,
+                        const LabelSet& labels) {
+  MutexLock lock(mu_);
+  Entry& e = entry(MetricKind::kGauge, name, help, labels, 1.0);
+  e.gauge_cb = std::move(fn);
+}
+
+std::vector<Sample> Registry::samples() const {
+  std::vector<Sample> out;
+  MutexLock lock(mu_);
+  out.reserve(entries_.size());
+  for (const auto& [key, e] : entries_) {
+    Sample s;
+    s.kind = e.kind;
+    s.name = e.name;
+    s.help = e.help;
+    s.labels = e.labels;
+    s.scale = e.scale;
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        s.counter_value = e.counter ? e.counter->value() : 0;
+        if (e.counter_cb) s.counter_value += e.counter_cb();
+        break;
+      case MetricKind::kGauge:
+        s.gauge_value = e.gauge_cb ? e.gauge_cb()
+                                   : (e.gauge ? e.gauge->value() : 0);
+        break;
+      case MetricKind::kHistogram:
+        if (e.histogram) s.hist = e.histogram->snapshot();
+        break;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+}  // namespace zlb::obs

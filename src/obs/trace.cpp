@@ -1,0 +1,126 @@
+#include "obs/trace.hpp"
+
+namespace zlb::obs {
+
+const char* phase_name(Phase p) {
+  switch (p) {
+    case Phase::kSubmit: return "submit";
+    case Phase::kAdmit: return "admit";
+    case Phase::kPropose: return "propose";
+    case Phase::kDeliver: return "deliver";
+    case Phase::kDecide: return "decide";
+    case Phase::kCommit: return "commit";
+    case Phase::kApply: return "apply";
+    case Phase::kCheckpoint: return "checkpoint";
+    case Phase::kCount_: break;
+  }
+  return "?";
+}
+
+InstanceTracer::InstanceTracer(Registry& registry, const common::Clock* clock,
+                               double histogram_scale)
+    : clock_(clock) {
+  decide_latency_ = &registry.histogram(
+      "zlb_decide_latency_seconds",
+      "Propose-to-decide latency per consensus instance", histogram_scale);
+  e2e_latency_ = &registry.histogram(
+      "zlb_e2e_latency_seconds",
+      "Earliest-phase-to-apply latency per consensus instance",
+      histogram_scale);
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    // Phase i's histogram measures the gap from the previous marked
+    // phase, so the labels read as pipeline stages; kSubmit has no
+    // predecessor and keeps no histogram.
+    phase_latency_[i] =
+        i == 0 ? nullptr
+               : &registry.histogram(
+                     "zlb_decide_phase_latency_seconds",
+                     "Per-phase latency breakdown of the instance lifecycle",
+                     histogram_scale,
+                     {{"phase", phase_name(static_cast<Phase>(i))}});
+  }
+}
+
+InstanceTracer::Span& InstanceTracer::open_span(std::uint32_t epoch,
+                                                std::uint64_t instance) {
+  const SpanKey key{epoch, instance};
+  auto it = open_.find(key);
+  if (it == open_.end()) {
+    if (open_.size() >= kMaxOpenSpans) {
+      // Evict the oldest open span (lowest key) — a span this stale
+      // belongs to an instance that will never finish normally.
+      open_.erase(open_.begin());
+    }
+    it = open_.emplace(key, Span{}).first;
+    it->second.epoch = epoch;
+    it->second.instance = instance;
+    for (auto& t : it->second.at_ns) t = -1;
+  }
+  return it->second;
+}
+
+void InstanceTracer::mark(std::uint32_t epoch, std::uint64_t instance,
+                          Phase p) {
+  mark_at(epoch, instance, p, clock_ != nullptr ? clock_->nanos() : 0);
+}
+
+void InstanceTracer::mark_at(std::uint32_t epoch, std::uint64_t instance,
+                             Phase p, std::int64_t at_ns) {
+  if (p >= Phase::kCount_) return;
+  MutexLock lock(mu_);
+  Span& span = open_span(epoch, instance);
+  auto& slot = span.at_ns[static_cast<std::size_t>(p)];
+  if (slot < 0) slot = at_ns;
+}
+
+void InstanceTracer::finish(std::uint32_t epoch, std::uint64_t instance) {
+  MutexLock lock(mu_);
+  const auto it = open_.find(SpanKey{epoch, instance});
+  if (it == open_.end()) return;
+  const Span span = it->second;
+  open_.erase(it);
+
+  const auto at = [&span](Phase p) {
+    return span.at_ns[static_cast<std::size_t>(p)];
+  };
+  if (at(Phase::kPropose) >= 0 && at(Phase::kDecide) >= at(Phase::kPropose)) {
+    decide_latency_->observe(at(Phase::kDecide) - at(Phase::kPropose));
+  }
+  std::int64_t first = -1;
+  for (const auto t : span.at_ns) {
+    if (t >= 0 && (first < 0 || t < first)) first = t;
+  }
+  if (first >= 0 && at(Phase::kApply) >= first) {
+    e2e_latency_->observe(at(Phase::kApply) - first);
+  }
+  std::int64_t prev = -1;
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    const std::int64_t t = span.at_ns[i];
+    if (t < 0) continue;
+    if (prev >= 0 && phase_latency_[i] != nullptr) {
+      phase_latency_[i]->observe(t - prev);
+    }
+    prev = t;
+  }
+
+  recent_.push_back(span);
+  if (recent_.size() > kRecentSpans) recent_.pop_front();
+  ++finished_;
+}
+
+void InstanceTracer::abandon(std::uint32_t epoch, std::uint64_t instance) {
+  MutexLock lock(mu_);
+  open_.erase(SpanKey{epoch, instance});
+}
+
+std::vector<InstanceTracer::Span> InstanceTracer::recent() const {
+  MutexLock lock(mu_);
+  return {recent_.begin(), recent_.end()};
+}
+
+std::uint64_t InstanceTracer::finished() const {
+  MutexLock lock(mu_);
+  return finished_;
+}
+
+}  // namespace zlb::obs

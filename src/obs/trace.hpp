@@ -1,0 +1,95 @@
+// Instance-lifecycle spans: one span per (epoch, instance) records a
+// timestamp for each phase of the consensus pipeline —
+//
+//   submit -> admit -> propose -> RBC deliver -> decide -> commit
+//          -> apply -> checkpoint
+//
+// — and finishing a span feeds the decide-latency histogram plus a
+// per-adjacent-phase breakdown. Timestamps come exclusively from the
+// injected common::Clock (mark()) or from the caller (mark_at(), used
+// by the simulator with virtual time), so spans recorded under a
+// ManualClock or sim schedule are bit-deterministic.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "obs/metrics.hpp"
+
+namespace zlb::obs {
+
+enum class Phase : std::uint8_t {
+  kSubmit = 0,    ///< gateway accepted the transaction
+  kAdmit,         ///< mempool admitted it
+  kPropose,       ///< instance proposed a batch
+  kDeliver,       ///< RBC delivered the first proposal slot
+  kDecide,        ///< binary consensus decided the instance
+  kCommit,        ///< commit of the decided blocks began
+  kApply,         ///< blocks verified and applied to the ledger
+  kCheckpoint,    ///< checkpoint covering the instance exported
+  kCount_,        // sentinel
+};
+
+constexpr std::size_t kPhaseCount = static_cast<std::size_t>(Phase::kCount_);
+
+[[nodiscard]] const char* phase_name(Phase p);
+
+class InstanceTracer {
+ public:
+  struct Span {
+    std::uint32_t epoch = 0;
+    std::uint64_t instance = 0;
+    /// Nanoseconds per phase; -1 = the phase was never reached (e.g.
+    /// kSubmit on an empty batch, kCheckpoint between intervals).
+    std::int64_t at_ns[kPhaseCount];
+  };
+
+  /// `histogram_scale` converts the clock's nanoseconds into the
+  /// exported seconds (1e-9 for real clocks; the simulator path
+  /// feeds microsecond virtual time and passes 1e-6).
+  InstanceTracer(Registry& registry, const common::Clock* clock,
+                 double histogram_scale = 1e-9);
+
+  /// Records the phase timestamp from the injected clock. First mark
+  /// per (span, phase) wins; later marks are ignored, so callers may
+  /// mark unconditionally from retry paths.
+  void mark(std::uint32_t epoch, std::uint64_t instance, Phase p);
+  /// Same, with a caller-supplied timestamp (simulator virtual time,
+  /// or a mempool admission stamp captured before the instance
+  /// existed).
+  void mark_at(std::uint32_t epoch, std::uint64_t instance, Phase p,
+               std::int64_t at_ns);
+
+  /// Closes the span: feeds the decide-latency and phase histograms
+  /// and retires it to the bounded recent-span ring. No-op if the
+  /// span was never marked.
+  void finish(std::uint32_t epoch, std::uint64_t instance);
+  /// Drops an open span without recording (frozen/retired instance).
+  void abandon(std::uint32_t epoch, std::uint64_t instance);
+
+  [[nodiscard]] std::vector<Span> recent() const;
+  [[nodiscard]] std::uint64_t finished() const;
+
+  static constexpr std::size_t kMaxOpenSpans = 4096;
+  static constexpr std::size_t kRecentSpans = 64;
+
+ private:
+  using SpanKey = std::pair<std::uint32_t, std::uint64_t>;
+
+  Span& open_span(std::uint32_t epoch, std::uint64_t instance) REQUIRES(mu_);
+
+  const common::Clock* clock_;
+  Histogram* decide_latency_;
+  Histogram* e2e_latency_;
+  Histogram* phase_latency_[kPhaseCount];
+
+  mutable common::Mutex mu_;
+  std::map<SpanKey, Span> open_ GUARDED_BY(mu_);
+  std::deque<Span> recent_ GUARDED_BY(mu_);
+  std::uint64_t finished_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace zlb::obs

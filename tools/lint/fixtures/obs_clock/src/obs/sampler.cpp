@@ -1,0 +1,13 @@
+// Known-bad fixture: observability code reading wall time through a
+// C-level API instead of the injected common::Clock. A span stamped
+// this way would differ across sim schedules and break the
+// bit-determinism contract the obs layer promises zlb_mc.
+#include <ctime>
+
+namespace zlb::obs {
+
+long sample_now_seconds() {
+  return static_cast<long>(time(nullptr));
+}
+
+}  // namespace zlb::obs

@@ -30,6 +30,7 @@ FIXTURES = {
     "encode_unpaired": "encode-pair",
     "nondet_iter": "nondet-iter",
     "wall_clock": "wall-clock",
+    "obs_clock": "obs-clock",
 }
 
 

@@ -1,8 +1,8 @@
 #!/usr/bin/env python3
 """ZLB protocol-invariant linter.
 
-Six rules over the C++ sources, each protecting an invariant the type
-system cannot express:
+Seven rules over the C++ sources, each protecting an invariant the
+type system cannot express:
 
   epoch-signing    Every signed wire payload must bind the membership
                    epoch: a `*signing_bytes`/`summary_bytes` function
@@ -32,6 +32,15 @@ system cannot express:
                    outside the src/net and src/common shims reads real
                    time from inside the protocol; route it through
                    common/clock.hpp so the scheduler owns time.
+  obs-clock        Two prongs guarding the observability layer's
+                   determinism contract. (a) src/obs/ may take time
+                   only through the injected common::Clock — C-level
+                   time APIs (time, gettimeofday, clock_gettime, ...)
+                   there would make spans recorded under a sim or
+                   ManualClock schedule nondeterministic. (b) No
+                   fingerprint() body may touch observability state
+                   (obs::, tracer_, metrics_): metrics must never feed
+                   the model checker's visited-state keys.
 
 Vetted exceptions live in an allowlist file (see --allow):
 
@@ -42,6 +51,7 @@ Vetted exceptions live in an allowlist file (see --allow):
   nondet-iter:<path-suffix>   iteration provably canonicalized (e.g.
                               sorted immediately after collection)
   wall-clock:<path-suffix>    additional sanctioned clock shim
+  obs-clock:<path-suffix>     obs file allowed to read time directly
 
 Exit status: 0 = clean, 1 = findings, 2 = usage error. Findings print
 as `file:line: [rule] message` so editors and CI annotate them.
@@ -98,6 +108,17 @@ WALL_CLOCK = re.compile(
 # The sanctioned homes for real time: the live transport's event loop
 # and the common/clock.hpp injectable shim.
 CLOCK_SHIM_DIRS = ("src/net/", "src/common/")
+# The observability layer must stay deterministic under sim/ManualClock
+# schedules: time enters only through the injected common::Clock.
+OBS_CLOCK_DIRS = ("src/obs/",)
+# C-level time sources the chrono-based wall-clock rule cannot see.
+# Longest alternatives first so e.g. clock_gettime wins over clock.
+OBS_TIME_API = re.compile(
+    r"\b(?:std::|::)?(clock_gettime|timespec_get|gettimeofday|"
+    r"localtime_r|localtime|gmtime_r|gmtime|mktime|ftime|clock|time)"
+    r"\s*\(")
+# Observability state that must never reach a fingerprint() body.
+OBS_IN_FINGERPRINT = re.compile(r"\b(?:obs::\w+|tracer_|metrics_)\b")
 
 COMMENT_BLOCK = re.compile(r"/\*.*?\*/", re.S)
 COMMENT_LINE = re.compile(r"//[^\n]*")
@@ -351,6 +372,39 @@ def rule_wall_clock(files: dict[Path, str],
     return findings
 
 
+def rule_obs_clock(files: dict[Path, str],
+                   allow: dict[str, set[str]]) -> list[Finding]:
+    findings = []
+    for path, text in files.items():
+        posix = path.as_posix()
+        if (any(d in posix for d in OBS_CLOCK_DIRS)
+                and not allowed_file(allow, "obs-clock", path)):
+            for m in OBS_TIME_API.finditer(text):
+                line = text.count("\n", 0, m.start()) + 1
+                findings.append(Finding(
+                    path, line, "obs-clock",
+                    f"{m.group(1)}() reads time directly inside src/obs/; "
+                    "metrics and spans must take time only through the "
+                    "injected common/clock.hpp so traces stay "
+                    "deterministic under sim schedules and zlb_mc"))
+        # Prong (b), all paths: metric/tracer state inside fingerprint()
+        # would leak schedule-dependent observability values into the
+        # model checker's visited-state keys.
+        for m in FUNC_DEF.finditer(text):
+            if m.group(1).split("::")[-1] != "fingerprint":
+                continue
+            body = body_at(text, m.end() - 1)
+            om = OBS_IN_FINGERPRINT.search(body)
+            if om:
+                line = text.count("\n", 0, m.end() - 1 + om.start()) + 1
+                findings.append(Finding(
+                    path, line, "obs-clock",
+                    f"fingerprint() touches observability state "
+                    f"({om.group(0)}): metrics must never feed the model "
+                    "checker's visited-state keys"))
+    return findings
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--root", action="append", required=True,
@@ -383,6 +437,7 @@ def main() -> int:
         "encode-pair": lambda: rule_encode_pair(files, functions, allow),
         "nondet-iter": lambda: rule_nondet_iter(files, allow),
         "wall-clock": lambda: rule_wall_clock(files, allow),
+        "obs-clock": lambda: rule_obs_clock(files, allow),
     }
     selected = args.rule or list(rules)
     unknown = [r for r in selected if r not in rules]
