@@ -142,6 +142,33 @@ inline std::string metrics_json(Cluster& cluster, ReplicaId observer) {
     tracer.mark_at(key.epoch, key.index, obs::Phase::kDecide, rec.decide_time);
     tracer.finish(key.epoch, key.index);
   }
+  // Commit-pipeline series parity: identical names (and histogram
+  // bucket boundaries) to what a live node's --metrics-port serves, so
+  // dashboards built on sim output work against deployments unchanged.
+  // The sim applies blocks synchronously at the decide event, hence
+  // depth == parked and the stage histograms carry no observations.
+  reg.gauge("zlb_commit_floor",
+            "Contiguous instance floor applied to the ledger")
+      .set(static_cast<std::int64_t>(rep.commit_floor()));
+  reg.gauge("zlb_pipeline_depth",
+            "Decided instances inside the commit pipeline")
+      .set(static_cast<std::int64_t>(rep.parked_commit_count()));
+  reg.gauge("zlb_pipeline_parked",
+            "Out-of-order decisions parked behind a gap")
+      .set(static_cast<std::int64_t>(rep.parked_commit_count()));
+  reg.counter("zlb_pipeline_blocks_committed_total",
+              "Blocks applied by the commit pipeline")
+      .inc(rep.block_manager().commit_order().size());
+  (void)reg.histogram("zlb_pipeline_decode_seconds",
+                      "Pipeline decode stage per decided instance", 1e-9);
+  (void)reg.histogram(
+      "zlb_pipeline_verify_seconds",
+      "Pipeline batch signature verification per decided instance", 1e-9);
+  (void)reg.histogram("zlb_pipeline_apply_seconds",
+                      "Pipeline UTXO application per commit flush", 1e-9);
+  (void)reg.histogram(
+      "zlb_pipeline_journal_seconds",
+      "Pipeline journal append + fsync barrier per commit flush", 1e-9);
   return obs::render_json(reg);
 }
 

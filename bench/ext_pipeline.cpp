@@ -1,0 +1,290 @@
+// Commit-pipeline wall-clock: the staged decode → batch-verify → apply
+// → journal pipeline (src/bm/commit_pipeline) against the pre-pipeline
+// baseline that committed each decided block inline — signature check,
+// UTXO apply and a journal fdatasync per block, all on one thread.
+//
+// Three workload shapes isolate where each win comes from:
+//   journal — empty blocks; pure commit machinery. The pipeline's one
+//             fsync barrier per flush batch (group commit) against the
+//             baseline's fsync per block.
+//   mixed   — one signed payment per block; fsync and ECDSA comparable.
+//   verify  — many payments per block; crypto-bound, so the speedup
+//             tracks the verify-stage worker count on multicore hosts
+//             (on a single hardware thread the workers time-slice and
+//             only the group-commit win remains).
+//
+// Every variant replays the identical decided sequence into a fresh
+// BlockManager and must land on a bit-identical state_digest() with a
+// nondecreasing commit_order() — the bench fails (non-zero exit) on
+// any divergence, or when the best 4-worker speedup over the serial
+// baseline stays under the 2x target. Plain main() printing one JSON
+// object per line so CI can archive the numbers.
+//
+//   ZLB_BENCH_FULL=1  repeats every run and keeps the fastest
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "bm/block_manager.hpp"
+#include "bm/commit_pipeline.hpp"
+#include "chain/wallet.hpp"
+#include "common/mutex.hpp"
+#include "common/serde.hpp"
+#include "common/thread_pool.hpp"
+
+namespace {
+
+using BenchClock = std::chrono::steady_clock;
+using zlb::Bytes;
+using zlb::BytesView;
+using zlb::InstanceId;
+
+double ms_since(BenchClock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(BenchClock::now() - t0)
+      .count();
+}
+
+struct Shape {
+  const char* name;
+  std::size_t instances;
+  std::size_t txs_per_block;
+};
+
+/// One decided instance: the serialized block the pipeline receives.
+struct Workload {
+  std::vector<Bytes> payloads;  ///< payloads[k] = serialized block k
+  std::size_t total_txs = 0;
+};
+
+/// Mints `n` coins of 100 to `alice` in a deterministic order. OutPoint
+/// identity comes from the set's mint counter, so replaying this on
+/// every variant's fresh BlockManager reproduces the exact outpoints
+/// the workload's transactions spend.
+std::vector<std::pair<zlb::chain::OutPoint, zlb::chain::TxOut>> mint_coins(
+    zlb::chain::UtxoSet& utxos, const zlb::chain::Wallet& alice,
+    std::size_t n) {
+  std::vector<std::pair<zlb::chain::OutPoint, zlb::chain::TxOut>> coins;
+  coins.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto op = utxos.mint(alice.address(), 100);
+    coins.push_back({op, zlb::chain::TxOut{100, alice.address()}});
+  }
+  return coins;
+}
+
+/// Builds the decided sequence once; every variant replays these bytes.
+Workload build_workload(const Shape& shape) {
+  zlb::chain::Wallet alice(zlb::to_bytes("ext-pipeline-alice"));
+  zlb::chain::Wallet bob(zlb::to_bytes("ext-pipeline-bob"));
+  zlb::chain::UtxoSet scratch;
+  const auto coins =
+      mint_coins(scratch, alice, shape.instances * shape.txs_per_block);
+  Workload w;
+  w.payloads.reserve(shape.instances);
+  for (std::size_t k = 0; k < shape.instances; ++k) {
+    zlb::chain::Block block;
+    block.index = k;
+    block.slot = 0;
+    block.proposer = 0;
+    for (std::size_t t = 0; t < shape.txs_per_block; ++t) {
+      block.txs.push_back(alice.pay_from(
+          {coins[k * shape.txs_per_block + t]}, bob.address(), 100));
+      ++w.total_txs;
+    }
+    w.payloads.push_back(block.serialize());
+  }
+  return w;
+}
+
+/// Fresh ledger with the workload's coins minted and a journal attached
+/// at a private temp path (per-block fsync cost is part of what the
+/// bench measures, on both sides).
+struct Ledger {
+  zlb::bm::BlockManager bm;
+  std::string journal_path;
+
+  Ledger(const Shape& shape, const std::string& tag) {
+    zlb::chain::Wallet alice(zlb::to_bytes("ext-pipeline-alice"));
+    (void)mint_coins(bm.utxos(), alice,
+                     shape.instances * shape.txs_per_block);
+    journal_path = (std::filesystem::temp_directory_path() /
+                    ("zlb-ext-pipeline-" + std::to_string(::getpid()) + "-" +
+                     shape.name + "-" + tag + ".wal"))
+                       .string();
+    std::remove(journal_path.c_str());
+    if (!bm.open_journal(journal_path).has_value()) {
+      std::fprintf(stderr, "cannot open journal at %s\n",
+                   journal_path.c_str());
+      std::exit(2);
+    }
+  }
+  ~Ledger() { std::remove(journal_path.c_str()); }
+  Ledger(const Ledger&) = delete;
+  Ledger& operator=(const Ledger&) = delete;
+};
+
+struct RunResult {
+  double wall_ms = 0;
+  zlb::crypto::Hash32 digest{};
+  bool order_ok = false;
+  std::size_t applied = 0;
+};
+
+bool order_nondecreasing(const zlb::bm::BlockManager& bm) {
+  const auto& order = bm.commit_order();
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    if (order[i] < order[i - 1]) return false;
+  }
+  return true;
+}
+
+/// The pre-pipeline path: decode, verify on the calling thread, apply,
+/// journal with an fdatasync barrier — per block, in decide order.
+RunResult run_serial(const Shape& shape, const Workload& w) {
+  Ledger ledger(shape, "serial");
+  zlb::common::ThreadPool inline_pool(0);
+  RunResult res;
+  const auto t0 = BenchClock::now();
+  for (std::size_t k = 0; k < w.payloads.size(); ++k) {
+    zlb::Reader r(BytesView(w.payloads[k].data(), w.payloads[k].size()));
+    zlb::chain::Block block = zlb::chain::Block::deserialize(r);
+    block.index = k;
+    const auto flags =
+        zlb::bm::BlockManager::verify_block_signatures(block, &inline_pool);
+    const auto applied = ledger.bm.apply_verified(block, flags);
+    (void)ledger.bm.journal_append(block, applied.was_new,
+                                   /*sync_now=*/true);
+    res.applied += applied.applied;
+  }
+  res.wall_ms = ms_since(t0);
+  res.digest = ledger.bm.state_digest();
+  res.order_ok = order_nondecreasing(ledger.bm);
+  return res;
+}
+
+RunResult run_pipeline(const Shape& shape, const Workload& w,
+                       std::size_t workers) {
+  Ledger ledger(shape, "w" + std::to_string(workers));
+  zlb::common::Mutex ledger_mu;
+  std::size_t applied = 0;
+  zlb::bm::CommitPipeline::Config cfg;
+  cfg.workers = workers;
+  zlb::bm::CommitPipeline pipe(
+      ledger.bm, ledger_mu, cfg, {},
+      [&applied](const zlb::bm::CommitPipeline::FlushBatch& batch) {
+        for (const auto& inst : batch.instances) applied += inst.applied;
+      });
+  RunResult res;
+  const auto t0 = BenchClock::now();
+  for (std::size_t k = 0; k < w.payloads.size(); ++k) {
+    pipe.submit(/*epoch=*/0, k, {w.payloads[k]});
+  }
+  pipe.drain();
+  res.wall_ms = ms_since(t0);
+  res.applied = applied;
+  if (pipe.committed_floor() != w.payloads.size()) {
+    std::fprintf(stderr, "pipeline floor %llu != %zu after drain\n",
+                 static_cast<unsigned long long>(pipe.committed_floor()),
+                 w.payloads.size());
+    std::exit(2);
+  }
+  const zlb::common::MutexLock lock(ledger_mu);
+  res.digest = ledger.bm.state_digest();
+  res.order_ok = order_nondecreasing(ledger.bm);
+  return res;
+}
+
+void emit(const Shape& shape, const char* variant, std::size_t workers,
+          const Workload& w, const RunResult& r, double serial_ms) {
+  const double secs = r.wall_ms / 1e3;
+  std::printf(
+      "{\"bench\":\"ext_pipeline\",\"shape\":\"%s\",\"variant\":\"%s\","
+      "\"workers\":%zu,\"instances\":%zu,\"txs_per_block\":%zu,"
+      "\"wall_ms\":%.2f,\"blocks_per_sec\":%.1f,\"tx_per_sec\":%.1f,"
+      "\"applied\":%zu,\"speedup_vs_serial\":%.2f}\n",
+      shape.name, variant, workers, shape.instances, shape.txs_per_block,
+      r.wall_ms, secs > 0 ? shape.instances / secs : 0.0,
+      secs > 0 ? w.total_txs / secs : 0.0, r.applied,
+      r.wall_ms > 0 ? serial_ms / r.wall_ms : 0.0);
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main() {
+  const bool full = []() {
+    const char* env = std::getenv("ZLB_BENCH_FULL");
+    return env != nullptr && env[0] == '1';
+  }();
+  const int reps = full ? 3 : 1;
+  const std::vector<Shape> shapes = {
+      {"journal", full ? 512u : 192u, 0},
+      {"mixed", full ? 192u : 96u, 1},
+      {"verify", full ? 32u : 12u, full ? 64u : 48u},
+  };
+  const std::vector<std::size_t> worker_grid = {1, 2, 4};
+
+  bool ok = true;
+  double best_speedup_4w = 0;
+  for (const Shape& shape : shapes) {
+    const Workload w = build_workload(shape);
+    RunResult serial;
+    for (int rep = 0; rep < reps; ++rep) {
+      RunResult r = run_serial(shape, w);
+      if (rep == 0 || r.wall_ms < serial.wall_ms) serial = r;
+    }
+    emit(shape, "serial", 0, w, serial, serial.wall_ms);
+    ok = ok && serial.order_ok;
+    for (const std::size_t workers : worker_grid) {
+      RunResult best;
+      for (int rep = 0; rep < reps; ++rep) {
+        RunResult r = run_pipeline(shape, w, workers);
+        if (rep == 0 || r.wall_ms < best.wall_ms) best = r;
+      }
+      emit(shape, "pipeline", workers, w, best, serial.wall_ms);
+      if (!(best.digest == serial.digest)) {
+        std::fprintf(stderr,
+                     "FAIL: %s workers=%zu state digest diverged from "
+                     "serial baseline\n",
+                     shape.name, workers);
+        ok = false;
+      }
+      if (best.applied != serial.applied) {
+        std::fprintf(stderr, "FAIL: %s workers=%zu applied %zu != %zu\n",
+                     shape.name, workers, best.applied, serial.applied);
+        ok = false;
+      }
+      if (!best.order_ok) {
+        std::fprintf(stderr, "FAIL: %s workers=%zu commit order regressed\n",
+                     shape.name, workers);
+        ok = false;
+      }
+      if (workers == 4 && best.wall_ms > 0) {
+        const double speedup = serial.wall_ms / best.wall_ms;
+        if (speedup > best_speedup_4w) best_speedup_4w = speedup;
+      }
+    }
+  }
+
+  const bool fast_enough = best_speedup_4w >= 2.0;
+  std::printf(
+      "{\"bench\":\"ext_pipeline\",\"summary\":true,"
+      "\"best_speedup_4_workers\":%.2f,\"target\":2.0,"
+      "\"state_digests_match\":%s,\"pass\":%s}\n",
+      best_speedup_4w, ok ? "true" : "false",
+      (ok && fast_enough) ? "true" : "false");
+  std::fflush(stdout);
+  if (!ok) return 1;
+  if (!fast_enough) {
+    std::fprintf(stderr,
+                 "FAIL: best 4-worker speedup %.2fx is under the 2x "
+                 "target\n",
+                 best_speedup_4w);
+    return 1;
+  }
+  return 0;
+}

@@ -339,10 +339,11 @@ void Replica::on_regular_decided(const Key& key, Engine& engine) {
 
   commit_outcome(key, engine);
 
-  // Checkpoint trigger on decide (functional mode): the next regular
-  // index is the contiguous decided floor — instances run in order.
+  // Checkpoint trigger on decide (functional mode): snapshot at the
+  // contiguous COMMIT floor, never at an out-of-order decision ahead
+  // of a gap — the image must cover exactly the blocks applied to bm_.
   if (checkpoints_ != nullptr) {
-    (void)checkpoints_->on_decided(bm_, key.index + 1);
+    (void)checkpoints_->on_decided(bm_, commit_floor_);
   }
 
   if (config_.confirmation && config_.accountable) {
@@ -374,6 +375,7 @@ void Replica::on_regular_decided(const Key& key, Engine& engine) {
 
 void Replica::commit_outcome(const Key& key, Engine& engine) {
   if (config_.synthetic) return;
+  std::vector<chain::Block> blocks;
   for (const auto& entry : engine.outcome()) {
     try {
       const BatchPayload p = BatchPayload::decode(
@@ -382,10 +384,31 @@ void Replica::commit_outcome(const Key& key, Engine& engine) {
       Reader r(BytesView(p.block_bytes.data(), p.block_bytes.size()));
       chain::Block block = chain::Block::deserialize(r);
       block.index = key.index;
-      bm_.commit_block(block, /*verify_sigs=*/false);
+      blocks.push_back(std::move(block));
     } catch (const DecodeError&) {
       continue;
     }
+  }
+  // Strict in-order apply: a decision ahead of the contiguous floor
+  // parks until the gap below it decides, so the applied block sequence
+  // is canonical on every replica (intra-block spend chains included).
+  if (key.index != commit_floor_) {
+    if (key.index > commit_floor_) {
+      parked_commits_[key.index] = std::move(blocks);
+    }
+    return;
+  }
+  for (const chain::Block& block : blocks) {
+    bm_.commit_block(block, /*verify_sigs=*/false);
+  }
+  commit_floor_ = key.index + 1;
+  for (auto it = parked_commits_.begin();
+       it != parked_commits_.end() && it->first == commit_floor_;) {
+    for (const chain::Block& block : it->second) {
+      bm_.commit_block(block, /*verify_sigs=*/false);
+    }
+    commit_floor_ = it->first + 1;
+    it = parked_commits_.erase(it);
   }
 }
 
@@ -555,6 +578,12 @@ void Replica::handle_catchup(ReplicaId from, Reader& r) {
     bm_.restore(snap);
     metrics_.snapshot_installed = true;
     metrics_.snapshot_upto = snap.upto;
+    // The image covers every block below its watermark: decisions
+    // parked below it must not re-apply onto the restored state, and
+    // the commit floor re-anchors at the watermark.
+    if (commit_floor_ < snap.upto) commit_floor_ = snap.upto;
+    parked_commits_.erase(parked_commits_.begin(),
+                          parked_commits_.lower_bound(commit_floor_));
   }
   active_ = true;
   metrics_.activation_time = sim_.now();
@@ -926,6 +955,12 @@ void Replica::fingerprint(Writer& w) const {
   w.u64(next_index_);
   w.boolean(instance_running_);
   w.boolean(membership_running_);
+  w.u64(commit_floor_);
+  w.varint(parked_commits_.size());
+  for (const auto& [index, blocks] : parked_commits_) {
+    w.u64(index);
+    w.varint(blocks.size());
+  }
 
   const auto ids = [&w](const std::vector<ReplicaId>& v) {
     w.varint(v.size());

@@ -154,6 +154,13 @@ class Replica : public sim::Process {
   [[nodiscard]] const consensus::PofStore& pofs() const { return pofs_; }
   [[nodiscard]] bm::BlockManager& block_manager() { return bm_; }
   [[nodiscard]] const bm::BlockManager& block_manager() const { return bm_; }
+  /// First regular instance not yet applied to the ledger (commit order
+  /// is instance order; see parked_commit_count).
+  [[nodiscard]] InstanceId commit_floor() const { return commit_floor_; }
+  /// Out-of-order decisions parked behind an undecided gap.
+  [[nodiscard]] std::size_t parked_commit_count() const {
+    return parked_commits_.size();
+  }
   [[nodiscard]] const sync::CheckpointManager* checkpoints() const {
     return checkpoints_ ? checkpoints_.get() : nullptr;
   }
@@ -259,6 +266,12 @@ class Replica : public sim::Process {
 
   chain::Mempool mempool_;
   bm::BlockManager bm_;
+  /// First regular instance not yet applied to bm_. Commit order equals
+  /// instance order on every replica: an out-of-order decision parks in
+  /// parked_commits_ until the gap below it decides (the live node's
+  /// commit pipeline enforces the same floor).
+  InstanceId commit_floor_ = 0;
+  std::map<InstanceId, std::vector<chain::Block>> parked_commits_;
   /// Functional mode: deterministic in-memory checkpoints serving the
   /// snapshot-based catch-up (src/sync).
   std::unique_ptr<sync::CheckpointManager> checkpoints_;

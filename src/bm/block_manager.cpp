@@ -90,6 +90,77 @@ std::vector<std::uint8_t> BlockManager::batch_verify_block(
   return per_tx;
 }
 
+std::vector<std::uint8_t> BlockManager::verify_block_signatures(
+    const chain::Block& block, common::ThreadPool* pool) {
+  // Pipelined-commit verify stage: stateless, so it needs no ledger
+  // lock. Every input is checked against its own pubkey field — the
+  // same key the stateful path verifies once the owner check passes
+  // (Address::of(in.pubkey) must equal the UTXO owner, re-checked by
+  // apply_verified). Without UTXO access there are no doomed-input
+  // short-cuts; a transaction the state checks reject anyway just
+  // wastes its verifies, which the pool absorbs.
+  crypto::BatchVerifier verifier(pool);
+  crypto::PubkeyCache block_cache;
+  std::vector<std::size_t> first_job(block.txs.size(), 0);
+  std::size_t jobs = 0;
+  for (std::size_t t = 0; t < block.txs.size(); ++t) {
+    const chain::Transaction& tx = block.txs[t];
+    first_job[t] = jobs;
+    // Malformed transactions fail apply() before signatures; queuing
+    // nothing leaves their flag at 1, same as batch_verify_block.
+    if (!tx.well_formed()) continue;
+    const crypto::Hash32 digest = tx.body_digest();
+    for (const auto& in : tx.inputs) {
+      ++jobs;
+      const auto sig =
+          crypto::Signature::from_bytes(BytesView(in.sig.data(), 64));
+      const crypto::AffinePoint* q =
+          sig ? block_cache.get(in.pubkey) : nullptr;
+      if (q == nullptr) {
+        verifier.add_invalid();
+      } else {
+        verifier.add(*q, digest, *sig);
+      }
+    }
+  }
+  const std::vector<std::uint8_t> per_input = verifier.verify_all();
+  std::vector<std::uint8_t> per_tx(block.txs.size(), 1);
+  for (std::size_t t = 0; t < block.txs.size(); ++t) {
+    const std::size_t end =
+        t + 1 < block.txs.size() ? first_job[t + 1] : per_input.size();
+    for (std::size_t j = first_job[t]; j < end; ++j) {
+      if (per_input[j] == 0) {
+        per_tx[t] = 0;
+        break;
+      }
+    }
+  }
+  return per_tx;
+}
+
+BlockManager::ApplyResult BlockManager::apply_verified(
+    const chain::Block& block, const std::vector<std::uint8_t>& sig_ok,
+    std::vector<chain::TxId>* applied_ids) {
+  ApplyResult res;
+  for (std::size_t t = 0; t < block.txs.size(); ++t) {
+    const chain::Transaction& tx = block.txs[t];
+    const chain::TxId id = tx.id();
+    if (txs_.count(id) != 0) continue;
+    // A failed signature skips the transaction exactly as the serial
+    // kBadSignature path would; all other checks still run in order
+    // inside apply().
+    if (!sig_ok.empty() && sig_ok[t] == 0) continue;
+    if (utxos_.apply(tx, /*verify_sigs=*/false) == chain::TxCheck::kOk) {
+      txs_.insert(id);
+      ++res.applied;
+      if (applied_ids != nullptr) applied_ids->push_back(id);
+    }
+  }
+  res.was_new = store_.put(block);
+  commit_order_.push_back(block.index);
+  return res;
+}
+
 std::size_t BlockManager::commit_block(const chain::Block& block,
                                        bool verify_sigs) {
   const auto stamp = [this]() {
@@ -99,22 +170,9 @@ std::size_t BlockManager::commit_block(const chain::Block& block,
   std::vector<std::uint8_t> sig_ok;
   if (verify_sigs) sig_ok = batch_verify_block(block);
   const std::int64_t t_verified = stamp();
-  std::size_t applied = 0;
-  for (std::size_t t = 0; t < block.txs.size(); ++t) {
-    const chain::Transaction& tx = block.txs[t];
-    const chain::TxId id = tx.id();
-    if (txs_.count(id) != 0) continue;
-    // A failed signature skips the transaction exactly as the serial
-    // kBadSignature path would; all other checks still run in order
-    // inside apply().
-    if (verify_sigs && sig_ok[t] == 0) continue;
-    if (utxos_.apply(tx, /*verify_sigs=*/false) == chain::TxCheck::kOk) {
-      txs_.insert(id);
-      ++applied;
-    }
-  }
+  const ApplyResult res = apply_verified(block, sig_ok);
   const std::int64_t t_applied = stamp();
-  journal_block(block, store_.put(block));
+  journal_append(block, res.was_new);
   if (obs_clock_ != nullptr) {
     const std::int64_t t_journaled = stamp();
     if (verify_hist_ != nullptr && verify_sigs) {
@@ -125,7 +183,7 @@ std::size_t BlockManager::commit_block(const chain::Block& block,
       fsync_hist_->observe(t_journaled - t_applied);
     }
   }
-  return applied;
+  return res.applied;
 }
 
 void BlockManager::merge_block(const chain::Block& block) {
@@ -137,13 +195,19 @@ void BlockManager::merge_block(const chain::Block& block) {
       if (is_punished(out.to)) punish_account(out.to);
     }
   }
-  refund_inputs();                          // line 15
-  journal_block(block, store_.put(block));  // line 16
+  refund_inputs();                           // line 15
+  journal_append(block, store_.put(block));  // line 16
   ++stats_.merged_blocks;
 }
 
-void BlockManager::journal_block(const chain::Block& block, bool was_new) {
-  if (journal_ && was_new) journal_->append(block);
+bool BlockManager::journal_append(const chain::Block& block, bool was_new,
+                                  bool sync_now) {
+  if (journal_ && was_new) return journal_->append(block, sync_now);
+  return true;
+}
+
+bool BlockManager::journal_sync() {
+  return journal_ ? journal_->sync() : true;
 }
 
 std::optional<chain::Journal::ReplayStats> BlockManager::open_journal(

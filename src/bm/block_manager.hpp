@@ -16,6 +16,10 @@
 #include "obs/metrics.hpp"
 #include "sync/snapshot.hpp"
 
+namespace zlb::common {
+class ThreadPool;
+}  // namespace zlb::common
+
 namespace zlb::bm {
 
 struct MergeStats {
@@ -49,6 +53,42 @@ class BlockManager {
   /// state is bit-identical to checking signatures inline. Returns the
   /// number applied.
   std::size_t commit_block(const chain::Block& block, bool verify_sigs = true);
+
+  /// Verify stage of the pipelined commit path: one ok/fail flag per
+  /// transaction, 1 iff every input signature verifies against that
+  /// input's OWN `pubkey` field — which is exactly the key the stateful
+  /// path verifies against once the owner check passes. Reads NO ledger
+  /// state (keys memoize in a block-local cache), so it runs on a
+  /// pipeline thread without any BlockManager lock; apply_verified()
+  /// re-runs the cheap stateful checks, making the applied set
+  /// bit-identical to commit_block(block, true). A transaction the
+  /// state checks would reject anyway merely wastes its verifies.
+  [[nodiscard]] static std::vector<std::uint8_t> verify_block_signatures(
+      const chain::Block& block, common::ThreadPool* pool = nullptr);
+
+  struct ApplyResult {
+    std::size_t applied = 0;  ///< transactions newly applied
+    bool was_new = false;     ///< block newly entered the store
+  };
+  /// Apply stage: validates and applies each transaction in order
+  /// (under the caller's ledger lock), gated by the per-tx `sig_ok`
+  /// flags from verify_block_signatures — empty means signatures are
+  /// already trusted — and stores the block WITHOUT journaling it; the
+  /// pipeline batches journal_append() calls and one journal_sync()
+  /// barrier per flush instead. Applied tx ids are appended to
+  /// `applied_ids` when non-null (batched mempool eviction).
+  ApplyResult apply_verified(const chain::Block& block,
+                             const std::vector<std::uint8_t>& sig_ok,
+                             std::vector<chain::TxId>* applied_ids = nullptr);
+
+  /// Journals a block apply_verified reported new; with `sync_now`
+  /// false the record is buffered until the next journal_sync(). True
+  /// when journaling is off or the block was not new.
+  bool journal_append(const chain::Block& block, bool was_new,
+                      bool sync_now = true);
+  /// Durability barrier closing a batch of journal_append(…, false)
+  /// calls. True when journaling is off.
+  bool journal_sync();
 
   /// Alg. 2: merge a conflicting block into Ω. Every not-yet-known
   /// transaction is committed; inputs that are no longer spendable are
@@ -86,6 +126,15 @@ class BlockManager {
     return txs_.count(id) != 0;
   }
   [[nodiscard]] const MergeStats& stats() const { return stats_; }
+  /// Indices of blocks committed through the agreed path (commit_block
+  /// / apply_verified), in commit order. merge_block is excluded — fork
+  /// merges reconcile blocks out of order by design. The model
+  /// checker's in-order-commit invariant asserts this sequence is
+  /// nondecreasing on every replica (multi-slot instances legitimately
+  /// commit several blocks at the same index).
+  [[nodiscard]] const std::vector<InstanceId>& commit_order() const {
+    return commit_order_;
+  }
   /// Ω.inputs-deposit accounting. The model checker's no-double-spend
   /// invariant reads it directly: every outpoint consumed by more than
   /// one applied transaction must appear here (conflicts are funded
@@ -136,7 +185,6 @@ class BlockManager {
       const chain::Block& block);
   void commit_tx_merge(const chain::Transaction& tx);
   void refund_inputs();
-  void journal_block(const chain::Block& block, bool was_new);
 
   std::optional<chain::Journal> journal_;
   chain::UtxoSet utxos_;
@@ -146,6 +194,7 @@ class BlockManager {
   std::map<chain::OutPoint, chain::Amount> inputs_deposit_;
   std::unordered_set<chain::Address, chain::AddressHasher> punished_;
   std::unordered_set<chain::TxId, crypto::Hash32Hasher> txs_;
+  std::vector<InstanceId> commit_order_;
   MergeStats stats_;
   const common::Clock* obs_clock_ = nullptr;
   obs::Histogram* verify_hist_ = nullptr;

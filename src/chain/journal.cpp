@@ -204,11 +204,11 @@ bool append_record(std::FILE* file, std::uint32_t magic,
 }
 }  // namespace
 
-bool Journal::append(const Block& block) {
+bool Journal::append(const Block& block, bool sync_now) {
   if (file_ == nullptr) return false;
   if (!append_record(file_, kRecordMagic, block.serialize())) return false;
   appended_ += 1;
-  return sync();
+  return sync_now ? sync() : true;
 }
 
 bool Journal::append_epoch(const EpochRecord& record) {

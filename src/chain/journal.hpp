@@ -74,8 +74,11 @@ class Journal {
       ReplayStats* stats = nullptr,
       const std::function<void(const EpochRecord&)>& epoch_sink = nullptr);
 
-  /// Appends one block and syncs it to disk. False on I/O failure.
-  bool append(const Block& block);
+  /// Appends one block; with `sync_now` (the default) the record is
+  /// durable on return. A batched commit path passes false per record
+  /// and issues one sync() barrier per flush instead — one fdatasync
+  /// amortized over the whole batch. False on I/O failure.
+  bool append(const Block& block, bool sync_now = true);
   /// Appends one epoch-boundary record and syncs it. False on failure.
   bool append_epoch(const EpochRecord& record);
 

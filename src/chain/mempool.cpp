@@ -34,15 +34,17 @@ std::vector<Transaction> Mempool::take_batch(std::size_t max) {
   return out;
 }
 
-void Mempool::remove_committed(
+std::size_t Mempool::remove_committed(
     const std::unordered_set<TxId, crypto::Hash32Hasher>& committed) {
   std::deque<Transaction> kept;
   std::deque<std::int64_t> kept_stamps;
+  std::size_t evicted = 0;
   for (std::size_t i = 0; i < queue_.size(); ++i) {
     Transaction& tx = queue_[i];
     const TxId id = tx.id();
     if (committed.count(id) != 0) {
       known_.erase(id);
+      ++evicted;
     } else {
       kept.push_back(std::move(tx));
       kept_stamps.push_back(stamps_[i]);
@@ -50,6 +52,7 @@ void Mempool::remove_committed(
   }
   queue_ = std::move(kept);
   stamps_ = std::move(kept_stamps);
+  return evicted;
 }
 
 }  // namespace zlb::chain

@@ -39,8 +39,11 @@ class Mempool {
   /// Removes and returns up to `max` transactions.
   [[nodiscard]] std::vector<Transaction> take_batch(std::size_t max);
 
-  /// Drops any pending transaction whose id is in `committed`.
-  void remove_committed(
+  /// Drops any pending transaction whose id is in `committed`; returns
+  /// how many were evicted. The commit pipeline calls this once per
+  /// flush batch (one pass over the queue for many blocks) and feeds
+  /// the count into the mempool eviction metric.
+  std::size_t remove_committed(
       const std::unordered_set<TxId, crypto::Hash32Hasher>& committed);
 
   /// Observability: admissions are stamped with `clock->nanos()` so

@@ -435,6 +435,7 @@ SbcEngine::SlotDebug SbcEngine::slot_debug(std::uint32_t slot) const {
   d.decided = st.decided;
   d.decided_value = st.decided_value;
   d.round = st.round;
+  d.decided_round = st.decided_round;
   const auto rit = st.rounds.find(st.round);
   if (rit != st.rounds.end()) {
     d.est0 = rit->second.est_votes[0].size();

@@ -166,6 +166,11 @@ class SbcEngine {
     bool decided = false;
     std::uint8_t decided_value = 0;
     std::uint32_t round = 0;
+    /// Binary-consensus round the slot decided in (0 when adopted from
+    /// a certificate rather than locally derived). The confirmation
+    /// phase filters the AUX first-vote log by this round to assemble
+    /// the slot's decision certificate.
+    std::uint32_t decided_round = 0;
     std::size_t est0 = 0, est1 = 0, aux = 0;
     std::size_t echoes = 0, readies = 0, payloads = 0;
     bool echoed = false, readied = false;

@@ -448,6 +448,23 @@ void World::check_agreement_and_epoch() {
 void World::check_ledger(ReplicaId id, const asmr::Replica& rep) {
   const auto& bm = rep.block_manager();
 
+  // In-order commit invariant: the sequence of instance indices applied
+  // to the ledger must be nondecreasing — an out-of-order decision must
+  // park until the gap below it decides, never commit early. This is
+  // what makes block order (and intra-block spend chains) canonical on
+  // every replica.
+  const auto& order = bm.commit_order();
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    if (order[i] < order[i - 1]) {
+      std::ostringstream os;
+      os << "replica " << id << " committed instance " << order[i]
+         << " after instance " << order[i - 1]
+         << " (commit order must equal instance order)";
+      fail("commit-order", os.str());
+      return;
+    }
+  }
+
   // Every multiply-consumed outpoint must have been funded from the
   // deposit (Alg. 2): excess consumptions <= conflicting_inputs.
   std::map<chain::OutPoint, std::uint64_t> consumers;

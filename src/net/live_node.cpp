@@ -11,6 +11,7 @@
 
 namespace zlb::net {
 
+using consensus::DecisionMsg;
 using consensus::EpochAnnounceMsg;
 using consensus::ExclusionClaim;
 using consensus::InstanceKind;
@@ -18,6 +19,7 @@ using consensus::MsgTag;
 using consensus::ProofOfFraud;
 using consensus::ProposalMsg;
 using consensus::SignedVote;
+using consensus::SlotCert;
 
 namespace {
 /// Membership-change state transitions log at debug on the `reconfig`
@@ -95,6 +97,33 @@ LiveNode::LiveNode(LiveNodeConfig config)
     }
   }
   register_metrics();
+  if (config_.real_blocks) {
+    // The staged commit pipeline: on_decided hands decided payloads to
+    // it; its verifier thread decodes + batch-verifies, its committer
+    // applies+journals under ledger_mutex_ and then runs
+    // on_pipeline_flush with no lock held.
+    bm::CommitPipeline::Config pc;
+    pc.workers = config_.commit_workers;
+    pc.clock = &obs_clock();
+    bm::CommitPipeline::StageHists hists;
+    hists.decode = &metrics_.histogram(
+        "zlb_pipeline_decode_seconds",
+        "Pipeline decode stage per decided instance", 1e-9);
+    hists.verify = &metrics_.histogram(
+        "zlb_pipeline_verify_seconds",
+        "Pipeline batch signature verification per decided instance", 1e-9);
+    hists.apply = &metrics_.histogram(
+        "zlb_pipeline_apply_seconds",
+        "Pipeline UTXO application per commit flush", 1e-9);
+    hists.journal = &metrics_.histogram(
+        "zlb_pipeline_journal_seconds",
+        "Pipeline journal append + fsync barrier per commit flush", 1e-9);
+    pipeline_ = std::make_unique<bm::CommitPipeline>(
+        block_manager(), ledger_mutex_, pc, hists,
+        [this](const bm::CommitPipeline::FlushBatch& flush) {
+          on_pipeline_flush(flush);
+        });
+  }
   if (config_.metrics_port.has_value()) {
     metrics_server_ =
         std::make_unique<MetricsServer>(loop_, metrics_, *config_.metrics_port);
@@ -227,6 +256,9 @@ void LiveNode::register_metrics() {
   mempool_rejects_full_ = &metrics_.counter(
       "zlb_mempool_rejected_total", "Client transactions refused, by cause",
       {{"cause", "full"}});
+  mempool_evicted_ = &metrics_.counter(
+      "zlb_mempool_evicted_total",
+      "Transactions evicted because a commit flush applied them");
 
   // Consensus progress.
   metrics_.counter_fn("zlb_instances_decided_total",
@@ -243,6 +275,9 @@ void LiveNode::register_metrics() {
   {
     const common::MutexLock lock(decisions_mutex_);
     mempool_.set_clock(&obs_clock());
+  }
+  {
+    const common::MutexLock ledger(ledger_mutex_);
     bm_.set_observability(
         &obs_clock(),
         &metrics_.histogram("zlb_block_verify_seconds",
@@ -255,6 +290,36 @@ void LiveNode::register_metrics() {
   checkpoint_seconds_ = &metrics_.histogram(
       "zlb_checkpoint_export_seconds",
       "Ledger snapshot + persist + journal compaction per checkpoint", 1e-9);
+
+  // Commit pipeline: the contiguous committed floor, the decided
+  // instances inside the pipeline, and those parked behind a decision
+  // gap. All relaxed atomics — safe from any render thread. The sim
+  // benches emit the same series names from replica state.
+  metrics_.gauge_fn("zlb_commit_floor",
+                    "Contiguous instance floor applied to the ledger",
+                    [this]() -> std::int64_t {
+                      return pipeline_ ? static_cast<std::int64_t>(
+                                             pipeline_->committed_floor())
+                                       : 0;
+                    });
+  metrics_.gauge_fn("zlb_pipeline_depth",
+                    "Decided instances inside the commit pipeline",
+                    [this]() -> std::int64_t {
+                      return pipeline_ ? static_cast<std::int64_t>(
+                                             pipeline_->depth())
+                                       : 0;
+                    });
+  metrics_.gauge_fn("zlb_pipeline_parked",
+                    "Out-of-order decisions parked behind a gap",
+                    [this]() -> std::int64_t {
+                      return pipeline_ ? static_cast<std::int64_t>(
+                                             pipeline_->parked())
+                                       : 0;
+                    });
+  metrics_.counter_fn("zlb_pipeline_blocks_committed_total",
+                      "Blocks applied by the commit pipeline", [this] {
+                        return pipeline_ ? pipeline_->blocks_committed() : 0;
+                      });
 
   // State sync (mutex-guarded stat blocks; cheap snapshot per render).
   metrics_.counter_fn("zlb_sync_manifests_sent_total",
@@ -335,11 +400,17 @@ bool LiveNode::accept_tx(const chain::Transaction& tx) {
   // anything already committed, and everything once the (bounded)
   // mempool is full — the gateway answers kRejected and the wallet
   // retries elsewhere.
-  const common::MutexLock lock(decisions_mutex_);
-  if (bm_.knows_tx(tx.id())) {
-    mempool_rejects_committed_->inc();
-    return false;
+  {
+    const common::MutexLock ledger(ledger_mutex_);
+    if (bm_.knows_tx(tx.id())) {
+      mempool_rejects_committed_->inc();
+      return false;
+    }
   }
+  // A transaction committing between the ledger check and the add is
+  // benign: the next pipeline flush's batched eviction removes it, and
+  // apply dedups by txid anyway.
+  const common::MutexLock lock(decisions_mutex_);
   switch (mempool_.try_add(tx)) {
     case chain::Mempool::AddResult::kAdded:
       return true;
@@ -354,13 +425,13 @@ bool LiveNode::accept_tx(const chain::Transaction& tx) {
 }
 
 chain::Amount LiveNode::balance(const chain::Address& a) const {
-  const common::MutexLock lock(decisions_mutex_);
+  const common::MutexLock ledger(ledger_mutex_);
   return bm_.utxos().balance(a);
 }
 
 std::vector<std::pair<chain::OutPoint, chain::TxOut>> LiveNode::owned_coins(
     const chain::Address& a) const {
-  const common::MutexLock lock(decisions_mutex_);
+  const common::MutexLock ledger(ledger_mutex_);
   return bm_.utxos().owned_by(a);
 }
 
@@ -450,28 +521,47 @@ Bytes LiveNode::payload_for(InstanceId k, bool drain_mempool) {
   return w.take();
 }
 
-void LiveNode::commit_decided_blocks(InstanceId k, Engine& engine) {
-  // Slot order is the agreed order; every node commits the same blocks
-  // with the same results. Transaction signatures are real ECDSA and
-  // verified here, on the decided payload (not on gossip).
-  const common::MutexLock lock(decisions_mutex_);
-  std::unordered_set<chain::TxId, crypto::Hash32Hasher> committed;
-  for (const auto& entry : engine.outcome()) {
-    if (entry.payload.empty()) continue;
-    try {
-      Reader r(BytesView(entry.payload.data(), entry.payload.size()));
-      chain::Block block = chain::Block::deserialize(r);
-      block.index = k;
-      bm_.commit_block(block, /*verify_sigs=*/true);
-      for (const auto& tx : block.txs) committed.insert(tx.id());
-    } catch (const DecodeError&) {
-      // A proposer shipped garbage instead of a block: skip it (the
-      // consensus already fixed the bytes; the application rejects).
-    }
+void LiveNode::on_pipeline_flush(const bm::CommitPipeline::FlushBatch& flush) {
+  // COMMITTER THREAD. The batch is already applied and journaled; this
+  // hook runs with no pipeline or ledger lock held. Anything another
+  // proposer just committed must not linger in (and later be
+  // re-proposed from) our own queue — one batched eviction pass per
+  // flush, not one lock acquisition per block.
+  if (!flush.committed_txs.empty()) {
+    std::unordered_set<chain::TxId, crypto::Hash32Hasher> committed(
+        flush.committed_txs.begin(), flush.committed_txs.end());
+    const common::MutexLock lock(decisions_mutex_);
+    mempool_evicted_->inc(mempool_.remove_committed(committed));
   }
-  // Anything another proposer just committed must not linger in (and
-  // later be re-proposed from) our own queue.
-  if (!committed.empty()) mempool_.remove_committed(committed);
+  // Close each flushed instance's lifecycle span (the tracer is
+  // internally locked; first mark per phase wins).
+  for (const auto& ci : flush.instances) {
+    tracer_->mark(ci.epoch, ci.index, obs::Phase::kApply);
+    tracer_->finish(ci.epoch, ci.index);
+  }
+}
+
+bool LiveNode::maybe_checkpoint() {
+  if (ckpt_ == nullptr) return false;
+  // Checkpoint on the contiguous COMMITTED floor (never on the decided
+  // floor, which the commit pipeline may not have applied yet, and
+  // never on an out-of-order decision ahead of a gap): the snapshot
+  // plus the journal tail must cover the whole chain. Reading the
+  // pipeline floor under ledger_mutex_ makes it consistent with the
+  // state being snapshot. The epoch label belongs to the watermark the
+  // manager actually snaps to — an interval straddling an epoch
+  // boundary would otherwise mislabel the image, and every peer's
+  // manifest gate would reject it as a relabelling attack.
+  const common::MutexLock ledger(ledger_mutex_);
+  const InstanceId floor =
+      pipeline_ ? std::min<InstanceId>(pipeline_->committed_floor(),
+                                       decision_floor())
+                : decision_floor();
+  const std::int64_t t0 = obs_clock().nanos();
+  const bool taken = ckpt_->on_decided(
+      bm_, floor, [this](InstanceId w) { return epoch_of(w).value_or(epoch_); });
+  if (taken) checkpoint_seconds_->observe(obs_clock().nanos() - t0);
+  return taken;
 }
 
 LiveNode::Engine* LiveNode::get_or_create(InstanceId k) {
@@ -551,20 +641,24 @@ LiveNode::Engine* LiveNode::get_or_create(InstanceId k) {
   // behind a join). The zero-phase only fires after a QUORUM of slots
   // deliver — with more than t members waiting for their floor to reach
   // the working instance, fewer than a quorum of slots would ever
-  // propose and the instance wedges. Only the in-order cursor drains
-  // the mempool: a remote frame for a far-future index must not be
-  // able to strand ACKed client batches in an instance the chain will
-  // not reach for ages, so everything past the cursor proposes empty.
-  // The window above the legitimate frontier (the cursor or the newest
-  // epoch boundary, whichever is ahead) bounds what one forged vote
-  // per index can make every honest node broadcast.
+  // propose and the instance wedges. Only the pipeline window above
+  // the in-order cursor drains the mempool: a remote frame for a
+  // far-future index must not be able to strand ACKed client batches
+  // in an instance the chain will not reach for ages, so everything
+  // past the window proposes empty. The window above the legitimate
+  // frontier (the cursor or the newest epoch boundary, whichever is
+  // ahead) bounds what one forged vote per index can make every honest
+  // node broadcast.
   constexpr InstanceId kProposeAheadWindow = 64;
+  const InstanceId drain_window =
+      config_.real_blocks ? std::max<InstanceId>(1, config_.pipeline_window)
+                          : 1;
   const InstanceId frontier =
       std::max(current_, epoch_spans_.empty() ? InstanceId{0}
                                               : epoch_spans_.back().first);
   if (active_ && !membership_running_ && k >= current_ &&
       k < frontier + kProposeAheadWindow) {
-    raw->propose(payload_for(k, /*drain_mempool=*/k == current_),
+    raw->propose(payload_for(k, /*drain_mempool=*/k < current_ + drain_window),
                  /*extra_wire=*/0, /*tx_count=*/1, /*verify_units=*/1);
     tracer_->mark(e, k, obs::Phase::kPropose);
   }
@@ -588,6 +682,20 @@ void LiveNode::start_instance(InstanceId k) {
   tracer_->mark(engine->epoch(), k, obs::Phase::kPropose);
 }
 
+void LiveNode::start_window() {
+  // The concurrent-instances frontier: consensus runs for every
+  // instance in the window while the commit pipeline decodes, verifies
+  // and applies the decided ones below — instead of one instance at a
+  // time gated on its own decision. start_instance is idempotent
+  // (proposed/decided engines are skipped).
+  const InstanceId window =
+      config_.real_blocks ? std::max<InstanceId>(1, config_.pipeline_window)
+                          : 1;
+  const InstanceId hi =
+      std::min<InstanceId>(config_.instances, current_ + window);
+  for (InstanceId k = current_; k < hi; ++k) start_instance(k);
+}
+
 void LiveNode::on_decided(InstanceId k) {
   Engine* engine = engines_.at(k).get();
   decided_ceiling_ = std::max(decided_ceiling_, k + 1);
@@ -595,24 +703,25 @@ void LiveNode::on_decided(InstanceId k) {
              static_cast<unsigned long long>(k), engine->epoch());
   tracer_->mark(engine->epoch(), k, obs::Phase::kDecide);
   rounds_total_->inc(engine->total_rounds());
+  // Confirmation phase: assemble and cache the certified decision
+  // BEFORE the PofStore prune below discards the AUX first-vote log
+  // the certificates are built from.
+  record_decision_msg(k, *engine);
   if (config_.real_blocks) {
     tracer_->mark(engine->epoch(), k, obs::Phase::kCommit);
-    commit_decided_blocks(k, *engine);
-    // Gap fill: instances decide out of order during catch-up, and a
-    // transaction spending an output of block k was SKIPPED when its
-    // own (higher-indexed) block committed before k existed here.
-    // Re-commit the decided blocks above k in index order — apply is
-    // txid-deduped, so in-flight state converges to the in-order
-    // result. In normal in-order operation the ceiling check makes
-    // this a no-op.
-    if (decision_ceiling() > k + 1) {
-      for (auto it = engines_.upper_bound(k); it != engines_.end(); ++it) {
-        if (it->second->has_decided()) {
-          commit_decided_blocks(it->first, *it->second);
-        }
-      }
+    // Hand the decided payloads to the staged commit pipeline. Commit
+    // is strictly in instance order: an out-of-order decision (catch-up
+    // races, quorums finishing without us) PARKS inside the pipeline
+    // until the gap below it decides, so the applied block sequence is
+    // canonical on every node — no re-commit convergence loop. submit
+    // is non-blocking; decode, ECDSA batch verification, UTXO apply
+    // and the journal fsync all happen on the pipeline's stage
+    // threads, off this loop thread and outside decisions_mutex_.
+    std::vector<Bytes> payloads;
+    for (const auto& entry : engine->outcome()) {
+      if (!entry.payload.empty()) payloads.push_back(entry.payload);
     }
-    tracer_->mark(engine->epoch(), k, obs::Phase::kApply);
+    pipeline_->submit(engine->epoch(), k, std::move(payloads));
     // If our own slot lost its binary consensus (the proposal raced the
     // zero-phase), the drained transactions must go back into the
     // mempool for the next block — clients got an ACK for them.
@@ -627,6 +736,7 @@ void LiveNode::on_decided(InstanceId k) {
                             bitmask[static_cast<std::size_t>(my_slot)] == 1;
       if (!included) {
         const common::MutexLock lock(decisions_mutex_);
+        const common::MutexLock ledger(ledger_mutex_);
         for (auto& tx : proposed->second) {
           // readmit: these were ACKed at admission; the capacity bound
           // must not silently drop them now.
@@ -635,28 +745,14 @@ void LiveNode::on_decided(InstanceId k) {
       }
       proposed_txs_.erase(proposed);
     }
-    if (ckpt_) {
-      // Checkpoint on the contiguous decided floor (never on an
-      // out-of-order decision ahead of a gap): the snapshot plus the
-      // journal tail must cover the whole chain. The epoch label
-      // belongs to the watermark the manager actually snaps to, not to
-      // the floor — an interval straddling an epoch boundary would
-      // otherwise mislabel the image, and every peer's manifest gate
-      // would reject it as a relabelling attack.
-      const InstanceId floor = decision_floor();
-      bool taken = false;
-      {
-        const common::MutexLock lock(decisions_mutex_);
-        const std::int64_t t0 = obs_clock().nanos();
-        taken = ckpt_->on_decided(bm_, floor, [this](InstanceId w) {
-          return epoch_of(w).value_or(epoch_);
-        });
-        if (taken) checkpoint_seconds_->observe(obs_clock().nanos() - t0);
-      }
-      if (taken) tracer_->mark(engine->epoch(), k, obs::Phase::kCheckpoint);
+    if (maybe_checkpoint()) {
+      tracer_->mark(engine->epoch(), k, obs::Phase::kCheckpoint);
     }
+  } else {
+    // No commit pipeline: the span ends at the decision. (In payment
+    // mode the pipeline's flush hook finishes it after apply.)
+    tracer_->finish(engine->epoch(), k);
   }
-  tracer_->finish(engine->epoch(), k);
   // The instance is settled here: its first-vote log is no longer
   // needed for PoF extraction (live equivocation was observed live),
   // and without the prune the store grows O(chain). The floor keeps
@@ -701,12 +797,11 @@ void LiveNode::on_decided(InstanceId k) {
   if (current_ < config_.instances) {
     if (config_.real_blocks && config_.block_interval > Duration::zero()) {
       // Give clients a window to fill the next block.
-      const InstanceId next = current_;
-      loop_.schedule(config_.block_interval, [this, next]() {
-        if (next < config_.instances) start_instance(next);
+      loop_.schedule(config_.block_interval, [this]() {
+        if (!membership_running_) start_window();
       });
     } else {
-      start_instance(current_);
+      start_window();
     }
   }
 }
@@ -770,6 +865,7 @@ void LiveNode::requeue_proposed(InstanceId k) {
   if (it == proposed_txs_.end()) return;
   {
     const common::MutexLock lock(decisions_mutex_);
+    const common::MutexLock ledger(ledger_mutex_);
     for (auto& tx : it->second) {
       // Clients were ACKed at admission; the teardown of an engine
       // whose proposal never decided must not silently drop them.
@@ -777,6 +873,124 @@ void LiveNode::requeue_proposed(InstanceId k) {
     }
   }
   proposed_txs_.erase(it);
+}
+
+// --- confirmation phase (§4.1.1 ②, live port) ------------------------
+
+void LiveNode::record_decision_msg(InstanceId k, Engine& engine) {
+  // Assemble the certified decision while the AUX first-vote log still
+  // exists (on_decided prunes it right after). Unlike the simulator —
+  // which models certificate bytes on the wire — this builds the REAL
+  // per-slot quorum certificates, so a straggler that receives the
+  // cached frame adopts every slot's decision instead of re-running
+  // binary consensus. Nothing is broadcast here: the frame is replayed
+  // only to stalled peers by the resync layer, keeping the steady
+  // state at zero extra traffic.
+  if (!config_.engine.accountable) return;
+  const auto lit = epoch_live_.find(engine.epoch());
+  if (lit == epoch_live_.end()) return;
+  const std::size_t quorum = lit->second.quorum();
+  DecisionMsg msg;
+  msg.sender = config_.me;
+  msg.key = engine.key();
+  msg.bitmask = engine.bitmask();
+  for (const auto& entry : engine.outcome()) {
+    msg.digests.push_back(entry.digest);
+  }
+  for (std::uint32_t s = 0; s < engine.slot_count(); ++s) {
+    const auto dbg = engine.slot_debug(s);
+    // decided_round == 0 means this slot was itself adopted from a
+    // certificate — we never logged its deciding round's votes, so we
+    // cannot re-certify it. No cached decision then; plain wire resync
+    // still covers such peers.
+    if (!dbg.decided || dbg.decided_round == 0) return;
+    SlotCert cert;
+    cert.slot = s;
+    cert.round = dbg.decided_round;
+    cert.value = dbg.decided_value;
+    std::set<ReplicaId> seen;
+    for (const auto& vote : pofs_.votes_for(engine.key(), s)) {
+      if (vote.body.type != consensus::VoteType::kAux) continue;
+      if (vote.body.round != dbg.decided_round) continue;
+      if (vote.body.value.size() != 1 ||
+          vote.body.value[0] != dbg.decided_value) {
+        continue;
+      }
+      if (!seen.insert(vote.signer).second) continue;
+      cert.votes.push_back(vote);
+      if (cert.votes.size() >= quorum) break;
+    }
+    if (cert.votes.size() < quorum) return;  // cannot certify: skip caching
+    msg.certs.push_back(std::move(cert));
+  }
+  const Bytes summary = msg.summary_bytes();
+  msg.signature =
+      scheme_->sign(config_.me, BytesView(summary.data(), summary.size()));
+  decision_log_[k] = consensus::encode_decision_msg(msg);
+}
+
+void LiveNode::handle_decision_msg(ReplicaId from,
+                                   const consensus::DecisionMsg& msg) {
+  // Straggler catch-up: adopt certified slot decisions instead of
+  // re-running their binary consensus. Adoption thresholds use OUR
+  // live committee — a sender whose committee already shrank further
+  // produces certs we may reject, and plain wire resync covers that.
+  (void)from;  // summary signature was verified against msg.sender
+  if (msg.key.kind != InstanceKind::kRegular) return;
+  const InstanceId k = msg.key.index;
+  if (k >= config_.instances) return;
+  const auto eo = epoch_of(k);
+  if (!eo || *eo != msg.key.epoch) return;
+  const auto lit = epoch_live_.find(msg.key.epoch);
+  if (lit == epoch_live_.end()) return;
+  const std::size_t quorum = lit->second.quorum();
+  Engine* engine = get_or_create(k);
+  if (engine == nullptr || engine->has_decided()) return;
+  // Decided-1 slots consume the digest list in slot order (the wire
+  // layout the simulator's conflict detection uses too).
+  std::map<std::uint32_t, crypto::Hash32> digest_of;
+  {
+    std::size_t di = 0;
+    for (std::uint32_t s = 0; s < msg.bitmask.size(); ++s) {
+      if (msg.bitmask[s] == 1 && di < msg.digests.size()) {
+        digest_of[s] = msg.digests[di++];
+      }
+    }
+  }
+  for (const auto& cert : msg.certs) {
+    if (cert.slot >= engine->slot_count()) continue;
+    const std::uint8_t summary_value =
+        cert.slot < msg.bitmask.size() ? msg.bitmask[cert.slot] : 0;
+    if (cert.value != summary_value) continue;  // contradicts the summary
+    std::set<ReplicaId> seen;
+    std::size_t valid = 0;
+    for (const auto& vote : cert.votes) {
+      if (!(vote.body.key == msg.key) || vote.body.slot != cert.slot ||
+          vote.body.round != cert.round ||
+          vote.body.type != consensus::VoteType::kAux ||
+          vote.body.value.size() != 1 || vote.body.value[0] != cert.value) {
+        continue;
+      }
+      if (!lit->second.contains(vote.signer)) continue;
+      if (!seen.insert(vote.signer).second) continue;
+      const Bytes sb = vote.body.signing_bytes();
+      if (!scheme_->verify(vote.signer, BytesView(sb.data(), sb.size()),
+                           BytesView(vote.signature.data(),
+                                     vote.signature.size()))) {
+        continue;
+      }
+      if (++valid >= quorum) break;
+    }
+    if (valid < quorum) continue;
+    const auto dit = digest_of.find(cert.slot);
+    // A value-1 adoption without the matching proposal parks inside the
+    // engine (check_instance_decided requires delivery); wire replay of
+    // the proposal completes it.
+    engine->adopt_slot_decision(cert.slot, cert.value,
+                                cert.value == 1 && dit != digest_of.end()
+                                    ? &dit->second
+                                    : nullptr);
+  }
 }
 
 void LiveNode::observe_vote(const SignedVote& vote) {
@@ -1136,8 +1350,14 @@ void LiveNode::on_inclusion_decided(const Key& /*key*/, Engine& engine) {
     reconfig_.excluded += cons_exclude_.size();
     reconfig_.included += chosen.size();
     if (reconfig_.include_ms < 0) reconfig_.include_ms = ms_since_start();
-    // The boundary enters the WAL before any new-epoch block can: a
+  }
+  {
+    // The boundary enters the WAL before any new-epoch block can: blocks
+    // of the new epoch only commit after instances past the boundary
+    // decide (which happens after this callback), and ledger_mutex_
+    // serializes this record against every pipeline journal write. A
     // restart must never replay epoch-e+1 blocks into an epoch-0 view.
+    const common::MutexLock ledger(ledger_mutex_);
     (void)bm_.journal_epoch(chain::EpochRecord{
         new_epoch, pending_boundary_, members, sorted_unique(excluded_ids_)});
   }
@@ -1318,6 +1538,9 @@ void LiveNode::adopt_epoch(const EpochAnnounceMsg& msg) {
     committee_snapshot_ = members;
     reconfig_.epoch = msg.epoch;
     if (reconfig_.include_ms < 0) reconfig_.include_ms = ms_since_start();
+  }
+  {
+    const common::MutexLock ledger(ledger_mutex_);
     (void)bm_.journal_epoch(chain::EpochRecord{msg.epoch, msg.start_index,
                                                members, excluded_ids_});
   }
@@ -1588,7 +1811,15 @@ void LiveNode::resync_tick() {
       it->second->clear_wire_log();
     }
     pruned_floor_ = std::max(pruned_floor_, floor);
+    // Cached decision frames follow the wire logs: below the prune
+    // floor a stalled peer is snapshot territory anyway.
+    decision_log_.erase(decision_log_.begin(),
+                        decision_log_.lower_bound(pruned_floor_));
   }
+  // The commit floor advances asynchronously (the pipeline's committer
+  // thread): re-check the checkpoint trigger here so a flush that
+  // crossed the interval between decisions still snapshots promptly.
+  if (config_.real_blocks) (void)maybe_checkpoint();
   // Distributed termination for lingering nodes without an external
   // coordinator (standalone daemons): wind down once we decided
   // everything AND every peer reported it is done too — until then a
@@ -1667,9 +1898,17 @@ void LiveNode::handle_resync_status(ReplicaId from, std::uint32_t peer_epoch,
       constexpr int kOfferCooldownTicks = 8;
       if (resync_ticks_ - ps.offer_tick >= kOfferCooldownTicks) {
         if (stuck_pruned && ckpt_->watermark() < pruned_floor_) {
-          const common::MutexLock lock(decisions_mutex_);
-          (void)ckpt_->take(bm_, my_floor,
-                            epoch_of(my_floor).value_or(epoch_));
+          // Snapshot at the COMMITTED floor, not the decided one: the
+          // pipeline may still be applying decided instances, and a
+          // checkpoint labeled past the applied state would ship a
+          // watermark its own image does not cover.
+          const InstanceId commit_floor =
+              pipeline_ ? std::min<InstanceId>(pipeline_->committed_floor(),
+                                               my_floor)
+                        : my_floor;
+          const common::MutexLock ledger(ledger_mutex_);
+          (void)ckpt_->take(bm_, commit_floor,
+                            epoch_of(commit_floor).value_or(epoch_));
         }
         ps.offer_tick = resync_ticks_;
         send_manifest(from);
@@ -1710,6 +1949,14 @@ void LiveNode::handle_resync_status(ReplicaId from, std::uint32_t peer_epoch,
     // payload, which no honest node's own wire log can resend.
     for (const Bytes& wire : it->second->known_proposals()) {
       send_counted(from, BytesView(wire.data(), wire.size()));
+    }
+    // Confirmation phase: the cached certified decision lets the peer
+    // adopt every slot outcome in one hop instead of replaying the
+    // whole vote exchange (it still needs the proposals above to
+    // deliver value-1 payloads).
+    const auto dit = decision_log_.find(k);
+    if (dit != decision_log_.end()) {
+      send_counted(from, BytesView(dit->second.data(), dit->second.size()));
     }
   }
   // A stalled peer may be stuck on the membership change itself, not a
@@ -1827,8 +2074,16 @@ void LiveNode::install_snapshot_bytes(const Bytes& bytes) {
   // restoring an image older than what we already executed would
   // rewind the ledger past live-committed blocks.
   if (snap.upto <= decision_floor()) return;
+  // Quiesce the commit pipeline before the restore replaces the state
+  // it applies onto: after drain() the committer is parked waiting for
+  // the (gapped) next instance, and nothing new can be submitted —
+  // submissions happen on this loop thread. NOTE: no lock is held here;
+  // drain() under decisions_mutex_ would deadlock against the flush
+  // hook.
+  if (pipeline_ != nullptr) pipeline_->drain();
   {
     const common::MutexLock lock(decisions_mutex_);
+    const common::MutexLock ledger(ledger_mutex_);
     bm_.restore(snap);
     ++sync_stats_.snapshots_installed;
     sync_stats_.installed_upto = snap.upto;
@@ -1842,16 +2097,16 @@ void LiveNode::install_snapshot_bytes(const Bytes& bytes) {
   ZLB_RTRACE("[%u] snapshot installed upto=%llu", config_.me,
              static_cast<unsigned long long>(snap.upto));
   settle_below(snap.upto);
-  // Instances decided out of order beyond the watermark were committed
-  // before the restore wiped their effects; re-commit them on top of
-  // the installed state (idempotent — application dedups by txid).
-  for (auto& [k, engine] : engines_) {
-    if (engine->has_decided()) commit_decided_blocks(k, *engine);
-  }
+  // Everything the pipeline already committed is below the watermark
+  // (covered by the installed image); decided-but-uncommitted instances
+  // beyond it are still parked inside the pipeline and apply later on
+  // top of the restored state. Settling the pipeline drops the covered
+  // history and re-anchors its commit cursor at the watermark.
+  if (pipeline_ != nullptr) pipeline_->settle_to(snap.upto);
   // Participate from the watermark on: the tail either decides with us
   // or arrives by wire replay once our (now much higher) floor stalls.
   if (!all_decided() && current_ < config_.instances) {
-    start_instance(current_);
+    start_window();
   }
 }
 
@@ -1959,8 +2214,20 @@ void LiveNode::on_frame(ReplicaId from, BytesView data) {
         if (image.has_value()) install_snapshot_bytes(*image);
         break;
       }
+      case MsgTag::kDecision: {
+        const auto msg = consensus::DecisionMsg::decode(r);
+        if (!r.done()) break;
+        const Bytes sb = msg.summary_bytes();
+        if (!scheme_->verify(msg.sender, BytesView(sb.data(), sb.size()),
+                             BytesView(msg.signature.data(),
+                                       msg.signature.size()))) {
+          break;
+        }
+        handle_decision_msg(from, msg);
+        break;
+      }
       default:
-        break;  // confirmation/recovery traffic is simulator-only
+        break;  // recovery traffic is simulator-only
     }
   } catch (const DecodeError&) {
     // Malformed frame from `from`: ignored (a live deployment would
@@ -1980,7 +2247,7 @@ void LiveNode::run(Duration deadline) {
     // bm_ is mutex-guarded; even though no other thread can be touching
     // it this early, the pre-recovery probe takes the lock like every
     // other bm_ access so the guard holds uniformly.
-    const common::MutexLock lock(decisions_mutex_);
+    const common::MutexLock ledger(ledger_mutex_);
     need_recovery = config_.real_blocks && !bm_.journaling();
   }
   if (need_recovery) {
@@ -1993,7 +2260,10 @@ void LiveNode::run(Duration deadline) {
     bool restored = false;
     InstanceId restored_upto = 0;
     {
+      // Both domains: restore/open_journal mutate the ledger, while the
+      // epoch-record replay rebuilds decisions-domain membership state.
       const common::MutexLock lock(decisions_mutex_);
+      const common::MutexLock ledger(ledger_mutex_);
       if (ckpt_ != nullptr) {
         if (const auto snap = ckpt_->load_disk()) {
           bm_.restore(*snap);
@@ -2016,11 +2286,16 @@ void LiveNode::run(Duration deadline) {
         }
       }
     }
-    if (restored) settle_below(restored_upto);
+    if (restored) {
+      settle_below(restored_upto);
+      // The restored image covers everything below the watermark; the
+      // pipeline must not re-apply it.
+      if (pipeline_ != nullptr) pipeline_->settle_to(restored_upto);
+    }
     if (epoch_ > 0) retarget_transport();
   }
   transport_.start();
-  if (active_) start_instance(current_);
+  if (active_) start_window();
   if (config_.resync_interval > Duration::zero()) {
     loop_.schedule(config_.resync_interval, [this]() { resync_tick(); });
   }
@@ -2030,6 +2305,14 @@ void LiveNode::run(Duration deadline) {
     });
   }
   loop_.run_until(Clock::now() + deadline);
+  if (pipeline_ != nullptr) {
+    // Flush the in-flight tail before callers read the ledger: every
+    // decision submitted by the loop is applied and journal-synced when
+    // run() returns. Parked out-of-order decisions beyond a gap stay
+    // parked — committing them would break canonical order.
+    pipeline_->drain();
+    (void)maybe_checkpoint();
+  }
 }
 
 std::vector<LiveDecision> LiveNode::decisions() const {
@@ -2050,7 +2333,7 @@ chain::Journal::ReplayStats LiveNode::journal_replay_stats() const {
 }
 
 crypto::Hash32 LiveNode::state_digest() const {
-  const common::MutexLock lock(decisions_mutex_);
+  const common::MutexLock ledger(ledger_mutex_);
   return bm_.state_digest();
 }
 

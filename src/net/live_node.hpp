@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "bm/block_manager.hpp"
+#include "bm/commit_pipeline.hpp"
 #include "common/clock.hpp"
 #include "common/mutex.hpp"
 #include "chain/mempool.hpp"
@@ -129,6 +130,17 @@ struct LiveNodeConfig {
   std::size_t down_link_buffer_bytes = 1u << 20;
   /// Transactions drained into one proposed block.
   std::size_t max_block_txs = 4096;
+  /// Payment mode: regular SBC instances kept in flight concurrently.
+  /// The node proposes (and drains the mempool for) every instance in
+  /// [cursor, cursor + pipeline_window) instead of waiting for each
+  /// decision before opening the next — consensus for instance k+1
+  /// overlaps the decode/verify/apply of instance k inside the commit
+  /// pipeline. 1 restores the strict propose-after-decide cadence.
+  InstanceId pipeline_window = 4;
+  /// Commit-pipeline verify-stage worker threads (the thread pool the
+  /// decoded blocks' ECDSA batch verification fans across). 0 =
+  /// verify serially on the pipeline's verifier thread.
+  std::size_t commit_workers = 1;
   /// Wall-clock source for resync-status freshness stamps and all
   /// lifecycle-span / duration metrics. Null = the real system clock;
   /// deterministic harnesses inject a ManualClock.
@@ -151,32 +163,42 @@ struct LiveDecision {
 
 // Threading model & lock order
 // ----------------------------
-// A running LiveNode spans exactly two thread domains:
+// A running LiveNode spans three thread domains:
 //
 //   1. The loop thread (the caller of run()): owns the event loop, the
 //      transport, every engine map, the epoch/membership state and all
 //      cursors. Everything not explicitly marked otherwise below is
 //      loop-thread-affine and intentionally unlocked.
-//   2. Harness/observer threads (LiveCluster, tests, benches): may only
+//   2. The commit pipeline's stage threads (payment mode; see
+//      bm::CommitPipeline): a verifier that decodes + batch-verifies
+//      decided payloads with NO ledger access, and a committer that
+//      applies+journals them under ledger_mutex_ and then runs the
+//      flush hook (on_pipeline_flush) with no lock held.
+//   3. Harness/observer threads (LiveCluster, tests, benches): may only
 //      call stop() (atomic), the *_atomic accessors, and the accessors
-//      annotated EXCLUDES(decisions_mutex_), which snapshot under the
-//      mutex.
+//      annotated EXCLUDES on a mutex, which snapshot under it.
 //
-// decisions_mutex_ guards the small cross-thread surface: the decision
-// log, the ledger (bm_ + mempool_), the stats blocks and the committee
-// snapshot. Lock-order (outermost first):
+// Two locks, strictly ordered (outermost first):
 //
-//   decisions_mutex_  >  ThreadPool::mu_ (+ its per-call done_mu)
+//   decisions_mutex_  >  ledger_mutex_  >  pipeline internals
+//                                          (CommitPipeline::mu_,
+//                                           ThreadPool::mu_ + done_mu)
 //
-// The pool locks nest inside because commit_decided_blocks holds
-// decisions_mutex_ while bm_.commit_block batch-verifies signatures
-// through ThreadPool::parallel_for. The inverse order is forbidden: a
-// pool task must NEVER touch a LiveNode (nothing may capture `this`
-// into parallel_for), or a task blocked on decisions_mutex_ would
-// deadlock against the committer waiting for that very task. No other
-// lock exists in this class; keep it that way — helpers that need the
-// lock are annotated REQUIRES, helpers that take it are EXCLUDES, and
-// the clang -Wthread-safety CI job enforces both.
+// decisions_mutex_ guards the loop/observer surface: the decision log,
+// the mempool, the stats blocks and the committee snapshot. It is
+// never held across signature verification, UTXO application or
+// journal I/O — those are the pipeline's job.
+//
+// ledger_mutex_ guards bm_: UTXO state, known-tx set, block store AND
+// the journal. The committer thread takes it per flush; loop-thread
+// reads (knows_tx, digests, snapshots, journal_epoch) take it too,
+// nested inside decisions_mutex_ where both are needed. A pool task
+// must NEVER touch a LiveNode (nothing may capture `this` into
+// parallel_for), and nothing may call CommitPipeline::drain() while
+// holding a lock the flush hook takes (decisions_mutex_) — the
+// committer needs the hook to finish a flush. Helpers that need a
+// lock are annotated REQUIRES, helpers that take one are EXCLUDES,
+// and the clang -Wthread-safety CI job enforces both.
 class LiveNode {
  public:
   explicit LiveNode(LiveNodeConfig config);
@@ -276,14 +298,14 @@ class LiveNode {
       EXCLUDES(decisions_mutex_);
   /// Thread-safe ledger digest (position-independent).
   [[nodiscard]] crypto::Hash32 state_digest() const
-      EXCLUDES(decisions_mutex_);
+      EXCLUDES(ledger_mutex_);
   [[nodiscard]] const sync::CheckpointManager* checkpoints() const {
     return ckpt_ ? ckpt_.get() : nullptr;
   }
   /// Local chain state. Mutate (e.g. mint a genesis) only before run();
   /// once the node runs, go through balance()/owned_coins()/
   /// state_digest() instead — this escape hatch deliberately bypasses
-  /// the decisions_mutex_ guard on bm_ for the single-threaded setup
+  /// the ledger_mutex_ guard on bm_ for the single-threaded setup
   /// phase.
   [[nodiscard]] bm::BlockManager& block_manager()
       NO_THREAD_SAFETY_ANALYSIS {
@@ -293,18 +315,25 @@ class LiveNode {
       NO_THREAD_SAFETY_ANALYSIS {
     return bm_;
   }
-  /// Thread-safe balance snapshot (the loop thread owns bm_ during run).
+  /// Thread-safe balance snapshot (reads the ledger under its lock).
   [[nodiscard]] chain::Amount balance(const chain::Address& a) const
-      EXCLUDES(decisions_mutex_);
+      EXCLUDES(ledger_mutex_);
   /// Thread-safe snapshot of an address's spendable coins.
   [[nodiscard]] std::vector<std::pair<chain::OutPoint, chain::TxOut>>
-  owned_coins(const chain::Address& a) const EXCLUDES(decisions_mutex_);
+  owned_coins(const chain::Address& a) const EXCLUDES(ledger_mutex_);
+  /// Commit-pipeline observability (null when not in payment mode).
+  [[nodiscard]] const bm::CommitPipeline* pipeline() const {
+    return pipeline_.get();
+  }
 
  private:
   using Engine = consensus::SbcEngine;
   using Key = consensus::InstanceKey;
 
   void start_instance(InstanceId k) EXCLUDES(decisions_mutex_);
+  /// Opens every instance in [cursor, cursor + pipeline_window): the
+  /// concurrent-instances frontier (window 1 outside payment mode).
+  void start_window() EXCLUDES(decisions_mutex_);
   Engine* get_or_create(InstanceId k) EXCLUDES(decisions_mutex_);
   void on_frame(ReplicaId from, BytesView data) EXCLUDES(decisions_mutex_);
   void on_decided(InstanceId k) EXCLUDES(decisions_mutex_);
@@ -328,8 +357,27 @@ class LiveNode {
       EXCLUDES(decisions_mutex_);
   /// Cooldown-gated re-send of our latest epoch announcement.
   void maybe_reannounce(ReplicaId to);
-  bool accept_tx(const chain::Transaction& tx) EXCLUDES(decisions_mutex_);
-  void commit_decided_blocks(InstanceId k, Engine& engine)
+  bool accept_tx(const chain::Transaction& tx)
+      EXCLUDES(decisions_mutex_, ledger_mutex_);
+  /// Commit-pipeline flush hook. Runs on the PIPELINE'S COMMITTER
+  /// thread with no pipeline or ledger lock held; may only touch
+  /// cross-thread-safe state (mempool under decisions_mutex_, the
+  /// internally-locked tracer, atomic counters).
+  void on_pipeline_flush(const bm::CommitPipeline::FlushBatch& flush)
+      EXCLUDES(decisions_mutex_, ledger_mutex_);
+  /// Cuts a checkpoint at the pipeline's contiguous committed floor if
+  /// the interval elapsed; returns whether one was taken. Loop thread.
+  bool maybe_checkpoint() EXCLUDES(decisions_mutex_, ledger_mutex_);
+  /// Confirmation phase (§4.1.1 ②, live): assemble the per-slot AUX
+  /// certificates of a just-decided instance (from the PofStore's
+  /// first-vote log, BEFORE it is pruned), sign the decision summary
+  /// and cache the encoded frame for replay to stalled peers.
+  void record_decision_msg(InstanceId k, Engine& engine);
+  /// A peer's certified decision: verify the summary signature and the
+  /// per-slot certificates, then adopt the decided values into the
+  /// local engine instead of re-running its binary consensus.
+  void handle_decision_msg(ReplicaId from,
+                           const consensus::DecisionMsg& msg)
       EXCLUDES(decisions_mutex_);
   /// Offers our latest checkpoint to `to` (signed manifest).
   void send_manifest(ReplicaId to) EXCLUDES(decisions_mutex_);
@@ -420,6 +468,9 @@ class LiveNode {
   obs::Counter* mempool_rejects_dup_ = nullptr;
   obs::Counter* mempool_rejects_committed_ = nullptr;
   obs::Counter* mempool_rejects_full_ = nullptr;
+  /// Transactions evicted from the mempool because a pipeline flush
+  /// committed them (one batched eviction pass per flush).
+  obs::Counter* mempool_evicted_ = nullptr;
   obs::Histogram* checkpoint_seconds_ = nullptr;
 
   // --- epoch state ---------------------------------------------------
@@ -514,7 +565,17 @@ class LiveNode {
   /// drained/readmitted under decisions_mutex_ where they touch the
   /// mempool).
   std::map<InstanceId, std::vector<chain::Transaction>> proposed_txs_;
-  bm::BlockManager bm_ GUARDED_BY(decisions_mutex_);
+  /// Guards bm_ — UTXO state, known-tx set, block store AND journal.
+  /// Taken by the pipeline's committer thread per flush and by
+  /// loop/observer reads; nests INSIDE decisions_mutex_ (see the
+  /// threading-model comment).
+  mutable common::Mutex ledger_mutex_;
+  bm::BlockManager bm_ GUARDED_BY(ledger_mutex_);
+  /// Encoded kDecision frames by instance (confirmation phase): the
+  /// certified decisions this node can replay to a stalled peer so a
+  /// straggler adopts an old-epoch decision instead of re-running it.
+  /// Loop-thread only; pruned with the wire logs.
+  std::map<InstanceId, Bytes> decision_log_;
 
   /// Checkpoint/state-sync (payment mode; see src/sync).
   std::unique_ptr<sync::CheckpointManager> ckpt_;
@@ -526,14 +587,20 @@ class LiveNode {
   SyncStats sync_stats_ GUARDED_BY(decisions_mutex_);
   chain::Journal::ReplayStats journal_replay_ GUARDED_BY(decisions_mutex_);
 
-  /// The node's only lock; see the threading-model comment above the
-  /// class for what it guards and how it orders against ThreadPool.
+  /// The outermost lock (decisions_mutex_ > ledger_mutex_); see the
+  /// threading-model comment above the class for what it guards.
   mutable common::Mutex decisions_mutex_;
   /// Mutex-guarded copy of the current committee for cross-thread
   /// readers; the epoch maps themselves are loop-thread-only.
   std::vector<ReplicaId> committee_snapshot_ GUARDED_BY(decisions_mutex_);
   std::vector<LiveDecision> decisions_ GUARDED_BY(decisions_mutex_);
   std::atomic<std::uint64_t> decided_count_{0};
+
+  /// Staged decode → batch-verify → apply → journal pipeline (payment
+  /// mode). DECLARED LAST: its destructor drains and joins the stage
+  /// threads, whose flush hook touches mempool_, tracer_ and metric
+  /// counters — everything it references must still be alive.
+  std::unique_ptr<bm::CommitPipeline> pipeline_;
 };
 
 /// Spawns n LiveNodes on loopback, runs each on its own thread and
