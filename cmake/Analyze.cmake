@@ -1,0 +1,62 @@
+# ZLB semantic analyzer integration (tools/analyze/zlb_analyze.py).
+#
+# Adds, when a Python3 interpreter exists:
+#   - a `zlb_analyze` custom target (manual:
+#     `cmake --build build -t zlb_analyze`) running all five checkers
+#     (lock-order, epoch-taint, bounded-decode, wire-schema,
+#     lock-blocking) over src/ with the allowlist and the committed
+#     wire-schema golden
+#   - two ctest entries, registered next to zlb_lint_src:
+#       zlb_analyze_src       src/ must be clean under the allowlist
+#                             and match wire_schema.golden.json
+#       zlb_analyze_fixtures  every known-bad fixture must still fail
+#                             with its checker, the schema must
+#                             round-trip, and the allowlist must stay
+#                             load-bearing (tools/analyze/test_zlb_analyze.py)
+#
+# The analyzer picks its frontend itself: the clang Python bindings +
+# compile_commands.json when importable, else the bundled pure-Python
+# C++ parser — so these targets never need libclang to pass. Without
+# Python3 everything is skipped with a notice, mirroring Lint.cmake.
+
+find_package(Python3 COMPONENTS Interpreter QUIET)
+
+if(NOT Python3_Interpreter_FOUND)
+  message(STATUS "Python3 not found — zlb_analyze target and tests disabled")
+  return()
+endif()
+
+set(ZLB_ANALYZE_SCRIPT
+    "${CMAKE_CURRENT_SOURCE_DIR}/tools/analyze/zlb_analyze.py")
+set(ZLB_ANALYZE_ALLOW
+    "${CMAKE_CURRENT_SOURCE_DIR}/tools/analyze/zlb_analyze_allow.txt")
+set(ZLB_ANALYZE_GOLDEN
+    "${CMAKE_CURRENT_SOURCE_DIR}/tools/analyze/wire_schema.golden.json")
+set(ZLB_ANALYZE_SELFTEST
+    "${CMAKE_CURRENT_SOURCE_DIR}/tools/analyze/test_zlb_analyze.py")
+
+add_custom_target(zlb_analyze
+  COMMAND "${Python3_EXECUTABLE}" "${ZLB_ANALYZE_SCRIPT}"
+          --root "${CMAKE_CURRENT_SOURCE_DIR}/src"
+          --allow "${ZLB_ANALYZE_ALLOW}"
+          --schema-golden "${ZLB_ANALYZE_GOLDEN}"
+          --compdb "${CMAKE_BINARY_DIR}"
+          --warn-unused-allow
+  WORKING_DIRECTORY "${CMAKE_CURRENT_SOURCE_DIR}"
+  COMMENT "Running ZLB semantic analyzer (5 checkers) over src/"
+  VERBATIM)
+
+if(ZLB_BUILD_TESTS)
+  add_test(NAME zlb_analyze_src
+    COMMAND "${Python3_EXECUTABLE}" "${ZLB_ANALYZE_SCRIPT}"
+            --root "${CMAKE_CURRENT_SOURCE_DIR}/src"
+            --allow "${ZLB_ANALYZE_ALLOW}"
+            --schema-golden "${ZLB_ANALYZE_GOLDEN}"
+            --compdb "${CMAKE_BINARY_DIR}"
+            --warn-unused-allow)
+  add_test(NAME zlb_analyze_fixtures
+    COMMAND "${Python3_EXECUTABLE}" "${ZLB_ANALYZE_SELFTEST}")
+  set_tests_properties(zlb_analyze_src zlb_analyze_fixtures PROPERTIES
+    TIMEOUT 300
+    LABELS "lint")
+endif()

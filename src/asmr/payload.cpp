@@ -35,8 +35,7 @@ Bytes encode_replica_ids(const std::vector<ReplicaId>& ids) {
 
 std::vector<ReplicaId> decode_replica_ids(BytesView data) {
   Reader r(data);
-  const std::uint64_t n = r.varint();
-  if (n > 65536) throw DecodeError("decode_replica_ids: too many");
+  const std::uint64_t n = r.length_prefix(sizeof(ReplicaId), 65536);
   std::vector<ReplicaId> out;
   out.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) out.push_back(r.u32());

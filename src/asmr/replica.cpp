@@ -513,8 +513,7 @@ void Replica::send_catchup(ReplicaId to) {
 
 void Replica::handle_catchup(ReplicaId from, Reader& r) {
   const std::uint32_t epoch = r.u32();
-  const std::uint64_t nm = r.varint();
-  if (nm > 65536) throw DecodeError("catchup: too many members");
+  const std::uint64_t nm = r.length_prefix(sizeof(ReplicaId), 65536);
   std::vector<ReplicaId> members;
   members.reserve(nm);
   for (std::uint64_t i = 0; i < nm; ++i) members.push_back(r.u32());

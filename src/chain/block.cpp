@@ -17,8 +17,8 @@ Block Block::deserialize(Reader& r) {
   b.index = r.u64();
   b.slot = r.u32();
   b.proposer = r.u32();
-  const std::uint64_t n = r.varint();
-  if (n > 1u << 20) throw DecodeError("Block: too many transactions");
+  // A serialized transaction is at least 10 bytes (seq + two counts).
+  const std::uint64_t n = r.length_prefix(10, 1u << 20);
   b.txs.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) {
     b.txs.push_back(Transaction::deserialize(r));

@@ -85,12 +85,10 @@ EpochRecord EpochRecord::deserialize(Reader& r) {
   EpochRecord rec;
   rec.epoch = r.u32();
   rec.start_index = r.u64();
-  const std::uint64_t n = r.varint();
-  if (n > 65536) throw DecodeError("EpochRecord: absurd member count");
+  const std::uint64_t n = r.length_prefix(sizeof(std::uint32_t), 65536);
   rec.members.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) rec.members.push_back(r.u32());
-  const std::uint64_t ne = r.varint();
-  if (ne > 65536) throw DecodeError("EpochRecord: absurd excluded count");
+  const std::uint64_t ne = r.length_prefix(sizeof(std::uint32_t), 65536);
   rec.excluded.reserve(ne);
   for (std::uint64_t i = 0; i < ne; ++i) rec.excluded.push_back(r.u32());
   return rec;

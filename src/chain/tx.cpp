@@ -57,8 +57,8 @@ Bytes Transaction::serialize() const {
 Transaction Transaction::deserialize(Reader& r) {
   Transaction tx;
   tx.seq = r.u64();
-  const std::uint64_t n_in = r.varint();
-  if (n_in > 1024) throw DecodeError("Transaction: too many inputs");
+  // TxIn wire size: 32 txid + 4 index + 8 value + 33 pubkey + 64 sig.
+  const std::uint64_t n_in = r.length_prefix(141, 1024);
   tx.inputs.reserve(n_in);
   for (std::uint64_t i = 0; i < n_in; ++i) {
     TxIn in;
@@ -72,8 +72,8 @@ Transaction Transaction::deserialize(Reader& r) {
     std::copy(sig.begin(), sig.end(), in.sig.begin());
     tx.inputs.push_back(in);
   }
-  const std::uint64_t n_out = r.varint();
-  if (n_out > 1024) throw DecodeError("Transaction: too many outputs");
+  // TxOut wire size: 8 value + 20 address.
+  const std::uint64_t n_out = r.length_prefix(28, 1024);
   tx.outputs.reserve(n_out);
   for (std::uint64_t i = 0; i < n_out; ++i) {
     TxOut out;

@@ -73,6 +73,17 @@ std::uint64_t Reader::varint() {
   return v;
 }
 
+std::uint64_t Reader::length_prefix(std::size_t min_entry_bytes,
+                                    std::uint64_t max_count) {
+  const std::uint64_t n = varint();
+  if (n > max_count) throw DecodeError("Reader: sequence count over limit");
+  // Divide rather than multiply: n * min_entry_bytes could wrap.
+  if (min_entry_bytes > 0 && n > remaining() / min_entry_bytes) {
+    throw DecodeError("Reader: sequence count exceeds remaining data");
+  }
+  return n;
+}
+
 Bytes Reader::raw(std::size_t n) {
   need(n);
   Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),

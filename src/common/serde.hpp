@@ -54,6 +54,15 @@ class Reader {
   [[nodiscard]] std::uint64_t u64();
   [[nodiscard]] std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
   [[nodiscard]] std::uint64_t varint();
+  /// Varint element count for a length-prefixed sequence, proven
+  /// satisfiable before any allocation: throws unless
+  /// `count <= max_count` and `count * min_entry_bytes <= remaining()`.
+  /// Every count that sizes a reserve()/resize() on wire input must
+  /// come through here (or sit under an explicit remaining() check) —
+  /// otherwise a few-byte frame can demand an arbitrary allocation.
+  /// zlb_analyze's bounded-decode checker enforces exactly that.
+  [[nodiscard]] std::uint64_t length_prefix(std::size_t min_entry_bytes,
+                                            std::uint64_t max_count);
   [[nodiscard]] Bytes raw(std::size_t n);
   [[nodiscard]] Bytes bytes();
   [[nodiscard]] std::string string();

@@ -87,8 +87,8 @@ SlotCert SlotCert::decode(Reader& r) {
   c.slot = r.u32();
   c.round = r.u32();
   c.value = r.u8();
-  const std::uint64_t n = r.varint();
-  if (n > 4096) throw DecodeError("SlotCert: too many votes");
+  // A signed vote is at least 28 bytes on the wire.
+  const std::uint64_t n = r.length_prefix(28, 4096);
   c.votes.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) c.votes.push_back(SignedVote::decode(r));
   return c;
@@ -128,8 +128,7 @@ DecisionMsg DecisionMsg::decode(Reader& r) {
   d.sender = r.u32();
   d.key = InstanceKey::decode(r);
   d.bitmask = r.bytes();
-  const std::uint64_t nd = r.varint();
-  if (nd > 4096) throw DecodeError("DecisionMsg: too many digests");
+  const std::uint64_t nd = r.length_prefix(32, 4096);
   d.digests.reserve(nd);
   for (std::uint64_t i = 0; i < nd; ++i) {
     const Bytes raw = r.raw(32);
@@ -137,8 +136,8 @@ DecisionMsg DecisionMsg::decode(Reader& r) {
     std::copy(raw.begin(), raw.end(), h.begin());
     d.digests.push_back(h);
   }
-  const std::uint64_t nc = r.varint();
-  if (nc > 4096) throw DecodeError("DecisionMsg: too many certs");
+  // A cert is at least 13 bytes (slot + round + value + empty votes).
+  const std::uint64_t nc = r.length_prefix(13, 4096);
   d.certs.reserve(nc);
   for (std::uint64_t i = 0; i < nc; ++i) d.certs.push_back(SlotCert::decode(r));
   d.signature = r.bytes();
@@ -185,14 +184,11 @@ EpochAnnounceMsg EpochAnnounceMsg::decode(Reader& r) {
   m.sender = r.u32();
   m.epoch = r.u32();
   m.start_index = r.u64();
-  const std::uint64_t nm = r.varint();
-  if (nm == 0 || nm > 65536) {
-    throw DecodeError("EpochAnnounce: absurd member count");
-  }
+  const std::uint64_t nm = r.length_prefix(sizeof(std::uint32_t), 65536);
+  if (nm == 0) throw DecodeError("EpochAnnounce: empty membership");
   m.members.reserve(nm);
   for (std::uint64_t i = 0; i < nm; ++i) m.members.push_back(r.u32());
-  const std::uint64_t ne = r.varint();
-  if (ne > 65536) throw DecodeError("EpochAnnounce: absurd excluded count");
+  const std::uint64_t ne = r.length_prefix(sizeof(std::uint32_t), 65536);
   m.excluded.reserve(ne);
   for (std::uint64_t i = 0; i < ne; ++i) m.excluded.push_back(r.u32());
   m.signature = r.bytes();
@@ -211,8 +207,8 @@ EvidenceMsg EvidenceMsg::decode(Reader& r) {
   EvidenceMsg e;
   e.key = InstanceKey::decode(r);
   e.slot = r.u32();
-  const std::uint64_t n = r.varint();
-  if (n > 65536) throw DecodeError("EvidenceMsg: too many votes");
+  // A signed vote is at least 28 bytes on the wire.
+  const std::uint64_t n = r.length_prefix(28, 65536);
   e.votes.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) e.votes.push_back(SignedVote::decode(r));
   return e;

@@ -39,8 +39,8 @@ Bytes encode_pofs(const std::vector<ProofOfFraud>& pofs) {
 
 std::vector<ProofOfFraud> decode_pofs(BytesView data) {
   Reader r(data);
-  const std::uint64_t n = r.varint();
-  if (n > 4096) throw DecodeError("decode_pofs: too many");
+  // A proof of fraud is two signed votes, at least 56 bytes.
+  const std::uint64_t n = r.length_prefix(56, 4096);
   std::vector<ProofOfFraud> out;
   out.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) out.push_back(ProofOfFraud::decode(r));
@@ -60,8 +60,8 @@ ExclusionClaim ExclusionClaim::decode(BytesView data) {
   Reader r(data);
   ExclusionClaim c;
   c.ceiling = r.u64();
-  const std::uint64_t n = r.varint();
-  if (n > 4096) throw DecodeError("ExclusionClaim: too many pofs");
+  // A proof of fraud is two signed votes, at least 56 bytes.
+  const std::uint64_t n = r.length_prefix(56, 4096);
   c.pofs.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) {
     c.pofs.push_back(ProofOfFraud::decode(r));

@@ -34,7 +34,10 @@ struct LogConfig {
 
   LogConfig() {
     for (auto& l : levels) l = LogLevel::kWarn;
-    const char* env = std::getenv("ZLB_LOG");
+    // Read once inside the function-local-static LogConfig constructor,
+    // before any logging thread can exist; nothing in the process ever
+    // calls setenv, so the getenv data race cannot occur.
+    const char* env = std::getenv("ZLB_LOG");  // NOLINT(concurrency-mt-unsafe)
     if (env != nullptr) {
       const std::string spec(env);
       std::size_t pos = 0;
@@ -48,7 +51,8 @@ struct LogConfig {
       }
     }
     // Legacy alias from before the structured logger existed.
-    const char* legacy = std::getenv("ZLB_DEBUG_RECONFIG");
+    const char* legacy =
+        std::getenv("ZLB_DEBUG_RECONFIG");  // NOLINT(concurrency-mt-unsafe)
     if (legacy != nullptr && legacy[0] == '1') {
       auto& level = levels[static_cast<std::size_t>(LogSubsys::kReconfig)];
       if (level < LogLevel::kDebug) level = LogLevel::kDebug;

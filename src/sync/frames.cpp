@@ -110,10 +110,7 @@ SnapshotChunk SnapshotChunk::decode(Reader& r) {
   if (c.data.size() > net::kMaxFrameBytes) {
     throw DecodeError("chunk: oversized data");
   }
-  const std::uint64_t n = r.varint();
-  if (n > kMaxProofDepth || n * 32 > r.remaining()) {
-    throw DecodeError("chunk: absurd proof");
-  }
+  const std::uint64_t n = r.length_prefix(32, kMaxProofDepth);
   c.proof.reserve(static_cast<std::size_t>(n));
   for (std::uint64_t i = 0; i < n; ++i) c.proof.push_back(read_hash(r));
   return c;

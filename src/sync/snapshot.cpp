@@ -30,16 +30,18 @@ chain::Address get_address(Reader& r) {
   return a;
 }
 
-/// Guards a section count against length-prefix abuse: each entry needs
-/// at least `min_entry_bytes` more input, so a count the remaining
-/// buffer cannot possibly satisfy is rejected before any allocation.
+/// Section count guarded against length-prefix abuse; each section has
+/// far fewer entries than remaining()/min_entry allows, so the entry
+/// size is the only binding limit (Reader::length_prefix rejects any
+/// count the remaining buffer cannot possibly satisfy).
 std::size_t checked_count(Reader& r, std::size_t min_entry_bytes,
                           const char* what) {
-  const std::uint64_t n = r.varint();
-  if (n > r.remaining() / min_entry_bytes) {
+  try {
+    return static_cast<std::size_t>(
+        r.length_prefix(min_entry_bytes, std::uint64_t{1} << 32));
+  } catch (const DecodeError&) {
     throw DecodeError(std::string("snapshot: absurd count in ") + what);
   }
-  return static_cast<std::size_t>(n);
 }
 
 template <typename T, typename Less>

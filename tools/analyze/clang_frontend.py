@@ -1,0 +1,186 @@
+"""libclang frontend for zlb_analyze.
+
+Builds the same ``Program`` model as the pure-Python frontend, but from
+the real clang AST via the ``clang.cindex`` bindings and (optionally) a
+compilation database, so macro expansion, template instantiation and
+overload resolution are exact. Imported lazily by zlb_analyze; any
+import/availability failure makes ``--frontend auto`` fall back to the
+pure-Python parser, so this module must never be required for a green
+run.
+
+The checker core consumes token streams for function bodies (statement-
+level scans), so this frontend re-tokenizes each body extent with the
+shared tokenizer — the win over the pure parser is in the *model*:
+exact record fields/types, exact function boundaries, and annotation
+attributes straight from the AST instead of heuristic recovery.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from clang import cindex  # raises ImportError when bindings are absent
+
+from zlb_analyze import Field_, Func, Program, Record, tokenize
+
+
+def _ensure_library() -> None:
+    """Probe that libclang itself loads, not just the bindings."""
+    try:
+        cindex.Config().get_cindex_library()
+    except Exception as exc:  # noqa: BLE001
+        raise ImportError(f"libclang shared library unavailable: {exc}")
+
+
+_ANN_PREFIXES = ("REQUIRES", "EXCLUDES", "ACQUIRE", "RELEASE",
+                 "SCOPED_CAPABILITY", "GUARDED_BY")
+
+
+def _annotations(cursor) -> list[str]:
+    anns = []
+    for child in cursor.get_children():
+        if child.kind == cindex.CursorKind.ANNOTATE_ATTR:
+            anns.append(child.displayname)
+        # Thread-safety attributes surface as Unexposed/other attrs whose
+        # spelling carries the macro text in recent libclang versions.
+        elif child.kind.is_attribute():
+            sp = child.displayname or ""
+            if sp.startswith(_ANN_PREFIXES):
+                anns.append(sp)
+    return anns
+
+
+def _body_tokens(tu, cursor):
+    ext = cursor.extent
+    # Locate the compound statement child (the body) and slice its text.
+    body = None
+    for child in cursor.get_children():
+        if child.kind == cindex.CursorKind.COMPOUND_STMT:
+            body = child
+    if body is None:
+        return None
+    src = Path(str(ext.start.file)).read_text(errors="replace")
+    start, end = body.extent.start.offset, body.extent.end.offset
+    text = src[start:end]
+    toks = tokenize(text)
+    line_base = body.extent.start.line - 1
+    for t in toks:
+        t.line += line_base
+    return toks
+
+
+def _walk(tu, cursor, program: Program, cls: str | None,
+          wanted: set[str]) -> None:
+    for child in cursor.get_children():
+        loc = child.location
+        if loc.file is None or str(loc.file) not in wanted:
+            continue
+        k = child.kind
+        if k in (cindex.CursorKind.NAMESPACE,
+                 cindex.CursorKind.LINKAGE_SPEC):
+            _walk(tu, child, program, cls, wanted)
+        elif k in (cindex.CursorKind.STRUCT_DECL,
+                   cindex.CursorKind.CLASS_DECL):
+            name = child.spelling
+            if not name or not child.is_definition():
+                _walk(tu, child, program, cls, wanted)
+                continue
+            rec = program.records.setdefault(
+                name, Record(name=name, qual=name, file=str(loc.file),
+                             line=loc.line))
+            for m in child.get_children():
+                if m.kind == cindex.CursorKind.FIELD_DECL:
+                    rec.fields[m.spelling] = Field_(
+                        type=m.type.spelling, name=m.spelling)
+                elif m.kind in (cindex.CursorKind.CXX_METHOD,
+                                cindex.CursorKind.CONSTRUCTOR) and \
+                        not m.is_definition():
+                    anns = _annotations(m)
+                    if anns:
+                        program.method_decl_annotations.setdefault(
+                            f"{name}::{m.spelling}", []).extend(anns)
+            _walk(tu, child, program, name, wanted)
+        elif k in (cindex.CursorKind.FUNCTION_DECL,
+                   cindex.CursorKind.CXX_METHOD,
+                   cindex.CursorKind.CONSTRUCTOR,
+                   cindex.CursorKind.FUNCTION_TEMPLATE):
+            if not child.is_definition():
+                continue
+            body = _body_tokens(tu, child)
+            if body is None:
+                continue
+            owner = cls
+            sem = child.semantic_parent
+            if sem is not None and sem.kind in (
+                    cindex.CursorKind.STRUCT_DECL,
+                    cindex.CursorKind.CLASS_DECL):
+                owner = sem.spelling
+            params = [Field_(type=a.type.spelling, name=a.spelling)
+                      for a in child.get_arguments()]
+            init_bindings: dict[str, str] = {}
+            if child.kind == cindex.CursorKind.CONSTRUCTOR:
+                for init in child.get_children():
+                    if init.kind == cindex.CursorKind.MEMBER_REF:
+                        # member-ref followed by its init expression
+                        pass
+            name = child.spelling
+            program.funcs.append(Func(
+                name=name, cls=owner,
+                qual=f"{owner}::{name}" if owner else name,
+                params=params, body=body, file=str(loc.file),
+                line=loc.line, annotations=_annotations(child),
+                init_bindings=init_bindings))
+
+
+def load_clang_frontend(files: dict[Path, str],
+                        compdb_dir: str | None) -> Program:
+    _ensure_library()
+    index = cindex.Index.create()
+    program = Program()
+    wanted = {str(p.resolve()) for p in files} | {str(p) for p in files}
+
+    args_by_file: dict[str, list[str]] = {}
+    if compdb_dir:
+        db_path = Path(compdb_dir) / "compile_commands.json"
+        if db_path.exists():
+            for entry in json.loads(db_path.read_text()):
+                cmd = entry.get("arguments") or entry.get("command", "").split()
+                args = [a for a in cmd[1:]
+                        if a.startswith(("-I", "-D", "-std", "-isystem"))]
+                args_by_file[str(Path(entry["directory"], entry["file"])
+                                 .resolve())] = args
+    default_args = ["-std=c++20", "-Isrc", "-xc++"]
+
+    parsed: set[str] = set()
+    for path in sorted(files):
+        if path.suffix not in (".cpp", ".cc", ".cxx"):
+            continue
+        resolved = str(path.resolve())
+        args = args_by_file.get(resolved, default_args)
+        tu = index.parse(str(path), args=args)
+        _walk(tu, tu.cursor, program, None, wanted)
+        parsed.add(resolved)
+        for inc in tu.get_includes():
+            parsed.add(str(Path(str(inc.include)).resolve()))
+    # Headers never reached through a TU (header-only trees): parse alone.
+    for path in sorted(files):
+        if str(path.resolve()) in parsed or path.suffix in \
+                (".cpp", ".cc", ".cxx"):
+            continue
+        tu = index.parse(str(path), args=default_args)
+        _walk(tu, tu.cursor, program, None, wanted)
+
+    # Deduplicate functions parsed through several TUs (same qual+file+line).
+    seen: set[tuple[str, str, int]] = set()
+    uniq: list[Func] = []
+    for fn in program.funcs:
+        key = (fn.qual, fn.file, fn.line)
+        if key in seen:
+            continue
+        seen.add(key)
+        uniq.append(fn)
+    program.funcs = uniq
+    program.index()
+    program.frontend = "clang"
+    return program

@@ -1,0 +1,37 @@
+// zlb_analyze fixture: MUST keep failing the lock-blocking checker.
+// The blocking file I/O sits two helper calls below the locked scope,
+// so a lexical "I/O spelled inside the lock scope" rule sees nothing —
+// only call-graph propagation of may-block reaches it.
+#include <cstdio>
+
+#include "common/mutex.hpp"
+
+namespace fx {
+
+class Store {
+ public:
+  void save();
+
+ private:
+  void persist();
+  void write_out();
+
+  zlb::common::Mutex mu_;
+};
+
+void Store::save() {
+  const zlb::common::MutexLock lock(mu_);
+  persist();  // BUG: reaches fopen/fflush/fclose while mu_ is held
+}
+
+void Store::persist() { write_out(); }
+
+void Store::write_out() {
+  std::FILE* f = std::fopen("/tmp/fx-store", "wb");
+  if (f != nullptr) {
+    std::fflush(f);
+    std::fclose(f);
+  }
+}
+
+}  // namespace fx

@@ -1,0 +1,34 @@
+// zlb_analyze fixture: MUST keep failing the epoch-taint checker.
+// The signing bytes are produced through a helper that writes every
+// field EXCEPT the epoch — the signature verifies under any membership
+// generation, i.e. a cross-epoch replay. The helper indirection is the
+// point: the old regex rule only scanned the signing_bytes body itself.
+#include "common/serde.hpp"
+
+namespace fx {
+
+struct Ballot {
+  std::uint32_t epoch = 0;
+  std::uint32_t slot = 0;
+  std::uint8_t value = 0;
+
+  [[nodiscard]] zlb::Bytes signing_bytes() const;
+
+ private:
+  void write_core(zlb::Writer& w) const;
+};
+
+void Ballot::write_core(zlb::Writer& w) const {
+  w.u32(slot);
+  w.u8(value);
+  // BUG: epoch is never bound anywhere on this path.
+}
+
+zlb::Bytes Ballot::signing_bytes() const {
+  zlb::Writer w;
+  w.string("fx-ballot");
+  write_core(w);
+  return w.take();
+}
+
+}  // namespace fx

@@ -1,0 +1,41 @@
+// zlb_analyze fixture: MUST keep failing the lock-order checker.
+// Two mutexes acquired in opposite orders, with both second
+// acquisitions hidden behind a helper call — the cycle only exists
+// interprocedurally, which is exactly what per-TU -Wthread-safety and
+// the old regex linter cannot see.
+#include "common/mutex.hpp"
+
+namespace fx {
+
+class Pair {
+ public:
+  void ab();
+  void ba();
+
+ private:
+  void take_b();
+  void take_a();
+
+  zlb::common::Mutex a_;
+  zlb::common::Mutex b_;
+};
+
+void Pair::ab() {
+  const zlb::common::MutexLock la(a_);
+  take_b();  // acquires b_ while a_ is held: edge a_ -> b_
+}
+
+void Pair::take_b() {
+  const zlb::common::MutexLock lb(b_);
+}
+
+void Pair::ba() {
+  const zlb::common::MutexLock lb(b_);
+  take_a();  // acquires a_ while b_ is held: edge b_ -> a_ — cycle
+}
+
+void Pair::take_a() {
+  const zlb::common::MutexLock la(a_);
+}
+
+}  // namespace fx

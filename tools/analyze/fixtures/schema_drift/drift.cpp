@@ -1,0 +1,29 @@
+// zlb_analyze fixture: MUST keep failing the wire-schema checker.
+// Encode writes (u32 a, u64 b) but decode reads them in the opposite
+// order — a field-level asymmetry the old name-pairing regex (which
+// only checked that encode_x had a decode_x) could never notice.
+#include "common/serde.hpp"
+
+namespace fx {
+
+struct Pointer {
+  std::uint32_t a = 0;
+  std::uint64_t b = 0;
+
+  void encode(zlb::Writer& w) const;
+  static Pointer decode(zlb::Reader& r);
+};
+
+void Pointer::encode(zlb::Writer& w) const {
+  w.u32(a);
+  w.u64(b);
+}
+
+Pointer Pointer::decode(zlb::Reader& r) {
+  Pointer p;
+  p.b = r.u64();  // BUG: order swapped relative to encode
+  p.a = r.u32();
+  return p;
+}
+
+}  // namespace fx

@@ -1,0 +1,25 @@
+// zlb_analyze fixture: MUST keep failing the bounded-decode checker.
+// The element count comes straight off the wire and sizes a reserve()
+// without ever being compared against the remaining input: a 3-byte
+// frame can demand a multi-gigabyte allocation. The encode half exists
+// and is symmetric so only bounded-decode fires.
+#include <vector>
+
+#include "common/serde.hpp"
+
+namespace fx {
+
+void encode_entries(zlb::Writer& w, const std::vector<std::uint32_t>& v) {
+  w.varint(v.size());
+  for (std::uint32_t x : v) w.u32(x);
+}
+
+std::vector<std::uint32_t> decode_entries(zlb::Reader& r) {
+  const std::uint64_t n = r.varint();  // BUG: never checked vs remaining()
+  std::vector<std::uint32_t> out;
+  out.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) out.push_back(r.u32());
+  return out;
+}
+
+}  // namespace fx

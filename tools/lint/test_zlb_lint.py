@@ -24,10 +24,8 @@ LINT = HERE / "zlb_lint.py"
 ALLOW = HERE / "zlb_lint_allow.txt"
 
 FIXTURES = {
-    "epoch_unbound": "epoch-signing",
     "raw_mutex": "raw-mutex",
     "io_under_lock": "io-under-lock",
-    "encode_unpaired": "encode-pair",
     "nondet_iter": "nondet-iter",
     "wall_clock": "wall-clock",
     "obs_clock": "obs-clock",

@@ -1,16 +1,13 @@
 #!/usr/bin/env python3
-"""ZLB protocol-invariant linter.
+"""ZLB protocol-invariant linter — the purely LEXICAL rules.
 
-Seven rules over the C++ sources, each protecting an invariant the
-type system cannot express:
+Five regex rules over the C++ sources, each protecting an invariant
+that is visible in the program text itself. Invariants that need real
+dataflow — epoch-bound signing bytes, encode/decode wire symmetry,
+interprocedural lock-order and blocking-under-lock — live in the
+semantic analyzer, tools/analyze/zlb_analyze.py, which replaced this
+linter's old `epoch-signing` and `encode-pair` rules.
 
-  epoch-signing    Every signed wire payload must bind the membership
-                   epoch: a `*signing_bytes`/`summary_bytes` function
-                   whose (transitively reachable, depth-bounded) body
-                   never touches an `epoch` field produces signatures
-                   that are replayable across membership generations —
-                   exactly the cross-epoch confusion the ZLB
-                   reconfiguration gates exist to prevent.
   raw-mutex        Raw std::mutex / std::lock_guard / std::unique_lock /
                    std::condition_variable outside the annotated
                    common/mutex.hpp wrappers escapes the clang
@@ -20,9 +17,6 @@ type system cannot express:
                    lock scope stall every thread contending on that
                    lock (and under decisions_mutex_ would stall the
                    consensus loop on disk latency).
-  encode-pair      A free `encode_X` without a matching `decode_X`
-                   usually means the decode path is hand-rolled at the
-                   call site and will drift from the encoder.
   nondet-iter      Iterating a std::unordered_map/unordered_set in a
                    protocol-visible path (src/consensus, src/zlb,
                    src/bm, src/asmr) leaks hash-table order into
@@ -46,8 +40,6 @@ Vetted exceptions live in an allowlist file (see --allow):
 
   raw-mutex:<path-suffix>     file allowed to use std primitives
   io-under-lock:<path-suffix>
-  encode-pair:<function-name> encoder whose decoder is a class/another
-                              mechanism (e.g. FrameDecoder)
   nondet-iter:<path-suffix>   iteration provably canonicalized (e.g.
                               sorted immediately after collection)
   wall-clock:<path-suffix>    additional sanctioned clock shim
@@ -66,9 +58,6 @@ from pathlib import Path
 
 CXX_SUFFIXES = {".cpp", ".hpp", ".cc", ".hh", ".cxx", ".h"}
 
-SIGNING_NAME = re.compile(r"(^|_)(signing_bytes|summary_bytes)$")
-EPOCH_TOKEN = re.compile(r"\bepoch\w*\b")
-CALL = re.compile(r"\b([A-Za-z_]\w*)\s*\(")
 RAW_MUTEX = re.compile(
     r"\bstd::(mutex|timed_mutex|recursive_mutex|shared_mutex|"
     r"lock_guard|unique_lock|scoped_lock|shared_lock|"
@@ -175,58 +164,6 @@ def allowed_file(allow: dict[str, set[str]], rule: str, path: Path) -> bool:
     return any(posix.endswith(suffix) for suffix in allow.get(rule, ()))
 
 
-def collect_functions(files: dict[Path, str]) -> dict[str, list[str]]:
-    """name (last qualified component) -> list of stripped bodies."""
-    functions: dict[str, list[str]] = {}
-    for text in files.values():
-        for m in FUNC_DEF.finditer(text):
-            name = m.group(1).split("::")[-1]
-            if name in ("if", "for", "while", "switch", "catch", "return"):
-                continue
-            body = body_at(text, m.end() - 1)
-            # Keep the parameter list with the body: an `epoch` parameter
-            # (resync_signing_bytes-style free functions) binds it too.
-            functions.setdefault(name, []).append(m.group(2) + body)
-    return functions
-
-
-def rule_epoch_signing(files: dict[Path, str],
-                       functions: dict[str, list[str]],
-                       depth: int) -> list[Finding]:
-    findings = []
-    for path, text in files.items():
-        for m in FUNC_DEF.finditer(text):
-            name = m.group(1).split("::")[-1]
-            if not SIGNING_NAME.search(name):
-                continue
-            seen = {name}
-            frontier = [m.group(2) + body_at(text, m.end() - 1)]
-            bound = False
-            for _ in range(depth + 1):
-                next_frontier = []
-                for body in frontier:
-                    if EPOCH_TOKEN.search(body):
-                        bound = True
-                        break
-                    for call in CALL.finditer(body):
-                        callee = call.group(1)
-                        if callee in seen:
-                            continue
-                        seen.add(callee)
-                        next_frontier.extend(functions.get(callee, ()))
-                if bound:
-                    break
-                frontier = next_frontier
-            if not bound:
-                line = text.count("\n", 0, m.start()) + 1
-                findings.append(Finding(
-                    path, line, "epoch-signing",
-                    f"{m.group(1)} never binds an epoch field: the "
-                    "signature is replayable across membership "
-                    "generations"))
-    return findings
-
-
 def rule_raw_mutex(files: dict[Path, str],
                    allow: dict[str, set[str]]) -> list[Finding]:
     findings = []
@@ -265,30 +202,6 @@ def rule_io_under_lock(files: dict[Path, str],
                     depth -= 1
                     while lock_depths and depth <= lock_depths[-1]:
                         lock_depths.pop()
-    return findings
-
-
-def rule_encode_pair(files: dict[Path, str],
-                     functions: dict[str, list[str]],
-                     allow: dict[str, set[str]]) -> list[Finding]:
-    findings = []
-    allowed = allow.get("encode-pair", set())
-    reported = set()
-    for path, text in files.items():
-        for m in FUNC_DEF.finditer(text):
-            name = m.group(1).split("::")[-1]
-            if not name.startswith("encode_") or name in reported:
-                continue
-            partner = "decode_" + name[len("encode_"):]
-            if name in allowed or partner in functions:
-                continue
-            reported.add(name)
-            line = text.count("\n", 0, m.start()) + 1
-            findings.append(Finding(
-                path, line, "encode-pair",
-                f"{name} has no matching {partner} (decoder drift "
-                "hazard); pair it or allowlist `encode-pair:{0}`"
-                .format(name)))
     return findings
 
 
@@ -413,8 +326,6 @@ def main() -> int:
                     help="allowlist file (rule:token lines)")
     ap.add_argument("--rule", action="append", default=None,
                     help="run only these rules (default: all)")
-    ap.add_argument("--depth", type=int, default=3,
-                    help="epoch-signing call-graph search depth")
     args = ap.parse_args()
 
     files: dict[Path, str] = {}
@@ -427,14 +338,10 @@ def main() -> int:
             if path.suffix in CXX_SUFFIXES and path.is_file():
                 files[path] = strip_noise(path.read_text(errors="replace"))
     allow = load_allowlist(args.allow)
-    functions = collect_functions(files)
 
     rules = {
-        "epoch-signing":
-            lambda: rule_epoch_signing(files, functions, args.depth),
         "raw-mutex": lambda: rule_raw_mutex(files, allow),
         "io-under-lock": lambda: rule_io_under_lock(files, allow),
-        "encode-pair": lambda: rule_encode_pair(files, functions, allow),
         "nondet-iter": lambda: rule_nondet_iter(files, allow),
         "wall-clock": lambda: rule_wall_clock(files, allow),
         "obs-clock": lambda: rule_obs_clock(files, allow),
